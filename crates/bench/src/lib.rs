@@ -1,0 +1,49 @@
+//! # ge-bench — benchmark support
+//!
+//! The Criterion targets live in `benches/`:
+//!
+//! * `microbench` — the algorithmic kernels (LF cut, YDS, water-filling,
+//!   level-fill, quality-function inversion, event queue, core engine).
+//! * `figures` — one bench per paper figure at [`ge_experiments::Scale::bench`]
+//!   scale, so `cargo bench` regenerates every table/figure pipeline
+//!   end-to-end and tracks its cost.
+//!
+//! This library hosts small shared fixtures.
+
+use ge_core::SimConfig;
+use ge_simcore::SimTime;
+use ge_workload::{Trace, WorkloadConfig, WorkloadGenerator};
+
+/// A deterministic bench-scale trace (`secs` simulated seconds at `rate`).
+pub fn bench_trace(rate: f64, secs: f64, seed: u64) -> Trace {
+    WorkloadGenerator::new(
+        WorkloadConfig {
+            horizon: SimTime::from_secs(secs),
+            ..WorkloadConfig::paper_default(rate)
+        },
+        seed,
+    )
+    .generate()
+}
+
+/// A bench-scale platform configuration.
+pub fn bench_config(secs: f64) -> SimConfig {
+    SimConfig {
+        horizon: SimTime::from_secs(secs),
+        ..SimConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = bench_trace(100.0, 5.0, 1);
+        let b = bench_trace(100.0, 5.0, 1);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        bench_config(5.0).validate();
+    }
+}

@@ -1,0 +1,13 @@
+//! Baseline scheduling algorithms from the paper's evaluation (§IV-A-1,
+//! §IV-F).
+//!
+//! The best-effort family (BE, OQ, BE-P, BE-S) shares GE's machinery and
+//! is produced by [`crate::ge::GeScheduler`] with the appropriate
+//! [`crate::ge::GeOptions`] — the paper defines them as policy variations,
+//! not separate algorithms. The four single-job queue disciplines (FCFS,
+//! FDFS, LJF, SJF) are genuinely different and live in
+//! [`queue_policies`].
+
+pub mod queue_policies;
+
+pub use queue_policies::{QueuePolicy, QueueScheduler};

@@ -1,0 +1,221 @@
+//! A clairvoyant offline planner — the practical yardstick above the
+//! Jensen bound.
+//!
+//! The paper's GE is an *online* algorithm: it sees jobs as they arrive,
+//! monitors quality after the fact, and re-plans at trigger events. A
+//! natural question for any online scheduler is the *price of not knowing
+//! the future*. This module computes the schedule an omniscient planner
+//! would build with the same mechanisms GE uses, given the entire trace
+//! up front:
+//!
+//! 1. **Global LF cut** over all jobs at once (instead of per-core,
+//!    per-epoch batches): the work-minimal allocation achieving exactly
+//!    `Q_GE` over the whole run.
+//! 2. **C-RR assignment** of jobs to cores in release order (the same
+//!    balanced, no-migration placement).
+//! 3. **Whole-horizon Energy-OPT (YDS)** per core over the true releases
+//!    and deadlines — one globally-optimal speed plan per core instead of
+//!    stitched per-epoch plans.
+//!
+//! The result is feasible for the machine model except possibly the
+//! *instantaneous* power-budget coupling (YDS per core does not know
+//! about `H`); [`ClairvoyantOutcome::peak_power_w`] reports the plan's
+//! worst instantaneous draw so callers can check whether the budget
+//! constraint was actually binding. Pre-overload, with targets cut to
+//! `Q_GE`, it practically never is.
+
+use crate::config::SimConfig;
+use ge_power::{yds_schedule, PolynomialPower, PowerModel, SpeedProfile, YdsJob};
+use ge_quality::{lf_cut, ExpConcave};
+use ge_server::CrrAssigner;
+use ge_simcore::SimTime;
+use ge_workload::Trace;
+
+/// The clairvoyant plan's headline numbers.
+#[derive(Debug, Clone)]
+pub struct ClairvoyantOutcome {
+    /// Total planned energy (joules).
+    pub energy_j: f64,
+    /// Aggregate quality `Σ f(c_j) / Σ f(p_j)` of the global cut.
+    pub quality: f64,
+    /// Worst instantaneous total power across the plan (watts). Compare
+    /// with the budget `H` to see whether the (ignored) coupling bound.
+    pub peak_power_w: f64,
+    /// Total retained volume `Σ c_j` (processing units).
+    pub retained_units: f64,
+    /// Per-core planned energy (joules).
+    pub core_energy_j: Vec<f64>,
+}
+
+/// Plans the whole trace offline and returns the outcome.
+pub fn clairvoyant_plan(cfg: &SimConfig, trace: &Trace) -> ClairvoyantOutcome {
+    cfg.validate();
+    let model = PolynomialPower::new(cfg.power_a, cfg.power_beta);
+    let f = ExpConcave::new(cfg.quality_c, cfg.quality_xmax);
+
+    if trace.is_empty() {
+        return ClairvoyantOutcome {
+            energy_j: 0.0,
+            quality: 1.0,
+            peak_power_w: 0.0,
+            retained_units: 0.0,
+            core_energy_j: vec![0.0; cfg.cores],
+        };
+    }
+
+    // 1. Global LF cut.
+    let demands: Vec<f64> = trace.jobs().iter().map(|j| j.demand).collect();
+    let cut = lf_cut(&f, &demands, cfg.q_ge);
+
+    // 2. C-RR placement in release order.
+    let mut assigner = CrrAssigner::new(cfg.cores);
+    let mut per_core: Vec<Vec<YdsJob>> = vec![Vec::new(); cfg.cores];
+    for (job, &target) in trace.jobs().iter().zip(&cut.cut_demands) {
+        let core = assigner.assign_one();
+        if target > 1e-9 {
+            let slot = &mut per_core[core];
+            let id = slot.len();
+            slot.push(YdsJob::new(
+                id,
+                job.release.as_secs(),
+                job.deadline.as_secs(),
+                target / cfg.units_per_ghz_sec,
+            ));
+        }
+    }
+
+    // 3. Whole-horizon YDS per core.
+    let plans: Vec<SpeedProfile> = per_core
+        .iter()
+        .map(|jobs| yds_schedule(jobs).profile)
+        .collect();
+
+    let core_energy_j: Vec<f64> = plans
+        .iter()
+        .map(|p| match p.end() {
+            None => 0.0,
+            Some(end) => p.energy(&model, SimTime::ZERO, end),
+        })
+        .collect();
+    let energy_j = core_energy_j.iter().sum();
+
+    // Peak total power: evaluate at every segment boundary of any core
+    // (total power is piecewise constant between boundaries).
+    let mut boundaries: Vec<f64> = plans
+        .iter()
+        .flat_map(|p| {
+            p.segments()
+                .iter()
+                .flat_map(|s| [s.start.as_secs(), s.end.as_secs()])
+        })
+        .collect();
+    boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    boundaries.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let mut peak_power_w = 0.0f64;
+    for w in boundaries.windows(2) {
+        let mid = SimTime::from_secs(0.5 * (w[0] + w[1]));
+        let total: f64 = plans
+            .iter()
+            .map(|p| model.power(p.speed_at(mid)))
+            .sum();
+        peak_power_w = peak_power_w.max(total);
+    }
+
+    ClairvoyantOutcome {
+        energy_j,
+        quality: cut.achieved_quality,
+        peak_power_w,
+        retained_units: cut.cut_demands.iter().sum(),
+        core_energy_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run;
+    use crate::policy::Algorithm;
+    use ge_workload::{WorkloadConfig, WorkloadGenerator};
+
+    fn cfg(horizon: f64) -> SimConfig {
+        SimConfig {
+            horizon: SimTime::from_secs(horizon),
+            ..SimConfig::paper_default()
+        }
+    }
+
+    fn trace(rate: f64, horizon: f64, seed: u64) -> Trace {
+        WorkloadGenerator::new(
+            WorkloadConfig {
+                horizon: SimTime::from_secs(horizon),
+                ..WorkloadConfig::paper_default(rate)
+            },
+            seed,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn achieves_exactly_q_ge() {
+        let c = cfg(15.0);
+        let t = trace(130.0, 15.0, 1);
+        let plan = clairvoyant_plan(&c, &t);
+        assert!((plan.quality - c.q_ge).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beats_online_ge_on_energy() {
+        // Hindsight must not lose to online play at the same quality.
+        let c = cfg(20.0);
+        let t = trace(140.0, 20.0, 2);
+        let plan = clairvoyant_plan(&c, &t);
+        let ge = run(&c, &t, &Algorithm::Ge);
+        assert!(ge.quality >= c.q_ge - 0.01, "GE met the target");
+        assert!(
+            plan.energy_j <= ge.energy_j + 1e-6,
+            "clairvoyant {} must not exceed online GE {}",
+            plan.energy_j,
+            ge.energy_j
+        );
+    }
+
+    #[test]
+    fn respects_power_budget_pre_overload() {
+        let c = cfg(15.0);
+        let t = trace(120.0, 15.0, 3);
+        let plan = clairvoyant_plan(&c, &t);
+        assert!(
+            plan.peak_power_w <= c.budget_w + 1e-6,
+            "peak draw {} exceeds budget {}",
+            plan.peak_power_w,
+            c.budget_w
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let plan = clairvoyant_plan(&cfg(10.0), &Trace::default());
+        assert_eq!(plan.energy_j, 0.0);
+        assert_eq!(plan.quality, 1.0);
+        assert_eq!(plan.core_energy_j.len(), 16);
+    }
+
+    #[test]
+    fn per_core_energies_sum_to_total() {
+        let c = cfg(10.0);
+        let t = trace(150.0, 10.0, 4);
+        let plan = clairvoyant_plan(&c, &t);
+        let sum: f64 = plan.core_energy_j.iter().sum();
+        assert!((sum - plan.energy_j).abs() < 1e-6);
+    }
+
+    #[test]
+    fn retained_volume_below_full_demand() {
+        let c = cfg(10.0);
+        let t = trace(150.0, 10.0, 5);
+        let plan = clairvoyant_plan(&c, &t);
+        let full: f64 = t.jobs().iter().map(|j| j.demand).sum();
+        assert!(plan.retained_units < full);
+        assert!(plan.retained_units > 0.0);
+    }
+}

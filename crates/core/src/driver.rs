@@ -1,0 +1,449 @@
+//! The online simulation driver.
+//!
+//! Couples a [`Scheduler`] policy with the substrates: workload arrivals
+//! feed a waiting queue; trigger events (quantum tick, counter threshold,
+//! idle core — paper §III-E) invoke the policy; the multicore server
+//! executes installed plans between events; finished jobs feed the online
+//! quality monitor; energy, speeds, and mode residency are metered
+//! throughout.
+//!
+//! Event priorities at equal timestamps: arrivals are observed before core
+//! checks, which are observed before the quantum tick — so a quantum epoch
+//! always sees the jobs that arrived "now".
+
+use ge_power::PolynomialPower;
+use ge_quality::{ExpConcave, QualityFunction, QualityLedger};
+use ge_server::Server;
+use ge_simcore::{SimTime, Simulator};
+use ge_workload::{Job, Trace};
+use std::collections::VecDeque;
+
+use crate::config::SimConfig;
+use crate::policy::{Algorithm, ScheduleCtx, Scheduler};
+use crate::result::RunResult;
+
+/// Driver events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Job `trace[i]` arrives.
+    Arrival(usize),
+    /// Periodic quantum tick.
+    Quantum,
+    /// Projected core completion/deadline — re-examine the server.
+    CoreCheck,
+}
+
+const PRIO_ARRIVAL: u32 = 0;
+const PRIO_CHECK: u32 = 1;
+const PRIO_QUANTUM: u32 = 2;
+
+/// Per-epoch observations for trajectory analysis (see [`run_traced`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// Monitored quality at each scheduler epoch.
+    pub quality: ge_metrics::TimeSeries,
+    /// Execution mode at each epoch (0 = AES, 1 = BQ).
+    pub mode: ge_metrics::TimeSeries,
+    /// Total outstanding work (units) right after each epoch.
+    pub backlog_units: ge_metrics::TimeSeries,
+    /// The driver's arrival-rate estimate at each epoch (req/s).
+    pub load_estimate: ge_metrics::TimeSeries,
+}
+
+/// Convenience wrapper: builds the algorithm's scheduler and runs it.
+pub fn run(cfg: &SimConfig, trace: &Trace, algorithm: &Algorithm) -> RunResult {
+    let mut sched = algorithm.build(cfg);
+    run_simulation(cfg, trace, sched.as_mut())
+}
+
+/// Like [`run`], additionally recording per-epoch trajectories — the
+/// compensation policy's control dynamics made visible.
+pub fn run_traced(cfg: &SimConfig, trace: &Trace, algorithm: &Algorithm) -> (RunResult, RunTrace) {
+    let mut sched = algorithm.build(cfg);
+    let mut rt = RunTrace::default();
+    let result = run_inner(cfg, trace, sched.as_mut(), Some(&mut rt));
+    (result, rt)
+}
+
+/// Runs one full simulation of `trace` under `sched` and returns the
+/// measurements.
+pub fn run_simulation(cfg: &SimConfig, trace: &Trace, sched: &mut dyn Scheduler) -> RunResult {
+    run_inner(cfg, trace, sched, None)
+}
+
+fn run_inner(
+    cfg: &SimConfig,
+    trace: &Trace,
+    sched: &mut dyn Scheduler,
+    mut observe: Option<&mut RunTrace>,
+) -> RunResult {
+    cfg.validate();
+    let f = ExpConcave::new(cfg.quality_c, cfg.quality_xmax);
+    let model = PolynomialPower::new(cfg.power_a, cfg.power_beta);
+    let mut server = Server::new(
+        cfg.cores,
+        Box::new(model),
+        cfg.budget_w,
+        cfg.units_per_ghz_sec,
+    );
+    let mut ledger = QualityLedger::new(cfg.ledger_mode);
+    let mut mode_tracker =
+        ge_metrics::ModeTracker::new(2, sched.current_mode(), SimTime::ZERO);
+    let mut speed_tracker = ge_metrics::SpeedTracker::new();
+    let mut latency = ge_metrics::Histogram::latency_default();
+    let mut queue: Vec<Job> = Vec::new();
+    let mut arrivals_window: VecDeque<f64> = VecDeque::new();
+    let mut epochs: u64 = 0;
+    let mut last_t = SimTime::ZERO;
+    let mut last_speeds: Vec<f64> = server.speeds();
+    let mut next_check: Option<SimTime> = None;
+
+    // The run must cover every job's deadline so each job's fate lands in
+    // the ledger.
+    let horizon = cfg.horizon.max(trace.last_deadline());
+
+    let mut sim: Simulator<Ev> = Simulator::new();
+    for (i, job) in trace.jobs().iter().enumerate() {
+        sim.schedule(job.release, PRIO_ARRIVAL, Ev::Arrival(i));
+    }
+    sim.schedule(SimTime::ZERO, PRIO_QUANTUM, Ev::Quantum);
+
+    sim.run_until(horizon, |ctx, ev| {
+        let now = ctx.now();
+
+        // -- Accounting since the previous event ------------------------
+        let dt = now.saturating_since(last_t).as_secs();
+        if dt > 0.0 {
+            speed_tracker.sample(&last_speeds, dt);
+        }
+        for fin in server.advance_all(now) {
+            ledger.record(f.value(fin.processed), f.value(fin.full_demand));
+            if fin.processed > 0.0 {
+                let release = trace.jobs()[fin.id.index()].release;
+                latency.record(fin.finish_time.saturating_since(release).as_secs());
+            }
+        }
+        // Jobs that died waiting in the queue count as fully discarded.
+        queue.retain(|j| {
+            if j.deadline.at_or_before(now) {
+                ledger.record(0.0, f.value(j.demand));
+                false
+            } else {
+                true
+            }
+        });
+
+        // -- Event-specific logic ----------------------------------------
+        let triggers = sched.triggers();
+        let mut fire = false;
+        match ev {
+            Ev::Arrival(i) => {
+                let job = trace.jobs()[i];
+                queue.push(job);
+                arrivals_window.push_back(now.as_secs());
+                if triggers.counter && queue.len() >= cfg.counter_trigger {
+                    fire = true;
+                }
+                if triggers.idle_core && server.cores().any(|c| c.is_idle()) {
+                    fire = true;
+                }
+            }
+            Ev::Quantum => {
+                if triggers.quantum {
+                    fire = true;
+                }
+                ctx.schedule(now + cfg.quantum, PRIO_QUANTUM, Ev::Quantum);
+            }
+            Ev::CoreCheck => {
+                if next_check.is_some_and(|t| t.at_or_before(now)) {
+                    next_check = None;
+                }
+                if triggers.idle_core
+                    && !queue.is_empty()
+                    && server.cores().any(|c| c.is_idle())
+                {
+                    fire = true;
+                }
+            }
+        }
+
+        if fire {
+            // Arrival-rate estimate over the sliding window.
+            let window = cfg.load_window_secs;
+            while arrivals_window
+                .front()
+                .is_some_and(|&t0| t0 < now.as_secs() - window)
+            {
+                arrivals_window.pop_front();
+            }
+            let effective_window = window.min(now.as_secs().max(1e-3));
+            let load_estimate_rps = arrivals_window.len() as f64 / effective_window;
+
+            let mut sctx = ScheduleCtx {
+                now,
+                server: &mut server,
+                queue: &mut queue,
+                ledger: &ledger,
+                quality_fn: &f,
+                load_estimate_rps,
+            };
+            sched.on_schedule(&mut sctx);
+            epochs += 1;
+            mode_tracker.switch(sched.current_mode(), now);
+            if let Some(rt) = observe.as_deref_mut() {
+                rt.quality.push(now, ledger.quality());
+                rt.mode.push(now, sched.current_mode() as f64);
+                rt.backlog_units.push(now, server.total_backlog_units());
+                rt.load_estimate.push(now, load_estimate_rps);
+            }
+        }
+
+        // -- Re-arm the core-check event ---------------------------------
+        if let Some(t) = server.next_event_time() {
+            let earlier = match next_check {
+                None => true,
+                Some(cur) => t.before(cur),
+            };
+            if earlier && t.at_or_before(horizon) {
+                ctx.schedule(t.max(now), PRIO_CHECK, Ev::CoreCheck);
+                next_check = Some(t.max(now));
+            }
+        }
+
+        last_speeds = server.speeds();
+        last_t = now;
+    });
+
+    // -- Final accounting at the horizon ---------------------------------
+    let end = horizon;
+    let dt = end.saturating_since(last_t).as_secs();
+    if dt > 0.0 {
+        speed_tracker.sample(&last_speeds, dt);
+    }
+    for fin in server.advance_all(end) {
+        ledger.record(f.value(fin.processed), f.value(fin.full_demand));
+        if fin.processed > 0.0 {
+            let release = trace.jobs()[fin.id.index()].release;
+            latency.record(fin.finish_time.saturating_since(release).as_secs());
+        }
+    }
+    for j in queue.drain(..) {
+        ledger.record(0.0, f.value(j.demand));
+    }
+
+    let fractions = mode_tracker.fractions_at(end);
+    let core_energy_cv = {
+        let mut stats = ge_metrics::OnlineStats::new();
+        for i in 0..cfg.cores {
+            stats.push(server.core_energy(i));
+        }
+        if stats.mean() > 0.0 {
+            stats.std_dev() / stats.mean()
+        } else {
+            0.0
+        }
+    };
+    RunResult {
+        algorithm: sched.name().to_string(),
+        quality: ledger.quality(),
+        energy_j: server.total_energy(),
+        jobs_finished: ledger.jobs_recorded(),
+        jobs_discarded: ledger.jobs_discarded(),
+        jobs_completed_fully: ledger.jobs_completed_fully(),
+        aes_fraction: fractions[crate::policy::MODE_AES],
+        mode_transitions: mode_tracker.transitions(),
+        mean_speed_ghz: speed_tracker.mean_speed(),
+        speed_variance: speed_tracker.speed_variance(),
+        schedule_epochs: epochs,
+        mean_latency_ms: latency.mean() * 1e3,
+        p95_latency_ms: latency.quantile(0.95) * 1e3,
+        p99_latency_ms: latency.quantile(0.99) * 1e3,
+        core_energy_cv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_workload::{WorkloadConfig, WorkloadGenerator};
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            horizon: SimTime::from_secs(20.0),
+            ..SimConfig::paper_default()
+        }
+    }
+
+    fn small_trace(rate: f64, seed: u64) -> Trace {
+        let wc = WorkloadConfig {
+            horizon: SimTime::from_secs(20.0),
+            ..WorkloadConfig::paper_default(rate)
+        };
+        WorkloadGenerator::new(wc, seed).generate()
+    }
+
+    #[test]
+    fn every_job_is_accounted_for() {
+        let cfg = small_cfg();
+        let trace = small_trace(120.0, 1);
+        let r = run(&cfg, &trace, &Algorithm::Ge);
+        assert_eq!(r.jobs_finished, trace.len() as u64);
+    }
+
+    #[test]
+    fn ge_holds_quality_near_target_at_light_load() {
+        let cfg = small_cfg();
+        let trace = small_trace(100.0, 2);
+        let r = run(&cfg, &trace, &Algorithm::Ge);
+        assert!(
+            r.quality >= 0.87 && r.quality <= 1.0,
+            "GE quality {} should sit near Q_GE=0.9",
+            r.quality
+        );
+        assert!(r.energy_j > 0.0);
+    }
+
+    #[test]
+    fn be_achieves_full_quality_at_light_load() {
+        let cfg = small_cfg();
+        let trace = small_trace(100.0, 2);
+        let r = run(&cfg, &trace, &Algorithm::Be);
+        assert!(
+            r.quality > 0.99,
+            "BE at light load should complete ~everything, got {}",
+            r.quality
+        );
+        assert_eq!(r.aes_fraction, 0.0, "BE never enters AES");
+    }
+
+    #[test]
+    fn ge_saves_energy_vs_be() {
+        let cfg = small_cfg();
+        let trace = small_trace(140.0, 3);
+        let ge = run(&cfg, &trace, &Algorithm::Ge);
+        let be = run(&cfg, &trace, &Algorithm::Be);
+        assert!(
+            ge.energy_j < be.energy_j,
+            "GE ({}) must save energy vs BE ({})",
+            ge.energy_j,
+            be.energy_j
+        );
+        assert!(be.quality >= ge.quality - 0.02);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = small_cfg();
+        let trace = small_trace(130.0, 4);
+        let a = run(&cfg, &trace, &Algorithm::Ge);
+        let b = run(&cfg, &trace, &Algorithm::Ge);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.energy_j, b.energy_j);
+        assert_eq!(a.schedule_epochs, b.schedule_epochs);
+    }
+
+    #[test]
+    fn queue_policies_complete_jobs_at_light_load() {
+        let cfg = small_cfg();
+        let trace = small_trace(60.0, 5);
+        for alg in [Algorithm::Fcfs, Algorithm::Fdfs, Algorithm::Ljf, Algorithm::Sjf] {
+            let r = run(&cfg, &trace, &alg);
+            assert_eq!(r.jobs_finished, trace.len() as u64, "{}", alg.label());
+            assert!(
+                r.quality > 0.9,
+                "{} at light load should score high, got {}",
+                alg.label(),
+                r.quality
+            );
+        }
+    }
+
+    #[test]
+    fn overload_degrades_queue_policies_more_than_ge() {
+        let cfg = small_cfg();
+        let trace = small_trace(230.0, 6);
+        let ge = run(&cfg, &trace, &Algorithm::Ge);
+        let sjf = run(&cfg, &trace, &Algorithm::Sjf);
+        assert!(
+            ge.quality > sjf.quality,
+            "GE ({}) should beat SJF ({}) under overload",
+            ge.quality,
+            sjf.quality
+        );
+    }
+
+    #[test]
+    fn ge_spends_most_time_in_aes_at_light_load() {
+        let cfg = small_cfg();
+        let trace = small_trace(100.0, 7);
+        let r = run(&cfg, &trace, &Algorithm::Ge);
+        assert!(
+            r.aes_fraction > 0.5,
+            "light load should be mostly AES, got {}",
+            r.aes_fraction
+        );
+    }
+
+    #[test]
+    fn latency_respects_deadline_window() {
+        // Every served job finishes by its deadline (150 ms window), so
+        // p99 latency must sit at or below the window (plus one histogram
+        // bin of quantization).
+        let cfg = small_cfg();
+        let trace = small_trace(120.0, 21);
+        let r = run(&cfg, &trace, &Algorithm::Ge);
+        assert!(r.mean_latency_ms > 0.0, "latency must be recorded");
+        assert!(
+            r.p99_latency_ms <= 151.0,
+            "p99 latency {}ms exceeds the 150ms window",
+            r.p99_latency_ms
+        );
+        assert!(r.mean_latency_ms <= r.p95_latency_ms);
+        assert!(r.p95_latency_ms <= r.p99_latency_ms);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_trajectories() {
+        let cfg = small_cfg();
+        let trace = small_trace(150.0, 31);
+        let plain = run(&cfg, &trace, &Algorithm::Ge);
+        let (traced, rt) = run_traced(&cfg, &trace, &Algorithm::Ge);
+        // Instrumentation must not change the simulation.
+        assert_eq!(plain.quality.to_bits(), traced.quality.to_bits());
+        assert_eq!(plain.energy_j.to_bits(), traced.energy_j.to_bits());
+        // One sample per epoch, values in range.
+        assert_eq!(rt.quality.len() as u64, traced.schedule_epochs);
+        assert!(rt.quality.points().iter().all(|&(_, q)| (0.0..=1.0).contains(&q)));
+        assert!(rt
+            .mode
+            .points()
+            .iter()
+            .all(|&(_, m)| m == 0.0 || m == 1.0));
+        assert!(rt.backlog_units.points().iter().all(|&(_, b)| b >= 0.0));
+    }
+
+    #[test]
+    fn bursty_workload_runs_through_driver() {
+        use ge_workload::BurstModulation;
+        let cfg = small_cfg();
+        let wc = WorkloadConfig {
+            horizon: SimTime::from_secs(20.0),
+            burst: Some(BurstModulation::new(0.7, 2.0)),
+            ..WorkloadConfig::paper_default(150.0)
+        };
+        let trace = WorkloadGenerator::new(wc, 33).generate();
+        let r = run(&cfg, &trace, &Algorithm::Ge);
+        assert_eq!(r.jobs_finished, trace.len() as u64);
+        assert!((0.0..=1.0).contains(&r.quality));
+    }
+
+    #[test]
+    fn empty_trace_runs_cleanly() {
+        let cfg = small_cfg();
+        let trace = Trace::default();
+        let r = run(&cfg, &trace, &Algorithm::Ge);
+        assert_eq!(r.jobs_finished, 0);
+        assert_eq!(r.energy_j, 0.0);
+        assert_eq!(r.quality, 1.0);
+    }
+}

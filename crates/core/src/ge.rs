@@ -1,0 +1,733 @@
+//! The GE (Good Enough) scheduling algorithm — paper §III.
+//!
+//! One scheduler epoch (triggered by quantum / counter / idle-core events)
+//! performs, in order:
+//!
+//! 1. **C-RR assignment** (§III-E): queued jobs are distributed to cores
+//!    cumulative-round-robin; a job never migrates afterwards.
+//! 2. **Mode decision + compensation** (§III-C): if the monitored quality
+//!    has fallen below `Q_GE`, switch to BQ (no cutting, run everything to
+//!    completion); once it recovers, switch back to AES.
+//! 3. **LF job cutting** (§III-B, AES mode only): per core, cut job tails
+//!    longest-first until the batch quality equals the target. A running
+//!    job re-enters the cut with its *original* demand; its new target is
+//!    never below what it has already processed and never above `p_j`.
+//! 4. **Hybrid power distribution** (§III-D): Equal-Sharing below the
+//!    critical load, Water-Filling above it. Core power demands are the
+//!    power at each core's Energy-OPT peak speed.
+//! 5. **Quality-OPT second cut** (§III-E): if a core's power cap cannot
+//!    execute its batch, targets are reduced by prefix-constrained
+//!    level-filling — the volume-budgeted quality maximizer.
+//! 6. **Energy-OPT execution** (§III-E): each core's final plan is the
+//!    YDS minimum-energy speed profile; the core engine runs it in EDF
+//!    order. With discrete DVFS enabled, per-core speeds are rectified to
+//!    the ladder (§IV-A-5) lowest-power-core first.
+//!
+//! The same struct also implements the best-effort family: `BE` is GE with
+//! cutting disabled and WF forced; `OQ` raises the target by 2 % and
+//! disables compensation; `BE-P`/`BE-S` are BE under a reduced budget /
+//! per-core speed cap.
+
+use ge_power::{
+    distribute_equal_sharing, distribute_water_filling, yds_schedule, PolynomialPower, PowerModel,
+    SpeedProfile, SpeedSegment, YdsJob,
+};
+use ge_quality::{lf_cut, prefix_level_fill};
+use ge_server::CrrAssigner;
+use ge_simcore::SimTime;
+
+use crate::config::{PowerPolicy, SimConfig};
+use crate::policy::{ScheduleCtx, Scheduler, TriggerSet, MODE_AES, MODE_BQ};
+
+/// Behavioural knobs selecting which member of the GE/BE family this
+/// scheduler instance is.
+#[derive(Debug, Clone)]
+pub struct GeOptions {
+    /// Label reported in results.
+    pub label: &'static str,
+    /// Apply the LF cutting policy (AES mode). `false` = best effort.
+    pub cutting: bool,
+    /// Enable the BQ compensation policy.
+    pub compensation: bool,
+    /// Added to `Q_GE` when computing the cut target (OQ uses +0.02).
+    pub target_quality_offset: f64,
+    /// Power-distribution selection.
+    pub power_policy: PowerPolicy,
+    /// Reduced total budget (BE-P); `None` = the configured budget.
+    pub budget_override_w: Option<f64>,
+    /// Per-core speed cap in GHz (BE-S); `None` = uncapped.
+    pub speed_cap_ghz: Option<f64>,
+    /// Use plain Round-Robin (cursor reset each batch) instead of C-RR —
+    /// the §III-E alternative, kept for the assignment ablation.
+    pub plain_rr: bool,
+}
+
+impl GeOptions {
+    /// The paper's GE algorithm.
+    pub fn paper() -> Self {
+        GeOptions {
+            label: "GE",
+            cutting: true,
+            compensation: true,
+            target_quality_offset: 0.0,
+            power_policy: PowerPolicy::Hybrid,
+            budget_override_w: None,
+            speed_cap_ghz: None,
+            plain_rr: false,
+        }
+    }
+
+    /// The BE (Best Effort) baseline: BQ always, WF always (§IV-A-1).
+    pub fn best_effort() -> Self {
+        GeOptions {
+            label: "BE",
+            cutting: false,
+            compensation: false,
+            target_quality_offset: 0.0,
+            power_policy: PowerPolicy::WaterFillingOnly,
+            budget_override_w: None,
+            speed_cap_ghz: None,
+            plain_rr: false,
+        }
+    }
+}
+
+/// The GE scheduler (and, via [`GeOptions`], the whole BE family).
+pub struct GeScheduler {
+    opts: GeOptions,
+    q_ge: f64,
+    critical_load_rps: f64,
+    budget_w: f64,
+    cores: usize,
+    units_per_ghz_sec: f64,
+    model: PolynomialPower,
+    discrete: Option<ge_power::DiscreteSpeedSet>,
+    crr: CrrAssigner,
+    mode: usize,
+    epochs: u64,
+}
+
+impl GeScheduler {
+    /// Creates a scheduler for the given platform configuration.
+    pub fn new(cfg: &SimConfig, opts: GeOptions) -> Self {
+        cfg.validate();
+        let budget = opts.budget_override_w.unwrap_or(cfg.budget_w);
+        assert!(budget > 0.0, "budget override must be positive");
+        GeScheduler {
+            q_ge: cfg.q_ge,
+            critical_load_rps: cfg.critical_load_rps,
+            budget_w: budget,
+            cores: cfg.cores,
+            units_per_ghz_sec: cfg.units_per_ghz_sec,
+            model: PolynomialPower::new(cfg.power_a, cfg.power_beta),
+            discrete: cfg.discrete_speeds.clone(),
+            crr: CrrAssigner::new(cfg.cores),
+            mode: if opts.cutting { MODE_AES } else { MODE_BQ },
+            epochs: 0,
+            opts,
+        }
+    }
+
+    /// Number of epochs this scheduler has run.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The effective cut target (`Q_GE` plus any OQ offset, clamped to 1).
+    fn cut_target(&self) -> f64 {
+        (self.q_ge + self.opts.target_quality_offset).min(1.0)
+    }
+
+    /// Step 2: the AES/BQ mode decision.
+    fn decide_mode(&mut self, monitored_quality: f64) {
+        if !self.opts.cutting {
+            self.mode = MODE_BQ;
+            return;
+        }
+        if !self.opts.compensation {
+            self.mode = MODE_AES;
+            return;
+        }
+        self.mode = if monitored_quality < self.q_ge {
+            MODE_BQ
+        } else {
+            MODE_AES
+        };
+    }
+
+    /// Steps 3–6 for one core: set targets, plan speeds. Returns the
+    /// core's power demand (watts at its planned peak speed) and the
+    /// uncapped plan, which [`Self::finalize_core`] later trims to the
+    /// granted cap.
+    fn plan_core_uncapped(
+        &self,
+        ctx: &mut ScheduleCtx<'_>,
+        core_idx: usize,
+    ) -> (f64, SpeedProfile) {
+        let now = ctx.now;
+        let f = ctx.quality_fn;
+        let core = ctx.server.core_mut(core_idx);
+
+        // -- Targets (LF cut in AES, full demand in BQ) ------------------
+        if self.mode == MODE_AES && self.opts.cutting {
+            let full: Vec<f64> = core.jobs().iter().map(|j| j.full_demand).collect();
+            if !full.is_empty() {
+                let cut = lf_cut(f, &full, self.cut_target());
+                for (job, &c) in core.jobs_mut().iter_mut().zip(&cut.cut_demands) {
+                    // Never below already-processed volume, never above p_j.
+                    job.target_demand = c.max(job.processed).min(job.full_demand);
+                }
+            }
+        } else {
+            for job in core.jobs_mut() {
+                job.target_demand = job.full_demand;
+            }
+        }
+
+        // -- Energy-OPT plan over remaining work -------------------------
+        let yds_jobs: Vec<YdsJob> = core
+            .jobs()
+            .iter()
+            .filter(|j| j.remaining() > 1e-9 && j.deadline.after(now))
+            .enumerate()
+            .map(|(i, j)| {
+                YdsJob::new(
+                    i,
+                    now.as_secs(),
+                    j.deadline.as_secs(),
+                    j.remaining() / self.units_per_ghz_sec,
+                )
+            })
+            .collect();
+        let plan = yds_schedule(&yds_jobs);
+        let demand_w = self.model.power(plan.peak_speed);
+        (demand_w, plan.profile)
+    }
+
+    /// Applies the granted power cap to a core: second (Quality-OPT) cut
+    /// if needed, re-plan, and install.
+    fn finalize_core(&self, ctx: &mut ScheduleCtx<'_>, core_idx: usize, cap_w: f64) {
+        let now = ctx.now;
+        let mut s_cap = self.model.speed_for_power(cap_w);
+        if let Some(cap) = self.opts.speed_cap_ghz {
+            s_cap = s_cap.min(cap);
+        }
+        let core = ctx.server.core_mut(core_idx);
+
+        // Indices of plannable jobs in deadline (EDF) order.
+        let mut order: Vec<usize> = (0..core.jobs().len())
+            .filter(|&i| {
+                let j = &core.jobs()[i];
+                j.remaining() > 1e-9 && j.deadline.after(now)
+            })
+            .collect();
+        order.sort_by(|&a, &b| {
+            let ja = &core.jobs()[a];
+            let jb = &core.jobs()[b];
+            ja.deadline.total_cmp(&jb.deadline).then(ja.id.cmp(&jb.id))
+        });
+        if order.is_empty() {
+            core.install_plan(SpeedProfile::empty(), cap_w);
+            return;
+        }
+
+        // Can the cap execute the batch? Peak feasible speed check.
+        let needs_cut = {
+            let mut cum_work = 0.0;
+            let mut peak = 0.0f64;
+            for &i in &order {
+                let j = &core.jobs()[i];
+                cum_work += j.remaining() / self.units_per_ghz_sec;
+                let window = j.deadline.saturating_since(now).as_secs().max(1e-9);
+                peak = peak.max(cum_work / window);
+            }
+            peak > s_cap + 1e-9
+        };
+
+        if needs_cut {
+            // Quality-OPT second cut: prefix-constrained level fill on the
+            // volume achievable by each deadline at the capped speed.
+            let demands: Vec<f64> = order.iter().map(|&i| core.jobs()[i].remaining()).collect();
+            let budgets: Vec<f64> = order
+                .iter()
+                .map(|&i| {
+                    let j = &core.jobs()[i];
+                    s_cap * j.deadline.saturating_since(now).as_secs() * self.units_per_ghz_sec
+                })
+                .collect();
+            let alloc = prefix_level_fill(&demands, &budgets);
+            for (&i, &a) in order.iter().zip(&alloc) {
+                let j = &mut core.jobs_mut()[i];
+                j.target_demand = (j.processed + a).min(j.full_demand);
+            }
+        }
+
+        // Final Energy-OPT plan over the (possibly twice-cut) targets.
+        let yds_jobs: Vec<YdsJob> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, &i)| core.jobs()[i].remaining() > 1e-9)
+            .map(|(k, &i)| {
+                let j = &core.jobs()[i];
+                YdsJob::new(
+                    k,
+                    now.as_secs(),
+                    j.deadline.as_secs(),
+                    j.remaining() / self.units_per_ghz_sec,
+                )
+            })
+            .collect();
+        let plan = yds_schedule(&yds_jobs);
+
+        // Clamp at the cap (numerical safety; the cut guarantees
+        // feasibility up to rounding).
+        let segments: Vec<SpeedSegment> = plan
+            .profile
+            .segments()
+            .iter()
+            .map(|s| SpeedSegment::new(s.start, s.end, s.speed_ghz.min(s_cap)))
+            .collect();
+        core.install_plan(SpeedProfile::new(segments), cap_w);
+    }
+
+    /// Rebuilds every core's plan as a single constant rectified speed
+    /// (discrete-DVFS mode, §IV-A-5).
+    fn apply_discrete(&self, ctx: &mut ScheduleCtx<'_>, caps: &[f64]) {
+        let Some(ladder) = &self.discrete else {
+            return;
+        };
+        let now = ctx.now;
+        // Chosen continuous speed per core = peak of its installed plan.
+        let chosen: Vec<f64> = (0..self.cores)
+            .map(|i| ctx.server.core(i).profile().max_speed())
+            .collect();
+        let rectified = ladder.rectify(&chosen, &self.model, self.budget_w);
+        for i in 0..self.cores {
+            let speed = rectified[i];
+            let core = ctx.server.core_mut(i);
+            let last_deadline = core
+                .jobs()
+                .iter()
+                .filter(|j| j.remaining() > 1e-9)
+                .map(|j| j.deadline)
+                .fold(now, SimTime::max);
+            let profile = if speed > 0.0 && last_deadline.after(now) {
+                SpeedProfile::constant(now, last_deadline, speed)
+            } else {
+                SpeedProfile::empty()
+            };
+            core.install_plan(profile, caps[i]);
+        }
+    }
+}
+
+impl Scheduler for GeScheduler {
+    fn name(&self) -> &str {
+        self.opts.label
+    }
+
+    fn triggers(&self) -> TriggerSet {
+        TriggerSet::batch()
+    }
+
+    fn current_mode(&self) -> usize {
+        self.mode
+    }
+
+    fn on_schedule(&mut self, ctx: &mut ScheduleCtx<'_>) {
+        self.epochs += 1;
+
+        // 1. C-RR batch assignment (or plain RR in the ablation).
+        if self.opts.plain_rr {
+            self.crr.reset();
+        }
+        let batch: Vec<_> = ctx.queue.drain(..).collect();
+        let targets = self.crr.assign_batch(batch.len());
+        for (job, &core_idx) in batch.iter().zip(&targets) {
+            ctx.server.core_mut(core_idx).assign(job);
+        }
+
+        // 2. Mode decision (compensation policy).
+        self.decide_mode(ctx.ledger.quality());
+
+        // 3–5. Per-core targets and uncapped Energy-OPT plans.
+        let mut demands = Vec::with_capacity(self.cores);
+        for i in 0..self.cores {
+            let (demand_w, _plan) = self.plan_core_uncapped(ctx, i);
+            demands.push(demand_w);
+        }
+
+        // 4. Hybrid power distribution.
+        let use_wf = match self.opts.power_policy {
+            PowerPolicy::Hybrid => ctx.load_estimate_rps >= self.critical_load_rps,
+            PowerPolicy::EqualSharingOnly => false,
+            PowerPolicy::WaterFillingOnly => true,
+        };
+        let caps = if use_wf {
+            distribute_water_filling(&demands, self.budget_w)
+        } else {
+            distribute_equal_sharing(self.cores, self.budget_w)
+        };
+
+        // 5–6. Cap-aware finalization per core.
+        for (i, &cap) in caps.iter().enumerate() {
+            self.finalize_core(ctx, i, cap);
+        }
+
+        // Discrete-DVFS rectification (optional).
+        self.apply_discrete(ctx, &caps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_quality::{ExpConcave, QualityLedger};
+    use ge_server::Server;
+    use ge_simcore::SimTime;
+    use ge_workload::{Job, JobId};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            cores: 2,
+            budget_w: 40.0, // 20 W / core = 2 GHz equal share
+            ..SimConfig::paper_default()
+        }
+    }
+
+    fn make_server(c: &SimConfig) -> Server {
+        Server::new(
+            c.cores,
+            Box::new(PolynomialPower::new(c.power_a, c.power_beta)),
+            c.budget_w,
+            c.units_per_ghz_sec,
+        )
+    }
+
+    fn ctx_parts(c: &SimConfig) -> (Server, Vec<Job>, QualityLedger, ExpConcave) {
+        (
+            make_server(c),
+            Vec::new(),
+            QualityLedger::cumulative(),
+            ExpConcave::new(c.quality_c, c.quality_xmax),
+        )
+    }
+
+    fn job(id: u64, release: f64, deadline: f64, demand: f64) -> Job {
+        Job::new(JobId(id), t(release), t(deadline), demand)
+    }
+
+    #[test]
+    fn assigns_queue_via_crr() {
+        let c = cfg();
+        let mut ge = GeScheduler::new(&c, GeOptions::paper());
+        let (mut server, mut queue, ledger, f) = ctx_parts(&c);
+        queue.push(job(0, 0.0, 0.15, 200.0));
+        queue.push(job(1, 0.0, 0.15, 200.0));
+        queue.push(job(2, 0.0, 0.15, 200.0));
+        let mut ctx = ScheduleCtx {
+            now: t(0.0),
+            server: &mut server,
+            queue: &mut queue,
+            ledger: &ledger,
+            quality_fn: &f,
+            load_estimate_rps: 10.0,
+        };
+        ge.on_schedule(&mut ctx);
+        assert!(queue.is_empty());
+        assert_eq!(server.core(0).jobs().len(), 2); // C-RR: 0,1,0
+        assert_eq!(server.core(1).jobs().len(), 1);
+    }
+
+    #[test]
+    fn aes_mode_cuts_targets() {
+        let c = cfg();
+        let mut ge = GeScheduler::new(&c, GeOptions::paper());
+        let (mut server, mut queue, ledger, f) = ctx_parts(&c);
+        queue.push(job(0, 0.0, 0.15, 900.0));
+        queue.push(job(1, 0.0, 0.15, 800.0));
+        let mut ctx = ScheduleCtx {
+            now: t(0.0),
+            server: &mut server,
+            queue: &mut queue,
+            ledger: &ledger,
+            quality_fn: &f,
+            load_estimate_rps: 10.0,
+        };
+        ge.on_schedule(&mut ctx);
+        assert_eq!(ge.current_mode(), MODE_AES);
+        // Each core got one long job; AES must have cut it below full.
+        for i in 0..2 {
+            for j in server.core(i).jobs() {
+                assert!(
+                    j.target_demand < j.full_demand - 1e-6,
+                    "job {} not cut: target {} vs full {}",
+                    j.id,
+                    j.target_demand,
+                    j.full_demand
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn be_never_cuts() {
+        let c = cfg();
+        let mut be = GeScheduler::new(&c, GeOptions::best_effort());
+        let (mut server, mut queue, ledger, f) = ctx_parts(&c);
+        // 900 units in 450 ms needs 2 GHz — within the core's power reach,
+        // so no Quality-OPT second cut can bind.
+        queue.push(job(0, 0.0, 0.45, 900.0));
+        let mut ctx = ScheduleCtx {
+            now: t(0.0),
+            server: &mut server,
+            queue: &mut queue,
+            ledger: &ledger,
+            quality_fn: &f,
+            load_estimate_rps: 500.0,
+        };
+        be.on_schedule(&mut ctx);
+        assert_eq!(be.current_mode(), MODE_BQ);
+        let j = &server.core(0).jobs()[0];
+        assert!((j.target_demand - j.full_demand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compensation_switches_to_bq_and_back() {
+        let c = cfg();
+        let mut ge = GeScheduler::new(&c, GeOptions::paper());
+        let (mut server, mut queue, mut ledger, f) = ctx_parts(&c);
+        // Degrade monitored quality below Q_GE = 0.9.
+        ledger.record(0.5, 1.0);
+        {
+            let mut ctx = ScheduleCtx {
+                now: t(0.0),
+                server: &mut server,
+                queue: &mut queue,
+                ledger: &ledger,
+                quality_fn: &f,
+                load_estimate_rps: 10.0,
+            };
+            ge.on_schedule(&mut ctx);
+        }
+        assert_eq!(ge.current_mode(), MODE_BQ, "quality 0.5 must force BQ");
+        // Recover the quality; next epoch returns to AES.
+        for _ in 0..100 {
+            ledger.record(1.0, 1.0);
+        }
+        {
+            let mut ctx = ScheduleCtx {
+                now: t(0.5),
+                server: &mut server,
+                queue: &mut queue,
+                ledger: &ledger,
+                quality_fn: &f,
+                load_estimate_rps: 10.0,
+            };
+            ge.on_schedule(&mut ctx);
+        }
+        assert_eq!(ge.current_mode(), MODE_AES);
+    }
+
+    #[test]
+    fn no_comp_stays_in_aes() {
+        let c = cfg();
+        let mut ge = GeScheduler::new(
+            &c,
+            GeOptions {
+                compensation: false,
+                ..GeOptions::paper()
+            },
+        );
+        let (mut server, mut queue, mut ledger, f) = ctx_parts(&c);
+        ledger.record(0.1, 1.0); // terrible quality
+        let mut ctx = ScheduleCtx {
+            now: t(0.0),
+            server: &mut server,
+            queue: &mut queue,
+            ledger: &ledger,
+            quality_fn: &f,
+            load_estimate_rps: 10.0,
+        };
+        ge.on_schedule(&mut ctx);
+        assert_eq!(ge.current_mode(), MODE_AES);
+    }
+
+    #[test]
+    fn hybrid_uses_es_below_critical_wf_above() {
+        let c = cfg();
+        // Asymmetric load: core 0 heavy, core 1 empty.
+        let heavy = job(0, 0.0, 0.15, 900.0);
+
+        // Light load ⇒ ES ⇒ both cores capped at H/m = 20 W.
+        let mut ge = GeScheduler::new(&c, GeOptions::paper());
+        let (mut server, mut queue, ledger, f) = ctx_parts(&c);
+        queue.push(heavy);
+        let mut ctx = ScheduleCtx {
+            now: t(0.0),
+            server: &mut server,
+            queue: &mut queue,
+            ledger: &ledger,
+            quality_fn: &f,
+            load_estimate_rps: 10.0, // « critical 154
+        };
+        ge.on_schedule(&mut ctx);
+        assert!((server.core(0).power_cap() - 20.0).abs() < 1e-9);
+        assert!((server.core(1).power_cap() - 20.0).abs() < 1e-9);
+
+        // Heavy load ⇒ WF ⇒ the loaded core gets (almost) everything it
+        // demands; the idle core keeps only surplus headroom.
+        let mut ge = GeScheduler::new(&c, GeOptions::paper());
+        let (mut server, mut queue, ledger, f) = ctx_parts(&c);
+        queue.push(job(0, 0.0, 0.15, 900.0));
+        let mut ctx = ScheduleCtx {
+            now: t(0.0),
+            server: &mut server,
+            queue: &mut queue,
+            ledger: &ledger,
+            quality_fn: &f,
+            load_estimate_rps: 500.0, // » critical
+        };
+        ge.on_schedule(&mut ctx);
+        assert!(
+            server.core(0).power_cap() > 20.0,
+            "WF should feed the loaded core, cap = {}",
+            server.core(0).power_cap()
+        );
+    }
+
+    #[test]
+    fn insufficient_cap_triggers_second_cut() {
+        let c = cfg();
+        // BE (no LF cut) with a brutal speed cap: targets must be reduced
+        // by Quality-OPT to what the cap can retire.
+        let mut be = GeScheduler::new(
+            &c,
+            GeOptions {
+                speed_cap_ghz: Some(1.0),
+                ..GeOptions::best_effort()
+            },
+        );
+        let (mut server, mut queue, ledger, f) = ctx_parts(&c);
+        // 450 units in 150 ms needs 3 GHz; the cap allows 1 GHz × 0.15 s
+        // = 150 units.
+        queue.push(job(0, 0.0, 0.15, 450.0));
+        let mut ctx = ScheduleCtx {
+            now: t(0.0),
+            server: &mut server,
+            queue: &mut queue,
+            ledger: &ledger,
+            quality_fn: &f,
+            load_estimate_rps: 500.0,
+        };
+        be.on_schedule(&mut ctx);
+        let j = &server.core(0).jobs()[0];
+        assert!(
+            (j.target_demand - 150.0).abs() < 1e-6,
+            "expected 150, got {}",
+            j.target_demand
+        );
+        // Installed plan never exceeds the cap.
+        assert!(server.core(0).profile().max_speed() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn oq_cuts_to_higher_target_than_ge() {
+        let c = cfg();
+        let run = |opts: GeOptions| {
+            let mut s = GeScheduler::new(&c, opts);
+            let (mut server, mut queue, ledger, f) = ctx_parts(&c);
+            // Wide window so the LF cut, not the power cap, sets targets.
+            queue.push(job(0, 0.0, 0.45, 900.0));
+            let mut ctx = ScheduleCtx {
+                now: t(0.0),
+                server: &mut server,
+                queue: &mut queue,
+                ledger: &ledger,
+                quality_fn: &f,
+                load_estimate_rps: 10.0,
+            };
+            s.on_schedule(&mut ctx);
+            server.core(0).jobs()[0].target_demand
+        };
+        let ge_target = run(GeOptions::paper());
+        let oq_target = run(GeOptions {
+            label: "OQ",
+            target_quality_offset: 0.02,
+            compensation: false,
+            ..GeOptions::paper()
+        });
+        assert!(
+            oq_target > ge_target,
+            "OQ ({oq_target}) must retain more work than GE ({ge_target})"
+        );
+    }
+
+    #[test]
+    fn discrete_mode_installs_ladder_speeds() {
+        let mut c = cfg();
+        c.discrete_speeds = Some(ge_power::DiscreteSpeedSet::paper_default());
+        let mut ge = GeScheduler::new(&c, GeOptions::paper());
+        let (mut server, mut queue, ledger, f) = ctx_parts(&c);
+        queue.push(job(0, 0.0, 0.15, 290.0));
+        let mut ctx = ScheduleCtx {
+            now: t(0.0),
+            server: &mut server,
+            queue: &mut queue,
+            ledger: &ledger,
+            quality_fn: &f,
+            load_estimate_rps: 10.0,
+        };
+        ge.on_schedule(&mut ctx);
+        let speed = server.core(0).profile().max_speed();
+        assert!(
+            (speed / 0.5 - (speed / 0.5).round()).abs() < 1e-9,
+            "speed {speed} is not on the 0.5 GHz ladder"
+        );
+    }
+
+    #[test]
+    fn targets_never_below_processed() {
+        let c = cfg();
+        let mut ge = GeScheduler::new(&c, GeOptions::paper());
+        let (mut server, mut queue, ledger, f) = ctx_parts(&c);
+        // Pre-plant a job that already processed 600 of 900 units.
+        server.core_mut(0).assign(&job(0, 0.0, 0.15, 900.0));
+        server.core_mut(0).jobs_mut()[0].processed = 600.0;
+        let mut ctx = ScheduleCtx {
+            now: t(0.01),
+            server: &mut server,
+            queue: &mut queue,
+            ledger: &ledger,
+            quality_fn: &f,
+            load_estimate_rps: 10.0,
+        };
+        ge.on_schedule(&mut ctx);
+        let j = &server.core(0).jobs()[0];
+        assert!(j.target_demand >= 600.0 - 1e-9);
+        assert!(j.target_demand <= 900.0 + 1e-9);
+    }
+
+    #[test]
+    fn epoch_counter_advances() {
+        let c = cfg();
+        let mut ge = GeScheduler::new(&c, GeOptions::paper());
+        let (mut server, mut queue, ledger, f) = ctx_parts(&c);
+        for e in 0..3 {
+            let mut ctx = ScheduleCtx {
+                now: t(e as f64 * 0.5),
+                server: &mut server,
+                queue: &mut queue,
+                ledger: &ledger,
+                quality_fn: &f,
+                load_estimate_rps: 10.0,
+            };
+            ge.on_schedule(&mut ctx);
+        }
+        assert_eq!(ge.epochs(), 3);
+    }
+}

@@ -1,0 +1,297 @@
+//! Ablation studies beyond the paper's figures.
+//!
+//! The paper flags several design choices without evaluating them; these
+//! experiments fill the gaps:
+//!
+//! * [`critical_load_sensitivity`] — §III-D notes "the performance of the
+//!   algorithm can be sensitive to the threshold" separating light from
+//!   heavy load. We sweep the threshold around the published 154 req/s.
+//! * [`hybrid_vs_pure`] — the hybrid ES/WF policy against always-ES and
+//!   always-WF, the direct justification for §III-D's design.
+//! * [`ledger_window`] — the compensation monitor's history: the paper's
+//!   cumulative "overall quality" vs sliding windows, which make the
+//!   monitor react to *recent* user experience instead of the whole past.
+//! * [`trigger_sensitivity`] — the §III-E trigger constants (500 ms
+//!   quantum, counter 8): how robust are quality and energy to them?
+//! * [`assignment_policy`] — Cumulative Round-Robin vs plain RR, the
+//!   §III-E choice the paper justifies only informally; measured through
+//!   quality, energy, and the per-core energy balance (CV).
+//! * [`burstiness`] — GE under two-state MMPP traffic at the same mean
+//!   rate: how well does the compensation policy absorb bursts the
+//!   Poisson evaluation never produces?
+
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::{Algorithm, SimConfig};
+use ge_metrics::Table;
+use ge_quality::LedgerMode;
+use ge_simcore::SimDuration;
+
+/// Sweeps the hybrid policy's critical-load threshold.
+pub fn critical_load_sensitivity(scale: &Scale) -> Vec<Table> {
+    let thresholds = [100.0, 130.0, 154.0, 180.0, 220.0];
+    let variants: Vec<Variant> = thresholds
+        .iter()
+        .map(|&t| Variant {
+            label: format!("critical={t:.0}"),
+            sim: SimConfig {
+                critical_load_rps: t,
+                horizon: scale.horizon(),
+                ..SimConfig::paper_default()
+            },
+            algorithm: Algorithm::Ge,
+            random_windows: false,
+        })
+        .collect();
+    let grid = Grid::run(scale, &scale.rates, &variants);
+    vec![
+        grid.quality_table("Ablation A1a: GE quality vs critical-load threshold"),
+        grid.energy_table("Ablation A1b: GE energy (J) vs critical-load threshold"),
+    ]
+}
+
+/// The hybrid power policy against its two pure components.
+pub fn hybrid_vs_pure(scale: &Scale) -> Vec<Table> {
+    let mut hybrid = Variant::plain(Algorithm::Ge, scale);
+    hybrid.label = "Hybrid".to_string();
+    let mut es = Variant::plain(Algorithm::GeEsOnly, scale);
+    es.label = "ES-only".to_string();
+    let mut wf = Variant::plain(Algorithm::GeWfOnly, scale);
+    wf.label = "WF-only".to_string();
+    let grid = Grid::run(scale, &scale.rates, &[hybrid, es, wf]);
+    vec![
+        grid.quality_table("Ablation A2a: GE quality, hybrid vs pure power policies"),
+        grid.energy_table("Ablation A2b: GE energy (J), hybrid vs pure power policies"),
+    ]
+}
+
+/// Cumulative vs sliding-window quality monitoring for the compensation
+/// policy.
+pub fn ledger_window(scale: &Scale) -> Vec<Table> {
+    let modes: [(String, LedgerMode); 3] = [
+        ("cumulative".to_string(), LedgerMode::Cumulative),
+        ("window=1000".to_string(), LedgerMode::SlidingWindow(1000)),
+        ("window=100".to_string(), LedgerMode::SlidingWindow(100)),
+    ];
+    let variants: Vec<Variant> = modes
+        .into_iter()
+        .map(|(label, mode)| Variant {
+            label,
+            sim: SimConfig {
+                ledger_mode: mode,
+                horizon: scale.horizon(),
+                ..SimConfig::paper_default()
+            },
+            algorithm: Algorithm::Ge,
+            random_windows: false,
+        })
+        .collect();
+    let grid = Grid::run(scale, &scale.rates, &variants);
+    vec![
+        grid.quality_table("Ablation A3a: GE quality vs quality-monitor history"),
+        grid.energy_table("Ablation A3b: GE energy (J) vs quality-monitor history"),
+    ]
+}
+
+/// Sensitivity to the scheduling-trigger constants.
+pub fn trigger_sensitivity(scale: &Scale) -> Vec<Table> {
+    let settings = [
+        ("q=100ms,n=8", 100.0, 8usize),
+        ("q=500ms,n=8", 500.0, 8),
+        ("q=1000ms,n=8", 1000.0, 8),
+        ("q=500ms,n=4", 500.0, 4),
+        ("q=500ms,n=16", 500.0, 16),
+    ];
+    let variants: Vec<Variant> = settings
+        .iter()
+        .map(|&(label, quantum_ms, counter)| Variant {
+            label: label.to_string(),
+            sim: SimConfig {
+                quantum: SimDuration::from_millis(quantum_ms),
+                counter_trigger: counter,
+                horizon: scale.horizon(),
+                ..SimConfig::paper_default()
+            },
+            algorithm: Algorithm::Ge,
+            random_windows: false,
+        })
+        .collect();
+    let grid = Grid::run(scale, &scale.rates, &variants);
+    vec![
+        grid.quality_table("Ablation A4a: GE quality vs trigger constants"),
+        grid.energy_table("Ablation A4b: GE energy (J) vs trigger constants"),
+    ]
+}
+
+/// C-RR vs plain RR batch assignment.
+pub fn assignment_policy(scale: &Scale) -> Vec<Table> {
+    let mut crr = Variant::plain(Algorithm::Ge, scale);
+    crr.label = "C-RR".to_string();
+    let mut rr = Variant::plain(Algorithm::GeRr, scale);
+    rr.label = "plain-RR".to_string();
+    let grid = Grid::run(scale, &scale.rates, &[crr, rr]);
+    vec![
+        grid.quality_table("Ablation A5a: GE quality, C-RR vs plain RR assignment"),
+        grid.energy_table("Ablation A5b: GE energy (J), C-RR vs plain RR assignment"),
+        grid.table(
+            "Ablation A5c: per-core energy imbalance (CV), C-RR vs plain RR",
+            |r| r.core_energy_cv,
+            4,
+        ),
+    ]
+}
+
+/// GE under bursty (MMPP) traffic at the same mean rate.
+pub fn burstiness(scale: &Scale) -> Vec<Table> {
+    use crate::sweep::{average_results, sweep, Cell};
+    use ge_workload::{BurstModulation, WorkloadConfig};
+
+    let levels = [0.0, 0.3, 0.6, 0.9];
+    let dwell = 2.0;
+    let mut cells = Vec::new();
+    for &rate in &scale.rates {
+        for &b in &levels {
+            for rep in 0..scale.replications {
+                let burst = if b > 0.0 {
+                    Some(BurstModulation::new(b, dwell))
+                } else {
+                    None
+                };
+                cells.push(Cell {
+                    sim: SimConfig {
+                        horizon: scale.horizon(),
+                        ..SimConfig::paper_default()
+                    },
+                    workload: WorkloadConfig {
+                        horizon: scale.horizon(),
+                        burst,
+                        ..WorkloadConfig::paper_default(rate)
+                    },
+                    algorithm: Algorithm::Ge,
+                    seed: scale.root_seed + rep,
+                });
+            }
+        }
+    }
+    let flat = sweep(&cells);
+    let reps = scale.replications as usize;
+
+    let mut columns = vec!["arrival_rate".to_string()];
+    columns.extend(levels.iter().map(|b| format!("b={b}")));
+    let mut qt = Table::new(
+        "Ablation A6a: GE quality under MMPP burstiness (dwell 2 s)",
+        columns.clone(),
+    );
+    let mut et = Table::new(
+        "Ablation A6b: GE energy (J) under MMPP burstiness (dwell 2 s)",
+        columns,
+    );
+    let mut idx = 0;
+    for &rate in &scale.rates {
+        let mut qrow = vec![rate];
+        let mut erow = vec![rate];
+        for _ in &levels {
+            let avg = average_results(&flat[idx..idx + reps]);
+            idx += reps;
+            qrow.push(avg.quality);
+            erow.push(avg.energy_j);
+        }
+        qt.push_numeric_row(&qrow, 4);
+        et.push_numeric_row(&erow, 1);
+    }
+    vec![qt, et]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            horizon_secs: 5.0,
+            replications: 1,
+            rates: vec![150.0],
+            root_seed: 0xAB1,
+        }
+    }
+
+    #[test]
+    fn all_ablations_produce_tables() {
+        for (name, tables) in [
+            ("A1", critical_load_sensitivity(&tiny())),
+            ("A2", hybrid_vs_pure(&tiny())),
+            ("A3", ledger_window(&tiny())),
+            ("A4", trigger_sensitivity(&tiny())),
+            ("A6", burstiness(&tiny())),
+        ] {
+            assert_eq!(tables.len(), 2, "{name}");
+            for t in &tables {
+                assert!(t.row_count() > 0, "{name}: {}", t.title());
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_ablation_has_three_tables() {
+        let tables = assignment_policy(&tiny());
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert!(t.row_count() > 0);
+        }
+    }
+
+    #[test]
+    fn burstiness_hurts_quality_under_load() {
+        let scale = Scale {
+            horizon_secs: 20.0,
+            replications: 1,
+            rates: vec![170.0],
+            root_seed: 0xAB7,
+        };
+        let tables = burstiness(&scale);
+        let csv = tables[0].to_csv();
+        let row: Vec<f64> = csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .map(|v| v.parse().unwrap())
+            .collect();
+        // Column 1 = b=0 (Poisson), column 4 = b=0.9.
+        assert!(
+            row[1] >= row[4] - 0.02,
+            "heavy bursts should not *improve* quality: {} vs {}",
+            row[1],
+            row[4]
+        );
+    }
+
+    #[test]
+    fn hybrid_quality_not_worse_than_both_pures() {
+        let scale = Scale {
+            horizon_secs: 15.0,
+            replications: 1,
+            rates: vec![150.0],
+            root_seed: 0xAB2,
+        };
+        let mut hybrid = Variant::plain(Algorithm::Ge, &scale);
+        hybrid.label = "Hybrid".into();
+        let mut es = Variant::plain(Algorithm::GeEsOnly, &scale);
+        es.label = "ES".into();
+        let mut wf = Variant::plain(Algorithm::GeWfOnly, &scale);
+        wf.label = "WF".into();
+        let grid = Grid::run(&scale, &scale.rates.clone(), &[hybrid, es, wf]);
+        let h = &grid.results[0][0];
+        let e = &grid.results[0][1];
+        let w = &grid.results[0][2];
+        // The hybrid should be within noise of the better pure policy on
+        // quality and not the worst on energy.
+        let best_pure_q = e.quality.max(w.quality);
+        assert!(
+            h.quality >= best_pure_q - 0.03,
+            "hybrid quality {} vs best pure {}",
+            h.quality,
+            best_pure_q
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Clairvoyant energy lower bound — how close does GE get?
+//!
+//! Not in the paper, but the natural question it raises: GE saves ~20–30 %
+//! against best effort, but how much headroom is left? We compute a
+//! *clairvoyant Jensen bound*: any schedule that delivers aggregate
+//! quality `Q_GE` must retire at least the volume `V*` of the globally
+//! optimal (whole-trace) LF cut — the minimum-work allocation achieving
+//! that quality (see `ge_quality::cut`). By convexity of `P = a·s^β`
+//! (Jensen's inequality), retiring `V*` units over the active span `T` on
+//! `m` cores costs at least
+//!
+//! ```text
+//! E ≥ m · T · a · (V* / (m · T · κ))^β        (κ = units per GHz-second)
+//! ```
+//!
+//! — the energy of an imaginary scheduler that knows the whole future and
+//! spreads work perfectly evenly over all cores and all time, with no
+//! deadlines. Real schedules must respect 150 ms windows and causality,
+//! so the bound is loose; the ratio `GE / bound` reported here brackets
+//! how much any future algorithm could still save.
+//!
+//! The bound conditions on *achieving* `Q_GE`. Past the overload point no
+//! schedule achieves it (the required volume exceeds what the budget can
+//! retire), so rows where GE's measured quality is below target report a
+//! ratio below 1 — there the bound is counterfactual, not violated. The
+//! table carries GE's quality so those rows are self-identifying.
+
+use crate::scale::Scale;
+use crate::sweep::{run_cell, Cell};
+use ge_core::{clairvoyant_plan, Algorithm, SimConfig};
+use ge_simcore::SimTime;
+use ge_metrics::Table;
+use ge_quality::{lf_cut, ExpConcave};
+use ge_workload::{Trace, WorkloadConfig, WorkloadGenerator};
+
+/// The clairvoyant Jensen lower bound (joules) on the energy of *any*
+/// schedule achieving aggregate quality `q_ge` on this trace under the
+/// platform in `cfg`.
+pub fn jensen_lower_bound(cfg: &SimConfig, trace: &Trace, q_ge: f64) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let f = ExpConcave::new(cfg.quality_c, cfg.quality_xmax);
+    let demands: Vec<f64> = trace.jobs().iter().map(|j| j.demand).collect();
+    // Minimum retained volume achieving q_ge (global LF cut is
+    // work-minimal for a common concave quality function).
+    let v_star: f64 = lf_cut(&f, &demands, q_ge).cut_demands.iter().sum();
+
+    let start = trace.jobs()[0].release;
+    let end = trace.last_deadline();
+    let span = end.saturating_since(start).as_secs();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let m = cfg.cores as f64;
+    let speed = v_star / (m * span * cfg.units_per_ghz_sec);
+    m * span * cfg.power_a * speed.powf(cfg.power_beta)
+}
+
+/// The price of online play: GE vs the clairvoyant offline planner
+/// ([`ge_core::clairvoyant_plan`]) on the same traces. The horizon is
+/// capped at 60 s — whole-horizon YDS over tens of thousands of jobs is
+/// polynomially expensive — which is plenty to estimate the ratio.
+pub fn clairvoyant_table(scale: &Scale) -> Table {
+    let horizon = SimTime::from_secs(scale.horizon_secs.min(60.0));
+    let mut t = Table::with_headers(
+        "Bounds: price of online play — GE vs clairvoyant hindsight (60 s horizon)",
+        &[
+            "arrival_rate",
+            "ge_energy_j",
+            "clairvoyant_j",
+            "online_ratio",
+            "clair_peak_w",
+        ],
+    );
+    for &rate in &scale.rates {
+        let cfg = SimConfig {
+            horizon,
+            ..SimConfig::paper_default()
+        };
+        let wc = WorkloadConfig {
+            horizon,
+            ..WorkloadConfig::paper_default(rate)
+        };
+        let trace = WorkloadGenerator::new(wc.clone(), scale.root_seed).generate();
+        let plan = clairvoyant_plan(&cfg, &trace);
+        let ge = run_cell(&Cell {
+            sim: cfg,
+            workload: wc,
+            algorithm: Algorithm::Ge,
+            seed: scale.root_seed,
+        });
+        let ratio = if plan.energy_j > 0.0 {
+            ge.energy_j / plan.energy_j
+        } else {
+            0.0
+        };
+        t.push_numeric_row(
+            &[rate, ge.energy_j, plan.energy_j, ratio, plan.peak_power_w],
+            2,
+        );
+    }
+    t
+}
+
+/// Runs GE across the rate sweep and tabulates measured energy against
+/// the clairvoyant bound.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let mut t = Table::with_headers(
+        "Bounds: GE energy vs clairvoyant Jensen lower bound",
+        &["arrival_rate", "ge_quality", "ge_energy_j", "lower_bound_j", "ratio"],
+    );
+    for &rate in &scale.rates {
+        let cfg = SimConfig {
+            horizon: scale.horizon(),
+            ..SimConfig::paper_default()
+        };
+        let wc = WorkloadConfig {
+            horizon: scale.horizon(),
+            ..WorkloadConfig::paper_default(rate)
+        };
+        let trace = WorkloadGenerator::new(wc.clone(), scale.root_seed).generate();
+        let bound = jensen_lower_bound(&cfg, &trace, cfg.q_ge);
+        let ge = run_cell(&Cell {
+            sim: cfg,
+            workload: wc,
+            algorithm: Algorithm::Ge,
+            seed: scale.root_seed,
+        });
+        let ratio = if bound > 0.0 { ge.energy_j / bound } else { 0.0 };
+        t.push_numeric_row(&[rate, ge.quality, ge.energy_j, bound, ratio], 2);
+    }
+    vec![t, clairvoyant_table(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_simcore::SimTime;
+
+    fn small_scale() -> Scale {
+        Scale {
+            horizon_secs: 15.0,
+            replications: 1,
+            rates: vec![120.0],
+            root_seed: 0xB0,
+        }
+    }
+
+    #[test]
+    fn bound_never_exceeds_any_real_quality_meeting_run() {
+        let scale = small_scale();
+        let cfg = SimConfig {
+            horizon: SimTime::from_secs(scale.horizon_secs),
+            ..SimConfig::paper_default()
+        };
+        let wc = WorkloadConfig {
+            horizon: SimTime::from_secs(scale.horizon_secs),
+            ..WorkloadConfig::paper_default(120.0)
+        };
+        let trace = WorkloadGenerator::new(wc.clone(), 1).generate();
+        let bound = jensen_lower_bound(&cfg, &trace, cfg.q_ge);
+        assert!(bound > 0.0);
+        for alg in [Algorithm::Ge, Algorithm::Be] {
+            let r = run_cell(&Cell {
+                sim: cfg.clone(),
+                workload: wc.clone(),
+                algorithm: alg,
+                seed: 1,
+            });
+            // Both meet Q_GE at this light load, so both must sit above
+            // the bound.
+            assert!(r.quality >= cfg.q_ge - 0.01);
+            assert!(
+                r.energy_j >= bound,
+                "{}: energy {} below the lower bound {}",
+                r.algorithm,
+                r.energy_j,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_bound_is_zero() {
+        let cfg = SimConfig::paper_default();
+        assert_eq!(jensen_lower_bound(&cfg, &Trace::default(), 0.9), 0.0);
+    }
+
+    #[test]
+    fn bound_increases_with_quality_target() {
+        let cfg = SimConfig::paper_default();
+        let wc = WorkloadConfig {
+            horizon: SimTime::from_secs(10.0),
+            ..WorkloadConfig::paper_default(150.0)
+        };
+        let trace = WorkloadGenerator::new(wc, 2).generate();
+        let lo = jensen_lower_bound(&cfg, &trace, 0.5);
+        let hi = jensen_lower_bound(&cfg, &trace, 0.95);
+        assert!(hi > lo, "bound must grow with the quality target");
+    }
+
+    #[test]
+    fn clairvoyant_between_bound_and_ge() {
+        let scale = small_scale();
+        let cfg = SimConfig {
+            horizon: SimTime::from_secs(scale.horizon_secs),
+            ..SimConfig::paper_default()
+        };
+        let wc = WorkloadConfig {
+            horizon: SimTime::from_secs(scale.horizon_secs),
+            ..WorkloadConfig::paper_default(120.0)
+        };
+        let trace = WorkloadGenerator::new(wc.clone(), scale.root_seed).generate();
+        let jensen = jensen_lower_bound(&cfg, &trace, cfg.q_ge);
+        let plan = clairvoyant_plan(&cfg, &trace);
+        let ge = run_cell(&Cell {
+            sim: cfg,
+            workload: wc,
+            algorithm: Algorithm::Ge,
+            seed: scale.root_seed,
+        });
+        assert!(
+            jensen <= plan.energy_j + 1e-6,
+            "Jensen {jensen} must lower-bound clairvoyant {}",
+            plan.energy_j
+        );
+        assert!(
+            plan.energy_j <= ge.energy_j + 1e-6,
+            "clairvoyant {} must not exceed online GE {}",
+            plan.energy_j,
+            ge.energy_j
+        );
+    }
+
+    #[test]
+    fn table_output() {
+        let tables = run(&small_scale());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].row_count(), 1);
+        // The ratio column exists and exceeds 1 (GE can't beat the bound).
+        let csv = tables[0].to_csv();
+        let last = csv.lines().last().unwrap();
+        let ratio: f64 = last.split(',').nth(4).unwrap().parse().unwrap();
+        assert!(ratio >= 1.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline calibration for the control-policy baselines (paper §IV-F).
+//!
+//! * **BE-P** (power control) "employs the least power budget which can
+//!   complete the quality guarantee of the jobs".
+//! * **BE-S** (speed control) "applies the minimum speed which can
+//!   complete the quality guarantee".
+//!
+//! The paper does not publish the calibrated constants, so we recover them
+//! the way the definitions prescribe: bisect the control knob (total
+//! budget, or per-core speed cap) for the smallest value whose BE run
+//! meets `Q_GE` at a reference arrival rate. Quality is monotone
+//! non-decreasing in either knob (more power / more speed never hurts BE),
+//! which makes bisection sound.
+
+use crate::sweep::{run_cell, Cell};
+use ge_core::{Algorithm, SimConfig};
+use ge_workload::WorkloadConfig;
+
+/// Quality of a BE-P run at `budget_w`.
+fn bep_quality(cfg: &SimConfig, wc: &WorkloadConfig, seed: u64, budget_w: f64) -> f64 {
+    run_cell(&Cell {
+        sim: cfg.clone(),
+        workload: wc.clone(),
+        algorithm: Algorithm::BeP { budget_w },
+        seed,
+    })
+    .quality
+}
+
+/// Quality of a BE-S run at `speed_cap_ghz`.
+fn bes_quality(cfg: &SimConfig, wc: &WorkloadConfig, seed: u64, cap: f64) -> f64 {
+    run_cell(&Cell {
+        sim: cfg.clone(),
+        workload: wc.clone(),
+        algorithm: Algorithm::BeS { speed_cap_ghz: cap },
+        seed,
+    })
+    .quality
+}
+
+/// Finds the least total power budget (watts) for which BE meets `Q_GE`
+/// on the given reference workload. Returns the full budget if even that
+/// cannot meet the target (overload).
+pub fn calibrate_bep_budget(cfg: &SimConfig, reference: &WorkloadConfig, seed: u64) -> f64 {
+    let hi_quality = bep_quality(cfg, reference, seed, cfg.budget_w);
+    if hi_quality < cfg.q_ge {
+        return cfg.budget_w;
+    }
+    let (mut lo, mut hi) = (0.0, cfg.budget_w);
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= 0.0 {
+            break;
+        }
+        if bep_quality(cfg, reference, seed, mid) >= cfg.q_ge {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Finds the least per-core speed cap (GHz) for which BE meets `Q_GE` on
+/// the given reference workload. The search ceiling is the speed a single
+/// core could reach on the whole budget.
+pub fn calibrate_bes_speed(cfg: &SimConfig, reference: &WorkloadConfig, seed: u64) -> f64 {
+    let ceiling = (cfg.budget_w / cfg.power_a).powf(1.0 / cfg.power_beta);
+    let hi_quality = bes_quality(cfg, reference, seed, ceiling);
+    if hi_quality < cfg.q_ge {
+        return ceiling;
+    }
+    let (mut lo, mut hi) = (0.0, ceiling);
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= 0.0 {
+            break;
+        }
+        if bes_quality(cfg, reference, seed, mid) >= cfg.q_ge {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_simcore::SimTime;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            horizon: SimTime::from_secs(15.0),
+            ..SimConfig::paper_default()
+        }
+    }
+
+    fn quick_wc(rate: f64) -> WorkloadConfig {
+        WorkloadConfig {
+            horizon: SimTime::from_secs(15.0),
+            ..WorkloadConfig::paper_default(rate)
+        }
+    }
+
+    #[test]
+    fn bep_calibration_meets_target_with_less_than_full_budget() {
+        let cfg = quick_cfg();
+        let wc = quick_wc(120.0);
+        let budget = calibrate_bep_budget(&cfg, &wc, 7);
+        assert!(budget > 0.0 && budget <= cfg.budget_w);
+        // At light load the calibrated budget should be well below 320 W.
+        assert!(
+            budget < cfg.budget_w,
+            "light load must not need the full budget, got {budget}"
+        );
+        let q = bep_quality(&cfg, &wc, 7, budget);
+        assert!(q >= cfg.q_ge - 1e-9, "calibrated budget misses Q_GE: {q}");
+    }
+
+    #[test]
+    fn bes_calibration_meets_target() {
+        let cfg = quick_cfg();
+        let wc = quick_wc(120.0);
+        let cap = calibrate_bes_speed(&cfg, &wc, 7);
+        assert!(cap > 0.0);
+        let q = bes_quality(&cfg, &wc, 7, cap);
+        assert!(q >= cfg.q_ge - 1e-9, "calibrated cap misses Q_GE: {q}");
+    }
+}

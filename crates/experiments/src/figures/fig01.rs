@@ -1,0 +1,59 @@
+//! Fig. 1 — "The execution time percentage of the AES mode."
+//!
+//! GE's energy savings hinge on spending most of the run in AES. The
+//! paper's Fig. 1 plots the AES residency fraction against arrival rate:
+//! near-total at light load, collapsing as the system approaches overload
+//! (the compensation policy keeps forcing BQ to defend `Q_GE`).
+
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::Algorithm;
+use ge_metrics::Table;
+
+/// Runs the experiment; returns one table (AES fraction vs rate).
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let variants = vec![Variant::plain(Algorithm::Ge, scale)];
+    let grid = Grid::run(scale, &scale.rates, &variants);
+    vec![grid.table(
+        "Fig 1: AES-mode residency of GE vs arrival rate",
+        |r| r.aes_fraction,
+        4,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_residency_declines_with_load() {
+        let scale = Scale {
+            horizon_secs: 20.0,
+            replications: 1,
+            rates: vec![100.0, 250.0],
+            root_seed: 3,
+        };
+        let variants = vec![Variant::plain(Algorithm::Ge, &scale)];
+        let grid = Grid::run(&scale, &scale.rates.clone(), &variants);
+        let light = grid.results[0][0].aes_fraction;
+        let heavy = grid.results[1][0].aes_fraction;
+        assert!(
+            light > heavy,
+            "AES residency should fall with load: light={light} heavy={heavy}"
+        );
+        assert!(light > 0.5, "light load should be mostly AES: {light}");
+    }
+
+    #[test]
+    fn produces_one_table() {
+        let scale = Scale {
+            horizon_secs: 5.0,
+            replications: 1,
+            rates: vec![150.0],
+            root_seed: 3,
+        };
+        let tables = run(&scale);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].row_count(), 1);
+    }
+}

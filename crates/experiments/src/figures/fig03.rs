@@ -1,0 +1,71 @@
+//! Fig. 3 — "Quality and energy comparison of different scheduling
+//! algorithms" (fixed 150 ms response windows).
+//!
+//! Six algorithms: GE, OQ, BE, FCFS, LJF, SJF. Expected shapes (paper
+//! §IV-C): GE holds ≈ `Q_GE` until overload with the least energy among
+//! quality-satisfying algorithms (up to 23.9 % below BE); LJF/SJF have the
+//! worst quality; SJF's energy *falls* with load as it discards long jobs.
+
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::Algorithm;
+use ge_metrics::Table;
+
+/// Runs the experiment; returns the quality (3a) and energy (3b) tables.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let grid = grid(scale);
+    vec![
+        grid.quality_table("Fig 3a: service quality vs arrival rate (fixed windows)"),
+        grid.energy_table("Fig 3b: energy consumption (J) vs arrival rate (fixed windows)"),
+    ]
+}
+
+/// The underlying grid (exposed for integration tests and benches).
+pub fn grid(scale: &Scale) -> Grid {
+    let variants: Vec<Variant> = Algorithm::fig3_set()
+        .into_iter()
+        .map(|a| Variant::plain(a, scale))
+        .collect();
+    Grid::run(scale, &scale.rates, &variants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ge_saves_energy_and_holds_quality() {
+        let scale = Scale {
+            horizon_secs: 20.0,
+            replications: 1,
+            rates: vec![150.0],
+            root_seed: 5,
+        };
+        let g = grid(&scale);
+        let by_label = |label: &str| {
+            let i = g.labels.iter().position(|l| l == label).unwrap();
+            &g.results[0][i]
+        };
+        let ge = by_label("GE");
+        let be = by_label("BE");
+        assert!(ge.quality > 0.85, "GE quality {}", ge.quality);
+        assert!(be.quality > ge.quality - 0.02);
+        assert!(
+            ge.energy_j < be.energy_j,
+            "GE {} vs BE {}",
+            ge.energy_j,
+            be.energy_j
+        );
+    }
+
+    #[test]
+    fn two_tables() {
+        let scale = Scale {
+            horizon_secs: 5.0,
+            replications: 1,
+            rates: vec![150.0],
+            root_seed: 5,
+        };
+        assert_eq!(run(&scale).len(), 2);
+    }
+}

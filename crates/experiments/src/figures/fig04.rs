@@ -1,0 +1,61 @@
+//! Fig. 4 — quality and energy with *random* deadline windows
+//! (150–500 ms), adding FDFS.
+//!
+//! With non-agreeable deadlines FCFS collapses (early-arrival jobs may
+//! have late deadlines, displacing urgent ones) while FDFS — which follows
+//! deadline order — is the best of the simple queue policies (paper
+//! §IV-C, Fig. 4).
+
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::Algorithm;
+use ge_metrics::Table;
+
+/// Runs the experiment; returns the quality (4a) and energy (4b) tables.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let grid = grid(scale);
+    vec![
+        grid.quality_table("Fig 4a: service quality vs arrival rate (random windows)"),
+        grid.energy_table("Fig 4b: energy consumption (J) vs arrival rate (random windows)"),
+    ]
+}
+
+/// The underlying grid.
+pub fn grid(scale: &Scale) -> Grid {
+    let variants: Vec<Variant> = Algorithm::fig4_set()
+        .into_iter()
+        .map(|a| Variant {
+            random_windows: true,
+            ..Variant::plain(a, scale)
+        })
+        .collect();
+    Grid::run(scale, &scale.rates, &variants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdfs_beats_fcfs_with_random_windows() {
+        let scale = Scale {
+            horizon_secs: 20.0,
+            replications: 1,
+            rates: vec![220.0],
+            root_seed: 11,
+        };
+        let g = grid(&scale);
+        let by_label = |label: &str| {
+            let i = g.labels.iter().position(|l| l == label).unwrap();
+            &g.results[0][i]
+        };
+        let fdfs = by_label("FDFS");
+        let fcfs = by_label("FCFS");
+        assert!(
+            fdfs.quality >= fcfs.quality,
+            "FDFS ({}) should not lose to FCFS ({}) under random windows",
+            fdfs.quality,
+            fcfs.quality
+        );
+    }
+}

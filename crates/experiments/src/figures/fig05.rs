@@ -1,0 +1,52 @@
+//! Fig. 5 — the compensation-policy ablation.
+//!
+//! GE with compensation holds `Q_GE` (at slightly higher energy); GE
+//! without it (never leaves AES) lets quality sag below the target as load
+//! grows (paper §IV-D).
+
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::Algorithm;
+use ge_metrics::Table;
+
+/// Runs the experiment; returns the quality (5a) and energy (5b) tables.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let grid = grid(scale);
+    vec![
+        grid.quality_table("Fig 5a: service quality with/without compensation"),
+        grid.energy_table("Fig 5b: energy consumption (J) with/without compensation"),
+    ]
+}
+
+/// The underlying grid.
+pub fn grid(scale: &Scale) -> Grid {
+    let mut comp = Variant::plain(Algorithm::Ge, scale);
+    comp.label = "Compensation".to_string();
+    let mut nocomp = Variant::plain(Algorithm::GeNoComp, scale);
+    nocomp.label = "No-Compensation".to_string();
+    Grid::run(scale, &scale.rates, &[comp, nocomp])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compensation_lifts_quality_at_cost_of_energy() {
+        let scale = Scale {
+            horizon_secs: 20.0,
+            replications: 1,
+            rates: vec![190.0],
+            root_seed: 13,
+        };
+        let g = grid(&scale);
+        let comp = &g.results[0][0];
+        let nocomp = &g.results[0][1];
+        assert!(
+            comp.quality >= nocomp.quality - 1e-9,
+            "compensation must not lower quality: {} vs {}",
+            comp.quality,
+            nocomp.quality
+        );
+    }
+}

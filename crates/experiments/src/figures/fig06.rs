@@ -1,0 +1,65 @@
+//! Fig. 6 — "The speed variation with different power distribution
+//! policies": mean core speed (6a) and cross-core speed variance (6b) for
+//! Water-Filling vs Equal-Sharing.
+//!
+//! The paper's §IV-E observation: under light load WF and ES have nearly
+//! the same mean speed but WF has much larger speed variance (the
+//! core-speed-thrashing signature); under heavy load WF's mean and
+//! variance both exceed ES's, which is why WF achieves better quality
+//! there.
+
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::Algorithm;
+use ge_metrics::Table;
+
+/// Runs the experiment; returns the mean-speed (6a) and speed-variance
+/// (6b) tables.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let grid = grid(scale);
+    vec![
+        grid.table(
+            "Fig 6a: time-weighted mean core speed (GHz) vs arrival rate",
+            |r| r.mean_speed_ghz,
+            4,
+        ),
+        grid.table(
+            "Fig 6b: cross-core speed variance (GHz^2) vs arrival rate",
+            |r| r.speed_variance,
+            4,
+        ),
+    ]
+}
+
+/// The underlying grid (WF first, ES second — the paper's legend order).
+pub fn grid(scale: &Scale) -> Grid {
+    let mut wf = Variant::plain(Algorithm::GeWfOnly, scale);
+    wf.label = "Water-Filling".to_string();
+    let mut es = Variant::plain(Algorithm::GeEsOnly, scale);
+    es.label = "Equal-Sharing".to_string();
+    Grid::run(scale, &scale.rates, &[wf, es])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wf_has_higher_speed_variance() {
+        let scale = Scale {
+            horizon_secs: 20.0,
+            replications: 1,
+            rates: vec![120.0],
+            root_seed: 17,
+        };
+        let g = grid(&scale);
+        let wf = &g.results[0][0];
+        let es = &g.results[0][1];
+        assert!(
+            wf.speed_variance >= es.speed_variance,
+            "WF variance {} should be at least ES variance {}",
+            wf.speed_variance,
+            es.speed_variance
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 7 — quality and energy under Water-Filling vs Equal-Sharing.
+//!
+//! Paper §IV-E: at light load ES matches WF's quality while consuming
+//! less energy (no speed thrashing); past the light-load point WF's
+//! ability to concentrate the budget wins on quality. This is exactly the
+//! motivation for GE's hybrid policy. The paper plots this figure from
+//! the heavier half of the sweep.
+
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::Algorithm;
+use ge_metrics::Table;
+
+/// Runs the experiment; returns the quality (7a) and energy (7b) tables.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let grid = grid(scale);
+    vec![
+        grid.quality_table("Fig 7a: service quality, WF vs ES"),
+        grid.energy_table("Fig 7b: energy consumption (J), WF vs ES"),
+    ]
+}
+
+/// The underlying grid, restricted to rates ≥ 130 as in the paper.
+pub fn grid(scale: &Scale) -> Grid {
+    let mut wf = Variant::plain(Algorithm::GeWfOnly, scale);
+    wf.label = "Water-Filling".to_string();
+    let mut es = Variant::plain(Algorithm::GeEsOnly, scale);
+    es.label = "Equal-Sharing".to_string();
+    let rates = scale.rates_from(130.0);
+    let rates = if rates.is_empty() {
+        scale.rates.clone()
+    } else {
+        rates
+    };
+    Grid::run(scale, &rates, &[wf, es])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_load_wf_quality_at_least_es() {
+        let scale = Scale {
+            horizon_secs: 20.0,
+            replications: 1,
+            rates: vec![240.0],
+            root_seed: 19,
+        };
+        let g = grid(&scale);
+        let wf = &g.results[0][0];
+        let es = &g.results[0][1];
+        assert!(
+            wf.quality >= es.quality - 0.03,
+            "WF {} should be ≳ ES {} under heavy load",
+            wf.quality,
+            es.quality
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 8 — quality control (GE) vs power control (BE-P) vs speed control
+//! (BE-S).
+//!
+//! BE-P runs best-effort under the least budget that met `Q_GE` at the
+//! reference load; BE-S under the least per-core speed cap that did. GE
+//! adapts online and outperforms both across the sweep; near overload the
+//! three converge as everything saturates (paper §IV-F). The calibration
+//! constants are recovered by bisection (see [`crate::calibrate`]).
+
+use crate::calibrate::{calibrate_bep_budget, calibrate_bes_speed};
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::{Algorithm, SimConfig};
+use ge_metrics::Table;
+use ge_workload::WorkloadConfig;
+
+/// Runs the experiment; returns the quality (8a) and energy (8b) tables.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let grid = grid(scale);
+    vec![
+        grid.quality_table("Fig 8a: service quality, GE vs BE-P vs BE-S"),
+        grid.energy_table("Fig 8b: energy consumption (J), GE vs BE-P vs BE-S"),
+    ]
+}
+
+/// Calibrates BE-P/BE-S at the critical load and runs the grid.
+pub fn grid(scale: &Scale) -> Grid {
+    let base = SimConfig {
+        horizon: scale.horizon(),
+        ..SimConfig::paper_default()
+    };
+    let reference = WorkloadConfig {
+        horizon: scale.horizon(),
+        ..WorkloadConfig::paper_default(base.critical_load_rps)
+    };
+    let budget = calibrate_bep_budget(&base, &reference, scale.root_seed);
+    let speed = calibrate_bes_speed(&base, &reference, scale.root_seed);
+
+    let ge = Variant::plain(Algorithm::Ge, scale);
+    let bep = Variant {
+        label: "BE-P".to_string(),
+        sim: base.clone(),
+        algorithm: Algorithm::BeP { budget_w: budget },
+        random_windows: false,
+    };
+    let bes = Variant {
+        label: "BE-S".to_string(),
+        sim: base,
+        algorithm: Algorithm::BeS {
+            speed_cap_ghz: speed,
+        },
+        random_windows: false,
+    };
+    Grid::run(scale, &scale.rates, &[ge, bep, bes])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ge_quality_at_least_controls_at_reference_load() {
+        let scale = Scale {
+            horizon_secs: 15.0,
+            replications: 1,
+            rates: vec![154.0],
+            root_seed: 23,
+        };
+        let g = grid(&scale);
+        let ge = &g.results[0][0];
+        let bep = &g.results[0][1];
+        let bes = &g.results[0][2];
+        // GE adapts online; the throttled controls were calibrated at this
+        // exact load, so all three should be near Q_GE here.
+        for (name, r) in [("GE", ge), ("BE-P", bep), ("BE-S", bes)] {
+            assert!(
+                r.quality > 0.8,
+                "{name} at the calibration point should be near Q_GE, got {}",
+                r.quality
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig. 9 — effect of the quality-function concavity `c`.
+//!
+//! (a) GE's achieved service quality at heavy load for
+//! `c ∈ {0.0005 … 0.009}`: larger `c` (more concave) makes partial
+//! evaluation more effective, so quality at the same load is higher.
+//! (b) The quality-function shapes themselves.
+
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::{Algorithm, SimConfig};
+use ge_metrics::Table;
+use ge_quality::{ExpConcave, QualityFunction};
+
+/// The paper's concavity sweep.
+pub const C_VALUES: [f64; 6] = [0.0005, 0.001, 0.002, 0.003, 0.005, 0.009];
+
+/// Runs the experiment; returns the quality-vs-rate table (9a) and the
+/// quality-function shape table (9b).
+pub fn run(scale: &Scale) -> Vec<Table> {
+    vec![quality_grid(scale).quality_table(
+        "Fig 9a: GE service quality vs arrival rate for different concavity c",
+    ), shape_table()]
+}
+
+/// The 9a grid: GE under each concavity, heavy-load rates only.
+pub fn quality_grid(scale: &Scale) -> Grid {
+    let variants: Vec<Variant> = C_VALUES
+        .iter()
+        .map(|&c| Variant {
+            label: format!("c={c}"),
+            sim: SimConfig {
+                quality_c: c,
+                horizon: scale.horizon(),
+                ..SimConfig::paper_default()
+            },
+            algorithm: Algorithm::Ge,
+            random_windows: false,
+        })
+        .collect();
+    let rates = scale.rates_from(170.0);
+    let rates = if rates.is_empty() {
+        scale.rates.clone()
+    } else {
+        rates
+    };
+    Grid::run(scale, &rates, &variants)
+}
+
+/// The 9b shape table: `f(x)` on `x ∈ [0, 3000]` per concavity. The shape
+/// plot normalizes at `x_max = 3000` (the paper's Fig. 9b x-range) so the
+/// small-`c` curves display their near-linear rise.
+pub fn shape_table() -> Table {
+    let mut columns = vec!["x".to_string()];
+    columns.extend(C_VALUES.iter().map(|c| format!("c={c}")));
+    let mut t = Table::new("Fig 9b: quality function f(x) for different concavity c", columns);
+    let x_max = 3000.0;
+    let fs: Vec<ExpConcave> = C_VALUES.iter().map(|&c| ExpConcave::new(c, x_max)).collect();
+    let mut x = 0.0;
+    while x <= x_max + 1e-9 {
+        let mut row = vec![x];
+        row.extend(fs.iter().map(|f| f.value(x)));
+        t.push_numeric_row(&row, 4);
+        x += 250.0;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_c_means_higher_quality_under_load() {
+        let scale = Scale {
+            horizon_secs: 15.0,
+            replications: 1,
+            rates: vec![230.0],
+            root_seed: 29,
+        };
+        let g = quality_grid(&scale);
+        let q_smallest = g.results[0][0].quality; // c = 0.0005
+        let q_largest = g.results[0][C_VALUES.len() - 1].quality; // c = 0.009
+        assert!(
+            q_largest > q_smallest,
+            "more concave f should yield higher quality: {q_largest} vs {q_smallest}"
+        );
+    }
+
+    #[test]
+    fn shape_table_is_monotone_in_c() {
+        let t = shape_table();
+        assert_eq!(t.row_count(), 13); // x = 0, 250, ..., 3000
+        // Spot-check monotonicity at one x via a fresh evaluation.
+        let f_small = ExpConcave::new(0.0005, 3000.0);
+        let f_large = ExpConcave::new(0.009, 3000.0);
+        assert!(f_large.value(500.0) > f_small.value(500.0));
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig. 10 — effect of the total power budget.
+//!
+//! GE under `H ∈ {80, 160, 320, 480}` W: high budgets are unnecessary at
+//! light load; under heavy load more budget sustains stable quality
+//! longer; energy grows with load only until the budget saturates (paper
+//! §IV-G-2).
+
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::{Algorithm, SimConfig};
+use ge_metrics::Table;
+
+/// The paper's budget sweep (watts).
+pub const BUDGETS: [f64; 4] = [80.0, 160.0, 320.0, 480.0];
+
+/// Runs the experiment; returns the quality (10a) and energy (10b) tables.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let grid = grid(scale);
+    vec![
+        grid.quality_table("Fig 10a: GE service quality vs arrival rate per power budget"),
+        grid.energy_table("Fig 10b: GE energy (J) vs arrival rate per power budget"),
+    ]
+}
+
+/// The underlying grid.
+pub fn grid(scale: &Scale) -> Grid {
+    let variants: Vec<Variant> = BUDGETS
+        .iter()
+        .map(|&h| Variant {
+            label: format!("budget={h:.0}"),
+            sim: SimConfig {
+                budget_w: h,
+                horizon: scale.horizon(),
+                ..SimConfig::paper_default()
+            },
+            algorithm: Algorithm::Ge,
+            random_windows: false,
+        })
+        .collect();
+    Grid::run(scale, &scale.rates, &variants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_budget_never_hurts_quality_under_load() {
+        let scale = Scale {
+            horizon_secs: 15.0,
+            replications: 1,
+            rates: vec![230.0],
+            root_seed: 31,
+        };
+        let g = grid(&scale);
+        let q80 = g.results[0][0].quality;
+        let q480 = g.results[0][3].quality;
+        assert!(
+            q480 >= q80 - 0.02,
+            "480 W ({q480}) should not lose to 80 W ({q80}) under heavy load"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 11 — effect of the number of cores.
+//!
+//! GE on `m = 2^x` cores (x = 0…6) at a fixed arrival rate and fixed
+//! total budget: few cores give limited quality at high energy (the convex
+//! power curve punishes fast cores); more cores raise quality and lower
+//! energy until the system saturates (paper §IV-G-3).
+
+use crate::scale::Scale;
+use crate::sweep::{average_results, sweep, Cell};
+use ge_core::{Algorithm, SimConfig};
+use ge_metrics::Table;
+use ge_workload::WorkloadConfig;
+
+/// The core-count exponents (m = 2^x).
+pub const EXPONENTS: [u32; 7] = [0, 1, 2, 3, 4, 5, 6];
+
+/// The fixed arrival rate used for the sweep (the paper's critical load).
+pub const FIXED_RATE: f64 = 154.0;
+
+/// Runs the experiment; returns the quality (11a) and energy (11b) tables.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let rows = results(scale);
+    let mut qt = Table::with_headers(
+        "Fig 11a: GE service quality vs number of cores (2^x)",
+        &["log2_cores", "cores", "quality"],
+    );
+    let mut et = Table::with_headers(
+        "Fig 11b: GE energy (J) vs number of cores (2^x)",
+        &["log2_cores", "cores", "energy_j"],
+    );
+    for (x, avg) in EXPONENTS.iter().zip(&rows) {
+        let m = 2u32.pow(*x) as f64;
+        qt.push_numeric_row(&[*x as f64, m, avg.quality], 4);
+        et.push_numeric_row(&[*x as f64, m, avg.energy_j], 1);
+    }
+    vec![qt, et]
+}
+
+/// Per-core-count averaged results, in [`EXPONENTS`] order.
+pub fn results(scale: &Scale) -> Vec<crate::sweep::AveragedResult> {
+    let mut cells = Vec::new();
+    for &x in &EXPONENTS {
+        for rep in 0..scale.replications {
+            cells.push(Cell {
+                sim: SimConfig {
+                    cores: 2usize.pow(x),
+                    horizon: scale.horizon(),
+                    ..SimConfig::paper_default()
+                },
+                workload: WorkloadConfig {
+                    horizon: scale.horizon(),
+                    ..WorkloadConfig::paper_default(FIXED_RATE)
+                },
+                algorithm: Algorithm::Ge,
+                seed: scale.root_seed + rep,
+            });
+        }
+    }
+    let flat = sweep(&cells);
+    let reps = scale.replications as usize;
+    EXPONENTS
+        .iter()
+        .enumerate()
+        .map(|(i, _)| average_results(&flat[i * reps..(i + 1) * reps]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_cores_help_quality() {
+        let scale = Scale {
+            horizon_secs: 15.0,
+            replications: 1,
+            rates: vec![],
+            root_seed: 37,
+        };
+        let rows = results(&scale);
+        let q1 = rows[0].quality; // 1 core
+        let q16 = rows[4].quality; // 16 cores
+        assert!(
+            q16 > q1,
+            "16 cores ({q16}) must beat 1 core ({q1}) at the same budget"
+        );
+    }
+
+    #[test]
+    fn table_shapes() {
+        let scale = Scale {
+            horizon_secs: 5.0,
+            replications: 1,
+            rates: vec![],
+            root_seed: 37,
+        };
+        let tables = run(&scale);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].row_count(), EXPONENTS.len());
+    }
+}

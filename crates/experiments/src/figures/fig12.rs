@@ -1,0 +1,65 @@
+//! Fig. 12 — continuous vs discrete speed scaling.
+//!
+//! GE with the §IV-A-5 discrete-DVFS rectification against ideal
+//! continuous speeds: discrete scaling loses a little quality (cores
+//! cannot hit the ideal speed) and consumes marginally less energy (paper
+//! §IV-G-4).
+
+use crate::figures::{Grid, Variant};
+use crate::scale::Scale;
+use ge_core::{Algorithm, SimConfig};
+use ge_metrics::Table;
+use ge_power::DiscreteSpeedSet;
+
+/// Runs the experiment; returns the quality (12a) and energy (12b) tables.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let grid = grid(scale);
+    vec![
+        grid.quality_table("Fig 12a: GE service quality, continuous vs discrete DVFS"),
+        grid.energy_table("Fig 12b: GE energy (J), continuous vs discrete DVFS"),
+    ]
+}
+
+/// The underlying grid.
+pub fn grid(scale: &Scale) -> Grid {
+    let cont = Variant {
+        label: "Continuous Speed".to_string(),
+        ..Variant::plain(Algorithm::Ge, scale)
+    };
+    let disc = Variant {
+        label: "Discrete Speed".to_string(),
+        sim: SimConfig {
+            discrete_speeds: Some(DiscreteSpeedSet::paper_default()),
+            horizon: scale.horizon(),
+            ..SimConfig::paper_default()
+        },
+        algorithm: Algorithm::Ge,
+        random_windows: false,
+    };
+    Grid::run(scale, &scale.rates, &[cont, disc])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_runs_and_stays_comparable() {
+        let scale = Scale {
+            horizon_secs: 15.0,
+            replications: 1,
+            rates: vec![150.0],
+            root_seed: 41,
+        };
+        let g = grid(&scale);
+        let cont = &g.results[0][0];
+        let disc = &g.results[0][1];
+        assert!(disc.quality > 0.5, "discrete quality collapsed: {}", disc.quality);
+        assert!(
+            (disc.quality - cont.quality).abs() < 0.2,
+            "discrete ({}) should track continuous ({})",
+            disc.quality,
+            cont.quality
+        );
+    }
+}

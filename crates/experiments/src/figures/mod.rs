@@ -1,0 +1,162 @@
+//! One module per paper figure, plus the shared sweep-grid runner.
+
+pub mod fig01;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+
+use crate::scale::Scale;
+use crate::sweep::{average_results, sweep, AveragedResult, Cell};
+use ge_core::{Algorithm, SimConfig};
+use ge_metrics::Table;
+use ge_workload::WorkloadConfig;
+
+/// One line/series in a figure: an algorithm under a (possibly modified)
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Series label (the paper's legend entry).
+    pub label: String,
+    /// Platform configuration for this series.
+    pub sim: SimConfig,
+    /// The algorithm to run.
+    pub algorithm: Algorithm,
+    /// Use the Fig. 4 random 150–500 ms deadline windows.
+    pub random_windows: bool,
+}
+
+impl Variant {
+    /// A plain paper-default variant of `algorithm`.
+    pub fn plain(algorithm: Algorithm, scale: &Scale) -> Self {
+        Variant {
+            label: algorithm.label().to_string(),
+            sim: SimConfig {
+                horizon: scale.horizon(),
+                ..SimConfig::paper_default()
+            },
+            algorithm,
+            random_windows: false,
+        }
+    }
+}
+
+/// Seed-averaged results over a `rates × variants` grid.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// The swept arrival rates.
+    pub rates: Vec<f64>,
+    /// Series labels, in variant order.
+    pub labels: Vec<String>,
+    /// `results[rate_idx][variant_idx]`.
+    pub results: Vec<Vec<AveragedResult>>,
+}
+
+impl Grid {
+    /// Runs the full grid (parallel across all cells).
+    pub fn run(scale: &Scale, rates: &[f64], variants: &[Variant]) -> Grid {
+        let mut cells = Vec::new();
+        for &rate in rates {
+            for v in variants {
+                for rep in 0..scale.replications {
+                    let wc = if v.random_windows {
+                        WorkloadConfig::paper_random_windows(rate)
+                    } else {
+                        WorkloadConfig::paper_default(rate)
+                    };
+                    cells.push(Cell {
+                        sim: v.sim.clone(),
+                        workload: WorkloadConfig {
+                            horizon: scale.horizon(),
+                            ..wc
+                        },
+                        algorithm: v.algorithm.clone(),
+                        seed: scale.root_seed + rep,
+                    });
+                }
+            }
+        }
+        let flat = sweep(&cells);
+
+        let reps = scale.replications as usize;
+        let mut results = Vec::with_capacity(rates.len());
+        let mut idx = 0;
+        for _ in rates {
+            let mut row = Vec::with_capacity(variants.len());
+            for _ in variants {
+                row.push(average_results(&flat[idx..idx + reps]));
+                idx += reps;
+            }
+            results.push(row);
+        }
+        Grid {
+            rates: rates.to_vec(),
+            labels: variants.iter().map(|v| v.label.clone()).collect(),
+            results,
+        }
+    }
+
+    /// Builds a table of `metric` against arrival rate, one column per
+    /// series.
+    pub fn table(
+        &self,
+        title: &str,
+        metric: impl Fn(&AveragedResult) -> f64,
+        precision: usize,
+    ) -> Table {
+        let mut columns = vec!["arrival_rate".to_string()];
+        columns.extend(self.labels.iter().cloned());
+        let mut t = Table::new(title, columns);
+        for (i, &rate) in self.rates.iter().enumerate() {
+            let mut row = vec![rate];
+            row.extend(self.results[i].iter().map(&metric));
+            t.push_numeric_row(&row, precision);
+        }
+        t
+    }
+
+    /// Quality-vs-rate table (Figs. 3a, 4a, 5a, 7a, 8a, 9a, 10a, 12a).
+    pub fn quality_table(&self, title: &str) -> Table {
+        self.table(title, |r| r.quality, 4)
+    }
+
+    /// Energy-vs-rate table (Figs. 3b, 4b, 5b, 7b, 8b, 10b, 12b).
+    pub fn energy_table(&self, title: &str) -> Table {
+        self.table(title, |r| r.energy_j, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_tables() {
+        let scale = Scale {
+            horizon_secs: 5.0,
+            replications: 1,
+            rates: vec![100.0, 200.0],
+            root_seed: 1,
+        };
+        let variants = vec![
+            Variant::plain(Algorithm::Ge, &scale),
+            Variant::plain(Algorithm::Be, &scale),
+        ];
+        let grid = Grid::run(&scale, &scale.rates.clone(), &variants);
+        assert_eq!(grid.rates.len(), 2);
+        assert_eq!(grid.labels, vec!["GE", "BE"]);
+        assert_eq!(grid.results.len(), 2);
+        assert_eq!(grid.results[0].len(), 2);
+
+        let q = grid.quality_table("q");
+        assert_eq!(q.row_count(), 2);
+        let e = grid.energy_table("e");
+        assert_eq!(e.row_count(), 2);
+    }
+}

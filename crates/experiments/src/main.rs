@@ -1,0 +1,200 @@
+//! `ge-experiments` — regenerate the paper's figures from the command
+//! line.
+//!
+//! ```text
+//! ge-experiments [--quick] [--reps N] [--horizon SECS] [--out DIR] \
+//!                [fig1 fig3 fig4 ... | all | ablations | bounds]
+//! ```
+//!
+//! Each figure prints its table(s) and writes CSVs under `--out`
+//! (default `results/`).
+
+use ge_experiments::{figures, Scale};
+use ge_metrics::{AsciiPlot, SvgChart, Table};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ge-experiments [--quick] [--plot] [--svg] [--reps N] [--horizon SECS] [--out DIR] \
+         [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
+          ab1 ab2 ab3 ab4 ab5 ab6 bounds validate | all | ablations]"
+    );
+    std::process::exit(2);
+}
+
+/// Builds an ASCII plot from a table whose first column is the x axis
+/// and whose remaining columns are numeric series. Returns `None` for
+/// tables that do not parse as numbers.
+fn plot_table(t: &Table) -> Option<AsciiPlot> {
+    let csv = t.to_csv();
+    let mut lines = csv.lines();
+    let headers: Vec<&str> = lines.next()?.split(',').collect();
+    if headers.len() < 2 {
+        return None;
+    }
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
+    for line in lines {
+        for (i, cell) in line.split(',').enumerate() {
+            columns.get_mut(i)?.push(cell.parse().ok()?);
+        }
+    }
+    let mut plot = AsciiPlot::standard(t.title().to_string());
+    for (i, h) in headers.iter().enumerate().skip(1) {
+        let points: Vec<(f64, f64)> = columns[0]
+            .iter()
+            .copied()
+            .zip(columns[i].iter().copied())
+            .collect();
+        plot.add_series(h.to_string(), points);
+    }
+    Some(plot)
+}
+
+/// Builds an SVG chart from a numeric table (first column = x axis).
+fn svg_table(t: &Table) -> Option<SvgChart> {
+    let csv = t.to_csv();
+    let mut lines = csv.lines();
+    let headers: Vec<&str> = lines.next()?.split(',').collect();
+    if headers.len() < 2 {
+        return None;
+    }
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
+    for line in lines {
+        for (i, cell) in line.split(',').enumerate() {
+            columns.get_mut(i)?.push(cell.parse().ok()?);
+        }
+    }
+    let mut chart = SvgChart::new(t.title().to_string(), headers[0].to_string(), "value");
+    for (i, h) in headers.iter().enumerate().skip(1) {
+        let points: Vec<(f64, f64)> = columns[0]
+            .iter()
+            .copied()
+            .zip(columns[i].iter().copied())
+            .collect();
+        chart.add_series(h.to_string(), points);
+    }
+    Some(chart)
+}
+
+fn main() {
+    let mut scale = Scale::full();
+    let mut out_dir = PathBuf::from("results");
+    let mut plot = false;
+    let mut svg = false;
+    let mut figs: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--plot" => plot = true,
+            "--svg" => svg = true,
+            "--reps" => {
+                scale.replications = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--horizon" => {
+                scale.horizon_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            name if name.starts_with("fig")
+                || name.starts_with("ab")
+                || name == "all"
+                || name == "bounds"
+                || name == "validate"
+                || name == "ablations" =>
+            {
+                figs.push(name.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    if figs.is_empty() || figs.iter().any(|f| f == "all") {
+        // `all` really means all: every figure, every ablation, the
+        // bounds study, and the validation suite.
+        figs = vec![
+            "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "ablations", "bounds", "validate",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+    if figs.iter().any(|f| f == "ablations") {
+        figs.retain(|f| f != "ablations");
+        figs.extend(["ab1", "ab2", "ab3", "ab4", "ab5", "ab6"].map(String::from));
+    }
+
+    for fig in &figs {
+        let started = std::time::Instant::now();
+        let tables: Vec<Table> = match fig.as_str() {
+            "fig1" => figures::fig01::run(&scale),
+            "fig3" => figures::fig03::run(&scale),
+            "fig4" => figures::fig04::run(&scale),
+            "fig5" => figures::fig05::run(&scale),
+            "fig6" => figures::fig06::run(&scale),
+            "fig7" => figures::fig07::run(&scale),
+            "fig8" => figures::fig08::run(&scale),
+            "fig9" => figures::fig09::run(&scale),
+            "fig10" => figures::fig10::run(&scale),
+            "fig11" => figures::fig11::run(&scale),
+            "fig12" => figures::fig12::run(&scale),
+            "ab1" => ge_experiments::ablations::critical_load_sensitivity(&scale),
+            "ab2" => ge_experiments::ablations::hybrid_vs_pure(&scale),
+            "ab3" => ge_experiments::ablations::ledger_window(&scale),
+            "ab4" => ge_experiments::ablations::trigger_sensitivity(&scale),
+            "ab5" => ge_experiments::ablations::assignment_policy(&scale),
+            "ab6" => ge_experiments::ablations::burstiness(&scale),
+            "bounds" => ge_experiments::bounds::run(&scale),
+            "validate" => {
+                let claims = ge_experiments::validation::validate(&scale);
+                let failed = claims.iter().filter(|c| !c.passed).count();
+                let table = ge_experiments::validation::verdict_table(&claims);
+                if failed > 0 {
+                    eprintln!("{failed} claim(s) FAILED");
+                }
+                vec![table]
+            }
+            other => {
+                eprintln!("unknown figure: {other}");
+                usage();
+            }
+        };
+        for (i, t) in tables.iter().enumerate() {
+            println!("{}", t.to_text());
+            if plot {
+                if let Some(p) = plot_table(t) {
+                    println!("{}", p.render());
+                }
+            }
+            let suffix = if tables.len() > 1 {
+                ((b'a' + i as u8) as char).to_string()
+            } else {
+                String::new()
+            };
+            let path = out_dir.join(format!("{fig}{suffix}.csv"));
+            match t.write_csv(&path) {
+                Ok(()) => println!("  -> wrote {}", path.display()),
+                Err(e) => eprintln!("  !! failed to write {}: {e}", path.display()),
+            }
+            if svg {
+                if let Some(chart) = svg_table(t) {
+                    let spath = out_dir.join(format!("{fig}{suffix}.svg"));
+                    match chart.write(&spath) {
+                        Ok(()) => println!("  -> wrote {}", spath.display()),
+                        Err(e) => eprintln!("  !! failed to write {}: {e}", spath.display()),
+                    }
+                }
+            }
+        }
+        println!("  ({fig} done in {:.1?})\n", started.elapsed());
+    }
+}

@@ -1,0 +1,199 @@
+//! The parallel sweep runner.
+//!
+//! A sweep is a list of independent [`Cell`]s — (configuration, workload,
+//! algorithm, seed) tuples — fanned out over `std::thread::scope` workers
+//! (one per available core) and reduced back in submission order. Every
+//! cell is deterministic, so a sweep's output is reproducible regardless
+//! of thread interleaving.
+
+use ge_core::{run, Algorithm, RunResult, SimConfig};
+use ge_workload::{WorkloadConfig, WorkloadGenerator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One independent simulation to run.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Platform/algorithm configuration.
+    pub sim: SimConfig,
+    /// Workload configuration.
+    pub workload: WorkloadConfig,
+    /// The algorithm to run.
+    pub algorithm: Algorithm,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Runs one cell to completion.
+pub fn run_cell(cell: &Cell) -> RunResult {
+    let trace = WorkloadGenerator::new(cell.workload.clone(), cell.seed).generate();
+    run(&cell.sim, &trace, &cell.algorithm)
+}
+
+/// Runs every cell, in parallel, returning results in cell order.
+pub fn sweep(cells: &[Cell]) -> Vec<RunResult> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cells.len());
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<RunResult>>> =
+        Mutex::new((0..cells.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let result = run_cell(&cells[i]);
+                slots.lock().expect("no panics while holding the lock")[i] = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|s| s.expect("every cell ran"))
+        .collect()
+}
+
+/// Seed-averaged measurements for one sweep point.
+#[derive(Debug, Clone)]
+pub struct AveragedResult {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Mean quality across replications.
+    pub quality: f64,
+    /// Mean energy (J).
+    pub energy_j: f64,
+    /// Mean AES residency.
+    pub aes_fraction: f64,
+    /// Mean core speed (GHz).
+    pub mean_speed_ghz: f64,
+    /// Mean cross-core speed variance (GHz²).
+    pub speed_variance: f64,
+    /// Mean count of finished jobs.
+    pub jobs_finished: f64,
+    /// Mean count of discarded jobs.
+    pub jobs_discarded: f64,
+    /// Mean per-core energy imbalance (CV).
+    pub core_energy_cv: f64,
+    /// Mean response-latency percentiles (ms): mean / P95 / P99.
+    pub mean_latency_ms: f64,
+    /// Mean 99th-percentile response latency (ms).
+    pub p99_latency_ms: f64,
+    /// Replications averaged.
+    pub replications: usize,
+}
+
+/// Averages per-seed results for one point.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn average_results(results: &[RunResult]) -> AveragedResult {
+    assert!(!results.is_empty(), "cannot average zero results");
+    let n = results.len() as f64;
+    AveragedResult {
+        algorithm: results[0].algorithm.clone(),
+        quality: results.iter().map(|r| r.quality).sum::<f64>() / n,
+        energy_j: results.iter().map(|r| r.energy_j).sum::<f64>() / n,
+        aes_fraction: results.iter().map(|r| r.aes_fraction).sum::<f64>() / n,
+        mean_speed_ghz: results.iter().map(|r| r.mean_speed_ghz).sum::<f64>() / n,
+        speed_variance: results.iter().map(|r| r.speed_variance).sum::<f64>() / n,
+        jobs_finished: results.iter().map(|r| r.jobs_finished as f64).sum::<f64>() / n,
+        jobs_discarded: results.iter().map(|r| r.jobs_discarded as f64).sum::<f64>() / n,
+        core_energy_cv: results.iter().map(|r| r.core_energy_cv).sum::<f64>() / n,
+        mean_latency_ms: results.iter().map(|r| r.mean_latency_ms).sum::<f64>() / n,
+        p99_latency_ms: results.iter().map(|r| r.p99_latency_ms).sum::<f64>() / n,
+        replications: results.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_simcore::SimTime;
+
+    fn tiny_cell(rate: f64, alg: Algorithm, seed: u64) -> Cell {
+        Cell {
+            sim: SimConfig {
+                horizon: SimTime::from_secs(5.0),
+                ..SimConfig::paper_default()
+            },
+            workload: WorkloadConfig {
+                horizon: SimTime::from_secs(5.0),
+                ..WorkloadConfig::paper_default(rate)
+            },
+            algorithm: alg,
+            seed,
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_determinism() {
+        let cells = vec![
+            tiny_cell(100.0, Algorithm::Ge, 1),
+            tiny_cell(200.0, Algorithm::Be, 1),
+            tiny_cell(150.0, Algorithm::Fcfs, 2),
+        ];
+        let a = sweep(&cells);
+        let b = sweep(&cells);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].algorithm, "GE");
+        assert_eq!(a[1].algorithm, "BE");
+        assert_eq!(a[2].algorithm, "FCFS");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.energy_j, y.energy_j);
+            assert_eq!(x.quality, y.quality);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_serial_run() {
+        let cells = vec![
+            tiny_cell(120.0, Algorithm::Ge, 3),
+            tiny_cell(120.0, Algorithm::Sjf, 3),
+        ];
+        let par = sweep(&cells);
+        let ser: Vec<_> = cells.iter().map(run_cell).collect();
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.energy_j, s.energy_j);
+            assert_eq!(p.quality, s.quality);
+            assert_eq!(p.jobs_finished, s.jobs_finished);
+        }
+    }
+
+    #[test]
+    fn empty_sweep() {
+        assert!(sweep(&[]).is_empty());
+    }
+
+    #[test]
+    fn averaging() {
+        let cells = vec![
+            tiny_cell(100.0, Algorithm::Ge, 1),
+            tiny_cell(100.0, Algorithm::Ge, 2),
+        ];
+        let results = sweep(&cells);
+        let avg = average_results(&results);
+        assert_eq!(avg.replications, 2);
+        let expected = (results[0].quality + results[1].quality) / 2.0;
+        assert!((avg.quality - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn average_empty_panics() {
+        let _ = average_results(&[]);
+    }
+}

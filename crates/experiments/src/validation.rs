@@ -1,0 +1,274 @@
+//! Reproduction self-check: every qualitative claim the paper makes,
+//! re-measured and judged.
+//!
+//! `ge-experiments validate` runs the figure grids and evaluates the
+//! claims of §IV as pass/fail assertions — the same invariants
+//! `tests/tests/paper_shapes.rs` enforces at test scale, but at whatever
+//! scale the caller selects, with a human-readable verdict table. A
+//! reproduction that stops matching the paper after a refactor fails
+//! loudly here first.
+
+use crate::figures;
+use crate::scale::Scale;
+use ge_metrics::Table;
+
+/// One checked claim.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// Short identifier (`fig3-quality-pin`, …).
+    pub id: &'static str,
+    /// The paper element it guards.
+    pub figure: &'static str,
+    /// What the paper says.
+    pub description: &'static str,
+    /// Did the fresh measurement agree?
+    pub passed: bool,
+    /// The numbers behind the verdict.
+    pub detail: String,
+}
+
+/// Looks up a series value in a grid at the given rate index.
+fn val(grid: &figures::Grid, rate_idx: usize, label: &str) -> f64 {
+    let li = grid
+        .labels
+        .iter()
+        .position(|l| l == label)
+        .unwrap_or_else(|| panic!("series {label} missing"));
+    grid.results[rate_idx][li].quality
+}
+
+fn energy(grid: &figures::Grid, rate_idx: usize, label: &str) -> f64 {
+    let li = grid
+        .labels
+        .iter()
+        .position(|l| l == label)
+        .unwrap_or_else(|| panic!("series {label} missing"));
+    grid.results[rate_idx][li].energy_j
+}
+
+/// Runs the whole validation suite at the given scale.
+pub fn validate(scale: &Scale) -> Vec<Claim> {
+    let mut claims = Vec::new();
+    let n = scale.rates.len();
+    assert!(n >= 2, "validation needs at least two swept rates");
+    let light = 0; // lightest rate index
+    let heavy = n - 1; // heaviest rate index
+    let mid = n / 2;
+
+    // ---- Fig. 3 family -------------------------------------------------
+    let g3 = figures::fig03::grid(scale);
+    {
+        let q = val(&g3, light, "GE");
+        claims.push(Claim {
+            id: "fig3-quality-pin",
+            figure: "Fig. 3a",
+            description: "GE holds ≈ Q_GE at light load",
+            passed: (q - 0.9).abs() < 0.03,
+            detail: format!("GE quality at λ={}: {q:.4}", scale.rates[light]),
+        });
+
+        let ge_e = energy(&g3, light, "GE");
+        let be_e = energy(&g3, light, "BE");
+        let saving = 1.0 - ge_e / be_e;
+        claims.push(Claim {
+            id: "fig3-energy-saving",
+            figure: "Fig. 3b",
+            description: "GE saves double-digit energy vs BE at light load",
+            passed: saving > 0.10,
+            detail: format!("saving at λ={}: {:.1}%", scale.rates[light], saving * 100.0),
+        });
+
+        let ge_q = val(&g3, heavy, "GE");
+        let sjf_q = val(&g3, heavy, "SJF");
+        let ljf_q = val(&g3, heavy, "LJF");
+        claims.push(Claim {
+            id: "fig3-ljf-sjf-worst",
+            figure: "Fig. 3a",
+            description: "LJF and SJF have the worst quality under load",
+            passed: ge_q > sjf_q && ge_q > ljf_q && val(&g3, heavy, "FCFS") > sjf_q,
+            detail: format!(
+                "at λ={}: GE {ge_q:.3}, LJF {ljf_q:.3}, SJF {sjf_q:.3}",
+                scale.rates[heavy]
+            ),
+        });
+
+        let sjf_mid = energy(&g3, mid, "SJF");
+        let sjf_heavy = energy(&g3, heavy, "SJF");
+        claims.push(Claim {
+            id: "fig3-sjf-energy-drop",
+            figure: "Fig. 3b",
+            description: "SJF energy decreases with load (discards long jobs)",
+            passed: sjf_heavy < sjf_mid,
+            detail: format!("SJF energy {sjf_mid:.0} J → {sjf_heavy:.0} J"),
+        });
+
+        let aes_light = g3.results[light][0].aes_fraction;
+        let aes_heavy = g3.results[heavy][0].aes_fraction;
+        claims.push(Claim {
+            id: "fig1-aes-residency",
+            figure: "Fig. 1",
+            description: "AES residency falls from high (light load) to ~0 (overload)",
+            passed: aes_light > 0.5 && aes_heavy < 0.3,
+            detail: format!("residency {aes_light:.2} → {aes_heavy:.2}"),
+        });
+    }
+
+    // ---- Fig. 4 ---------------------------------------------------------
+    {
+        let g4 = figures::fig04::grid(scale);
+        let fcfs = val(&g4, heavy, "FCFS");
+        let fdfs = val(&g4, heavy, "FDFS");
+        claims.push(Claim {
+            id: "fig4-fdfs-rescues",
+            figure: "Fig. 4a",
+            description: "With random windows FDFS clearly beats FCFS",
+            passed: fdfs > fcfs + 0.05,
+            detail: format!("FDFS {fdfs:.3} vs FCFS {fcfs:.3}"),
+        });
+    }
+
+    // ---- Fig. 5 ---------------------------------------------------------
+    {
+        let g5 = figures::fig05::grid(scale);
+        let comp = val(&g5, mid, "Compensation");
+        let nocomp = val(&g5, mid, "No-Compensation");
+        claims.push(Claim {
+            id: "fig5-compensation",
+            figure: "Fig. 5a",
+            description: "Compensation holds quality at/above the no-compensation variant",
+            passed: comp >= nocomp - 1e-9,
+            detail: format!("comp {comp:.4} vs no-comp {nocomp:.4}"),
+        });
+    }
+
+    // ---- Fig. 6/7 -------------------------------------------------------
+    {
+        let g6 = figures::fig06::grid(scale);
+        let wf_var = g6.results[light][0].speed_variance;
+        let es_var = g6.results[light][1].speed_variance;
+        claims.push(Claim {
+            id: "fig6-thrashing",
+            figure: "Fig. 6b",
+            description: "WF shows larger cross-core speed variance than ES at light load",
+            passed: wf_var > es_var,
+            detail: format!("WF {wf_var:.4} vs ES {es_var:.4} GHz²"),
+        });
+
+        let g7 = figures::fig07::grid(scale);
+        let last = g7.rates.len() - 1;
+        let wf_q = g7.results[last][0].quality;
+        let es_q = g7.results[last][1].quality;
+        claims.push(Claim {
+            id: "fig7-wf-heavy",
+            figure: "Fig. 7a",
+            description: "WF quality ≥ ES quality under heavy load",
+            passed: wf_q >= es_q - 0.02,
+            detail: format!("WF {wf_q:.4} vs ES {es_q:.4}"),
+        });
+    }
+
+    // ---- Fig. 9 ---------------------------------------------------------
+    {
+        let g9 = figures::fig09::quality_grid(scale);
+        let last = g9.rates.len() - 1;
+        let small_c = g9.results[last][0].quality;
+        let large_c = g9.results[last][figures::fig09::C_VALUES.len() - 1].quality;
+        claims.push(Claim {
+            id: "fig9-concavity",
+            figure: "Fig. 9a",
+            description: "More concave quality functions score higher under load",
+            passed: large_c > small_c,
+            detail: format!("c=0.009: {large_c:.3} vs c=0.0005: {small_c:.3}"),
+        });
+    }
+
+    // ---- Fig. 10 --------------------------------------------------------
+    {
+        let g10 = figures::fig10::grid(scale);
+        let q80 = g10.results[heavy][0].quality;
+        let q480 = g10.results[heavy][3].quality;
+        claims.push(Claim {
+            id: "fig10-budget",
+            figure: "Fig. 10a",
+            description: "Larger power budgets sustain quality deeper into the sweep",
+            passed: q480 > q80,
+            detail: format!("480 W: {q480:.3} vs 80 W: {q80:.3}"),
+        });
+    }
+
+    // ---- Fig. 11 --------------------------------------------------------
+    {
+        let rows = figures::fig11::results(scale);
+        let q2 = rows[1].quality; // 2 cores
+        let q16 = rows[4].quality; // 16 cores
+        claims.push(Claim {
+            id: "fig11-cores",
+            figure: "Fig. 11a",
+            description: "More cores raise quality at the same budget",
+            passed: q16 > q2,
+            detail: format!("16 cores: {q16:.3} vs 2 cores: {q2:.3}"),
+        });
+    }
+
+    // ---- Fig. 12 --------------------------------------------------------
+    {
+        let g12 = figures::fig12::grid(scale);
+        let cont = g12.results[mid][0].quality;
+        let disc = g12.results[mid][1].quality;
+        claims.push(Claim {
+            id: "fig12-discrete",
+            figure: "Fig. 12a",
+            description: "Discrete DVFS tracks continuous closely",
+            passed: (cont - disc).abs() < 0.05,
+            detail: format!("continuous {cont:.4} vs discrete {disc:.4}"),
+        });
+    }
+
+    claims
+}
+
+/// Renders the verdicts as a table.
+pub fn verdict_table(claims: &[Claim]) -> Table {
+    let mut t = Table::with_headers(
+        "Reproduction self-check",
+        &["claim", "figure", "verdict", "detail"],
+    );
+    for c in claims {
+        t.push_row(vec![
+            c.id.to_string(),
+            c.figure.to_string(),
+            if c.passed { "PASS" } else { "FAIL" }.to_string(),
+            c.detail.clone(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_passes_at_test_scale() {
+        let scale = Scale {
+            horizon_secs: 20.0,
+            replications: 1,
+            rates: vec![100.0, 150.0, 200.0, 240.0],
+            root_seed: 0x7A,
+        };
+        let claims = validate(&scale);
+        assert_eq!(claims.len(), 13);
+        let failures: Vec<&Claim> = claims.iter().filter(|c| !c.passed).collect();
+        assert!(
+            failures.is_empty(),
+            "claims failed: {:#?}",
+            failures
+                .iter()
+                .map(|c| format!("{}: {}", c.id, c.detail))
+                .collect::<Vec<_>>()
+        );
+        let table = verdict_table(&claims);
+        assert_eq!(table.row_count(), 13);
+        assert!(table.to_text().contains("PASS"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # ge-metrics — measurement and reporting substrate
+//!
+//! Instrumentation the simulation driver hangs its observations on, plus
+//! the table/CSV emitters the experiment harness prints figures with:
+//!
+//! * [`stats`] — streaming (Welford) mean/variance and summaries.
+//! * [`histogram`] — fixed-bin histograms with percentile queries
+//!   (response-latency tails).
+//! * [`speed`] — time-weighted cross-core speed mean and variance, the
+//!   quantities plotted in the paper's Fig. 6.
+//! * [`mode`] — execution-mode residency (AES vs BQ), the quantity in
+//!   Fig. 1.
+//! * [`series`] — plain time series for quality/energy trajectories.
+//! * [`table`] — aligned-text / markdown / CSV table output.
+//! * [`plot`] — ASCII line plots for rendering figures in the terminal.
+//! * [`svg`] — dependency-free SVG line charts written next to the CSVs.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod histogram;
+pub mod mode;
+pub mod plot;
+pub mod series;
+pub mod speed;
+pub mod stats;
+pub mod svg;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use mode::ModeTracker;
+pub use plot::AsciiPlot;
+pub use series::TimeSeries;
+pub use speed::SpeedTracker;
+pub use stats::{OnlineStats, Summary};
+pub use svg::SvgChart;
+pub use table::Table;

@@ -1,0 +1,225 @@
+//! Terminal line plots.
+//!
+//! Renders multi-series data as an ASCII chart so `ge-experiments --plot`
+//! can show each reproduced figure *as a figure*, right in the terminal,
+//! next to its table. Deliberately simple: linear axes, one glyph per
+//! series, nearest-cell rasterization — enough to eyeball the shapes the
+//! paper plots (crossovers, plateaus, collapses) without a plotting
+//! stack.
+
+use std::fmt::Write as _;
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'];
+
+/// One named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points (need not be sorted).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series ASCII line plot.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+impl AsciiPlot {
+    /// Creates an empty plot with the given canvas size (interior cells,
+    /// excluding axes).
+    ///
+    /// # Panics
+    /// Panics if the canvas is smaller than 8×4.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 4, "canvas too small: {width}x{height}");
+        AsciiPlot {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// A standard 72×20 canvas.
+    pub fn standard(title: impl Into<String>) -> Self {
+        Self::new(title, 72, 20)
+    }
+
+    /// Adds a series.
+    pub fn add_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        debug_assert!(
+            points.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+            "non-finite point in series"
+        );
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// Renders the plot.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if pts.is_empty() {
+            let _ = writeln!(out, "  (no data)");
+            return out;
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &pts {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+            y_min = y_min.min(*y);
+            y_max = y_max.max(*y);
+        }
+        // Degenerate ranges get a symmetric pad so everything still lands
+        // on the canvas.
+        if (x_max - x_min).abs() < 1e-12 {
+            x_min -= 0.5;
+            x_max += 0.5;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_min -= 0.5;
+            y_max += 0.5;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
+                    as usize;
+                // y axis grows upward: row 0 is the top.
+                let row = self.height - 1 - cy.min(self.height - 1);
+                let col = cx.min(self.width - 1);
+                let cell = &mut grid[row][col];
+                // First-writer wins; overlaps show the earlier series.
+                if *cell == ' ' {
+                    *cell = glyph;
+                }
+            }
+        }
+
+        // Render with a y-axis gutter.
+        for (r, row) in grid.iter().enumerate() {
+            let y_here = y_max - (y_max - y_min) * r as f64 / (self.height - 1) as f64;
+            let label = if r == 0 || r == self.height - 1 || r == self.height / 2 {
+                format!("{y_here:>10.3}")
+            } else {
+                " ".repeat(10)
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{label} |{line}");
+        }
+        let _ = writeln!(out, "{} +{}", " ".repeat(10), "-".repeat(self.width));
+        let _ = writeln!(
+            out,
+            "{}{:<12.3}{:>width$.3}",
+            " ".repeat(12),
+            x_min,
+            x_max,
+            width = self.width - 12
+        );
+
+        // Legend.
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.label))
+            .collect();
+        let _ = writeln!(out, "{}{}", " ".repeat(12), legend.join("   "));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(slope: f64, n: usize) -> Vec<(f64, f64)> {
+        (0..n).map(|i| (i as f64, slope * i as f64)).collect()
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let mut p = AsciiPlot::standard("Test plot");
+        p.add_series("up", line(1.0, 10));
+        p.add_series("down", (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect());
+        let s = p.render();
+        assert!(s.contains("Test plot"));
+        assert!(s.contains("* up"));
+        assert!(s.contains("o down"));
+        assert!(s.contains('|'));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn empty_plot_says_no_data() {
+        let p = AsciiPlot::standard("Empty");
+        assert!(p.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn increasing_series_slopes_up_visually() {
+        let mut p = AsciiPlot::new("slope", 20, 10);
+        p.add_series("s", line(1.0, 20));
+        let rendered = p.render();
+        // First data row (top) contains a glyph near the right edge;
+        // bottom row near the left edge.
+        let rows: Vec<&str> = rendered
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        let top_pos = rows.first().unwrap().rfind('*');
+        let bot_pos = rows.last().unwrap().find('*');
+        assert!(top_pos.unwrap() > bot_pos.unwrap());
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let mut p = AsciiPlot::standard("flat");
+        p.add_series("f", vec![(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        let s = p.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn single_point() {
+        let mut p = AsciiPlot::standard("dot");
+        p.add_series("d", vec![(5.0, 5.0)]);
+        assert!(p.render().contains('*'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_canvas_rejected() {
+        let _ = AsciiPlot::new("x", 2, 2);
+    }
+
+    #[test]
+    fn many_series_cycle_glyphs() {
+        let mut p = AsciiPlot::standard("many");
+        for i in 0..12 {
+            p.add_series(format!("s{i}"), vec![(i as f64, i as f64)]);
+        }
+        let s = p.render();
+        assert!(s.contains("$ s8"));
+        assert!(s.contains("* s10"), "glyphs must cycle");
+    }
+}

@@ -1,0 +1,139 @@
+//! Plain time series with simple aggregation helpers.
+
+use ge_simcore::SimTime;
+
+/// An append-only `(time, value)` series.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a point. Times must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics (debug) on a time regression.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        debug_assert!(value.is_finite(), "non-finite value {value}");
+        if let Some(&(last_t, _)) = self.points.last() {
+            debug_assert!(
+                t.as_secs() >= last_t - 1e-9,
+                "time series must be monotone: {last_t} then {}",
+                t.as_secs()
+            );
+        }
+        self.points.push((t.as_secs(), value));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The final value, or `None` if empty.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of the values (unweighted; 0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Minimum value (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Value at or before time `t` (step interpolation); `None` before the
+    /// first point.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        let ts = t.as_secs();
+        let idx = self.points.partition_point(|&(pt, _)| pt <= ts + 1e-12);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.points[idx - 1].1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new();
+        s.push(t(0.0), 1.0);
+        s.push(t(1.0), 2.0);
+        s.push(t(2.0), 0.5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last_value(), Some(0.5));
+        assert!((s.mean() - 3.5 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 0.5);
+        assert_eq!(s.max(), 2.0);
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let mut s = TimeSeries::new();
+        s.push(t(1.0), 10.0);
+        s.push(t(2.0), 20.0);
+        assert_eq!(s.value_at(t(0.5)), None);
+        assert_eq!(s.value_at(t(1.0)), Some(10.0));
+        assert_eq!(s.value_at(t(1.7)), Some(10.0));
+        assert_eq!(s.value_at(t(2.0)), Some(20.0));
+        assert_eq!(s.value_at(t(99.0)), Some(20.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.last_value(), None);
+        assert_eq!(s.value_at(t(1.0)), None);
+    }
+
+    #[test]
+    fn equal_times_allowed() {
+        let mut s = TimeSeries::new();
+        s.push(t(1.0), 1.0);
+        s.push(t(1.0), 2.0);
+        assert_eq!(s.value_at(t(1.0)), Some(2.0));
+    }
+}

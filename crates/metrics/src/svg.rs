@@ -1,0 +1,321 @@
+//! SVG line charts.
+//!
+//! A dependency-free SVG writer so the experiment harness can emit real
+//! figure files (`results/fig3a.svg`, …) next to its CSVs — enough for a
+//! paper-style multi-series line chart: axes with ticks, grid lines,
+//! per-series colors and markers, and a legend. The output is plain
+//! SVG 1.1 text viewable in any browser.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Chart geometry and margins (pixels).
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+
+/// A colorblind-friendly categorical palette (Okabe–Ito).
+const COLORS: &[&str] = &[
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000", "#F0E442",
+];
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+struct SvgSeries {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// A multi-series SVG line chart.
+#[derive(Debug, Clone)]
+pub struct SvgChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<SvgSeries>,
+}
+
+impl SvgChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        SvgChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (points need not be sorted; they are drawn in order).
+    pub fn add_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        debug_assert!(
+            points.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+            "non-finite point"
+        );
+        self.series.push(SvgSeries {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// Renders the SVG document.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = writeln!(
+            out,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if pts.is_empty() {
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" text-anchor="middle">no data</text>"#,
+                WIDTH / 2.0,
+                HEIGHT / 2.0
+            );
+            let _ = writeln!(out, "</svg>");
+            return out;
+        }
+
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &pts {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+            y_min = y_min.min(*y);
+            y_max = y_max.max(*y);
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_min -= 0.5;
+            x_max += 0.5;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_min -= 0.5;
+            y_max += 0.5;
+        }
+        // Pad y by 5 % so curves don't hug the frame.
+        let pad = 0.05 * (y_max - y_min);
+        let (y_min, y_max) = (y_min - pad, y_max + pad);
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+        // Grid + ticks (5 divisions per axis).
+        for i in 0..=5 {
+            let fx = i as f64 / 5.0;
+            let gx = MARGIN_L + fx * plot_w;
+            let gy = MARGIN_T + fx * plot_h;
+            let _ = writeln!(
+                out,
+                r##"<line x1="{gx:.1}" y1="{MARGIN_T}" x2="{gx:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                MARGIN_T + plot_h
+            );
+            let _ = writeln!(
+                out,
+                r##"<line x1="{MARGIN_L}" y1="{gy:.1}" x2="{:.1}" y2="{gy:.1}" stroke="#ddd"/>"##,
+                MARGIN_L + plot_w
+            );
+            let xv = x_min + fx * (x_max - x_min);
+            let yv = y_max - fx * (y_max - y_min);
+            let _ = writeln!(
+                out,
+                r#"<text x="{gx:.1}" y="{:.1}" text-anchor="middle" font-size="11">{}</text>"#,
+                MARGIN_T + plot_h + 16.0,
+                fmt_tick(xv)
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{gy:.1}" text-anchor="end" font-size="11" dominant-baseline="middle">{}</text>"#,
+                MARGIN_L - 6.0,
+                fmt_tick(yv)
+            );
+        }
+        // Frame.
+        let _ = writeln!(
+            out,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        // Axis labels.
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 10.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="14" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 14 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series polylines + markers.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            );
+            for &(x, y) in &s.points {
+                let _ = writeln!(
+                    out,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+        }
+
+        // Legend (top-right inside the frame).
+        for (i, s) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let ly = MARGIN_T + 14.0 + i as f64 * 16.0;
+            let lx = MARGIN_L + plot_w - 130.0;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 18.0
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" font-size="11">{}</text>"#,
+                lx + 24.0,
+                ly + 4.0,
+                escape(&s.label)
+            );
+        }
+
+        let _ = writeln!(out, "</svg>");
+        out
+    }
+
+    /// Writes the chart to a file, creating parent directories.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+/// XML-escapes text content.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Compact tick formatting: trims trailing zeros, switches to engineering
+/// style for large magnitudes.
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 100_000.0 {
+        format!("{:.1}e{}", v / 10f64.powi(v.abs().log10() as i32), v.abs().log10() as i32)
+    } else if v.abs() >= 100.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SvgChart {
+        let mut c = SvgChart::new("Quality vs rate", "arrival rate", "quality");
+        c.add_series("GE", vec![(90.0, 0.9), (150.0, 0.9), (250.0, 0.74)]);
+        c.add_series("BE", vec![(90.0, 1.0), (150.0, 0.97), (250.0, 0.74)]);
+        c
+    }
+
+    #[test]
+    fn renders_valid_looking_svg() {
+        let svg = sample().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("Quality vs rate"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.matches("<circle").count() == 6);
+        assert!(svg.contains("GE"));
+        assert!(svg.contains("BE"));
+        // Two series, two distinct palette colors.
+        assert!(svg.contains("#0072B2"));
+        assert!(svg.contains("#D55E00"));
+    }
+
+    #[test]
+    fn empty_chart() {
+        let c = SvgChart::new("empty", "x", "y");
+        let svg = c.render();
+        assert!(svg.contains("no data"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn escapes_xml_in_labels() {
+        let mut c = SvgChart::new("a < b & c", "x", "y");
+        c.add_series("s<1>", vec![(0.0, 1.0)]);
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("s&lt;1&gt;"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn constant_series_padded() {
+        let mut c = SvgChart::new("flat", "x", "y");
+        c.add_series("f", vec![(0.0, 5.0), (1.0, 5.0)]);
+        let svg = c.render();
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn writes_to_file() {
+        let dir = std::env::temp_dir().join("ge-svg-test");
+        let path = dir.join("chart.svg");
+        sample().write(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(150.0), "150");
+        assert_eq!(fmt_tick(0.9), "0.900");
+        assert!(fmt_tick(186_000.0).contains('e'));
+    }
+}

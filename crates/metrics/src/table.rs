@@ -1,0 +1,214 @@
+//! Minimal table emitter: aligned text, markdown, and CSV.
+//!
+//! The experiment harness prints every reproduced figure as a table of
+//! series against the swept parameter (and writes CSVs for plotting). A
+//! hand-rolled emitter keeps the workspace dependency-free.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple rectangular table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from `&str` headers.
+    pub fn with_headers(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self::new(title, headers.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Appends a row of already-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of numbers formatted with `precision` decimals.
+    pub fn push_numeric_row(&mut self, values: &[f64], precision: usize) {
+        self.push_row(
+            values
+                .iter()
+                .map(|v| format!("{v:.precision$}"))
+                .collect(),
+        );
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", rule.join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV (RFC-4180-style quoting for cells containing commas,
+    /// quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        fn quote(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::with_headers("Fig X", &["rate", "GE", "BE"]);
+        t.push_numeric_row(&[100.0, 0.9, 0.95], 3);
+        t.push_numeric_row(&[150.0, 0.901, 0.93], 3);
+        t
+    }
+
+    #[test]
+    fn text_rendering_aligns() {
+        let txt = sample().to_text();
+        assert!(txt.contains("# Fig X"));
+        assert!(txt.contains("rate"));
+        let lines: Vec<&str> = txt.lines().collect();
+        // header + rule + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        // All data lines have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Fig X"));
+        assert!(md.contains("| rate | GE | BE |"));
+        assert!(md.contains("|---|---|---|"));
+    }
+
+    #[test]
+    fn csv_rendering_and_quoting() {
+        let mut t = Table::with_headers("t", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_panics() {
+        let mut t = Table::with_headers("t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trips_to_file() {
+        let dir = std::env::temp_dir().join("ge-metrics-test");
+        let path = dir.join("out.csv");
+        sample().write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("rate,GE,BE"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn numeric_formatting_precision() {
+        let mut t = Table::with_headers("t", &["v"]);
+        t.push_numeric_row(&[1.23456], 2);
+        assert!(t.to_csv().contains("1.23"));
+        assert_eq!(t.row_count(), 1);
+    }
+}

@@ -1,0 +1,312 @@
+//! Piecewise-constant speed profiles.
+//!
+//! The Energy-OPT scheduler emits a speed *profile* — the core's planned
+//! speed as a function of time — and the execution engine integrates it to
+//! advance job progress and meter energy. Profiles are sorted, non-
+//! overlapping segments; gaps mean the core is idle (speed 0).
+
+use crate::model::PowerModel;
+use ge_simcore::{SimTime, TIME_EPS};
+
+/// One constant-speed stretch of a profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedSegment {
+    /// Segment start.
+    pub start: SimTime,
+    /// Segment end (exclusive; `end > start`).
+    pub end: SimTime,
+    /// Core speed in GHz over `[start, end)`.
+    pub speed_ghz: f64,
+}
+
+impl SpeedSegment {
+    /// Creates a segment, validating its invariants.
+    ///
+    /// # Panics
+    /// Panics if `end ≤ start` or the speed is negative/non-finite.
+    pub fn new(start: SimTime, end: SimTime, speed_ghz: f64) -> Self {
+        assert!(end.after(start), "empty segment [{start}, {end})");
+        assert!(
+            speed_ghz.is_finite() && speed_ghz >= 0.0,
+            "invalid speed {speed_ghz}"
+        );
+        SpeedSegment {
+            start,
+            end,
+            speed_ghz,
+        }
+    }
+
+    /// Length of the segment in seconds.
+    pub fn secs(&self) -> f64 {
+        self.end.saturating_since(self.start).as_secs()
+    }
+}
+
+/// A piecewise-constant, time-sorted speed plan for one core.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpeedProfile {
+    segments: Vec<SpeedSegment>,
+}
+
+impl SpeedProfile {
+    /// An empty (always idle) profile.
+    pub fn empty() -> Self {
+        SpeedProfile::default()
+    }
+
+    /// Builds a profile from segments.
+    ///
+    /// # Panics
+    /// Panics if segments are unordered or overlap beyond [`TIME_EPS`].
+    pub fn new(segments: Vec<SpeedSegment>) -> Self {
+        for w in segments.windows(2) {
+            assert!(
+                w[1].start.as_secs() >= w[0].end.as_secs() - TIME_EPS,
+                "segments overlap: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        SpeedProfile { segments }
+    }
+
+    /// A single-segment profile: constant `speed_ghz` over `[start, end)`.
+    pub fn constant(start: SimTime, end: SimTime, speed_ghz: f64) -> Self {
+        SpeedProfile {
+            segments: vec![SpeedSegment::new(start, end, speed_ghz)],
+        }
+    }
+
+    /// The segments, in time order.
+    pub fn segments(&self) -> &[SpeedSegment] {
+        &self.segments
+    }
+
+    /// `true` if the profile has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Appends a segment.
+    ///
+    /// # Panics
+    /// Panics if it starts before the current last segment ends.
+    pub fn push(&mut self, seg: SpeedSegment) {
+        if let Some(last) = self.segments.last() {
+            assert!(
+                seg.start.as_secs() >= last.end.as_secs() - TIME_EPS,
+                "segment out of order"
+            );
+        }
+        self.segments.push(seg);
+    }
+
+    /// Speed at time `t` (0 in gaps and outside the profile).
+    pub fn speed_at(&self, t: SimTime) -> f64 {
+        // Profiles are short (per scheduling epoch); linear scan is fine
+        // and avoids partition_point subtleties with epsilon boundaries.
+        for seg in &self.segments {
+            if t.at_or_after(seg.start) && t.before(seg.end) {
+                return seg.speed_ghz;
+            }
+        }
+        0.0
+    }
+
+    /// End of the last segment, or `None` for an empty profile.
+    pub fn end(&self) -> Option<SimTime> {
+        self.segments.last().map(|s| s.end)
+    }
+
+    /// Maximum speed over the profile (0 if empty).
+    pub fn max_speed(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.speed_ghz)
+            .fold(0.0, f64::max)
+    }
+
+    /// GHz-seconds accumulated in `[from, to)` — multiply by the platform's
+    /// units-per-GHz-second to get processing volume.
+    pub fn ghz_seconds(&self, from: SimTime, to: SimTime) -> f64 {
+        if !to.after(from) {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for seg in &self.segments {
+            let lo = seg.start.max(from);
+            let hi = seg.end.min(to);
+            if hi.after(lo) {
+                acc += seg.speed_ghz * hi.saturating_since(lo).as_secs();
+            }
+        }
+        acc
+    }
+
+    /// Energy (joules) consumed over `[from, to)` under `model`.
+    pub fn energy(&self, model: &dyn PowerModel, from: SimTime, to: SimTime) -> f64 {
+        if !to.after(from) {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for seg in &self.segments {
+            let lo = seg.start.max(from);
+            let hi = seg.end.min(to);
+            if hi.after(lo) {
+                acc += model.energy(seg.speed_ghz, hi.saturating_since(lo).as_secs());
+            }
+        }
+        acc
+    }
+
+    /// Earliest time at (or after) `from` by which `ghz_secs` GHz-seconds
+    /// have accumulated, or `None` if the profile runs out first.
+    pub fn time_for_ghz_seconds(&self, from: SimTime, ghz_secs: f64) -> Option<SimTime> {
+        if ghz_secs <= TIME_EPS {
+            return Some(from);
+        }
+        let mut remaining = ghz_secs;
+        for seg in &self.segments {
+            let lo = seg.start.max(from);
+            if !seg.end.after(lo) || seg.speed_ghz <= 0.0 {
+                continue;
+            }
+            let capacity = seg.speed_ghz * seg.end.saturating_since(lo).as_secs();
+            if capacity + 1e-12 >= remaining {
+                let dt = remaining / seg.speed_ghz;
+                return Some(lo + ge_simcore::SimDuration::from_secs(dt));
+            }
+            remaining -= capacity;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PolynomialPower;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn sample() -> SpeedProfile {
+        SpeedProfile::new(vec![
+            SpeedSegment::new(t(0.0), t(1.0), 2.0),
+            SpeedSegment::new(t(1.0), t(2.0), 1.0),
+            // Gap [2, 3): idle.
+            SpeedSegment::new(t(3.0), t(4.0), 4.0),
+        ])
+    }
+
+    #[test]
+    fn speed_lookup() {
+        let p = sample();
+        assert_eq!(p.speed_at(t(0.5)), 2.0);
+        assert_eq!(p.speed_at(t(1.5)), 1.0);
+        assert_eq!(p.speed_at(t(2.5)), 0.0); // gap
+        assert_eq!(p.speed_at(t(3.5)), 4.0);
+        assert_eq!(p.speed_at(t(9.0)), 0.0); // past the end
+    }
+
+    #[test]
+    fn ghz_seconds_full_span() {
+        let p = sample();
+        // 2·1 + 1·1 + 0·1 + 4·1 = 7 GHz-s.
+        assert!((p.ghz_seconds(t(0.0), t(4.0)) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_seconds_partial_overlap() {
+        let p = sample();
+        // [0.5, 1.5): 2·0.5 + 1·0.5 = 1.5.
+        assert!((p.ghz_seconds(t(0.5), t(1.5)) - 1.5).abs() < 1e-12);
+        // Fully inside the gap.
+        assert_eq!(p.ghz_seconds(t(2.1), t(2.9)), 0.0);
+        // Inverted interval.
+        assert_eq!(p.ghz_seconds(t(3.0), t(1.0)), 0.0);
+    }
+
+    #[test]
+    fn energy_integral() {
+        let p = sample();
+        let m = PolynomialPower::paper_default();
+        // 5·4·1 + 5·1·1 + 5·16·1 = 20 + 5 + 80 = 105 J.
+        assert!((p.energy(&m, t(0.0), t(4.0)) - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_additivity() {
+        let p = sample();
+        let m = PolynomialPower::paper_default();
+        let whole = p.energy(&m, t(0.0), t(4.0));
+        let split = p.energy(&m, t(0.0), t(1.7)) + p.energy(&m, t(1.7), t(4.0));
+        assert!((whole - split).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_for_volume() {
+        let p = sample();
+        // 2 GHz-s accumulate exactly at t = 1.0.
+        let at = p.time_for_ghz_seconds(t(0.0), 2.0).unwrap();
+        assert!(at.approx_eq(t(1.0)));
+        // 2.5 GHz-s: 0.5 more at 1 GHz → t = 1.5.
+        let at = p.time_for_ghz_seconds(t(0.0), 2.5).unwrap();
+        assert!(at.approx_eq(t(1.5)));
+        // Crossing the idle gap: 3.5 GHz-s → 0.5 into the 4 GHz segment
+        // → 3 + 0.5/4.
+        let at = p.time_for_ghz_seconds(t(0.0), 3.0 + 2.0).unwrap();
+        assert!(at.approx_eq(t(3.5)));
+        // More volume than the whole profile has.
+        assert!(p.time_for_ghz_seconds(t(0.0), 100.0).is_none());
+    }
+
+    #[test]
+    fn time_for_zero_volume_is_now() {
+        let p = sample();
+        assert!(p.time_for_ghz_seconds(t(0.7), 0.0).unwrap().approx_eq(t(0.7)));
+    }
+
+    #[test]
+    fn max_speed_and_end() {
+        let p = sample();
+        assert_eq!(p.max_speed(), 4.0);
+        assert!(p.end().unwrap().approx_eq(t(4.0)));
+        assert!(SpeedProfile::empty().end().is_none());
+        assert_eq!(SpeedProfile::empty().max_speed(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_segments_panic() {
+        let _ = SpeedProfile::new(vec![
+            SpeedSegment::new(t(0.0), t(2.0), 1.0),
+            SpeedSegment::new(t(1.0), t(3.0), 1.0),
+        ]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_segment_panics() {
+        let _ = SpeedSegment::new(t(1.0), t(1.0), 1.0);
+    }
+
+    #[test]
+    fn push_in_order() {
+        let mut p = SpeedProfile::empty();
+        p.push(SpeedSegment::new(t(0.0), t(1.0), 1.0));
+        p.push(SpeedSegment::new(t(1.0), t(2.0), 2.0));
+        assert_eq!(p.segments().len(), 2);
+    }
+
+    #[test]
+    fn volume_starting_mid_profile() {
+        let p = sample();
+        // From t=0.5: remaining capacity 2·0.5 + 1·1 + 4·1 = 6.
+        assert!((p.ghz_seconds(t(0.5), t(10.0)) - 6.0).abs() < 1e-12);
+        let at = p.time_for_ghz_seconds(t(0.5), 1.0).unwrap();
+        assert!(at.approx_eq(t(1.0)));
+    }
+}

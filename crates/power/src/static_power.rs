@@ -1,0 +1,153 @@
+//! Static + dynamic power modelling.
+//!
+//! The paper deliberately drops static power from the optimization
+//! (§II-B: cores cannot be individually shut down, so it is a constant
+//! offset common to every algorithm) and from the reported energy
+//! (§IV-B). For downstream users studying consolidation or race-to-idle
+//! questions — where static power *does* change the answer — this module
+//! provides the richer model as a library capability: a per-core static
+//! floor paid while the core is powered, plus the convex dynamic term.
+//!
+//! [`StaticDynamicPower`] implements [`PowerModel`], so it can drive the
+//! same profiles, meters, and YDS plans. Note that with a static floor
+//! YDS's "slow and steady" plan is no longer globally optimal (a
+//! *critical speed* `s* = (P_static/(a·(β−1)))^{1/β}` below which running
+//! slower wastes static energy); [`StaticDynamicPower::critical_speed`]
+//! exposes that threshold so schedulers can clamp against it.
+
+use crate::model::{PolynomialPower, PowerModel};
+
+/// `P(s) = P_static + a·s^β` while powered (the static term is paid even
+/// at `s = 0` — the paper's "cores cannot be individually shut down").
+#[derive(Debug, Clone, Copy)]
+pub struct StaticDynamicPower {
+    dynamic: PolynomialPower,
+    static_w: f64,
+}
+
+impl StaticDynamicPower {
+    /// Creates the model from a dynamic part and a static floor (watts).
+    ///
+    /// # Panics
+    /// Panics if the static floor is negative or non-finite.
+    pub fn new(dynamic: PolynomialPower, static_w: f64) -> Self {
+        assert!(
+            static_w.is_finite() && static_w >= 0.0,
+            "invalid static power {static_w}"
+        );
+        StaticDynamicPower { dynamic, static_w }
+    }
+
+    /// The paper's dynamic constants with a representative 2 W static
+    /// floor per core (~10 % of the 20 W equal share).
+    pub fn paper_with_static(static_w: f64) -> Self {
+        Self::new(PolynomialPower::paper_default(), static_w)
+    }
+
+    /// The static floor (watts).
+    pub fn static_w(&self) -> f64 {
+        self.static_w
+    }
+
+    /// The dynamic component.
+    pub fn dynamic(&self) -> &PolynomialPower {
+        &self.dynamic
+    }
+
+    /// The energy-optimal minimum operating speed: below `s*`, stretching
+    /// work out costs more static energy than the convexity saves.
+    /// `s* = (P_static / (a·(β−1)))^{1/β}` for `P = P_s + a·s^β`.
+    pub fn critical_speed(&self) -> f64 {
+        let a = self.dynamic.scale();
+        let beta = self.dynamic.exponent();
+        (self.static_w / (a * (beta - 1.0))).powf(1.0 / beta)
+    }
+}
+
+impl PowerModel for StaticDynamicPower {
+    fn power(&self, speed_ghz: f64) -> f64 {
+        self.static_w + self.dynamic.power(speed_ghz)
+    }
+
+    /// Inverse over the *dynamic* head-room: the speed sustainable when
+    /// `power_w` total is available (0 if the static floor alone exceeds
+    /// it).
+    fn speed_for_power(&self, power_w: f64) -> f64 {
+        self.dynamic
+            .speed_for_power((power_w - self.static_w).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> StaticDynamicPower {
+        StaticDynamicPower::paper_with_static(2.0)
+    }
+
+    #[test]
+    fn power_includes_floor() {
+        let m = model();
+        assert!((m.power(0.0) - 2.0).abs() < 1e-12);
+        assert!((m.power(2.0) - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_accounts_for_floor() {
+        let m = model();
+        // 22 W total = 2 W static + 20 W dynamic → 2 GHz.
+        assert!((m.speed_for_power(22.0) - 2.0).abs() < 1e-9);
+        // Below the floor: no dynamic head-room at all.
+        assert_eq!(m.speed_for_power(1.0), 0.0);
+    }
+
+    #[test]
+    fn round_trip_above_floor() {
+        let m = model();
+        for s in [0.5, 1.0, 2.0, 4.0] {
+            let p = m.power(s);
+            assert!((m.speed_for_power(p) - s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn critical_speed_formula() {
+        // For P = 2 + 5 s²: s* = sqrt(2 / (5·1)) = sqrt(0.4).
+        let m = model();
+        let expected = (2.0f64 / 5.0).sqrt();
+        assert!((m.critical_speed() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_speed_minimizes_energy_per_work() {
+        // Energy per unit work E(s) = P(s)/s is minimized at s*.
+        let m = model();
+        let s_star = m.critical_speed();
+        let epw = |s: f64| m.power(s) / s;
+        assert!(epw(s_star) < epw(s_star * 0.7));
+        assert!(epw(s_star) < epw(s_star * 1.4));
+    }
+
+    #[test]
+    fn zero_static_floor_degenerates_to_polynomial() {
+        let m = StaticDynamicPower::paper_with_static(0.0);
+        let p = PolynomialPower::paper_default();
+        for s in [0.0, 1.0, 3.0] {
+            assert!((m.power(s) - p.power(s)).abs() < 1e-12);
+        }
+        assert_eq!(m.critical_speed(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_floor_panics() {
+        let _ = StaticDynamicPower::paper_with_static(-1.0);
+    }
+
+    #[test]
+    fn works_through_trait_object() {
+        let m: Box<dyn PowerModel> = Box::new(model());
+        assert!((m.energy(2.0, 3.0) - 66.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,523 @@
+//! Energy-OPT: the Yao–Demers–Shenker minimum-energy speed scheduler.
+//!
+//! Paper §III-E: "the jobs assigned to each core are executed in order of
+//! their deadlines by the existing Energy-OPT algorithm \[28\] to achieve the
+//! least power consumption." Reference \[28\] is Yao, Demers, Shenker, *A
+//! scheduling model for reduced CPU energy*, FOCS 1995: for jobs with
+//! release times, deadlines, and work volumes on one variable-speed core
+//! with convex power, the minimum-energy feasible schedule repeatedly
+//! peels off the **critical interval** — the interval of maximum intensity
+//! (work whose windows fit inside, divided by available length) — runs its
+//! jobs at exactly that intensity, and recurses on the rest.
+//!
+//! This implementation keeps original (uncollapsed) coordinates: instead
+//! of contracting time after each peel, later iterations measure a
+//! candidate interval's *available* length excluding already-blocked
+//! critical intervals. The two formulations are equivalent (blocked time
+//! is exactly what collapsing removes), and this one maps directly onto a
+//! [`SpeedProfile`] in real time.
+//!
+//! Work is measured in **GHz-seconds** (processing units divided by the
+//! platform's units-per-GHz-second), so intensity is directly a speed.
+
+use crate::model::PowerModel;
+use crate::profile::{SpeedProfile, SpeedSegment};
+use ge_simcore::SimTime;
+
+/// One job as seen by the speed scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YdsJob {
+    /// Caller's identifier (e.g. index into the core's batch).
+    pub id: usize,
+    /// Earliest start, seconds.
+    pub release: f64,
+    /// Deadline, seconds (`> release`).
+    pub deadline: f64,
+    /// Work in GHz-seconds (`≥ 0`).
+    pub work: f64,
+}
+
+impl YdsJob {
+    /// Creates a job, validating invariants.
+    ///
+    /// # Panics
+    /// Panics if the window is empty or the work is negative/non-finite.
+    pub fn new(id: usize, release: f64, deadline: f64, work: f64) -> Self {
+        assert!(
+            release.is_finite() && deadline.is_finite() && deadline > release,
+            "job {id}: invalid window [{release}, {deadline}]"
+        );
+        assert!(
+            work.is_finite() && work >= 0.0,
+            "job {id}: invalid work {work}"
+        );
+        YdsJob {
+            id,
+            release,
+            deadline,
+            work,
+        }
+    }
+}
+
+/// The result of Energy-OPT planning.
+#[derive(Debug, Clone)]
+pub struct YdsSchedule {
+    /// The minimum-energy speed plan (sorted, disjoint segments).
+    pub profile: SpeedProfile,
+    /// The peak (first critical-interval) intensity in GHz.
+    pub peak_speed: f64,
+}
+
+impl YdsSchedule {
+    /// Planned energy under `model` over the whole profile.
+    pub fn energy(&self, model: &dyn PowerModel) -> f64 {
+        match self.profile.end() {
+            None => 0.0,
+            Some(end) => self.profile.energy(model, SimTime::ZERO, end),
+        }
+    }
+}
+
+/// A blocked (already planned) stretch of time running at `speed`.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    start: f64,
+    end: f64,
+    speed: f64,
+}
+
+/// Splits `[lo, hi]` into its maximal sub-intervals not covered by `blocks`.
+fn free_parts(lo: f64, hi: f64, blocks: &[Block]) -> Vec<(f64, f64)> {
+    let mut covered: Vec<(f64, f64)> = blocks
+        .iter()
+        .filter(|b| b.end > lo && b.start < hi)
+        .map(|b| (b.start.max(lo), b.end.min(hi)))
+        .collect();
+    covered.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let mut parts = Vec::new();
+    let mut cursor = lo;
+    for (s, e) in covered {
+        if s > cursor + 1e-12 {
+            parts.push((cursor, s));
+        }
+        cursor = cursor.max(e);
+    }
+    if hi > cursor + 1e-12 {
+        parts.push((cursor, hi));
+    }
+    parts
+}
+
+/// Computes the Energy-OPT (YDS) schedule for a batch of jobs on one core.
+///
+/// Returns a speed profile under which EDF execution finishes every job by
+/// its deadline with the minimum possible `∫ a·s^β dt` for any convex
+/// power function (the YDS plan is power-function-independent).
+///
+/// Jobs with zero work are ignored. An empty batch yields an empty profile.
+///
+/// ```
+/// use ge_power::{yds_schedule, YdsJob};
+///
+/// // A single job: optimal speed is work/window, constant.
+/// let s = yds_schedule(&[YdsJob::new(0, 0.0, 2.0, 3.0)]);
+/// assert!((s.peak_speed - 1.5).abs() < 1e-9);
+/// ```
+pub fn yds_schedule(jobs: &[YdsJob]) -> YdsSchedule {
+    let mut remaining: Vec<YdsJob> = jobs.iter().filter(|j| j.work > 0.0).copied().collect();
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut peak = 0.0f64;
+
+    // Jobs sorted by deadline once; the per-peel sweep below walks this
+    // order and filters by release, so each (t1, ·) sweep is one pass.
+    let mut by_deadline: Vec<YdsJob> = remaining.clone();
+    by_deadline.sort_by(|a, b| a.deadline.partial_cmp(&b.deadline).expect("finite"));
+
+    while !remaining.is_empty() {
+        // Candidate critical intervals: [release_i, deadline_j] pairs.
+        let mut releases: Vec<f64> = remaining.iter().map(|j| j.release).collect();
+        releases.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        releases.dedup();
+
+        // Prefix view of blocked time for O(log B) avail queries:
+        // `blocked_before(x)` = total blocked length left of `x`.
+        let mut sorted_blocks: Vec<(f64, f64)> =
+            blocks.iter().map(|b| (b.start, b.end)).collect();
+        sorted_blocks.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut prefix = Vec::with_capacity(sorted_blocks.len() + 1);
+        prefix.push(0.0f64);
+        for &(s, e) in &sorted_blocks {
+            prefix.push(prefix.last().expect("non-empty") + (e - s));
+        }
+        let blocked_before = |x: f64| -> f64 {
+            // Blocks are disjoint and sorted; find how many end before x,
+            // then add the partial overlap of the straddling block.
+            let idx = sorted_blocks.partition_point(|&(s, _)| s < x);
+            let mut acc = prefix[idx];
+            if idx > 0 {
+                let (s, e) = sorted_blocks[idx - 1];
+                // Block idx-1 starts before x; subtract any part past x.
+                acc -= (e - x.max(s)).max(0.0);
+            }
+            acc
+        };
+
+        let mut best: Option<(f64, f64, f64)> = None; // (t1, t2, intensity)
+        for &t1 in &releases {
+            let blocked_at_t1 = blocked_before(t1);
+            // Sweep deadlines ascending, accumulating the work of jobs
+            // whose window fits [t1, t2].
+            let mut work = 0.0;
+            let mut i = 0;
+            while i < by_deadline.len() {
+                let t2 = by_deadline[i].deadline;
+                // Fold in every job sharing this deadline.
+                while i < by_deadline.len()
+                    && (by_deadline[i].deadline - t2).abs() <= 1e-12
+                {
+                    if by_deadline[i].release >= t1 - 1e-12 {
+                        work += by_deadline[i].work;
+                    }
+                    i += 1;
+                }
+                if t2 <= t1 || work <= 0.0 {
+                    continue;
+                }
+                let avail = (t2 - t1) - (blocked_before(t2) - blocked_at_t1);
+                let intensity = if avail <= 1e-12 {
+                    // Window already fully blocked: only possible for
+                    // degenerate inputs; treat as unbounded so it is peeled
+                    // immediately (it will get a zero-length block).
+                    f64::INFINITY
+                } else {
+                    work / avail
+                };
+                let better = match best {
+                    None => true,
+                    Some((_, _, bi)) => intensity > bi,
+                };
+                if better {
+                    best = Some((t1, t2, intensity));
+                }
+            }
+        }
+
+        let (t1, t2, intensity) =
+            best.expect("non-empty remaining set must yield a candidate interval");
+        debug_assert!(
+            intensity.is_finite(),
+            "infinite intensity: a remaining job has zero available window"
+        );
+        peak = peak.max(intensity);
+
+        // Block the free parts of the critical interval at this intensity.
+        for (s, e) in free_parts(t1, t2, &blocks) {
+            blocks.push(Block {
+                start: s,
+                end: e,
+                speed: intensity,
+            });
+        }
+        // Remove the jobs inside the critical interval.
+        remaining.retain(|j| !(j.release >= t1 - 1e-12 && j.deadline <= t2 + 1e-12));
+        by_deadline.retain(|j| !(j.release >= t1 - 1e-12 && j.deadline <= t2 + 1e-12));
+    }
+
+    blocks.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));
+    // Merge adjacent equal-speed blocks for a tidy profile.
+    let mut segments: Vec<SpeedSegment> = Vec::with_capacity(blocks.len());
+    for b in blocks {
+        if b.end - b.start <= 1e-12 {
+            continue;
+        }
+        if let Some(last) = segments.last_mut() {
+            if (last.speed_ghz - b.speed).abs() < 1e-12 && last.end.approx_eq(SimTime::from_secs(b.start))
+            {
+                *last = SpeedSegment::new(last.start, SimTime::from_secs(b.end), last.speed_ghz);
+                continue;
+            }
+        }
+        segments.push(SpeedSegment::new(
+            SimTime::from_secs(b.start),
+            SimTime::from_secs(b.end),
+            b.speed,
+        ));
+    }
+
+    YdsSchedule {
+        profile: SpeedProfile::new(segments),
+        peak_speed: peak,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Simulates preemptive EDF over `profile` and checks every job
+    /// finishes by its deadline. Returns per-job completion times.
+    pub(crate) fn edf_feasible(jobs: &[YdsJob], profile: &SpeedProfile) -> bool {
+        let mut remaining: Vec<f64> = jobs.iter().map(|j| j.work).collect();
+        // Event times: releases, deadlines, segment boundaries.
+        let mut times: Vec<f64> = jobs
+            .iter()
+            .flat_map(|j| [j.release, j.deadline])
+            .chain(
+                profile
+                    .segments()
+                    .iter()
+                    .flat_map(|s| [s.start.as_secs(), s.end.as_secs()]),
+            )
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        for w in times.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut budget =
+                profile.ghz_seconds(SimTime::from_secs(lo), SimTime::from_secs(hi));
+            // Spend the interval's capacity on live jobs in EDF order.
+            loop {
+                let next = jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, j)| {
+                        remaining[*i] > 1e-9 && j.release <= lo + 1e-9 && j.deadline >= hi - 1e-9
+                    })
+                    .min_by(|a, b| a.1.deadline.partial_cmp(&b.1.deadline).unwrap());
+                let Some((i, _)) = next else { break };
+                if budget <= 1e-12 {
+                    break;
+                }
+                let used = budget.min(remaining[i]);
+                remaining[i] -= used;
+                budget -= used;
+            }
+        }
+        remaining.iter().all(|&r| r < 1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PolynomialPower, PowerModel};
+
+    use super::testutil::edf_feasible;
+
+
+    #[test]
+    fn empty_batch() {
+        let s = yds_schedule(&[]);
+        assert!(s.profile.is_empty());
+        assert_eq!(s.peak_speed, 0.0);
+    }
+
+    #[test]
+    fn single_job_runs_at_density() {
+        let s = yds_schedule(&[YdsJob::new(0, 1.0, 3.0, 4.0)]);
+        assert!((s.peak_speed - 2.0).abs() < 1e-9);
+        let segs = s.profile.segments();
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].start.approx_eq(SimTime::from_secs(1.0)));
+        assert!(segs[0].end.approx_eq(SimTime::from_secs(3.0)));
+    }
+
+    #[test]
+    fn textbook_two_job_nesting() {
+        // A long low-density job with a short high-density job nested
+        // inside: the short one forms the critical interval; the long one
+        // runs slower in the leftovers.
+        let jobs = [
+            YdsJob::new(0, 0.0, 10.0, 5.0), // density 0.5
+            YdsJob::new(1, 4.0, 6.0, 4.0),  // density 2.0 — critical
+        ];
+        let s = yds_schedule(&jobs);
+        assert!((s.peak_speed - 2.0).abs() < 1e-9);
+        // Outside [4,6] the long job has 5 work over 8 free seconds.
+        assert!((s.profile.speed_at(SimTime::from_secs(1.0)) - 5.0 / 8.0).abs() < 1e-9);
+        assert!((s.profile.speed_at(SimTime::from_secs(5.0)) - 2.0).abs() < 1e-9);
+        assert!(edf_feasible(&jobs, &s.profile));
+    }
+
+    #[test]
+    fn identical_windows_aggregate() {
+        let jobs = [
+            YdsJob::new(0, 0.0, 2.0, 1.0),
+            YdsJob::new(1, 0.0, 2.0, 2.0),
+            YdsJob::new(2, 0.0, 2.0, 3.0),
+        ];
+        let s = yds_schedule(&jobs);
+        assert!((s.peak_speed - 3.0).abs() < 1e-9);
+        assert!(edf_feasible(&jobs, &s.profile));
+    }
+
+    #[test]
+    fn agreeable_deadlines_chain() {
+        // The paper's setting: agreeable (ordered) windows.
+        let jobs = [
+            YdsJob::new(0, 0.0, 0.15, 0.2),
+            YdsJob::new(1, 0.05, 0.20, 0.1),
+            YdsJob::new(2, 0.10, 0.25, 0.3),
+        ];
+        let s = yds_schedule(&jobs);
+        assert!(edf_feasible(&jobs, &s.profile));
+        // Total volume must be conserved.
+        let vol = s
+            .profile
+            .ghz_seconds(SimTime::ZERO, SimTime::from_secs(1.0));
+        assert!((vol - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_jobs_ignored() {
+        let jobs = [
+            YdsJob::new(0, 0.0, 1.0, 0.0),
+            YdsJob::new(1, 0.0, 1.0, 2.0),
+        ];
+        let s = yds_schedule(&jobs);
+        assert!((s.peak_speed - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_beats_proportional_share() {
+        // Proportional-share (each job at its own density, speeds added) is
+        // feasible; YDS must use no more energy.
+        let jobs = [
+            YdsJob::new(0, 0.0, 4.0, 2.0),
+            YdsJob::new(1, 1.0, 3.0, 3.0),
+            YdsJob::new(2, 2.0, 6.0, 1.0),
+        ];
+        let model = PolynomialPower::paper_default();
+        let s = yds_schedule(&jobs);
+        let e_yds = s.energy(&model);
+
+        // Proportional-share energy by fine integration.
+        let dt = 1e-3;
+        let mut e_prop = 0.0;
+        let mut t = 0.0;
+        while t < 6.0 {
+            let speed: f64 = jobs
+                .iter()
+                .filter(|j| j.release <= t && t < j.deadline)
+                .map(|j| j.work / (j.deadline - j.release))
+                .sum();
+            e_prop += model.power(speed) * dt;
+            t += dt;
+        }
+        assert!(
+            e_yds <= e_prop + 1e-6,
+            "YDS {e_yds} should not exceed proportional {e_prop}"
+        );
+    }
+
+    #[test]
+    fn energy_meets_jensen_lower_bound() {
+        let jobs = [
+            YdsJob::new(0, 0.0, 2.0, 1.5),
+            YdsJob::new(1, 0.5, 4.0, 2.0),
+            YdsJob::new(2, 3.0, 5.0, 1.0),
+        ];
+        let model = PolynomialPower::paper_default();
+        let s = yds_schedule(&jobs);
+        let total_work: f64 = jobs.iter().map(|j| j.work).sum();
+        let span = 5.0;
+        let lb = model.power(total_work / span) * span;
+        assert!(s.energy(&model) >= lb - 1e-9);
+    }
+
+    #[test]
+    fn profile_covers_exactly_total_work() {
+        let jobs = [
+            YdsJob::new(0, 0.0, 1.5, 1.0),
+            YdsJob::new(1, 0.2, 0.9, 0.5),
+            YdsJob::new(2, 1.0, 2.0, 0.7),
+        ];
+        let s = yds_schedule(&jobs);
+        let vol = s
+            .profile
+            .ghz_seconds(SimTime::ZERO, SimTime::from_secs(10.0));
+        assert!((vol - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speeds_are_levels_of_criticality() {
+        // Peak intensity appears first; later peels never exceed it.
+        let jobs = [
+            YdsJob::new(0, 0.0, 8.0, 2.0),
+            YdsJob::new(1, 1.0, 2.0, 3.0),
+            YdsJob::new(2, 5.0, 7.0, 2.0),
+        ];
+        let s = yds_schedule(&jobs);
+        assert!((s.peak_speed - 3.0).abs() < 1e-9);
+        assert!((s.profile.max_speed() - s.peak_speed).abs() < 1e-12);
+        assert!(edf_feasible(&jobs, &s.profile));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::model::{PolynomialPower, PowerModel};
+    use proptest::prelude::*;
+
+    fn arb_jobs(max_n: usize) -> impl Strategy<Value = Vec<YdsJob>> {
+        proptest::collection::vec(
+            (0.0..10.0f64, 0.01..5.0f64, 0.0..4.0f64),
+            1..max_n,
+        )
+        .prop_map(|specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (r, w, work))| YdsJob::new(i, r, r + w, work))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn always_edf_feasible(jobs in arb_jobs(12)) {
+            let s = yds_schedule(&jobs);
+            prop_assert!(super::testutil::edf_feasible(&jobs, &s.profile));
+        }
+
+        #[test]
+        fn conserves_work(jobs in arb_jobs(12)) {
+            let s = yds_schedule(&jobs);
+            let total: f64 = jobs.iter().map(|j| j.work).sum();
+            let vol = s.profile.ghz_seconds(
+                SimTime::ZERO,
+                SimTime::from_secs(100.0),
+            );
+            prop_assert!((vol - total).abs() < 1e-6);
+        }
+
+        #[test]
+        fn never_beats_jensen_bound(jobs in arb_jobs(10)) {
+            let model = PolynomialPower::paper_default();
+            let s = yds_schedule(&jobs);
+            let total: f64 = jobs.iter().map(|j| j.work).sum();
+            let lo = jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min);
+            let hi = jobs.iter().map(|j| j.deadline).fold(0.0, f64::max);
+            let span = hi - lo;
+            prop_assume!(span > 1e-6);
+            let lb = model.power(total / span) * span;
+            prop_assert!(s.energy(&model) >= lb - 1e-6);
+        }
+
+        #[test]
+        fn peak_is_max_single_interval_intensity(jobs in arb_jobs(10)) {
+            // The peak speed must be at least any single job's density.
+            let s = yds_schedule(&jobs);
+            for j in &jobs {
+                let density = j.work / (j.deadline - j.release);
+                prop_assert!(s.peak_speed >= density - 1e-9);
+            }
+        }
+    }
+}
+

@@ -1,0 +1,356 @@
+//! The Longest-First (LF) job-cutting policy (paper §III-B).
+//!
+//! In AES mode the GE algorithm trims the *tails* of jobs — the portion
+//! with the lowest marginal quality under a concave quality function —
+//! until the batch quality equals the good-enough target `Q_GE`:
+//!
+//! 1. sort jobs by demand, descending;
+//! 2. repeatedly level the longest job(s) down to the next-longest value,
+//!    recomputing the batch quality `Q = Σ f(c_j) / Σ f(p_j)`;
+//! 3. when a levelling step would push `Q` below `Q_GE`, solve the final
+//!    common level exactly: with `U` uncut and `C` cut jobs, each cut job
+//!    needs quality `f(c) = (Q_GE (F_U + F_C) − F_U)/|C|`, inverted on the
+//!    (monotone) quality function — the paper does this by binary search,
+//!    we call [`QualityFunction::inverse`] which defaults to exactly that.
+//!
+//! Levelling the longest jobs to a common level `L` is the same as setting
+//! `c_j = min(p_j, L)`, so the whole procedure amounts to finding the level
+//! `L*` at which the batch quality hits `Q_GE`. Because
+//! `g(L) = Σ f(min(p_j, L))` is continuous and strictly increasing in `L`
+//! (up to the max demand), `L*` is unique; the discrete walk below brackets
+//! it between adjacent demand values and the final solve is exact.
+
+use crate::function::QualityFunction;
+
+/// Result of an LF cut over one batch.
+#[derive(Debug, Clone)]
+pub struct CutOutcome {
+    /// Cut demand `c_j ≤ p_j` for each input job, in input order.
+    pub cut_demands: Vec<f64>,
+    /// The common level `L*` applied to cut jobs (`∞` if nothing was cut).
+    pub level: f64,
+    /// Number of jobs whose demand was reduced.
+    pub cut_count: usize,
+    /// Batch quality after the cut: `Σ f(c_j) / Σ f(p_j)` (1.0 for empty).
+    pub achieved_quality: f64,
+}
+
+/// Applies the LF cutting policy to a batch of demands.
+///
+/// Returns per-job cut demands such that the batch quality equals `q_ge`
+/// (or stays at 1 if `q_ge ≥ 1`, or drops to whatever a zero-level cut
+/// gives if `q_ge ≤ 0`).
+///
+/// ```
+/// use ge_quality::{lf_cut, ExpConcave};
+///
+/// let f = ExpConcave::paper_default();
+/// let out = lf_cut(&f, &[1000.0, 600.0, 300.0, 100.0], 0.9);
+/// assert!((out.achieved_quality - 0.9).abs() < 1e-9);
+/// // Tails are cut from the longest jobs first.
+/// assert!(out.cut_demands[0] < 1000.0);
+/// assert_eq!(out.cut_demands[3], 100.0);
+/// ```
+pub fn lf_cut(f: &dyn QualityFunction, demands: &[f64], q_ge: f64) -> CutOutcome {
+    let n = demands.len();
+    if n == 0 {
+        return CutOutcome {
+            cut_demands: Vec::new(),
+            level: f64::INFINITY,
+            cut_count: 0,
+            achieved_quality: 1.0,
+        };
+    }
+    debug_assert!(demands.iter().all(|&d| d.is_finite() && d >= 0.0));
+
+    let full_sum: f64 = demands.iter().map(|&d| f.value(d)).sum();
+    if full_sum <= 0.0 || q_ge >= 1.0 {
+        // Nothing to gain from cutting (or no cutting allowed).
+        return CutOutcome {
+            cut_demands: demands.to_vec(),
+            level: f64::INFINITY,
+            cut_count: 0,
+            achieved_quality: 1.0,
+        };
+    }
+    let target = (q_ge.max(0.0)) * full_sum;
+
+    // Sort demands descending; walk candidate levels (each distinct demand,
+    // then zero) until the quality at that level falls to/below the target.
+    let mut sorted: Vec<f64> = demands.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("demands are finite"));
+
+    // suffix_f[i] = Σ_{j ≥ i} f(sorted[j]); computed incrementally as we
+    // walk i upward by *removing* terms from the full sum.
+    let mut suffix_f = full_sum;
+    let mut k = 0usize; // number of jobs strictly above the current level
+    let mut solved_level = None;
+
+    let mut i = 0;
+    while i < n {
+        // Advance over the run of jobs equal to sorted[i].
+        let run_value = sorted[i];
+        let mut run_len = 0;
+        while i + run_len < n && sorted[i + run_len] == run_value {
+            run_len += 1;
+        }
+        // These run jobs leave the "uncut suffix" and join the cut set.
+        suffix_f -= f.value(run_value) * run_len as f64;
+        k += run_len;
+        i += run_len;
+
+        // Next candidate level: the next distinct demand, or 0 at the end.
+        let next_level = if i < n { sorted[i] } else { 0.0 };
+
+        // Quality with all k cut jobs levelled to `next_level`.
+        let q_at_next = suffix_f + k as f64 * f.value(next_level);
+        if q_at_next <= target {
+            // L* lies in [next_level, run_value]: solve k·f(L) = target − suffix_f.
+            let per_job_quality = ((target - suffix_f) / k as f64).max(0.0);
+            let l = f.inverse(per_job_quality);
+            solved_level = Some(l.clamp(next_level, run_value));
+            break;
+        }
+    }
+
+    let l_star = solved_level.unwrap_or(0.0);
+    let cut_demands: Vec<f64> = demands.iter().map(|&d| d.min(l_star)).collect();
+    let achieved: f64 = cut_demands.iter().map(|&c| f.value(c)).sum::<f64>() / full_sum;
+    let cut_count = demands
+        .iter()
+        .zip(&cut_demands)
+        .filter(|(&p, &c)| c < p - 1e-12)
+        .count();
+
+    CutOutcome {
+        cut_demands,
+        level: l_star,
+        cut_count,
+        achieved_quality: achieved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{ExpConcave, LinearQuality, PowerLawQuality};
+
+    fn paper_f() -> ExpConcave {
+        ExpConcave::paper_default()
+    }
+
+    fn batch_quality(f: &dyn QualityFunction, full: &[f64], cut: &[f64]) -> f64 {
+        let num: f64 = cut.iter().map(|&c| f.value(c)).sum();
+        let den: f64 = full.iter().map(|&p| f.value(p)).sum();
+        num / den
+    }
+
+    #[test]
+    fn hits_target_exactly() {
+        let f = paper_f();
+        let demands = [1000.0, 750.0, 420.0, 305.0, 130.0, 990.0];
+        for q in [0.5, 0.7, 0.9, 0.95, 0.99] {
+            let out = lf_cut(&f, &demands, q);
+            assert!(
+                (out.achieved_quality - q).abs() < 1e-9,
+                "target {q} got {}",
+                out.achieved_quality
+            );
+            assert!(
+                (batch_quality(&f, &demands, &out.cut_demands) - q).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn never_extends_jobs() {
+        let f = paper_f();
+        let demands = [900.0, 500.0, 200.0, 140.0];
+        let out = lf_cut(&f, &demands, 0.8);
+        for (p, c) in demands.iter().zip(&out.cut_demands) {
+            assert!(c <= p);
+            assert!(*c >= 0.0);
+        }
+    }
+
+    #[test]
+    fn longest_jobs_cut_first() {
+        // At a mild target only the longest job should be touched.
+        let f = paper_f();
+        let demands = [1000.0, 400.0, 300.0, 200.0];
+        let out = lf_cut(&f, &demands, 0.99);
+        assert!(out.cut_demands[0] < 1000.0);
+        assert_eq!(out.cut_demands[1], 400.0);
+        assert_eq!(out.cut_demands[2], 300.0);
+        assert_eq!(out.cut_demands[3], 200.0);
+        assert_eq!(out.cut_count, 1);
+    }
+
+    #[test]
+    fn cut_jobs_share_a_common_level() {
+        let f = paper_f();
+        let demands = [1000.0, 950.0, 900.0, 100.0];
+        let out = lf_cut(&f, &demands, 0.7);
+        // All jobs above the level end up exactly at the level.
+        for (p, c) in demands.iter().zip(&out.cut_demands) {
+            if *p > out.level {
+                assert!((c - out.level).abs() < 1e-9);
+            } else {
+                assert_eq!(c, p);
+            }
+        }
+    }
+
+    #[test]
+    fn q_ge_one_means_no_cut() {
+        let f = paper_f();
+        let demands = [800.0, 300.0];
+        let out = lf_cut(&f, &demands, 1.0);
+        assert_eq!(out.cut_demands, demands.to_vec());
+        assert_eq!(out.cut_count, 0);
+        assert_eq!(out.achieved_quality, 1.0);
+    }
+
+    #[test]
+    fn q_ge_zero_cuts_everything_to_zero() {
+        let f = paper_f();
+        let out = lf_cut(&f, &[500.0, 300.0], 0.0);
+        assert!(out.cut_demands.iter().all(|&c| c.abs() < 1e-9));
+        assert!(out.achieved_quality.abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let f = paper_f();
+        let out = lf_cut(&f, &[], 0.9);
+        assert!(out.cut_demands.is_empty());
+        assert_eq!(out.achieved_quality, 1.0);
+    }
+
+    #[test]
+    fn single_job() {
+        let f = paper_f();
+        let out = lf_cut(&f, &[600.0], 0.9);
+        assert!((out.achieved_quality - 0.9).abs() < 1e-9);
+        // c solves f(c) = 0.9 · f(600).
+        let expected = f.inverse(0.9 * f.value(600.0));
+        assert!((out.cut_demands[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_demands_handled() {
+        let f = paper_f();
+        let demands = [500.0, 500.0, 500.0, 500.0];
+        let out = lf_cut(&f, &demands, 0.85);
+        assert!((out.achieved_quality - 0.85).abs() < 1e-9);
+        // Symmetry: all jobs get the same cut.
+        let first = out.cut_demands[0];
+        assert!(out.cut_demands.iter().all(|&c| (c - first).abs() < 1e-9));
+        assert_eq!(out.cut_count, 4);
+    }
+
+    #[test]
+    fn cutting_saves_work() {
+        // The point of AES: the work removed should be disproportionally
+        // large compared to the quality given up, thanks to concavity.
+        let f = paper_f();
+        let demands = [1000.0, 800.0, 600.0, 400.0, 200.0];
+        let out = lf_cut(&f, &demands, 0.9);
+        let full: f64 = demands.iter().sum();
+        let kept: f64 = out.cut_demands.iter().sum();
+        let work_saved = 1.0 - kept / full;
+        assert!(
+            work_saved > 0.2,
+            "10% quality sacrifice should save >20% work, saved {work_saved}"
+        );
+    }
+
+    #[test]
+    fn works_with_other_concave_families() {
+        let demands = [1000.0, 320.0, 510.0];
+        for q in [0.6, 0.9] {
+            let f = PowerLawQuality::new(0.5, 1000.0);
+            let out = lf_cut(&f, &demands, q);
+            assert!((out.achieved_quality - q).abs() < 1e-6);
+
+            let f = LinearQuality::new(1000.0);
+            let out = lf_cut(&f, &demands, q);
+            assert!((out.achieved_quality - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_demand_jobs_are_inert() {
+        let f = paper_f();
+        let demands = [0.0, 700.0, 0.0, 300.0];
+        let out = lf_cut(&f, &demands, 0.9);
+        assert_eq!(out.cut_demands[0], 0.0);
+        assert_eq!(out.cut_demands[2], 0.0);
+        assert!((out.achieved_quality - 0.9).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::function::ExpConcave;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn always_hits_target(
+            demands in proptest::collection::vec(1.0..1000.0f64, 1..40),
+            q in 0.05..0.999f64,
+        ) {
+            let f = ExpConcave::paper_default();
+            let out = lf_cut(&f, &demands, q);
+            prop_assert!((out.achieved_quality - q).abs() < 1e-7);
+            for (p, c) in demands.iter().zip(&out.cut_demands) {
+                prop_assert!(*c <= *p + 1e-12);
+                prop_assert!(*c >= -1e-12);
+            }
+        }
+
+        #[test]
+        fn cut_is_levelling(
+            demands in proptest::collection::vec(1.0..1000.0f64, 2..40),
+            q in 0.1..0.95f64,
+        ) {
+            // The outcome must equal min(p_j, L) for the reported level.
+            let f = ExpConcave::paper_default();
+            let out = lf_cut(&f, &demands, q);
+            for (p, c) in demands.iter().zip(&out.cut_demands) {
+                prop_assert!((c - p.min(out.level)).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn lf_is_optimal_among_equal_quality_cuts(
+            demands in proptest::collection::vec(1.0..1000.0f64, 2..12),
+            q in 0.3..0.95f64,
+        ) {
+            // Among allocations achieving the same batch quality, levelling
+            // minimizes total retained work (dual of concave maximization).
+            // Check against a uniform-proportional alternative.
+            let f = ExpConcave::paper_default();
+            let out = lf_cut(&f, &demands, q);
+            let lf_work: f64 = out.cut_demands.iter().sum();
+
+            // Proportional cut achieving the same quality (bisect a scale).
+            let full: f64 = demands.iter().map(|&d| f.value(d)).sum();
+            let target = q * full;
+            let (mut lo, mut hi) = (0.0, 1.0);
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                let got: f64 = demands.iter().map(|&d| f.value(d * mid)).sum();
+                if got < target { lo = mid; } else { hi = mid; }
+            }
+            let scale = 0.5 * (lo + hi);
+            let prop_work: f64 = demands.iter().map(|&d| d * scale).sum();
+            prop_assert!(
+                lf_work <= prop_work + 1e-6,
+                "LF retained {lf_work} > proportional {prop_work}"
+            );
+        }
+    }
+}

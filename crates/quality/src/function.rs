@@ -1,0 +1,572 @@
+//! Concave quality functions.
+//!
+//! Paper §II-A, Eq. 1: the reference quality function is
+//! `f(x) = (1 − e^{−c·x}) / (1 − e^{−c·x_max})`, normalized so that
+//! `f(x_max) = 1`. The constant `c` controls concavity (Fig. 9 sweeps it
+//! from 0.0005 to 0.009); `x_max` is the largest possible demand.
+
+/// A normalized, non-decreasing quality function on `[0, x_max]`.
+///
+/// Invariants every implementation must satisfy (property-tested):
+/// * `value(0) == 0`, `value(x_max) == 1`;
+/// * monotone non-decreasing;
+/// * concave (diminishing returns) — required by the LF-cut and level-fill
+///   optimality arguments.
+pub trait QualityFunction: Send + Sync {
+    /// Quality obtained from processing `x` units (clamped to `[0, x_max]`).
+    fn value(&self, x: f64) -> f64;
+
+    /// The demand at which quality saturates at 1.
+    fn x_max(&self) -> f64;
+
+    /// Inverse: the least `x` with `value(x) ≥ q`, for `q ∈ [0, 1]`.
+    ///
+    /// The default implementation is the paper's binary search on the
+    /// monotone quality function (§III-B step 5); implementations with a
+    /// closed form may override it.
+    fn inverse(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return 0.0;
+        }
+        if q >= 1.0 {
+            return self.x_max();
+        }
+        let (mut lo, mut hi) = (0.0, self.x_max());
+        // 60 bisection steps: |hi − lo| shrinks below x_max·2^-60 — far
+        // beyond f64 resolution for any practical x_max.
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.value(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Marginal quality `f'(x)` via a central difference (overridable).
+    fn marginal(&self, x: f64) -> f64 {
+        let h = (self.x_max() * 1e-7).max(1e-9);
+        let lo = (x - h).max(0.0);
+        let hi = (x + h).min(self.x_max());
+        if hi <= lo {
+            return 0.0;
+        }
+        (self.value(hi) - self.value(lo)) / (hi - lo)
+    }
+}
+
+/// The paper's Eq. 1 exponential-saturation quality function.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConcave {
+    c: f64,
+    x_max: f64,
+    norm: f64,
+}
+
+impl ExpConcave {
+    /// Creates `f(x) = (1 − e^{−c·x})/(1 − e^{−c·x_max})`.
+    ///
+    /// # Panics
+    /// Panics unless `c > 0` and `x_max > 0`, both finite.
+    pub fn new(c: f64, x_max: f64) -> Self {
+        assert!(c.is_finite() && c > 0.0, "concavity must be positive: {c}");
+        assert!(
+            x_max.is_finite() && x_max > 0.0,
+            "x_max must be positive: {x_max}"
+        );
+        ExpConcave {
+            c,
+            x_max,
+            norm: 1.0 - (-c * x_max).exp(),
+        }
+    }
+
+    /// The paper's default: `c = 0.003`, `x_max = 1000`.
+    pub fn paper_default() -> Self {
+        Self::new(0.003, 1000.0)
+    }
+
+    /// The concavity multiplier `c`.
+    pub fn concavity(&self) -> f64 {
+        self.c
+    }
+}
+
+impl QualityFunction for ExpConcave {
+    fn value(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, self.x_max);
+        (1.0 - (-self.c * x).exp()) / self.norm
+    }
+
+    fn x_max(&self) -> f64 {
+        self.x_max
+    }
+
+    /// Closed-form inverse: `x = −ln(1 − q·norm)/c`.
+    fn inverse(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.x_max;
+        }
+        (-(1.0 - q * self.norm).ln() / self.c).clamp(0.0, self.x_max)
+    }
+
+    fn marginal(&self, x: f64) -> f64 {
+        if !(0.0..=self.x_max).contains(&x) {
+            return 0.0;
+        }
+        self.c * (-self.c * x).exp() / self.norm
+    }
+}
+
+/// Linear quality `f(x) = x / x_max` — the "no diminishing returns" control
+/// case (partial processing earns proportional quality).
+#[derive(Debug, Clone, Copy)]
+pub struct LinearQuality {
+    x_max: f64,
+}
+
+impl LinearQuality {
+    /// Creates a linear quality function saturating at `x_max`.
+    ///
+    /// # Panics
+    /// Panics unless `x_max > 0` and finite.
+    pub fn new(x_max: f64) -> Self {
+        assert!(x_max.is_finite() && x_max > 0.0);
+        LinearQuality { x_max }
+    }
+}
+
+impl QualityFunction for LinearQuality {
+    fn value(&self, x: f64) -> f64 {
+        (x / self.x_max).clamp(0.0, 1.0)
+    }
+
+    fn x_max(&self) -> f64 {
+        self.x_max
+    }
+
+    fn inverse(&self, q: f64) -> f64 {
+        q.clamp(0.0, 1.0) * self.x_max
+    }
+
+    fn marginal(&self, x: f64) -> f64 {
+        if (0.0..=self.x_max).contains(&x) {
+            1.0 / self.x_max
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Power-law quality `f(x) = (x/x_max)^γ` with `0 < γ ≤ 1` — an alternate
+/// concave family used to check that conclusions do not hinge on Eq. 1's
+/// specific shape ("taking different concave quality functions would not
+/// change the conclusion", paper §IV-B).
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawQuality {
+    gamma: f64,
+    x_max: f64,
+}
+
+impl PowerLawQuality {
+    /// Creates `f(x) = (x/x_max)^γ`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < γ ≤ 1` (concavity) and `x_max > 0`.
+    pub fn new(gamma: f64, x_max: f64) -> Self {
+        assert!(
+            gamma > 0.0 && gamma <= 1.0,
+            "gamma must be in (0,1] for concavity, got {gamma}"
+        );
+        assert!(x_max.is_finite() && x_max > 0.0);
+        PowerLawQuality { gamma, x_max }
+    }
+}
+
+impl QualityFunction for PowerLawQuality {
+    fn value(&self, x: f64) -> f64 {
+        (x.clamp(0.0, self.x_max) / self.x_max).powf(self.gamma)
+    }
+
+    fn x_max(&self) -> f64 {
+        self.x_max
+    }
+
+    fn inverse(&self, q: f64) -> f64 {
+        q.clamp(0.0, 1.0).powf(1.0 / self.gamma) * self.x_max
+    }
+}
+
+
+/// Logarithmic quality `f(x) = ln(1 + k·x) / ln(1 + k·x_max)` — a heavier
+/// tail of diminishing returns than Eq. 1 (quality keeps creeping up
+/// instead of saturating exponentially). Models services whose marginal
+/// value decays polynomially, e.g. recommendation lists.
+#[derive(Debug, Clone, Copy)]
+pub struct LogQuality {
+    k: f64,
+    x_max: f64,
+    norm: f64,
+}
+
+impl LogQuality {
+    /// Creates `f(x) = ln(1 + k·x)/ln(1 + k·x_max)`.
+    ///
+    /// # Panics
+    /// Panics unless `k > 0` and `x_max > 0`, both finite.
+    pub fn new(k: f64, x_max: f64) -> Self {
+        assert!(k.is_finite() && k > 0.0, "k must be positive, got {k}");
+        assert!(x_max.is_finite() && x_max > 0.0);
+        LogQuality {
+            k,
+            x_max,
+            norm: (1.0 + k * x_max).ln(),
+        }
+    }
+}
+
+impl QualityFunction for LogQuality {
+    fn value(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, self.x_max);
+        (1.0 + self.k * x).ln() / self.norm
+    }
+
+    fn x_max(&self) -> f64 {
+        self.x_max
+    }
+
+    /// Closed-form inverse: `x = (e^{q·norm} − 1)/k`.
+    fn inverse(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        (((q * self.norm).exp() - 1.0) / self.k).clamp(0.0, self.x_max)
+    }
+
+    fn marginal(&self, x: f64) -> f64 {
+        if !(0.0..=self.x_max).contains(&x) {
+            return 0.0;
+        }
+        self.k / ((1.0 + self.k * x) * self.norm)
+    }
+}
+
+/// A piecewise-linear concave quality function through user-supplied
+/// knots — lets downstream users encode *measured* quality curves (e.g.
+/// search-relevance-vs-documents-scanned profiles) instead of a
+/// parametric family.
+#[derive(Debug, Clone)]
+pub struct PiecewiseLinearQuality {
+    /// Knots `(x, q)`, strictly increasing in `x`, starting at `(0, 0)`
+    /// and ending at `(x_max, 1)`.
+    knots: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinearQuality {
+    /// Builds the function from knots.
+    ///
+    /// # Panics
+    /// Panics unless the knots start at `(0, 0)`, end with quality 1, are
+    /// strictly increasing in `x`, non-decreasing in `q`, and have
+    /// non-increasing slopes (concavity).
+    pub fn new(knots: Vec<(f64, f64)>) -> Self {
+        assert!(knots.len() >= 2, "need at least two knots");
+        assert!(
+            knots[0] == (0.0, 0.0),
+            "first knot must be (0, 0), got {:?}",
+            knots[0]
+        );
+        let last = knots[knots.len() - 1];
+        assert!(
+            (last.1 - 1.0).abs() < 1e-12,
+            "last knot must reach quality 1, got {last:?}"
+        );
+        let mut prev_slope = f64::INFINITY;
+        for w in knots.windows(2) {
+            let (x0, q0) = w[0];
+            let (x1, q1) = w[1];
+            assert!(x1 > x0, "knot x must strictly increase");
+            assert!(q1 >= q0, "knot quality must not decrease");
+            let slope = (q1 - q0) / (x1 - x0);
+            assert!(
+                slope <= prev_slope + 1e-12,
+                "slopes must be non-increasing (concavity)"
+            );
+            prev_slope = slope;
+        }
+        PiecewiseLinearQuality { knots }
+    }
+}
+
+impl QualityFunction for PiecewiseLinearQuality {
+    fn value(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, self.x_max());
+        for w in self.knots.windows(2) {
+            let (x0, q0) = w[0];
+            let (x1, q1) = w[1];
+            if x <= x1 {
+                return q0 + (q1 - q0) * (x - x0) / (x1 - x0);
+            }
+        }
+        1.0
+    }
+
+    fn x_max(&self) -> f64 {
+        self.knots[self.knots.len() - 1].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariants(f: &dyn QualityFunction) {
+        assert!(f.value(0.0).abs() < 1e-12, "f(0) must be 0");
+        assert!((f.value(f.x_max()) - 1.0).abs() < 1e-12, "f(x_max) must be 1");
+        // Monotone + concave on a grid.
+        let n = 200;
+        let mut prev = 0.0;
+        let mut prev_slope = f64::INFINITY;
+        for i in 1..=n {
+            let x = f.x_max() * i as f64 / n as f64;
+            let v = f.value(x);
+            assert!(v >= prev - 1e-12, "not monotone at {x}");
+            let slope = (v - prev) / (f.x_max() / n as f64);
+            assert!(
+                slope <= prev_slope + 1e-9,
+                "not concave at {x}: slope {slope} > {prev_slope}"
+            );
+            prev = v;
+            prev_slope = slope;
+        }
+    }
+
+    #[test]
+    fn exp_concave_invariants() {
+        check_invariants(&ExpConcave::paper_default());
+        check_invariants(&ExpConcave::new(0.0005, 1000.0));
+        check_invariants(&ExpConcave::new(0.009, 1000.0));
+    }
+
+    #[test]
+    fn linear_invariants() {
+        check_invariants(&LinearQuality::new(1000.0));
+    }
+
+    #[test]
+    fn power_law_invariants() {
+        check_invariants(&PowerLawQuality::new(0.5, 1000.0));
+        check_invariants(&PowerLawQuality::new(1.0, 1000.0));
+    }
+
+    #[test]
+    fn paper_value_spot_check() {
+        // f(192) with c = 0.003, x_max = 1000:
+        // (1 − e^{−0.576}) / (1 − e^{−3}) ≈ 0.4379 / 0.9502 ≈ 0.4608.
+        let f = ExpConcave::paper_default();
+        assert!((f.value(192.0) - 0.4608).abs() < 5e-4, "{}", f.value(192.0));
+    }
+
+    #[test]
+    fn closed_form_inverse_matches_value() {
+        let f = ExpConcave::paper_default();
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let x = f.inverse(q);
+            assert!((f.value(x) - q).abs() < 1e-9, "inverse broken at q={q}");
+        }
+    }
+
+    #[test]
+    fn default_bisection_inverse_matches_closed_form() {
+        // Exercise the trait's default binary-search inverse against the
+        // closed-form override, via a wrapper that hides the override.
+        struct Hidden(ExpConcave);
+        impl QualityFunction for Hidden {
+            fn value(&self, x: f64) -> f64 {
+                self.0.value(x)
+            }
+            fn x_max(&self) -> f64 {
+                self.0.x_max()
+            }
+        }
+        let f = ExpConcave::paper_default();
+        let h = Hidden(f);
+        for i in 1..100 {
+            let q = i as f64 / 100.0;
+            assert!(
+                (h.inverse(q) - f.inverse(q)).abs() < 1e-6,
+                "bisection disagrees at q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_is_decreasing_exp() {
+        let f = ExpConcave::paper_default();
+        let mut prev = f64::INFINITY;
+        for i in 0..=20 {
+            let x = 50.0 * i as f64;
+            let m = f.marginal(x);
+            assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn marginal_closed_form_matches_numeric() {
+        struct Hidden(ExpConcave);
+        impl QualityFunction for Hidden {
+            fn value(&self, x: f64) -> f64 {
+                self.0.value(x)
+            }
+            fn x_max(&self) -> f64 {
+                self.0.x_max()
+            }
+        }
+        let f = ExpConcave::paper_default();
+        let h = Hidden(f);
+        for x in [10.0, 100.0, 500.0, 900.0] {
+            assert!(
+                (f.marginal(x) - h.marginal(x)).abs() < 1e-6,
+                "marginal mismatch at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn values_clamped_outside_domain() {
+        let f = ExpConcave::paper_default();
+        assert_eq!(f.value(-10.0), 0.0);
+        assert!((f.value(5000.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concavity_ordering_matches_fig9b() {
+        // Fig. 9b: at the same x, larger c gives higher quality.
+        let x = 300.0;
+        let mut prev = 0.0;
+        for c in [0.0005, 0.001, 0.002, 0.003, 0.005, 0.009] {
+            let f = ExpConcave::new(c, 1000.0);
+            let v = f.value(x);
+            assert!(v > prev, "quality should increase with c at fixed x");
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_gamma_panics() {
+        let _ = PowerLawQuality::new(1.5, 100.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn exp_inverse_round_trip(c in 1e-4..1e-2f64, q in 0.0..1.0f64) {
+            let f = ExpConcave::new(c, 1000.0);
+            let x = f.inverse(q);
+            prop_assert!((f.value(x) - q).abs() < 1e-8);
+        }
+
+        #[test]
+        fn exp_monotone(c in 1e-4..1e-2f64, a in 0.0..1000.0f64, b in 0.0..1000.0f64) {
+            let f = ExpConcave::new(c, 1000.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(f.value(lo) <= f.value(hi) + 1e-12);
+        }
+
+        #[test]
+        fn exp_concave_midpoint(c in 1e-4..1e-2f64, a in 0.0..1000.0f64, b in 0.0..1000.0f64) {
+            // Concavity: f((a+b)/2) >= (f(a)+f(b))/2.
+            let f = ExpConcave::new(c, 1000.0);
+            let mid = 0.5 * (a + b);
+            prop_assert!(f.value(mid) >= 0.5 * (f.value(a) + f.value(b)) - 1e-12);
+        }
+
+        #[test]
+        fn power_law_inverse_round_trip(g in 0.1..1.0f64, q in 0.0..1.0f64) {
+            let f = PowerLawQuality::new(g, 500.0);
+            let x = f.inverse(q);
+            prop_assert!((f.value(x) - q).abs() < 1e-8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod extended_family_tests {
+    use super::*;
+
+    #[test]
+    fn log_quality_invariants() {
+        let f = LogQuality::new(0.01, 1000.0);
+        assert!(f.value(0.0).abs() < 1e-12);
+        assert!((f.value(1000.0) - 1.0).abs() < 1e-12);
+        // Inverse round trip.
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            assert!((f.value(f.inverse(q)) - q).abs() < 1e-9, "q={q}");
+        }
+        // Concavity via marginal decrease.
+        assert!(f.marginal(10.0) > f.marginal(500.0));
+    }
+
+    #[test]
+    fn piecewise_linear_interpolation() {
+        let f = PiecewiseLinearQuality::new(vec![
+            (0.0, 0.0),
+            (100.0, 0.6),
+            (500.0, 0.9),
+            (1000.0, 1.0),
+        ]);
+        assert_eq!(f.x_max(), 1000.0);
+        assert!((f.value(50.0) - 0.3).abs() < 1e-12);
+        assert!((f.value(100.0) - 0.6).abs() < 1e-12);
+        assert!((f.value(300.0) - 0.75).abs() < 1e-12);
+        assert!((f.value(2000.0) - 1.0).abs() < 1e-12);
+        assert_eq!(f.value(-5.0), 0.0);
+    }
+
+    #[test]
+    fn piecewise_default_inverse_works() {
+        let f = PiecewiseLinearQuality::new(vec![(0.0, 0.0), (200.0, 0.8), (1000.0, 1.0)]);
+        for i in 1..20 {
+            let q = i as f64 / 20.0;
+            let x = f.inverse(q);
+            assert!((f.value(x) - q).abs() < 1e-6, "bisection inverse at q={q}");
+        }
+    }
+
+    #[test]
+    fn lf_cut_works_with_extended_families() {
+        use crate::cut::lf_cut;
+        let demands = [900.0, 400.0, 150.0];
+        let f = LogQuality::new(0.02, 1000.0);
+        let out = lf_cut(&f, &demands, 0.85);
+        assert!((out.achieved_quality - 0.85).abs() < 1e-6);
+
+        let f = PiecewiseLinearQuality::new(vec![(0.0, 0.0), (300.0, 0.7), (1000.0, 1.0)]);
+        let out = lf_cut(&f, &demands, 0.85);
+        assert!((out.achieved_quality - 0.85).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_concave_knots_rejected() {
+        // Slope increases from 0.0005 to 0.0015: convex, must panic.
+        let _ = PiecewiseLinearQuality::new(vec![(0.0, 0.0), (500.0, 0.25), (1000.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn knots_not_starting_at_origin_rejected() {
+        let _ = PiecewiseLinearQuality::new(vec![(10.0, 0.0), (1000.0, 1.0)]);
+    }
+}

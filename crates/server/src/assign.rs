@@ -1,0 +1,135 @@
+//! Cumulative Round-Robin (C-RR) batch assignment.
+//!
+//! Paper §III-E: queued jobs are assigned to cores in a batch using
+//! Round-Robin that is *cumulative* — each distribution cycle starts at
+//! the core where the previous cycle stopped, so over many epochs every
+//! core receives the same share even when batches are small (a plain RR
+//! restarting at core 0 every epoch would starve the high-index cores
+//! under small batches).
+
+/// Stateful C-RR assigner.
+#[derive(Debug, Clone)]
+pub struct CrrAssigner {
+    cores: usize,
+    next: usize,
+}
+
+impl CrrAssigner {
+    /// Creates an assigner over `cores` cores, starting at core 0.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0`.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        CrrAssigner { cores, next: 0 }
+    }
+
+    /// The core the next assignment will go to.
+    pub fn cursor(&self) -> usize {
+        self.next
+    }
+
+    /// Assigns a batch of `batch` jobs; returns the target core for each.
+    pub fn assign_batch(&mut self, batch: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            out.push(self.next);
+            self.next = (self.next + 1) % self.cores;
+        }
+        out
+    }
+
+    /// Resets the cursor to core 0 — turns the assigner into *plain* RR
+    /// when called before every batch (the paper's §III-E alternative;
+    /// kept for the C-RR-vs-RR ablation).
+    pub fn reset(&mut self) {
+        self.next = 0;
+    }
+
+    /// Assigns a single job.
+    pub fn assign_one(&mut self) -> usize {
+        let core = self.next;
+        self.next = (self.next + 1) % self.cores;
+        core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_through_cores() {
+        let mut a = CrrAssigner::new(3);
+        assert_eq!(a.assign_batch(5), vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn cumulative_across_batches() {
+        let mut a = CrrAssigner::new(4);
+        assert_eq!(a.assign_batch(3), vec![0, 1, 2]);
+        // The next batch continues at core 3, not core 0.
+        assert_eq!(a.assign_batch(3), vec![3, 0, 1]);
+        assert_eq!(a.cursor(), 2);
+    }
+
+    #[test]
+    fn single_assignments_share_the_cursor() {
+        let mut a = CrrAssigner::new(2);
+        assert_eq!(a.assign_one(), 0);
+        assert_eq!(a.assign_batch(2), vec![1, 0]);
+        assert_eq!(a.assign_one(), 1);
+    }
+
+    #[test]
+    fn reset_gives_plain_rr() {
+        let mut a = CrrAssigner::new(4);
+        a.assign_batch(3);
+        a.reset();
+        assert_eq!(a.assign_batch(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn long_run_balance() {
+        // Over many small batches every core receives the same count —
+        // the property motivating C-RR over plain RR.
+        let mut a = CrrAssigner::new(16);
+        let mut counts = [0usize; 16];
+        for _ in 0..1000 {
+            for core in a.assign_batch(3) {
+                counts[core] += 1;
+            }
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min <= 1, "imbalance: {counts:?}");
+    }
+
+    #[test]
+    fn plain_rr_would_be_unbalanced() {
+        // Contrast case documenting why C-RR exists: restarting at core 0
+        // each epoch concentrates work on low-index cores.
+        let mut counts = [0usize; 16];
+        for _ in 0..1000 {
+            let mut rr = CrrAssigner::new(16); // fresh cursor = plain RR
+            for core in rr.assign_batch(3) {
+                counts[core] += 1;
+            }
+        }
+        assert_eq!(counts[0], 1000);
+        assert_eq!(counts[4], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cores_panics() {
+        let _ = CrrAssigner::new(0);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let mut a = CrrAssigner::new(4);
+        assert!(a.assign_batch(0).is_empty());
+        assert_eq!(a.cursor(), 0);
+    }
+}

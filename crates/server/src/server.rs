@@ -1,0 +1,218 @@
+//! The `m`-core server ensemble.
+//!
+//! Owns the cores, the power model, the shared energy meter, and the total
+//! dynamic-power budget; exposes ensemble-level operations the scheduling
+//! driver uses each epoch (advance everything, snapshot speeds, measure
+//! backlog) while keeping per-core mechanism in [`crate::core::Core`].
+
+use crate::core::{Core, FinishedJob};
+use ge_power::{EnergyMeter, PowerModel};
+use ge_simcore::SimTime;
+
+/// A multicore DVFS server with a shared power budget.
+pub struct Server {
+    cores: Vec<Core>,
+    model: Box<dyn PowerModel>,
+    meter: EnergyMeter,
+    budget_w: f64,
+    units_per_ghz_sec: f64,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("cores", &self.cores.len())
+            .field("budget_w", &self.budget_w)
+            .field("units_per_ghz_sec", &self.units_per_ghz_sec)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Creates a server of `cores` cores under `budget_w` watts.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0`, the budget is negative, or the
+    /// units-per-GHz-second factor is not positive.
+    pub fn new(
+        cores: usize,
+        model: Box<dyn PowerModel>,
+        budget_w: f64,
+        units_per_ghz_sec: f64,
+    ) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(budget_w >= 0.0, "negative budget");
+        assert!(units_per_ghz_sec > 0.0);
+        Server {
+            cores: (0..cores).map(|i| Core::new(i, units_per_ghz_sec)).collect(),
+            model,
+            meter: EnergyMeter::new(cores),
+            budget_w,
+            units_per_ghz_sec,
+        }
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The total dynamic-power budget `H` (watts).
+    pub fn budget_w(&self) -> f64 {
+        self.budget_w
+    }
+
+    /// Units retired per second per GHz.
+    pub fn units_per_ghz_sec(&self) -> f64 {
+        self.units_per_ghz_sec
+    }
+
+    /// The power model shared by all cores.
+    pub fn model(&self) -> &dyn PowerModel {
+        self.model.as_ref()
+    }
+
+    /// Immutable core access.
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Mutable core access (scheduler epochs install plans through this).
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// Iterates over the cores.
+    pub fn cores(&self) -> impl Iterator<Item = &Core> {
+        self.cores.iter()
+    }
+
+    /// Advances every core to `to`; returns all jobs that finished, in
+    /// core order then finish order.
+    pub fn advance_all(&mut self, to: SimTime) -> Vec<FinishedJob> {
+        let mut finished = Vec::new();
+        for core in &mut self.cores {
+            finished.extend(core.advance(to, self.model.as_ref(), &mut self.meter));
+        }
+        finished
+    }
+
+    /// Current actual speed of every core (GHz), in core order.
+    pub fn speeds(&self) -> Vec<f64> {
+        self.cores.iter().map(|c| c.current_speed()).collect()
+    }
+
+    /// Total outstanding work toward current targets, across cores.
+    pub fn total_backlog_units(&self) -> f64 {
+        self.cores.iter().map(|c| c.backlog_units()).sum()
+    }
+
+    /// Earliest projected per-core event (completion or deadline).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.cores
+            .iter()
+            .filter_map(|c| c.next_event_time())
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Total energy consumed so far (joules).
+    pub fn total_energy(&self) -> f64 {
+        self.meter.total_energy()
+    }
+
+    /// Energy consumed by one core so far (joules).
+    pub fn core_energy(&self, i: usize) -> f64 {
+        self.meter.core_energy(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_power::{PolynomialPower, SpeedProfile, SpeedSegment};
+    use ge_workload::{Job, JobId, UNITS_PER_GHZ_SEC};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn paper_server(cores: usize) -> Server {
+        Server::new(
+            cores,
+            Box::new(PolynomialPower::paper_default()),
+            320.0,
+            UNITS_PER_GHZ_SEC,
+        )
+    }
+
+    fn flat(start: f64, end: f64, speed: f64) -> SpeedProfile {
+        SpeedProfile::new(vec![SpeedSegment::new(t(start), t(end), speed)])
+    }
+
+    #[test]
+    fn construction() {
+        let s = paper_server(16);
+        assert_eq!(s.core_count(), 16);
+        assert_eq!(s.budget_w(), 320.0);
+        assert_eq!(s.total_energy(), 0.0);
+        assert!(s.next_event_time().is_none());
+    }
+
+    #[test]
+    fn advance_all_collects_finishes() {
+        let mut s = paper_server(2);
+        s.core_mut(0)
+            .assign(&Job::new(JobId(0), t(0.0), t(1.0), 1000.0));
+        s.core_mut(1)
+            .assign(&Job::new(JobId(1), t(0.0), t(1.0), 500.0));
+        s.core_mut(0).install_plan(flat(0.0, 1.0, 2.0), 20.0);
+        s.core_mut(1).install_plan(flat(0.0, 1.0, 1.0), 5.0);
+        let fin = s.advance_all(t(1.0));
+        assert_eq!(fin.len(), 2);
+        assert!(fin.iter().all(|f| !f.expired));
+        // Energy: core0 ran 0.5 s at 2 GHz (10 J); core1 0.5 s at 1 GHz (2.5 J).
+        assert!((s.total_energy() - 12.5).abs() < 1e-9);
+        assert!((s.core_energy(0) - 10.0).abs() < 1e-9);
+        assert!((s.core_energy(1) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speeds_snapshot() {
+        let mut s = paper_server(2);
+        s.core_mut(0)
+            .assign(&Job::new(JobId(0), t(0.0), t(1.0), 1000.0));
+        s.core_mut(0).install_plan(flat(0.0, 1.0, 2.0), 20.0);
+        s.core_mut(1).install_plan(flat(0.0, 1.0, 3.0), 45.0);
+        let speeds = s.speeds();
+        assert_eq!(speeds, vec![2.0, 0.0]); // core 1 has no work
+    }
+
+    #[test]
+    fn backlog_totals() {
+        let mut s = paper_server(2);
+        s.core_mut(0)
+            .assign(&Job::new(JobId(0), t(0.0), t(1.0), 700.0));
+        s.core_mut(1)
+            .assign(&Job::new(JobId(1), t(0.0), t(1.0), 300.0));
+        assert!((s.total_backlog_units() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_event_is_min_over_cores() {
+        let mut s = paper_server(2);
+        s.core_mut(0)
+            .assign(&Job::new(JobId(0), t(0.0), t(1.0), 1000.0));
+        s.core_mut(1)
+            .assign(&Job::new(JobId(1), t(0.0), t(0.4), 9000.0));
+        s.core_mut(0).install_plan(flat(0.0, 1.0, 2.0), 20.0);
+        s.core_mut(1).install_plan(flat(0.0, 1.0, 1.0), 5.0);
+        // Core 0 completes at 0.5; core 1's job expires at 0.4.
+        assert!(s.next_event_time().unwrap().approx_eq(t(0.4)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cores_panics() {
+        let _ = paper_server(0);
+    }
+}

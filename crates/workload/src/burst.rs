@@ -1,0 +1,210 @@
+//! Bursty arrivals: a two-state Markov-modulated Poisson process (MMPP).
+//!
+//! The paper evaluates on a homogeneous Poisson process, but real
+//! interactive traffic alternates between calm and bursty regimes — the
+//! situation that stresses GE's compensation policy hardest (a burst
+//! arriving while the monitor is satisfied gets cut aggressively, and the
+//! quality debt must be repaid in BQ mode). This module provides the
+//! standard two-state MMPP: the arrival rate switches between
+//! `rate·(1−b)` and `rate·(1+b)` (burstiness `b ∈ [0, 1)`), dwelling an
+//! exponential time with the given mean in each state, so the *long-run
+//! mean rate is unchanged* — sweeps against the Poisson baseline are
+//! apples-to-apples.
+//!
+//! Because exponential gaps are memoryless, state switches are handled
+//! exactly: when a tentative arrival overshoots the current state's end,
+//! the clock moves to the switch point and the residual draw restarts at
+//! the new state's rate — no thinning approximation.
+
+use crate::dist::{Exponential, Sampler};
+use ge_simcore::{RngStream, SimDuration, SimTime};
+
+/// Two-state burst modulation around a mean arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstModulation {
+    /// Relative rate swing `b ∈ [0, 1)`: states run at `rate·(1±b)`.
+    pub burstiness: f64,
+    /// Mean dwell time in each state (seconds).
+    pub mean_dwell_secs: f64,
+}
+
+impl BurstModulation {
+    /// Creates a modulation.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ burstiness < 1` and `mean_dwell_secs > 0`.
+    pub fn new(burstiness: f64, mean_dwell_secs: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&burstiness),
+            "burstiness must be in [0, 1), got {burstiness}"
+        );
+        assert!(
+            mean_dwell_secs.is_finite() && mean_dwell_secs > 0.0,
+            "dwell must be positive, got {mean_dwell_secs}"
+        );
+        BurstModulation {
+            burstiness,
+            mean_dwell_secs,
+        }
+    }
+}
+
+/// An exact two-state MMPP arrival generator.
+#[derive(Debug, Clone)]
+pub struct MmppProcess {
+    mean_rate: f64,
+    modulation: BurstModulation,
+    /// `true` = high-rate state.
+    high: bool,
+    /// Absolute time the current state ends.
+    state_end: SimTime,
+    clock: SimTime,
+}
+
+impl MmppProcess {
+    /// Creates a process with the given long-run mean rate; starts in the
+    /// low state at the epoch (the first dwell is drawn on first use).
+    ///
+    /// # Panics
+    /// Panics if `mean_rate ≤ 0`.
+    pub fn new(mean_rate: f64, modulation: BurstModulation) -> Self {
+        assert!(mean_rate.is_finite() && mean_rate > 0.0);
+        MmppProcess {
+            mean_rate,
+            modulation,
+            high: false,
+            state_end: SimTime::ZERO,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// The rate of the current state.
+    fn state_rate(&self) -> f64 {
+        let b = self.modulation.burstiness;
+        if self.high {
+            self.mean_rate * (1.0 + b)
+        } else {
+            self.mean_rate * (1.0 - b)
+        }
+    }
+
+    /// Draws the next arrival instant (strictly increasing).
+    pub fn next_arrival(&mut self, rng: &mut RngStream) -> SimTime {
+        let dwell = Exponential::new(1.0 / self.modulation.mean_dwell_secs);
+        loop {
+            if !self.state_end.after(self.clock) {
+                // Enter the next state (or the first one).
+                self.high = !self.high;
+                self.state_end = self.clock + SimDuration::from_secs(dwell.sample(rng));
+                continue;
+            }
+            let rate = self.state_rate();
+            if rate <= 0.0 {
+                // Degenerate (b → 1 in the low state): idle out the state.
+                self.clock = self.state_end;
+                continue;
+            }
+            let gap = Exponential::new(rate).sample(rng);
+            let tentative = self.clock + SimDuration::from_secs(gap);
+            if tentative.at_or_before(self.state_end) {
+                self.clock = tentative;
+                return tentative;
+            }
+            // Overshot the state boundary: by memorylessness, discard the
+            // residual and redraw from the switch point.
+            self.clock = self.state_end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_arrivals(mut p: MmppProcess, horizon: f64, seed: u64) -> usize {
+        let mut rng = RngStream::from_root(seed, "mmpp-test");
+        let mut n = 0;
+        loop {
+            let t = p.next_arrival(&mut rng);
+            if t.as_secs() >= horizon {
+                return n;
+            }
+            n += 1;
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_mean() {
+        // b = 0.6, dwell 1 s, mean rate 200: over 200 s the empirical rate
+        // must stay close to 200 (the modulation preserves the mean).
+        let p = MmppProcess::new(200.0, BurstModulation::new(0.6, 1.0));
+        let n = count_arrivals(p, 200.0, 1);
+        let rate = n as f64 / 200.0;
+        assert!((rate - 200.0).abs() < 12.0, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn zero_burstiness_is_plain_poisson_rate() {
+        let p = MmppProcess::new(150.0, BurstModulation::new(0.0, 5.0));
+        let n = count_arrivals(p, 100.0, 2);
+        let rate = n as f64 / 100.0;
+        assert!((rate - 150.0).abs() < 10.0, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut p = MmppProcess::new(300.0, BurstModulation::new(0.8, 0.5));
+        let mut rng = RngStream::from_root(3, "mmpp-test");
+        let mut last = SimTime::ZERO;
+        for _ in 0..5000 {
+            let t = p.next_arrival(&mut rng);
+            assert!(t.after(last) || t.as_secs() > last.as_secs());
+            last = t;
+        }
+    }
+
+    #[test]
+    fn burstiness_raises_short_window_variance() {
+        // Count arrivals in 1 s windows: the bursty process must show
+        // visibly higher window-count variance than Poisson at the same
+        // mean rate.
+        let variance_of = |b: f64, seed: u64| {
+            let mut p = MmppProcess::new(150.0, BurstModulation::new(b, 2.0));
+            let mut rng = RngStream::from_root(seed, "mmpp-var");
+            let horizon = 300.0;
+            let mut counts = vec![0u32; horizon as usize];
+            loop {
+                let t = p.next_arrival(&mut rng).as_secs();
+                if t >= horizon {
+                    break;
+                }
+                counts[t as usize] += 1;
+            }
+            let n = counts.len() as f64;
+            let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
+            counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n
+        };
+        let calm = variance_of(0.0, 7);
+        let bursty = variance_of(0.8, 7);
+        assert!(
+            bursty > calm * 2.0,
+            "bursty variance {bursty} should dwarf calm {calm}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn burstiness_of_one_rejected() {
+        let _ = BurstModulation::new(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dwell_rejected() {
+        let _ = BurstModulation::new(0.5, 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Closed-form inverse-CDF samplers.
+//!
+//! The paper's workload needs exactly three distributions — exponential
+//! inter-arrival gaps, bounded-Pareto service demands, and uniform deadline
+//! windows — all of which invert in closed form, so we implement them
+//! directly on top of [`RngStream`] instead of pulling in `rand_distr`.
+
+use ge_simcore::RngStream;
+
+/// A distribution that can be sampled from an [`RngStream`].
+pub trait Sampler {
+    /// Draws one value.
+    fn sample(&self, rng: &mut RngStream) -> f64;
+
+    /// The distribution's mean, if finite (used for offered-load math).
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Sampled by inversion: `X = −ln(U)/λ` with `U ∈ (0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate (`> 0`).
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive, got {rate}"
+        );
+        Exponential { rate }
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        -rng.uniform01_open_low().ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid uniform bounds [{lo}, {hi})"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl Sampler for Uniform {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        rng.uniform_range(self.lo, self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Bounded (truncated) Pareto distribution on `[x_min, x_max]` with shape
+/// `alpha` — the paper's service-demand distribution (§IV-B: `α = 3`,
+/// `x_min = 130`, `x_max = 1000`, mean ≈ 192 units).
+///
+/// CDF: `F(x) = (1 − (x_min/x)^α) / (1 − (x_min/x_max)^α)`; inverted in
+/// closed form for sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    alpha: f64,
+    x_min: f64,
+    x_max: f64,
+    /// Precomputed `(x_min / x_max)^alpha`, the truncation mass factor.
+    ratio_pow: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto distribution.
+    ///
+    /// # Panics
+    /// Panics unless `0 < x_min < x_max` and `alpha > 0`, all finite.
+    pub fn new(alpha: f64, x_min: f64, x_max: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "alpha must be positive, got {alpha}"
+        );
+        assert!(
+            x_min.is_finite() && x_max.is_finite() && 0.0 < x_min && x_min < x_max,
+            "invalid bounds: x_min={x_min}, x_max={x_max}"
+        );
+        BoundedPareto {
+            alpha,
+            x_min,
+            x_max,
+            ratio_pow: (x_min / x_max).powf(alpha),
+        }
+    }
+
+    /// The paper's default demand distribution: `α=3, x_min=130, x_max=1000`.
+    pub fn paper_default() -> Self {
+        Self::new(3.0, 130.0, 1000.0)
+    }
+
+    /// Lower bound `x_min`.
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// Upper bound `x_max`.
+    pub fn x_max(&self) -> f64 {
+        self.x_max
+    }
+
+    /// Shape parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The CDF `P(X ≤ x)` (clamped outside the support).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.x_min {
+            0.0
+        } else if x >= self.x_max {
+            1.0
+        } else {
+            (1.0 - (self.x_min / x).powf(self.alpha)) / (1.0 - self.ratio_pow)
+        }
+    }
+
+    /// The quantile function (inverse CDF) for `u ∈ [0, 1)`.
+    pub fn quantile(&self, u: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&u) || u == 1.0);
+        // Invert F(x) = u:  x = x_min / (1 − u·(1 − (x_min/x_max)^α))^(1/α)
+        let denom = (1.0 - u * (1.0 - self.ratio_pow)).powf(1.0 / self.alpha);
+        (self.x_min / denom).min(self.x_max)
+    }
+}
+
+impl Sampler for BoundedPareto {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        self.quantile(rng.uniform01())
+    }
+
+    fn mean(&self) -> f64 {
+        // E[X] for the truncated Pareto, α ≠ 1:
+        //   (x_min^α / (1 − (x_min/x_max)^α)) · (α/(α−1)) ·
+        //   (x_min^{1−α} − x_max^{1−α})
+        if (self.alpha - 1.0).abs() < 1e-12 {
+            // α = 1 limit: logarithmic form.
+            let c = 1.0 / (1.0 - self.ratio_pow);
+            return c * self.x_min * (self.x_max / self.x_min).ln();
+        }
+        let a = self.alpha;
+        let head = self.x_min.powf(a) / (1.0 - self.ratio_pow);
+        let tail = (a / (a - 1.0)) * (self.x_min.powf(1.0 - a) - self.x_max.powf(1.0 - a));
+        head * tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_simcore::RngStream;
+
+    fn rng() -> RngStream {
+        RngStream::from_root(0xD157, "dist-tests")
+    }
+
+    #[test]
+    fn exponential_mean_matches_samples() {
+        let d = Exponential::new(4.0);
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "sample mean {mean}");
+        assert!((d.mean() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let d = Exponential::new(100.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(0.15, 0.5);
+        let mut r = rng();
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!((0.15..0.5).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.325).abs() < 0.003);
+        assert!((d.mean() - 0.325).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_paper_mean_is_192() {
+        // The paper computes the mean demand to be ~192 units for
+        // α=3, x_min=130, x_max=1000.
+        let d = BoundedPareto::paper_default();
+        let m = d.mean();
+        assert!(
+            (m - 192.0).abs() < 1.0,
+            "analytic mean {m} should be ≈192 (paper §IV-B)"
+        );
+    }
+
+    #[test]
+    fn pareto_samples_within_support_and_match_mean() {
+        let d = BoundedPareto::paper_default();
+        let mut r = rng();
+        let n = 300_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!(
+                (d.x_min()..=d.x_max()).contains(&x),
+                "sample {x} outside support"
+            );
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean - d.mean()).abs() < 1.0,
+            "sample mean {mean} vs analytic {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn pareto_quantile_inverts_cdf() {
+        let d = BoundedPareto::new(2.0, 10.0, 500.0);
+        for i in 1..100 {
+            let u = i as f64 / 100.0;
+            let x = d.quantile(u);
+            assert!((d.cdf(x) - u).abs() < 1e-9, "round trip failed at u={u}");
+        }
+    }
+
+    #[test]
+    fn pareto_cdf_edges() {
+        let d = BoundedPareto::paper_default();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(130.0), 0.0);
+        assert_eq!(d.cdf(1000.0), 1.0);
+        assert_eq!(d.cdf(5000.0), 1.0);
+        assert!(d.cdf(200.0) > 0.0 && d.cdf(200.0) < 1.0);
+    }
+
+    #[test]
+    fn pareto_alpha_one_mean_is_log_form() {
+        let d = BoundedPareto::new(1.0, 1.0, std::f64::consts::E);
+        // For α=1, x_min=1, x_max=e: mass factor = 1 − 1/e;
+        // mean = ln(e)/ (1 − 1/e) · 1 = 1/(1−1/e).
+        let expected = 1.0 / (1.0 - (-1.0f64).exp());
+        assert!((d.mean() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pareto_bad_bounds_panic() {
+        let _ = BoundedPareto::new(3.0, 100.0, 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exponential_zero_rate_panics() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let d = BoundedPareto::paper_default();
+        let mut prev = d.quantile(0.0);
+        for i in 1..=1000 {
+            let q = d.quantile(i as f64 / 1000.0);
+            assert!(q >= prev - 1e-12);
+            prev = q;
+        }
+    }
+}

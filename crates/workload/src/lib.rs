@@ -1,0 +1,44 @@
+//! # ge-workload — job model and synthetic workload generation
+//!
+//! The paper evaluates on a synthetic web-search workload: requests arrive
+//! by a Poisson process, each request's *service demand* (data volume to
+//! process, in abstract "processing units") is drawn from a bounded Pareto
+//! distribution, and each request must be answered within a fixed (Fig. 3)
+//! or randomly drawn (Fig. 4) response window. This crate implements that
+//! workload model from the published parameters — the closest synthetic
+//! equivalent to the authors' (unreleased) traces:
+//!
+//! * [`Job`] — a single request: release time, deadline, demand.
+//! * [`dist`] — closed-form inverse-CDF samplers (bounded Pareto,
+//!   exponential, uniform) so no external distribution crate is needed.
+//! * [`arrivals`] — the Poisson arrival process and window policies.
+//! * [`burst`] — an exact two-state MMPP for bursty-traffic extensions.
+//! * [`trace`] — complete generated traces plus summary statistics
+//!   (offered load, utilization against a server capacity).
+//! * [`io`] — CSV persistence so the exact trace behind a result can be
+//!   archived and replayed.
+//!
+//! A core executing at 1 GHz processes [`UNITS_PER_GHZ_SEC`] = 1000
+//! processing units per second (paper §IV-B), which ties demands to time.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arrivals;
+pub mod burst;
+pub mod dist;
+pub mod io;
+pub mod job;
+pub mod trace;
+
+pub use arrivals::{ArrivalProcess, WindowPolicy, WorkloadConfig, WorkloadGenerator};
+pub use burst::{BurstModulation, MmppProcess};
+pub use dist::{BoundedPareto, Exponential, Sampler, Uniform};
+pub use io::{load_trace, save_trace, trace_from_csv, trace_to_csv, TraceParseError};
+pub use job::{Job, JobId};
+pub use trace::{Trace, TraceStats};
+
+/// Processing units completed per second by a core running at 1 GHz
+/// (paper §IV-B: "the processing capability of a core executing at 1 GHz in
+/// one second \[is\] 1000 processing units").
+pub const UNITS_PER_GHZ_SEC: f64 = 1000.0;

@@ -1,0 +1,178 @@
+//! Generated job traces and their summary statistics.
+
+use crate::job::Job;
+use crate::UNITS_PER_GHZ_SEC;
+use ge_simcore::SimTime;
+
+/// A complete, release-ordered job trace for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Wraps a release-ordered job list.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the jobs are not sorted by release time.
+    pub fn new(jobs: Vec<Job>) -> Self {
+        debug_assert!(
+            jobs.windows(2)
+                .all(|w| w[0].release.as_secs() <= w[1].release.as_secs()),
+            "trace must be release-ordered"
+        );
+        Trace { jobs }
+    }
+
+    /// The jobs, in release order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Release time of the last job, or the epoch for an empty trace.
+    pub fn last_release(&self) -> SimTime {
+        self.jobs.last().map_or(SimTime::ZERO, |j| j.release)
+    }
+
+    /// Latest deadline in the trace, or the epoch for an empty trace.
+    pub fn last_deadline(&self) -> SimTime {
+        self.jobs
+            .iter()
+            .map(|j| j.deadline)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        if self.jobs.is_empty() {
+            return TraceStats::default();
+        }
+        let n = self.jobs.len() as f64;
+        let total_demand: f64 = self.jobs.iter().map(|j| j.demand).sum();
+        let min_demand = self
+            .jobs
+            .iter()
+            .map(|j| j.demand)
+            .fold(f64::INFINITY, f64::min);
+        let max_demand = self.jobs.iter().map(|j| j.demand).fold(0.0, f64::max);
+        let span = self.last_release().as_secs().max(f64::MIN_POSITIVE);
+        TraceStats {
+            job_count: self.jobs.len(),
+            total_demand,
+            mean_demand: total_demand / n,
+            min_demand,
+            max_demand,
+            empirical_rate: n / span,
+            offered_units_per_sec: total_demand / span,
+        }
+    }
+
+    /// Server utilization implied by this trace against a capacity of
+    /// `cores × speed_ghz` (fraction; may exceed 1 under overload).
+    pub fn utilization(&self, cores: usize, speed_ghz: f64) -> f64 {
+        let capacity = cores as f64 * speed_ghz * UNITS_PER_GHZ_SEC;
+        if capacity <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.stats().offered_units_per_sec / capacity
+    }
+}
+
+/// Summary statistics of a [`Trace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub job_count: usize,
+    /// Sum of all demands (processing units).
+    pub total_demand: f64,
+    /// Mean demand per job.
+    pub mean_demand: f64,
+    /// Smallest demand.
+    pub min_demand: f64,
+    /// Largest demand.
+    pub max_demand: f64,
+    /// Jobs per second over the release span.
+    pub empirical_rate: f64,
+    /// Offered load in processing units per second.
+    pub offered_units_per_sec: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{WorkloadConfig, WorkloadGenerator};
+    use crate::job::JobId;
+    use ge_simcore::SimTime;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn small_trace() -> Trace {
+        Trace::new(vec![
+            Job::new(JobId(0), t(0.0), t(0.15), 100.0),
+            Job::new(JobId(1), t(1.0), t(1.15), 300.0),
+            Job::new(JobId(2), t(2.0), t(2.15), 200.0),
+        ])
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = small_trace().stats();
+        assert_eq!(s.job_count, 3);
+        assert!((s.total_demand - 600.0).abs() < 1e-12);
+        assert!((s.mean_demand - 200.0).abs() < 1e-12);
+        assert!((s.min_demand - 100.0).abs() < 1e-12);
+        assert!((s.max_demand - 300.0).abs() < 1e-12);
+        assert!((s.empirical_rate - 1.5).abs() < 1e-12); // 3 jobs over 2s span
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = Trace::default().stats();
+        assert_eq!(s.job_count, 0);
+        assert_eq!(s.total_demand, 0.0);
+        assert!(Trace::default().is_empty());
+    }
+
+    #[test]
+    fn last_release_and_deadline() {
+        let tr = small_trace();
+        assert!(tr.last_release().approx_eq(t(2.0)));
+        assert!(tr.last_deadline().approx_eq(t(2.15)));
+    }
+
+    #[test]
+    fn paper_workload_stats_are_sane() {
+        let trace = WorkloadGenerator::new(WorkloadConfig::paper_default(154.0), 11).generate();
+        let s = trace.stats();
+        assert!((s.empirical_rate - 154.0).abs() < 5.0, "{}", s.empirical_rate);
+        assert!((s.mean_demand - 192.0).abs() < 6.0, "{}", s.mean_demand);
+        assert!(s.min_demand >= 130.0 && s.max_demand <= 1000.0);
+    }
+
+    #[test]
+    fn utilization_against_paper_capacity() {
+        // 16 cores at 2 GHz = 32_000 units/s. At 154 req/s × ~192 units
+        // the utilization should be ~0.92 (the paper's published "77.8%"
+        // uses a different capacity convention — see DESIGN.md).
+        let trace = WorkloadGenerator::new(WorkloadConfig::paper_default(154.0), 11).generate();
+        let u = trace.utilization(16, 2.0);
+        assert!(u > 0.8 && u < 1.05, "utilization {u}");
+    }
+
+    #[test]
+    fn utilization_zero_capacity_is_infinite() {
+        assert!(small_trace().utilization(0, 2.0).is_infinite());
+    }
+}

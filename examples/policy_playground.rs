@@ -1,0 +1,65 @@
+//! Side-by-side comparison of every scheduling policy in the catalogue.
+//!
+//! ```text
+//! cargo run --release -p ge-examples --bin policy_playground \
+//!     [rate] [--seed N] [--random-windows true] [--qge 0.95]
+//! ```
+//!
+//! Runs each algorithm on the same trace and ranks them by energy among
+//! the quality-satisfying ones — the paper's core comparison (Fig. 3/4)
+//! as an interactive tool.
+
+use ge_core::{run, Algorithm, SimConfig};
+use ge_examples::{opt, parse_args, summary_line};
+use ge_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    let (pos, opts) = parse_args(std::env::args().skip(1));
+    let rate: f64 = pos.first().map_or(150.0, |s| s.parse().expect("rate"));
+    let seed: u64 = opt(&opts, "seed").map_or(3, |s| s.parse().expect("seed"));
+    let random_windows = opt(&opts, "random-windows") == Some("true");
+    let q_ge: f64 = opt(&opts, "qge").map_or(0.9, |s| s.parse().expect("qge"));
+
+    let cfg = SimConfig {
+        q_ge,
+        ..SimConfig::paper_default()
+    };
+    let wc = if random_windows {
+        WorkloadConfig::paper_random_windows(rate)
+    } else {
+        WorkloadConfig::paper_default(rate)
+    };
+    let trace = WorkloadGenerator::new(wc, seed).generate();
+    println!(
+        "λ = {rate}/s, Q_GE = {q_ge}, windows = {}, {} requests\n",
+        if random_windows { "150-500ms random" } else { "150ms fixed" },
+        trace.len()
+    );
+
+    let algorithms = if random_windows {
+        Algorithm::fig4_set()
+    } else {
+        Algorithm::fig3_set()
+    };
+    let mut results: Vec<_> = algorithms
+        .iter()
+        .map(|alg| run(&cfg, &trace, alg))
+        .collect();
+
+    for r in &results {
+        println!("{}", summary_line(r));
+    }
+
+    // Rank: quality-satisfying first, then by energy.
+    results.sort_by(|a, b| {
+        let oka = a.quality >= q_ge - 0.005;
+        let okb = b.quality >= q_ge - 0.005;
+        okb.cmp(&oka)
+            .then(a.energy_j.partial_cmp(&b.energy_j).expect("finite energy"))
+    });
+    let winner = &results[0];
+    println!(
+        "\nBest quality-satisfying policy at this load: {} ({:.0} J, quality {:.4}).",
+        winner.algorithm, winner.energy_j, winner.quality
+    );
+}

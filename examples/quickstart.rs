@@ -1,0 +1,44 @@
+//! Quickstart: run the GE scheduler against best-effort on the paper's
+//! web-search workload and print what you save.
+//!
+//! ```text
+//! cargo run --release -p ge-examples --bin quickstart [rate] [--seed N]
+//! ```
+
+use ge_core::{run, Algorithm, SimConfig};
+use ge_examples::{opt, parse_args, summary_line};
+use ge_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    let (pos, opts) = parse_args(std::env::args().skip(1));
+    let rate: f64 = pos.first().map_or(150.0, |s| s.parse().expect("rate"));
+    let seed: u64 = opt(&opts, "seed").map_or(42, |s| s.parse().expect("seed"));
+
+    // 1. The paper's platform: 16 DVFS cores, 320 W budget, Q_GE = 0.9.
+    let cfg = SimConfig::paper_default();
+
+    // 2. The paper's workload: Poisson arrivals, bounded-Pareto demands,
+    //    150 ms deadlines, 10 simulated minutes.
+    let workload = WorkloadConfig::paper_default(rate);
+    let trace = WorkloadGenerator::new(workload, seed).generate();
+    println!(
+        "workload: {} requests over {:.0}s (λ = {rate}/s, mean demand {:.0} units)\n",
+        trace.len(),
+        trace.last_release().as_secs(),
+        trace.stats().mean_demand,
+    );
+
+    // 3. Run Good-Enough scheduling and the Best-Effort baseline on the
+    //    *same* trace.
+    let ge = run(&cfg, &trace, &Algorithm::Ge);
+    let be = run(&cfg, &trace, &Algorithm::Be);
+    println!("{}", summary_line(&ge));
+    println!("{}", summary_line(&be));
+
+    println!(
+        "\nGE delivered {:.1}% quality (target {:.0}%) using {:.1}% less energy than best effort.",
+        ge.quality * 100.0,
+        cfg.q_ge * 100.0,
+        ge.energy_saving_vs(&be) * 100.0,
+    );
+}

@@ -1,0 +1,66 @@
+//! Shared helpers for the example binaries.
+//!
+//! Each example under this package is a self-contained demonstration of
+//! the public API; this library only hosts the tiny bits they share
+//! (argument parsing and result pretty-printing) so the examples stay
+//! focused on the scheduling story.
+
+use ge_core::RunResult;
+
+/// Parses `--key value` style options and positional args from `argv`.
+///
+/// Returns `(positional, options)`. Unknown flags are treated as options
+/// expecting a value; boolean flags can be passed as `--flag true`.
+pub fn parse_args(args: impl Iterator<Item = String>) -> (Vec<String>, Vec<(String, String)>) {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = args.next().unwrap_or_default();
+            options.push((key.to_string(), value));
+        } else {
+            positional.push(a);
+        }
+    }
+    (positional, options)
+}
+
+/// Looks up an option value.
+pub fn opt<'a>(options: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    options
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// One formatted line summarizing a run.
+pub fn summary_line(r: &RunResult) -> String {
+    format!(
+        "{:>10}  quality={:.4}  energy={:>10.0} J  aes={:>5.1}%  discarded={:>6}  epochs={}",
+        r.algorithm,
+        r.quality,
+        r.energy_j,
+        r.aes_fraction * 100.0,
+        r.jobs_discarded,
+        r.schedule_epochs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let (pos, opts) = parse_args(
+            ["150", "--seed", "7", "--random-windows", "true"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(pos, vec!["150"]);
+        assert_eq!(opt(&opts, "seed"), Some("7"));
+        assert_eq!(opt(&opts, "random-windows"), Some("true"));
+        assert_eq!(opt(&opts, "missing"), None);
+    }
+}

@@ -1,0 +1,4 @@
+//! Placeholder library target for the cross-crate integration-test package.
+//!
+//! All content lives in this package's `tests/` directory; the integration
+//! tests exercise the public APIs of every workspace crate together.

@@ -1,0 +1,176 @@
+//! End-to-end integration: every algorithm through the whole stack
+//! (workload → scheduler → server → metrics) with conservation and
+//! determinism invariants.
+
+use ge_core::{run, Algorithm, RunResult, SimConfig};
+use ge_simcore::SimTime;
+use ge_workload::{Trace, WorkloadConfig, WorkloadGenerator};
+
+fn cfg(horizon: f64) -> SimConfig {
+    SimConfig {
+        horizon: SimTime::from_secs(horizon),
+        ..SimConfig::paper_default()
+    }
+}
+
+fn trace(rate: f64, horizon: f64, seed: u64) -> Trace {
+    WorkloadGenerator::new(
+        WorkloadConfig {
+            horizon: SimTime::from_secs(horizon),
+            ..WorkloadConfig::paper_default(rate)
+        },
+        seed,
+    )
+    .generate()
+}
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Ge,
+        Algorithm::GeNoComp,
+        Algorithm::GeEsOnly,
+        Algorithm::GeWfOnly,
+        Algorithm::Oq,
+        Algorithm::Be,
+        Algorithm::BeP { budget_w: 240.0 },
+        Algorithm::BeS { speed_cap_ghz: 2.2 },
+        Algorithm::Fcfs,
+        Algorithm::Fdfs,
+        Algorithm::Ljf,
+        Algorithm::Sjf,
+    ]
+}
+
+fn check_invariants(r: &RunResult, trace_len: u64, cfg: &SimConfig, horizon: f64) {
+    // Every job's fate is recorded exactly once.
+    assert_eq!(
+        r.jobs_finished, trace_len,
+        "{}: job accounting broken",
+        r.algorithm
+    );
+    // Quality is a normalized ratio.
+    assert!(
+        (0.0..=1.0).contains(&r.quality),
+        "{}: quality {} outside [0,1]",
+        r.algorithm,
+        r.quality
+    );
+    // Energy can never exceed budget × wall time (deadlines extend at most
+    // 0.5 s past the horizon).
+    let max_energy = cfg.budget_w * (horizon + 0.5);
+    assert!(
+        r.energy_j <= max_energy + 1e-6,
+        "{}: energy {} exceeds physical bound {}",
+        r.algorithm,
+        r.energy_j,
+        max_energy
+    );
+    assert!(r.energy_j >= 0.0);
+    // Counts are consistent.
+    assert!(r.jobs_discarded <= r.jobs_finished);
+    assert!(r.jobs_completed_fully <= r.jobs_finished);
+    // Mode residency is a fraction.
+    assert!((0.0..=1.0).contains(&r.aes_fraction));
+    // Speeds are physical: no core can exceed the whole-budget speed.
+    let max_speed = (cfg.budget_w / cfg.power_a).powf(1.0 / cfg.power_beta);
+    assert!(
+        r.mean_speed_ghz <= max_speed,
+        "{}: mean speed {} above physical max {}",
+        r.algorithm,
+        r.mean_speed_ghz,
+        max_speed
+    );
+}
+
+#[test]
+fn every_algorithm_upholds_invariants_at_moderate_load() {
+    let horizon = 20.0;
+    let c = cfg(horizon);
+    let t = trace(150.0, horizon, 0xAB);
+    for alg in all_algorithms() {
+        let r = run(&c, &t, &alg);
+        check_invariants(&r, t.len() as u64, &c, horizon);
+    }
+}
+
+#[test]
+fn every_algorithm_upholds_invariants_under_overload() {
+    let horizon = 15.0;
+    let c = cfg(horizon);
+    let t = trace(260.0, horizon, 0xCD);
+    for alg in all_algorithms() {
+        let r = run(&c, &t, &alg);
+        check_invariants(&r, t.len() as u64, &c, horizon);
+    }
+}
+
+#[test]
+fn every_algorithm_handles_a_trickle() {
+    let horizon = 10.0;
+    let c = cfg(horizon);
+    let t = trace(5.0, horizon, 0xEF);
+    for alg in all_algorithms() {
+        let r = run(&c, &t, &alg);
+        check_invariants(&r, t.len() as u64, &c, horizon);
+        // A trickle is easily served at full quality by any policy.
+        assert!(
+            r.quality > 0.85,
+            "{} failed a trivial workload: {}",
+            r.algorithm,
+            r.quality
+        );
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let horizon = 10.0;
+    let c = cfg(horizon);
+    let t = trace(180.0, horizon, 0x11);
+    for alg in [Algorithm::Ge, Algorithm::Be, Algorithm::Fdfs] {
+        let a = run(&c, &t, &alg);
+        let b = run(&c, &t, &alg);
+        assert_eq!(a.quality.to_bits(), b.quality.to_bits(), "{}", a.algorithm);
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits(), "{}", a.algorithm);
+        assert_eq!(a.schedule_epochs, b.schedule_epochs);
+        assert_eq!(a.mode_transitions, b.mode_transitions);
+    }
+}
+
+#[test]
+fn random_window_workloads_run_through_every_algorithm() {
+    let horizon = 10.0;
+    let c = cfg(horizon);
+    let t = WorkloadGenerator::new(
+        WorkloadConfig {
+            horizon: SimTime::from_secs(horizon),
+            ..WorkloadConfig::paper_random_windows(170.0)
+        },
+        0x22,
+    )
+    .generate();
+    for alg in Algorithm::fig4_set() {
+        let r = run(&c, &t, &alg);
+        check_invariants(&r, t.len() as u64, &c, horizon + 0.5);
+    }
+}
+
+#[test]
+fn non_default_platforms_work() {
+    // 4 cores / 100 W / stricter Q_GE, plus discrete DVFS.
+    let horizon = 10.0;
+    let c = SimConfig {
+        cores: 4,
+        budget_w: 100.0,
+        q_ge: 0.95,
+        discrete_speeds: Some(ge_power::DiscreteSpeedSet::paper_default()),
+        horizon: SimTime::from_secs(horizon),
+        ..SimConfig::paper_default()
+    };
+    let t = trace(40.0, horizon, 0x33);
+    let r = run(&c, &t, &Algorithm::Ge);
+    check_invariants(&r, t.len() as u64, &c, horizon);
+    // Discrete rounding at a tight 25 W/core budget costs a few points
+    // against the 0.95 target (the Fig. 12 effect); it must stay close.
+    assert!(r.quality > 0.85, "4-core light-load run failed: {}", r.quality);
+}

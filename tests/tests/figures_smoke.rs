@@ -1,0 +1,99 @@
+//! Smoke tests: every figure module produces well-formed tables at tiny
+//! scale, and the CSV/markdown emitters round-trip them.
+
+use ge_experiments::{figures, Scale};
+use ge_metrics::Table;
+
+fn tiny() -> Scale {
+    Scale {
+        horizon_secs: 4.0,
+        replications: 1,
+        rates: vec![120.0, 200.0],
+        root_seed: 0xF1,
+    }
+}
+
+fn check(tables: &[Table], expected: usize, fig: &str) {
+    assert_eq!(tables.len(), expected, "{fig}: table count");
+    for t in tables {
+        assert!(t.row_count() > 0, "{fig}: empty table {}", t.title());
+        let csv = t.to_csv();
+        assert!(csv.lines().count() == t.row_count() + 1, "{fig}: csv rows");
+        assert!(t.to_markdown().contains("###"), "{fig}: markdown header");
+        assert!(t.to_text().contains('#'), "{fig}: text title");
+    }
+}
+
+#[test]
+fn fig01_smoke() {
+    check(&figures::fig01::run(&tiny()), 1, "fig01");
+}
+
+#[test]
+fn fig03_smoke() {
+    let tables = figures::fig03::run(&tiny());
+    check(&tables, 2, "fig03");
+    // Six algorithm columns plus the rate column.
+    assert!(tables[0].to_csv().starts_with("arrival_rate,GE,OQ,BE,FCFS,LJF,SJF"));
+}
+
+#[test]
+fn fig04_smoke() {
+    let tables = figures::fig04::run(&tiny());
+    check(&tables, 2, "fig04");
+    assert!(tables[0].to_csv().contains("FDFS"));
+}
+
+#[test]
+fn fig05_smoke() {
+    let tables = figures::fig05::run(&tiny());
+    check(&tables, 2, "fig05");
+    assert!(tables[0].to_csv().contains("Compensation"));
+    assert!(tables[0].to_csv().contains("No-Compensation"));
+}
+
+#[test]
+fn fig06_smoke() {
+    let tables = figures::fig06::run(&tiny());
+    check(&tables, 2, "fig06");
+    assert!(tables[0].to_csv().contains("Water-Filling"));
+}
+
+#[test]
+fn fig07_smoke() {
+    check(&figures::fig07::run(&tiny()), 2, "fig07");
+}
+
+#[test]
+fn fig08_smoke() {
+    check(&figures::fig08::run(&tiny()), 2, "fig08");
+}
+
+#[test]
+fn fig09_smoke() {
+    let tables = figures::fig09::run(&tiny());
+    check(&tables, 2, "fig09");
+    // 9b is the quality-function shape: 13 x-values.
+    assert_eq!(tables[1].row_count(), 13);
+}
+
+#[test]
+fn fig10_smoke() {
+    let tables = figures::fig10::run(&tiny());
+    check(&tables, 2, "fig10");
+    assert!(tables[0].to_csv().contains("budget=320"));
+}
+
+#[test]
+fn fig11_smoke() {
+    let tables = figures::fig11::run(&tiny());
+    check(&tables, 2, "fig11");
+    assert_eq!(tables[0].row_count(), 7); // 2^0 .. 2^6
+}
+
+#[test]
+fn fig12_smoke() {
+    let tables = figures::fig12::run(&tiny());
+    check(&tables, 2, "fig12");
+    assert!(tables[0].to_csv().contains("Discrete Speed"));
+}

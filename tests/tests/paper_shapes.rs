@@ -1,0 +1,286 @@
+//! The paper's headline qualitative claims, checked end-to-end at reduced
+//! scale. Each test names the figure it guards.
+//!
+//! These assertions are the reproduction's contract: if a refactor breaks
+//! any *shape* the paper reports, one of these fails.
+
+use ge_core::{run, Algorithm, SimConfig};
+use ge_simcore::SimTime;
+use ge_workload::{Trace, WorkloadConfig, WorkloadGenerator};
+
+const HORIZON: f64 = 30.0;
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        horizon: SimTime::from_secs(HORIZON),
+        ..SimConfig::paper_default()
+    }
+}
+
+fn trace(rate: f64, seed: u64) -> Trace {
+    WorkloadGenerator::new(
+        WorkloadConfig {
+            horizon: SimTime::from_secs(HORIZON),
+            ..WorkloadConfig::paper_default(rate)
+        },
+        seed,
+    )
+    .generate()
+}
+
+// ------------------------------------------------------------- Fig. 1 --
+
+#[test]
+fn fig1_aes_residency_high_at_light_load_low_past_overload() {
+    let c = cfg();
+    let light = run(&c, &trace(100.0, 1), &Algorithm::Ge);
+    let heavy = run(&c, &trace(240.0, 1), &Algorithm::Ge);
+    assert!(
+        light.aes_fraction > 0.55,
+        "light-load AES residency too low: {}",
+        light.aes_fraction
+    );
+    assert!(
+        heavy.aes_fraction < 0.3,
+        "past overload the compensation policy should dominate: {}",
+        heavy.aes_fraction
+    );
+    assert!(light.aes_fraction > heavy.aes_fraction);
+}
+
+// ------------------------------------------------------------- Fig. 3 --
+
+#[test]
+fn fig3_ge_pins_quality_at_target_below_overload() {
+    let c = cfg();
+    for rate in [100.0, 130.0, 160.0] {
+        let r = run(&c, &trace(rate, 2), &Algorithm::Ge);
+        assert!(
+            (r.quality - c.q_ge).abs() < 0.03,
+            "GE at λ={rate} should sit at Q_GE: {}",
+            r.quality
+        );
+    }
+}
+
+#[test]
+fn fig3_ge_saves_energy_vs_be_while_meeting_target() {
+    let c = cfg();
+    let t = trace(150.0, 3);
+    let ge = run(&c, &t, &Algorithm::Ge);
+    let be = run(&c, &t, &Algorithm::Be);
+    let saving = ge.energy_saving_vs(&be);
+    assert!(
+        saving > 0.10,
+        "GE should save substantial energy vs BE, saved {:.1}%",
+        saving * 100.0
+    );
+    assert!(ge.quality >= c.q_ge - 0.01);
+    assert!(be.quality > ge.quality, "BE buys extra quality with that energy");
+}
+
+#[test]
+fn fig3_ljf_sjf_have_worst_quality_under_load() {
+    let c = cfg();
+    let t = trace(200.0, 4);
+    let ge = run(&c, &t, &Algorithm::Ge);
+    let fcfs = run(&c, &t, &Algorithm::Fcfs);
+    let ljf = run(&c, &t, &Algorithm::Ljf);
+    let sjf = run(&c, &t, &Algorithm::Sjf);
+    assert!(ge.quality > ljf.quality, "GE vs LJF");
+    assert!(ge.quality > sjf.quality, "GE vs SJF");
+    assert!(
+        fcfs.quality > sjf.quality,
+        "FCFS ({}) should beat SJF ({}) with agreeable deadlines",
+        fcfs.quality,
+        sjf.quality
+    );
+}
+
+#[test]
+fn fig3_sjf_energy_drops_under_load_as_it_discards_long_jobs() {
+    let c = cfg();
+    let moderate = run(&c, &trace(150.0, 5), &Algorithm::Sjf);
+    let heavy = run(&c, &trace(240.0, 5), &Algorithm::Sjf);
+    assert!(
+        heavy.jobs_discarded > moderate.jobs_discarded,
+        "SJF must discard more under overload"
+    );
+}
+
+// ------------------------------------------------------------- Fig. 4 --
+
+#[test]
+fn fig4_fdfs_beats_fcfs_with_random_windows() {
+    let c = cfg();
+    let t = WorkloadGenerator::new(
+        WorkloadConfig {
+            horizon: SimTime::from_secs(HORIZON),
+            ..WorkloadConfig::paper_random_windows(220.0)
+        },
+        6,
+    )
+    .generate();
+    let fcfs = run(&c, &t, &Algorithm::Fcfs);
+    let fdfs = run(&c, &t, &Algorithm::Fdfs);
+    assert!(
+        fdfs.quality >= fcfs.quality,
+        "FDFS ({}) must not lose to FCFS ({}) on non-agreeable deadlines",
+        fdfs.quality,
+        fcfs.quality
+    );
+}
+
+// ------------------------------------------------------------- Fig. 5 --
+
+#[test]
+fn fig5_compensation_defends_quality() {
+    let c = cfg();
+    let t = trace(190.0, 7);
+    let comp = run(&c, &t, &Algorithm::Ge);
+    let nocomp = run(&c, &t, &Algorithm::GeNoComp);
+    assert!(
+        comp.quality >= nocomp.quality,
+        "compensation ({}) must not lose to no-compensation ({})",
+        comp.quality,
+        nocomp.quality
+    );
+}
+
+// ----------------------------------------------------------- Fig. 6/7 --
+
+#[test]
+fn fig6_wf_has_larger_speed_variance_than_es_at_light_load() {
+    let c = cfg();
+    let t = trace(110.0, 8);
+    let wf = run(&c, &t, &Algorithm::GeWfOnly);
+    let es = run(&c, &t, &Algorithm::GeEsOnly);
+    assert!(
+        wf.speed_variance >= es.speed_variance,
+        "WF variance {} vs ES {}",
+        wf.speed_variance,
+        es.speed_variance
+    );
+    // Mean speeds stay close at light load (paper Fig. 6a).
+    assert!(
+        (wf.mean_speed_ghz - es.mean_speed_ghz).abs() < 0.4,
+        "means diverged: {} vs {}",
+        wf.mean_speed_ghz,
+        es.mean_speed_ghz
+    );
+}
+
+#[test]
+fn fig7_wf_quality_at_least_es_under_heavy_load() {
+    let c = cfg();
+    let t = trace(240.0, 9);
+    let wf = run(&c, &t, &Algorithm::GeWfOnly);
+    let es = run(&c, &t, &Algorithm::GeEsOnly);
+    assert!(
+        wf.quality >= es.quality - 0.02,
+        "WF ({}) should match/beat ES ({}) when loaded",
+        wf.quality,
+        es.quality
+    );
+}
+
+// ------------------------------------------------------------- Fig. 9 --
+
+#[test]
+fn fig9_more_concave_quality_functions_score_higher_under_load() {
+    let t = trace(230.0, 10);
+    let mut prev = 0.0;
+    for c_val in [0.0005, 0.003, 0.009] {
+        let c = SimConfig {
+            quality_c: c_val,
+            ..cfg()
+        };
+        let r = run(&c, &t, &Algorithm::Ge);
+        assert!(
+            r.quality >= prev - 0.02,
+            "quality should rise with concavity: c={c_val} gave {}",
+            r.quality
+        );
+        prev = r.quality;
+    }
+}
+
+// ------------------------------------------------------------ Fig. 10 --
+
+#[test]
+fn fig10_bigger_budget_sustains_quality_deeper() {
+    let t = trace(220.0, 11);
+    let small = run(
+        &SimConfig {
+            budget_w: 80.0,
+            ..cfg()
+        },
+        &t,
+        &Algorithm::Ge,
+    );
+    let large = run(
+        &SimConfig {
+            budget_w: 480.0,
+            ..cfg()
+        },
+        &t,
+        &Algorithm::Ge,
+    );
+    assert!(
+        large.quality > small.quality + 0.05,
+        "480 W ({}) should clearly beat 80 W ({}) at heavy load",
+        large.quality,
+        small.quality
+    );
+}
+
+// ------------------------------------------------------------ Fig. 11 --
+
+#[test]
+fn fig11_more_cores_raise_quality_at_same_budget() {
+    let t = trace(154.0, 12);
+    let few = run(
+        &SimConfig {
+            cores: 2,
+            ..cfg()
+        },
+        &t,
+        &Algorithm::Ge,
+    );
+    let many = run(
+        &SimConfig {
+            cores: 16,
+            ..cfg()
+        },
+        &t,
+        &Algorithm::Ge,
+    );
+    assert!(
+        many.quality > few.quality,
+        "16 cores ({}) vs 2 cores ({})",
+        many.quality,
+        few.quality
+    );
+}
+
+// ------------------------------------------------------------ Fig. 12 --
+
+#[test]
+fn fig12_discrete_dvfs_tracks_continuous() {
+    let t = trace(150.0, 13);
+    let cont = run(&cfg(), &t, &Algorithm::Ge);
+    let disc = run(
+        &SimConfig {
+            discrete_speeds: Some(ge_power::DiscreteSpeedSet::paper_default()),
+            ..cfg()
+        },
+        &t,
+        &Algorithm::Ge,
+    );
+    assert!(
+        (disc.quality - cont.quality).abs() < 0.1,
+        "discrete ({}) diverged from continuous ({})",
+        disc.quality,
+        cont.quality
+    );
+}
