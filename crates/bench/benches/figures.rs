@@ -5,7 +5,7 @@
 //! reproduced figure end-to-end. Absolute numbers are bench-scale; the
 //! full-scale tables come from `cargo run --release -p ge-experiments`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ge_bench::harness::Harness;
 use ge_experiments::{figures, Scale};
 
 fn scale() -> Scale {
@@ -13,62 +13,38 @@ fn scale() -> Scale {
 }
 
 macro_rules! fig_bench {
-    ($fn_name:ident, $module:ident, $label:literal) => {
-        fn $fn_name(c: &mut Criterion) {
-            let mut g = c.benchmark_group("figures");
-            g.sample_size(10);
-            g.bench_function($label, |b| {
-                b.iter(|| figures::$module::run(&scale()))
-            });
-            g.finish();
-        }
+    ($h:expr, $module:ident, $label:literal) => {
+        $h.bench(concat!("figures/", $label), || {
+            figures::$module::run(&scale())
+        });
     };
 }
 
-fig_bench!(bench_fig01, fig01, "fig01_aes_residency");
-fig_bench!(bench_fig03, fig03, "fig03_algorithms");
-fig_bench!(bench_fig04, fig04, "fig04_random_deadlines");
-fig_bench!(bench_fig05, fig05, "fig05_compensation");
-fig_bench!(bench_fig06, fig06, "fig06_speed_variance");
-fig_bench!(bench_fig07, fig07, "fig07_power_policies");
-fig_bench!(bench_fig08, fig08, "fig08_control_policies");
-fig_bench!(bench_fig09, fig09, "fig09_concavity");
-fig_bench!(bench_fig10, fig10, "fig10_power_budget");
-fig_bench!(bench_fig11, fig11, "fig11_core_count");
-fig_bench!(bench_fig12, fig12, "fig12_discrete_dvfs");
+fn main() {
+    let h = Harness::from_args();
+    fig_bench!(h, fig01, "fig01_aes_residency");
+    fig_bench!(h, fig03, "fig03_algorithms");
+    fig_bench!(h, fig04, "fig04_random_deadlines");
+    fig_bench!(h, fig05, "fig05_compensation");
+    fig_bench!(h, fig06, "fig06_speed_variance");
+    fig_bench!(h, fig07, "fig07_power_policies");
+    fig_bench!(h, fig08, "fig08_control_policies");
+    fig_bench!(h, fig09, "fig09_concavity");
+    fig_bench!(h, fig10, "fig10_power_budget");
+    fig_bench!(h, fig11, "fig11_core_count");
+    fig_bench!(h, fig12, "fig12_discrete_dvfs");
 
-/// Ablation benches: the design choices DESIGN.md calls out.
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("ab1_critical_load", |b| {
-        b.iter(|| ge_experiments::ablations::critical_load_sensitivity(&scale()))
+    // Ablation benches: the design choices DESIGN.md calls out.
+    h.bench("ablations/ab1_critical_load", || {
+        ge_experiments::ablations::critical_load_sensitivity(&scale())
     });
-    g.bench_function("ab2_hybrid_vs_pure", |b| {
-        b.iter(|| ge_experiments::ablations::hybrid_vs_pure(&scale()))
+    h.bench("ablations/ab2_hybrid_vs_pure", || {
+        ge_experiments::ablations::hybrid_vs_pure(&scale())
     });
-    g.bench_function("ab3_ledger_window", |b| {
-        b.iter(|| ge_experiments::ablations::ledger_window(&scale()))
+    h.bench("ablations/ab3_ledger_window", || {
+        ge_experiments::ablations::ledger_window(&scale())
     });
-    g.bench_function("ab4_trigger_sensitivity", |b| {
-        b.iter(|| ge_experiments::ablations::trigger_sensitivity(&scale()))
+    h.bench("ablations/ab4_trigger_sensitivity", || {
+        ge_experiments::ablations::trigger_sensitivity(&scale())
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_fig01,
-    bench_fig03,
-    bench_fig04,
-    bench_fig05,
-    bench_fig06,
-    bench_fig07,
-    bench_fig08,
-    bench_fig09,
-    bench_fig10,
-    bench_fig11,
-    bench_fig12,
-    bench_ablations,
-);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! These are the inner loops every scheduler epoch exercises; their cost
 //! bounds how fine-grained the online scheduler can afford to be.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ge_bench::harness::{black_box, Harness};
 use ge_power::{
     distribute_water_filling, yds_schedule, EnergyMeter, PolynomialPower, SpeedProfile,
     SpeedSegment, YdsJob,
@@ -19,20 +19,15 @@ fn demands(n: usize, seed: u64) -> Vec<f64> {
     (0..n).map(|_| dist.sample(&mut rng)).collect()
 }
 
-fn bench_lf_cut(c: &mut Criterion) {
+fn bench_lf_cut(h: &Harness) {
     let f = ExpConcave::paper_default();
-    let mut g = c.benchmark_group("lf_cut");
     for n in [4usize, 16, 64] {
         let d = demands(n, 1);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
-            b.iter(|| lf_cut(&f, black_box(d), 0.9))
-        });
+        h.bench(&format!("lf_cut/{n}"), || lf_cut(&f, black_box(&d), 0.9));
     }
-    g.finish();
 }
 
-fn bench_yds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("yds_schedule");
+fn bench_yds(h: &Harness) {
     for n in [4usize, 8, 16] {
         let d = demands(n, 2);
         let jobs: Vec<YdsJob> = d
@@ -40,97 +35,81 @@ fn bench_yds(c: &mut Criterion) {
             .enumerate()
             .map(|(i, &w)| YdsJob::new(i, 0.0, 0.15 + 0.01 * i as f64, w / 1000.0))
             .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
-            b.iter(|| yds_schedule(black_box(jobs)))
+        h.bench(&format!("yds_schedule/{n}"), || {
+            yds_schedule(black_box(&jobs))
         });
     }
-    g.finish();
 }
 
-fn bench_power_distribution(c: &mut Criterion) {
+fn bench_power_distribution(h: &Harness) {
     let demands: Vec<f64> = (0..16).map(|i| 5.0 + 3.0 * i as f64).collect();
-    c.bench_function("water_filling_16", |b| {
-        b.iter(|| distribute_water_filling(black_box(&demands), 320.0))
+    h.bench("water_filling_16", || {
+        distribute_water_filling(black_box(&demands), 320.0)
     });
 }
 
-fn bench_level_fill(c: &mut Criterion) {
+fn bench_level_fill(h: &Harness) {
     let d = demands(64, 3);
-    c.bench_function("level_fill_64", |b| {
-        b.iter(|| level_fill(black_box(&d), 5000.0))
-    });
+    h.bench("level_fill_64", || level_fill(black_box(&d), 5000.0));
     let d32 = demands(32, 4);
     let budgets: Vec<f64> = (1..=32).map(|i| i as f64 * 180.0).collect();
-    c.bench_function("prefix_level_fill_32", |b| {
-        b.iter(|| prefix_level_fill(black_box(&d32), black_box(&budgets)))
+    h.bench("prefix_level_fill_32", || {
+        prefix_level_fill(black_box(&d32), black_box(&budgets))
     });
 }
 
-fn bench_quality_fn(c: &mut Criterion) {
+fn bench_quality_fn(h: &Harness) {
     let f = ExpConcave::paper_default();
-    c.bench_function("exp_concave_value", |b| {
-        b.iter(|| f.value(black_box(437.0)))
-    });
-    c.bench_function("exp_concave_inverse", |b| {
-        b.iter(|| f.inverse(black_box(0.83)))
+    h.bench("exp_concave_value", || f.value(black_box(437.0)));
+    h.bench("exp_concave_inverse", || f.inverse(black_box(0.83)));
+}
+
+fn bench_event_queue(h: &Harness) {
+    h.bench("event_queue_push_pop_1k", || {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(1024);
+        for i in 0..1000u32 {
+            q.push(SimTime::from_secs(((i * 7919) % 1000) as f64), 0, i);
+        }
+        let mut acc = 0u64;
+        while let Some(e) = q.pop() {
+            acc += u64::from(e.event);
+        }
+        acc
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u32> = EventQueue::with_capacity(1024);
-            for i in 0..1000u32 {
-                q.push(
-                    SimTime::from_secs(((i * 7919) % 1000) as f64),
-                    0,
-                    i,
-                );
-            }
-            let mut acc = 0u64;
-            while let Some(e) = q.pop() {
-                acc += u64::from(e.event);
-            }
-            acc
-        })
-    });
-}
-
-fn bench_core_advance(c: &mut Criterion) {
+fn bench_core_advance(h: &Harness) {
     let model = PolynomialPower::paper_default();
-    c.bench_function("core_advance_8_jobs", |b| {
-        b.iter(|| {
-            let mut core = Core::new(0, 1000.0);
-            for (i, d) in demands(8, 5).into_iter().enumerate() {
-                core.assign(&ge_workload::Job::new(
-                    ge_workload::JobId(i as u64),
-                    SimTime::from_secs(0.0),
-                    SimTime::from_secs(0.15 + 0.02 * i as f64),
-                    d,
-                ));
-            }
-            core.install_plan(
-                SpeedProfile::new(vec![SpeedSegment::new(
-                    SimTime::ZERO,
-                    SimTime::from_secs(0.4),
-                    8.0,
-                )]),
-                320.0,
-            );
-            let mut meter = EnergyMeter::new(1);
-            core.advance(SimTime::from_secs(0.4), &model, &mut meter)
-        })
+    h.bench("core_advance_8_jobs", || {
+        let mut core = Core::new(0, 1000.0);
+        for (i, d) in demands(8, 5).into_iter().enumerate() {
+            core.assign(&ge_workload::Job::new(
+                ge_workload::JobId(i as u64),
+                SimTime::from_secs(0.0),
+                SimTime::from_secs(0.15 + 0.02 * i as f64),
+                d,
+            ));
+        }
+        core.install_plan(
+            SpeedProfile::new(vec![SpeedSegment::new(
+                SimTime::ZERO,
+                SimTime::from_secs(0.4),
+                8.0,
+            )]),
+            320.0,
+        );
+        let mut meter = EnergyMeter::new(1);
+        core.advance(SimTime::from_secs(0.4), &model, &mut meter)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_lf_cut,
-    bench_yds,
-    bench_power_distribution,
-    bench_level_fill,
-    bench_quality_fn,
-    bench_event_queue,
-    bench_core_advance,
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args();
+    bench_lf_cut(&h);
+    bench_yds(&h);
+    bench_power_distribution(&h);
+    bench_level_fill(&h);
+    bench_quality_fn(&h);
+    bench_event_queue(&h);
+    bench_core_advance(&h);
+}

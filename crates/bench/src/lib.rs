@@ -1,6 +1,8 @@
 //! # ge-bench — benchmark support
 //!
-//! The Criterion targets live in `benches/`:
+//! The benchmark targets live in `benches/` and use the std-only
+//! [`harness`] module below (no external benchmarking framework, so the
+//! workspace builds with zero network access):
 //!
 //! * `microbench` — the algorithmic kernels (LF cut, YDS, water-filling,
 //!   level-fill, quality-function inversion, event queue, core engine).
@@ -8,11 +10,93 @@
 //!   scale, so `cargo bench` regenerates every table/figure pipeline
 //!   end-to-end and tracks its cost.
 //!
-//! This library hosts small shared fixtures.
+//! This library hosts the harness plus small shared fixtures.
 
 use ge_core::SimConfig;
 use ge_simcore::SimTime;
 use ge_workload::{Trace, WorkloadConfig, WorkloadGenerator};
+
+pub mod harness {
+    //! A minimal `std`-only benchmarking harness.
+    //!
+    //! Calibrates an iteration count per benchmark so each sample batch
+    //! runs for a few milliseconds, then reports the minimum and mean
+    //! time per iteration over several batches. Min-of-batches is robust
+    //! to scheduler noise, which is all we need for coarse regression
+    //! tracking; fancier statistics are deliberately out of
+    //! scope (no external deps).
+
+    pub use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Target wall-clock duration of one calibrated sample batch.
+    const BATCH_NANOS: u128 = 20_000_000; // 20 ms
+    /// Number of sample batches per benchmark.
+    const BATCHES: usize = 5;
+
+    /// Runs named benchmarks, honouring an optional substring filter
+    /// passed on the command line (flags such as `--bench` are ignored).
+    pub struct Harness {
+        filter: Option<String>,
+    }
+
+    impl Harness {
+        /// Builds a harness with an explicit (possibly absent) filter.
+        pub fn new(filter: Option<String>) -> Self {
+            Harness { filter }
+        }
+
+        /// Builds a harness from `std::env::args`.
+        pub fn from_args() -> Self {
+            let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+            Harness { filter }
+        }
+
+        /// Benchmarks `f`, printing `name: <min> ns/iter (mean <mean>)`.
+        ///
+        /// Skipped (silently) when a filter was given and `name` does not
+        /// contain it.
+        pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+            if let Some(filter) = &self.filter {
+                if !name.contains(filter.as_str()) {
+                    return;
+                }
+            }
+            // Warm up + calibrate: grow the iteration count until one
+            // batch takes at least BATCH_NANOS.
+            let mut iters: u64 = 1;
+            loop {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                let elapsed = t.elapsed().as_nanos();
+                if elapsed >= BATCH_NANOS || iters >= 1 << 30 {
+                    break;
+                }
+                // Aim straight for the target with 2x headroom.
+                let scale = (BATCH_NANOS / elapsed.max(1)).max(1) as u64;
+                iters = iters.saturating_mul(scale.saturating_mul(2)).min(1 << 30);
+            }
+            let mut min_ns = f64::INFINITY;
+            let mut sum_ns = 0.0;
+            for _ in 0..BATCHES {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                let per_iter = t.elapsed().as_nanos() as f64 / iters as f64;
+                min_ns = min_ns.min(per_iter);
+                sum_ns += per_iter;
+            }
+            println!(
+                "{name:<40} {:>12.1} ns/iter   (mean {:>12.1}, {iters} iters x {BATCHES})",
+                min_ns,
+                sum_ns / BATCHES as f64,
+            );
+        }
+    }
+}
 
 /// A deterministic bench-scale trace (`secs` simulated seconds at `rate`).
 pub fn bench_trace(rate: f64, secs: f64, seed: u64) -> Trace {
@@ -45,5 +129,12 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert!(!a.is_empty());
         bench_config(5.0).validate();
+    }
+
+    #[test]
+    fn harness_runs_a_trivial_bench() {
+        // Smoke test: calibration terminates on a ~ns workload.
+        let h = harness::Harness::new(None);
+        h.bench("noop_add", || harness::black_box(2u64) + 2);
     }
 }

@@ -11,7 +11,7 @@
 //! speed till the deadline."
 
 use ge_power::{PolynomialPower, PowerModel, SpeedProfile};
-
+use ge_trace::TraceEvent;
 
 use crate::config::SimConfig;
 use crate::policy::{ScheduleCtx, Scheduler, TriggerSet};
@@ -51,7 +51,11 @@ impl QueuePolicy {
             QueuePolicy::Fdfs => queue
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.deadline.total_cmp(&b.1.deadline).then(a.1.id.cmp(&b.1.id)))
+                .min_by(|a, b| {
+                    a.1.deadline
+                        .total_cmp(&b.1.deadline)
+                        .then(a.1.id.cmp(&b.1.id))
+                })
                 .map(|(i, _)| i)
                 .expect("non-empty"),
             QueuePolicy::Ljf => queue
@@ -145,6 +149,20 @@ impl Scheduler for QueueScheduler {
             // engine stops billing once the job completes.
             let profile = SpeedProfile::constant(ctx.now, job.deadline, speed);
             core.install_plan(profile, self.share_w);
+            if ctx.sink.is_enabled() {
+                ctx.sink.record(&TraceEvent::JobAssigned {
+                    t: ctx.now.as_secs(),
+                    job: job.id.index() as u64,
+                    core: core_idx as u64,
+                });
+                ctx.sink.record(&TraceEvent::SpeedSegment {
+                    t: ctx.now.as_secs(),
+                    core: core_idx as u64,
+                    start_s: ctx.now.as_secs(),
+                    end_s: job.deadline.as_secs(),
+                    speed_ghz: speed,
+                });
+            }
         }
     }
 }
@@ -197,6 +215,7 @@ mod tests {
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps: 100.0,
+                sink: &mut ge_trace::NullSink,
             };
             s.on_schedule(&mut ctx);
         }
@@ -252,8 +271,7 @@ mod tests {
     #[test]
     fn slowest_feasible_speed_is_used() {
         // 150 units in 150 ms needs exactly 1 GHz (< 2 GHz cap).
-        let (server, _, _) =
-            run_one_epoch(QueuePolicy::Fcfs, vec![job(0, 0.0, 0.15, 150.0)], 0.0);
+        let (server, _, _) = run_one_epoch(QueuePolicy::Fcfs, vec![job(0, 0.0, 0.15, 150.0)], 0.0);
         let speed = server.core(0).profile().max_speed();
         assert!((speed - 1.0).abs() < 1e-9, "expected 1 GHz, got {speed}");
     }
@@ -261,10 +279,12 @@ mod tests {
     #[test]
     fn power_starved_job_runs_at_cap() {
         // 600 units in 150 ms needs 4 GHz, but H/m = 20 W caps at 2 GHz.
-        let (server, _, _) =
-            run_one_epoch(QueuePolicy::Fcfs, vec![job(0, 0.0, 0.15, 600.0)], 0.0);
+        let (server, _, _) = run_one_epoch(QueuePolicy::Fcfs, vec![job(0, 0.0, 0.15, 600.0)], 0.0);
         let speed = server.core(0).profile().max_speed();
-        assert!((speed - 2.0).abs() < 1e-9, "expected cap 2 GHz, got {speed}");
+        assert!(
+            (speed - 2.0).abs() < 1e-9,
+            "expected cap 2 GHz, got {speed}"
+        );
     }
 
     #[test]
@@ -290,6 +310,7 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 100.0,
+            sink: &mut ge_trace::NullSink,
         };
         s.on_schedule(&mut ctx);
         assert_eq!(queue.len(), 1, "no idle core ⇒ job stays queued");

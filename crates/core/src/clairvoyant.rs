@@ -114,10 +114,7 @@ pub fn clairvoyant_plan(cfg: &SimConfig, trace: &Trace) -> ClairvoyantOutcome {
     let mut peak_power_w = 0.0f64;
     for w in boundaries.windows(2) {
         let mid = SimTime::from_secs(0.5 * (w[0] + w[1]));
-        let total: f64 = plans
-            .iter()
-            .map(|p| model.power(p.speed_at(mid)))
-            .sum();
+        let total: f64 = plans.iter().map(|p| model.power(p.speed_at(mid))).sum();
         peak_power_w = peak_power_w.max(total);
     }
 

@@ -94,7 +94,10 @@ impl SimConfig {
     pub fn validate(&self) {
         assert!(self.cores > 0, "need at least one core");
         assert!(self.budget_w > 0.0, "budget must be positive");
-        assert!(self.power_a > 0.0 && self.power_beta > 1.0, "invalid power model");
+        assert!(
+            self.power_a > 0.0 && self.power_beta > 1.0,
+            "invalid power model"
+        );
         assert!(
             self.quality_c > 0.0 && self.quality_xmax > 0.0,
             "invalid quality function"

@@ -12,9 +12,10 @@
 //! always sees the jobs that arrived "now".
 
 use ge_power::PolynomialPower;
-use ge_quality::{ExpConcave, QualityFunction, QualityLedger};
+use ge_quality::{ExpConcave, LedgerMode, QualityFunction, QualityLedger};
 use ge_server::Server;
 use ge_simcore::{SimTime, Simulator};
+use ge_trace::{NullSink, TraceEvent, TraceSink, TriggerKind};
 use ge_workload::{Job, Trace};
 use std::collections::VecDeque;
 
@@ -50,6 +51,49 @@ pub struct RunTrace {
     pub load_estimate: ge_metrics::TimeSeries,
 }
 
+/// A [`TraceSink`] that distils the event stream back into the per-epoch
+/// [`RunTrace`] trajectories — the canned sink behind [`run_traced`].
+///
+/// Every scheduling epoch the driver emits one
+/// [`TraceEvent::QualitySample`]; this sink keeps those and ignores the
+/// rest, so `run_traced` is now just one consumer of the general
+/// instrumentation path.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectorySink {
+    trace: RunTrace,
+}
+
+impl TrajectorySink {
+    /// Creates an empty trajectory sink.
+    pub fn new() -> Self {
+        TrajectorySink::default()
+    }
+
+    /// Consumes the sink, returning the accumulated trajectories.
+    pub fn into_trace(self) -> RunTrace {
+        self.trace
+    }
+}
+
+impl TraceSink for TrajectorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        if let TraceEvent::QualitySample {
+            t,
+            quality,
+            mode,
+            backlog_units,
+            load_estimate_rps,
+        } = *event
+        {
+            let at = SimTime::from_secs(t);
+            self.trace.quality.push(at, quality);
+            self.trace.mode.push(at, mode as f64);
+            self.trace.backlog_units.push(at, backlog_units);
+            self.trace.load_estimate.push(at, load_estimate_rps);
+        }
+    }
+}
+
 /// Convenience wrapper: builds the algorithm's scheduler and runs it.
 pub fn run(cfg: &SimConfig, trace: &Trace, algorithm: &Algorithm) -> RunResult {
     let mut sched = algorithm.build(cfg);
@@ -59,23 +103,33 @@ pub fn run(cfg: &SimConfig, trace: &Trace, algorithm: &Algorithm) -> RunResult {
 /// Like [`run`], additionally recording per-epoch trajectories — the
 /// compensation policy's control dynamics made visible.
 pub fn run_traced(cfg: &SimConfig, trace: &Trace, algorithm: &Algorithm) -> (RunResult, RunTrace) {
+    let mut sink = TrajectorySink::new();
+    let result = run_with_sink(cfg, trace, algorithm, &mut sink);
+    (result, sink.into_trace())
+}
+
+/// Like [`run`], but streams every structured decision event into `sink`.
+pub fn run_with_sink(
+    cfg: &SimConfig,
+    trace: &Trace,
+    algorithm: &Algorithm,
+    sink: &mut dyn TraceSink,
+) -> RunResult {
     let mut sched = algorithm.build(cfg);
-    let mut rt = RunTrace::default();
-    let result = run_inner(cfg, trace, sched.as_mut(), Some(&mut rt));
-    (result, rt)
+    run_inner(cfg, trace, sched.as_mut(), sink)
 }
 
 /// Runs one full simulation of `trace` under `sched` and returns the
 /// measurements.
 pub fn run_simulation(cfg: &SimConfig, trace: &Trace, sched: &mut dyn Scheduler) -> RunResult {
-    run_inner(cfg, trace, sched, None)
+    run_inner(cfg, trace, sched, &mut NullSink)
 }
 
 fn run_inner(
     cfg: &SimConfig,
     trace: &Trace,
     sched: &mut dyn Scheduler,
-    mut observe: Option<&mut RunTrace>,
+    sink: &mut dyn TraceSink,
 ) -> RunResult {
     cfg.validate();
     let f = ExpConcave::new(cfg.quality_c, cfg.quality_xmax);
@@ -87,8 +141,7 @@ fn run_inner(
         cfg.units_per_ghz_sec,
     );
     let mut ledger = QualityLedger::new(cfg.ledger_mode);
-    let mut mode_tracker =
-        ge_metrics::ModeTracker::new(2, sched.current_mode(), SimTime::ZERO);
+    let mut mode_tracker = ge_metrics::ModeTracker::new(2, sched.current_mode(), SimTime::ZERO);
     let mut speed_tracker = ge_metrics::SpeedTracker::new();
     let mut latency = ge_metrics::Histogram::latency_default();
     let mut queue: Vec<Job> = Vec::new();
@@ -101,6 +154,27 @@ fn run_inner(
     // The run must cover every job's deadline so each job's fate lands in
     // the ledger.
     let horizon = cfg.horizon.max(trace.last_deadline());
+
+    if sink.is_enabled() {
+        sink.record(&TraceEvent::RunStart {
+            t: 0.0,
+            algorithm: sched.name().to_string(),
+            cores: cfg.cores as u64,
+            budget_w: cfg.budget_w,
+            q_ge: cfg.q_ge,
+            horizon_s: horizon.as_secs(),
+            power_a: cfg.power_a,
+            power_beta: cfg.power_beta,
+            quality_c: cfg.quality_c,
+            quality_xmax: cfg.quality_xmax,
+            units_per_ghz_sec: cfg.units_per_ghz_sec,
+            initial_mode: sched.current_mode() as u64,
+            ledger_window: match cfg.ledger_mode {
+                LedgerMode::Cumulative => 0,
+                LedgerMode::SlidingWindow(n) => n as u64,
+            },
+        });
+    }
 
     let mut sim: Simulator<Ev> = Simulator::new();
     for (i, job) in trace.jobs().iter().enumerate() {
@@ -116,17 +190,35 @@ fn run_inner(
         if dt > 0.0 {
             speed_tracker.sample(&last_speeds, dt);
         }
-        for fin in server.advance_all(now) {
+        for fin in server.advance_all_traced(now, sink) {
             ledger.record(f.value(fin.processed), f.value(fin.full_demand));
             if fin.processed > 0.0 {
                 let release = trace.jobs()[fin.id.index()].release;
                 latency.record(fin.finish_time.saturating_since(release).as_secs());
+            }
+            if sink.is_enabled() {
+                sink.record(&TraceEvent::JobFinish {
+                    t: now.as_secs(),
+                    job: fin.id.index() as u64,
+                    processed: fin.processed,
+                    full_demand: fin.full_demand,
+                    discarded: fin.processed <= 0.0,
+                });
             }
         }
         // Jobs that died waiting in the queue count as fully discarded.
         queue.retain(|j| {
             if j.deadline.at_or_before(now) {
                 ledger.record(0.0, f.value(j.demand));
+                if sink.is_enabled() {
+                    sink.record(&TraceEvent::JobFinish {
+                        t: now.as_secs(),
+                        job: j.id.index() as u64,
+                        processed: 0.0,
+                        full_demand: j.demand,
+                        discarded: true,
+                    });
+                }
                 false
             } else {
                 true
@@ -135,22 +227,30 @@ fn run_inner(
 
         // -- Event-specific logic ----------------------------------------
         let triggers = sched.triggers();
-        let mut fire = false;
+        let mut fire: Option<TriggerKind> = None;
         match ev {
             Ev::Arrival(i) => {
                 let job = trace.jobs()[i];
                 queue.push(job);
                 arrivals_window.push_back(now.as_secs());
-                if triggers.counter && queue.len() >= cfg.counter_trigger {
-                    fire = true;
+                if sink.is_enabled() {
+                    sink.record(&TraceEvent::JobArrival {
+                        t: now.as_secs(),
+                        job: i as u64,
+                        deadline_s: job.deadline.as_secs(),
+                        demand: job.demand,
+                    });
                 }
-                if triggers.idle_core && server.cores().any(|c| c.is_idle()) {
-                    fire = true;
+                if triggers.counter && queue.len() >= cfg.counter_trigger {
+                    fire = Some(TriggerKind::Counter);
+                }
+                if fire.is_none() && triggers.idle_core && server.cores().any(|c| c.is_idle()) {
+                    fire = Some(TriggerKind::IdleCore);
                 }
             }
             Ev::Quantum => {
                 if triggers.quantum {
-                    fire = true;
+                    fire = Some(TriggerKind::Quantum);
                 }
                 ctx.schedule(now + cfg.quantum, PRIO_QUANTUM, Ev::Quantum);
             }
@@ -158,16 +258,13 @@ fn run_inner(
                 if next_check.is_some_and(|t| t.at_or_before(now)) {
                     next_check = None;
                 }
-                if triggers.idle_core
-                    && !queue.is_empty()
-                    && server.cores().any(|c| c.is_idle())
-                {
-                    fire = true;
+                if triggers.idle_core && !queue.is_empty() && server.cores().any(|c| c.is_idle()) {
+                    fire = Some(TriggerKind::IdleCore);
                 }
             }
         }
 
-        if fire {
+        if let Some(kind) = fire {
             // Arrival-rate estimate over the sliding window.
             let window = cfg.load_window_secs;
             while arrivals_window
@@ -179,6 +276,13 @@ fn run_inner(
             let effective_window = window.min(now.as_secs().max(1e-3));
             let load_estimate_rps = arrivals_window.len() as f64 / effective_window;
 
+            if sink.is_enabled() {
+                sink.record(&TraceEvent::TriggerFired {
+                    t: now.as_secs(),
+                    kind,
+                    queue_len: queue.len() as u64,
+                });
+            }
             let mut sctx = ScheduleCtx {
                 now,
                 server: &mut server,
@@ -186,15 +290,19 @@ fn run_inner(
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps,
+                sink: &mut *sink,
             };
             sched.on_schedule(&mut sctx);
             epochs += 1;
             mode_tracker.switch(sched.current_mode(), now);
-            if let Some(rt) = observe.as_deref_mut() {
-                rt.quality.push(now, ledger.quality());
-                rt.mode.push(now, sched.current_mode() as f64);
-                rt.backlog_units.push(now, server.total_backlog_units());
-                rt.load_estimate.push(now, load_estimate_rps);
+            if sink.is_enabled() {
+                sink.record(&TraceEvent::QualitySample {
+                    t: now.as_secs(),
+                    quality: ledger.quality(),
+                    mode: sched.current_mode() as u64,
+                    backlog_units: server.total_backlog_units(),
+                    load_estimate_rps,
+                });
             }
         }
 
@@ -220,15 +328,33 @@ fn run_inner(
     if dt > 0.0 {
         speed_tracker.sample(&last_speeds, dt);
     }
-    for fin in server.advance_all(end) {
+    for fin in server.advance_all_traced(end, sink) {
         ledger.record(f.value(fin.processed), f.value(fin.full_demand));
         if fin.processed > 0.0 {
             let release = trace.jobs()[fin.id.index()].release;
             latency.record(fin.finish_time.saturating_since(release).as_secs());
         }
+        if sink.is_enabled() {
+            sink.record(&TraceEvent::JobFinish {
+                t: end.as_secs(),
+                job: fin.id.index() as u64,
+                processed: fin.processed,
+                full_demand: fin.full_demand,
+                discarded: fin.processed <= 0.0,
+            });
+        }
     }
     for j in queue.drain(..) {
         ledger.record(0.0, f.value(j.demand));
+        if sink.is_enabled() {
+            sink.record(&TraceEvent::JobFinish {
+                t: end.as_secs(),
+                job: j.id.index() as u64,
+                processed: 0.0,
+                full_demand: j.demand,
+                discarded: true,
+            });
+        }
     }
 
     let fractions = mode_tracker.fractions_at(end);
@@ -243,6 +369,16 @@ fn run_inner(
             0.0
         }
     };
+    if sink.is_enabled() {
+        sink.record(&TraceEvent::RunSummary {
+            t: end.as_secs(),
+            energy_j: server.total_energy(),
+            quality: ledger.quality(),
+            aes_fraction: fractions[crate::policy::MODE_AES],
+            jobs_finished: ledger.jobs_recorded(),
+            jobs_discarded: ledger.jobs_discarded(),
+        });
+    }
     RunResult {
         algorithm: sched.name().to_string(),
         quality: ledger.quality(),
@@ -346,7 +482,12 @@ mod tests {
     fn queue_policies_complete_jobs_at_light_load() {
         let cfg = small_cfg();
         let trace = small_trace(60.0, 5);
-        for alg in [Algorithm::Fcfs, Algorithm::Fdfs, Algorithm::Ljf, Algorithm::Sjf] {
+        for alg in [
+            Algorithm::Fcfs,
+            Algorithm::Fdfs,
+            Algorithm::Ljf,
+            Algorithm::Sjf,
+        ] {
             let r = run(&cfg, &trace, &alg);
             assert_eq!(r.jobs_finished, trace.len() as u64, "{}", alg.label());
             assert!(
@@ -413,12 +554,12 @@ mod tests {
         assert_eq!(plain.energy_j.to_bits(), traced.energy_j.to_bits());
         // One sample per epoch, values in range.
         assert_eq!(rt.quality.len() as u64, traced.schedule_epochs);
-        assert!(rt.quality.points().iter().all(|&(_, q)| (0.0..=1.0).contains(&q)));
         assert!(rt
-            .mode
+            .quality
             .points()
             .iter()
-            .all(|&(_, m)| m == 0.0 || m == 1.0));
+            .all(|&(_, q)| (0.0..=1.0).contains(&q)));
+        assert!(rt.mode.points().iter().all(|&(_, m)| m == 0.0 || m == 1.0));
         assert!(rt.backlog_units.points().iter().all(|&(_, b)| b >= 0.0));
     }
 

@@ -35,6 +35,7 @@ use ge_power::{
 use ge_quality::{lf_cut, prefix_level_fill};
 use ge_server::CrrAssigner;
 use ge_simcore::SimTime;
+use ge_trace::{SplitPolicy, TraceEvent};
 
 use crate::config::{PowerPolicy, SimConfig};
 use crate::policy::{ScheduleCtx, Scheduler, TriggerSet, MODE_AES, MODE_BQ};
@@ -177,6 +178,28 @@ impl GeScheduler {
                     // Never below already-processed volume, never above p_j.
                     job.target_demand = c.max(job.processed).min(job.full_demand);
                 }
+                if ctx.sink.is_enabled() {
+                    let volume_before: f64 = full.iter().sum();
+                    let volume_after: f64 = core.jobs().iter().map(|j| j.target_demand).sum();
+                    ctx.sink.record(&TraceEvent::LfCut {
+                        t: now.as_secs(),
+                        level: cut.level,
+                        target_quality: self.cut_target(),
+                        jobs: full.len() as u64,
+                        volume_before,
+                        volume_after,
+                    });
+                    for job in core.jobs() {
+                        if job.target_demand < job.full_demand - 1e-12 {
+                            ctx.sink.record(&TraceEvent::JobCut {
+                                t: now.as_secs(),
+                                job: job.id.index() as u64,
+                                full_demand: job.full_demand,
+                                cut_demand: job.target_demand,
+                            });
+                        }
+                    }
+                }
             }
         } else {
             for job in core.jobs_mut() {
@@ -211,6 +234,14 @@ impl GeScheduler {
         let mut s_cap = self.model.speed_for_power(cap_w);
         if let Some(cap) = self.opts.speed_cap_ghz {
             s_cap = s_cap.min(cap);
+        }
+        if ctx.sink.is_enabled() {
+            ctx.sink.record(&TraceEvent::CoreCap {
+                t: now.as_secs(),
+                core: core_idx as u64,
+                cap_w,
+                speed_cap_ghz: s_cap,
+            });
         }
         let core = ctx.server.core_mut(core_idx);
 
@@ -260,6 +291,14 @@ impl GeScheduler {
                 let j = &mut core.jobs_mut()[i];
                 j.target_demand = (j.processed + a).min(j.full_demand);
             }
+            if ctx.sink.is_enabled() {
+                ctx.sink.record(&TraceEvent::SecondCut {
+                    t: now.as_secs(),
+                    core: core_idx as u64,
+                    volume_before: demands.iter().sum(),
+                    volume_after: alloc.iter().sum(),
+                });
+            }
         }
 
         // Final Energy-OPT plan over the (possibly twice-cut) targets.
@@ -287,6 +326,17 @@ impl GeScheduler {
             .iter()
             .map(|s| SpeedSegment::new(s.start, s.end, s.speed_ghz.min(s_cap)))
             .collect();
+        if ctx.sink.is_enabled() {
+            for s in &segments {
+                ctx.sink.record(&TraceEvent::SpeedSegment {
+                    t: now.as_secs(),
+                    core: core_idx as u64,
+                    start_s: s.start.as_secs(),
+                    end_s: s.end.as_secs(),
+                    speed_ghz: s.speed_ghz,
+                });
+            }
+        }
         core.install_plan(SpeedProfile::new(segments), cap_w);
     }
 
@@ -312,6 +362,15 @@ impl GeScheduler {
                 .map(|j| j.deadline)
                 .fold(now, SimTime::max);
             let profile = if speed > 0.0 && last_deadline.after(now) {
+                if ctx.sink.is_enabled() {
+                    ctx.sink.record(&TraceEvent::SpeedSegment {
+                        t: now.as_secs(),
+                        core: i as u64,
+                        start_s: now.as_secs(),
+                        end_s: last_deadline.as_secs(),
+                        speed_ghz: speed,
+                    });
+                }
                 SpeedProfile::constant(now, last_deadline, speed)
             } else {
                 SpeedProfile::empty()
@@ -345,10 +404,27 @@ impl Scheduler for GeScheduler {
         let targets = self.crr.assign_batch(batch.len());
         for (job, &core_idx) in batch.iter().zip(&targets) {
             ctx.server.core_mut(core_idx).assign(job);
+            if ctx.sink.is_enabled() {
+                ctx.sink.record(&TraceEvent::JobAssigned {
+                    t: ctx.now.as_secs(),
+                    job: job.id.index() as u64,
+                    core: core_idx as u64,
+                });
+            }
         }
 
         // 2. Mode decision (compensation policy).
-        self.decide_mode(ctx.ledger.quality());
+        let monitored = ctx.ledger.quality();
+        let prev_mode = self.mode;
+        self.decide_mode(monitored);
+        if self.mode != prev_mode && ctx.sink.is_enabled() {
+            ctx.sink.record(&TraceEvent::ModeSwitch {
+                t: ctx.now.as_secs(),
+                from_mode: prev_mode as u64,
+                to_mode: self.mode as u64,
+                ledger_quality: monitored,
+            });
+        }
 
         // 3–5. Per-core targets and uncapped Energy-OPT plans.
         let mut demands = Vec::with_capacity(self.cores);
@@ -363,6 +439,18 @@ impl Scheduler for GeScheduler {
             PowerPolicy::EqualSharingOnly => false,
             PowerPolicy::WaterFillingOnly => true,
         };
+        if ctx.sink.is_enabled() {
+            ctx.sink.record(&TraceEvent::PowerSplit {
+                t: ctx.now.as_secs(),
+                policy: if use_wf {
+                    SplitPolicy::WaterFilling
+                } else {
+                    SplitPolicy::EqualShare
+                },
+                load_estimate_rps: ctx.load_estimate_rps,
+                budget_w: self.budget_w,
+            });
+        }
         let caps = if use_wf {
             distribute_water_filling(&demands, self.budget_w)
         } else {
@@ -436,6 +524,7 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0,
+            sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
         assert!(queue.is_empty());
@@ -457,6 +546,7 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0,
+            sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
         assert_eq!(ge.current_mode(), MODE_AES);
@@ -489,6 +579,7 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 500.0,
+            sink: &mut ge_trace::NullSink,
         };
         be.on_schedule(&mut ctx);
         assert_eq!(be.current_mode(), MODE_BQ);
@@ -511,6 +602,7 @@ mod tests {
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps: 10.0,
+                sink: &mut ge_trace::NullSink,
             };
             ge.on_schedule(&mut ctx);
         }
@@ -527,6 +619,7 @@ mod tests {
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps: 10.0,
+                sink: &mut ge_trace::NullSink,
             };
             ge.on_schedule(&mut ctx);
         }
@@ -552,6 +645,7 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0,
+            sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
         assert_eq!(ge.current_mode(), MODE_AES);
@@ -574,6 +668,7 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0, // « critical 154
+            sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
         assert!((server.core(0).power_cap() - 20.0).abs() < 1e-9);
@@ -591,6 +686,7 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 500.0, // » critical
+            sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
         assert!(
@@ -623,6 +719,7 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 500.0,
+            sink: &mut ge_trace::NullSink,
         };
         be.on_schedule(&mut ctx);
         let j = &server.core(0).jobs()[0];
@@ -650,6 +747,7 @@ mod tests {
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps: 10.0,
+                sink: &mut ge_trace::NullSink,
             };
             s.on_schedule(&mut ctx);
             server.core(0).jobs()[0].target_demand
@@ -681,6 +779,7 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0,
+            sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
         let speed = server.core(0).profile().max_speed();
@@ -705,6 +804,7 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0,
+            sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
         let j = &server.core(0).jobs()[0];
@@ -725,6 +825,7 @@ mod tests {
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps: 10.0,
+                sink: &mut ge_trace::NullSink,
             };
             ge.on_schedule(&mut ctx);
         }

@@ -3,6 +3,7 @@
 use ge_quality::{ExpConcave, QualityLedger};
 use ge_server::Server;
 use ge_simcore::SimTime;
+use ge_trace::TraceSink;
 use ge_workload::Job;
 
 use crate::baselines::queue_policies::{QueuePolicy, QueueScheduler};
@@ -59,6 +60,8 @@ pub struct ScheduleCtx<'a> {
     pub quality_fn: &'a ExpConcave,
     /// The driver's arrival-rate estimate (requests per second).
     pub load_estimate_rps: f64,
+    /// Where the policy emits structured decision events.
+    pub sink: &'a mut dyn TraceSink,
 }
 
 /// A scheduling policy: invoked by the driver at trigger events.
@@ -148,6 +151,7 @@ impl Algorithm {
             Algorithm::GeNoComp => Box::new(GeScheduler::new(
                 cfg,
                 GeOptions {
+                    label: "GE-NoComp",
                     compensation: false,
                     ..GeOptions::paper()
                 },
@@ -155,6 +159,7 @@ impl Algorithm {
             Algorithm::GeEsOnly => Box::new(GeScheduler::new(
                 cfg,
                 GeOptions {
+                    label: "GE-ES",
                     power_policy: PowerPolicy::EqualSharingOnly,
                     ..GeOptions::paper()
                 },
@@ -162,6 +167,7 @@ impl Algorithm {
             Algorithm::GeWfOnly => Box::new(GeScheduler::new(
                 cfg,
                 GeOptions {
+                    label: "GE-WF",
                     power_policy: PowerPolicy::WaterFillingOnly,
                     ..GeOptions::paper()
                 },

@@ -28,9 +28,9 @@
 use crate::scale::Scale;
 use crate::sweep::{run_cell, Cell};
 use ge_core::{clairvoyant_plan, Algorithm, SimConfig};
-use ge_simcore::SimTime;
 use ge_metrics::Table;
 use ge_quality::{lf_cut, ExpConcave};
+use ge_simcore::SimTime;
 use ge_workload::{Trace, WorkloadConfig, WorkloadGenerator};
 
 /// The clairvoyant Jensen lower bound (joules) on the energy of *any*
@@ -108,7 +108,13 @@ pub fn clairvoyant_table(scale: &Scale) -> Table {
 pub fn run(scale: &Scale) -> Vec<Table> {
     let mut t = Table::with_headers(
         "Bounds: GE energy vs clairvoyant Jensen lower bound",
-        &["arrival_rate", "ge_quality", "ge_energy_j", "lower_bound_j", "ratio"],
+        &[
+            "arrival_rate",
+            "ge_quality",
+            "ge_energy_j",
+            "lower_bound_j",
+            "ratio",
+        ],
     );
     for &rate in &scale.rates {
         let cfg = SimConfig {
@@ -127,7 +133,11 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             algorithm: Algorithm::Ge,
             seed: scale.root_seed,
         });
-        let ratio = if bound > 0.0 { ge.energy_j / bound } else { 0.0 };
+        let ratio = if bound > 0.0 {
+            ge.energy_j / bound
+        } else {
+            0.0
+        };
         t.push_numeric_row(&[rate, ge.quality, ge.energy_j, bound, ratio], 2);
     }
     vec![t, clairvoyant_table(scale)]

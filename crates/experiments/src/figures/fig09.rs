@@ -17,9 +17,11 @@ pub const C_VALUES: [f64; 6] = [0.0005, 0.001, 0.002, 0.003, 0.005, 0.009];
 /// Runs the experiment; returns the quality-vs-rate table (9a) and the
 /// quality-function shape table (9b).
 pub fn run(scale: &Scale) -> Vec<Table> {
-    vec![quality_grid(scale).quality_table(
-        "Fig 9a: GE service quality vs arrival rate for different concavity c",
-    ), shape_table()]
+    vec![
+        quality_grid(scale)
+            .quality_table("Fig 9a: GE service quality vs arrival rate for different concavity c"),
+        shape_table(),
+    ]
 }
 
 /// The 9a grid: GE under each concavity, heavy-load rates only.
@@ -52,9 +54,15 @@ pub fn quality_grid(scale: &Scale) -> Grid {
 pub fn shape_table() -> Table {
     let mut columns = vec!["x".to_string()];
     columns.extend(C_VALUES.iter().map(|c| format!("c={c}")));
-    let mut t = Table::new("Fig 9b: quality function f(x) for different concavity c", columns);
+    let mut t = Table::new(
+        "Fig 9b: quality function f(x) for different concavity c",
+        columns,
+    );
     let x_max = 3000.0;
-    let fs: Vec<ExpConcave> = C_VALUES.iter().map(|&c| ExpConcave::new(c, x_max)).collect();
+    let fs: Vec<ExpConcave> = C_VALUES
+        .iter()
+        .map(|&c| ExpConcave::new(c, x_max))
+        .collect();
     let mut x = 0.0;
     while x <= x_max + 1e-9 {
         let mut row = vec![x];
@@ -90,7 +98,7 @@ mod tests {
     fn shape_table_is_monotone_in_c() {
         let t = shape_table();
         assert_eq!(t.row_count(), 13); // x = 0, 250, ..., 3000
-        // Spot-check monotonicity at one x via a fresh evaluation.
+                                       // Spot-check monotonicity at one x via a fresh evaluation.
         let f_small = ExpConcave::new(0.0005, 3000.0);
         let f_large = ExpConcave::new(0.009, 3000.0);
         assert!(f_large.value(500.0) > f_small.value(500.0));

@@ -54,7 +54,11 @@ mod tests {
         let g = grid(&scale);
         let cont = &g.results[0][0];
         let disc = &g.results[0][1];
-        assert!(disc.quality > 0.5, "discrete quality collapsed: {}", disc.quality);
+        assert!(
+            disc.quality > 0.5,
+            "discrete quality collapsed: {}",
+            disc.quality
+        );
         assert!(
             (disc.quality - cont.quality).abs() < 0.2,
             "discrete ({}) should track continuous ({})",

@@ -24,7 +24,7 @@
 //! The [`scale::Scale`] parameter trades fidelity for wall-clock time:
 //! `Scale::full()` is the paper's 10-minute horizon, `Scale::quick()` a
 //! 1-minute smoke scale, `Scale::bench()` a seconds-scale variant for
-//! Criterion.
+//! the benches.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -35,6 +35,7 @@ pub mod calibrate;
 pub mod figures;
 pub mod scale;
 pub mod sweep;
+pub mod trace;
 pub mod validation;
 
 pub use calibrate::{calibrate_bep_budget, calibrate_bes_speed};

@@ -16,8 +16,13 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: ge-experiments [--quick] [--plot] [--svg] [--reps N] [--horizon SECS] [--out DIR] \
+         [--trace FILE.jsonl] \
          [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
-          ab1 ab2 ab3 ab4 ab5 ab6 bounds validate | all | ablations]"
+          ab1 ab2 ab3 ab4 ab5 ab6 bounds validate | all | ablations]\n\
+         \n\
+         --trace FILE runs one fully-instrumented exemplar cell per named\n\
+         figure, writes the decision trace as JSONL, and prints the replay\n\
+         invariant report instead of the figure tables."
     );
     std::process::exit(2);
 }
@@ -81,6 +86,7 @@ fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut plot = false;
     let mut svg = false;
+    let mut trace_path: Option<PathBuf> = None;
     let mut figs: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -104,6 +110,9 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage()));
             }
+            "--trace" => {
+                trace_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
             "--help" | "-h" => usage(),
             name if name.starts_with("fig")
                 || name.starts_with("ab")
@@ -121,8 +130,20 @@ fn main() {
         // `all` really means all: every figure, every ablation, the
         // bounds study, and the validation suite.
         figs = vec![
-            "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "ablations", "bounds", "validate",
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "ablations",
+            "bounds",
+            "validate",
         ]
         .into_iter()
         .map(String::from)
@@ -131,6 +152,43 @@ fn main() {
     if figs.iter().any(|f| f == "ablations") {
         figs.retain(|f| f != "ablations");
         figs.extend(["ab1", "ab2", "ab3", "ab4", "ab5", "ab6"].map(String::from));
+    }
+
+    // Trace mode: one instrumented exemplar run per figure, no tables.
+    if let Some(base) = &trace_path {
+        for (i, fig) in figs.iter().enumerate() {
+            if !fig.starts_with("fig") {
+                eprintln!("--trace only applies to figures; skipping {fig}");
+                continue;
+            }
+            let started = std::time::Instant::now();
+            let run = ge_experiments::trace::traced_exemplar(fig, &scale);
+            // With several figures named, suffix the path with each one.
+            let path = if i == 0 {
+                base.clone()
+            } else {
+                base.with_extension(format!("{fig}.jsonl"))
+            };
+            let mut jsonl = Vec::new();
+            ge_trace::write_jsonl(&run.events, &mut jsonl).expect("in-memory write cannot fail");
+            match std::fs::write(&path, &jsonl) {
+                Ok(()) => println!(
+                    "{fig}: wrote {} events to {} ({:.1?})",
+                    run.events.len(),
+                    path.display(),
+                    started.elapsed()
+                ),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+            println!("{}", run.report.render());
+            if !run.report.is_ok() {
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     for fig in &figs {

@@ -37,7 +37,7 @@ impl Scale {
         }
     }
 
-    /// A seconds-scale variant for Criterion benchmarks.
+    /// A seconds-scale variant for the std-only benchmarks.
     pub fn bench() -> Self {
         Scale {
             horizon_secs: 10.0,
@@ -55,7 +55,11 @@ impl Scale {
     /// This scale restricted to rates at or above `min_rate` (Figs. 7 and
     /// 9a focus on the heavy-load region).
     pub fn rates_from(&self, min_rate: f64) -> Vec<f64> {
-        self.rates.iter().copied().filter(|&r| r >= min_rate).collect()
+        self.rates
+            .iter()
+            .copied()
+            .filter(|&r| r >= min_rate)
+            .collect()
     }
 }
 

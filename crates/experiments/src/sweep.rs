@@ -41,8 +41,7 @@ pub fn sweep(cells: &[Cell]) -> Vec<RunResult> {
         .min(cells.len());
 
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<RunResult>>> =
-        Mutex::new((0..cells.len()).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {

@@ -1,0 +1,117 @@
+//! `--trace` support: one fully-instrumented exemplar run per figure.
+//!
+//! Figures report seed-averaged summaries; this module runs a *single*
+//! representative cell of the named figure with every decision event
+//! streamed into a [`ge_trace::VecSink`], writes the JSONL trace, parses
+//! it back, and replays it through the invariant checker — so the trace
+//! on disk is proven, not assumed, to reproduce the run it describes.
+
+use crate::scale::Scale;
+use ge_core::{run_with_sink, Algorithm, RunResult, SimConfig};
+use ge_trace::{parse_jsonl, replay, write_jsonl, ReplayReport, TraceEvent, VecSink};
+use ge_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// The representative algorithm (and deadline-window style) traced for
+/// each figure name: the series the figure is *about*.
+fn exemplar(fig: &str) -> (Algorithm, bool) {
+    match fig {
+        // Fig. 4 uses the random 150–500 ms deadline windows.
+        "fig4" => (Algorithm::Ge, true),
+        // Fig. 6/7 contrast the power-split policies; trace pure WF.
+        "fig6" | "fig7" => (Algorithm::GeWfOnly, false),
+        // Everything else centres on the paper's GE configuration.
+        _ => (Algorithm::Ge, false),
+    }
+}
+
+/// The outcome of a traced exemplar run.
+pub struct TracedRun {
+    /// The driver's reported measurements.
+    pub result: RunResult,
+    /// Every event the run emitted, in order.
+    pub events: Vec<TraceEvent>,
+    /// The invariant checker's verdict over the *parsed-back* trace.
+    pub report: ReplayReport,
+}
+
+/// Runs one exemplar cell of `fig` with full tracing and round-trips the
+/// trace through the JSONL encoder before replaying it.
+///
+/// # Panics
+/// Panics if the emitted trace fails to serialize or parse — that is a
+/// bug in the tracing layer, not a property of the workload.
+pub fn traced_exemplar(fig: &str, scale: &Scale) -> TracedRun {
+    let (algorithm, random_windows) = exemplar(fig);
+    // The middle of the rate grid: loaded enough for cuts and mode
+    // switches, light enough that AES residency stays interesting.
+    let rate = scale.rates[scale.rates.len() / 2];
+    let sim = SimConfig {
+        horizon: scale.horizon(),
+        ..SimConfig::paper_default()
+    };
+    let wc = if random_windows {
+        WorkloadConfig {
+            horizon: scale.horizon(),
+            ..WorkloadConfig::paper_random_windows(rate)
+        }
+    } else {
+        WorkloadConfig {
+            horizon: scale.horizon(),
+            ..WorkloadConfig::paper_default(rate)
+        }
+    };
+    let trace = WorkloadGenerator::new(wc, scale.root_seed).generate();
+
+    let mut sink = VecSink::new();
+    let result = run_with_sink(&sim, &trace, &algorithm, &mut sink);
+    let events = sink.into_events();
+
+    // Round-trip through the wire format before replaying: the report
+    // then certifies the serialized artifact, not the in-memory one.
+    let mut jsonl = Vec::new();
+    write_jsonl(&events, &mut jsonl).expect("in-memory write cannot fail");
+    let jsonl = String::from_utf8(jsonl).expect("JSONL is ASCII-safe UTF-8");
+    let parsed = parse_jsonl(&jsonl).expect("emitted trace must parse");
+    let report = replay(&parsed).expect("emitted trace must be structurally complete");
+    TracedRun {
+        result,
+        events,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            horizon_secs: 10.0,
+            replications: 1,
+            rates: vec![100.0, 150.0, 200.0],
+            root_seed: 7,
+        }
+    }
+
+    #[test]
+    fn fig1_trace_replays_clean() {
+        let run = traced_exemplar("fig1", &tiny());
+        assert!(run.report.is_ok(), "{}", run.report.render());
+        assert!(!run.events.is_empty());
+        assert!((run.report.reported_energy_j - run.result.energy_j).abs() < 1e-9);
+        assert!((run.report.reported_aes - run.result.aes_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4_uses_random_windows_and_replays_clean() {
+        let run = traced_exemplar("fig4", &tiny());
+        assert!(run.report.is_ok(), "{}", run.report.render());
+    }
+
+    #[test]
+    fn exemplar_mapping() {
+        assert_eq!(exemplar("fig6").0, Algorithm::GeWfOnly);
+        assert!(exemplar("fig4").1);
+        assert_eq!(exemplar("fig12").0, Algorithm::Ge);
+    }
+}

@@ -113,10 +113,7 @@ impl Histogram {
     /// Panics if shapes differ.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
-        assert!(
-            (self.upper - other.upper).abs() < 1e-12,
-            "range mismatch"
-        );
+        assert!((self.upper - other.upper).abs() < 1e-12, "range mismatch");
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
             *a += b;
         }
@@ -218,16 +215,17 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
-    use proptest::prelude::*;
+    use ge_simcore::RngStream;
 
-    proptest! {
-        #[test]
-        fn quantile_brackets_sorted_data(
-            mut values in proptest::collection::vec(0.0..2.0f64, 1..300),
-            q in 0.01..1.0f64,
-        ) {
+    #[test]
+    fn quantile_brackets_sorted_data() {
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "hist/bracket");
+            let n = 1 + rng.next_below(299) as usize;
+            let mut values: Vec<f64> = (0..n).map(|_| rng.uniform_range(0.0, 2.0)).collect();
+            let q = rng.uniform_range(0.01, 1.0);
             let mut h = Histogram::new(1.0, 200);
             for &v in &values {
                 h.record(v);
@@ -240,27 +238,33 @@ mod proptests {
             // value (we report bin upper edges), except in the overflow
             // bin where we report the exact max.
             let width = 1.0 / 200.0;
-            prop_assert!(est + 1e-9 >= exact.min(h.max()),
-                "estimate {est} below exact {exact}");
+            assert!(
+                est + 1e-9 >= exact.min(h.max()),
+                "estimate {est} below exact {exact}"
+            );
             if exact < 1.0 - width {
-                prop_assert!(est <= exact + 2.0 * width + 1e-9,
-                    "estimate {est} too far above exact {exact}");
+                assert!(
+                    est <= exact + 2.0 * width + 1e-9,
+                    "estimate {est} too far above exact {exact}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn quantile_monotone_in_q(
-            values in proptest::collection::vec(0.0..1.0f64, 1..200),
-        ) {
+    #[test]
+    fn quantile_monotone_in_q() {
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "hist/mono");
+            let n = 1 + rng.next_below(199) as usize;
             let mut h = Histogram::new(1.0, 100);
-            for &v in &values {
-                h.record(v);
+            for _ in 0..n {
+                h.record(rng.uniform01());
             }
             let mut prev = 0.0;
             for i in 1..=20 {
                 let q = i as f64 / 20.0;
                 let est = h.quantile(q);
-                prop_assert!(est + 1e-12 >= prev);
+                assert!(est + 1e-12 >= prev);
                 prev = est;
             }
         }

@@ -37,7 +37,10 @@ impl AsciiPlot {
     /// # Panics
     /// Panics if the canvas is smaller than 8×4.
     pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
-        assert!(width >= 8 && height >= 4, "canvas too small: {width}x{height}");
+        assert!(
+            width >= 8 && height >= 4,
+            "canvas too small: {width}x{height}"
+        );
         AsciiPlot {
             title: title.into(),
             width,
@@ -100,10 +103,9 @@ impl AsciiPlot {
         for (si, s) in self.series.iter().enumerate() {
             let glyph = GLYPHS[si % GLYPHS.len()];
             for &(x, y) in &s.points {
-                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 // y axis grows upward: row 0 is the top.
                 let row = self.height - 1 - cy.min(self.height - 1);
                 let col = cx.min(self.width - 1);
@@ -160,7 +162,10 @@ mod tests {
     fn renders_title_axes_and_legend() {
         let mut p = AsciiPlot::standard("Test plot");
         p.add_series("up", line(1.0, 10));
-        p.add_series("down", (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect());
+        p.add_series(
+            "down",
+            (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect(),
+        );
         let s = p.render();
         assert!(s.contains("Test plot"));
         assert!(s.contains("* up"));
@@ -182,10 +187,7 @@ mod tests {
         let rendered = p.render();
         // First data row (top) contains a glyph near the right edge;
         // bottom row near the left edge.
-        let rows: Vec<&str> = rendered
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let rows: Vec<&str> = rendered.lines().filter(|l| l.contains('|')).collect();
         let top_pos = rows.first().unwrap().rfind('*');
         let bot_pos = rows.last().unwrap().find('*');
         assert!(top_pos.unwrap() > bot_pos.unwrap());

@@ -97,7 +97,7 @@ mod tests {
         let mut t = SpeedTracker::new();
         t.sample(&[4.0], 1.0); // 1 s at 4 GHz
         t.sample(&[1.0], 3.0); // 3 s at 1 GHz
-        // Mean = (4·1 + 1·3)/4 = 1.75.
+                               // Mean = (4·1 + 1·3)/4 = 1.75.
         assert!((t.mean_speed() - 1.75).abs() < 1e-12);
     }
 

@@ -220,15 +220,16 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
-    use proptest::prelude::*;
+    use ge_simcore::RngStream;
 
-    proptest! {
-        #[test]
-        fn matches_naive_computation(
-            data in proptest::collection::vec(-1e6..1e6f64, 1..200)
-        ) {
+    #[test]
+    fn matches_naive_computation() {
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "stats/naive");
+            let n = 1 + rng.next_below(199) as usize;
+            let data: Vec<f64> = (0..n).map(|_| rng.uniform_range(-1e6, 1e6)).collect();
             let mut s = OnlineStats::new();
             for &x in &data {
                 s.push(x);
@@ -236,19 +237,27 @@ mod proptests {
             let n = data.len() as f64;
             let mean = data.iter().sum::<f64>() / n;
             let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-            prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
-            prop_assert!((s.variance() - var).abs() < 1e-6 * var.max(1.0));
+            assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+            assert!((s.variance() - var).abs() < 1e-6 * var.max(1.0));
         }
+    }
 
-        #[test]
-        fn merge_associative(
-            a in proptest::collection::vec(-100.0..100.0f64, 0..50),
-            b in proptest::collection::vec(-100.0..100.0f64, 0..50),
-            c in proptest::collection::vec(-100.0..100.0f64, 0..50),
-        ) {
+    #[test]
+    fn merge_associative() {
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "stats/merge");
+            let mut draw = |max_n: u64| -> Vec<f64> {
+                let n = rng.next_below(max_n) as usize;
+                (0..n).map(|_| rng.uniform_range(-100.0, 100.0)).collect()
+            };
+            let a = draw(50);
+            let b = draw(50);
+            let c = draw(50);
             let fill = |v: &[f64]| {
                 let mut s = OnlineStats::new();
-                for &x in v { s.push(x); }
+                for &x in v {
+                    s.push(x);
+                }
                 s
             };
             let mut left = fill(&a);
@@ -260,10 +269,10 @@ mod proptests {
             let mut right = fill(&a);
             right.merge(&right_tail);
 
-            prop_assert_eq!(left.count(), right.count());
+            assert_eq!(left.count(), right.count());
             if left.count() > 0 {
-                prop_assert!((left.mean() - right.mean()).abs() < 1e-9);
-                prop_assert!((left.variance() - right.variance()).abs() < 1e-7);
+                assert!((left.mean() - right.mean()).abs() < 1e-9);
+                assert!((left.variance() - right.variance()).abs() < 1e-7);
             }
         }
     }

@@ -242,7 +242,11 @@ fn escape(s: &str) -> String {
 /// style for large magnitudes.
 fn fmt_tick(v: f64) -> String {
     if v.abs() >= 100_000.0 {
-        format!("{:.1}e{}", v / 10f64.powi(v.abs().log10() as i32), v.abs().log10() as i32)
+        format!(
+            "{:.1}e{}",
+            v / 10f64.powi(v.abs().log10() as i32),
+            v.abs().log10() as i32
+        )
     } else if v.abs() >= 100.0 || v == v.trunc() {
         format!("{v:.0}")
     } else {

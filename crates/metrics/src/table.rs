@@ -48,12 +48,7 @@ impl Table {
 
     /// Appends a row of numbers formatted with `precision` decimals.
     pub fn push_numeric_row(&mut self, values: &[f64], precision: usize) {
-        self.push_row(
-            values
-                .iter()
-                .map(|v| format!("{v:.precision$}"))
-                .collect(),
-        );
+        self.push_row(values.iter().map(|v| format!("{v:.precision$}")).collect());
     }
 
     /// The table title.
@@ -104,7 +99,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -126,7 +125,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -46,10 +46,7 @@ impl DiscreteSpeedSet {
 
     /// Smallest step `≥ speed`, or `None` if `speed` exceeds the top step.
     pub fn round_up(&self, speed: f64) -> Option<f64> {
-        self.steps
-            .iter()
-            .copied()
-            .find(|&s| s >= speed - 1e-12)
+        self.steps.iter().copied().find(|&s| s >= speed - 1e-12)
     }
 
     /// Largest step `≤ speed` (the bottom step if `speed` is below it).
@@ -221,19 +218,20 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
     use crate::model::{PolynomialPower, PowerModel};
-    use proptest::prelude::*;
+    use ge_simcore::RngStream;
 
-    proptest! {
-        #[test]
-        fn rectified_power_never_exceeds_generous_budget(
-            speeds in proptest::collection::vec(0.0..4.0f64, 1..20),
-            budget in 100.0..4000.0f64,
-        ) {
-            let s = DiscreteSpeedSet::paper_default();
-            let m = PolynomialPower::paper_default();
+    #[test]
+    fn rectified_power_never_exceeds_generous_budget() {
+        let s = DiscreteSpeedSet::paper_default();
+        let m = PolynomialPower::paper_default();
+        for seed in 0..128u64 {
+            let mut rng = RngStream::from_root(seed, "discrete/budget");
+            let n = 1 + rng.next_below(19) as usize;
+            let speeds: Vec<f64> = (0..n).map(|_| rng.uniform_range(0.0, 4.0)).collect();
+            let budget = rng.uniform_range(100.0, 4000.0);
             let out = s.rectify(&speeds, &m, budget);
             let spent: f64 = out.iter().map(|&v| m.power(v)).sum();
             // Whenever the continuous plan itself fits the budget, the
@@ -241,26 +239,29 @@ mod proptests {
             // slack it verified).
             let continuous: f64 = speeds.iter().map(|&v| m.power(v)).sum();
             if continuous <= budget {
-                prop_assert!(spent <= budget + 1e-6);
+                assert!(spent <= budget + 1e-6);
             }
             // And every speed is a valid step.
             for v in &out {
-                prop_assert!(s.steps().iter().any(|&st| (st - v).abs() < 1e-9));
+                assert!(s.steps().iter().any(|&st| (st - v).abs() < 1e-9));
             }
         }
+    }
 
-        #[test]
-        fn rectified_speed_close_to_chosen(
-            speeds in proptest::collection::vec(0.0..4.0f64, 1..20),
-        ) {
-            // With an unlimited budget every speed rounds up to the next
-            // step — never more than one step away.
-            let s = DiscreteSpeedSet::paper_default();
-            let m = PolynomialPower::paper_default();
+    #[test]
+    fn rectified_speed_close_to_chosen() {
+        // With an unlimited budget every speed rounds up to the next
+        // step — never more than one step away.
+        let s = DiscreteSpeedSet::paper_default();
+        let m = PolynomialPower::paper_default();
+        for seed in 0..128u64 {
+            let mut rng = RngStream::from_root(seed, "discrete/close");
+            let n = 1 + rng.next_below(19) as usize;
+            let speeds: Vec<f64> = (0..n).map(|_| rng.uniform_range(0.0, 4.0)).collect();
             let out = s.rectify(&speeds, &m, 1e9);
             for (chosen, got) in speeds.iter().zip(&out) {
-                prop_assert!(*got >= *chosen - 1e-9);
-                prop_assert!(*got - *chosen <= 0.5 + 1e-9);
+                assert!(*got >= *chosen - 1e-9);
+                assert!(*got - *chosen <= 0.5 + 1e-9);
             }
         }
     }

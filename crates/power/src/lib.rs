@@ -36,6 +36,6 @@ pub use discrete::DiscreteSpeedSet;
 pub use distribution::{distribute_equal_sharing, distribute_water_filling, PowerDistribution};
 pub use energy::EnergyMeter;
 pub use model::{PolynomialPower, PowerModel};
-pub use static_power::StaticDynamicPower;
 pub use profile::{SpeedProfile, SpeedSegment};
+pub use static_power::StaticDynamicPower;
 pub use yds::{yds_schedule, YdsJob, YdsSchedule};

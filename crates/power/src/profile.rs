@@ -266,7 +266,10 @@ mod tests {
     #[test]
     fn time_for_zero_volume_is_now() {
         let p = sample();
-        assert!(p.time_for_ghz_seconds(t(0.7), 0.0).unwrap().approx_eq(t(0.7)));
+        assert!(p
+            .time_for_ghz_seconds(t(0.7), 0.0)
+            .unwrap()
+            .approx_eq(t(0.7)));
     }
 
     #[test]

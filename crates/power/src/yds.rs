@@ -142,8 +142,7 @@ pub fn yds_schedule(jobs: &[YdsJob]) -> YdsSchedule {
 
         // Prefix view of blocked time for O(log B) avail queries:
         // `blocked_before(x)` = total blocked length left of `x`.
-        let mut sorted_blocks: Vec<(f64, f64)> =
-            blocks.iter().map(|b| (b.start, b.end)).collect();
+        let mut sorted_blocks: Vec<(f64, f64)> = blocks.iter().map(|b| (b.start, b.end)).collect();
         sorted_blocks.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         let mut prefix = Vec::with_capacity(sorted_blocks.len() + 1);
         prefix.push(0.0f64);
@@ -173,9 +172,7 @@ pub fn yds_schedule(jobs: &[YdsJob]) -> YdsSchedule {
             while i < by_deadline.len() {
                 let t2 = by_deadline[i].deadline;
                 // Fold in every job sharing this deadline.
-                while i < by_deadline.len()
-                    && (by_deadline[i].deadline - t2).abs() <= 1e-12
-                {
+                while i < by_deadline.len() && (by_deadline[i].deadline - t2).abs() <= 1e-12 {
                     if by_deadline[i].release >= t1 - 1e-12 {
                         work += by_deadline[i].work;
                     }
@@ -232,7 +229,8 @@ pub fn yds_schedule(jobs: &[YdsJob]) -> YdsSchedule {
             continue;
         }
         if let Some(last) = segments.last_mut() {
-            if (last.speed_ghz - b.speed).abs() < 1e-12 && last.end.approx_eq(SimTime::from_secs(b.start))
+            if (last.speed_ghz - b.speed).abs() < 1e-12
+                && last.end.approx_eq(SimTime::from_secs(b.start))
             {
                 *last = SpeedSegment::new(last.start, SimTime::from_secs(b.end), last.speed_ghz);
                 continue;
@@ -275,8 +273,7 @@ pub(crate) mod testutil {
 
         for w in times.windows(2) {
             let (lo, hi) = (w[0], w[1]);
-            let mut budget =
-                profile.ghz_seconds(SimTime::from_secs(lo), SimTime::from_secs(hi));
+            let mut budget = profile.ghz_seconds(SimTime::from_secs(lo), SimTime::from_secs(hi));
             // Spend the interval's capacity on live jobs in EDF order.
             loop {
                 let next = jobs
@@ -305,7 +302,6 @@ mod tests {
     use crate::model::{PolynomialPower, PowerModel};
 
     use super::testutil::edf_feasible;
-
 
     #[test]
     fn empty_batch() {
@@ -372,10 +368,7 @@ mod tests {
 
     #[test]
     fn zero_work_jobs_ignored() {
-        let jobs = [
-            YdsJob::new(0, 0.0, 1.0, 0.0),
-            YdsJob::new(1, 0.0, 1.0, 2.0),
-        ];
+        let jobs = [YdsJob::new(0, 0.0, 1.0, 0.0), YdsJob::new(1, 0.0, 1.0, 2.0)];
         let s = yds_schedule(&jobs);
         assert!((s.peak_speed - 2.0).abs() < 1e-9);
     }
@@ -457,67 +450,77 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
     use crate::model::{PolynomialPower, PowerModel};
-    use proptest::prelude::*;
+    use ge_simcore::RngStream;
 
-    fn arb_jobs(max_n: usize) -> impl Strategy<Value = Vec<YdsJob>> {
-        proptest::collection::vec(
-            (0.0..10.0f64, 0.01..5.0f64, 0.0..4.0f64),
-            1..max_n,
-        )
-        .prop_map(|specs| {
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (r, w, work))| YdsJob::new(i, r, r + w, work))
-                .collect()
-        })
+    fn random_jobs(rng: &mut RngStream, max_n: usize) -> Vec<YdsJob> {
+        let n = 1 + rng.next_below((max_n - 1) as u64) as usize;
+        (0..n)
+            .map(|i| {
+                let r = rng.uniform_range(0.0, 10.0);
+                let w = rng.uniform_range(0.01, 5.0);
+                let work = rng.uniform_range(0.0, 4.0);
+                YdsJob::new(i, r, r + w, work)
+            })
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn always_edf_feasible(jobs in arb_jobs(12)) {
+    #[test]
+    fn always_edf_feasible() {
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "yds/edf");
+            let jobs = random_jobs(&mut rng, 12);
             let s = yds_schedule(&jobs);
-            prop_assert!(super::testutil::edf_feasible(&jobs, &s.profile));
+            assert!(super::testutil::edf_feasible(&jobs, &s.profile));
         }
+    }
 
-        #[test]
-        fn conserves_work(jobs in arb_jobs(12)) {
+    #[test]
+    fn conserves_work() {
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "yds/work");
+            let jobs = random_jobs(&mut rng, 12);
             let s = yds_schedule(&jobs);
             let total: f64 = jobs.iter().map(|j| j.work).sum();
-            let vol = s.profile.ghz_seconds(
-                SimTime::ZERO,
-                SimTime::from_secs(100.0),
-            );
-            prop_assert!((vol - total).abs() < 1e-6);
+            let vol = s
+                .profile
+                .ghz_seconds(SimTime::ZERO, SimTime::from_secs(100.0));
+            assert!((vol - total).abs() < 1e-6);
         }
+    }
 
-        #[test]
-        fn never_beats_jensen_bound(jobs in arb_jobs(10)) {
-            let model = PolynomialPower::paper_default();
+    #[test]
+    fn never_beats_jensen_bound() {
+        let model = PolynomialPower::paper_default();
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "yds/jensen");
+            let jobs = random_jobs(&mut rng, 10);
             let s = yds_schedule(&jobs);
             let total: f64 = jobs.iter().map(|j| j.work).sum();
             let lo = jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min);
             let hi = jobs.iter().map(|j| j.deadline).fold(0.0, f64::max);
             let span = hi - lo;
-            prop_assume!(span > 1e-6);
+            if span <= 1e-6 {
+                continue;
+            }
             let lb = model.power(total / span) * span;
-            prop_assert!(s.energy(&model) >= lb - 1e-6);
+            assert!(s.energy(&model) >= lb - 1e-6);
         }
+    }
 
-        #[test]
-        fn peak_is_max_single_interval_intensity(jobs in arb_jobs(10)) {
-            // The peak speed must be at least any single job's density.
+    #[test]
+    fn peak_is_max_single_interval_intensity() {
+        // The peak speed must be at least any single job's density.
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "yds/peak");
+            let jobs = random_jobs(&mut rng, 10);
             let s = yds_schedule(&jobs);
             for j in &jobs {
                 let density = j.work / (j.deadline - j.release);
-                prop_assert!(s.peak_speed >= density - 1e-9);
+                assert!(s.peak_speed >= density - 1e-9);
             }
         }
     }
 }
-

@@ -156,9 +156,7 @@ mod tests {
                 "target {q} got {}",
                 out.achieved_quality
             );
-            assert!(
-                (batch_quality(&f, &demands, &out.cut_demands) - q).abs() < 1e-9
-            );
+            assert!((batch_quality(&f, &demands, &out.cut_demands) - q).abs() < 1e-9);
         }
     }
 
@@ -291,48 +289,57 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
     use crate::function::ExpConcave;
-    use proptest::prelude::*;
+    use ge_simcore::RngStream;
 
-    proptest! {
-        #[test]
-        fn always_hits_target(
-            demands in proptest::collection::vec(1.0..1000.0f64, 1..40),
-            q in 0.05..0.999f64,
-        ) {
-            let f = ExpConcave::paper_default();
+    fn random_demands(rng: &mut RngStream, min_n: usize, max_n: usize) -> Vec<f64> {
+        let n = min_n + rng.next_below((max_n - min_n) as u64) as usize;
+        (0..n).map(|_| rng.uniform_range(1.0, 1000.0)).collect()
+    }
+
+    #[test]
+    fn always_hits_target() {
+        let f = ExpConcave::paper_default();
+        for seed in 0..128u64 {
+            let mut rng = RngStream::from_root(seed, "cut/target");
+            let demands = random_demands(&mut rng, 1, 40);
+            let q = rng.uniform_range(0.05, 0.999);
             let out = lf_cut(&f, &demands, q);
-            prop_assert!((out.achieved_quality - q).abs() < 1e-7);
+            assert!((out.achieved_quality - q).abs() < 1e-7);
             for (p, c) in demands.iter().zip(&out.cut_demands) {
-                prop_assert!(*c <= *p + 1e-12);
-                prop_assert!(*c >= -1e-12);
+                assert!(*c <= *p + 1e-12);
+                assert!(*c >= -1e-12);
             }
         }
+    }
 
-        #[test]
-        fn cut_is_levelling(
-            demands in proptest::collection::vec(1.0..1000.0f64, 2..40),
-            q in 0.1..0.95f64,
-        ) {
-            // The outcome must equal min(p_j, L) for the reported level.
-            let f = ExpConcave::paper_default();
+    #[test]
+    fn cut_is_levelling() {
+        // The outcome must equal min(p_j, L) for the reported level.
+        let f = ExpConcave::paper_default();
+        for seed in 0..128u64 {
+            let mut rng = RngStream::from_root(seed, "cut/level");
+            let demands = random_demands(&mut rng, 2, 40);
+            let q = rng.uniform_range(0.1, 0.95);
             let out = lf_cut(&f, &demands, q);
             for (p, c) in demands.iter().zip(&out.cut_demands) {
-                prop_assert!((c - p.min(out.level)).abs() < 1e-9);
+                assert!((c - p.min(out.level)).abs() < 1e-9);
             }
         }
+    }
 
-        #[test]
-        fn lf_is_optimal_among_equal_quality_cuts(
-            demands in proptest::collection::vec(1.0..1000.0f64, 2..12),
-            q in 0.3..0.95f64,
-        ) {
-            // Among allocations achieving the same batch quality, levelling
-            // minimizes total retained work (dual of concave maximization).
-            // Check against a uniform-proportional alternative.
-            let f = ExpConcave::paper_default();
+    #[test]
+    fn lf_is_optimal_among_equal_quality_cuts() {
+        // Among allocations achieving the same batch quality, levelling
+        // minimizes total retained work (dual of concave maximization).
+        // Check against a uniform-proportional alternative.
+        let f = ExpConcave::paper_default();
+        for seed in 0..96u64 {
+            let mut rng = RngStream::from_root(seed, "cut/optimal");
+            let demands = random_demands(&mut rng, 2, 12);
+            let q = rng.uniform_range(0.3, 0.95);
             let out = lf_cut(&f, &demands, q);
             let lf_work: f64 = out.cut_demands.iter().sum();
 
@@ -343,11 +350,15 @@ mod proptests {
             for _ in 0..60 {
                 let mid = 0.5 * (lo + hi);
                 let got: f64 = demands.iter().map(|&d| f.value(d * mid)).sum();
-                if got < target { lo = mid; } else { hi = mid; }
+                if got < target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
             }
             let scale = 0.5 * (lo + hi);
             let prop_work: f64 = demands.iter().map(|&d| d * scale).sum();
-            prop_assert!(
+            assert!(
                 lf_work <= prop_work + 1e-6,
                 "LF retained {lf_work} > proportional {prop_work}"
             );

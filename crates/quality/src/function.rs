@@ -201,7 +201,6 @@ impl QualityFunction for PowerLawQuality {
     }
 }
 
-
 /// Logarithmic quality `f(x) = ln(1 + k·x) / ln(1 + k·x_max)` — a heavier
 /// tail of diminishing returns than Eq. 1 (quality keeps creeping up
 /// instead of saturating exponentially). Models services whose marginal
@@ -324,7 +323,10 @@ mod tests {
 
     fn check_invariants(f: &dyn QualityFunction) {
         assert!(f.value(0.0).abs() < 1e-12, "f(0) must be 0");
-        assert!((f.value(f.x_max()) - 1.0).abs() < 1e-12, "f(x_max) must be 1");
+        assert!(
+            (f.value(f.x_max()) - 1.0).abs() < 1e-12,
+            "f(x_max) must be 1"
+        );
         // Monotone + concave on a grid.
         let n = 200;
         let mut prev = 0.0;
@@ -464,38 +466,58 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
-    use proptest::prelude::*;
+    use ge_simcore::RngStream;
 
-    proptest! {
-        #[test]
-        fn exp_inverse_round_trip(c in 1e-4..1e-2f64, q in 0.0..1.0f64) {
+    #[test]
+    fn exp_inverse_round_trip() {
+        for seed in 0..256u64 {
+            let mut rng = RngStream::from_root(seed, "fn/exp-inv");
+            let c = rng.uniform_range(1e-4, 1e-2);
+            let q = rng.uniform01();
             let f = ExpConcave::new(c, 1000.0);
             let x = f.inverse(q);
-            prop_assert!((f.value(x) - q).abs() < 1e-8);
+            assert!((f.value(x) - q).abs() < 1e-8);
         }
+    }
 
-        #[test]
-        fn exp_monotone(c in 1e-4..1e-2f64, a in 0.0..1000.0f64, b in 0.0..1000.0f64) {
+    #[test]
+    fn exp_monotone() {
+        for seed in 0..256u64 {
+            let mut rng = RngStream::from_root(seed, "fn/mono");
+            let c = rng.uniform_range(1e-4, 1e-2);
+            let a = rng.uniform_range(0.0, 1000.0);
+            let b = rng.uniform_range(0.0, 1000.0);
             let f = ExpConcave::new(c, 1000.0);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(f.value(lo) <= f.value(hi) + 1e-12);
+            assert!(f.value(lo) <= f.value(hi) + 1e-12);
         }
+    }
 
-        #[test]
-        fn exp_concave_midpoint(c in 1e-4..1e-2f64, a in 0.0..1000.0f64, b in 0.0..1000.0f64) {
-            // Concavity: f((a+b)/2) >= (f(a)+f(b))/2.
+    #[test]
+    fn exp_concave_midpoint() {
+        // Concavity: f((a+b)/2) >= (f(a)+f(b))/2.
+        for seed in 0..256u64 {
+            let mut rng = RngStream::from_root(seed, "fn/concave");
+            let c = rng.uniform_range(1e-4, 1e-2);
+            let a = rng.uniform_range(0.0, 1000.0);
+            let b = rng.uniform_range(0.0, 1000.0);
             let f = ExpConcave::new(c, 1000.0);
             let mid = 0.5 * (a + b);
-            prop_assert!(f.value(mid) >= 0.5 * (f.value(a) + f.value(b)) - 1e-12);
+            assert!(f.value(mid) >= 0.5 * (f.value(a) + f.value(b)) - 1e-12);
         }
+    }
 
-        #[test]
-        fn power_law_inverse_round_trip(g in 0.1..1.0f64, q in 0.0..1.0f64) {
+    #[test]
+    fn power_law_inverse_round_trip() {
+        for seed in 0..256u64 {
+            let mut rng = RngStream::from_root(seed, "fn/pow-inv");
+            let g = rng.uniform_range(0.1, 1.0);
+            let q = rng.uniform01();
             let f = PowerLawQuality::new(g, 500.0);
             let x = f.inverse(q);
-            prop_assert!((f.value(x) - q).abs() < 1e-8);
+            assert!((f.value(x) - q).abs() < 1e-8);
         }
     }
 }

@@ -217,36 +217,40 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
-    use proptest::prelude::*;
+    use ge_simcore::RngStream;
 
-    proptest! {
-        #[test]
-        fn quality_always_in_unit_interval(
-            records in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 0..200),
-            window in proptest::option::of(1usize..50),
-        ) {
-            let mode = match window {
-                Some(n) => LedgerMode::SlidingWindow(n),
-                None => LedgerMode::Cumulative,
+    #[test]
+    fn quality_always_in_unit_interval() {
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "ledger/unit");
+            let mode = if rng.uniform01() < 0.5 {
+                LedgerMode::Cumulative
+            } else {
+                LedgerMode::SlidingWindow(1 + rng.next_below(49) as usize)
             };
             let mut l = QualityLedger::new(mode);
-            for (a, f) in records {
+            for _ in 0..rng.next_below(200) {
+                let a = rng.uniform01();
+                let f = rng.uniform01();
                 let (a, f) = if a <= f { (a, f) } else { (f, a) };
                 l.record(a, f);
-                prop_assert!((0.0..=1.0).contains(&l.quality()));
+                assert!((0.0..=1.0).contains(&l.quality()));
             }
         }
+    }
 
-        #[test]
-        fn window_matches_naive_recompute(
-            records in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..100),
-            n in 1usize..20,
-        ) {
+    #[test]
+    fn window_matches_naive_recompute() {
+        for seed in 0..48u64 {
+            let mut rng = RngStream::from_root(seed, "ledger/window");
+            let n = 1 + rng.next_below(19) as usize;
             let mut l = QualityLedger::new(LedgerMode::SlidingWindow(n));
             let mut clean: Vec<(f64, f64)> = Vec::new();
-            for (a, f) in records {
+            for _ in 0..1 + rng.next_below(99) {
+                let a = rng.uniform01();
+                let f = rng.uniform01();
                 let (a, f) = if a <= f { (a, f) } else { (f, a) };
                 l.record(a, f);
                 clean.push((a, f));
@@ -254,7 +258,7 @@ mod proptests {
                 let fs: f64 = tail.iter().map(|r| r.1).sum();
                 let as_: f64 = tail.iter().map(|r| r.0).sum();
                 let expected = if fs <= 0.0 { 1.0 } else { (as_ / fs).min(1.0) };
-                prop_assert!((l.quality() - expected).abs() < 1e-9);
+                assert!((l.quality() - expected).abs() < 1e-9);
             }
         }
     }

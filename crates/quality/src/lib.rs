@@ -28,6 +28,8 @@ pub mod ledger;
 pub mod qopt;
 
 pub use cut::{lf_cut, CutOutcome};
-pub use function::{ExpConcave, LinearQuality, LogQuality, PiecewiseLinearQuality, PowerLawQuality, QualityFunction};
+pub use function::{
+    ExpConcave, LinearQuality, LogQuality, PiecewiseLinearQuality, PowerLawQuality, QualityFunction,
+};
 pub use ledger::{LedgerMode, QualityLedger};
 pub use qopt::{level_fill, prefix_level_fill, LevelFill};

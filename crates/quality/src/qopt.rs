@@ -283,35 +283,42 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
     use crate::function::{ExpConcave, QualityFunction};
-    use proptest::prelude::*;
+    use ge_simcore::RngStream;
 
-    proptest! {
-        #[test]
-        fn feasible_and_exhaustive(
-            demands in proptest::collection::vec(0.0..1000.0f64, 1..50),
-            budget in 0.0..20_000.0f64,
-        ) {
+    fn random_vec(rng: &mut RngStream, lo: f64, hi: f64, min_n: usize, max_n: usize) -> Vec<f64> {
+        let n = min_n + rng.next_below((max_n - min_n) as u64) as usize;
+        (0..n).map(|_| rng.uniform_range(lo, hi)).collect()
+    }
+
+    #[test]
+    fn feasible_and_exhaustive() {
+        for seed in 0..96u64 {
+            let mut rng = RngStream::from_root(seed, "qopt/feasible");
+            let demands = random_vec(&mut rng, 0.0, 1000.0, 1, 50);
+            let budget = rng.uniform_range(0.0, 20_000.0);
             let out = level_fill(&demands, budget);
             let total: f64 = demands.iter().sum();
             // Never over budget, never over demand, and uses the whole
             // budget when work remains.
-            prop_assert!(out.used <= budget + 1e-6);
+            assert!(out.used <= budget + 1e-6);
             for (p, c) in demands.iter().zip(&out.allocations) {
-                prop_assert!(*c <= *p + 1e-12);
-                prop_assert!(*c >= 0.0);
+                assert!(*c <= *p + 1e-12);
+                assert!(*c >= 0.0);
             }
             let expected_use = budget.min(total);
-            prop_assert!((out.used - expected_use).abs() < 1e-6);
+            assert!((out.used - expected_use).abs() < 1e-6);
         }
+    }
 
-        #[test]
-        fn prefix_fill_feasible(
-            demands in proptest::collection::vec(1.0..500.0f64, 1..20),
-            caps in proptest::collection::vec(10.0..400.0f64, 1..20),
-        ) {
+    #[test]
+    fn prefix_fill_feasible() {
+        for seed in 0..96u64 {
+            let mut rng = RngStream::from_root(seed, "qopt/prefix");
+            let demands = random_vec(&mut rng, 1.0, 500.0, 1, 20);
+            let caps = random_vec(&mut rng, 10.0, 400.0, 1, 20);
             // Build non-decreasing cumulative budgets from positive steps.
             let n = demands.len().min(caps.len());
             let demands = &demands[..n];
@@ -324,25 +331,27 @@ mod proptests {
             let out = prefix_level_fill(demands, &cum);
             let mut prefix = 0.0;
             for i in 0..n {
-                prop_assert!(out[i] >= -1e-9);
-                prop_assert!(out[i] <= demands[i] + 1e-9);
+                assert!(out[i] >= -1e-9);
+                assert!(out[i] <= demands[i] + 1e-9);
                 prefix += out[i];
-                prop_assert!(prefix <= cum[i] + 1e-6,
-                    "prefix {i} violated: {prefix} > {}", cum[i]);
+                assert!(
+                    prefix <= cum[i] + 1e-6,
+                    "prefix {i} violated: {prefix} > {}",
+                    cum[i]
+                );
             }
         }
+    }
 
-        #[test]
-        fn prefix_fill_no_improving_shift(
-            demands in proptest::collection::vec(1.0..500.0f64, 2..12),
-            caps in proptest::collection::vec(20.0..300.0f64, 2..12),
-            src in 0usize..12,
-            dst in 0usize..12,
-            delta in 0.5..20.0f64,
-        ) {
-            // First-order optimality under the prefix constraints for the
-            // paper's concave f.
-            let f = ExpConcave::paper_default();
+    #[test]
+    fn prefix_fill_no_improving_shift() {
+        // First-order optimality under the prefix constraints for the
+        // paper's concave f.
+        let f = ExpConcave::paper_default();
+        for seed in 0..128u64 {
+            let mut rng = RngStream::from_root(seed, "qopt/prefix-opt");
+            let demands = random_vec(&mut rng, 1.0, 500.0, 2, 12);
+            let caps = random_vec(&mut rng, 20.0, 300.0, 2, 12);
             let n = demands.len().min(caps.len());
             let demands = &demands[..n];
             let mut cum = Vec::with_capacity(n);
@@ -352,12 +361,18 @@ mod proptests {
                 cum.push(acc);
             }
             let out = prefix_level_fill(demands, &cum);
-            let (src, dst) = (src % n, dst % n);
-            prop_assume!(src != dst);
+            let src = rng.next_below(n as u64) as usize;
+            let dst = rng.next_below(n as u64) as usize;
+            let delta = rng.uniform_range(0.5, 20.0);
+            if src == dst {
+                continue;
+            }
 
             let mut alt = out.clone();
             let d = delta.min(alt[src]).min(demands[dst] - alt[dst]);
-            prop_assume!(d > 1e-6);
+            if d <= 1e-6 {
+                continue;
+            }
             alt[src] -= d;
             alt[dst] += d;
             // Check the perturbed allocation is still prefix-feasible.
@@ -370,41 +385,51 @@ mod proptests {
                     break;
                 }
             }
-            prop_assume!(feasible);
+            if !feasible {
+                continue;
+            }
             let q_opt: f64 = out.iter().map(|&c| f.value(c)).sum();
             let q_alt: f64 = alt.iter().map(|&c| f.value(c)).sum();
-            prop_assert!(q_alt <= q_opt + 1e-7,
-                "feasible perturbation improved quality: {q_alt} > {q_opt}");
+            assert!(
+                q_alt <= q_opt + 1e-7,
+                "feasible perturbation improved quality: {q_alt} > {q_opt}"
+            );
         }
+    }
 
-        #[test]
-        fn no_feasible_perturbation_improves_quality(
-            demands in proptest::collection::vec(1.0..1000.0f64, 2..20),
-            budget_frac in 0.1..0.9f64,
-            i in 0usize..20,
-            j in 0usize..20,
-            delta in 0.1..50.0f64,
-        ) {
-            // First-order optimality: moving `delta` volume from job i to
-            // job j never increases Σ f(c).
-            let f = ExpConcave::paper_default();
+    #[test]
+    fn no_feasible_perturbation_improves_quality() {
+        // First-order optimality: moving `delta` volume from job i to
+        // job j never increases Σ f(c).
+        let f = ExpConcave::paper_default();
+        for seed in 0..128u64 {
+            let mut rng = RngStream::from_root(seed, "qopt/level-opt");
+            let demands = random_vec(&mut rng, 1.0, 1000.0, 2, 20);
+            let budget_frac = rng.uniform_range(0.1, 0.9);
             let total: f64 = demands.iter().sum();
             let budget = budget_frac * total;
             let out = level_fill(&demands, budget);
-            let i = i % demands.len();
-            let j = j % demands.len();
-            prop_assume!(i != j);
+            let i = rng.next_below(demands.len() as u64) as usize;
+            let j = rng.next_below(demands.len() as u64) as usize;
+            let delta = rng.uniform_range(0.1, 50.0);
+            if i == j {
+                continue;
+            }
 
             let mut alt = out.allocations.clone();
             let d = delta.min(alt[i]).min(demands[j] - alt[j]);
-            prop_assume!(d > 1e-9);
+            if d <= 1e-9 {
+                continue;
+            }
             alt[i] -= d;
             alt[j] += d;
 
             let q_opt: f64 = out.allocations.iter().map(|&c| f.value(c)).sum();
             let q_alt: f64 = alt.iter().map(|&c| f.value(c)).sum();
-            prop_assert!(q_alt <= q_opt + 1e-9,
-                "perturbation improved quality: {q_alt} > {q_opt}");
+            assert!(
+                q_alt <= q_opt + 1e-9,
+                "perturbation improved quality: {q_alt} > {q_opt}"
+            );
         }
     }
 }

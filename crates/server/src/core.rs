@@ -10,6 +10,7 @@
 
 use ge_power::{EnergyMeter, PowerModel, SpeedProfile};
 use ge_simcore::SimTime;
+use ge_trace::{NullSink, TraceEvent, TraceSink};
 use ge_workload::{Job, JobId};
 
 /// A job resident on a core.
@@ -249,6 +250,21 @@ impl Core {
         model: &dyn PowerModel,
         meter: &mut EnergyMeter,
     ) -> Vec<FinishedJob> {
+        self.advance_traced(to, model, meter, &mut NullSink)
+    }
+
+    /// Like [`Core::advance`], but emits a [`TraceEvent::ExecSlice`] for
+    /// every metered execution slice into `sink`.
+    ///
+    /// # Panics
+    /// Panics if `to` precedes the core clock beyond tolerance.
+    pub fn advance_traced(
+        &mut self,
+        to: SimTime,
+        model: &dyn PowerModel,
+        meter: &mut EnergyMeter,
+        sink: &mut dyn TraceSink,
+    ) -> Vec<FinishedJob> {
         assert!(
             to.at_or_after(self.clock),
             "core {} cannot advance backwards: {} -> {}",
@@ -301,6 +317,16 @@ impl Core {
                 let ghz_secs = self.profile.ghz_seconds(self.clock, run_until);
                 let energy = self.profile.energy(model, self.clock, run_until);
                 meter.record_joules(self.index, energy);
+                if sink.is_enabled() {
+                    sink.record(&TraceEvent::ExecSlice {
+                        t: run_until.as_secs(),
+                        core: self.index as u64,
+                        start_s: self.clock.as_secs(),
+                        end_s: run_until.as_secs(),
+                        ghz_secs,
+                        energy_j: energy,
+                    });
+                }
                 let job = &mut self.jobs[idx];
                 job.processed =
                     (job.processed + ghz_secs * self.units_per_ghz_sec).min(job.target_demand);
@@ -534,22 +560,37 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
-    use ge_power::{PolynomialPower, SpeedProfile, SpeedSegment};
-    use proptest::prelude::*;
+    use ge_power::{PolynomialPower, PowerModel, SpeedProfile, SpeedSegment};
+    use ge_simcore::RngStream;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    fn random_jobs(
+        rng: &mut RngStream,
+        max_n: usize,
+        r_hi: f64,
+        w_hi: f64,
+        d_hi: f64,
+    ) -> Vec<(f64, f64, f64)> {
+        let n = 1 + rng.next_below((max_n - 1) as u64) as usize;
+        (0..n)
+            .map(|_| {
+                (
+                    rng.uniform_range(0.0, r_hi),
+                    rng.uniform_range(0.05, w_hi),
+                    rng.uniform_range(10.0, d_hi),
+                )
+            })
+            .collect()
+    }
 
-        #[test]
-        fn advance_invariants_on_random_jobs(
-            jobs in proptest::collection::vec(
-                // (release, window, demand)
-                (0.0..2.0f64, 0.05..1.0f64, 10.0..800.0f64), 1..12),
-            speed in 0.5..4.0f64,
-        ) {
-            let model = PolynomialPower::paper_default();
+    #[test]
+    fn advance_invariants_on_random_jobs() {
+        let model = PolynomialPower::paper_default();
+        for seed in 0..48u64 {
+            let mut rng = RngStream::from_root(seed, "core/advance");
+            let jobs = random_jobs(&mut rng, 12, 2.0, 1.0, 800.0);
+            let speed = rng.uniform_range(0.5, 4.0);
             let mut core = Core::new(0, 1000.0);
             let mut meter = EnergyMeter::new(1);
             for (i, &(r, w, d)) in jobs.iter().enumerate() {
@@ -571,33 +612,36 @@ mod proptests {
             let fin = core.advance(SimTime::from_secs(4.0), &model, &mut meter);
 
             // Every job is accounted for exactly once.
-            prop_assert_eq!(fin.len(), jobs.len());
+            assert_eq!(fin.len(), jobs.len());
             let mut total_processed = 0.0;
             for f in &fin {
                 let (_, _, d) = jobs[f.id.index()];
-                prop_assert!(f.processed >= -1e-9);
-                prop_assert!(f.processed <= d + 1e-6,
-                    "processed {} exceeds demand {d}", f.processed);
+                assert!(f.processed >= -1e-9);
+                assert!(
+                    f.processed <= d + 1e-6,
+                    "processed {} exceeds demand {d}",
+                    f.processed
+                );
                 total_processed += f.processed;
             }
             // Energy equals power × busy time; busy time is
             // volume / speed, so energy = P(s) * processed/(1000*s).
-            let expected_energy =
-                model.power(speed) * total_processed / (1000.0 * speed);
-            prop_assert!(
+            let expected_energy = model.power(speed) * total_processed / (1000.0 * speed);
+            assert!(
                 (meter.total_energy() - expected_energy).abs() < 1e-6,
                 "energy {} vs expected {expected_energy}",
                 meter.total_energy()
             );
-            prop_assert!(core.is_idle());
+            assert!(core.is_idle());
         }
+    }
 
-        #[test]
-        fn served_jobs_never_finish_after_deadline(
-            jobs in proptest::collection::vec(
-                (0.0..1.0f64, 0.05..0.5f64, 10.0..500.0f64), 1..10),
-        ) {
-            let model = PolynomialPower::paper_default();
+    #[test]
+    fn served_jobs_never_finish_after_deadline() {
+        let model = PolynomialPower::paper_default();
+        for seed in 0..48u64 {
+            let mut rng = RngStream::from_root(seed, "core/deadline");
+            let jobs = random_jobs(&mut rng, 10, 1.0, 0.5, 500.0);
             let mut core = Core::new(0, 1000.0);
             let mut meter = EnergyMeter::new(1);
             for (i, &(r, w, d)) in jobs.iter().enumerate() {
@@ -618,7 +662,7 @@ mod proptests {
             );
             for f in core.advance(SimTime::from_secs(2.0), &model, &mut meter) {
                 let (r, w, _) = jobs[f.id.index()];
-                prop_assert!(
+                assert!(
                     f.finish_time.as_secs() <= r + w + 1e-6,
                     "job finished at {} past deadline {}",
                     f.finish_time.as_secs(),

@@ -44,7 +44,9 @@ impl Server {
         assert!(budget_w >= 0.0, "negative budget");
         assert!(units_per_ghz_sec > 0.0);
         Server {
-            cores: (0..cores).map(|i| Core::new(i, units_per_ghz_sec)).collect(),
+            cores: (0..cores)
+                .map(|i| Core::new(i, units_per_ghz_sec))
+                .collect(),
             model,
             meter: EnergyMeter::new(cores),
             budget_w,
@@ -90,9 +92,19 @@ impl Server {
     /// Advances every core to `to`; returns all jobs that finished, in
     /// core order then finish order.
     pub fn advance_all(&mut self, to: SimTime) -> Vec<FinishedJob> {
+        self.advance_all_traced(to, &mut ge_trace::NullSink)
+    }
+
+    /// Like [`Server::advance_all`], but emits per-slice execution events
+    /// (`exec_slice`) into `sink`.
+    pub fn advance_all_traced(
+        &mut self,
+        to: SimTime,
+        sink: &mut dyn ge_trace::TraceSink,
+    ) -> Vec<FinishedJob> {
         let mut finished = Vec::new();
         for core in &mut self.cores {
-            finished.extend(core.advance(to, self.model.as_ref(), &mut self.meter));
+            finished.extend(core.advance_traced(to, self.model.as_ref(), &mut self.meter, sink));
         }
         finished
     }

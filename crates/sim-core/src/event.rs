@@ -226,42 +226,45 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative_tests {
     use super::*;
+    use crate::rng::RngStream;
     use crate::time::SimTime;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn pops_are_sorted_by_time_then_priority(
-            events in proptest::collection::vec(
-                (0.0..1000.0f64, 0u32..4), 1..200)
-        ) {
+    #[test]
+    fn pops_are_sorted_by_time_then_priority() {
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "event/sorted");
+            let n = 1 + rng.next_below(199) as usize;
             let mut q = EventQueue::new();
-            for (i, &(t, prio)) in events.iter().enumerate() {
+            for i in 0..n {
+                let t = rng.uniform_range(0.0, 1000.0);
+                let prio = rng.next_below(4) as u32;
                 q.push(SimTime::from_secs(t), prio, i);
             }
             let mut last: Option<(u64, u32, u64)> = None;
             while let Some(e) = q.pop() {
                 let key = (e.time.as_secs().to_bits(), e.priority, e.seq);
                 if let Some(prev) = last {
-                    prop_assert!(prev <= key, "out of order: {prev:?} then {key:?}");
+                    assert!(prev <= key, "out of order: {prev:?} then {key:?}");
                 }
                 last = Some(key);
             }
         }
+    }
 
-        #[test]
-        fn same_time_same_priority_is_fifo(
-            n in 1usize..100,
-        ) {
+    #[test]
+    fn same_time_same_priority_is_fifo() {
+        for seed in 0..32u64 {
+            let mut rng = RngStream::from_root(seed, "event/fifo");
+            let n = 1 + rng.next_below(99) as usize;
             let mut q = EventQueue::new();
             for i in 0..n {
                 q.push(SimTime::from_secs(1.0), 0, i);
             }
             let mut expected = 0;
             while let Some(e) = q.pop() {
-                prop_assert_eq!(e.event, expected);
+                assert_eq!(e.event, expected);
                 expected += 1;
             }
         }

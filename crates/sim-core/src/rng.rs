@@ -10,11 +10,9 @@
 //! on the same arrival process).
 //!
 //! We implement the generators ourselves (≈40 lines) rather than depending
-//! on `rand_xoshiro`: the algorithms are public domain, tiny, and keeping
-//! them in-tree pins the stream values forever. The `rand` crate is still
-//! used for its `Rng` trait ergonomics via the [`rand::RngCore`] impl.
-
-use rand::RngCore;
+//! on `rand`/`rand_xoshiro`: the algorithms are public domain, tiny, and
+//! keeping them in-tree pins the stream values forever *and* keeps the
+//! workspace buildable with zero network access (no registry required).
 
 /// SplitMix64 — a tiny, high-quality 64-bit mixer used for seed derivation.
 ///
@@ -48,14 +46,13 @@ impl SplitMix64 {
 ///
 /// ```
 /// use ge_simcore::RngStream;
-/// use rand::Rng;
 ///
 /// let mut a = RngStream::from_root(42, "arrivals");
 /// let mut b = RngStream::from_root(42, "arrivals");
 /// let mut c = RngStream::from_root(42, "demands");
-/// let xa: f64 = a.gen();
-/// let xb: f64 = b.gen();
-/// let xc: f64 = c.gen();
+/// let xa = a.uniform01();
+/// let xb = b.uniform01();
+/// let xc = c.uniform01();
 /// assert_eq!(xa, xb);          // same root + label => same stream
 /// assert_ne!(xa, xc);          // different label => independent stream
 /// ```
@@ -112,10 +109,7 @@ impl RngStream {
 
     #[inline]
     fn next(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -124,6 +118,43 @@ impl RngStream {
         self.s[2] ^= t;
         self.s[3] = self.s[3].rotate_left(45);
         result
+    }
+
+    /// The next raw 64-bit output of the stream.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    /// The next raw 32-bit output (the high half of the 64-bit word,
+    /// which carries the generator's best-mixed bits).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    /// A uniform draw in `[0, n)` without modulo bias beyond `2^-64`
+    /// (multiply-shift range reduction).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        ((u128::from(self.next()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
     }
 
     /// A uniform draw in `[0, 1)` with 53 bits of precision.
@@ -147,39 +178,9 @@ impl RngStream {
     }
 }
 
-impl RngCore for RngStream {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        self.next()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&self.next().to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = self.next().to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn splitmix_reference_values() {
@@ -248,7 +249,7 @@ mod tests {
     }
 
     #[test]
-    fn rngcore_fill_bytes_all_lengths() {
+    fn fill_bytes_all_lengths() {
         let mut r = RngStream::from_root(5, "bytes");
         for len in 0..33 {
             let mut buf = vec![0u8; len];
@@ -262,12 +263,24 @@ mod tests {
     }
 
     #[test]
-    fn works_with_rand_trait() {
-        let mut r = RngStream::from_root(11, "trait");
-        let x: f64 = r.gen_range(10.0..20.0);
-        assert!((10.0..20.0).contains(&x));
-        let y: u32 = r.gen_range(0..100);
-        assert!(y < 100);
+    fn next_below_unbiased_range() {
+        let mut r = RngStream::from_root(11, "below");
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let x = r.next_below(100);
+            assert!(x < 100);
+            if x >= 90 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high, "top decile never sampled in 10k draws");
+    }
+
+    #[test]
+    fn next_u32_takes_high_bits() {
+        let mut a = RngStream::from_root(17, "hi");
+        let mut b = RngStream::from_root(17, "hi");
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Typed trace events — one variant per decision the scheduler makes.
+//!
+//! Events are plain data: every field is a number, a short enum, or (for
+//! [`TraceEvent::RunStart`] only) a string, so the exporters in
+//! [`crate::export`] can serialize them without reflection or serde. The
+//! `t` field is simulation time in seconds; events are emitted in
+//! non-decreasing `t` order by the driver.
+
+/// Which trigger woke the scheduler (paper §III-B control policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// The periodic quantum timer fired.
+    Quantum,
+    /// A core went idle (work-conserving wake-up).
+    IdleCore,
+    /// The pending-arrivals counter crossed its threshold.
+    Counter,
+}
+
+impl TriggerKind {
+    /// Stable wire name of the trigger kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TriggerKind::Quantum => "quantum",
+            TriggerKind::IdleCore => "idle_core",
+            TriggerKind::Counter => "counter",
+        }
+    }
+
+    /// Parses a wire name produced by [`TriggerKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quantum" => Some(TriggerKind::Quantum),
+            "idle_core" => Some(TriggerKind::IdleCore),
+            "counter" => Some(TriggerKind::Counter),
+            _ => None,
+        }
+    }
+}
+
+/// Which power-distribution policy an epoch used (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Equal sharing — each busy core gets `budget / cores`.
+    EqualShare,
+    /// Water-filling — demand-proportional caps up to a common level.
+    WaterFilling,
+}
+
+impl SplitPolicy {
+    /// Stable wire name of the policy.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SplitPolicy::EqualShare => "equal_share",
+            SplitPolicy::WaterFilling => "water_filling",
+        }
+    }
+
+    /// Parses a wire name produced by [`SplitPolicy::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "equal_share" => Some(SplitPolicy::EqualShare),
+            "water_filling" => Some(SplitPolicy::WaterFilling),
+            _ => None,
+        }
+    }
+}
+
+/// One structured observation from a simulation run.
+///
+/// The variants cover the full decision surface of the GE algorithm:
+/// arrival/assignment (C-RR), trigger firings, AES↔BQ mode transitions
+/// (with the ledger value that caused them), LF-cut levels and per-job
+/// cut amounts, ES/WF selection with the load estimate, per-core caps,
+/// Quality-OPT second cuts, YDS speed segments, per-slice energy, job
+/// completions, periodic quality samples, and run bracketing events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Run configuration, emitted once before any other event. Carries
+    /// everything replay needs to rebuild the run's bookkeeping.
+    RunStart {
+        /// Simulation time of the run start (always `0.0`).
+        t: f64,
+        /// Human-readable algorithm label (e.g. `"GE"`, `"OQ"`).
+        algorithm: String,
+        /// Number of cores.
+        cores: u64,
+        /// Server-wide power budget in watts.
+        budget_w: f64,
+        /// Target batch quality `Q_GE`.
+        q_ge: f64,
+        /// Simulation horizon in seconds.
+        horizon_s: f64,
+        /// Static coefficient `a` of the power model `P(s) = a + s^β`.
+        power_a: f64,
+        /// Exponent `β` of the power model.
+        power_beta: f64,
+        /// Concavity `c` of the exponential quality function.
+        quality_c: f64,
+        /// Saturation point `x_max` of the quality function.
+        quality_xmax: f64,
+        /// Work units one GHz-second of compute retires.
+        units_per_ghz_sec: f64,
+        /// Mode at `t = 0` (`0` = AES, `1` = BQ).
+        initial_mode: u64,
+        /// Sliding-window length of the quality ledger (`0` = cumulative).
+        ledger_window: u64,
+    },
+    /// A job entered the system.
+    JobArrival {
+        /// Event time in seconds.
+        t: f64,
+        /// Job identifier.
+        job: u64,
+        /// Absolute deadline in seconds.
+        deadline_s: f64,
+        /// Full processing demand in work units.
+        demand: f64,
+    },
+    /// C-RR (or a baseline) bound a job to a core.
+    JobAssigned {
+        /// Event time in seconds.
+        t: f64,
+        /// Job identifier.
+        job: u64,
+        /// Destination core index.
+        core: u64,
+    },
+    /// A scheduling trigger fired and an epoch began.
+    TriggerFired {
+        /// Event time in seconds.
+        t: f64,
+        /// Which trigger fired.
+        kind: TriggerKind,
+        /// Jobs waiting in the global queue when it fired.
+        queue_len: u64,
+    },
+    /// The controller moved between AES and BQ modes.
+    ModeSwitch {
+        /// Event time in seconds.
+        t: f64,
+        /// Mode before the switch (`0` = AES, `1` = BQ).
+        from_mode: u64,
+        /// Mode after the switch.
+        to_mode: u64,
+        /// Ledger quality that triggered the decision.
+        ledger_quality: f64,
+    },
+    /// An LF cut levelled the epoch's batch to a common demand level.
+    LfCut {
+        /// Event time in seconds.
+        t: f64,
+        /// The common level `L` every longer job was cut to.
+        level: f64,
+        /// Batch quality the cut was solved for.
+        target_quality: f64,
+        /// Jobs in the cut batch.
+        jobs: u64,
+        /// Total volume before the cut (work units).
+        volume_before: f64,
+        /// Total volume retained after the cut.
+        volume_after: f64,
+    },
+    /// One job's share of an LF cut (only jobs actually shortened).
+    JobCut {
+        /// Event time in seconds.
+        t: f64,
+        /// Job identifier.
+        job: u64,
+        /// The job's full demand.
+        full_demand: f64,
+        /// Demand retained after the cut.
+        cut_demand: f64,
+    },
+    /// The epoch chose a power-distribution policy.
+    PowerSplit {
+        /// Event time in seconds.
+        t: f64,
+        /// Equal sharing or water-filling.
+        policy: SplitPolicy,
+        /// Arrival-rate estimate that drove the choice (req/s).
+        load_estimate_rps: f64,
+        /// Budget being distributed (watts).
+        budget_w: f64,
+    },
+    /// One core's power cap for the epoch.
+    CoreCap {
+        /// Event time in seconds.
+        t: f64,
+        /// Core index.
+        core: u64,
+        /// Power cap in watts.
+        cap_w: f64,
+        /// Speed the cap permits (GHz).
+        speed_cap_ghz: f64,
+    },
+    /// A per-core Quality-OPT second cut shrank an infeasible plan.
+    SecondCut {
+        /// Event time in seconds.
+        t: f64,
+        /// Core index.
+        core: u64,
+        /// Core volume before the second cut.
+        volume_before: f64,
+        /// Core volume after.
+        volume_after: f64,
+    },
+    /// One segment of a core's installed YDS speed profile.
+    SpeedSegment {
+        /// Event time in seconds (epoch time, not segment start).
+        t: f64,
+        /// Core index.
+        core: u64,
+        /// Segment start in seconds.
+        start_s: f64,
+        /// Segment end in seconds.
+        end_s: f64,
+        /// Planned speed over the segment (GHz).
+        speed_ghz: f64,
+    },
+    /// Executed compute between two driver advances on one core.
+    ExecSlice {
+        /// Event time in seconds (the advance target).
+        t: f64,
+        /// Core index.
+        core: u64,
+        /// Slice start in seconds.
+        start_s: f64,
+        /// Slice end in seconds.
+        end_s: f64,
+        /// Compute volume retired (GHz·s).
+        ghz_secs: f64,
+        /// Energy spent over the slice (joules).
+        energy_j: f64,
+    },
+    /// A job left the system (served or discarded), in ledger order.
+    JobFinish {
+        /// Event time in seconds.
+        t: f64,
+        /// Job identifier.
+        job: u64,
+        /// Work units actually processed.
+        processed: f64,
+        /// The job's full demand.
+        full_demand: f64,
+        /// Whether the job was discarded unserved (deadline expiry).
+        discarded: bool,
+    },
+    /// Periodic sample of the controller state (one per epoch).
+    QualitySample {
+        /// Event time in seconds.
+        t: f64,
+        /// Ledger quality at the sample.
+        quality: f64,
+        /// Current mode (`0` = AES, `1` = BQ).
+        mode: u64,
+        /// Backlog volume across cores (work units).
+        backlog_units: f64,
+        /// Arrival-rate estimate (req/s).
+        load_estimate_rps: f64,
+    },
+    /// Final reported aggregates, emitted once after all other events.
+    RunSummary {
+        /// Horizon time in seconds.
+        t: f64,
+        /// Reported total energy (joules).
+        energy_j: f64,
+        /// Reported batch quality.
+        quality: f64,
+        /// Reported AES residency fraction.
+        aes_fraction: f64,
+        /// Jobs that left the system.
+        jobs_finished: u64,
+        /// Jobs discarded unserved.
+        jobs_discarded: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's simulation timestamp in seconds.
+    pub fn t(&self) -> f64 {
+        match self {
+            TraceEvent::RunStart { t, .. }
+            | TraceEvent::JobArrival { t, .. }
+            | TraceEvent::JobAssigned { t, .. }
+            | TraceEvent::TriggerFired { t, .. }
+            | TraceEvent::ModeSwitch { t, .. }
+            | TraceEvent::LfCut { t, .. }
+            | TraceEvent::JobCut { t, .. }
+            | TraceEvent::PowerSplit { t, .. }
+            | TraceEvent::CoreCap { t, .. }
+            | TraceEvent::SecondCut { t, .. }
+            | TraceEvent::SpeedSegment { t, .. }
+            | TraceEvent::ExecSlice { t, .. }
+            | TraceEvent::JobFinish { t, .. }
+            | TraceEvent::QualitySample { t, .. }
+            | TraceEvent::RunSummary { t, .. } => *t,
+        }
+    }
+
+    /// Stable wire name of the event kind (the JSONL `ev` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::JobArrival { .. } => "job_arrival",
+            TraceEvent::JobAssigned { .. } => "job_assigned",
+            TraceEvent::TriggerFired { .. } => "trigger",
+            TraceEvent::ModeSwitch { .. } => "mode_switch",
+            TraceEvent::LfCut { .. } => "lf_cut",
+            TraceEvent::JobCut { .. } => "job_cut",
+            TraceEvent::PowerSplit { .. } => "power_split",
+            TraceEvent::CoreCap { .. } => "core_cap",
+            TraceEvent::SecondCut { .. } => "second_cut",
+            TraceEvent::SpeedSegment { .. } => "speed_segment",
+            TraceEvent::ExecSlice { .. } => "exec_slice",
+            TraceEvent::JobFinish { .. } => "job_finish",
+            TraceEvent::QualitySample { .. } => "quality_sample",
+            TraceEvent::RunSummary { .. } => "run_summary",
+        }
+    }
+
+    /// Whether the event is high-frequency (per-slice / per-job volume).
+    ///
+    /// Sampling sinks thin only these; structural events (run bracketing,
+    /// mode switches, triggers, power splits) are always retained.
+    pub fn is_high_frequency(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::JobArrival { .. }
+                | TraceEvent::JobAssigned { .. }
+                | TraceEvent::JobCut { .. }
+                | TraceEvent::SpeedSegment { .. }
+                | TraceEvent::ExecSlice { .. }
+                | TraceEvent::JobFinish { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_time_accessors() {
+        let e = TraceEvent::ModeSwitch {
+            t: 2.5,
+            from_mode: 1,
+            to_mode: 0,
+            ledger_quality: 0.93,
+        };
+        assert_eq!(e.kind(), "mode_switch");
+        assert_eq!(e.t(), 2.5);
+        assert!(!e.is_high_frequency());
+        let s = TraceEvent::ExecSlice {
+            t: 1.0,
+            core: 3,
+            start_s: 0.5,
+            end_s: 1.0,
+            ghz_secs: 0.4,
+            energy_j: 2.0,
+        };
+        assert!(s.is_high_frequency());
+    }
+
+    #[test]
+    fn enum_wire_names_round_trip() {
+        for k in [
+            TriggerKind::Quantum,
+            TriggerKind::IdleCore,
+            TriggerKind::Counter,
+        ] {
+            assert_eq!(TriggerKind::parse(k.as_str()), Some(k));
+        }
+        for p in [SplitPolicy::EqualShare, SplitPolicy::WaterFilling] {
+            assert_eq!(SplitPolicy::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(TriggerKind::parse("nope"), None);
+    }
+}

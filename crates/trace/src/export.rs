@@ -1,0 +1,902 @@
+//! Hand-rolled JSONL / CSV exporters and the matching JSONL parser.
+//!
+//! No serde: events are flat (one level, scalar fields), so a ~100-line
+//! writer/parser pair keeps the workspace dependency-free. Floats are
+//! written with Rust's shortest round-trip formatting, so
+//! `parse(jsonl(event)) == event` holds *exactly*, bit for bit — the
+//! property the replay checker in [`crate::replay`] relies on.
+
+use crate::event::{SplitPolicy, TraceEvent, TriggerKind};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+/// A scalar field value, as written to the wire.
+#[derive(Debug, Clone, PartialEq)]
+enum Field {
+    /// Unsigned integer.
+    U(u64),
+    /// Double-precision float.
+    F(f64),
+    /// String (only `algorithm` and the enum tags use this).
+    S(String),
+    /// Boolean.
+    B(bool),
+}
+
+impl Field {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Field::U(v) => out.push_str(&v.to_string()),
+            Field::F(v) => {
+                if v.is_finite() {
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Field::S(v) => {
+                out.push('"');
+                for c in v.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Field::B(v) => out.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+
+    fn write_csv(&self, out: &mut String) {
+        match self {
+            Field::U(v) => out.push_str(&v.to_string()),
+            Field::F(v) => out.push_str(&v.to_string()),
+            Field::S(v) => out.push_str(v), // labels never contain commas
+            Field::B(v) => out.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+}
+
+/// Flattens an event into `(name, value)` pairs, `ev` kind excluded.
+fn fields(ev: &TraceEvent) -> Vec<(&'static str, Field)> {
+    use Field::{B, F, S, U};
+    match ev {
+        TraceEvent::RunStart {
+            t,
+            algorithm,
+            cores,
+            budget_w,
+            q_ge,
+            horizon_s,
+            power_a,
+            power_beta,
+            quality_c,
+            quality_xmax,
+            units_per_ghz_sec,
+            initial_mode,
+            ledger_window,
+        } => vec![
+            ("t", F(*t)),
+            ("algorithm", S(algorithm.clone())),
+            ("cores", U(*cores)),
+            ("budget_w", F(*budget_w)),
+            ("q_ge", F(*q_ge)),
+            ("horizon_s", F(*horizon_s)),
+            ("power_a", F(*power_a)),
+            ("power_beta", F(*power_beta)),
+            ("quality_c", F(*quality_c)),
+            ("quality_xmax", F(*quality_xmax)),
+            ("units_per_ghz_sec", F(*units_per_ghz_sec)),
+            ("initial_mode", U(*initial_mode)),
+            ("ledger_window", U(*ledger_window)),
+        ],
+        TraceEvent::JobArrival {
+            t,
+            job,
+            deadline_s,
+            demand,
+        } => vec![
+            ("t", F(*t)),
+            ("job", U(*job)),
+            ("deadline_s", F(*deadline_s)),
+            ("demand", F(*demand)),
+        ],
+        TraceEvent::JobAssigned { t, job, core } => {
+            vec![("t", F(*t)), ("job", U(*job)), ("core", U(*core))]
+        }
+        TraceEvent::TriggerFired { t, kind, queue_len } => vec![
+            ("t", F(*t)),
+            ("trigger", S(kind.as_str().to_string())),
+            ("queue_len", U(*queue_len)),
+        ],
+        TraceEvent::ModeSwitch {
+            t,
+            from_mode,
+            to_mode,
+            ledger_quality,
+        } => vec![
+            ("t", F(*t)),
+            ("from_mode", U(*from_mode)),
+            ("to_mode", U(*to_mode)),
+            ("ledger_quality", F(*ledger_quality)),
+        ],
+        TraceEvent::LfCut {
+            t,
+            level,
+            target_quality,
+            jobs,
+            volume_before,
+            volume_after,
+        } => vec![
+            ("t", F(*t)),
+            ("level", F(*level)),
+            ("target_quality", F(*target_quality)),
+            ("jobs", U(*jobs)),
+            ("volume_before", F(*volume_before)),
+            ("volume_after", F(*volume_after)),
+        ],
+        TraceEvent::JobCut {
+            t,
+            job,
+            full_demand,
+            cut_demand,
+        } => vec![
+            ("t", F(*t)),
+            ("job", U(*job)),
+            ("full_demand", F(*full_demand)),
+            ("cut_demand", F(*cut_demand)),
+        ],
+        TraceEvent::PowerSplit {
+            t,
+            policy,
+            load_estimate_rps,
+            budget_w,
+        } => vec![
+            ("t", F(*t)),
+            ("policy", S(policy.as_str().to_string())),
+            ("load_estimate_rps", F(*load_estimate_rps)),
+            ("budget_w", F(*budget_w)),
+        ],
+        TraceEvent::CoreCap {
+            t,
+            core,
+            cap_w,
+            speed_cap_ghz,
+        } => vec![
+            ("t", F(*t)),
+            ("core", U(*core)),
+            ("cap_w", F(*cap_w)),
+            ("speed_cap_ghz", F(*speed_cap_ghz)),
+        ],
+        TraceEvent::SecondCut {
+            t,
+            core,
+            volume_before,
+            volume_after,
+        } => vec![
+            ("t", F(*t)),
+            ("core", U(*core)),
+            ("volume_before", F(*volume_before)),
+            ("volume_after", F(*volume_after)),
+        ],
+        TraceEvent::SpeedSegment {
+            t,
+            core,
+            start_s,
+            end_s,
+            speed_ghz,
+        } => vec![
+            ("t", F(*t)),
+            ("core", U(*core)),
+            ("start_s", F(*start_s)),
+            ("end_s", F(*end_s)),
+            ("speed_ghz", F(*speed_ghz)),
+        ],
+        TraceEvent::ExecSlice {
+            t,
+            core,
+            start_s,
+            end_s,
+            ghz_secs,
+            energy_j,
+        } => vec![
+            ("t", F(*t)),
+            ("core", U(*core)),
+            ("start_s", F(*start_s)),
+            ("end_s", F(*end_s)),
+            ("ghz_secs", F(*ghz_secs)),
+            ("energy_j", F(*energy_j)),
+        ],
+        TraceEvent::JobFinish {
+            t,
+            job,
+            processed,
+            full_demand,
+            discarded,
+        } => vec![
+            ("t", F(*t)),
+            ("job", U(*job)),
+            ("processed", F(*processed)),
+            ("full_demand", F(*full_demand)),
+            ("discarded", B(*discarded)),
+        ],
+        TraceEvent::QualitySample {
+            t,
+            quality,
+            mode,
+            backlog_units,
+            load_estimate_rps,
+        } => vec![
+            ("t", F(*t)),
+            ("quality", F(*quality)),
+            ("mode", U(*mode)),
+            ("backlog_units", F(*backlog_units)),
+            ("load_estimate_rps", F(*load_estimate_rps)),
+        ],
+        TraceEvent::RunSummary {
+            t,
+            energy_j,
+            quality,
+            aes_fraction,
+            jobs_finished,
+            jobs_discarded,
+        } => vec![
+            ("t", F(*t)),
+            ("energy_j", F(*energy_j)),
+            ("quality", F(*quality)),
+            ("aes_fraction", F(*aes_fraction)),
+            ("jobs_finished", U(*jobs_finished)),
+            ("jobs_discarded", U(*jobs_discarded)),
+        ],
+    }
+}
+
+/// Serializes one event as a single JSON object (no trailing newline).
+pub fn jsonl_line(ev: &TraceEvent) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"ev\":\"");
+    out.push_str(ev.kind());
+    out.push('"');
+    for (name, value) in fields(ev) {
+        out.push_str(",\"");
+        out.push_str(name);
+        out.push_str("\":");
+        value.write_json(&mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// Writes `events` as JSON Lines to `w`.
+pub fn write_jsonl<'a, W: Write>(
+    events: impl IntoIterator<Item = &'a TraceEvent>,
+    w: &mut W,
+) -> io::Result<()> {
+    for ev in events {
+        writeln!(w, "{}", jsonl_line(ev))?;
+    }
+    Ok(())
+}
+
+/// Error from parsing a JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number (0 when unknown).
+    pub line: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line: 0,
+        message: msg.into(),
+    }
+}
+
+/// A minimal parser for the flat JSON objects [`jsonl_line`] emits.
+struct FlatJson<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FlatJson<'a> {
+    fn parse(line: &'a str) -> Result<BTreeMap<String, Field>, ParseError> {
+        let mut p = FlatJson {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        let mut map = BTreeMap::new();
+        p.skip_ws();
+        p.expect(b'{')?;
+        loop {
+            p.skip_ws();
+            if p.peek() == Some(b'}') {
+                p.pos += 1;
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            map.insert(key, value);
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err(err("expected ',' or '}'")),
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(err("trailing characters after object"));
+        }
+        Ok(map)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| err("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(err("unterminated string")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Field, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Field::S(self.string()?)),
+            Some(b't') => self.literal("true", Field::B(true)),
+            Some(b'f') => self.literal("false", Field::B(false)),
+            Some(b'n') => self.literal("null", Field::F(f64::NAN)),
+            Some(_) => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| err("invalid number"))?;
+                if raw.is_empty() {
+                    return Err(err("expected a value"));
+                }
+                // Integers that fit u64 keep full precision; everything
+                // else is a double.
+                if !raw.contains(['.', 'e', 'E', '-']) {
+                    if let Ok(u) = raw.parse::<u64>() {
+                        return Ok(Field::U(u));
+                    }
+                }
+                raw.parse::<f64>()
+                    .map(Field::F)
+                    .map_err(|_| err(format!("bad number '{raw}'")))
+            }
+            None => Err(err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Field) -> Result<Field, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(err(format!("expected '{lit}'")))
+        }
+    }
+}
+
+/// Typed accessors over a parsed field map.
+struct Fields(BTreeMap<String, Field>);
+
+impl Fields {
+    fn f64(&self, name: &str) -> Result<f64, ParseError> {
+        match self.0.get(name) {
+            Some(Field::F(v)) => Ok(*v),
+            Some(Field::U(v)) => Ok(*v as f64),
+            _ => Err(err(format!("missing numeric field '{name}'"))),
+        }
+    }
+
+    fn u64(&self, name: &str) -> Result<u64, ParseError> {
+        match self.0.get(name) {
+            Some(Field::U(v)) => Ok(*v),
+            _ => Err(err(format!("missing integer field '{name}'"))),
+        }
+    }
+
+    fn str(&self, name: &str) -> Result<&str, ParseError> {
+        match self.0.get(name) {
+            Some(Field::S(v)) => Ok(v),
+            _ => Err(err(format!("missing string field '{name}'"))),
+        }
+    }
+
+    fn bool(&self, name: &str) -> Result<bool, ParseError> {
+        match self.0.get(name) {
+            Some(Field::B(v)) => Ok(*v),
+            _ => Err(err(format!("missing bool field '{name}'"))),
+        }
+    }
+}
+
+/// Parses one JSONL line back into a [`TraceEvent`].
+pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, ParseError> {
+    let f = Fields(FlatJson::parse(line)?);
+    let kind = f.str("ev")?.to_string();
+    let ev = match kind.as_str() {
+        "run_start" => TraceEvent::RunStart {
+            t: f.f64("t")?,
+            algorithm: f.str("algorithm")?.to_string(),
+            cores: f.u64("cores")?,
+            budget_w: f.f64("budget_w")?,
+            q_ge: f.f64("q_ge")?,
+            horizon_s: f.f64("horizon_s")?,
+            power_a: f.f64("power_a")?,
+            power_beta: f.f64("power_beta")?,
+            quality_c: f.f64("quality_c")?,
+            quality_xmax: f.f64("quality_xmax")?,
+            units_per_ghz_sec: f.f64("units_per_ghz_sec")?,
+            initial_mode: f.u64("initial_mode")?,
+            ledger_window: f.u64("ledger_window")?,
+        },
+        "job_arrival" => TraceEvent::JobArrival {
+            t: f.f64("t")?,
+            job: f.u64("job")?,
+            deadline_s: f.f64("deadline_s")?,
+            demand: f.f64("demand")?,
+        },
+        "job_assigned" => TraceEvent::JobAssigned {
+            t: f.f64("t")?,
+            job: f.u64("job")?,
+            core: f.u64("core")?,
+        },
+        "trigger" => TraceEvent::TriggerFired {
+            t: f.f64("t")?,
+            kind: TriggerKind::parse(f.str("trigger")?)
+                .ok_or_else(|| err("unknown trigger kind"))?,
+            queue_len: f.u64("queue_len")?,
+        },
+        "mode_switch" => TraceEvent::ModeSwitch {
+            t: f.f64("t")?,
+            from_mode: f.u64("from_mode")?,
+            to_mode: f.u64("to_mode")?,
+            ledger_quality: f.f64("ledger_quality")?,
+        },
+        "lf_cut" => TraceEvent::LfCut {
+            t: f.f64("t")?,
+            level: f.f64("level")?,
+            target_quality: f.f64("target_quality")?,
+            jobs: f.u64("jobs")?,
+            volume_before: f.f64("volume_before")?,
+            volume_after: f.f64("volume_after")?,
+        },
+        "job_cut" => TraceEvent::JobCut {
+            t: f.f64("t")?,
+            job: f.u64("job")?,
+            full_demand: f.f64("full_demand")?,
+            cut_demand: f.f64("cut_demand")?,
+        },
+        "power_split" => TraceEvent::PowerSplit {
+            t: f.f64("t")?,
+            policy: SplitPolicy::parse(f.str("policy")?)
+                .ok_or_else(|| err("unknown split policy"))?,
+            load_estimate_rps: f.f64("load_estimate_rps")?,
+            budget_w: f.f64("budget_w")?,
+        },
+        "core_cap" => TraceEvent::CoreCap {
+            t: f.f64("t")?,
+            core: f.u64("core")?,
+            cap_w: f.f64("cap_w")?,
+            speed_cap_ghz: f.f64("speed_cap_ghz")?,
+        },
+        "second_cut" => TraceEvent::SecondCut {
+            t: f.f64("t")?,
+            core: f.u64("core")?,
+            volume_before: f.f64("volume_before")?,
+            volume_after: f.f64("volume_after")?,
+        },
+        "speed_segment" => TraceEvent::SpeedSegment {
+            t: f.f64("t")?,
+            core: f.u64("core")?,
+            start_s: f.f64("start_s")?,
+            end_s: f.f64("end_s")?,
+            speed_ghz: f.f64("speed_ghz")?,
+        },
+        "exec_slice" => TraceEvent::ExecSlice {
+            t: f.f64("t")?,
+            core: f.u64("core")?,
+            start_s: f.f64("start_s")?,
+            end_s: f.f64("end_s")?,
+            ghz_secs: f.f64("ghz_secs")?,
+            energy_j: f.f64("energy_j")?,
+        },
+        "job_finish" => TraceEvent::JobFinish {
+            t: f.f64("t")?,
+            job: f.u64("job")?,
+            processed: f.f64("processed")?,
+            full_demand: f.f64("full_demand")?,
+            discarded: f.bool("discarded")?,
+        },
+        "quality_sample" => TraceEvent::QualitySample {
+            t: f.f64("t")?,
+            quality: f.f64("quality")?,
+            mode: f.u64("mode")?,
+            backlog_units: f.f64("backlog_units")?,
+            load_estimate_rps: f.f64("load_estimate_rps")?,
+        },
+        "run_summary" => TraceEvent::RunSummary {
+            t: f.f64("t")?,
+            energy_j: f.f64("energy_j")?,
+            quality: f.f64("quality")?,
+            aes_fraction: f.f64("aes_fraction")?,
+            jobs_finished: f.u64("jobs_finished")?,
+            jobs_discarded: f.u64("jobs_discarded")?,
+        },
+        other => return Err(err(format!("unknown event kind '{other}'"))),
+    };
+    Ok(ev)
+}
+
+/// Parses a whole JSONL document (blank lines skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_jsonl_line(line).map_err(|mut e| {
+            e.line = i + 1;
+            e
+        })?);
+    }
+    Ok(out)
+}
+
+/// Column order of the wide CSV schema (union of all event fields).
+const CSV_COLUMNS: &[&str] = &[
+    "ev",
+    "t",
+    "algorithm",
+    "cores",
+    "budget_w",
+    "q_ge",
+    "horizon_s",
+    "power_a",
+    "power_beta",
+    "quality_c",
+    "quality_xmax",
+    "units_per_ghz_sec",
+    "initial_mode",
+    "ledger_window",
+    "job",
+    "core",
+    "deadline_s",
+    "demand",
+    "trigger",
+    "queue_len",
+    "from_mode",
+    "to_mode",
+    "ledger_quality",
+    "level",
+    "target_quality",
+    "jobs",
+    "volume_before",
+    "volume_after",
+    "full_demand",
+    "cut_demand",
+    "policy",
+    "load_estimate_rps",
+    "cap_w",
+    "speed_cap_ghz",
+    "start_s",
+    "end_s",
+    "speed_ghz",
+    "ghz_secs",
+    "energy_j",
+    "processed",
+    "discarded",
+    "quality",
+    "mode",
+    "backlog_units",
+    "aes_fraction",
+    "jobs_finished",
+    "jobs_discarded",
+];
+
+/// The header row of the wide CSV schema.
+pub fn csv_header() -> String {
+    CSV_COLUMNS.join(",")
+}
+
+/// One wide-schema CSV row for `ev` (fields not in the variant stay empty).
+pub fn csv_row(ev: &TraceEvent) -> String {
+    let fs = fields(ev);
+    let mut out = String::with_capacity(96);
+    for (i, col) in CSV_COLUMNS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if *col == "ev" {
+            out.push_str(ev.kind());
+        } else if let Some((_, v)) = fs.iter().find(|(n, _)| n == col) {
+            v.write_csv(&mut out);
+        }
+    }
+    out
+}
+
+/// Writes `events` as a wide-schema CSV document to `w`.
+pub fn write_csv<'a, W: Write>(
+    events: impl IntoIterator<Item = &'a TraceEvent>,
+    w: &mut W,
+) -> io::Result<()> {
+    writeln!(w, "{}", csv_header())?;
+    for ev in events {
+        writeln!(w, "{}", csv_row(ev))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exemplars() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunStart {
+                t: 0.0,
+                algorithm: "GE".to_string(),
+                cores: 8,
+                budget_w: 160.0,
+                q_ge: 0.9,
+                horizon_s: 60.0,
+                power_a: 2.0,
+                power_beta: 2.4,
+                quality_c: 0.0035,
+                quality_xmax: 1500.0,
+                units_per_ghz_sec: 1000.0,
+                initial_mode: 1,
+                ledger_window: 0,
+            },
+            TraceEvent::JobArrival {
+                t: 0.013_527_891_236_4,
+                job: 7,
+                deadline_s: 0.163_527_891_236_4,
+                demand: 412.734_120_000_1,
+            },
+            TraceEvent::JobAssigned {
+                t: 0.02,
+                job: 7,
+                core: 3,
+            },
+            TraceEvent::TriggerFired {
+                t: 0.05,
+                kind: TriggerKind::Counter,
+                queue_len: 12,
+            },
+            TraceEvent::ModeSwitch {
+                t: 0.05,
+                from_mode: 1,
+                to_mode: 0,
+                ledger_quality: 0.912_345_678_9,
+            },
+            TraceEvent::LfCut {
+                t: 0.05,
+                level: 230.5,
+                target_quality: 0.9,
+                jobs: 12,
+                volume_before: 4096.0,
+                volume_after: 2766.0,
+            },
+            TraceEvent::JobCut {
+                t: 0.05,
+                job: 7,
+                full_demand: 412.7,
+                cut_demand: 230.5,
+            },
+            TraceEvent::PowerSplit {
+                t: 0.05,
+                policy: SplitPolicy::WaterFilling,
+                load_estimate_rps: 141.2,
+                budget_w: 160.0,
+            },
+            TraceEvent::CoreCap {
+                t: 0.05,
+                core: 3,
+                cap_w: 20.0,
+                speed_cap_ghz: 1.87,
+            },
+            TraceEvent::SecondCut {
+                t: 0.05,
+                core: 3,
+                volume_before: 700.0,
+                volume_after: 512.0,
+            },
+            TraceEvent::SpeedSegment {
+                t: 0.05,
+                core: 3,
+                start_s: 0.05,
+                end_s: 0.13,
+                speed_ghz: 1.5,
+            },
+            TraceEvent::ExecSlice {
+                t: 0.13,
+                core: 3,
+                start_s: 0.05,
+                end_s: 0.13,
+                ghz_secs: 0.12,
+                energy_j: 0.734_982_134,
+            },
+            TraceEvent::JobFinish {
+                t: 0.13,
+                job: 7,
+                processed: 230.5,
+                full_demand: 412.7,
+                discarded: false,
+            },
+            TraceEvent::QualitySample {
+                t: 0.13,
+                quality: 0.94,
+                mode: 0,
+                backlog_units: 812.0,
+                load_estimate_rps: 141.2,
+            },
+            TraceEvent::RunSummary {
+                t: 60.0,
+                energy_j: 1234.567_890_123,
+                quality: 0.9213,
+                aes_fraction: 0.4123,
+                jobs_finished: 9001,
+                jobs_discarded: 17,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant_exactly() {
+        for ev in exemplars() {
+            let line = jsonl_line(&ev);
+            let back = parse_jsonl_line(&line).expect("parse back");
+            assert_eq!(back, ev, "round-trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_document_round_trip() {
+        let events = exemplars();
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let ev = TraceEvent::RunStart {
+            t: 0.0,
+            algorithm: "we\"ird\\label\nx".to_string(),
+            cores: 1,
+            budget_w: 1.0,
+            q_ge: 0.9,
+            horizon_s: 1.0,
+            power_a: 0.0,
+            power_beta: 2.0,
+            quality_c: 0.001,
+            quality_xmax: 10.0,
+            units_per_ghz_sec: 1.0,
+            initial_mode: 0,
+            ledger_window: 0,
+        };
+        let back = parse_jsonl_line(&jsonl_line(&ev)).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let doc = "{\"ev\":\"job_assigned\",\"t\":0,\"job\":1,\"core\":0}\nnot json";
+        let e = parse_jsonl(doc).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        assert!(parse_jsonl_line("{\"ev\":\"martian\",\"t\":0}").is_err());
+    }
+
+    #[test]
+    fn csv_rows_align_with_header() {
+        let header_cols = csv_header().split(',').count();
+        for ev in exemplars() {
+            assert_eq!(csv_row(&ev).split(',').count(), header_cols);
+        }
+    }
+
+    #[test]
+    fn csv_document_has_all_rows() {
+        let events = exemplars();
+        let mut buf = Vec::new();
+        write_csv(&events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), events.len() + 1);
+    }
+}

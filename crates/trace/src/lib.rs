@@ -1,0 +1,42 @@
+//! # ge-trace — structured decision tracing and metrics
+//!
+//! The observability layer of the GE scheduling reproduction. The paper's
+//! claims are dynamic — AES residency (Fig. 1), compensation kicking in
+//! when the ledger sags (Fig. 5), WF speed variance (Fig. 6) — so this
+//! crate gives every scheduler decision a typed, serializable event:
+//!
+//! * [`event`] — [`TraceEvent`] variants for arrivals, C-RR assignment,
+//!   trigger firings, AES↔BQ switches, LF cuts, ES/WF power splits,
+//!   Quality-OPT second cuts, YDS segments, per-slice energy, and run
+//!   bracketing (`run_start` / `run_summary`).
+//! * [`sink`] — the [`TraceSink`] trait plus [`NullSink`] (free),
+//!   [`VecSink`] (record everything), and [`RingSink`] (bounded
+//!   flight-recorder with sampling).
+//! * [`registry`] — named counters/gauges/histograms and [`Snapshot`].
+//! * [`export`] — hand-rolled JSONL and wide-schema CSV writers and the
+//!   matching JSONL parser (no serde; floats round-trip exactly).
+//! * [`replay`] — an invariant checker that rebuilds energy, AES
+//!   residency, and ledger quality from a trace and cross-checks them
+//!   against the run's reported summary.
+//!
+//! Emission sites guard with [`TraceSink::is_enabled`], so running with
+//! [`NullSink`] costs a branch per site — the driver's untraced path
+//! stays within noise of the pre-tracing implementation.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod event;
+pub mod export;
+pub mod registry;
+pub mod replay;
+pub mod sink;
+
+pub use event::{SplitPolicy, TraceEvent, TriggerKind};
+pub use export::{
+    csv_header, csv_row, jsonl_line, parse_jsonl, parse_jsonl_line, write_csv, write_jsonl,
+    ParseError,
+};
+pub use registry::{HistogramSummary, MetricsRegistry, Snapshot};
+pub use replay::{replay, ReplayError, ReplayReport};
+pub use sink::{NullSink, RingSink, TraceSink, VecSink};

@@ -1,0 +1,220 @@
+//! Named-metric registry: counters, gauges, and histograms.
+//!
+//! A lightweight sibling of the event stream: where [`crate::TraceEvent`]
+//! records *what happened*, the registry aggregates *how often / how
+//! much* under stable metric names, and [`Snapshot`] freezes the whole
+//! registry for reporting. Metric names are created on first touch, so
+//! instrumented code never pre-registers anything.
+
+use ge_metrics::Histogram;
+use std::collections::BTreeMap;
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// ```
+/// use ge_trace::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.inc("scheduler.epochs");
+/// m.add("jobs.assigned", 3);
+/// m.set_gauge("queue.depth", 7.0);
+/// m.observe("cut.fraction", 0.25);
+/// let snap = m.snapshot();
+/// assert_eq!(snap.counter("scheduler.epochs"), Some(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments counter `name` by `delta`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into histogram `name`.
+    ///
+    /// The histogram is created on first use with a `[0, 1]` range and
+    /// 200 bins; use [`MetricsRegistry::observe_with`] for other ranges.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.observe_with(name, value, 1.0, 200);
+    }
+
+    /// Records `value` into histogram `name`, creating it with the given
+    /// `upper` bound and `bins` if it does not exist yet.
+    pub fn observe_with(&mut self, name: &str, value: f64, upper: f64, bins: usize) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new(upper, bins);
+            h.record(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Freezes the registry into an immutable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let (p50, p95, p99) = h.p50_p95_p99();
+                    (
+                        k.clone(),
+                        HistogramSummary {
+                            count: h.count(),
+                            mean: h.mean(),
+                            p50,
+                            p95,
+                            p99,
+                            max: h.max(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Percentile summary of one histogram at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Arithmetic mean of observations.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// An immutable point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Renders the snapshot as `metric,kind,value…` CSV lines.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,kind,count,value,p50,p95,p99,max\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k},counter,{v},{v},,,,\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{k},gauge,,{v},,,,\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{k},histogram,{},{},{},{},{},{}\n",
+                h.count, h.mean, h.p50, h.p95, h.p99, h.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a");
+        m.inc("a");
+        m.add("a", 3);
+        assert_eq!(m.snapshot().counter("a"), Some(5));
+        assert_eq!(m.snapshot().counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("g", 1.0);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.snapshot().gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let mut m = MetricsRegistry::new();
+        for i in 0..100 {
+            m.observe("h", i as f64 / 100.0);
+        }
+        let snap = m.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 100);
+        assert!(h.p50 > 0.3 && h.p50 < 0.7);
+        assert!(h.p99 >= h.p95 && h.p95 >= h.p50);
+    }
+
+    #[test]
+    fn csv_has_a_row_per_metric() {
+        let mut m = MetricsRegistry::new();
+        m.inc("c");
+        m.set_gauge("g", 1.0);
+        m.observe("h", 0.5);
+        let csv = m.snapshot().to_csv();
+        assert_eq!(csv.lines().count(), 4); // header + 3 metrics
+        assert!(csv.contains("c,counter"));
+        assert!(csv.contains("g,gauge"));
+        assert!(csv.contains("h,histogram"));
+    }
+}

@@ -1,0 +1,465 @@
+//! Trace replay and invariant checking.
+//!
+//! A trace is self-contained: [`crate::TraceEvent::RunStart`] carries the
+//! run configuration, so the checker can rebuild the run's bookkeeping
+//! from scratch — energy by summing [`crate::TraceEvent::ExecSlice`]
+//! through a fresh [`ge_power::EnergyMeter`], AES residency by feeding
+//! [`crate::TraceEvent::ModeSwitch`] through [`ge_metrics::ModeTracker`],
+//! and quality by feeding [`crate::TraceEvent::JobFinish`] through
+//! [`ge_quality::QualityLedger`] — and cross-check each against the
+//! driver's reported [`crate::TraceEvent::RunSummary`].
+
+use crate::event::TraceEvent;
+use ge_metrics::ModeTracker;
+use ge_power::EnergyMeter;
+use ge_quality::{ExpConcave, LedgerMode, QualityFunction, QualityLedger};
+use ge_simcore::SimTime;
+
+/// Tolerance for the relative energy-conservation check.
+pub const ENERGY_REL_TOL: f64 = 1e-6;
+/// Tolerance for the absolute AES-residency check.
+pub const AES_ABS_TOL: f64 = 1e-9;
+/// Tolerance for the absolute quality-rebuild check.
+pub const QUALITY_ABS_TOL: f64 = 1e-9;
+
+/// A structurally invalid trace (replay could not even start).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The trace was empty.
+    Empty,
+    /// The first event was not `run_start`.
+    MissingRunStart,
+    /// No `run_summary` event was found.
+    MissingRunSummary,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Empty => write!(f, "empty trace"),
+            ReplayError::MissingRunStart => {
+                write!(f, "trace does not begin with a run_start event")
+            }
+            ReplayError::MissingRunSummary => {
+                write!(f, "trace has no run_summary event")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Outcome of replaying a trace and cross-checking its invariants.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Total events replayed.
+    pub events: usize,
+    /// Energy rebuilt by summing `exec_slice` events (joules).
+    pub energy_from_slices_j: f64,
+    /// Energy the run reported in `run_summary`.
+    pub reported_energy_j: f64,
+    /// Relative error between rebuilt and reported energy.
+    pub energy_rel_err: f64,
+    /// AES residency rebuilt from `mode_switch` events.
+    pub aes_residency: f64,
+    /// AES residency the run reported.
+    pub reported_aes: f64,
+    /// Quality rebuilt from `job_finish` events through the ledger.
+    pub quality_rebuilt: f64,
+    /// Quality the run reported.
+    pub reported_quality: f64,
+    /// Every invariant violation found (empty when the trace is clean).
+    pub issues: Vec<String>,
+}
+
+impl ReplayReport {
+    /// Whether every invariant held.
+    pub fn is_ok(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// A short human-readable verdict block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("replayed {} events\n", self.events));
+        out.push_str(&format!(
+            "energy    rebuilt {:.6} J vs reported {:.6} J (rel err {:.3e})\n",
+            self.energy_from_slices_j, self.reported_energy_j, self.energy_rel_err
+        ));
+        out.push_str(&format!(
+            "aes       rebuilt {:.9} vs reported {:.9}\n",
+            self.aes_residency, self.reported_aes
+        ));
+        out.push_str(&format!(
+            "quality   rebuilt {:.9} vs reported {:.9}\n",
+            self.quality_rebuilt, self.reported_quality
+        ));
+        if self.issues.is_empty() {
+            out.push_str("verdict   OK — all invariants hold\n");
+        } else {
+            for issue in &self.issues {
+                out.push_str(&format!("ISSUE     {issue}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Replays `events`, rebuilding energy, mode residency, and quality from
+/// first principles and cross-checking them against the run summary.
+pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
+    if events.is_empty() {
+        return Err(ReplayError::Empty);
+    }
+    let (cores, horizon_s, quality_c, quality_xmax, initial_mode, ledger_window, start_t) =
+        match &events[0] {
+            TraceEvent::RunStart {
+                t,
+                cores,
+                horizon_s,
+                quality_c,
+                quality_xmax,
+                initial_mode,
+                ledger_window,
+                ..
+            } => (
+                *cores as usize,
+                *horizon_s,
+                *quality_c,
+                *quality_xmax,
+                *initial_mode as usize,
+                *ledger_window,
+                *t,
+            ),
+            _ => return Err(ReplayError::MissingRunStart),
+        };
+
+    let mut issues = Vec::new();
+
+    // Rebuild the three ledgers the summary aggregates.
+    let mut meter = EnergyMeter::new(cores.max(1));
+    let mut modes = ModeTracker::new(2, initial_mode.min(1), SimTime::from_secs(start_t));
+    let f = ExpConcave::new(quality_c, quality_xmax);
+    let mut ledger = QualityLedger::new(if ledger_window == 0 {
+        LedgerMode::Cumulative
+    } else {
+        LedgerMode::SlidingWindow(ledger_window as usize)
+    });
+    let mut last_t = start_t;
+    let mut summary: Option<(f64, f64, f64, f64, u64, u64)> = None;
+
+    for (i, ev) in events.iter().enumerate() {
+        let t = ev.t();
+        if t + 1e-12 < last_t {
+            issues.push(format!(
+                "event {i} ({}) goes back in time: {t} < {last_t}",
+                ev.kind()
+            ));
+        }
+        last_t = last_t.max(t);
+        match ev {
+            TraceEvent::RunStart { .. } => {
+                if i != 0 {
+                    issues.push(format!("duplicate run_start at event {i}"));
+                }
+            }
+            TraceEvent::ExecSlice {
+                core,
+                start_s,
+                end_s,
+                energy_j,
+                ..
+            } => {
+                if *energy_j < 0.0 {
+                    issues.push(format!("negative slice energy at event {i}"));
+                }
+                if end_s < start_s {
+                    issues.push(format!("inverted slice interval at event {i}"));
+                }
+                if (*core as usize) < meter.cores() {
+                    meter.record_joules(*core as usize, *energy_j);
+                } else {
+                    issues.push(format!("slice on unknown core {core} at event {i}"));
+                }
+            }
+            TraceEvent::ModeSwitch {
+                t,
+                from_mode,
+                to_mode,
+                ..
+            } => {
+                if modes.current() != *from_mode as usize {
+                    issues.push(format!(
+                        "mode_switch at event {i} claims from={from_mode} but replay is in {}",
+                        modes.current()
+                    ));
+                }
+                modes.switch((*to_mode as usize).min(1), SimTime::from_secs(*t));
+            }
+            TraceEvent::JobFinish {
+                processed,
+                full_demand,
+                discarded,
+                ..
+            } => {
+                if *discarded {
+                    ledger.record(0.0, f.value(*full_demand));
+                } else {
+                    ledger.record(f.value(*processed), f.value(*full_demand));
+                }
+                if *processed > *full_demand + 1e-6 {
+                    issues.push(format!("job processed beyond its demand at event {i}"));
+                }
+            }
+            TraceEvent::JobCut {
+                full_demand,
+                cut_demand,
+                ..
+            } => {
+                if *cut_demand > *full_demand + 1e-9 {
+                    issues.push(format!("job_cut grew a job at event {i}"));
+                }
+            }
+            TraceEvent::QualitySample { quality, .. } => {
+                if !(0.0..=1.0).contains(quality) {
+                    issues.push(format!("quality sample out of [0,1] at event {i}"));
+                }
+            }
+            TraceEvent::RunSummary {
+                energy_j,
+                quality,
+                aes_fraction,
+                jobs_finished,
+                jobs_discarded,
+                t,
+            } => {
+                if summary.is_some() {
+                    issues.push(format!("duplicate run_summary at event {i}"));
+                }
+                summary = Some((
+                    *energy_j,
+                    *quality,
+                    *aes_fraction,
+                    *t,
+                    *jobs_finished,
+                    *jobs_discarded,
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let (rep_energy, rep_quality, rep_aes, end_t, rep_finished, rep_discarded) =
+        summary.ok_or(ReplayError::MissingRunSummary)?;
+
+    let energy = meter.total_energy();
+    let energy_rel_err = if rep_energy.abs() > 0.0 {
+        (energy - rep_energy).abs() / rep_energy.abs()
+    } else {
+        energy.abs()
+    };
+    if energy_rel_err > ENERGY_REL_TOL {
+        issues.push(format!(
+            "energy conservation violated: slices sum to {energy} J, summary says {rep_energy} J"
+        ));
+    }
+
+    // The driver finalizes residency at the horizon; fall back to the
+    // summary timestamp if the trace disagrees.
+    let end = if (end_t - horizon_s).abs() < 1e-9 {
+        horizon_s
+    } else {
+        end_t
+    };
+    let aes = modes.fractions_at(SimTime::from_secs(end))[0];
+    if (aes - rep_aes).abs() > AES_ABS_TOL {
+        issues.push(format!(
+            "AES residency mismatch: rebuilt {aes}, summary says {rep_aes}"
+        ));
+    }
+
+    let quality = ledger.quality();
+    if (quality - rep_quality).abs() > QUALITY_ABS_TOL {
+        issues.push(format!(
+            "quality mismatch: ledger rebuild gives {quality}, summary says {rep_quality}"
+        ));
+    }
+    if ledger.jobs_recorded() != rep_finished {
+        issues.push(format!(
+            "job accounting mismatch: {} job_finish events, summary says {rep_finished}",
+            ledger.jobs_recorded()
+        ));
+    }
+    if ledger.jobs_discarded() != rep_discarded {
+        issues.push(format!(
+            "discard accounting mismatch: {} discards, summary says {rep_discarded}",
+            ledger.jobs_discarded()
+        ));
+    }
+
+    Ok(ReplayReport {
+        events: events.len(),
+        energy_from_slices_j: energy,
+        reported_energy_j: rep_energy,
+        energy_rel_err,
+        aes_residency: aes,
+        reported_aes: rep_aes,
+        quality_rebuilt: quality,
+        reported_quality: rep_quality,
+        issues,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> TraceEvent {
+        TraceEvent::RunStart {
+            t: 0.0,
+            algorithm: "GE".to_string(),
+            cores: 2,
+            budget_w: 40.0,
+            q_ge: 0.9,
+            horizon_s: 10.0,
+            power_a: 2.0,
+            power_beta: 2.4,
+            quality_c: 0.0035,
+            quality_xmax: 1500.0,
+            units_per_ghz_sec: 1000.0,
+            initial_mode: 1,
+            ledger_window: 0,
+        }
+    }
+
+    fn slice(t: f64, core: u64, energy: f64) -> TraceEvent {
+        TraceEvent::ExecSlice {
+            t,
+            core,
+            start_s: t - 1.0,
+            end_s: t,
+            ghz_secs: 0.5,
+            energy_j: energy,
+        }
+    }
+
+    fn finish(t: f64, job: u64, processed: f64, full: f64) -> TraceEvent {
+        TraceEvent::JobFinish {
+            t,
+            job,
+            processed,
+            full_demand: full,
+            discarded: false,
+        }
+    }
+
+    fn summary_for(events: &[TraceEvent]) -> TraceEvent {
+        // Build the matching summary by running the same bookkeeping.
+        let energy: f64 = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::ExecSlice { energy_j, .. } => *energy_j,
+                _ => 0.0,
+            })
+            .sum();
+        let f = ExpConcave::new(0.0035, 1500.0);
+        let mut ledger = QualityLedger::cumulative();
+        let mut modes = ModeTracker::new(2, 1, SimTime::ZERO);
+        let mut n = 0;
+        for e in events {
+            match e {
+                TraceEvent::JobFinish {
+                    processed,
+                    full_demand,
+                    ..
+                } => {
+                    ledger.record(f.value(*processed), f.value(*full_demand));
+                    n += 1;
+                }
+                TraceEvent::ModeSwitch { t, to_mode, .. } => {
+                    modes.switch(*to_mode as usize, SimTime::from_secs(*t));
+                }
+                _ => {}
+            }
+        }
+        TraceEvent::RunSummary {
+            t: 10.0,
+            energy_j: energy,
+            quality: ledger.quality(),
+            aes_fraction: modes.fractions_at(SimTime::from_secs(10.0))[0],
+            jobs_finished: n,
+            jobs_discarded: 0,
+        }
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let mut events = vec![
+            start(),
+            TraceEvent::ModeSwitch {
+                t: 2.0,
+                from_mode: 1,
+                to_mode: 0,
+                ledger_quality: 0.95,
+            },
+            slice(3.0, 0, 12.5),
+            slice(3.0, 1, 7.25),
+            finish(3.0, 0, 400.0, 700.0),
+            TraceEvent::ModeSwitch {
+                t: 6.0,
+                from_mode: 0,
+                to_mode: 1,
+                ledger_quality: 0.85,
+            },
+            slice(8.0, 0, 3.0),
+            finish(8.0, 1, 500.0, 500.0),
+        ];
+        events.push(summary_for(&events));
+        let report = replay(&events).unwrap();
+        assert!(report.is_ok(), "unexpected issues: {:?}", report.issues);
+        assert!((report.aes_residency - 0.4).abs() < 1e-12);
+        assert!(report.energy_rel_err < 1e-12);
+    }
+
+    #[test]
+    fn energy_tampering_is_detected() {
+        let mut events = vec![start(), slice(3.0, 0, 12.5), finish(3.0, 0, 400.0, 700.0)];
+        events.push(summary_for(&events));
+        if let TraceEvent::ExecSlice { energy_j, .. } = &mut events[1] {
+            *energy_j += 1.0; // corrupt after the summary was computed
+        }
+        let report = replay(&events).unwrap();
+        assert!(!report.is_ok());
+        assert!(report.issues.iter().any(|m| m.contains("energy")));
+    }
+
+    #[test]
+    fn quality_tampering_is_detected() {
+        let mut events = vec![start(), finish(3.0, 0, 400.0, 700.0)];
+        events.push(summary_for(&events));
+        events.insert(2, finish(4.0, 1, 10.0, 900.0)); // extra unreported job
+        let report = replay(&events).unwrap();
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(replay(&[]), Err(ReplayError::Empty)));
+        assert!(matches!(
+            replay(&[finish(0.0, 0, 1.0, 1.0)]),
+            Err(ReplayError::MissingRunStart)
+        ));
+        assert!(matches!(
+            replay(&[start()]),
+            Err(ReplayError::MissingRunSummary)
+        ));
+    }
+
+    #[test]
+    fn out_of_order_times_flagged() {
+        let mut events = vec![start(), slice(5.0, 0, 1.0), slice(3.0, 0, 1.0)];
+        events.push(summary_for(&events));
+        let report = replay(&events).unwrap();
+        assert!(report.issues.iter().any(|m| m.contains("back in time")));
+    }
+}

@@ -211,9 +211,7 @@ mod tests {
 
     #[test]
     fn out_of_order_releases_rejected() {
-        let text = format!(
-            "{TRACE_CSV_HEADER}\n0,5.0,6.0,100.0\n1,1.0,2.0,100.0"
-        );
+        let text = format!("{TRACE_CSV_HEADER}\n0,5.0,6.0,100.0\n1,1.0,2.0,100.0");
         assert_eq!(
             trace_from_csv(&text).unwrap_err(),
             TraceParseError::NotReleaseOrdered { line: 3 }

@@ -156,7 +156,11 @@ mod tests {
     fn paper_workload_stats_are_sane() {
         let trace = WorkloadGenerator::new(WorkloadConfig::paper_default(154.0), 11).generate();
         let s = trace.stats();
-        assert!((s.empirical_rate - 154.0).abs() < 5.0, "{}", s.empirical_rate);
+        assert!(
+            (s.empirical_rate - 154.0).abs() < 5.0,
+            "{}",
+            s.empirical_rate
+        );
         assert!((s.mean_demand - 192.0).abs() < 6.0, "{}", s.mean_demand);
         assert!(s.min_demand >= 130.0 && s.max_demand <= 1000.0);
     }

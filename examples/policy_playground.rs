@@ -32,7 +32,11 @@ fn main() {
     let trace = WorkloadGenerator::new(wc, seed).generate();
     println!(
         "λ = {rate}/s, Q_GE = {q_ge}, windows = {}, {} requests\n",
-        if random_windows { "150-500ms random" } else { "150ms fixed" },
+        if random_windows {
+            "150-500ms random"
+        } else {
+            "150ms fixed"
+        },
         trace.len()
     );
 

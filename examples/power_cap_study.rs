@@ -19,10 +19,7 @@ fn main() {
     let seed: u64 = opt(&opts, "seed").map_or(11, |s| s.parse().expect("seed"));
 
     let trace = WorkloadGenerator::new(WorkloadConfig::paper_default(rate), seed).generate();
-    println!(
-        "load: {rate} req/s ({} requests over 600s)\n",
-        trace.len()
-    );
+    println!("load: {rate} req/s ({} requests over 600s)\n", trace.len());
     println!(
         "{:>10} {:>9} {:>12} {:>10} {:>9}",
         "budget (W)", "quality", "energy (J)", "avg W", "meets Q_GE"
@@ -54,6 +51,8 @@ fn main() {
             "\nSmallest swept cap sustaining Q_GE at {rate} req/s: {b:.0} W \
              (the paper's default provisions 320 W)."
         ),
-        None => println!("\nNo swept cap sustained Q_GE at {rate} req/s — the service is overloaded."),
+        None => {
+            println!("\nNo swept cap sustained Q_GE at {rate} req/s — the service is overloaded.")
+        }
     }
 }

@@ -65,7 +65,10 @@ fn main() {
         ..SimConfig::paper_default()
     };
 
-    println!("{:<6} {:>9} {:>12} {:>8} {:>12}", "algo", "quality", "energy (J)", "AES %", "discarded");
+    println!(
+        "{:<6} {:>9} {:>12} {:>8} {:>12}",
+        "algo", "quality", "energy (J)", "AES %", "discarded"
+    );
     let mut results = Vec::new();
     for alg in [Algorithm::Ge, Algorithm::Oq, Algorithm::Be, Algorithm::Fdfs] {
         let r = run(&cfg, &trace, &alg);

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, release build, full test suite.
+#
+# Everything runs offline — the workspace has no external crate
+# dependencies, so a fresh container with only the Rust toolchain
+# must pass this script without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo build --release (offline)"
+cargo build --release --workspace --offline
+
+echo "== cargo test -q (offline)"
+cargo test -q --workspace --offline
+
+echo "verify: OK"

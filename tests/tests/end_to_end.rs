@@ -131,7 +131,12 @@ fn runs_are_bit_deterministic() {
         let a = run(&c, &t, &alg);
         let b = run(&c, &t, &alg);
         assert_eq!(a.quality.to_bits(), b.quality.to_bits(), "{}", a.algorithm);
-        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits(), "{}", a.algorithm);
+        assert_eq!(
+            a.energy_j.to_bits(),
+            b.energy_j.to_bits(),
+            "{}",
+            a.algorithm
+        );
         assert_eq!(a.schedule_epochs, b.schedule_epochs);
         assert_eq!(a.mode_transitions, b.mode_transitions);
     }
@@ -172,5 +177,9 @@ fn non_default_platforms_work() {
     check_invariants(&r, t.len() as u64, &c, horizon);
     // Discrete rounding at a tight 25 W/core budget costs a few points
     // against the 0.95 target (the Fig. 12 effect); it must stay close.
-    assert!(r.quality > 0.85, "4-core light-load run failed: {}", r.quality);
+    assert!(
+        r.quality > 0.85,
+        "4-core light-load run failed: {}",
+        r.quality
+    );
 }

@@ -34,7 +34,9 @@ fn fig03_smoke() {
     let tables = figures::fig03::run(&tiny());
     check(&tables, 2, "fig03");
     // Six algorithm columns plus the rate column.
-    assert!(tables[0].to_csv().starts_with("arrival_rate,GE,OQ,BE,FCFS,LJF,SJF"));
+    assert!(tables[0]
+        .to_csv()
+        .starts_with("arrival_rate,GE,OQ,BE,FCFS,LJF,SJF"));
 }
 
 #[test]

@@ -76,7 +76,10 @@ fn fig3_ge_saves_energy_vs_be_while_meeting_target() {
         saving * 100.0
     );
     assert!(ge.quality >= c.q_ge - 0.01);
-    assert!(be.quality > ge.quality, "BE buys extra quality with that energy");
+    assert!(
+        be.quality > ge.quality,
+        "BE buys extra quality with that energy"
+    );
 }
 
 #[test]
@@ -239,22 +242,8 @@ fn fig10_bigger_budget_sustains_quality_deeper() {
 #[test]
 fn fig11_more_cores_raise_quality_at_same_budget() {
     let t = trace(154.0, 12);
-    let few = run(
-        &SimConfig {
-            cores: 2,
-            ..cfg()
-        },
-        &t,
-        &Algorithm::Ge,
-    );
-    let many = run(
-        &SimConfig {
-            cores: 16,
-            ..cfg()
-        },
-        &t,
-        &Algorithm::Ge,
-    );
+    let few = run(&SimConfig { cores: 2, ..cfg() }, &t, &Algorithm::Ge);
+    let many = run(&SimConfig { cores: 16, ..cfg() }, &t, &Algorithm::Ge);
     assert!(
         many.quality > few.quality,
         "16 cores ({}) vs 2 cores ({})",

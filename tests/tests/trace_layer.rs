@@ -1,0 +1,157 @@
+//! Integration tests for the `ge-trace` observability layer.
+//!
+//! Three claims are checked end to end:
+//!
+//! 1. **Zero-cost when off** — running with [`NullSink`] stays within 2 %
+//!    of the untraced driver path.
+//! 2. **Wire fidelity** — a full decision trace survives the JSONL
+//!    round-trip bit-for-bit and replays cleanly through the invariant
+//!    checker, reproducing the run's reported energy (1e-6 relative) and
+//!    AES residency (1e-9 absolute).
+//! 3. **Summary agreement** — the AES residency derived purely from the
+//!    trace equals the `ge-metrics` mode summary the driver reports for a
+//!    Fig. 1 style run.
+
+use ge_core::{run, run_with_sink, Algorithm, SimConfig};
+use ge_simcore::SimTime;
+use ge_trace::{parse_jsonl, replay, write_jsonl, NullSink, TraceEvent, VecSink};
+use ge_workload::{Trace, WorkloadConfig, WorkloadGenerator};
+
+fn cfg(horizon_s: f64) -> SimConfig {
+    SimConfig {
+        horizon: SimTime::from_secs(horizon_s),
+        ..SimConfig::paper_default()
+    }
+}
+
+fn workload(rate: f64, horizon_s: f64, seed: u64) -> Trace {
+    WorkloadGenerator::new(
+        WorkloadConfig {
+            horizon: SimTime::from_secs(horizon_s),
+            ..WorkloadConfig::paper_default(rate)
+        },
+        seed,
+    )
+    .generate()
+}
+
+#[test]
+fn null_sink_run_is_bit_identical_to_untraced() {
+    let cfg = cfg(20.0);
+    let trace = workload(150.0, 20.0, 11);
+    let plain = run(&cfg, &trace, &Algorithm::Ge);
+    let nulled = run_with_sink(&cfg, &trace, &Algorithm::Ge, &mut NullSink);
+    assert_eq!(plain.quality.to_bits(), nulled.quality.to_bits());
+    assert_eq!(plain.energy_j.to_bits(), nulled.energy_j.to_bits());
+    assert_eq!(plain.schedule_epochs, nulled.schedule_epochs);
+}
+
+#[test]
+fn null_sink_overhead_is_under_two_percent() {
+    let cfg = cfg(10.0);
+    let trace = workload(150.0, 10.0, 5);
+    // Warm up caches and JIT-ish effects (page faults, allocator).
+    run(&cfg, &trace, &Algorithm::Ge);
+    run_with_sink(&cfg, &trace, &Algorithm::Ge, &mut NullSink);
+
+    // Interleave the two variants and keep per-variant minima: the min
+    // is robust against scheduler noise in a shared CI container.
+    let reps = 5;
+    let mut best_plain = f64::INFINITY;
+    let mut best_null = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(run(&cfg, &trace, &Algorithm::Ge));
+        best_plain = best_plain.min(t0.elapsed().as_secs_f64());
+
+        let t1 = std::time::Instant::now();
+        std::hint::black_box(run_with_sink(&cfg, &trace, &Algorithm::Ge, &mut NullSink));
+        best_null = best_null.min(t1.elapsed().as_secs_f64());
+    }
+    let overhead = best_null / best_plain - 1.0;
+    assert!(
+        overhead < 0.02,
+        "NullSink overhead {:.2}% exceeds 2% (plain {best_plain:.4}s, null {best_null:.4}s)",
+        overhead * 100.0
+    );
+}
+
+#[test]
+fn jsonl_round_trip_replays_and_matches_summary() {
+    let cfg = cfg(20.0);
+    let trace = workload(170.0, 20.0, 17);
+    let mut sink = VecSink::new();
+    let result = run_with_sink(&cfg, &trace, &Algorithm::Ge, &mut sink);
+    let events = sink.into_events();
+
+    // Emit → parse: the wire format must preserve every event exactly.
+    let mut buf = Vec::new();
+    write_jsonl(&events, &mut buf).unwrap();
+    let parsed = parse_jsonl(std::str::from_utf8(&buf).unwrap()).unwrap();
+    assert_eq!(events, parsed);
+
+    // Replay: rebuilt aggregates must reproduce the reported summary.
+    let report = replay(&parsed).expect("structurally complete trace");
+    assert!(report.is_ok(), "{}", report.render());
+    let rel_energy = (report.energy_from_slices_j - result.energy_j).abs()
+        / result.energy_j.max(f64::MIN_POSITIVE);
+    assert!(
+        rel_energy <= 1e-6,
+        "energy rel err {rel_energy} (rebuilt {}, reported {})",
+        report.energy_from_slices_j,
+        result.energy_j
+    );
+    assert!(
+        (report.aes_residency - result.aes_fraction).abs() <= 1e-9,
+        "aes rebuilt {} vs reported {}",
+        report.aes_residency,
+        result.aes_fraction
+    );
+}
+
+#[test]
+fn trace_derived_aes_residency_matches_mode_summary() {
+    // A Fig. 1 style point: GE at a mid rate; the AES fraction reported
+    // by the driver's ModeTracker must be recoverable from the trace's
+    // mode_switch events alone.
+    let horizon_s = 20.0;
+    let cfg = cfg(horizon_s);
+    let trace = workload(185.0, horizon_s, 23);
+    let mut sink = VecSink::new();
+    let result = run_with_sink(&cfg, &trace, &Algorithm::Ge, &mut sink);
+    let events = sink.into_events();
+
+    let initial = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::RunStart { initial_mode, .. } => Some(*initial_mode as usize),
+            _ => None,
+        })
+        .expect("run_start present");
+    let end = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::RunSummary { t, .. } => Some(*t),
+            _ => None,
+        })
+        .expect("run_summary present");
+
+    let mut tracker = ge_metrics::ModeTracker::new(2, initial, SimTime::ZERO);
+    for ev in &events {
+        if let TraceEvent::ModeSwitch { t, to_mode, .. } = ev {
+            tracker.switch(*to_mode as usize, SimTime::from_secs(*t));
+        }
+    }
+    let fractions = tracker.fractions_at(SimTime::from_secs(end));
+    assert!(
+        (fractions[0] - result.aes_fraction).abs() <= 1e-9,
+        "trace-derived AES {} vs ge-metrics summary {}",
+        fractions[0],
+        result.aes_fraction
+    );
+    // The run must actually exercise both modes for this to mean much.
+    assert!(
+        result.mode_transitions > 0,
+        "exemplar run never switched modes — pick a different rate"
+    );
+}
