@@ -124,10 +124,43 @@ impl Scheduler for QueueScheduler {
 
     fn on_schedule(&mut self, ctx: &mut ScheduleCtx<'_>) {
         self.epochs += 1;
-        let s_cap = self.model.speed_for_power(self.share_w);
+        // Under a throttled budget the ES share shrinks with it.
+        let share_w = self.share_w * ctx.budget_factor;
+        let s_cap = self.model.speed_for_power(share_w);
+
+        // Re-home jobs preempted off failed cores first: each takes an
+        // idle online core and resumes toward its remaining estimate at
+        // the slowest feasible speed, like any other dispatch.
+        let mut unplaced = Vec::new();
+        for job in std::mem::take(ctx.orphans) {
+            let window = job.deadline.saturating_since(ctx.now);
+            let idle = (0..ctx.server.core_count())
+                .find(|&i| ctx.server.core(i).is_idle() && ctx.server.core(i).is_online());
+            match idle {
+                Some(core_idx) if !window.is_negligible() => {
+                    let needed = job.remaining() / (window.as_secs() * self.units_per_ghz_sec);
+                    let speed = needed.min(s_cap);
+                    let (id, deadline) = (job.id, job.deadline);
+                    let core = ctx.server.core_mut(core_idx);
+                    core.adopt(job);
+                    core.install_plan(SpeedProfile::constant(ctx.now, deadline, speed), share_w);
+                    if ctx.sink.is_enabled() {
+                        ctx.sink.record(&TraceEvent::JobAssigned {
+                            t: ctx.now.as_secs(),
+                            job: id.index() as u64,
+                            core: core_idx as u64,
+                        });
+                    }
+                }
+                _ => unplaced.push(job),
+            }
+        }
+        *ctx.orphans = unplaced;
+
         loop {
-            // Next idle core, if any.
-            let idle = (0..ctx.server.core_count()).find(|&i| ctx.server.core(i).is_idle());
+            // Next idle online core, if any.
+            let idle = (0..ctx.server.core_count())
+                .find(|&i| ctx.server.core(i).is_idle() && ctx.server.core(i).is_online());
             let Some(core_idx) = idle else { break };
             let Some(job_idx) = self.policy.pick(ctx.queue) else {
                 break;
@@ -139,16 +172,17 @@ impl Scheduler for QueueScheduler {
                 // happens via the core reaping it immediately).
                 continue;
             }
-            // Slowest speed that finishes by the deadline, capped at what
-            // the ES power share sustains.
-            let needed = job.demand / (window.as_secs() * self.units_per_ghz_sec);
+            // Slowest speed that finishes by the deadline (as far as the
+            // scheduler's demand estimate knows), capped at what the ES
+            // power share sustains.
+            let needed = job.estimate / (window.as_secs() * self.units_per_ghz_sec);
             let speed = needed.min(s_cap);
             let core = ctx.server.core_mut(core_idx);
             core.assign(&job);
             // Run from now until the deadline at the chosen speed; the
             // engine stops billing once the job completes.
             let profile = SpeedProfile::constant(ctx.now, job.deadline, speed);
-            core.install_plan(profile, self.share_w);
+            core.install_plan(profile, share_w);
             if ctx.sink.is_enabled() {
                 ctx.sink.record(&TraceEvent::JobAssigned {
                     t: ctx.now.as_secs(),
@@ -215,6 +249,9 @@ mod tests {
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps: 100.0,
+                budget_factor: 1.0,
+                orphans: &mut Vec::new(),
+                shed: &mut Vec::new(),
                 sink: &mut ge_trace::NullSink,
             };
             s.on_schedule(&mut ctx);
@@ -310,6 +347,9 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 100.0,
+            budget_factor: 1.0,
+            orphans: &mut Vec::new(),
+            shed: &mut Vec::new(),
             sink: &mut ge_trace::NullSink,
         };
         s.on_schedule(&mut ctx);

@@ -32,6 +32,11 @@ pub struct SimConfig {
     pub quality_xmax: f64,
     /// The good-enough quality target `Q_GE` (paper: 0.9).
     pub q_ge: f64,
+    /// The degradation floor `Q_min ≤ Q_GE`: the quality the scheduler
+    /// refuses to plan below even under faults. Below-floor batches are
+    /// shed by admission control instead of silently under-served. `0`
+    /// (the default) disables shedding — the fault-free paper setup.
+    pub q_min: f64,
     /// Quantum trigger period (paper: 500 ms).
     pub quantum: SimDuration,
     /// Counter trigger threshold in queued jobs (paper: 8).
@@ -63,6 +68,7 @@ impl SimConfig {
             quality_c: 0.003,
             quality_xmax: 1000.0,
             q_ge: 0.9,
+            q_min: 0.0,
             quantum: SimDuration::from_millis(500.0),
             counter_trigger: 8,
             critical_load_rps: 154.0,
@@ -107,6 +113,12 @@ impl SimConfig {
             "Q_GE must be in (0, 1], got {}",
             self.q_ge
         );
+        assert!(
+            self.q_min >= 0.0 && self.q_min <= self.q_ge,
+            "Q_min must be in [0, Q_GE], got {} (Q_GE = {})",
+            self.q_min,
+            self.q_ge
+        );
         assert!(self.counter_trigger > 0, "counter trigger must be positive");
         assert!(self.units_per_ghz_sec > 0.0);
         assert!(self.load_window_secs > 0.0);
@@ -137,6 +149,14 @@ mod tests {
     fn invalid_qge_rejected() {
         let mut c = SimConfig::paper_default();
         c.q_ge = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn qmin_above_qge_rejected() {
+        let mut c = SimConfig::paper_default();
+        c.q_min = 0.95; // > q_ge = 0.9
         c.validate();
     }
 

@@ -11,9 +11,10 @@
 //! checks, which are observed before the quantum tick — so a quantum epoch
 //! always sees the jobs that arrived "now".
 
+use ge_faults::{FaultInjector, FaultSchedule, FaultTransition};
 use ge_power::PolynomialPower;
 use ge_quality::{ExpConcave, LedgerMode, QualityFunction, QualityLedger};
-use ge_server::Server;
+use ge_server::{CoreJob, Server};
 use ge_simcore::{SimTime, Simulator};
 use ge_trace::{NullSink, TraceEvent, TraceSink, TriggerKind};
 use ge_workload::{Job, Trace};
@@ -26,7 +27,9 @@ use crate::result::RunResult;
 /// Driver events.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    /// Job `trace[i]` arrives.
+    /// Fault transition `k` of the injected schedule takes effect.
+    Fault(usize),
+    /// Job `jobs[i]` arrives.
     Arrival(usize),
     /// Periodic quantum tick.
     Quantum,
@@ -34,9 +37,13 @@ enum Ev {
     CoreCheck,
 }
 
-const PRIO_ARRIVAL: u32 = 0;
-const PRIO_CHECK: u32 = 1;
-const PRIO_QUANTUM: u32 = 2;
+// Faults are observed before arrivals so a job never lands on a core that
+// failed "at the same instant"; arrivals before checks before the quantum
+// tick so an epoch always sees the jobs that arrived "now".
+const PRIO_FAULT: u32 = 0;
+const PRIO_ARRIVAL: u32 = 1;
+const PRIO_CHECK: u32 = 2;
+const PRIO_QUANTUM: u32 = 3;
 
 /// Per-epoch observations for trajectory analysis (see [`run_traced`]).
 #[derive(Debug, Clone, Default)]
@@ -104,31 +111,44 @@ pub fn run(cfg: &SimConfig, trace: &Trace, algorithm: &Algorithm) -> RunResult {
 /// compensation policy's control dynamics made visible.
 pub fn run_traced(cfg: &SimConfig, trace: &Trace, algorithm: &Algorithm) -> (RunResult, RunTrace) {
     let mut sink = TrajectorySink::new();
-    let result = run_with_sink(cfg, trace, algorithm, &mut sink);
+    let result = run_with_sink(cfg, trace, algorithm, None, &mut sink);
     (result, sink.into_trace())
 }
 
-/// Like [`run`], but streams every structured decision event into `sink`.
+/// Like [`run`], but injects `faults` (untraced).
+pub fn run_with_faults(
+    cfg: &SimConfig,
+    trace: &Trace,
+    algorithm: &Algorithm,
+    faults: &FaultSchedule,
+) -> RunResult {
+    run_with_sink(cfg, trace, algorithm, Some(faults), &mut NullSink)
+}
+
+/// Like [`run`], but streams every structured decision event into `sink`
+/// and, when `faults` is given, injects its failure schedule into the run.
 pub fn run_with_sink(
     cfg: &SimConfig,
     trace: &Trace,
     algorithm: &Algorithm,
+    faults: Option<&FaultSchedule>,
     sink: &mut dyn TraceSink,
 ) -> RunResult {
     let mut sched = algorithm.build(cfg);
-    run_inner(cfg, trace, sched.as_mut(), sink)
+    run_inner(cfg, trace, sched.as_mut(), faults, sink)
 }
 
 /// Runs one full simulation of `trace` under `sched` and returns the
 /// measurements.
 pub fn run_simulation(cfg: &SimConfig, trace: &Trace, sched: &mut dyn Scheduler) -> RunResult {
-    run_inner(cfg, trace, sched, &mut NullSink)
+    run_inner(cfg, trace, sched, None, &mut NullSink)
 }
 
 fn run_inner(
     cfg: &SimConfig,
     trace: &Trace,
     sched: &mut dyn Scheduler,
+    faults: Option<&FaultSchedule>,
     sink: &mut dyn TraceSink,
 ) -> RunResult {
     cfg.validate();
@@ -151,9 +171,34 @@ fn run_inner(
     let mut last_speeds: Vec<f64> = server.speeds();
     let mut next_check: Option<SimTime> = None;
 
+    // -- Workload under faults: surge arrivals + demand misestimation ----
+    let mut all_jobs: Vec<Job> = trace.jobs().to_vec();
+    if let Some(fs) = faults {
+        all_jobs.extend(fs.surge_jobs(all_jobs.len() as u64));
+        if fs.demand_noise() > 0.0 {
+            for job in &mut all_jobs {
+                let est = fs.demand_estimate(job.id.index() as u64, job.demand);
+                *job = job.with_estimate(est);
+            }
+        }
+    }
+    // Release times keyed by job id (ids are dense over trace + surge).
+    let mut releases = vec![SimTime::ZERO; all_jobs.len()];
+    for j in &all_jobs {
+        releases[j.id.index()] = j.release;
+    }
+    let mut injector = faults.map(|fs| FaultInjector::new(fs, cfg.cores));
+    let mut orphans: Vec<CoreJob> = Vec::new();
+    let mut shed_buf: Vec<Job> = Vec::new();
+    let mut budget_factor = 1.0f64;
+    let mut jobs_shed: u64 = 0;
+
     // The run must cover every job's deadline so each job's fate lands in
     // the ledger.
-    let horizon = cfg.horizon.max(trace.last_deadline());
+    let horizon = all_jobs
+        .iter()
+        .map(|j| j.deadline)
+        .fold(cfg.horizon, SimTime::max);
 
     if sink.is_enabled() {
         sink.record(&TraceEvent::RunStart {
@@ -177,8 +222,13 @@ fn run_inner(
     }
 
     let mut sim: Simulator<Ev> = Simulator::new();
-    for (i, job) in trace.jobs().iter().enumerate() {
+    for (i, job) in all_jobs.iter().enumerate() {
         sim.schedule(job.release, PRIO_ARRIVAL, Ev::Arrival(i));
+    }
+    if let Some(inj) = &injector {
+        for (k, tr) in inj.transitions().iter().enumerate() {
+            sim.schedule(tr.at, PRIO_FAULT, Ev::Fault(k));
+        }
     }
     sim.schedule(SimTime::ZERO, PRIO_QUANTUM, Ev::Quantum);
 
@@ -193,7 +243,7 @@ fn run_inner(
         for fin in server.advance_all_traced(now, sink) {
             ledger.record(f.value(fin.processed), f.value(fin.full_demand));
             if fin.processed > 0.0 {
-                let release = trace.jobs()[fin.id.index()].release;
+                let release = releases[fin.id.index()];
                 latency.record(fin.finish_time.saturating_since(release).as_secs());
             }
             if sink.is_enabled() {
@@ -224,27 +274,116 @@ fn run_inner(
                 true
             }
         });
+        // Orphans (preempted off failed cores) whose deadline passed get
+        // partial credit for the volume they retired before the failure.
+        orphans.retain(|j| {
+            if j.deadline.at_or_before(now) {
+                let credited = j.processed.min(j.full_demand);
+                ledger.record(f.value(credited), f.value(j.full_demand));
+                if credited > 0.0 {
+                    latency.record(
+                        j.deadline
+                            .saturating_since(releases[j.id.index()])
+                            .as_secs(),
+                    );
+                }
+                if sink.is_enabled() {
+                    sink.record(&TraceEvent::JobFinish {
+                        t: now.as_secs(),
+                        job: j.id.index() as u64,
+                        processed: credited,
+                        full_demand: j.full_demand,
+                        discarded: credited <= 0.0,
+                    });
+                }
+                false
+            } else {
+                true
+            }
+        });
 
         // -- Event-specific logic ----------------------------------------
         let triggers = sched.triggers();
         let mut fire: Option<TriggerKind> = None;
         match ev {
+            Ev::Fault(k) => {
+                let inj = injector.as_mut().expect("fault event without injector");
+                match inj.apply(k) {
+                    FaultTransition::CoreDown { core } => {
+                        orphans.extend(server.fail_core(core));
+                        if sink.is_enabled() {
+                            sink.record(&TraceEvent::CoreFault {
+                                t: now.as_secs(),
+                                core: core as u64,
+                                online: false,
+                            });
+                        }
+                        fire = Some(TriggerKind::Fault);
+                    }
+                    FaultTransition::CoreUp { core } => {
+                        server.recover_core(core);
+                        if sink.is_enabled() {
+                            sink.record(&TraceEvent::CoreFault {
+                                t: now.as_secs(),
+                                core: core as u64,
+                                online: true,
+                            });
+                        }
+                        fire = Some(TriggerKind::Fault);
+                    }
+                    FaultTransition::BudgetFactor { factor } => {
+                        budget_factor = factor;
+                        if sink.is_enabled() {
+                            sink.record(&TraceEvent::BudgetThrottle {
+                                t: now.as_secs(),
+                                factor,
+                                budget_w_effective: cfg.budget_w * factor,
+                            });
+                        }
+                        fire = Some(TriggerKind::Fault);
+                    }
+                    FaultTransition::SpeedFactor { core, factor } => {
+                        server.set_core_speed_factor(core, factor);
+                        if sink.is_enabled() {
+                            sink.record(&TraceEvent::DvfsDeviation {
+                                t: now.as_secs(),
+                                core: core as u64,
+                                factor,
+                            });
+                        }
+                        // Actuation error is invisible to the scheduler —
+                        // no replan; the next epoch simply delivers less
+                        // (or more) speed than it requested.
+                    }
+                }
+            }
             Ev::Arrival(i) => {
-                let job = trace.jobs()[i];
+                let job = all_jobs[i];
                 queue.push(job);
                 arrivals_window.push_back(now.as_secs());
                 if sink.is_enabled() {
                     sink.record(&TraceEvent::JobArrival {
                         t: now.as_secs(),
-                        job: i as u64,
+                        job: job.id.index() as u64,
                         deadline_s: job.deadline.as_secs(),
                         demand: job.demand,
                     });
+                    if (job.estimate - job.demand).abs() > 1e-12 {
+                        sink.record(&TraceEvent::DemandMisestimate {
+                            t: now.as_secs(),
+                            job: job.id.index() as u64,
+                            estimate: job.estimate,
+                            full_demand: job.demand,
+                        });
+                    }
                 }
                 if triggers.counter && queue.len() >= cfg.counter_trigger {
                     fire = Some(TriggerKind::Counter);
                 }
-                if fire.is_none() && triggers.idle_core && server.cores().any(|c| c.is_idle()) {
+                if fire.is_none()
+                    && triggers.idle_core
+                    && server.cores().any(|c| c.is_idle() && c.is_online())
+                {
                     fire = Some(TriggerKind::IdleCore);
                 }
             }
@@ -258,7 +397,10 @@ fn run_inner(
                 if next_check.is_some_and(|t| t.at_or_before(now)) {
                     next_check = None;
                 }
-                if triggers.idle_core && !queue.is_empty() && server.cores().any(|c| c.is_idle()) {
+                if triggers.idle_core
+                    && !(queue.is_empty() && orphans.is_empty())
+                    && server.cores().any(|c| c.is_idle() && c.is_online())
+                {
                     fire = Some(TriggerKind::IdleCore);
                 }
             }
@@ -290,9 +432,26 @@ fn run_inner(
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps,
+                budget_factor,
+                orphans: &mut orphans,
+                shed: &mut shed_buf,
                 sink: &mut *sink,
             };
             sched.on_schedule(&mut sctx);
+            // Account jobs the policy shed under its Q_min admission floor.
+            for j in shed_buf.drain(..) {
+                jobs_shed += 1;
+                ledger.record(0.0, f.value(j.demand));
+                if sink.is_enabled() {
+                    sink.record(&TraceEvent::JobFinish {
+                        t: now.as_secs(),
+                        job: j.id.index() as u64,
+                        processed: 0.0,
+                        full_demand: j.demand,
+                        discarded: true,
+                    });
+                }
+            }
             epochs += 1;
             mode_tracker.switch(sched.current_mode(), now);
             if sink.is_enabled() {
@@ -331,7 +490,7 @@ fn run_inner(
     for fin in server.advance_all_traced(end, sink) {
         ledger.record(f.value(fin.processed), f.value(fin.full_demand));
         if fin.processed > 0.0 {
-            let release = trace.jobs()[fin.id.index()].release;
+            let release = releases[fin.id.index()];
             latency.record(fin.finish_time.saturating_since(release).as_secs());
         }
         if sink.is_enabled() {
@@ -353,6 +512,27 @@ fn run_inner(
                 processed: 0.0,
                 full_demand: j.demand,
                 discarded: true,
+            });
+        }
+    }
+    for j in orphans.drain(..) {
+        let credited = j.processed.min(j.full_demand);
+        ledger.record(f.value(credited), f.value(j.full_demand));
+        if credited > 0.0 {
+            latency.record(
+                j.deadline
+                    .min(end)
+                    .saturating_since(releases[j.id.index()])
+                    .as_secs(),
+            );
+        }
+        if sink.is_enabled() {
+            sink.record(&TraceEvent::JobFinish {
+                t: end.as_secs(),
+                job: j.id.index() as u64,
+                processed: credited,
+                full_demand: j.full_demand,
+                discarded: credited <= 0.0,
             });
         }
     }
@@ -385,6 +565,7 @@ fn run_inner(
         energy_j: server.total_energy(),
         jobs_finished: ledger.jobs_recorded(),
         jobs_discarded: ledger.jobs_discarded(),
+        jobs_shed,
         jobs_completed_fully: ledger.jobs_completed_fully(),
         aes_fraction: fractions[crate::policy::MODE_AES],
         mode_transitions: mode_tracker.transitions(),

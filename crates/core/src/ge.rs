@@ -32,7 +32,7 @@ use ge_power::{
     distribute_equal_sharing, distribute_water_filling, yds_schedule, PolynomialPower, PowerModel,
     SpeedProfile, SpeedSegment, YdsJob,
 };
-use ge_quality::{lf_cut, prefix_level_fill};
+use ge_quality::{lf_cut, prefix_level_fill, QualityFunction};
 use ge_server::CrrAssigner;
 use ge_simcore::SimTime;
 use ge_trace::{SplitPolicy, TraceEvent};
@@ -97,8 +97,10 @@ impl GeOptions {
 pub struct GeScheduler {
     opts: GeOptions,
     q_ge: f64,
+    q_min: f64,
     critical_load_rps: f64,
     budget_w: f64,
+    power_beta: f64,
     cores: usize,
     units_per_ghz_sec: f64,
     model: PolynomialPower,
@@ -116,8 +118,10 @@ impl GeScheduler {
         assert!(budget > 0.0, "budget override must be positive");
         GeScheduler {
             q_ge: cfg.q_ge,
+            q_min: cfg.q_min,
             critical_load_rps: cfg.critical_load_rps,
             budget_w: budget,
+            power_beta: cfg.power_beta,
             cores: cfg.cores,
             units_per_ghz_sec: cfg.units_per_ghz_sec,
             model: PolynomialPower::new(cfg.power_a, cfg.power_beta),
@@ -139,10 +143,31 @@ impl GeScheduler {
         (self.q_ge + self.opts.target_quality_offset).min(1.0)
     }
 
+    /// The cut target under a throttled budget. Power scales as `s^β`, so
+    /// the volume a budget `φ·H` can retire scales roughly as `φ^(1/β)`;
+    /// the cut aims there instead of chasing the unattainable nominal
+    /// target, but never drops below the `Q_min` floor.
+    fn effective_cut_target(&self, budget_factor: f64) -> f64 {
+        let base = self.cut_target();
+        if budget_factor >= 1.0 {
+            return base;
+        }
+        (base * budget_factor.powf(1.0 / self.power_beta)).max(self.q_min.min(base))
+    }
+
     /// Step 2: the AES/BQ mode decision.
-    fn decide_mode(&mut self, monitored_quality: f64) {
+    ///
+    /// Under a throttled budget the compensation policy is overridden:
+    /// entering BQ would spend *more* energy chasing quality the shrunken
+    /// budget cannot deliver, so the scheduler stays in AES and cuts
+    /// deeper (see [`Self::effective_cut_target`]).
+    fn decide_mode(&mut self, monitored_quality: f64, budget_factor: f64) {
         if !self.opts.cutting {
             self.mode = MODE_BQ;
+            return;
+        }
+        if budget_factor < 1.0 - 1e-12 {
+            self.mode = MODE_AES;
             return;
         }
         if !self.opts.compensation {
@@ -156,6 +181,61 @@ impl GeScheduler {
         };
     }
 
+    /// `Q_min` admission control: when the projected batch quality under
+    /// the currently degraded capacity falls below the floor, the most
+    /// recently arrived jobs are rejected outright (pushed into
+    /// `ctx.shed`) so the remaining batch can still be served at or above
+    /// `Q_min`, instead of every job starving a little.
+    ///
+    /// The projection is a deliberately coarse mean-field bound: assume
+    /// the whole effective budget is split equally (`s_ES`), spread the
+    /// capacity of the surviving cores over the batch, and score the mean
+    /// job against its mean estimate.
+    fn shed_below_floor(
+        &self,
+        ctx: &mut ScheduleCtx<'_>,
+        batch: &mut Vec<ge_workload::Job>,
+        m_online: usize,
+        h_eff: f64,
+    ) {
+        if self.q_min <= 0.0 || batch.is_empty() {
+            return;
+        }
+        let f = ctx.quality_fn;
+        let s_es = self.model.speed_for_power(h_eff / m_online as f64);
+        loop {
+            let n = batch.len();
+            if n == 0 {
+                break;
+            }
+            let mean_window: f64 = batch
+                .iter()
+                .map(|j| j.deadline.saturating_since(ctx.now).as_secs())
+                .sum::<f64>()
+                / n as f64;
+            let mean_est: f64 = batch.iter().map(|j| j.estimate).sum::<f64>() / n as f64;
+            if mean_est <= 0.0 {
+                break;
+            }
+            let per_job = m_online as f64 * s_es * self.units_per_ghz_sec * mean_window / n as f64;
+            let projected = f.value(per_job.min(mean_est)) / f.value(mean_est);
+            if projected >= self.q_min {
+                break;
+            }
+            let job = batch.pop().expect("non-empty batch");
+            if ctx.sink.is_enabled() {
+                ctx.sink.record(&TraceEvent::JobShed {
+                    t: ctx.now.as_secs(),
+                    job: job.id.index() as u64,
+                    estimate: job.estimate,
+                    full_demand: job.demand,
+                    projected_quality: projected,
+                });
+            }
+            ctx.shed.push(job);
+        }
+    }
+
     /// Steps 3–6 for one core: set targets, plan speeds. Returns the
     /// core's power demand (watts at its planned peak speed) and the
     /// uncapped plan, which [`Self::finalize_core`] later trims to the
@@ -164,37 +244,43 @@ impl GeScheduler {
         &self,
         ctx: &mut ScheduleCtx<'_>,
         core_idx: usize,
+        cut_target: f64,
     ) -> (f64, SpeedProfile) {
         let now = ctx.now;
         let f = ctx.quality_fn;
         let core = ctx.server.core_mut(core_idx);
 
-        // -- Targets (LF cut in AES, full demand in BQ) ------------------
+        // -- Targets (LF cut in AES, full believed demand in BQ) ---------
+        // All planning runs on the scheduler's demand *estimates*; the
+        // execution engine and the ledger use the true demand, so
+        // misestimation shows up as wasted energy (overestimate) or lost
+        // quality (underestimate) — never as clairvoyance.
         if self.mode == MODE_AES && self.opts.cutting {
-            let full: Vec<f64> = core.jobs().iter().map(|j| j.full_demand).collect();
-            if !full.is_empty() {
-                let cut = lf_cut(f, &full, self.cut_target());
+            let believed: Vec<f64> = core.jobs().iter().map(|j| j.estimate).collect();
+            if !believed.is_empty() {
+                let cut = lf_cut(f, &believed, cut_target);
                 for (job, &c) in core.jobs_mut().iter_mut().zip(&cut.cut_demands) {
-                    // Never below already-processed volume, never above p_j.
-                    job.target_demand = c.max(job.processed).min(job.full_demand);
+                    // Never below already-processed volume, never above
+                    // the believed demand.
+                    job.target_demand = c.max(job.processed).min(job.estimate);
                 }
                 if ctx.sink.is_enabled() {
-                    let volume_before: f64 = full.iter().sum();
+                    let volume_before: f64 = believed.iter().sum();
                     let volume_after: f64 = core.jobs().iter().map(|j| j.target_demand).sum();
                     ctx.sink.record(&TraceEvent::LfCut {
                         t: now.as_secs(),
                         level: cut.level,
-                        target_quality: self.cut_target(),
-                        jobs: full.len() as u64,
+                        target_quality: cut_target,
+                        jobs: believed.len() as u64,
                         volume_before,
                         volume_after,
                     });
                     for job in core.jobs() {
-                        if job.target_demand < job.full_demand - 1e-12 {
+                        if job.target_demand < job.estimate - 1e-12 {
                             ctx.sink.record(&TraceEvent::JobCut {
                                 t: now.as_secs(),
                                 job: job.id.index() as u64,
-                                full_demand: job.full_demand,
+                                full_demand: job.estimate,
                                 cut_demand: job.target_demand,
                             });
                         }
@@ -203,7 +289,7 @@ impl GeScheduler {
             }
         } else {
             for job in core.jobs_mut() {
-                job.target_demand = job.full_demand;
+                job.target_demand = job.estimate.max(job.processed);
             }
         }
 
@@ -289,7 +375,7 @@ impl GeScheduler {
             let alloc = prefix_level_fill(&demands, &budgets);
             for (&i, &a) in order.iter().zip(&alloc) {
                 let j = &mut core.jobs_mut()[i];
-                j.target_demand = (j.processed + a).min(j.full_demand);
+                j.target_demand = (j.processed + a).min(j.estimate.max(j.processed));
             }
             if ctx.sink.is_enabled() {
                 ctx.sink.record(&TraceEvent::SecondCut {
@@ -340,20 +426,22 @@ impl GeScheduler {
         core.install_plan(SpeedProfile::new(segments), cap_w);
     }
 
-    /// Rebuilds every core's plan as a single constant rectified speed
-    /// (discrete-DVFS mode, §IV-A-5).
-    fn apply_discrete(&self, ctx: &mut ScheduleCtx<'_>, caps: &[f64]) {
+    /// Rebuilds every online core's plan as a single constant rectified
+    /// speed (discrete-DVFS mode, §IV-A-5).
+    fn apply_discrete(&self, ctx: &mut ScheduleCtx<'_>, caps: &[f64], online: &[bool], h_eff: f64) {
         let Some(ladder) = &self.discrete else {
             return;
         };
         let now = ctx.now;
+        let online_idx: Vec<usize> = (0..self.cores).filter(|&i| online[i]).collect();
         // Chosen continuous speed per core = peak of its installed plan.
-        let chosen: Vec<f64> = (0..self.cores)
-            .map(|i| ctx.server.core(i).profile().max_speed())
+        let chosen: Vec<f64> = online_idx
+            .iter()
+            .map(|&i| ctx.server.core(i).profile().max_speed())
             .collect();
-        let rectified = ladder.rectify(&chosen, &self.model, self.budget_w);
-        for i in 0..self.cores {
-            let speed = rectified[i];
+        let rectified = ladder.rectify(&chosen, &self.model, h_eff);
+        for (k, &i) in online_idx.iter().enumerate() {
+            let speed = rectified[k];
             let core = ctx.server.core_mut(i);
             let last_deadline = core
                 .jobs()
@@ -395,13 +483,54 @@ impl Scheduler for GeScheduler {
 
     fn on_schedule(&mut self, ctx: &mut ScheduleCtx<'_>) {
         self.epochs += 1;
+        let h_eff = self.budget_w * ctx.budget_factor;
+        let online: Vec<bool> = (0..self.cores)
+            .map(|i| ctx.server.core(i).is_online())
+            .collect();
+        let m_online = online.iter().filter(|&&up| up).count();
 
-        // 1. C-RR batch assignment (or plain RR in the ablation).
+        // 2. Mode decision (compensation policy; throttling forces AES).
+        let monitored = ctx.ledger.quality();
+        let prev_mode = self.mode;
+        self.decide_mode(monitored, ctx.budget_factor);
+        if self.mode != prev_mode && ctx.sink.is_enabled() {
+            ctx.sink.record(&TraceEvent::ModeSwitch {
+                t: ctx.now.as_secs(),
+                from_mode: prev_mode as u64,
+                to_mode: self.mode as u64,
+                ledger_quality: monitored,
+            });
+        }
+
+        // Every core down: nothing can be assigned or planned. Queued
+        // jobs wait (or expire) until a recovery re-triggers us.
+        if m_online == 0 {
+            return;
+        }
+
+        // 0. Replan on core loss: re-home jobs preempted off failed
+        //    cores. They keep their accumulated progress and re-enter
+        //    C-RR over the surviving cores.
+        for job in ctx.orphans.drain(..) {
+            let core_idx = self.crr.assign_one_online(&online);
+            if ctx.sink.is_enabled() {
+                ctx.sink.record(&TraceEvent::JobAssigned {
+                    t: ctx.now.as_secs(),
+                    job: job.id.index() as u64,
+                    core: core_idx as u64,
+                });
+            }
+            ctx.server.core_mut(core_idx).adopt(job);
+        }
+
+        // 1. C-RR batch assignment (or plain RR in the ablation), gated
+        //    by the Q_min admission floor under degraded capacity.
         if self.opts.plain_rr {
             self.crr.reset();
         }
-        let batch: Vec<_> = ctx.queue.drain(..).collect();
-        let targets = self.crr.assign_batch(batch.len());
+        let mut batch: Vec<_> = ctx.queue.drain(..).collect();
+        self.shed_below_floor(ctx, &mut batch, m_online, h_eff);
+        let targets = self.crr.assign_batch_online(batch.len(), &online);
         for (job, &core_idx) in batch.iter().zip(&targets) {
             ctx.server.core_mut(core_idx).assign(job);
             if ctx.sink.is_enabled() {
@@ -413,27 +542,21 @@ impl Scheduler for GeScheduler {
             }
         }
 
-        // 2. Mode decision (compensation policy).
-        let monitored = ctx.ledger.quality();
-        let prev_mode = self.mode;
-        self.decide_mode(monitored);
-        if self.mode != prev_mode && ctx.sink.is_enabled() {
-            ctx.sink.record(&TraceEvent::ModeSwitch {
-                t: ctx.now.as_secs(),
-                from_mode: prev_mode as u64,
-                to_mode: self.mode as u64,
-                ledger_quality: monitored,
-            });
-        }
-
-        // 3–5. Per-core targets and uncapped Energy-OPT plans.
-        let mut demands = Vec::with_capacity(self.cores);
-        for i in 0..self.cores {
-            let (demand_w, _plan) = self.plan_core_uncapped(ctx, i);
+        // 3–5. Per-core targets and uncapped Energy-OPT plans (online
+        // cores only; failed cores hold no work and get no power).
+        let cut_target = self.effective_cut_target(ctx.budget_factor);
+        let mut demands = Vec::with_capacity(m_online);
+        let mut online_idx = Vec::with_capacity(m_online);
+        for (i, up) in online.iter().enumerate() {
+            if !up {
+                continue;
+            }
+            let (demand_w, _plan) = self.plan_core_uncapped(ctx, i, cut_target);
             demands.push(demand_w);
+            online_idx.push(i);
         }
 
-        // 4. Hybrid power distribution.
+        // 4. Hybrid power distribution over the *effective* budget.
         let use_wf = match self.opts.power_policy {
             PowerPolicy::Hybrid => ctx.load_estimate_rps >= self.critical_load_rps,
             PowerPolicy::EqualSharingOnly => false,
@@ -448,22 +571,24 @@ impl Scheduler for GeScheduler {
                     SplitPolicy::EqualShare
                 },
                 load_estimate_rps: ctx.load_estimate_rps,
-                budget_w: self.budget_w,
+                budget_w: h_eff,
             });
         }
-        let caps = if use_wf {
-            distribute_water_filling(&demands, self.budget_w)
+        let caps_online = if use_wf {
+            distribute_water_filling(&demands, h_eff)
         } else {
-            distribute_equal_sharing(self.cores, self.budget_w)
+            distribute_equal_sharing(m_online, h_eff)
         };
 
-        // 5–6. Cap-aware finalization per core.
-        for (i, &cap) in caps.iter().enumerate() {
-            self.finalize_core(ctx, i, cap);
+        // 5–6. Cap-aware finalization per online core.
+        let mut caps = vec![0.0; self.cores];
+        for (k, &i) in online_idx.iter().enumerate() {
+            caps[i] = caps_online[k];
+            self.finalize_core(ctx, i, caps_online[k]);
         }
 
         // Discrete-DVFS rectification (optional).
-        self.apply_discrete(ctx, &caps);
+        self.apply_discrete(ctx, &caps, &online, h_eff);
     }
 }
 
@@ -524,6 +649,9 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0,
+            budget_factor: 1.0,
+            orphans: &mut Vec::new(),
+            shed: &mut Vec::new(),
             sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
@@ -546,6 +674,9 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0,
+            budget_factor: 1.0,
+            orphans: &mut Vec::new(),
+            shed: &mut Vec::new(),
             sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
@@ -579,6 +710,9 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 500.0,
+            budget_factor: 1.0,
+            orphans: &mut Vec::new(),
+            shed: &mut Vec::new(),
             sink: &mut ge_trace::NullSink,
         };
         be.on_schedule(&mut ctx);
@@ -602,6 +736,9 @@ mod tests {
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps: 10.0,
+                budget_factor: 1.0,
+                orphans: &mut Vec::new(),
+                shed: &mut Vec::new(),
                 sink: &mut ge_trace::NullSink,
             };
             ge.on_schedule(&mut ctx);
@@ -619,6 +756,9 @@ mod tests {
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps: 10.0,
+                budget_factor: 1.0,
+                orphans: &mut Vec::new(),
+                shed: &mut Vec::new(),
                 sink: &mut ge_trace::NullSink,
             };
             ge.on_schedule(&mut ctx);
@@ -645,6 +785,9 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0,
+            budget_factor: 1.0,
+            orphans: &mut Vec::new(),
+            shed: &mut Vec::new(),
             sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
@@ -668,6 +811,9 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0, // « critical 154
+            budget_factor: 1.0,
+            orphans: &mut Vec::new(),
+            shed: &mut Vec::new(),
             sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
@@ -686,6 +832,9 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 500.0, // » critical
+            budget_factor: 1.0,
+            orphans: &mut Vec::new(),
+            shed: &mut Vec::new(),
             sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
@@ -719,6 +868,9 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 500.0,
+            budget_factor: 1.0,
+            orphans: &mut Vec::new(),
+            shed: &mut Vec::new(),
             sink: &mut ge_trace::NullSink,
         };
         be.on_schedule(&mut ctx);
@@ -747,6 +899,9 @@ mod tests {
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps: 10.0,
+                budget_factor: 1.0,
+                orphans: &mut Vec::new(),
+                shed: &mut Vec::new(),
                 sink: &mut ge_trace::NullSink,
             };
             s.on_schedule(&mut ctx);
@@ -779,6 +934,9 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0,
+            budget_factor: 1.0,
+            orphans: &mut Vec::new(),
+            shed: &mut Vec::new(),
             sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
@@ -804,6 +962,9 @@ mod tests {
             ledger: &ledger,
             quality_fn: &f,
             load_estimate_rps: 10.0,
+            budget_factor: 1.0,
+            orphans: &mut Vec::new(),
+            shed: &mut Vec::new(),
             sink: &mut ge_trace::NullSink,
         };
         ge.on_schedule(&mut ctx);
@@ -825,6 +986,9 @@ mod tests {
                 ledger: &ledger,
                 quality_fn: &f,
                 load_estimate_rps: 10.0,
+                budget_factor: 1.0,
+                orphans: &mut Vec::new(),
+                shed: &mut Vec::new(),
                 sink: &mut ge_trace::NullSink,
             };
             ge.on_schedule(&mut ctx);

@@ -1,7 +1,7 @@
 //! The scheduling-policy interface and the algorithm catalogue.
 
 use ge_quality::{ExpConcave, QualityLedger};
-use ge_server::Server;
+use ge_server::{CoreJob, Server};
 use ge_simcore::SimTime;
 use ge_trace::TraceSink;
 use ge_workload::Job;
@@ -60,6 +60,16 @@ pub struct ScheduleCtx<'a> {
     pub quality_fn: &'a ExpConcave,
     /// The driver's arrival-rate estimate (requests per second).
     pub load_estimate_rps: f64,
+    /// Fraction of the nominal power budget currently available (1.0 =
+    /// unthrottled). Policies must plan against `budget × factor`.
+    pub budget_factor: f64,
+    /// Jobs preempted off failed cores, awaiting re-homing. Policies that
+    /// can migrate work drain this; whatever remains at a deadline is
+    /// accounted as partially served by the driver.
+    pub orphans: &'a mut Vec<CoreJob>,
+    /// Jobs the policy rejected this epoch under the `Q_min` admission
+    /// floor. The driver discards them and records the shed.
+    pub shed: &'a mut Vec<Job>,
     /// Where the policy emits structured decision events.
     pub sink: &'a mut dyn TraceSink,
 }

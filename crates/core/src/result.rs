@@ -13,6 +13,9 @@ pub struct RunResult {
     pub jobs_finished: u64,
     /// Jobs that ended with zero processed volume.
     pub jobs_discarded: u64,
+    /// Jobs rejected by admission control under the `Q_min` degradation
+    /// floor (a subset of `jobs_discarded`). Zero in fault-free runs.
+    pub jobs_shed: u64,
     /// Jobs that achieved their full quality.
     pub jobs_completed_fully: u64,
     /// Fraction of time spent in the AES mode (1.0 for algorithms that
@@ -69,6 +72,7 @@ mod tests {
             energy_j: energy,
             jobs_finished: 100,
             jobs_discarded: 1,
+            jobs_shed: 0,
             jobs_completed_fully: 50,
             aes_fraction: 0.8,
             mode_transitions: 4,

@@ -9,22 +9,79 @@
 //! Each figure prints its table(s) and writes CSVs under `--out`
 //! (default `results/`).
 
+use ge_experiments::trace::TraceError;
 use ge_experiments::{figures, Scale};
+use ge_faults::{FaultScenario, ScenarioKind};
 use ge_metrics::{AsciiPlot, SvgChart, Table};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ge-experiments [--quick] [--plot] [--svg] [--reps N] [--horizon SECS] [--out DIR] \
-         [--trace FILE.jsonl] \
+         [--trace FILE.jsonl] [--faults SCENARIO] \
          [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
           ab1 ab2 ab3 ab4 ab5 ab6 bounds validate | all | ablations]\n\
          \n\
          --trace FILE runs one fully-instrumented exemplar cell per named\n\
          figure, writes the decision trace as JSONL, and prints the replay\n\
-         invariant report instead of the figure tables."
+         invariant report instead of the figure tables.\n\
+         \n\
+         --faults SCENARIO runs the degradation study: the scenario swept\n\
+         over an intensity grid, GE (with the Q_min floor) vs baselines.\n\
+         Scenarios: {}.",
+        FaultScenario::ALL_NAMES.join(", ")
     );
     std::process::exit(2);
+}
+
+/// A fatal CLI failure: enough context for a one-line diagnostic before
+/// exiting nonzero. File I/O on result artifacts never panics — an
+/// unwritable `--out`/`--trace` path is a reportable error, not a crash.
+#[derive(Debug)]
+enum CliError {
+    /// Writing an output artifact (CSV, SVG, or trace JSONL) failed.
+    Write {
+        /// The artifact path that could not be written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The traced exemplar run could not produce a verified trace.
+    Trace {
+        /// The figure whose exemplar was being traced.
+        fig: String,
+        /// What went wrong in the serialize/parse/replay round-trip.
+        source: TraceError,
+    },
+    /// The replay invariant checker flagged violations in a trace.
+    ReplayViolations {
+        /// The figure whose trace failed its invariants.
+        fig: String,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Write { path, source } => {
+                write!(f, "failed to write {}: {source}", path.display())
+            }
+            CliError::Trace { fig, source } => write!(f, "{fig}: {source}"),
+            CliError::ReplayViolations { fig } => {
+                write!(f, "{fig}: trace replay reported invariant violations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Write { source, .. } => Some(source),
+            CliError::Trace { source, .. } => Some(source),
+            CliError::ReplayViolations { .. } => None,
+        }
+    }
 }
 
 /// Builds an ASCII plot from a table whose first column is the x axis
@@ -81,12 +138,61 @@ fn svg_table(t: &Table) -> Option<SvgChart> {
     Some(chart)
 }
 
+/// Prints a table set and writes each table as `{stem}{a,b,...}.csv`
+/// (plus `.svg` when asked) under `out_dir`. Write failures are errors.
+fn emit_tables(
+    tables: &[Table],
+    stem: &str,
+    out_dir: &std::path::Path,
+    plot: bool,
+    svg: bool,
+) -> Result<(), CliError> {
+    for (i, t) in tables.iter().enumerate() {
+        println!("{}", t.to_text());
+        if plot {
+            if let Some(p) = plot_table(t) {
+                println!("{}", p.render());
+            }
+        }
+        let suffix = if tables.len() > 1 {
+            ((b'a' + i as u8) as char).to_string()
+        } else {
+            String::new()
+        };
+        let path = out_dir.join(format!("{stem}{suffix}.csv"));
+        t.write_csv(&path).map_err(|source| CliError::Write {
+            path: path.clone(),
+            source,
+        })?;
+        println!("  -> wrote {}", path.display());
+        if svg {
+            if let Some(chart) = svg_table(t) {
+                let spath = out_dir.join(format!("{stem}{suffix}.svg"));
+                chart.write(&spath).map_err(|source| CliError::Write {
+                    path: spath.clone(),
+                    source,
+                })?;
+                println!("  -> wrote {}", spath.display());
+            }
+        }
+    }
+    Ok(())
+}
+
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("ge-experiments: error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
     let mut scale = Scale::full();
     let mut out_dir = PathBuf::from("results");
     let mut plot = false;
     let mut svg = false;
     let mut trace_path: Option<PathBuf> = None;
+    let mut faults_kind: Option<ScenarioKind> = None;
     let mut figs: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -113,6 +219,19 @@ fn main() {
             "--trace" => {
                 trace_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
             }
+            "--faults" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                faults_kind = match FaultScenario::parse(&name) {
+                    Some(kind) => Some(kind),
+                    None => {
+                        eprintln!(
+                            "unknown fault scenario: {name} (expected one of: {})",
+                            FaultScenario::ALL_NAMES.join(", ")
+                        );
+                        usage();
+                    }
+                };
+            }
             "--help" | "-h" => usage(),
             name if name.starts_with("fig")
                 || name.starts_with("ab")
@@ -126,6 +245,17 @@ fn main() {
             _ => usage(),
         }
     }
+
+    // Faults mode: the degradation study, no figure tables.
+    if let Some(kind) = faults_kind {
+        let started = std::time::Instant::now();
+        let tables = ge_experiments::faults::run(kind, &scale);
+        let stem = format!("faults-{}", kind.name());
+        emit_tables(&tables, &stem, &out_dir, plot, svg)?;
+        println!("  ({stem} done in {:.1?})\n", started.elapsed());
+        return Ok(());
+    }
+
     if figs.is_empty() || figs.iter().any(|f| f == "all") {
         // `all` really means all: every figure, every ablation, the
         // bounds study, and the validation suite.
@@ -162,7 +292,12 @@ fn main() {
                 continue;
             }
             let started = std::time::Instant::now();
-            let run = ge_experiments::trace::traced_exemplar(fig, &scale);
+            let run = ge_experiments::trace::traced_exemplar(fig, &scale).map_err(|source| {
+                CliError::Trace {
+                    fig: fig.clone(),
+                    source,
+                }
+            })?;
             // With several figures named, suffix the path with each one.
             let path = if i == 0 {
                 base.clone()
@@ -170,25 +305,26 @@ fn main() {
                 base.with_extension(format!("{fig}.jsonl"))
             };
             let mut jsonl = Vec::new();
-            ge_trace::write_jsonl(&run.events, &mut jsonl).expect("in-memory write cannot fail");
-            match std::fs::write(&path, &jsonl) {
-                Ok(()) => println!(
-                    "{fig}: wrote {} events to {} ({:.1?})",
-                    run.events.len(),
-                    path.display(),
-                    started.elapsed()
-                ),
-                Err(e) => {
-                    eprintln!("failed to write {}: {e}", path.display());
-                    std::process::exit(1);
-                }
-            }
+            ge_trace::write_jsonl(&run.events, &mut jsonl).map_err(|source| CliError::Trace {
+                fig: fig.clone(),
+                source: TraceError::Serialize(source),
+            })?;
+            std::fs::write(&path, &jsonl).map_err(|source| CliError::Write {
+                path: path.clone(),
+                source,
+            })?;
+            println!(
+                "{fig}: wrote {} events to {} ({:.1?})",
+                run.events.len(),
+                path.display(),
+                started.elapsed()
+            );
             println!("{}", run.report.render());
             if !run.report.is_ok() {
-                std::process::exit(1);
+                return Err(CliError::ReplayViolations { fig: fig.clone() });
             }
         }
-        return;
+        return Ok(());
     }
 
     for fig in &figs {
@@ -226,33 +362,8 @@ fn main() {
                 usage();
             }
         };
-        for (i, t) in tables.iter().enumerate() {
-            println!("{}", t.to_text());
-            if plot {
-                if let Some(p) = plot_table(t) {
-                    println!("{}", p.render());
-                }
-            }
-            let suffix = if tables.len() > 1 {
-                ((b'a' + i as u8) as char).to_string()
-            } else {
-                String::new()
-            };
-            let path = out_dir.join(format!("{fig}{suffix}.csv"));
-            match t.write_csv(&path) {
-                Ok(()) => println!("  -> wrote {}", path.display()),
-                Err(e) => eprintln!("  !! failed to write {}: {e}", path.display()),
-            }
-            if svg {
-                if let Some(chart) = svg_table(t) {
-                    let spath = out_dir.join(format!("{fig}{suffix}.svg"));
-                    match chart.write(&spath) {
-                        Ok(()) => println!("  -> wrote {}", spath.display()),
-                        Err(e) => eprintln!("  !! failed to write {}: {e}", spath.display()),
-                    }
-                }
-            }
-        }
+        emit_tables(&tables, fig, &out_dir, plot, svg)?;
         println!("  ({fig} done in {:.1?})\n", started.elapsed());
     }
+    Ok(())
 }

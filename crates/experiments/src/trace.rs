@@ -34,13 +34,42 @@ pub struct TracedRun {
     pub report: ReplayReport,
 }
 
+/// Why a traced exemplar run could not produce a verified trace. Any of
+/// these indicates a bug in the tracing layer, not a property of the
+/// workload — but the CLI reports them as errors instead of panicking.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The in-memory JSONL serialization failed.
+    Serialize(std::io::Error),
+    /// The emitted JSONL did not parse back.
+    Parse(ge_trace::ParseError),
+    /// The parsed trace was structurally incomplete.
+    Replay(ge_trace::ReplayError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Serialize(e) => write!(f, "failed to serialize trace: {e}"),
+            TraceError::Parse(e) => write!(f, "emitted trace did not parse back: {e}"),
+            TraceError::Replay(e) => write!(f, "emitted trace did not replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Serialize(e) => Some(e),
+            TraceError::Parse(e) => Some(e),
+            TraceError::Replay(e) => Some(e),
+        }
+    }
+}
+
 /// Runs one exemplar cell of `fig` with full tracing and round-trips the
 /// trace through the JSONL encoder before replaying it.
-///
-/// # Panics
-/// Panics if the emitted trace fails to serialize or parse — that is a
-/// bug in the tracing layer, not a property of the workload.
-pub fn traced_exemplar(fig: &str, scale: &Scale) -> TracedRun {
+pub fn traced_exemplar(fig: &str, scale: &Scale) -> Result<TracedRun, TraceError> {
     let (algorithm, random_windows) = exemplar(fig);
     // The middle of the rate grid: loaded enough for cuts and mode
     // switches, light enough that AES residency stays interesting.
@@ -63,21 +92,23 @@ pub fn traced_exemplar(fig: &str, scale: &Scale) -> TracedRun {
     let trace = WorkloadGenerator::new(wc, scale.root_seed).generate();
 
     let mut sink = VecSink::new();
-    let result = run_with_sink(&sim, &trace, &algorithm, &mut sink);
+    let result = run_with_sink(&sim, &trace, &algorithm, None, &mut sink);
     let events = sink.into_events();
 
     // Round-trip through the wire format before replaying: the report
     // then certifies the serialized artifact, not the in-memory one.
     let mut jsonl = Vec::new();
-    write_jsonl(&events, &mut jsonl).expect("in-memory write cannot fail");
-    let jsonl = String::from_utf8(jsonl).expect("JSONL is ASCII-safe UTF-8");
-    let parsed = parse_jsonl(&jsonl).expect("emitted trace must parse");
-    let report = replay(&parsed).expect("emitted trace must be structurally complete");
-    TracedRun {
+    write_jsonl(&events, &mut jsonl).map_err(TraceError::Serialize)?;
+    let jsonl = String::from_utf8(jsonl).map_err(|e| {
+        TraceError::Serialize(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    })?;
+    let parsed = parse_jsonl(&jsonl).map_err(TraceError::Parse)?;
+    let report = replay(&parsed).map_err(TraceError::Replay)?;
+    Ok(TracedRun {
         result,
         events,
         report,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -95,7 +126,7 @@ mod tests {
 
     #[test]
     fn fig1_trace_replays_clean() {
-        let run = traced_exemplar("fig1", &tiny());
+        let run = traced_exemplar("fig1", &tiny()).expect("exemplar trace verifies");
         assert!(run.report.is_ok(), "{}", run.report.render());
         assert!(!run.events.is_empty());
         assert!((run.report.reported_energy_j - run.result.energy_j).abs() < 1e-9);
@@ -104,7 +135,7 @@ mod tests {
 
     #[test]
     fn fig4_uses_random_windows_and_replays_clean() {
-        let run = traced_exemplar("fig4", &tiny());
+        let run = traced_exemplar("fig4", &tiny()).expect("exemplar trace verifies");
         assert!(run.report.is_ok(), "{}", run.report.render());
     }
 

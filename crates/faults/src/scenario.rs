@@ -1,0 +1,246 @@
+//! Named scenario presets: one knob (`intensity`) per fault family, so
+//! experiments can sweep "how broken is the machine" on a single axis.
+
+use crate::schedule::{CoreOutage, DvfsWindow, FaultSchedule, SurgeWindow, ThrottleWindow};
+use ge_simcore::SimTime;
+
+/// The fault family a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Cores fail mid-run; some recover later.
+    CoreLoss,
+    /// The power budget is throttled for a window in mid-run.
+    Throttle,
+    /// A subset of cores deliver less speed than requested.
+    Dvfs,
+    /// The scheduler sees noisy demand estimates.
+    Demand,
+    /// A burst of extra arrivals in mid-run.
+    Surge,
+    /// All of the above at reduced magnitude.
+    Combined,
+}
+
+impl ScenarioKind {
+    /// The CLI/file name of the scenario.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::CoreLoss => "coreloss",
+            ScenarioKind::Throttle => "throttle",
+            ScenarioKind::Dvfs => "dvfs",
+            ScenarioKind::Demand => "demand",
+            ScenarioKind::Surge => "surge",
+            ScenarioKind::Combined => "combined",
+        }
+    }
+}
+
+/// A scenario preset: a fault family at an intensity in `[0, 1]`.
+///
+/// Intensity 0 is a fault-free run; intensity 1 is the family's harshest
+/// configuration (half the cores failing, a 40%-of-nominal budget, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultScenario {
+    /// The fault family.
+    pub kind: ScenarioKind,
+    /// Severity knob in `[0, 1]` (clamped on construction).
+    pub intensity: f64,
+}
+
+impl FaultScenario {
+    /// Every scenario name accepted by [`FaultScenario::parse`].
+    pub const ALL_NAMES: &'static [&'static str] = &[
+        "coreloss", "throttle", "dvfs", "demand", "surge", "combined",
+    ];
+
+    /// Creates a scenario, clamping intensity into `[0, 1]`.
+    pub fn new(kind: ScenarioKind, intensity: f64) -> Self {
+        FaultScenario {
+            kind,
+            intensity: intensity.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Parses a scenario name as used by `ge-experiments --faults`.
+    pub fn parse(name: &str) -> Option<ScenarioKind> {
+        match name {
+            "coreloss" => Some(ScenarioKind::CoreLoss),
+            "throttle" => Some(ScenarioKind::Throttle),
+            "dvfs" => Some(ScenarioKind::Dvfs),
+            "demand" => Some(ScenarioKind::Demand),
+            "surge" => Some(ScenarioKind::Surge),
+            "combined" => Some(ScenarioKind::Combined),
+            _ => None,
+        }
+    }
+
+    /// Builds the concrete schedule for a machine with `cores` cores and a
+    /// run of length `horizon`. Deterministic in `(kind, intensity, cores,
+    /// horizon, seed)`.
+    pub fn build(&self, cores: usize, horizon: SimTime, seed: u64) -> FaultSchedule {
+        let i = self.intensity;
+        let mut s = FaultSchedule::new(seed);
+        if i <= 0.0 || cores == 0 {
+            return s;
+        }
+        let h = horizon.as_secs();
+        let at = |frac: f64| SimTime::from_secs(h * frac);
+        // Spread n picks evenly over the core indices so failures never
+        // all land on the cores C-RR fills first.
+        let spread = |n: usize| -> Vec<usize> { (0..n).map(|k| k * cores / n.max(1)).collect() };
+        match self.kind {
+            ScenarioKind::CoreLoss => {
+                let n = ((i * cores as f64 / 2.0).round() as usize).clamp(1, cores - 1);
+                for (k, core) in spread(n).into_iter().enumerate() {
+                    // Stagger failures through the middle third; even
+                    // picks recover at 75% of the run, odd ones stay down.
+                    let start = 0.30 + 0.20 * (k as f64 / n as f64);
+                    let end = if k % 2 == 0 { Some(at(0.75)) } else { None };
+                    s = s.with_outage(CoreOutage {
+                        core,
+                        start: at(start),
+                        end,
+                    });
+                }
+            }
+            ScenarioKind::Throttle => {
+                s = s.with_throttle(ThrottleWindow {
+                    start: at(0.35),
+                    end: at(0.75),
+                    factor: 1.0 - 0.6 * i,
+                });
+            }
+            ScenarioKind::Dvfs => {
+                let n = ((i * cores as f64 / 2.0).round() as usize).clamp(1, cores);
+                for core in spread(n) {
+                    s = s.with_dvfs(DvfsWindow {
+                        core,
+                        start: at(0.30),
+                        end: at(0.80),
+                        factor: 1.0 - 0.3 * i,
+                    });
+                }
+            }
+            ScenarioKind::Demand => {
+                s = s.with_demand_noise(0.8 * i);
+            }
+            ScenarioKind::Surge => {
+                s = s.with_surge(SurgeWindow {
+                    start: at(0.40),
+                    end: at(0.60),
+                    extra_rps: 150.0 * i,
+                });
+            }
+            ScenarioKind::Combined => {
+                let n = ((i * cores as f64 / 4.0).round() as usize).clamp(1, cores - 1);
+                for (k, core) in spread(n).into_iter().enumerate() {
+                    let end = if k % 2 == 0 { Some(at(0.70)) } else { None };
+                    s = s.with_outage(CoreOutage {
+                        core,
+                        start: at(0.35),
+                        end,
+                    });
+                }
+                s = s
+                    .with_throttle(ThrottleWindow {
+                        start: at(0.50),
+                        end: at(0.80),
+                        factor: 1.0 - 0.4 * i,
+                    })
+                    .with_dvfs(DvfsWindow {
+                        core: cores - 1,
+                        start: at(0.20),
+                        end: at(0.90),
+                        factor: 1.0 - 0.2 * i,
+                    })
+                    .with_demand_noise(0.4 * i)
+                    .with_surge(SurgeWindow {
+                        start: at(0.25),
+                        end: at(0.40),
+                        extra_rps: 80.0 * i,
+                    });
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultTransition;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn parse_accepts_every_listed_name() {
+        for name in FaultScenario::ALL_NAMES {
+            assert!(FaultScenario::parse(name).is_some(), "{name}");
+        }
+        assert!(FaultScenario::parse("meteor").is_none());
+    }
+
+    #[test]
+    fn name_round_trips_through_parse() {
+        for kind in [
+            ScenarioKind::CoreLoss,
+            ScenarioKind::Throttle,
+            ScenarioKind::Dvfs,
+            ScenarioKind::Demand,
+            ScenarioKind::Surge,
+            ScenarioKind::Combined,
+        ] {
+            assert_eq!(FaultScenario::parse(kind.name()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn zero_intensity_builds_empty_schedule() {
+        for name in FaultScenario::ALL_NAMES {
+            let kind = FaultScenario::parse(name).unwrap();
+            let s = FaultScenario::new(kind, 0.0).build(16, t(600.0), 1);
+            assert!(s.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn full_coreloss_fails_half_the_cores() {
+        let s = FaultScenario::new(ScenarioKind::CoreLoss, 1.0).build(16, t(600.0), 1);
+        let downs = s
+            .transitions()
+            .iter()
+            .filter(|tr| matches!(tr.transition, FaultTransition::CoreDown { .. }))
+            .count();
+        assert_eq!(downs, 8);
+    }
+
+    #[test]
+    fn coreloss_never_fails_every_core() {
+        let s = FaultScenario::new(ScenarioKind::CoreLoss, 1.0).build(2, t(600.0), 1);
+        let downs = s
+            .transitions()
+            .iter()
+            .filter(|tr| matches!(tr.transition, FaultTransition::CoreDown { .. }))
+            .count();
+        assert_eq!(downs, 1);
+    }
+
+    #[test]
+    fn combined_builds_every_family_and_is_deterministic() {
+        let a = FaultScenario::new(ScenarioKind::Combined, 0.8).build(16, t(600.0), 5);
+        let b = FaultScenario::new(ScenarioKind::Combined, 0.8).build(16, t(600.0), 5);
+        assert_eq!(a, b);
+        assert!(!a.transitions().is_empty());
+        assert!(a.demand_noise() > 0.0);
+        assert!(!a.surges().is_empty());
+        assert!(!a.surge_jobs(0).is_empty());
+    }
+
+    #[test]
+    fn intensity_is_clamped() {
+        assert_eq!(FaultScenario::new(ScenarioKind::Surge, 7.0).intensity, 1.0);
+        assert_eq!(FaultScenario::new(ScenarioKind::Surge, -1.0).intensity, 0.0);
+    }
+}

@@ -52,6 +52,36 @@ impl CrrAssigner {
         self.next = (self.next + 1) % self.cores;
         core
     }
+
+    /// Assigns a single job, skipping cores whose `online` entry is
+    /// `false`. The cursor still advances cumulatively, so work stays
+    /// balanced across the surviving cores.
+    ///
+    /// # Panics
+    /// Panics if `online` has the wrong length or no core is online.
+    pub fn assign_one_online(&mut self, online: &[bool]) -> usize {
+        assert_eq!(online.len(), self.cores, "online mask length mismatch");
+        assert!(
+            online.iter().any(|&up| up),
+            "cannot assign with every core offline"
+        );
+        loop {
+            let core = self.next;
+            self.next = (self.next + 1) % self.cores;
+            if online[core] {
+                return core;
+            }
+        }
+    }
+
+    /// Assigns a batch of `batch` jobs over online cores only.
+    ///
+    /// # Panics
+    /// Panics if `online` has the wrong length, or if `batch > 0` and no
+    /// core is online.
+    pub fn assign_batch_online(&mut self, batch: usize, online: &[bool]) -> Vec<usize> {
+        (0..batch).map(|_| self.assign_one_online(online)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +161,37 @@ mod tests {
         let mut a = CrrAssigner::new(4);
         assert!(a.assign_batch(0).is_empty());
         assert_eq!(a.cursor(), 0);
+    }
+
+    #[test]
+    fn online_assignment_skips_offline_cores() {
+        let mut a = CrrAssigner::new(4);
+        let online = [true, false, true, false];
+        assert_eq!(a.assign_batch_online(4, &online), vec![0, 2, 0, 2]);
+        // Cursor keeps cycling past offline cores without sticking.
+        assert_eq!(a.assign_one_online(&online), 0);
+    }
+
+    #[test]
+    fn online_assignment_balances_survivors() {
+        let mut a = CrrAssigner::new(8);
+        let online = [true, true, false, true, true, false, true, true];
+        let mut counts = [0usize; 8];
+        for _ in 0..100 {
+            for core in a.assign_batch_online(3, &online) {
+                counts[core] += 1;
+            }
+        }
+        assert_eq!(counts[2] + counts[5], 0);
+        let up: Vec<usize> = counts.iter().copied().filter(|&c| c > 0).collect();
+        let (min, max) = (up.iter().min().unwrap(), up.iter().max().unwrap());
+        assert!(max - min <= 1, "imbalance among survivors: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_offline_panics() {
+        let mut a = CrrAssigner::new(2);
+        a.assign_one_online(&[false, false]);
     }
 }

@@ -8,7 +8,7 @@
 //! energy actually consumed (a core only burns power while executing), and
 //! reports finished jobs.
 
-use ge_power::{EnergyMeter, PowerModel, SpeedProfile};
+use ge_power::{EnergyMeter, PowerModel, SpeedProfile, SpeedSegment};
 use ge_simcore::SimTime;
 use ge_trace::{NullSink, TraceEvent, TraceSink};
 use ge_workload::{Job, JobId};
@@ -24,6 +24,9 @@ pub struct CoreJob {
     pub deadline: SimTime,
     /// The original full demand `p_j` (processing units).
     pub full_demand: f64,
+    /// The demand the scheduler believes the job has (equals
+    /// `full_demand` unless a fault model injects misestimation noise).
+    pub estimate: f64,
     /// Current target `c_j ≤ p_j` after any cuts (processing units).
     pub target_demand: f64,
     /// Volume processed so far (processing units).
@@ -37,7 +40,8 @@ impl CoreJob {
             release: job.release,
             deadline: job.deadline,
             full_demand: job.demand,
-            target_demand: job.demand,
+            estimate: job.estimate,
+            target_demand: job.estimate,
             processed: 0.0,
         }
     }
@@ -78,6 +82,8 @@ pub struct Core {
     clock: SimTime,
     running: Option<JobId>,
     units_per_ghz_sec: f64,
+    online: bool,
+    speed_factor: f64,
 }
 
 impl Core {
@@ -92,6 +98,8 @@ impl Core {
             clock: SimTime::ZERO,
             running: None,
             units_per_ghz_sec,
+            online: true,
+            speed_factor: 1.0,
         }
     }
 
@@ -115,8 +123,10 @@ impl Core {
         &mut self.jobs
     }
 
-    /// Accepts a newly assigned job. Jobs never migrate afterwards.
+    /// Accepts a newly assigned job. Jobs migrate only through
+    /// [`Core::fail`] / [`Core::adopt`].
     pub fn assign(&mut self, job: &Job) {
+        debug_assert!(self.online, "job {} assigned to offline core", job.id);
         debug_assert!(
             self.jobs.iter().all(|j| j.id != job.id),
             "job {} assigned twice",
@@ -125,10 +135,74 @@ impl Core {
         self.jobs.push(CoreJob::from_job(job));
     }
 
+    /// Whether the core is online (fault injection can take it down).
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Takes the core offline: clears the plan, stops execution, and
+    /// returns the resident jobs (with their progress) so the scheduler
+    /// can migrate them to surviving cores.
+    pub fn fail(&mut self) -> Vec<CoreJob> {
+        self.online = false;
+        self.profile = SpeedProfile::empty();
+        self.power_cap_w = 0.0;
+        self.running = None;
+        std::mem::take(&mut self.jobs)
+    }
+
+    /// Brings a failed core back online, empty and at nominal speed.
+    pub fn recover(&mut self) {
+        self.online = true;
+    }
+
+    /// Re-homes a job preempted from a failed core, keeping its progress.
+    pub fn adopt(&mut self, job: CoreJob) {
+        debug_assert!(self.online, "job {} adopted by offline core", job.id);
+        debug_assert!(
+            self.jobs.iter().all(|j| j.id != job.id),
+            "job {} adopted twice",
+            job.id
+        );
+        self.jobs.push(job);
+    }
+
+    /// The delivered-over-requested DVFS ratio currently in force.
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+
+    /// Sets the DVFS actuation error. Takes effect at the next
+    /// [`Core::install_plan`] — exactly the actuation latency a real
+    /// governor exhibits; the scheduler only notices through the quality
+    /// ledger.
+    pub fn set_speed_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "speed factor must be positive and finite, got {factor}"
+        );
+        self.speed_factor = factor;
+    }
+
     /// Installs a new speed plan and power cap (a scheduler epoch).
+    ///
+    /// The plan is what the scheduler *requested*; under DVFS actuation
+    /// error the core stores the *delivered* profile (every segment
+    /// scaled by [`Core::speed_factor`]), so execution, energy metering,
+    /// and event projection all see the speed the silicon actually runs.
     pub fn install_plan(&mut self, profile: SpeedProfile, power_cap_w: f64) {
         debug_assert!(power_cap_w >= 0.0);
-        self.profile = profile;
+        self.profile = if self.speed_factor == 1.0 {
+            profile
+        } else {
+            SpeedProfile::new(
+                profile
+                    .segments()
+                    .iter()
+                    .map(|s| SpeedSegment::new(s.start, s.end, s.speed_ghz * self.speed_factor))
+                    .collect(),
+            )
+        };
         self.power_cap_w = power_cap_w;
     }
 
@@ -272,6 +346,13 @@ impl Core {
             self.clock,
             to
         );
+        if !self.online {
+            // Offline cores keep their clock moving (so recovery resumes
+            // at the right instant) but execute nothing; `fail` already
+            // drained their jobs.
+            self.clock = to;
+            return Vec::new();
+        }
         let mut finished = Vec::new();
         let mut guard = 0u32;
         while self.clock.before(to) {
@@ -548,6 +629,65 @@ mod tests {
         core.install_plan(flat_profile(0.0, 1.0, 1.0), 5.0);
         core.advance(t(0.5), &model, &mut meter);
         assert!((core.backlog_units() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fail_preempts_jobs_and_recover_resumes() {
+        let (mut core, model, mut meter) = setup();
+        core.assign(&job(0, 0.0, 2.0, 1000.0));
+        core.install_plan(flat_profile(0.0, 2.0, 1.0), 5.0);
+        core.advance(t(0.5), &model, &mut meter);
+        assert!(core.is_online());
+
+        let orphans = core.fail();
+        assert!(!core.is_online());
+        assert_eq!(orphans.len(), 1);
+        assert!((orphans[0].processed - 500.0).abs() < 1e-6);
+        assert!(core.is_idle());
+
+        // Offline advance executes nothing and burns nothing.
+        let before = meter.total_energy();
+        let fin = core.advance(t(1.0), &model, &mut meter);
+        assert!(fin.is_empty());
+        assert_eq!(meter.total_energy(), before);
+        assert!(core.clock().approx_eq(t(1.0)));
+
+        // Recovery: adopt the orphan back and finish it.
+        core.recover();
+        core.adopt(orphans.into_iter().next().unwrap());
+        core.install_plan(flat_profile(1.0, 2.0, 1.0), 5.0);
+        let fin = core.advance(t(2.0), &model, &mut meter);
+        assert_eq!(fin.len(), 1);
+        assert!(!fin[0].expired);
+        assert!((fin[0].processed - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speed_factor_scales_delivered_profile() {
+        let (mut core, model, mut meter) = setup();
+        core.set_speed_factor(0.5);
+        core.assign(&job(0, 0.0, 2.0, 1000.0));
+        // Request 2 GHz; deliver 1 GHz => completion at 1.0 s not 0.5 s.
+        core.install_plan(flat_profile(0.0, 2.0, 2.0), 20.0);
+        let fin = core.advance(t(2.0), &model, &mut meter);
+        assert_eq!(fin.len(), 1);
+        assert!(
+            fin[0].finish_time.approx_eq(t(1.0)),
+            "{}",
+            fin[0].finish_time
+        );
+        // Energy metered at the delivered speed's power, not the requested.
+        let expected = model.power(1.0) * 1.0;
+        assert!((meter.total_energy() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_rides_into_core_job() {
+        let (mut core, _model, _meter) = setup();
+        core.assign(&job(0, 0.0, 1.0, 400.0).with_estimate(300.0));
+        assert!((core.jobs()[0].full_demand - 400.0).abs() < 1e-12);
+        assert!((core.jobs()[0].estimate - 300.0).abs() < 1e-12);
+        assert!((core.jobs()[0].target_demand - 300.0).abs() < 1e-12);
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! driver uses each epoch (advance everything, snapshot speeds, measure
 //! backlog) while keeping per-core mechanism in [`crate::core::Core`].
 
-use crate::core::{Core, FinishedJob};
+use crate::core::{Core, CoreJob, FinishedJob};
 use ge_power::{EnergyMeter, PowerModel};
 use ge_simcore::SimTime;
+use ge_trace::{TraceEvent, TraceSink};
 
 /// A multicore DVFS server with a shared power budget.
 pub struct Server {
@@ -97,16 +98,67 @@ impl Server {
 
     /// Like [`Server::advance_all`], but emits per-slice execution events
     /// (`exec_slice`) into `sink`.
+    ///
+    /// Slices from different cores are buffered and re-sorted by start time
+    /// before forwarding, so the merged stream stays in non-decreasing time
+    /// order — the invariant [`ge_trace::TraceSink::record`] documents and
+    /// the JSONL parser enforces. Sorting the whole batch is valid because
+    /// every core advances over the same `[clock, to]` window.
     pub fn advance_all_traced(
         &mut self,
         to: SimTime,
         sink: &mut dyn ge_trace::TraceSink,
     ) -> Vec<FinishedJob> {
+        if !sink.is_enabled() {
+            let mut finished = Vec::new();
+            for core in &mut self.cores {
+                finished.extend(core.advance_traced(
+                    to,
+                    self.model.as_ref(),
+                    &mut self.meter,
+                    sink,
+                ));
+            }
+            return finished;
+        }
+        let mut buf = SortingBuffer::default();
         let mut finished = Vec::new();
         for core in &mut self.cores {
-            finished.extend(core.advance_traced(to, self.model.as_ref(), &mut self.meter, sink));
+            finished.extend(core.advance_traced(
+                to,
+                self.model.as_ref(),
+                &mut self.meter,
+                &mut buf,
+            ));
+        }
+        buf.events.sort_by(|a, b| a.t().total_cmp(&b.t()));
+        for ev in &buf.events {
+            sink.record(ev);
         }
         finished
+    }
+
+    /// Fails core `i`: it stops executing and all its queued jobs are
+    /// returned as orphans (accumulated progress preserved) for the
+    /// scheduler to re-home or account for.
+    pub fn fail_core(&mut self, i: usize) -> Vec<CoreJob> {
+        self.cores[i].fail()
+    }
+
+    /// Brings core `i` back online with a clean (empty, zero-speed) state.
+    pub fn recover_core(&mut self, i: usize) {
+        self.cores[i].recover();
+    }
+
+    /// Sets core `i`'s DVFS actuation factor; takes effect at the next
+    /// installed plan.
+    pub fn set_core_speed_factor(&mut self, i: usize, factor: f64) {
+        self.cores[i].set_speed_factor(factor);
+    }
+
+    /// Number of cores currently online.
+    pub fn online_count(&self) -> usize {
+        self.cores.iter().filter(|c| c.is_online()).count()
     }
 
     /// Current actual speed of every core (GHz), in core order.
@@ -135,6 +187,19 @@ impl Server {
     /// Energy consumed by one core so far (joules).
     pub fn core_energy(&self, i: usize) -> f64 {
         self.meter.core_energy(i)
+    }
+}
+
+/// Collects events from per-core advances so they can be re-sorted into
+/// global time order before reaching the real sink.
+#[derive(Default)]
+struct SortingBuffer {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceSink for SortingBuffer {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
     }
 }
 
@@ -226,5 +291,42 @@ mod tests {
     #[should_panic]
     fn zero_cores_panics() {
         let _ = paper_server(0);
+    }
+
+    #[test]
+    fn fail_core_orphans_jobs_and_online_count_tracks() {
+        let mut s = paper_server(4);
+        s.core_mut(1)
+            .assign(&Job::new(JobId(0), t(0.0), t(1.0), 1000.0));
+        assert_eq!(s.online_count(), 4);
+        let orphans = s.fail_core(1);
+        assert_eq!(orphans.len(), 1);
+        assert_eq!(orphans[0].id, JobId(0));
+        assert_eq!(s.online_count(), 3);
+        s.recover_core(1);
+        assert_eq!(s.online_count(), 4);
+        assert!(s.core(1).jobs().is_empty());
+    }
+
+    #[test]
+    fn traced_advance_emits_slices_in_time_order() {
+        let mut s = paper_server(2);
+        s.core_mut(0)
+            .assign(&Job::new(JobId(0), t(0.0), t(1.0), 400.0));
+        s.core_mut(0)
+            .assign(&Job::new(JobId(1), t(0.0), t(1.0), 400.0));
+        s.core_mut(1)
+            .assign(&Job::new(JobId(2), t(0.0), t(1.0), 500.0));
+        s.core_mut(0).install_plan(flat(0.0, 1.0, 2.0), 20.0);
+        s.core_mut(1).install_plan(flat(0.0, 1.0, 1.0), 5.0);
+        let mut sink = ge_trace::VecSink::new();
+        let fin = s.advance_all_traced(t(1.0), &mut sink);
+        assert_eq!(fin.len(), 3);
+        let ts: Vec<f64> = sink.events().iter().map(|e| e.t()).collect();
+        assert!(ts.len() >= 3, "expected one slice per job, got {ts:?}");
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "slice events out of order: {ts:?}"
+        );
     }
 }

@@ -15,6 +15,9 @@ pub enum TriggerKind {
     IdleCore,
     /// The pending-arrivals counter crossed its threshold.
     Counter,
+    /// A fault transition (core loss/recovery, budget throttle) forced a
+    /// replan outside the normal trigger set.
+    Fault,
 }
 
 impl TriggerKind {
@@ -24,6 +27,7 @@ impl TriggerKind {
             TriggerKind::Quantum => "quantum",
             TriggerKind::IdleCore => "idle_core",
             TriggerKind::Counter => "counter",
+            TriggerKind::Fault => "fault",
         }
     }
 
@@ -33,6 +37,7 @@ impl TriggerKind {
             "quantum" => Some(TriggerKind::Quantum),
             "idle_core" => Some(TriggerKind::IdleCore),
             "counter" => Some(TriggerKind::Counter),
+            "fault" => Some(TriggerKind::Fault),
             _ => None,
         }
     }
@@ -259,6 +264,58 @@ pub enum TraceEvent {
         /// Arrival-rate estimate (req/s).
         load_estimate_rps: f64,
     },
+    /// A core failed or recovered (fault injection).
+    CoreFault {
+        /// Event time in seconds.
+        t: f64,
+        /// Core index.
+        core: u64,
+        /// `true` = the core just recovered, `false` = it just failed.
+        online: bool,
+    },
+    /// The effective power budget was throttled (or restored).
+    BudgetThrottle {
+        /// Event time in seconds.
+        t: f64,
+        /// Multiplier applied to the nominal budget (1.0 = restored).
+        factor: f64,
+        /// The effective budget now in force (watts).
+        budget_w_effective: f64,
+    },
+    /// DVFS actuation error changed on a core: delivered speed is now
+    /// `factor ×` the requested speed.
+    DvfsDeviation {
+        /// Event time in seconds.
+        t: f64,
+        /// Core index.
+        core: u64,
+        /// Delivered-over-requested speed ratio (1.0 = nominal).
+        factor: f64,
+    },
+    /// The scheduler was handed a noisy demand estimate for a job.
+    DemandMisestimate {
+        /// Event time in seconds (the job's arrival).
+        t: f64,
+        /// Job identifier.
+        job: u64,
+        /// The estimate the scheduler plans with.
+        estimate: f64,
+        /// The true demand execution will consume.
+        full_demand: f64,
+    },
+    /// Admission control rejected a job to protect the quality floor.
+    JobShed {
+        /// Event time in seconds.
+        t: f64,
+        /// Job identifier.
+        job: u64,
+        /// The scheduler's demand estimate for the job.
+        estimate: f64,
+        /// The job's true full demand.
+        full_demand: f64,
+        /// Projected batch quality that triggered the shed.
+        projected_quality: f64,
+    },
     /// Final reported aggregates, emitted once after all other events.
     RunSummary {
         /// Horizon time in seconds.
@@ -294,6 +351,11 @@ impl TraceEvent {
             | TraceEvent::ExecSlice { t, .. }
             | TraceEvent::JobFinish { t, .. }
             | TraceEvent::QualitySample { t, .. }
+            | TraceEvent::CoreFault { t, .. }
+            | TraceEvent::BudgetThrottle { t, .. }
+            | TraceEvent::DvfsDeviation { t, .. }
+            | TraceEvent::DemandMisestimate { t, .. }
+            | TraceEvent::JobShed { t, .. }
             | TraceEvent::RunSummary { t, .. } => *t,
         }
     }
@@ -315,6 +377,11 @@ impl TraceEvent {
             TraceEvent::ExecSlice { .. } => "exec_slice",
             TraceEvent::JobFinish { .. } => "job_finish",
             TraceEvent::QualitySample { .. } => "quality_sample",
+            TraceEvent::CoreFault { .. } => "core_fault",
+            TraceEvent::BudgetThrottle { .. } => "budget_throttle",
+            TraceEvent::DvfsDeviation { .. } => "dvfs_deviation",
+            TraceEvent::DemandMisestimate { .. } => "demand_misestimate",
+            TraceEvent::JobShed { .. } => "job_shed",
             TraceEvent::RunSummary { .. } => "run_summary",
         }
     }
@@ -332,6 +399,7 @@ impl TraceEvent {
                 | TraceEvent::SpeedSegment { .. }
                 | TraceEvent::ExecSlice { .. }
                 | TraceEvent::JobFinish { .. }
+                | TraceEvent::DemandMisestimate { .. }
         )
     }
 }

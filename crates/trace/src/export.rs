@@ -237,6 +237,45 @@ fn fields(ev: &TraceEvent) -> Vec<(&'static str, Field)> {
             ("backlog_units", F(*backlog_units)),
             ("load_estimate_rps", F(*load_estimate_rps)),
         ],
+        TraceEvent::CoreFault { t, core, online } => {
+            vec![("t", F(*t)), ("core", U(*core)), ("online", B(*online))]
+        }
+        TraceEvent::BudgetThrottle {
+            t,
+            factor,
+            budget_w_effective,
+        } => vec![
+            ("t", F(*t)),
+            ("factor", F(*factor)),
+            ("budget_w_effective", F(*budget_w_effective)),
+        ],
+        TraceEvent::DvfsDeviation { t, core, factor } => {
+            vec![("t", F(*t)), ("core", U(*core)), ("factor", F(*factor))]
+        }
+        TraceEvent::DemandMisestimate {
+            t,
+            job,
+            estimate,
+            full_demand,
+        } => vec![
+            ("t", F(*t)),
+            ("job", U(*job)),
+            ("estimate", F(*estimate)),
+            ("full_demand", F(*full_demand)),
+        ],
+        TraceEvent::JobShed {
+            t,
+            job,
+            estimate,
+            full_demand,
+            projected_quality,
+        } => vec![
+            ("t", F(*t)),
+            ("job", U(*job)),
+            ("estimate", F(*estimate)),
+            ("full_demand", F(*full_demand)),
+            ("projected_quality", F(*projected_quality)),
+        ],
         TraceEvent::RunSummary {
             t,
             energy_j,
@@ -470,7 +509,10 @@ struct Fields(BTreeMap<String, Field>);
 impl Fields {
     fn f64(&self, name: &str) -> Result<f64, ParseError> {
         match self.0.get(name) {
-            Some(Field::F(v)) => Ok(*v),
+            Some(Field::F(v)) if v.is_finite() => Ok(*v),
+            Some(Field::F(_)) => Err(err(format!(
+                "non-finite value in numeric field '{name}' (NaN/Inf/null are not valid trace data)"
+            ))),
             Some(Field::U(v)) => Ok(*v as f64),
             _ => Err(err(format!("missing numeric field '{name}'"))),
         }
@@ -603,6 +645,34 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, ParseError> {
             backlog_units: f.f64("backlog_units")?,
             load_estimate_rps: f.f64("load_estimate_rps")?,
         },
+        "core_fault" => TraceEvent::CoreFault {
+            t: f.f64("t")?,
+            core: f.u64("core")?,
+            online: f.bool("online")?,
+        },
+        "budget_throttle" => TraceEvent::BudgetThrottle {
+            t: f.f64("t")?,
+            factor: f.f64("factor")?,
+            budget_w_effective: f.f64("budget_w_effective")?,
+        },
+        "dvfs_deviation" => TraceEvent::DvfsDeviation {
+            t: f.f64("t")?,
+            core: f.u64("core")?,
+            factor: f.f64("factor")?,
+        },
+        "demand_misestimate" => TraceEvent::DemandMisestimate {
+            t: f.f64("t")?,
+            job: f.u64("job")?,
+            estimate: f.f64("estimate")?,
+            full_demand: f.f64("full_demand")?,
+        },
+        "job_shed" => TraceEvent::JobShed {
+            t: f.f64("t")?,
+            job: f.u64("job")?,
+            estimate: f.f64("estimate")?,
+            full_demand: f.f64("full_demand")?,
+            projected_quality: f.f64("projected_quality")?,
+        },
         "run_summary" => TraceEvent::RunSummary {
             t: f.f64("t")?,
             energy_j: f.f64("energy_j")?,
@@ -616,17 +686,39 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, ParseError> {
     Ok(ev)
 }
 
+/// Timestamp regressions larger than this are malformed input (the
+/// driver emits events in non-decreasing time order).
+const ORDER_TOL: f64 = 1e-9;
+
 /// Parses a whole JSONL document (blank lines skipped).
+///
+/// Beyond per-line syntax, this validates the document-level contract:
+/// event timestamps must be non-decreasing (within a small numerical
+/// tolerance). Out-of-order or non-finite timestamps are errors, never
+/// panics.
 pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
-    let mut out = Vec::new();
+    let mut out: Vec<TraceEvent> = Vec::new();
+    let mut last_t = f64::NEG_INFINITY;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        out.push(parse_jsonl_line(line).map_err(|mut e| {
+        let at_line = |mut e: ParseError| {
             e.line = i + 1;
             e
-        })?);
+        };
+        let ev = parse_jsonl_line(line).map_err(at_line)?;
+        let t = ev.t();
+        if !t.is_finite() {
+            return Err(at_line(err("non-finite event timestamp")));
+        }
+        if t + ORDER_TOL < last_t {
+            return Err(at_line(err(format!(
+                "out-of-order timestamp {t} after {last_t}"
+            ))));
+        }
+        last_t = last_t.max(t);
+        out.push(ev);
     }
     Ok(out)
 }
@@ -680,6 +772,11 @@ const CSV_COLUMNS: &[&str] = &[
     "aes_fraction",
     "jobs_finished",
     "jobs_discarded",
+    "online",
+    "factor",
+    "budget_w_effective",
+    "estimate",
+    "projected_quality",
 ];
 
 /// The header row of the wide CSV schema.
@@ -820,6 +917,34 @@ mod tests {
                 backlog_units: 812.0,
                 load_estimate_rps: 141.2,
             },
+            TraceEvent::CoreFault {
+                t: 12.5,
+                core: 5,
+                online: false,
+            },
+            TraceEvent::BudgetThrottle {
+                t: 13.0,
+                factor: 0.625_123_456_789,
+                budget_w_effective: 200.039_494_949,
+            },
+            TraceEvent::DvfsDeviation {
+                t: 13.5,
+                core: 2,
+                factor: 0.9,
+            },
+            TraceEvent::DemandMisestimate {
+                t: 14.0,
+                job: 42,
+                estimate: 180.123_456_789,
+                full_demand: 212.7,
+            },
+            TraceEvent::JobShed {
+                t: 14.5,
+                job: 43,
+                estimate: 512.0,
+                full_demand: 530.25,
+                projected_quality: 0.712_345_678_9,
+            },
             TraceEvent::RunSummary {
                 t: 60.0,
                 energy_j: 1234.567_890_123,
@@ -881,6 +1006,47 @@ mod tests {
     #[test]
     fn unknown_kind_is_rejected() {
         assert!(parse_jsonl_line("{\"ev\":\"martian\",\"t\":0}").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        for bad in [
+            "{\"ev\":\"job_cut\",\"t\":0,\"job\":1,\"full_demand\":NaN,\"cut_demand\":1}",
+            "{\"ev\":\"job_cut\",\"t\":0,\"job\":1,\"full_demand\":null,\"cut_demand\":1}",
+            "{\"ev\":\"job_cut\",\"t\":0,\"job\":1,\"full_demand\":1e999,\"cut_demand\":1}",
+            "{\"ev\":\"job_cut\",\"t\":-1e999,\"job\":1,\"full_demand\":1,\"cut_demand\":1}",
+        ] {
+            assert!(parse_jsonl_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn truncated_lines_are_rejected() {
+        let full = jsonl_line(&TraceEvent::JobAssigned {
+            t: 1.0,
+            job: 9,
+            core: 2,
+        });
+        for cut in 1..full.len() {
+            assert!(
+                parse_jsonl_line(&full[..cut]).is_err(),
+                "accepted truncation at byte {cut}: {}",
+                &full[..cut]
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_rejected() {
+        let doc = "{\"ev\":\"job_assigned\",\"t\":5.0,\"job\":1,\"core\":0}\n\
+                   {\"ev\":\"job_assigned\",\"t\":1.0,\"job\":2,\"core\":0}";
+        let e = parse_jsonl(doc).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("out-of-order"), "{}", e.message);
+        // Equal and epsilon-earlier timestamps are legal.
+        let ok = "{\"ev\":\"job_assigned\",\"t\":5.0,\"job\":1,\"core\":0}\n\
+                  {\"ev\":\"job_assigned\",\"t\":5.0,\"job\":2,\"core\":0}";
+        assert!(parse_jsonl(ok).is_ok());
     }
 
     #[test]

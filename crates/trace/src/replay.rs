@@ -14,6 +14,7 @@ use ge_metrics::ModeTracker;
 use ge_power::EnergyMeter;
 use ge_quality::{ExpConcave, LedgerMode, QualityFunction, QualityLedger};
 use ge_simcore::SimTime;
+use std::collections::BTreeMap;
 
 /// Tolerance for the relative energy-conservation check.
 pub const ENERGY_REL_TOL: f64 = 1e-6;
@@ -68,6 +69,8 @@ pub struct ReplayReport {
     pub quality_rebuilt: f64,
     /// Quality the run reported.
     pub reported_quality: f64,
+    /// Jobs the trace reports as shed by admission control.
+    pub shed_jobs: usize,
     /// Every invariant violation found (empty when the trace is clean).
     pub issues: Vec<String>,
 }
@@ -94,6 +97,12 @@ impl ReplayReport {
             "quality   rebuilt {:.9} vs reported {:.9}\n",
             self.quality_rebuilt, self.reported_quality
         ));
+        if self.shed_jobs > 0 {
+            out.push_str(&format!(
+                "shed      {} jobs (cross-checked)\n",
+                self.shed_jobs
+            ));
+        }
         if self.issues.is_empty() {
             out.push_str("verdict   OK — all invariants hold\n");
         } else {
@@ -148,6 +157,12 @@ pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
     let mut last_t = start_t;
     let mut summary: Option<(f64, f64, f64, f64, u64, u64)> = None;
 
+    // Fault-aware state: which cores are online, which jobs were shed,
+    // and which jobs finished discarded (shed jobs must be a subset).
+    let mut online = vec![true; cores.max(1)];
+    let mut shed: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut discarded_finishes: BTreeMap<u64, f64> = BTreeMap::new();
+
     for (i, ev) in events.iter().enumerate() {
         let t = ev.t();
         if t + 1e-12 < last_t {
@@ -158,10 +173,8 @@ pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
         }
         last_t = last_t.max(t);
         match ev {
-            TraceEvent::RunStart { .. } => {
-                if i != 0 {
-                    issues.push(format!("duplicate run_start at event {i}"));
-                }
+            TraceEvent::RunStart { .. } if i != 0 => {
+                issues.push(format!("duplicate run_start at event {i}"));
             }
             TraceEvent::ExecSlice {
                 core,
@@ -181,6 +194,11 @@ pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
                 } else {
                     issues.push(format!("slice on unknown core {core} at event {i}"));
                 }
+                if (*core as usize) < online.len() && !online[*core as usize] {
+                    issues.push(format!(
+                        "exec_slice on offline core {core} at event {i} (t={t})"
+                    ));
+                }
             }
             TraceEvent::ModeSwitch {
                 t,
@@ -197,6 +215,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
                 modes.switch((*to_mode as usize).min(1), SimTime::from_secs(*t));
             }
             TraceEvent::JobFinish {
+                job,
                 processed,
                 full_demand,
                 discarded,
@@ -204,6 +223,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
             } => {
                 if *discarded {
                     ledger.record(0.0, f.value(*full_demand));
+                    discarded_finishes.insert(*job, *processed);
                 } else {
                     ledger.record(f.value(*processed), f.value(*full_demand));
                 }
@@ -215,14 +235,47 @@ pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
                 full_demand,
                 cut_demand,
                 ..
+            } if *cut_demand > *full_demand + 1e-9 => {
+                issues.push(format!("job_cut grew a job at event {i}"));
+            }
+            TraceEvent::QualitySample { quality, .. } if !(0.0..=1.0).contains(quality) => {
+                issues.push(format!("quality sample out of [0,1] at event {i}"));
+            }
+            TraceEvent::CoreFault {
+                core, online: up, ..
             } => {
-                if *cut_demand > *full_demand + 1e-9 {
-                    issues.push(format!("job_cut grew a job at event {i}"));
+                if (*core as usize) < online.len() {
+                    online[*core as usize] = *up;
+                } else {
+                    issues.push(format!("core_fault on unknown core {core} at event {i}"));
                 }
             }
-            TraceEvent::QualitySample { quality, .. } => {
-                if !(0.0..=1.0).contains(quality) {
-                    issues.push(format!("quality sample out of [0,1] at event {i}"));
+            TraceEvent::BudgetThrottle {
+                factor,
+                budget_w_effective,
+                ..
+            } => {
+                if !(*factor > 0.0 && *factor <= 1.0) {
+                    issues.push(format!("budget_throttle factor out of (0,1] at event {i}"));
+                }
+                if !budget_w_effective.is_finite() || *budget_w_effective < 0.0 {
+                    issues.push(format!("invalid effective budget at event {i}"));
+                }
+            }
+            TraceEvent::DvfsDeviation { factor, core, .. } => {
+                if !factor.is_finite() || *factor <= 0.0 {
+                    issues.push(format!("dvfs_deviation factor not positive at event {i}"));
+                }
+                if (*core as usize) >= online.len() {
+                    issues.push(format!(
+                        "dvfs_deviation on unknown core {core} at event {i}"
+                    ));
+                }
+            }
+            TraceEvent::JobShed { job, .. } => {
+                let previous = shed.insert(*job, i);
+                if previous.is_some() {
+                    issues.push(format!("job {job} shed twice (second at event {i})"));
                 }
             }
             TraceEvent::RunSummary {
@@ -297,6 +350,22 @@ pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
         ));
     }
 
+    // Shed cross-check: every job the trace reports as shed must also
+    // appear as a discarded job_finish with zero work processed — a shed
+    // that quietly received service (or never left the system) means the
+    // admission-control accounting lied.
+    for (&job, &ev_idx) in &shed {
+        match discarded_finishes.get(&job) {
+            None => issues.push(format!(
+                "job {job} shed at event {ev_idx} but never finished discarded"
+            )),
+            Some(&processed) if processed > 1e-9 => issues.push(format!(
+                "shed job {job} reports {processed} units processed (must be 0)"
+            )),
+            Some(_) => {}
+        }
+    }
+
     Ok(ReplayReport {
         events: events.len(),
         energy_from_slices_j: energy,
@@ -306,6 +375,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
         reported_aes: rep_aes,
         quality_rebuilt: quality,
         reported_quality: rep_quality,
+        shed_jobs: shed.len(),
         issues,
     })
 }
@@ -453,6 +523,137 @@ mod tests {
             replay(&[start()]),
             Err(ReplayError::MissingRunSummary)
         ));
+    }
+
+    fn discarded(t: f64, job: u64, full: f64) -> TraceEvent {
+        TraceEvent::JobFinish {
+            t,
+            job,
+            processed: 0.0,
+            full_demand: full,
+            discarded: true,
+        }
+    }
+
+    #[test]
+    fn slices_on_offline_cores_are_flagged() {
+        let mut events = vec![
+            start(),
+            TraceEvent::CoreFault {
+                t: 2.0,
+                core: 0,
+                online: false,
+            },
+            slice(3.0, 0, 1.0), // core 0 is offline here
+        ];
+        events.push(summary_for(&events));
+        let report = replay(&events).unwrap();
+        assert!(report.issues.iter().any(|m| m.contains("offline core")));
+
+        // After recovery the same slice is legal again.
+        let mut events = vec![
+            start(),
+            TraceEvent::CoreFault {
+                t: 2.0,
+                core: 0,
+                online: false,
+            },
+            TraceEvent::CoreFault {
+                t: 2.5,
+                core: 0,
+                online: true,
+            },
+            slice(4.0, 0, 1.0),
+        ];
+        events.push(summary_for(&events));
+        let report = replay(&events).unwrap();
+        assert!(report.is_ok(), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn shed_jobs_must_finish_discarded_with_zero_work() {
+        // Clean: shed then discarded with 0 processed.
+        let mut events = vec![
+            start(),
+            TraceEvent::JobShed {
+                t: 1.0,
+                job: 5,
+                estimate: 400.0,
+                full_demand: 420.0,
+                projected_quality: 0.7,
+            },
+            discarded(1.0, 5, 420.0),
+        ];
+        let mut ok_events = events.clone();
+        let f = ExpConcave::new(0.0035, 1500.0);
+        let mut ledger = QualityLedger::cumulative();
+        ledger.record(0.0, f.value(420.0));
+        ok_events.push(TraceEvent::RunSummary {
+            t: 10.0,
+            energy_j: 0.0,
+            quality: ledger.quality(),
+            aes_fraction: 0.0,
+            jobs_finished: 1,
+            jobs_discarded: 1,
+        });
+        let report = replay(&ok_events).unwrap();
+        assert!(report.is_ok(), "{:?}", report.issues);
+        assert_eq!(report.shed_jobs, 1);
+
+        // Corrupt: shed job never finishes.
+        events.pop();
+        events.push(TraceEvent::RunSummary {
+            t: 10.0,
+            energy_j: 0.0,
+            quality: 1.0,
+            aes_fraction: 0.0,
+            jobs_finished: 0,
+            jobs_discarded: 0,
+        });
+        let report = replay(&events).unwrap();
+        assert!(report
+            .issues
+            .iter()
+            .any(|m| m.contains("never finished discarded")));
+    }
+
+    #[test]
+    fn shed_job_with_service_is_flagged() {
+        let mut events = vec![
+            start(),
+            TraceEvent::JobShed {
+                t: 1.0,
+                job: 5,
+                estimate: 400.0,
+                full_demand: 420.0,
+                projected_quality: 0.7,
+            },
+            TraceEvent::JobFinish {
+                t: 1.0,
+                job: 5,
+                processed: 50.0,
+                full_demand: 420.0,
+                discarded: true,
+            },
+        ];
+        events.push(summary_for(&events));
+        let report = replay(&events).unwrap();
+        assert!(report.issues.iter().any(|m| m.contains("units processed")));
+    }
+
+    #[test]
+    fn bad_throttle_factor_is_flagged() {
+        let mut events = vec![
+            start(),
+            TraceEvent::BudgetThrottle {
+                t: 1.0,
+                factor: 1.5,
+                budget_w_effective: 60.0,
+            },
+        ];
+        events.push(summary_for(&events));
+        let report = replay(&events).unwrap();
+        assert!(report.issues.iter().any(|m| m.contains("factor")));
     }
 
     #[test]

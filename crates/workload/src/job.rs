@@ -41,6 +41,11 @@ pub struct Job {
     pub deadline: SimTime,
     /// Full processing demand `p_j` in processing units (`> 0`).
     pub demand: f64,
+    /// The demand the *scheduler* believes the job has. Equal to
+    /// [`Job::demand`] unless a fault model injects misestimation noise;
+    /// planning uses the estimate, execution and quality accounting use
+    /// the true demand.
+    pub estimate: f64,
 }
 
 impl Job {
@@ -63,7 +68,22 @@ impl Job {
             release,
             deadline,
             demand,
+            estimate: demand,
         }
+    }
+
+    /// Returns the job with its scheduler-visible demand estimate replaced.
+    ///
+    /// # Panics
+    /// Panics if the estimate is not strictly positive and finite.
+    pub fn with_estimate(mut self, estimate: f64) -> Self {
+        assert!(
+            estimate.is_finite() && estimate > 0.0,
+            "job {}: estimate must be positive and finite, got {estimate}",
+            self.id
+        );
+        self.estimate = estimate;
+        self
     }
 
     /// The response window `d_j − s_j`.
@@ -140,6 +160,21 @@ mod tests {
     #[should_panic]
     fn nan_demand_panics() {
         let _ = Job::new(JobId(4), t(0.0), t(1.0), f64::NAN);
+    }
+
+    #[test]
+    fn estimate_defaults_to_demand_and_overrides() {
+        let j = Job::new(JobId(5), t(0.0), t(1.0), 200.0);
+        assert_eq!(j.estimate, 200.0);
+        let j = j.with_estimate(250.0);
+        assert_eq!(j.estimate, 250.0);
+        assert_eq!(j.demand, 200.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_estimate_panics() {
+        let _ = Job::new(JobId(6), t(0.0), t(1.0), 10.0).with_estimate(f64::INFINITY);
     }
 
     #[test]

@@ -141,7 +141,7 @@ fn main() {
             )
             .generate();
             let mut sink = VecSink::new();
-            run_with_sink(&cfg, &wl, &Algorithm::Ge, &mut sink);
+            run_with_sink(&cfg, &wl, &Algorithm::Ge, None, &mut sink);
             sink.into_events()
         }
     };

@@ -13,7 +13,18 @@ cargo fmt --all -- --check
 echo "== cargo build --release (offline)"
 cargo build --release --workspace --offline
 
+echo "== cargo clippy (offline, -D warnings)"
+cargo clippy --workspace --offline -- -D warnings
+
 echo "== cargo test -q (offline)"
 cargo test -q --workspace --offline
+
+echo "== faults smoke run (--faults coreloss)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release --offline -q -p ge-experiments -- \
+  --quick --reps 1 --horizon 5 --out "$smoke_dir" --faults coreloss \
+  >"$smoke_dir/stdout.log"
+test -s "$smoke_dir/faults-corelossa.csv"
 
 echo "verify: OK"

@@ -1,0 +1,189 @@
+//! Corruption-fuzz tests for the JSONL trace parser.
+//!
+//! `ge_trace::parse_jsonl` guards the replay pipeline against damaged
+//! artifacts: truncated writes, bit rot, editor mangling. These tests
+//! take a real trace from a faulted run and apply seeded random
+//! corruptions — the parser must return `Err` for malformed input and
+//! must never panic for *any* input.
+
+use ge_core::{run_with_sink, Algorithm, SimConfig};
+use ge_faults::{FaultScenario, ScenarioKind};
+use ge_simcore::SimTime;
+use ge_trace::{parse_jsonl, write_jsonl, VecSink};
+use ge_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// SplitMix64: a tiny deterministic generator so the fuzz corpus is
+/// reproducible without pulling in an RNG dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A small but representative trace: a faulted GE run so the corpus
+/// contains every event family (slices, faults, sheds, summaries).
+/// Generated once and shared — the corpus itself is deterministic.
+fn sample_jsonl() -> &'static str {
+    static SAMPLE: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    SAMPLE.get_or_init(|| {
+        let cfg = SimConfig {
+            horizon: SimTime::from_secs(5.0),
+            q_min: 0.8,
+            ..SimConfig::paper_default()
+        };
+        let trace = WorkloadGenerator::new(
+            WorkloadConfig {
+                horizon: SimTime::from_secs(5.0),
+                ..WorkloadConfig::paper_default(150.0)
+            },
+            61,
+        )
+        .generate();
+        let faults =
+            FaultScenario::new(ScenarioKind::Combined, 0.8).build(cfg.cores, cfg.horizon, 61);
+        let mut sink = VecSink::new();
+        run_with_sink(&cfg, &trace, &Algorithm::Ge, Some(&faults), &mut sink);
+        let mut buf = Vec::new();
+        write_jsonl(&sink.into_events(), &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    })
+}
+
+#[test]
+fn seeded_corruption_never_panics() {
+    let clean = sample_jsonl();
+    assert!(parse_jsonl(&clean).is_ok(), "baseline trace must parse");
+    let lines: Vec<&str> = clean.lines().collect();
+    assert!(lines.len() > 20, "sample trace is too small to fuzz");
+
+    let mut rng = SplitMix64(0xFEE1_600D);
+    for _ in 0..150 {
+        let mut mutated: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        match rng.below(5) {
+            // Truncate one line mid-JSON.
+            0 => {
+                let i = rng.below(mutated.len());
+                let cut = rng.below(mutated[i].len().max(1));
+                mutated[i].truncate(cut);
+            }
+            // Replace one byte with a random printable character.
+            1 => {
+                let i = rng.below(mutated.len());
+                let line = mutated[i].clone().into_bytes();
+                if !line.is_empty() {
+                    let mut line = line;
+                    let pos = rng.below(line.len());
+                    line[pos] = b' ' + (rng.next() % 94) as u8;
+                    mutated[i] = String::from_utf8_lossy(&line).into_owned();
+                }
+            }
+            // Swap two lines (may reorder timestamps).
+            2 => {
+                let i = rng.below(mutated.len());
+                let j = rng.below(mutated.len());
+                mutated.swap(i, j);
+            }
+            // Duplicate a line.
+            3 => {
+                let i = rng.below(mutated.len());
+                let dup = mutated[i].clone();
+                mutated.insert(i, dup);
+            }
+            // Delete a line.
+            _ => {
+                let i = rng.below(mutated.len());
+                mutated.remove(i);
+            }
+        }
+        let text = mutated.join("\n");
+        // The only requirement on arbitrary corruption: return, never
+        // panic. (Some mutations — e.g. duplicating an idempotent line —
+        // legitimately still parse.)
+        let _ = parse_jsonl(&text);
+    }
+}
+
+#[test]
+fn truncated_line_is_an_error() {
+    let clean = sample_jsonl();
+    let cut = &clean[..clean.len() * 2 / 3];
+    // Chop mid-line: find the last newline and keep half of the next line.
+    let last_nl = cut.rfind('\n').unwrap();
+    let truncated = &clean[..last_nl + (cut.len() - last_nl) / 2 + 2];
+    assert!(
+        parse_jsonl(truncated).is_err(),
+        "a trace cut mid-record must not parse"
+    );
+}
+
+#[test]
+fn non_finite_floats_are_an_error() {
+    let clean = sample_jsonl();
+    for bad in ["NaN", "Infinity", "-Infinity"] {
+        // Replace the first slice's energy figure with a non-finite value.
+        let line = clean
+            .lines()
+            .find(|l| l.contains("\"energy_j\""))
+            .expect("trace has an energy-bearing record");
+        let field = line
+            .split("\"energy_j\":")
+            .nth(1)
+            .unwrap()
+            .split([',', '}'])
+            .next()
+            .unwrap();
+        let poisoned = clean.replacen(
+            &format!("\"energy_j\":{field}"),
+            &format!("\"energy_j\":{bad}"),
+            1,
+        );
+        assert_ne!(poisoned, clean, "substitution must change the text");
+        assert!(
+            parse_jsonl(&poisoned).is_err(),
+            "{bad} in a float field must be rejected"
+        );
+    }
+}
+
+#[test]
+fn out_of_order_timestamps_are_an_error() {
+    let clean = sample_jsonl();
+    let mut lines: Vec<&str> = clean.lines().collect();
+    // Move the final line (the run summary, with the largest timestamp)
+    // to the front: the non-decreasing-time check must trip.
+    let last = lines.pop().unwrap();
+    lines.insert(0, last);
+    let reordered = lines.join("\n");
+    assert!(
+        parse_jsonl(&reordered).is_err(),
+        "time-travelling records must be rejected"
+    );
+}
+
+#[test]
+fn unknown_record_tag_is_an_error() {
+    let clean = sample_jsonl();
+    let first = clean.lines().next().unwrap();
+    let tag = first
+        .split("\"ev\":\"")
+        .nth(1)
+        .expect("records carry a type tag")
+        .split('"')
+        .next()
+        .unwrap();
+    let poisoned = clean.replacen(&format!("\"ev\":\"{tag}\""), "\"ev\":\"time_crystal\"", 1);
+    assert!(
+        parse_jsonl(&poisoned).is_err(),
+        "unknown event tags must be rejected"
+    );
+}

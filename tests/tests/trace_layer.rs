@@ -40,7 +40,7 @@ fn null_sink_run_is_bit_identical_to_untraced() {
     let cfg = cfg(20.0);
     let trace = workload(150.0, 20.0, 11);
     let plain = run(&cfg, &trace, &Algorithm::Ge);
-    let nulled = run_with_sink(&cfg, &trace, &Algorithm::Ge, &mut NullSink);
+    let nulled = run_with_sink(&cfg, &trace, &Algorithm::Ge, None, &mut NullSink);
     assert_eq!(plain.quality.to_bits(), nulled.quality.to_bits());
     assert_eq!(plain.energy_j.to_bits(), nulled.energy_j.to_bits());
     assert_eq!(plain.schedule_epochs, nulled.schedule_epochs);
@@ -52,7 +52,7 @@ fn null_sink_overhead_is_under_two_percent() {
     let trace = workload(150.0, 10.0, 5);
     // Warm up caches and JIT-ish effects (page faults, allocator).
     run(&cfg, &trace, &Algorithm::Ge);
-    run_with_sink(&cfg, &trace, &Algorithm::Ge, &mut NullSink);
+    run_with_sink(&cfg, &trace, &Algorithm::Ge, None, &mut NullSink);
 
     // Interleave the two variants and keep per-variant minima: the min
     // is robust against scheduler noise in a shared CI container.
@@ -65,7 +65,13 @@ fn null_sink_overhead_is_under_two_percent() {
         best_plain = best_plain.min(t0.elapsed().as_secs_f64());
 
         let t1 = std::time::Instant::now();
-        std::hint::black_box(run_with_sink(&cfg, &trace, &Algorithm::Ge, &mut NullSink));
+        std::hint::black_box(run_with_sink(
+            &cfg,
+            &trace,
+            &Algorithm::Ge,
+            None,
+            &mut NullSink,
+        ));
         best_null = best_null.min(t1.elapsed().as_secs_f64());
     }
     let overhead = best_null / best_plain - 1.0;
@@ -81,7 +87,7 @@ fn jsonl_round_trip_replays_and_matches_summary() {
     let cfg = cfg(20.0);
     let trace = workload(170.0, 20.0, 17);
     let mut sink = VecSink::new();
-    let result = run_with_sink(&cfg, &trace, &Algorithm::Ge, &mut sink);
+    let result = run_with_sink(&cfg, &trace, &Algorithm::Ge, None, &mut sink);
     let events = sink.into_events();
 
     // Emit → parse: the wire format must preserve every event exactly.
@@ -118,7 +124,7 @@ fn trace_derived_aes_residency_matches_mode_summary() {
     let cfg = cfg(horizon_s);
     let trace = workload(185.0, horizon_s, 23);
     let mut sink = VecSink::new();
-    let result = run_with_sink(&cfg, &trace, &Algorithm::Ge, &mut sink);
+    let result = run_with_sink(&cfg, &trace, &Algorithm::Ge, None, &mut sink);
     let events = sink.into_events();
 
     let initial = events
