@@ -47,4 +47,5 @@ fn main() {
     h.bench("ablations/ab4_trigger_sensitivity", || {
         ge_experiments::ablations::trigger_sensitivity(&scale())
     });
+    h.finish().expect("write bench report");
 }

@@ -112,4 +112,5 @@ fn main() {
     bench_quality_fn(&h);
     bench_event_queue(&h);
     bench_core_advance(&h);
+    h.finish().expect("write bench report");
 }

@@ -26,7 +26,9 @@ pub mod harness {
     //! tracking; fancier statistics are deliberately out of
     //! scope (no external deps).
 
+    use std::cell::RefCell;
     pub use std::hint::black_box;
+    use std::path::PathBuf;
     use std::time::Instant;
 
     /// Target wall-clock duration of one calibrated sample batch.
@@ -34,22 +36,101 @@ pub mod harness {
     /// Number of sample batches per benchmark.
     const BATCHES: usize = 5;
 
+    /// One finished benchmark measurement.
+    #[derive(Debug, Clone)]
+    pub struct BenchResult {
+        /// Benchmark name as passed to [`Harness::bench`].
+        pub name: String,
+        /// Minimum ns/iter over the sample batches.
+        pub min_ns: f64,
+        /// Mean ns/iter over the sample batches.
+        pub mean_ns: f64,
+        /// Calibrated iterations per batch.
+        pub iters: u64,
+    }
+
     /// Runs named benchmarks, honouring an optional substring filter
-    /// passed on the command line (flags such as `--bench` are ignored).
+    /// passed on the command line (flags such as `--bench` are ignored)
+    /// and an optional `--json <path>` report destination.
     pub struct Harness {
         filter: Option<String>,
+        json: Option<PathBuf>,
+        results: RefCell<Vec<BenchResult>>,
     }
 
     impl Harness {
         /// Builds a harness with an explicit (possibly absent) filter.
         pub fn new(filter: Option<String>) -> Self {
-            Harness { filter }
+            Harness {
+                filter,
+                json: None,
+                results: RefCell::new(Vec::new()),
+            }
         }
 
-        /// Builds a harness from `std::env::args`.
+        /// Builds a harness from `std::env::args`: the first bare
+        /// argument is the name filter; `--json <path>` (or
+        /// `--json=<path>`) requests a machine-readable report from
+        /// [`Harness::finish`].
         pub fn from_args() -> Self {
-            let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-            Harness { filter }
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            let mut filter = None;
+            let mut json = None;
+            let mut i = 0;
+            while i < args.len() {
+                let a = &args[i];
+                if a == "--json" {
+                    if let Some(p) = args.get(i + 1) {
+                        json = Some(PathBuf::from(p));
+                        i += 1;
+                    }
+                } else if let Some(p) = a.strip_prefix("--json=") {
+                    json = Some(PathBuf::from(p));
+                } else if !a.starts_with('-') && filter.is_none() {
+                    filter = Some(a.clone());
+                }
+                i += 1;
+            }
+            Harness {
+                filter,
+                json,
+                results: RefCell::new(Vec::new()),
+            }
+        }
+
+        /// The measurements collected so far, in execution order.
+        pub fn results(&self) -> Vec<BenchResult> {
+            self.results.borrow().clone()
+        }
+
+        /// Writes the collected results as JSON to the `--json` path, if
+        /// one was given (no-op otherwise). Call once, after the last
+        /// `bench`. Schema `ge-bench-sched/v1`:
+        ///
+        /// ```json
+        /// {
+        ///   "schema": "ge-bench-sched/v1",
+        ///   "entries": [
+        ///     {"name": "lf_cut/16", "min_ns": 1.0, "mean_ns": 1.2, "iters": 4096}
+        ///   ]
+        /// }
+        /// ```
+        pub fn finish(&self) -> std::io::Result<()> {
+            let Some(path) = &self.json else {
+                return Ok(());
+            };
+            let results = self.results.borrow();
+            let mut out = String::new();
+            out.push_str("{\n  \"schema\": \"ge-bench-sched/v1\",\n  \"entries\": [\n");
+            for (i, r) in results.iter().enumerate() {
+                let sep = if i + 1 < results.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"iters\": {}}}{sep}\n",
+                    r.name, r.min_ns, r.mean_ns, r.iters
+                ));
+            }
+            out.push_str("  ]\n}\n");
+            std::fs::write(path, out)
         }
 
         /// Benchmarks `f`, printing `name: <min> ns/iter (mean <mean>)`.
@@ -89,11 +170,17 @@ pub mod harness {
                 min_ns = min_ns.min(per_iter);
                 sum_ns += per_iter;
             }
+            let mean_ns = sum_ns / BATCHES as f64;
             println!(
                 "{name:<40} {:>12.1} ns/iter   (mean {:>12.1}, {iters} iters x {BATCHES})",
-                min_ns,
-                sum_ns / BATCHES as f64,
+                min_ns, mean_ns,
             );
+            self.results.borrow_mut().push(BenchResult {
+                name: name.to_string(),
+                min_ns,
+                mean_ns,
+                iters,
+            });
         }
     }
 }

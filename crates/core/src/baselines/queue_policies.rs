@@ -58,26 +58,20 @@ impl QueuePolicy {
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty"),
+            // `total_cmp`, not `partial_cmp().expect(..)`: a NaN demand
+            // (corrupt trace, bad estimator) must not panic the scheduler
+            // mid-run. Under the IEEE total order NaN sorts above every
+            // number, giving a deterministic (if arbitrary) pick.
             QueuePolicy::Ljf => queue
                 .iter()
                 .enumerate()
-                .max_by(|a, b| {
-                    a.1.demand
-                        .partial_cmp(&b.1.demand)
-                        .expect("finite demands")
-                        .then(b.1.id.cmp(&a.1.id))
-                })
+                .max_by(|a, b| a.1.demand.total_cmp(&b.1.demand).then(b.1.id.cmp(&a.1.id)))
                 .map(|(i, _)| i)
                 .expect("non-empty"),
             QueuePolicy::Sjf => queue
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    a.1.demand
-                        .partial_cmp(&b.1.demand)
-                        .expect("finite demands")
-                        .then(a.1.id.cmp(&b.1.id))
-                })
+                .min_by(|a, b| a.1.demand.total_cmp(&b.1.demand).then(a.1.id.cmp(&b.1.id)))
                 .map(|(i, _)| i)
                 .expect("non-empty"),
         };
@@ -92,6 +86,9 @@ pub struct QueueScheduler {
     model: PolynomialPower,
     units_per_ghz_sec: f64,
     epochs: u64,
+    // Per-epoch scratch, owned to keep the replan path allocation-free.
+    idle_scratch: Vec<usize>,
+    orphan_scratch: Vec<ge_server::CoreJob>,
 }
 
 impl QueueScheduler {
@@ -104,6 +101,8 @@ impl QueueScheduler {
             model: PolynomialPower::new(cfg.power_a, cfg.power_beta),
             units_per_ghz_sec: cfg.units_per_ghz_sec,
             epochs: 0,
+            idle_scratch: Vec::new(),
+            orphan_scratch: Vec::new(),
         }
     }
 
@@ -128,16 +127,31 @@ impl Scheduler for QueueScheduler {
         let share_w = self.share_w * ctx.budget_factor;
         let s_cap = self.model.speed_for_power(share_w);
 
+        // Idle online cores, collected once: every action below only ever
+        // makes cores busy, so the set cannot grow mid-epoch. Consumed in
+        // ascending index order (the same order the old per-iteration
+        // rescan would have found them), via a cursor — a core is consumed
+        // only when a job actually lands on it.
+        let mut idle = std::mem::take(&mut self.idle_scratch);
+        idle.clear();
+        idle.extend(
+            (0..ctx.server.core_count())
+                .filter(|&i| ctx.server.core(i).is_idle() && ctx.server.core(i).is_online()),
+        );
+        let mut next_idle = 0usize;
+
         // Re-home jobs preempted off failed cores first: each takes an
         // idle online core and resumes toward its remaining estimate at
-        // the slowest feasible speed, like any other dispatch.
-        let mut unplaced = Vec::new();
-        for job in std::mem::take(ctx.orphans) {
+        // the slowest feasible speed, like any other dispatch. Incoming
+        // orphans are swapped into owned scratch so unplaced ones can be
+        // pushed straight back in order, allocation-free.
+        let mut orphans = std::mem::take(&mut self.orphan_scratch);
+        std::mem::swap(ctx.orphans, &mut orphans);
+        for job in orphans.drain(..) {
             let window = job.deadline.saturating_since(ctx.now);
-            let idle = (0..ctx.server.core_count())
-                .find(|&i| ctx.server.core(i).is_idle() && ctx.server.core(i).is_online());
-            match idle {
-                Some(core_idx) if !window.is_negligible() => {
+            match idle.get(next_idle) {
+                Some(&core_idx) if !window.is_negligible() => {
+                    next_idle += 1;
                     let needed = job.remaining() / (window.as_secs() * self.units_per_ghz_sec);
                     let speed = needed.min(s_cap);
                     let (id, deadline) = (job.id, job.deadline);
@@ -152,16 +166,12 @@ impl Scheduler for QueueScheduler {
                         });
                     }
                 }
-                _ => unplaced.push(job),
+                _ => ctx.orphans.push(job),
             }
         }
-        *ctx.orphans = unplaced;
+        self.orphan_scratch = orphans;
 
-        loop {
-            // Next idle online core, if any.
-            let idle = (0..ctx.server.core_count())
-                .find(|&i| ctx.server.core(i).is_idle() && ctx.server.core(i).is_online());
-            let Some(core_idx) = idle else { break };
+        while let Some(&core_idx) = idle.get(next_idle) {
             let Some(job_idx) = self.policy.pick(ctx.queue) else {
                 break;
             };
@@ -169,9 +179,11 @@ impl Scheduler for QueueScheduler {
             let window = job.deadline.saturating_since(ctx.now);
             if window.is_negligible() {
                 // Too late to serve: expired in queue (driver accounting
-                // happens via the core reaping it immediately).
+                // happens via the core reaping it immediately). The idle
+                // core is not consumed.
                 continue;
             }
+            next_idle += 1;
             // Slowest speed that finishes by the deadline (as far as the
             // scheduler's demand estimate knows), capped at what the ES
             // power share sustains.
@@ -198,6 +210,7 @@ impl Scheduler for QueueScheduler {
                 });
             }
         }
+        self.idle_scratch = idle;
     }
 }
 
@@ -354,6 +367,29 @@ mod tests {
         };
         s.on_schedule(&mut ctx);
         assert_eq!(queue.len(), 1, "no idle core ⇒ job stays queued");
+    }
+
+    #[test]
+    fn nan_demand_never_panics_the_pick() {
+        // Regression: the comparators used partial_cmp().expect("finite
+        // demands"), so one NaN demand (corrupt estimator output) aborted
+        // the whole simulation. total_cmp ranks NaN above every number,
+        // deterministically.
+        let mut jobs = vec![
+            job(0, 0.0, 0.15, 200.0),
+            job(1, 0.0, 0.15, 300.0),
+            job(2, 0.0, 0.15, 130.0),
+        ];
+        jobs[1].demand = f64::NAN;
+        assert_eq!(QueuePolicy::Ljf.pick(&jobs), Some(1), "NaN ranks largest");
+        assert_eq!(QueuePolicy::Sjf.pick(&jobs), Some(2), "smallest finite");
+        // And an all-NaN queue still yields a deterministic choice.
+        for j in &mut jobs {
+            j.demand = f64::NAN;
+        }
+        // Both policies tie-break ties toward the lowest job id.
+        assert_eq!(QueuePolicy::Ljf.pick(&jobs), Some(0), "id tie-break");
+        assert_eq!(QueuePolicy::Sjf.pick(&jobs), Some(0), "id tie-break");
     }
 
     #[test]

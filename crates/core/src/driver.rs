@@ -144,6 +144,19 @@ pub fn run_simulation(cfg: &SimConfig, trace: &Trace, sched: &mut dyn Scheduler)
     run_inner(cfg, trace, sched, None, &mut NullSink)
 }
 
+/// Like [`run_simulation`], with fault injection and event streaming — the
+/// full-control entry for callers that build (and want to inspect) the
+/// scheduler themselves rather than going through [`Algorithm::build`].
+pub fn run_scheduler_with_sink(
+    cfg: &SimConfig,
+    trace: &Trace,
+    sched: &mut dyn Scheduler,
+    faults: Option<&FaultSchedule>,
+    sink: &mut dyn TraceSink,
+) -> RunResult {
+    run_inner(cfg, trace, sched, faults, sink)
+}
+
 fn run_inner(
     cfg: &SimConfig,
     trace: &Trace,

@@ -28,12 +28,13 @@
 //! disables compensation; `BE-P`/`BE-S` are BE under a reduced budget /
 //! per-core speed cap.
 
+use ge_power::yds_schedule_with;
 use ge_power::{
-    distribute_equal_sharing, distribute_water_filling, yds_schedule, PolynomialPower, PowerModel,
-    SpeedProfile, SpeedSegment, YdsJob,
+    distribute_equal_sharing, distribute_water_filling, PolynomialPower, PowerModel, SpeedProfile,
+    SpeedSegment, YdsJob, YdsScratch,
 };
-use ge_quality::{lf_cut, prefix_level_fill, QualityFunction};
-use ge_server::CrrAssigner;
+use ge_quality::{lf_cut_with, prefix_level_fill, CutOutcome, CutScratch, QualityFunction};
+use ge_server::{CoreJob, CrrAssigner};
 use ge_simcore::SimTime;
 use ge_trace::{SplitPolicy, TraceEvent};
 
@@ -61,6 +62,11 @@ pub struct GeOptions {
     /// Use plain Round-Robin (cursor reset each batch) instead of C-RR —
     /// the §III-E alternative, kept for the assignment ablation.
     pub plain_rr: bool,
+    /// Disable incremental replanning: every epoch replans every online
+    /// core from scratch. This is the reference mode the equivalence
+    /// test and the end-to-end benchmark compare the dirty-bit path
+    /// against; production configurations leave it off.
+    pub force_full_replan: bool,
 }
 
 impl GeOptions {
@@ -75,6 +81,7 @@ impl GeOptions {
             budget_override_w: None,
             speed_cap_ghz: None,
             plain_rr: false,
+            force_full_replan: false,
         }
     }
 
@@ -89,8 +96,105 @@ impl GeOptions {
             budget_override_w: None,
             speed_cap_ghz: None,
             plain_rr: false,
+            force_full_replan: false,
         }
     }
+}
+
+/// Per-core state carried between epochs by the incremental replanner.
+///
+/// See DESIGN.md ("Dirty-bit invariants") for the argument that the
+/// skip is sound: a clean core's installed plan, targets, and cached
+/// power demand are exactly what a full replan would recompute (the
+/// demand up to float round-off, since a mid-plan YDS recompute divides
+/// the same residual work by the same residual window).
+#[derive(Debug)]
+struct ReplanCache {
+    /// False until the first epoch has planned every core.
+    primed: bool,
+    /// Core must be replanned this epoch.
+    dirty: Vec<bool>,
+    /// Fingerprint of each core's resident job-id set at the last plan —
+    /// detects completions/expirations reaped by the driver, which the
+    /// scheduler never observes directly.
+    fp: Vec<u64>,
+    /// DVFS actuation factor at the last install; a fault-injected change
+    /// only takes effect at the next install, so it must force one.
+    speed_factor: Vec<f64>,
+    /// Power demand (W at the uncapped Energy-OPT peak) from the last plan.
+    demand_w: Vec<f64>,
+    /// Peak speed (GHz) of the last uncapped plan; a granted cap below
+    /// this invalidates the kept plan.
+    peak_speed: Vec<f64>,
+    /// The last finalize needed a Quality-OPT second cut. Capped cores
+    /// are replanned every epoch: a full replan first *undoes* the second
+    /// cut (fresh LF-cut targets) before re-cutting, and skipping would
+    /// freeze the deeper cut even after power frees up.
+    was_capped: Vec<bool>,
+    /// The uncapped Energy-OPT plan computed this epoch (dirty cores
+    /// only), reused by finalize when no second cut is needed.
+    uncapped: Vec<SpeedProfile>,
+    /// Online mask at the last epoch; any up/down transition replans all.
+    last_online: Vec<bool>,
+    /// Budget throttle factor at the last epoch.
+    last_budget_factor: f64,
+    /// ES/WF selection at the last epoch (`None` before the first).
+    last_use_wf: Option<bool>,
+}
+
+impl ReplanCache {
+    fn new(cores: usize) -> Self {
+        ReplanCache {
+            primed: false,
+            dirty: vec![true; cores],
+            fp: vec![0; cores],
+            speed_factor: vec![1.0; cores],
+            demand_w: vec![0.0; cores],
+            peak_speed: vec![0.0; cores],
+            was_capped: vec![false; cores],
+            uncapped: (0..cores).map(|_| SpeedProfile::empty()).collect(),
+            last_online: vec![false; cores],
+            last_budget_factor: 1.0,
+            last_use_wf: None,
+        }
+    }
+}
+
+/// Scheduler-owned scratch buffers: every per-epoch temporary the old
+/// code allocated (`Vec<bool>` online masks, `Vec<YdsJob>` batches, sort
+/// orders, believed-demand snapshots) now lives here and is reused, so a
+/// steady-state epoch performs no buffer allocations. Buffers are
+/// `mem::take`n inside `on_schedule` to sidestep borrow conflicts and
+/// put back before returning.
+#[derive(Debug, Default)]
+struct EpochScratch {
+    online: Vec<bool>,
+    batch: Vec<ge_workload::Job>,
+    assign_targets: Vec<usize>,
+    demands: Vec<f64>,
+    online_idx: Vec<usize>,
+    caps: Vec<f64>,
+    believed: Vec<f64>,
+    yds_jobs: Vec<YdsJob>,
+    order: Vec<usize>,
+    fin_demands: Vec<f64>,
+    fin_budgets: Vec<f64>,
+    chosen: Vec<f64>,
+    yds: YdsScratch,
+    cut: CutScratch,
+    cut_out: CutOutcome,
+}
+
+/// Order-sensitive FNV-1a over a core's resident job-id sequence, salted
+/// with the length. Jobs never reorder in place (reaps shift, arrivals
+/// append), so any reap or adoption changes the fingerprint.
+fn job_set_fingerprint(jobs: &[CoreJob]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (jobs.len() as u64);
+    for j in jobs {
+        h ^= j.id.index() as u64 ^ 0x9E37_79B9_7F4A_7C15;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// The GE scheduler (and, via [`GeOptions`], the whole BE family).
@@ -108,6 +212,12 @@ pub struct GeScheduler {
     crr: CrrAssigner,
     mode: usize,
     epochs: u64,
+    cache: ReplanCache,
+    scratch: EpochScratch,
+    /// Epochs in which at least one online core kept its plan.
+    incremental_epochs: u64,
+    /// Online-core plans skipped across the run (diagnostics).
+    cores_skipped: u64,
 }
 
 impl GeScheduler {
@@ -129,6 +239,10 @@ impl GeScheduler {
             crr: CrrAssigner::new(cfg.cores),
             mode: if opts.cutting { MODE_AES } else { MODE_BQ },
             epochs: 0,
+            cache: ReplanCache::new(cfg.cores),
+            scratch: EpochScratch::default(),
+            incremental_epochs: 0,
+            cores_skipped: 0,
             opts,
         }
     }
@@ -136,6 +250,13 @@ impl GeScheduler {
     /// Number of epochs this scheduler has run.
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// `(incremental_epochs, cores_skipped)`: epochs where at least one
+    /// online core kept its previous plan, and the total number of
+    /// per-core plans skipped. Both are 0 under `force_full_replan`.
+    pub fn replan_stats(&self) -> (u64, u64) {
+        (self.incremental_epochs, self.cores_skipped)
     }
 
     /// The effective cut target (`Q_GE` plus any OQ offset, clamped to 1).
@@ -236,19 +357,13 @@ impl GeScheduler {
         }
     }
 
-    /// Steps 3–6 for one core: set targets, plan speeds. Returns the
-    /// core's power demand (watts at its planned peak speed) and the
-    /// uncapped plan, which [`Self::finalize_core`] later trims to the
-    /// granted cap.
-    fn plan_core_uncapped(
-        &self,
-        ctx: &mut ScheduleCtx<'_>,
-        core_idx: usize,
-        cut_target: f64,
-    ) -> (f64, SpeedProfile) {
+    /// Steps 3–6 for one core: set targets, plan speeds. Caches the
+    /// core's power demand (watts at its planned peak speed), its peak
+    /// speed, and the uncapped plan in the [`ReplanCache`]; the plan is
+    /// reused by [`Self::finalize_core`] when no second cut binds.
+    fn plan_core_uncapped(&mut self, ctx: &mut ScheduleCtx<'_>, core_idx: usize, cut_target: f64) {
         let now = ctx.now;
         let f = ctx.quality_fn;
-        let core = ctx.server.core_mut(core_idx);
 
         // -- Targets (LF cut in AES, full believed demand in BQ) ---------
         // All planning runs on the scheduler's demand *estimates*; the
@@ -256,9 +371,13 @@ impl GeScheduler {
         // misestimation shows up as wasted energy (overestimate) or lost
         // quality (underestimate) — never as clairvoyance.
         if self.mode == MODE_AES && self.opts.cutting {
-            let believed: Vec<f64> = core.jobs().iter().map(|j| j.estimate).collect();
+            let mut believed = std::mem::take(&mut self.scratch.believed);
+            let mut cut = std::mem::take(&mut self.scratch.cut_out);
+            believed.clear();
+            believed.extend(ctx.server.core(core_idx).jobs().iter().map(|j| j.estimate));
             if !believed.is_empty() {
-                let cut = lf_cut(f, &believed, cut_target);
+                lf_cut_with(f, &believed, cut_target, &mut self.scratch.cut, &mut cut);
+                let core = ctx.server.core_mut(core_idx);
                 for (job, &c) in core.jobs_mut().iter_mut().zip(&cut.cut_demands) {
                     // Never below already-processed volume, never above
                     // the believed demand.
@@ -287,35 +406,45 @@ impl GeScheduler {
                     }
                 }
             }
+            self.scratch.believed = believed;
+            self.scratch.cut_out = cut;
         } else {
-            for job in core.jobs_mut() {
+            for job in ctx.server.core_mut(core_idx).jobs_mut() {
                 job.target_demand = job.estimate.max(job.processed);
             }
         }
 
         // -- Energy-OPT plan over remaining work -------------------------
-        let yds_jobs: Vec<YdsJob> = core
-            .jobs()
-            .iter()
-            .filter(|j| j.remaining() > 1e-9 && j.deadline.after(now))
-            .enumerate()
-            .map(|(i, j)| {
-                YdsJob::new(
-                    i,
-                    now.as_secs(),
-                    j.deadline.as_secs(),
-                    j.remaining() / self.units_per_ghz_sec,
-                )
-            })
-            .collect();
-        let plan = yds_schedule(&yds_jobs);
-        let demand_w = self.model.power(plan.peak_speed);
-        (demand_w, plan.profile)
+        let mut yds_jobs = std::mem::take(&mut self.scratch.yds_jobs);
+        yds_jobs.clear();
+        yds_jobs.extend(
+            ctx.server
+                .core(core_idx)
+                .jobs()
+                .iter()
+                .filter(|j| j.remaining() > 1e-9 && j.deadline.after(now))
+                .enumerate()
+                .map(|(i, j)| {
+                    YdsJob::new(
+                        i,
+                        now.as_secs(),
+                        j.deadline.as_secs(),
+                        j.remaining() / self.units_per_ghz_sec,
+                    )
+                }),
+        );
+        let plan = yds_schedule_with(&yds_jobs, &mut self.scratch.yds);
+        self.scratch.yds_jobs = yds_jobs;
+        self.cache.demand_w[core_idx] = self.model.power(plan.peak_speed);
+        self.cache.peak_speed[core_idx] = plan.peak_speed;
+        self.cache.uncapped[core_idx] = plan.profile;
     }
 
     /// Applies the granted power cap to a core: second (Quality-OPT) cut
-    /// if needed, re-plan, and install.
-    fn finalize_core(&self, ctx: &mut ScheduleCtx<'_>, core_idx: usize, cap_w: f64) {
+    /// if needed, re-plan, and install. When no cut binds, the uncapped
+    /// Energy-OPT plan cached by [`Self::plan_core_uncapped`] this epoch
+    /// is installed directly instead of being recomputed.
+    fn finalize_core(&mut self, ctx: &mut ScheduleCtx<'_>, core_idx: usize, cap_w: f64) {
         let now = ctx.now;
         let mut s_cap = self.model.speed_for_power(cap_w);
         if let Some(cap) = self.opts.speed_cap_ghz {
@@ -329,30 +458,37 @@ impl GeScheduler {
                 speed_cap_ghz: s_cap,
             });
         }
-        let core = ctx.server.core_mut(core_idx);
 
         // Indices of plannable jobs in deadline (EDF) order.
-        let mut order: Vec<usize> = (0..core.jobs().len())
-            .filter(|&i| {
+        let mut order = std::mem::take(&mut self.scratch.order);
+        order.clear();
+        {
+            let core = ctx.server.core(core_idx);
+            order.extend((0..core.jobs().len()).filter(|&i| {
                 let j = &core.jobs()[i];
                 j.remaining() > 1e-9 && j.deadline.after(now)
-            })
-            .collect();
-        order.sort_by(|&a, &b| {
-            let ja = &core.jobs()[a];
-            let jb = &core.jobs()[b];
-            ja.deadline.total_cmp(&jb.deadline).then(ja.id.cmp(&jb.id))
-        });
+            }));
+            order.sort_by(|&a, &b| {
+                let ja = &core.jobs()[a];
+                let jb = &core.jobs()[b];
+                ja.deadline.total_cmp(&jb.deadline).then(ja.id.cmp(&jb.id))
+            });
+        }
         if order.is_empty() {
-            core.install_plan(SpeedProfile::empty(), cap_w);
+            ctx.server
+                .core_mut(core_idx)
+                .install_plan(SpeedProfile::empty(), cap_w);
+            self.cache.was_capped[core_idx] = false;
+            self.scratch.order = order;
             return;
         }
 
         // Can the cap execute the batch? Peak feasible speed check.
         let needs_cut = {
+            let core = ctx.server.core(core_idx);
             let mut cum_work = 0.0;
             let mut peak = 0.0f64;
-            for &i in &order {
+            for &i in order.iter() {
                 let j = &core.jobs()[i];
                 cum_work += j.remaining() / self.units_per_ghz_sec;
                 let window = j.deadline.saturating_since(now).as_secs().max(1e-9);
@@ -360,19 +496,25 @@ impl GeScheduler {
             }
             peak > s_cap + 1e-9
         };
+        self.cache.was_capped[core_idx] = needs_cut;
 
-        if needs_cut {
+        let segments: Vec<SpeedSegment> = if needs_cut {
             // Quality-OPT second cut: prefix-constrained level fill on the
             // volume achievable by each deadline at the capped speed.
-            let demands: Vec<f64> = order.iter().map(|&i| core.jobs()[i].remaining()).collect();
-            let budgets: Vec<f64> = order
-                .iter()
-                .map(|&i| {
+            let mut demands = std::mem::take(&mut self.scratch.fin_demands);
+            let mut budgets = std::mem::take(&mut self.scratch.fin_budgets);
+            demands.clear();
+            budgets.clear();
+            {
+                let core = ctx.server.core(core_idx);
+                demands.extend(order.iter().map(|&i| core.jobs()[i].remaining()));
+                budgets.extend(order.iter().map(|&i| {
                     let j = &core.jobs()[i];
                     s_cap * j.deadline.saturating_since(now).as_secs() * self.units_per_ghz_sec
-                })
-                .collect();
+                }));
+            }
             let alloc = prefix_level_fill(&demands, &budgets);
+            let core = ctx.server.core_mut(core_idx);
             for (&i, &a) in order.iter().zip(&alloc) {
                 let j = &mut core.jobs_mut()[i];
                 j.target_demand = (j.processed + a).min(j.estimate.max(j.processed));
@@ -385,33 +527,50 @@ impl GeScheduler {
                     volume_after: alloc.iter().sum(),
                 });
             }
-        }
+            self.scratch.fin_demands = demands;
+            self.scratch.fin_budgets = budgets;
 
-        // Final Energy-OPT plan over the (possibly twice-cut) targets.
-        let yds_jobs: Vec<YdsJob> = order
-            .iter()
-            .enumerate()
-            .filter(|(_, &i)| core.jobs()[i].remaining() > 1e-9)
-            .map(|(k, &i)| {
-                let j = &core.jobs()[i];
-                YdsJob::new(
-                    k,
-                    now.as_secs(),
-                    j.deadline.as_secs(),
-                    j.remaining() / self.units_per_ghz_sec,
-                )
-            })
-            .collect();
-        let plan = yds_schedule(&yds_jobs);
+            // Final Energy-OPT plan over the twice-cut targets.
+            let mut yds_jobs = std::mem::take(&mut self.scratch.yds_jobs);
+            yds_jobs.clear();
+            {
+                let core = ctx.server.core(core_idx);
+                yds_jobs.extend(
+                    order
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &i)| core.jobs()[i].remaining() > 1e-9)
+                        .map(|(k, &i)| {
+                            let j = &core.jobs()[i];
+                            YdsJob::new(
+                                k,
+                                now.as_secs(),
+                                j.deadline.as_secs(),
+                                j.remaining() / self.units_per_ghz_sec,
+                            )
+                        }),
+                );
+            }
+            let plan = yds_schedule_with(&yds_jobs, &mut self.scratch.yds);
+            self.scratch.yds_jobs = yds_jobs;
 
-        // Clamp at the cap (numerical safety; the cut guarantees
-        // feasibility up to rounding).
-        let segments: Vec<SpeedSegment> = plan
-            .profile
-            .segments()
-            .iter()
-            .map(|s| SpeedSegment::new(s.start, s.end, s.speed_ghz.min(s_cap)))
-            .collect();
+            // Clamp at the cap (numerical safety; the cut guarantees
+            // feasibility up to rounding).
+            plan.profile
+                .segments()
+                .iter()
+                .map(|s| SpeedSegment::new(s.start, s.end, s.speed_ghz.min(s_cap)))
+                .collect()
+        } else {
+            // No cut binds: the uncapped plan computed this epoch is the
+            // final plan (the clamp is an identity when s_cap ≥ peak, but
+            // kept for numerical safety near the boundary).
+            self.cache.uncapped[core_idx]
+                .segments()
+                .iter()
+                .map(|s| SpeedSegment::new(s.start, s.end, s.speed_ghz.min(s_cap)))
+                .collect()
+        };
         if ctx.sink.is_enabled() {
             for s in &segments {
                 ctx.sink.record(&TraceEvent::SpeedSegment {
@@ -423,23 +582,37 @@ impl GeScheduler {
                 });
             }
         }
-        core.install_plan(SpeedProfile::new(segments), cap_w);
+        ctx.server
+            .core_mut(core_idx)
+            .install_plan(SpeedProfile::new(segments), cap_w);
+        self.scratch.order = order;
     }
 
     /// Rebuilds every online core's plan as a single constant rectified
-    /// speed (discrete-DVFS mode, §IV-A-5).
-    fn apply_discrete(&self, ctx: &mut ScheduleCtx<'_>, caps: &[f64], online: &[bool], h_eff: f64) {
+    /// speed (discrete-DVFS mode, §IV-A-5). Incremental replanning is
+    /// disabled whenever a ladder is configured, so `online_idx` always
+    /// covers every online core here.
+    fn apply_discrete(
+        &mut self,
+        ctx: &mut ScheduleCtx<'_>,
+        caps: &[f64],
+        online_idx: &[usize],
+        h_eff: f64,
+    ) {
         let Some(ladder) = &self.discrete else {
             return;
         };
         let now = ctx.now;
-        let online_idx: Vec<usize> = (0..self.cores).filter(|&i| online[i]).collect();
         // Chosen continuous speed per core = peak of its installed plan.
-        let chosen: Vec<f64> = online_idx
-            .iter()
-            .map(|&i| ctx.server.core(i).profile().max_speed())
-            .collect();
+        let mut chosen = std::mem::take(&mut self.scratch.chosen);
+        chosen.clear();
+        chosen.extend(
+            online_idx
+                .iter()
+                .map(|&i| ctx.server.core(i).profile().max_speed()),
+        );
         let rectified = ladder.rectify(&chosen, &self.model, h_eff);
+        self.scratch.chosen = chosen;
         for (k, &i) in online_idx.iter().enumerate() {
             let speed = rectified[k];
             let core = ctx.server.core_mut(i);
@@ -484,9 +657,9 @@ impl Scheduler for GeScheduler {
     fn on_schedule(&mut self, ctx: &mut ScheduleCtx<'_>) {
         self.epochs += 1;
         let h_eff = self.budget_w * ctx.budget_factor;
-        let online: Vec<bool> = (0..self.cores)
-            .map(|i| ctx.server.core(i).is_online())
-            .collect();
+        let mut online = std::mem::take(&mut self.scratch.online);
+        online.clear();
+        online.extend((0..self.cores).map(|i| ctx.server.core(i).is_online()));
         let m_online = online.iter().filter(|&&up| up).count();
 
         // 2. Mode decision (compensation policy; throttling forces AES).
@@ -503,9 +676,66 @@ impl Scheduler for GeScheduler {
         }
 
         // Every core down: nothing can be assigned or planned. Queued
-        // jobs wait (or expire) until a recovery re-triggers us.
+        // jobs wait (or expire) until a recovery re-triggers us. The
+        // cache is left unprimed state-wise: dirty bits stay set, so the
+        // recovery epoch replans from scratch.
         if m_online == 0 {
+            self.cache.dirty.iter_mut().for_each(|d| *d = true);
+            self.cache.primed = false;
+            self.scratch.online = online;
             return;
+        }
+
+        // ── Dirty-bit determination ─────────────────────────────────────
+        // The ES/WF selection is an epoch-global planning input, so it is
+        // decided up front (the PowerSplit event is still emitted at its
+        // usual point below).
+        let use_wf = match self.opts.power_policy {
+            PowerPolicy::Hybrid => ctx.load_estimate_rps >= self.critical_load_rps,
+            PowerPolicy::EqualSharingOnly => false,
+            PowerPolicy::WaterFillingOnly => true,
+        };
+        // Global invalidations replan every core: any change to an input
+        // that shapes all plans (mode, throttle, ES/WF flip, the online
+        // set), plus modes where incrementality is off entirely (discrete
+        // DVFS rebuilds every plan each epoch by design).
+        let force_full = self.opts.force_full_replan
+            || self.discrete.is_some()
+            || !self.cache.primed
+            || self.mode != prev_mode
+            || ctx.budget_factor != self.cache.last_budget_factor
+            || Some(use_wf) != self.cache.last_use_wf
+            || online != self.cache.last_online;
+        if force_full {
+            self.cache.dirty.iter_mut().for_each(|d| *d = true);
+        } else {
+            for (i, &up) in online.iter().enumerate() {
+                if !up || self.cache.dirty[i] {
+                    continue;
+                }
+                let core = ctx.server.core(i);
+                // Reaped completions/expirations (the driver removes them
+                // without telling the scheduler) invalidate the kept
+                // plan. So does any non-nominal DVFS factor — not just a
+                // *changed* one: while delivered speed ≠ planned speed,
+                // execution drifts off the plan every slice, and a full
+                // replan would keep re-adapting to the shortfall.
+                if job_set_fingerprint(core.jobs()) != self.cache.fp[i]
+                    || core.speed_factor() != self.cache.speed_factor[i]
+                    || core.speed_factor() != 1.0
+                {
+                    self.cache.dirty[i] = true;
+                }
+            }
+            // Cores whose last finalize was second-cut replan every epoch:
+            // a full replan would first restore the LF-cut targets and
+            // re-derive the (possibly shallower) second cut from current
+            // power, which a skip would freeze.
+            for (i, &up) in online.iter().enumerate() {
+                if up && self.cache.was_capped[i] {
+                    self.cache.dirty[i] = true;
+                }
+            }
         }
 
         // 0. Replan on core loss: re-home jobs preempted off failed
@@ -521,6 +751,7 @@ impl Scheduler for GeScheduler {
                 });
             }
             ctx.server.core_mut(core_idx).adopt(job);
+            self.cache.dirty[core_idx] = true;
         }
 
         // 1. C-RR batch assignment (or plain RR in the ablation), gated
@@ -528,11 +759,16 @@ impl Scheduler for GeScheduler {
         if self.opts.plain_rr {
             self.crr.reset();
         }
-        let mut batch: Vec<_> = ctx.queue.drain(..).collect();
+        let mut batch = std::mem::take(&mut self.scratch.batch);
+        batch.clear();
+        batch.append(ctx.queue);
         self.shed_below_floor(ctx, &mut batch, m_online, h_eff);
-        let targets = self.crr.assign_batch_online(batch.len(), &online);
+        let mut targets = std::mem::take(&mut self.scratch.assign_targets);
+        self.crr
+            .assign_batch_online_into(batch.len(), &online, &mut targets);
         for (job, &core_idx) in batch.iter().zip(&targets) {
             ctx.server.core_mut(core_idx).assign(job);
+            self.cache.dirty[core_idx] = true;
             if ctx.sink.is_enabled() {
                 ctx.sink.record(&TraceEvent::JobAssigned {
                     t: ctx.now.as_secs(),
@@ -541,27 +777,32 @@ impl Scheduler for GeScheduler {
                 });
             }
         }
+        self.scratch.assign_targets = targets;
+        batch.clear();
+        self.scratch.batch = batch;
 
-        // 3–5. Per-core targets and uncapped Energy-OPT plans (online
-        // cores only; failed cores hold no work and get no power).
+        // 3–5. Per-core targets and uncapped Energy-OPT plans — dirty
+        // cores only. Clean cores contribute their cached power demand:
+        // re-running YDS mid-plan divides the same residual work by the
+        // same residual window, so the cached demand is what a recompute
+        // would return (to float round-off).
         let cut_target = self.effective_cut_target(ctx.budget_factor);
-        let mut demands = Vec::with_capacity(m_online);
-        let mut online_idx = Vec::with_capacity(m_online);
-        for (i, up) in online.iter().enumerate() {
+        let mut demands = std::mem::take(&mut self.scratch.demands);
+        let mut online_idx = std::mem::take(&mut self.scratch.online_idx);
+        demands.clear();
+        online_idx.clear();
+        for (i, &up) in online.iter().enumerate() {
             if !up {
                 continue;
             }
-            let (demand_w, _plan) = self.plan_core_uncapped(ctx, i, cut_target);
-            demands.push(demand_w);
+            if self.cache.dirty[i] {
+                self.plan_core_uncapped(ctx, i, cut_target);
+            }
+            demands.push(self.cache.demand_w[i]);
             online_idx.push(i);
         }
 
         // 4. Hybrid power distribution over the *effective* budget.
-        let use_wf = match self.opts.power_policy {
-            PowerPolicy::Hybrid => ctx.load_estimate_rps >= self.critical_load_rps,
-            PowerPolicy::EqualSharingOnly => false,
-            PowerPolicy::WaterFillingOnly => true,
-        };
         if ctx.sink.is_enabled() {
             ctx.sink.record(&TraceEvent::PowerSplit {
                 t: ctx.now.as_secs(),
@@ -580,15 +821,61 @@ impl Scheduler for GeScheduler {
             distribute_equal_sharing(m_online, h_eff)
         };
 
-        // 5–6. Cap-aware finalization per online core.
-        let mut caps = vec![0.0; self.cores];
+        // 5–6. Cap-aware finalization per online core. A clean core whose
+        // granted cap still covers its kept plan's peak is skipped
+        // outright — plan, targets, and cap metadata stay as installed.
+        let mut caps = std::mem::take(&mut self.scratch.caps);
+        caps.clear();
+        caps.resize(self.cores, 0.0);
+        let mut skipped_this_epoch = 0u64;
         for (k, &i) in online_idx.iter().enumerate() {
             caps[i] = caps_online[k];
+            if !self.cache.dirty[i] {
+                let mut s_cap = self.model.speed_for_power(caps_online[k]);
+                if let Some(cap) = self.opts.speed_cap_ghz {
+                    s_cap = s_cap.min(cap);
+                }
+                if s_cap + 1e-9 >= self.cache.peak_speed[i] {
+                    skipped_this_epoch += 1;
+                    continue;
+                }
+                // The cap shrank below the kept peak (another core's
+                // demand moved the water-filling level): bring the core
+                // through the full pipeline after all.
+                self.plan_core_uncapped(ctx, i, cut_target);
+            }
             self.finalize_core(ctx, i, caps_online[k]);
+        }
+        if skipped_this_epoch > 0 {
+            self.incremental_epochs += 1;
+            self.cores_skipped += skipped_this_epoch;
         }
 
         // Discrete-DVFS rectification (optional).
-        self.apply_discrete(ctx, &caps, &online, h_eff);
+        self.apply_discrete(ctx, &caps, &online_idx, h_eff);
+
+        // ── Commit the epoch snapshot ───────────────────────────────────
+        for (i, &up) in online.iter().enumerate() {
+            if up {
+                let core = ctx.server.core(i);
+                self.cache.fp[i] = job_set_fingerprint(core.jobs());
+                self.cache.speed_factor[i] = core.speed_factor();
+                self.cache.dirty[i] = false;
+            } else {
+                // Offline cores replan on recovery (also forced by the
+                // online-set change, but kept explicit).
+                self.cache.dirty[i] = true;
+            }
+        }
+        self.cache.last_online.clone_from(&online);
+        self.cache.last_budget_factor = ctx.budget_factor;
+        self.cache.last_use_wf = Some(use_wf);
+        self.cache.primed = true;
+
+        self.scratch.online = online;
+        self.scratch.demands = demands;
+        self.scratch.online_idx = online_idx;
+        self.scratch.caps = caps;
     }
 }
 

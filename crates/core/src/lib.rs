@@ -50,7 +50,8 @@ pub mod result;
 pub use clairvoyant::{clairvoyant_plan, ClairvoyantOutcome};
 pub use config::{PowerPolicy, SimConfig};
 pub use driver::{
-    run, run_simulation, run_traced, run_with_faults, run_with_sink, RunTrace, TrajectorySink,
+    run, run_scheduler_with_sink, run_simulation, run_traced, run_with_faults, run_with_sink,
+    RunTrace, TrajectorySink,
 };
 pub use ge::GeScheduler;
 pub use policy::{Algorithm, ScheduleCtx, Scheduler, TriggerSet, MODE_AES, MODE_BQ};

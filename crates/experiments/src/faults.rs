@@ -8,12 +8,11 @@
 //! so the study is reproducible run to run.
 
 use crate::scale::Scale;
+use crate::sweep::parallel_indexed;
 use ge_core::{run_with_faults, Algorithm, RunResult, SimConfig};
 use ge_faults::{FaultScenario, ScenarioKind};
 use ge_metrics::Table;
 use ge_workload::{WorkloadConfig, WorkloadGenerator};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// The intensity grid swept by the degradation study.
 pub const INTENSITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
@@ -50,40 +49,9 @@ fn run_fault_cell(cell: &FaultCell) -> RunResult {
 }
 
 /// Runs every cell in parallel, returning results in cell order (the
-/// same scoped-worker idiom as [`crate::sweep::sweep`]).
+/// same panic-safe fan-out as [`crate::sweep::sweep`]).
 fn sweep_faults(cells: &[FaultCell]) -> Vec<RunResult> {
-    if cells.is_empty() {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(cells.len());
-
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let next = &next;
-            let slots = &slots;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let result = run_fault_cell(&cells[i]);
-                slots.lock().expect("no panics while holding the lock")[i] = Some(result);
-            });
-        }
-    });
-
-    slots
-        .into_inner()
-        .expect("all workers joined")
-        .into_iter()
-        .map(|s| s.expect("every cell ran"))
-        .collect()
+    parallel_indexed(cells.len(), |i| run_fault_cell(&cells[i]))
 }
 
 /// Runs the degradation study for `kind`. Returns three tables, each

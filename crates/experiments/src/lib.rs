@@ -41,4 +41,4 @@ pub mod validation;
 
 pub use calibrate::{calibrate_bep_budget, calibrate_bes_speed};
 pub use scale::Scale;
-pub use sweep::{average_results, run_cell, sweep, AveragedResult, Cell};
+pub use sweep::{average_results, parallel_indexed, run_cell, sweep, AveragedResult, Cell};

@@ -8,7 +8,8 @@
 
 use ge_core::{run, Algorithm, RunResult, SimConfig};
 use ge_workload::{WorkloadConfig, WorkloadGenerator};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// One independent simulation to run.
@@ -31,38 +32,74 @@ pub fn run_cell(cell: &Cell) -> RunResult {
 }
 
 /// Runs every cell, in parallel, returning results in cell order.
+///
+/// A panicking cell does not deadlock or poison the pool: the remaining
+/// workers wind down and the original panic resumes on the caller's
+/// thread with its payload (message) intact.
 pub fn sweep(cells: &[Cell]) -> Vec<RunResult> {
-    if cells.is_empty() {
+    parallel_indexed(cells.len(), |i| run_cell(&cells[i]))
+}
+
+/// Fans `f(0..n)` out over `std::thread::scope` workers (one per
+/// available core) and returns the results in index order.
+///
+/// The work closure runs under [`catch_unwind`], *outside* the slot
+/// mutex, so a panicking task can never poison the shared state the
+/// collection path still needs. The first panic aborts the remaining
+/// queue (in-flight tasks finish) and is re-raised on the caller's
+/// thread via [`resume_unwind`] — callers observe the original panic,
+/// not a secondary `PoisonError` unwrap.
+pub fn parallel_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
         return Vec::new();
     }
     let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(|w| w.get())
         .unwrap_or(4)
-        .min(cells.len());
+        .min(n);
 
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
+    let abort = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let next = &next;
-            let slots = &slots;
+            let (next, abort, slots, first_panic, f) = (&next, &abort, &slots, &first_panic, &f);
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
+                if abort.load(Ordering::Relaxed) {
                     break;
                 }
-                let result = run_cell(&cells[i]);
-                slots.lock().expect("no panics while holding the lock")[i] = Some(result);
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(result) => {
+                        slots.lock().expect("slot store unpoisoned")[i] = Some(result);
+                    }
+                    Err(payload) => {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut first = first_panic.lock().expect("payload store unpoisoned");
+                        first.get_or_insert(payload);
+                    }
+                }
             });
         }
     });
 
+    if let Some(payload) = first_panic.into_inner().expect("all workers joined") {
+        resume_unwind(payload);
+    }
     slots
         .into_inner()
         .expect("all workers joined")
         .into_iter()
-        .map(|s| s.expect("every cell ran"))
+        .map(|s| s.expect("every task ran"))
         .collect()
 }
 
@@ -194,5 +231,34 @@ mod tests {
     #[should_panic]
     fn average_empty_panics() {
         let _ = average_results(&[]);
+    }
+
+    #[test]
+    fn panicking_cell_resurfaces_the_original_message() {
+        // Regression: a panic inside a worker used to poison the slots
+        // mutex, so the caller saw "no panics while holding the lock"
+        // instead of the real failure. The original payload must win.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_indexed(8, |i| {
+                if i == 3 {
+                    panic!("cell 3 exploded");
+                }
+                i * 2
+            })
+        }))
+        .expect_err("the worker panic must propagate");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .expect("payload is the original message");
+        assert_eq!(msg, "cell 3 exploded");
+    }
+
+    #[test]
+    fn parallel_indexed_orders_results() {
+        assert_eq!(parallel_indexed(5, |i| i * i), vec![0, 1, 4, 9, 16]);
+        assert!(parallel_indexed(0, |i| i).is_empty());
     }
 }

@@ -40,9 +40,14 @@ impl Histogram {
         Self::new(1.0, 1000)
     }
 
-    /// Records one observation (negative values clamp to zero).
+    /// Records one observation. Negative values clamp to zero; non-finite
+    /// values (NaN, ±∞) are dropped without counting — one corrupt sample
+    /// must not poison the mean/max or, worse, panic a release run that a
+    /// debug assertion would have caught only in tests.
     pub fn record(&mut self, value: f64) {
-        debug_assert!(value.is_finite());
+        if !value.is_finite() {
+            return;
+        }
         let v = value.max(0.0);
         let idx = if v >= self.upper {
             self.bins.len() - 1
@@ -212,6 +217,34 @@ mod tests {
         let (p50, p95, p99) = h.p50_p95_p99();
         assert!(p50 < p95 && p95 <= p99);
     }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        // Regression: record() used debug_assert!(value.is_finite()), so
+        // a NaN latency panicked test builds and silently poisoned sum,
+        // max, and every quantile in release builds.
+        let mut h = Histogram::new(1.0, 10);
+        h.record(0.25);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(0.75);
+        assert_eq!(h.count(), 2, "non-finite samples must not count");
+        assert!((h.mean() - 0.5).abs() < 1e-12);
+        assert!((h.max() - 0.75).abs() < 1e-12);
+        assert!(h.quantile(1.0).is_finite());
+    }
+
+    #[test]
+    fn all_nan_histogram_stays_empty() {
+        let mut h = Histogram::new(1.0, 10);
+        for _ in 0..5 {
+            h.record(f64::NAN);
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
 }
 
 #[cfg(test)]
@@ -230,7 +263,7 @@ mod generative_tests {
             for &v in &values {
                 h.record(v);
             }
-            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.sort_by(|a, b| a.total_cmp(b));
             let idx = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
             let exact = values[idx];
             let est = h.quantile(q);

@@ -38,4 +38,4 @@ pub use energy::EnergyMeter;
 pub use model::{PolynomialPower, PowerModel};
 pub use profile::{SpeedProfile, SpeedSegment};
 pub use static_power::StaticDynamicPower;
-pub use yds::{yds_schedule, YdsJob, YdsSchedule};
+pub use yds::{yds_schedule, yds_schedule_with, YdsJob, YdsSchedule, YdsScratch};

@@ -87,17 +87,54 @@ struct Block {
     speed: f64,
 }
 
-/// Splits `[lo, hi]` into its maximal sub-intervals not covered by `blocks`.
-fn free_parts(lo: f64, hi: f64, blocks: &[Block]) -> Vec<(f64, f64)> {
-    let mut covered: Vec<(f64, f64)> = blocks
-        .iter()
-        .filter(|b| b.end > lo && b.start < hi)
-        .map(|b| (b.start.max(lo), b.end.min(hi)))
-        .collect();
-    covered.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
-    let mut parts = Vec::new();
+/// Reusable working memory for [`yds_schedule_with`].
+///
+/// The YDS peeling loop needs several temporary vectors per peel
+/// (candidate releases, a sorted-block prefix table, interval splits).
+/// Allocating them on every call dominates the kernel's cost for the
+/// small per-core batches the scheduler feeds it, so callers on the hot
+/// path (the GE epoch replanner) keep one `YdsScratch` alive and hand it
+/// back in; the buffers grow to the high-water mark and stay there.
+#[derive(Debug, Default)]
+pub struct YdsScratch {
+    remaining: Vec<YdsJob>,
+    by_deadline: Vec<YdsJob>,
+    releases: Vec<f64>,
+    sorted_blocks: Vec<(f64, f64)>,
+    prefix: Vec<f64>,
+    blocks: Vec<Block>,
+    covered: Vec<(f64, f64)>,
+    parts: Vec<(f64, f64)>,
+}
+
+impl YdsScratch {
+    /// Creates an empty scratch. Buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Splits `[lo, hi]` into its maximal sub-intervals not covered by
+/// `blocks`, writing them into `parts` (cleared first). `covered` is
+/// scratch for the overlap sort.
+fn free_parts_into(
+    lo: f64,
+    hi: f64,
+    blocks: &[Block],
+    covered: &mut Vec<(f64, f64)>,
+    parts: &mut Vec<(f64, f64)>,
+) {
+    covered.clear();
+    covered.extend(
+        blocks
+            .iter()
+            .filter(|b| b.end > lo && b.start < hi)
+            .map(|b| (b.start.max(lo), b.end.min(hi))),
+    );
+    covered.sort_by(|a, b| a.0.total_cmp(&b.0));
+    parts.clear();
     let mut cursor = lo;
-    for (s, e) in covered {
+    for &(s, e) in covered.iter() {
         if s > cursor + 1e-12 {
             parts.push((cursor, s));
         }
@@ -106,7 +143,6 @@ fn free_parts(lo: f64, hi: f64, blocks: &[Block]) -> Vec<(f64, f64)> {
     if hi > cursor + 1e-12 {
         parts.push((cursor, hi));
     }
-    parts
 }
 
 /// Computes the Energy-OPT (YDS) schedule for a batch of jobs on one core.
@@ -125,28 +161,52 @@ fn free_parts(lo: f64, hi: f64, blocks: &[Block]) -> Vec<(f64, f64)> {
 /// assert!((s.peak_speed - 1.5).abs() < 1e-9);
 /// ```
 pub fn yds_schedule(jobs: &[YdsJob]) -> YdsSchedule {
-    let mut remaining: Vec<YdsJob> = jobs.iter().filter(|j| j.work > 0.0).copied().collect();
-    let mut blocks: Vec<Block> = Vec::new();
+    yds_schedule_with(jobs, &mut YdsScratch::new())
+}
+
+/// [`yds_schedule`] with caller-provided working memory.
+///
+/// Behaviourally identical to [`yds_schedule`]; the only difference is
+/// that every temporary lives in `scratch`, so repeated calls (one per
+/// dirty core per epoch) allocate nothing once the buffers have grown to
+/// the working-set size.
+pub fn yds_schedule_with(jobs: &[YdsJob], scratch: &mut YdsScratch) -> YdsSchedule {
+    let YdsScratch {
+        remaining,
+        by_deadline,
+        releases,
+        sorted_blocks,
+        prefix,
+        blocks,
+        covered,
+        parts,
+    } = scratch;
+    remaining.clear();
+    remaining.extend(jobs.iter().filter(|j| j.work > 0.0).copied());
+    blocks.clear();
     let mut peak = 0.0f64;
 
     // Jobs sorted by deadline once; the per-peel sweep below walks this
     // order and filters by release, so each (t1, ·) sweep is one pass.
-    let mut by_deadline: Vec<YdsJob> = remaining.clone();
-    by_deadline.sort_by(|a, b| a.deadline.partial_cmp(&b.deadline).expect("finite"));
+    by_deadline.clear();
+    by_deadline.extend_from_slice(remaining);
+    by_deadline.sort_by(|a, b| a.deadline.total_cmp(&b.deadline));
 
     while !remaining.is_empty() {
         // Candidate critical intervals: [release_i, deadline_j] pairs.
-        let mut releases: Vec<f64> = remaining.iter().map(|j| j.release).collect();
-        releases.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        releases.clear();
+        releases.extend(remaining.iter().map(|j| j.release));
+        releases.sort_by(|a, b| a.total_cmp(b));
         releases.dedup();
 
         // Prefix view of blocked time for O(log B) avail queries:
         // `blocked_before(x)` = total blocked length left of `x`.
-        let mut sorted_blocks: Vec<(f64, f64)> = blocks.iter().map(|b| (b.start, b.end)).collect();
-        sorted_blocks.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-        let mut prefix = Vec::with_capacity(sorted_blocks.len() + 1);
+        sorted_blocks.clear();
+        sorted_blocks.extend(blocks.iter().map(|b| (b.start, b.end)));
+        sorted_blocks.sort_by(|a, b| a.0.total_cmp(&b.0));
+        prefix.clear();
         prefix.push(0.0f64);
-        for &(s, e) in &sorted_blocks {
+        for &(s, e) in sorted_blocks.iter() {
             prefix.push(prefix.last().expect("non-empty") + (e - s));
         }
         let blocked_before = |x: f64| -> f64 {
@@ -163,7 +223,7 @@ pub fn yds_schedule(jobs: &[YdsJob]) -> YdsSchedule {
         };
 
         let mut best: Option<(f64, f64, f64)> = None; // (t1, t2, intensity)
-        for &t1 in &releases {
+        for &t1 in releases.iter() {
             let blocked_at_t1 = blocked_before(t1);
             // Sweep deadlines ascending, accumulating the work of jobs
             // whose window fits [t1, t2].
@@ -209,7 +269,8 @@ pub fn yds_schedule(jobs: &[YdsJob]) -> YdsSchedule {
         peak = peak.max(intensity);
 
         // Block the free parts of the critical interval at this intensity.
-        for (s, e) in free_parts(t1, t2, &blocks) {
+        free_parts_into(t1, t2, blocks, covered, parts);
+        for &(s, e) in parts.iter() {
             blocks.push(Block {
                 start: s,
                 end: e,
@@ -221,10 +282,12 @@ pub fn yds_schedule(jobs: &[YdsJob]) -> YdsSchedule {
         by_deadline.retain(|j| !(j.release >= t1 - 1e-12 && j.deadline <= t2 + 1e-12));
     }
 
-    blocks.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));
-    // Merge adjacent equal-speed blocks for a tidy profile.
+    blocks.sort_by(|a, b| a.start.total_cmp(&b.start));
+    // Merge adjacent equal-speed blocks for a tidy profile. The segment
+    // vector is owned by the returned profile, so it cannot live in the
+    // scratch.
     let mut segments: Vec<SpeedSegment> = Vec::with_capacity(blocks.len());
-    for b in blocks {
+    for &b in blocks.iter() {
         if b.end - b.start <= 1e-12 {
             continue;
         }
@@ -507,6 +570,27 @@ mod generative_tests {
             }
             let lb = model.power(total / span) * span;
             assert!(s.energy(&model) >= lb - 1e-6);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // A reused scratch carries state between calls; results must be
+        // byte-for-byte what the allocating entry point produces.
+        let mut scratch = YdsScratch::new();
+        for seed in 0..32u64 {
+            let mut rng = RngStream::from_root(seed, "yds/scratch");
+            let jobs = random_jobs(&mut rng, 12);
+            let fresh = yds_schedule(&jobs);
+            let reused = yds_schedule_with(&jobs, &mut scratch);
+            assert_eq!(fresh.peak_speed.to_bits(), reused.peak_speed.to_bits());
+            let (a, b) = (fresh.profile.segments(), reused.profile.segments());
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.start, y.start);
+                assert_eq!(x.end, y.end);
+                assert_eq!(x.speed_ghz.to_bits(), y.speed_ghz.to_bits());
+            }
         }
     }
 

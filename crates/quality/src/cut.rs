@@ -20,7 +20,7 @@
 //! (up to the max demand), `L*` is unique; the discrete walk below brackets
 //! it between adjacent demand values and the final solve is exact.
 
-use crate::function::QualityFunction;
+use crate::function::{InverseMemo, QualityFunction};
 
 /// Result of an LF cut over one batch.
 #[derive(Debug, Clone)]
@@ -33,6 +33,43 @@ pub struct CutOutcome {
     pub cut_count: usize,
     /// Batch quality after the cut: `Σ f(c_j) / Σ f(p_j)` (1.0 for empty).
     pub achieved_quality: f64,
+}
+
+impl Default for CutOutcome {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl CutOutcome {
+    /// The outcome for an empty batch: nothing cut, quality 1.
+    pub fn empty() -> Self {
+        CutOutcome {
+            cut_demands: Vec::new(),
+            level: f64::INFINITY,
+            cut_count: 0,
+            achieved_quality: 1.0,
+        }
+    }
+}
+
+/// Reusable working memory for [`lf_cut_with`]: the descending-demand
+/// sort buffer plus the [`InverseMemo`] for the final level solve.
+///
+/// A scratch is tied to **one** quality function — the memo caches
+/// `f.inverse(q)` keyed by `q` alone, so sharing it across different
+/// functions would return stale inversions.
+#[derive(Debug, Default)]
+pub struct CutScratch {
+    sorted: Vec<f64>,
+    memo: InverseMemo,
+}
+
+impl CutScratch {
+    /// Creates an empty scratch. Buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Applies the LF cutting policy to a batch of demands.
@@ -52,33 +89,49 @@ pub struct CutOutcome {
 /// assert_eq!(out.cut_demands[3], 100.0);
 /// ```
 pub fn lf_cut(f: &dyn QualityFunction, demands: &[f64], q_ge: f64) -> CutOutcome {
+    let mut out = CutOutcome::empty();
+    lf_cut_with(f, demands, q_ge, &mut CutScratch::new(), &mut out);
+    out
+}
+
+/// [`lf_cut`] with caller-provided working memory and output storage.
+///
+/// Behaviourally identical to [`lf_cut`] (the memoized inversion returns
+/// the bit-exact value a direct `f.inverse` call would), but the sort
+/// buffer, the inversion memo, and the output vector are reused across
+/// calls, so the per-epoch cut on the hot scheduling path allocates
+/// nothing once warmed up.
+pub fn lf_cut_with(
+    f: &dyn QualityFunction,
+    demands: &[f64],
+    q_ge: f64,
+    scratch: &mut CutScratch,
+    out: &mut CutOutcome,
+) {
     let n = demands.len();
+    out.cut_demands.clear();
+    out.level = f64::INFINITY;
+    out.cut_count = 0;
+    out.achieved_quality = 1.0;
     if n == 0 {
-        return CutOutcome {
-            cut_demands: Vec::new(),
-            level: f64::INFINITY,
-            cut_count: 0,
-            achieved_quality: 1.0,
-        };
+        return;
     }
     debug_assert!(demands.iter().all(|&d| d.is_finite() && d >= 0.0));
 
     let full_sum: f64 = demands.iter().map(|&d| f.value(d)).sum();
     if full_sum <= 0.0 || q_ge >= 1.0 {
         // Nothing to gain from cutting (or no cutting allowed).
-        return CutOutcome {
-            cut_demands: demands.to_vec(),
-            level: f64::INFINITY,
-            cut_count: 0,
-            achieved_quality: 1.0,
-        };
+        out.cut_demands.extend_from_slice(demands);
+        return;
     }
     let target = (q_ge.max(0.0)) * full_sum;
 
     // Sort demands descending; walk candidate levels (each distinct demand,
     // then zero) until the quality at that level falls to/below the target.
-    let mut sorted: Vec<f64> = demands.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("demands are finite"));
+    let sorted = &mut scratch.sorted;
+    sorted.clear();
+    sorted.extend_from_slice(demands);
+    sorted.sort_by(|a, b| b.total_cmp(a));
 
     // suffix_f[i] = Σ_{j ≥ i} f(sorted[j]); computed incrementally as we
     // walk i upward by *removing* terms from the full sum.
@@ -107,27 +160,23 @@ pub fn lf_cut(f: &dyn QualityFunction, demands: &[f64], q_ge: f64) -> CutOutcome
         if q_at_next <= target {
             // L* lies in [next_level, run_value]: solve k·f(L) = target − suffix_f.
             let per_job_quality = ((target - suffix_f) / k as f64).max(0.0);
-            let l = f.inverse(per_job_quality);
+            let l = scratch.memo.inverse(f, per_job_quality);
             solved_level = Some(l.clamp(next_level, run_value));
             break;
         }
     }
 
     let l_star = solved_level.unwrap_or(0.0);
-    let cut_demands: Vec<f64> = demands.iter().map(|&d| d.min(l_star)).collect();
-    let achieved: f64 = cut_demands.iter().map(|&c| f.value(c)).sum::<f64>() / full_sum;
-    let cut_count = demands
+    out.cut_demands
+        .extend(demands.iter().map(|&d| d.min(l_star)));
+    let achieved: f64 = out.cut_demands.iter().map(|&c| f.value(c)).sum::<f64>() / full_sum;
+    out.level = l_star;
+    out.cut_count = demands
         .iter()
-        .zip(&cut_demands)
+        .zip(&out.cut_demands)
         .filter(|(&p, &c)| c < p - 1e-12)
         .count();
-
-    CutOutcome {
-        cut_demands,
-        level: l_star,
-        cut_count,
-        achieved_quality: achieved,
-    }
+    out.achieved_quality = achieved;
 }
 
 #[cfg(test)]
@@ -326,6 +375,32 @@ mod generative_tests {
             let out = lf_cut(&f, &demands, q);
             for (p, c) in demands.iter().zip(&out.cut_demands) {
                 assert!((c - p.min(out.level)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // A long-lived scratch (sort buffer + inversion memo) must give
+        // byte-for-byte the same outcome as the allocating entry point.
+        let f = ExpConcave::paper_default();
+        let mut scratch = CutScratch::new();
+        let mut out = CutOutcome::empty();
+        for seed in 0..64u64 {
+            let mut rng = RngStream::from_root(seed, "cut/scratch");
+            let demands = random_demands(&mut rng, 1, 30);
+            let q = rng.uniform_range(0.05, 0.999);
+            let fresh = lf_cut(&f, &demands, q);
+            lf_cut_with(&f, &demands, q, &mut scratch, &mut out);
+            assert_eq!(fresh.level.to_bits(), out.level.to_bits());
+            assert_eq!(fresh.cut_count, out.cut_count);
+            assert_eq!(
+                fresh.achieved_quality.to_bits(),
+                out.achieved_quality.to_bits()
+            );
+            assert_eq!(fresh.cut_demands.len(), out.cut_demands.len());
+            for (a, b) in fresh.cut_demands.iter().zip(&out.cut_demands) {
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
     }

@@ -58,6 +58,68 @@ pub trait QualityFunction: Send + Sync {
     }
 }
 
+/// Slot count for [`InverseMemo`]. Power of two so the Fibonacci-hash
+/// index reduces to a shift; 256 entries is far beyond the handful of
+/// distinct targets a scheduling run queries between cache-relevant
+/// state changes.
+const INVERSE_MEMO_SLOTS: usize = 256;
+
+/// Direct-mapped memo table for [`QualityFunction::inverse`].
+///
+/// The LF-cut level solve inverts the quality function once per cut; for
+/// functions without a closed form the default inversion is a 60-step
+/// bisection (60 `value` evaluations), and epochs whose batch state did
+/// not change re-solve the exact same target. The memo caches inversions
+/// keyed by the **bit pattern** of `q`, so a hit returns the bit-exact
+/// value the direct call would — memoization can never change results.
+///
+/// A memo is tied to one quality function: it stores nothing about `f`,
+/// so reusing it across different functions would serve stale values.
+#[derive(Debug, Clone)]
+pub struct InverseMemo {
+    slots: Vec<Option<(u64, f64)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for InverseMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InverseMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        InverseMemo {
+            slots: vec![None; INVERSE_MEMO_SLOTS],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// `f.inverse(q)`, served from the memo when `q` repeats.
+    pub fn inverse(&mut self, f: &dyn QualityFunction, q: f64) -> f64 {
+        let bits = q.to_bits();
+        let idx = (bits.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize % INVERSE_MEMO_SLOTS;
+        if let Some((key, val)) = self.slots[idx] {
+            if key == bits {
+                self.hits += 1;
+                return val;
+            }
+        }
+        self.misses += 1;
+        let val = f.inverse(q);
+        self.slots[idx] = Some((bits, val));
+        val
+    }
+
+    /// `(hits, misses)` since construction — for tests and diagnostics.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
 /// The paper's Eq. 1 exponential-saturation quality function.
 #[derive(Debug, Clone, Copy)]
 pub struct ExpConcave {
@@ -402,6 +464,47 @@ mod tests {
                 (h.inverse(q) - f.inverse(q)).abs() < 1e-6,
                 "bisection disagrees at q={q}"
             );
+        }
+    }
+
+    #[test]
+    fn inverse_memo_is_bit_exact_and_hits() {
+        let f = ExpConcave::paper_default();
+        let mut memo = InverseMemo::new();
+        // First pass: all misses, values bit-identical to direct calls.
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            assert_eq!(memo.inverse(&f, q).to_bits(), f.inverse(q).to_bits());
+        }
+        let (hits_before, misses) = memo.stats();
+        assert_eq!(hits_before, 0);
+        assert_eq!(misses, 101);
+        // Second pass over the same targets: mostly served from the memo
+        // (direct-mapped slots may collide and evict), still bit-identical.
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            assert_eq!(memo.inverse(&f, q).to_bits(), f.inverse(q).to_bits());
+        }
+        let (hits_after, _) = memo.stats();
+        assert!(hits_after > 50, "expected mostly hits, got {hits_after}");
+        // A repeated identical query is always a hit.
+        let (h0, _) = memo.stats();
+        memo.inverse(&f, 0.5);
+        memo.inverse(&f, 0.5);
+        let (h1, _) = memo.stats();
+        assert!(h1 > h0);
+    }
+
+    #[test]
+    fn inverse_memo_distinguishes_colliding_slots() {
+        // Two targets that map to the same slot must not alias: the key
+        // check is on the full bit pattern, so a conflict evicts rather
+        // than mis-serves.
+        let f = ExpConcave::paper_default();
+        let mut memo = InverseMemo::new();
+        for i in 0..10_000 {
+            let q = (i % 997) as f64 / 997.0;
+            assert_eq!(memo.inverse(&f, q).to_bits(), f.inverse(q).to_bits());
         }
     }
 

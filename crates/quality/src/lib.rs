@@ -27,9 +27,10 @@ pub mod function;
 pub mod ledger;
 pub mod qopt;
 
-pub use cut::{lf_cut, CutOutcome};
+pub use cut::{lf_cut, lf_cut_with, CutOutcome, CutScratch};
 pub use function::{
-    ExpConcave, LinearQuality, LogQuality, PiecewiseLinearQuality, PowerLawQuality, QualityFunction,
+    ExpConcave, InverseMemo, LinearQuality, LogQuality, PiecewiseLinearQuality, PowerLawQuality,
+    QualityFunction,
 };
 pub use ledger::{LedgerMode, QualityLedger};
 pub use qopt::{level_fill, prefix_level_fill, LevelFill};

@@ -80,7 +80,29 @@ impl CrrAssigner {
     /// Panics if `online` has the wrong length, or if `batch > 0` and no
     /// core is online.
     pub fn assign_batch_online(&mut self, batch: usize, online: &[bool]) -> Vec<usize> {
-        (0..batch).map(|_| self.assign_one_online(online)).collect()
+        let mut out = Vec::new();
+        self.assign_batch_online_into(batch, online, &mut out);
+        out
+    }
+
+    /// Like [`assign_batch_online`](Self::assign_batch_online), but writes
+    /// the targets into a caller-provided buffer (cleared first) so hot
+    /// per-epoch callers can reuse one allocation.
+    ///
+    /// # Panics
+    /// Panics if `online` has the wrong length, or if `batch > 0` and no
+    /// core is online.
+    pub fn assign_batch_online_into(
+        &mut self,
+        batch: usize,
+        online: &[bool],
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.reserve(batch);
+        for _ in 0..batch {
+            out.push(self.assign_one_online(online));
+        }
     }
 }
 
@@ -186,6 +208,17 @@ mod tests {
         let up: Vec<usize> = counts.iter().copied().filter(|&c| c > 0).collect();
         let (min, max) = (up.iter().min().unwrap(), up.iter().max().unwrap());
         assert!(max - min <= 1, "imbalance among survivors: {counts:?}");
+    }
+
+    #[test]
+    fn batch_online_into_reuses_buffer_and_matches() {
+        let mut a = CrrAssigner::new(4);
+        let mut b = a.clone();
+        let online = [true, false, true, true];
+        let mut buf = vec![99, 99]; // stale contents must be cleared
+        a.assign_batch_online_into(5, &online, &mut buf);
+        assert_eq!(buf, b.assign_batch_online(5, &online));
+        assert_eq!(a.cursor(), b.cursor());
     }
 
     #[test]

@@ -442,7 +442,11 @@ impl<'a> FlatJson<'a> {
                             );
                             self.pos += 4;
                         }
-                        _ => return Err(err("unsupported escape")),
+                        // A line ending right after the backslash is a
+                        // truncation, not an unknown escape — the two need
+                        // distinct diagnostics for corruption triage.
+                        None => return Err(err("truncated escape")),
+                        Some(_) => return Err(err("unsupported escape")),
                     }
                     self.pos += 1;
                 }
@@ -450,7 +454,10 @@ impl<'a> FlatJson<'a> {
                     // Consume one UTF-8 scalar.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| err("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -947,7 +954,7 @@ mod tests {
             },
             TraceEvent::RunSummary {
                 t: 60.0,
-                energy_j: 1234.567_890_123,
+                energy_j: 1_234.567_890_123,
                 quality: 0.9213,
                 aes_fraction: 0.4123,
                 jobs_finished: 9001,

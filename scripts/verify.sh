@@ -27,4 +27,13 @@ cargo run --release --offline -q -p ge-experiments -- \
   >"$smoke_dir/stdout.log"
 test -s "$smoke_dir/faults-corelossa.csv"
 
+echo "== bench report smoke run (sched_report --json)"
+cargo bench -q --offline -p ge-bench --bench sched_report -- \
+  lf_cut --json "$smoke_dir/BENCH_sched.json" \
+  >"$smoke_dir/bench.log"
+test -s "$smoke_dir/BENCH_sched.json"
+grep -q '"schema": "ge-bench-sched/v1"' "$smoke_dir/BENCH_sched.json"
+grep -q '"entries"' "$smoke_dir/BENCH_sched.json"
+grep -q '"min_ns"' "$smoke_dir/BENCH_sched.json"
+
 echo "verify: OK"

@@ -1,0 +1,172 @@
+//! Equivalence of incremental (dirty-bit) and full epoch replanning.
+//!
+//! `GeScheduler` keeps per-core dirty bits and skips the uncapped-plan +
+//! finalize pipeline for cores whose inputs did not change since the last
+//! epoch. These tests pin the contract: against a forced-full-replan run
+//! the incremental scheduler must make the *same decisions* — identical
+//! job outcomes and decision-event skeleton — with float aggregates equal
+//! to within accumulation round-off (a skipped core keeps the plan the
+//! previous epoch computed; recomputing it mid-plan reproduces the same
+//! speeds only up to f64 ulps, so bit-equality of energy integrals is not
+//! the contract — see DESIGN.md).
+
+use ge_core::ge::{GeOptions, GeScheduler};
+use ge_core::{run_scheduler_with_sink, RunResult, SimConfig};
+use ge_faults::{FaultScenario, FaultSchedule, ScenarioKind};
+use ge_simcore::SimTime;
+use ge_trace::{TraceEvent, VecSink};
+use ge_workload::{WorkloadConfig, WorkloadGenerator};
+
+const HORIZON_S: f64 = 10.0;
+
+fn run_ge(
+    rate: f64,
+    seed: u64,
+    faults: Option<&FaultSchedule>,
+    force_full: bool,
+) -> (RunResult, Vec<TraceEvent>, (u64, u64)) {
+    let cfg = SimConfig {
+        horizon: SimTime::from_secs(HORIZON_S),
+        ..SimConfig::paper_default()
+    };
+    let trace = WorkloadGenerator::new(
+        WorkloadConfig {
+            horizon: SimTime::from_secs(HORIZON_S),
+            ..WorkloadConfig::paper_default(rate)
+        },
+        seed,
+    )
+    .generate();
+    let opts = GeOptions {
+        force_full_replan: force_full,
+        ..GeOptions::paper()
+    };
+    let mut sched = GeScheduler::new(&cfg, opts);
+    let mut sink = VecSink::new();
+    let result = run_scheduler_with_sink(&cfg, &trace, &mut sched, faults, &mut sink);
+    (result, sink.into_events(), sched.replan_stats())
+}
+
+fn combined_faults(seed: u64) -> FaultSchedule {
+    let cfg = SimConfig {
+        horizon: SimTime::from_secs(HORIZON_S),
+        ..SimConfig::paper_default()
+    };
+    FaultScenario::new(ScenarioKind::Combined, 0.8).build(cfg.cores, cfg.horizon, seed)
+}
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= 1e-9 * scale,
+        "{what} diverged: full={a} incremental={b}"
+    );
+}
+
+/// The per-job decision skeleton: which jobs arrived, landed where, were
+/// shed, and how they left. Planning round-off cannot move these without
+/// an actual behavioural divergence.
+fn skeleton(events: &[TraceEvent]) -> Vec<(u8, u64, u64)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::JobArrival { job, .. } => Some((0, *job, 0)),
+            TraceEvent::JobAssigned { job, core, .. } => Some((1, *job, *core)),
+            TraceEvent::JobShed { job, .. } => Some((2, *job, 0)),
+            TraceEvent::JobFinish { job, discarded, .. } => Some((3, *job, u64::from(*discarded))),
+            _ => None,
+        })
+        .collect()
+}
+
+fn mode_switches(events: &[TraceEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ModeSwitch { .. }))
+        .count()
+}
+
+fn assert_equivalent(
+    full: &(RunResult, Vec<TraceEvent>, (u64, u64)),
+    inc: &(RunResult, Vec<TraceEvent>, (u64, u64)),
+    tag: &str,
+) {
+    let (fr, fe, _) = full;
+    let (ir, ie, _) = inc;
+    // Integer decisions must match exactly.
+    assert_eq!(fr.jobs_finished, ir.jobs_finished, "{tag}: jobs_finished");
+    assert_eq!(
+        fr.jobs_discarded, ir.jobs_discarded,
+        "{tag}: jobs_discarded"
+    );
+    assert_eq!(fr.jobs_shed, ir.jobs_shed, "{tag}: jobs_shed");
+    assert_eq!(
+        fr.jobs_completed_fully, ir.jobs_completed_fully,
+        "{tag}: jobs_completed_fully"
+    );
+    assert_eq!(fr.schedule_epochs, ir.schedule_epochs, "{tag}: epochs");
+    assert_eq!(
+        fr.mode_transitions, ir.mode_transitions,
+        "{tag}: mode_transitions"
+    );
+    // Aggregated floats agree to accumulation round-off.
+    assert_close(fr.quality, ir.quality, &format!("{tag}: quality"));
+    assert_close(fr.energy_j, ir.energy_j, &format!("{tag}: energy_j"));
+    assert_close(
+        fr.aes_fraction,
+        ir.aes_fraction,
+        &format!("{tag}: aes_fraction"),
+    );
+    assert_close(
+        fr.mean_latency_ms,
+        ir.mean_latency_ms,
+        &format!("{tag}: mean_latency_ms"),
+    );
+    // The decision skeleton is identical event for event.
+    assert_eq!(skeleton(fe), skeleton(ie), "{tag}: decision skeleton");
+    assert_eq!(mode_switches(fe), mode_switches(ie), "{tag}: mode switches");
+}
+
+#[test]
+fn incremental_matches_full_replan_across_seeds_and_rates() {
+    let mut total_skipped = 0;
+    for seed in [11, 23, 47] {
+        for rate in [100.0, 250.0] {
+            let full = run_ge(rate, seed, None, true);
+            let inc = run_ge(rate, seed, None, false);
+            assert_equivalent(&full, &inc, &format!("seed={seed} rate={rate}"));
+            // The forced-full run must never take the incremental path.
+            assert_eq!(full.2, (0, 0), "forced-full run skipped cores");
+            total_skipped += inc.2 .1;
+        }
+    }
+    assert!(
+        total_skipped > 0,
+        "incremental runs never skipped a core — the dirty bits are inert"
+    );
+}
+
+#[test]
+fn incremental_matches_full_replan_under_faults() {
+    for seed in [5, 61] {
+        let faults = combined_faults(seed);
+        let full = run_ge(150.0, seed, Some(&faults), true);
+        let inc = run_ge(150.0, seed, Some(&faults), false);
+        assert_equivalent(&full, &inc, &format!("faulted seed={seed}"));
+    }
+}
+
+#[test]
+fn incremental_runs_are_exactly_deterministic() {
+    // Two identical incremental runs must agree bit for bit — every
+    // float in every event — including under fault injection.
+    for (seed, faulted) in [(13, false), (61, true)] {
+        let faults = faulted.then(|| combined_faults(seed));
+        let a = run_ge(150.0, seed, faults.as_ref(), false);
+        let b = run_ge(150.0, seed, faults.as_ref(), false);
+        assert_eq!(a.1, b.1, "event streams differ (seed={seed})");
+        assert_eq!(a.2, b.2, "replan stats differ (seed={seed})");
+        assert_eq!(a.0.energy_j.to_bits(), b.0.energy_j.to_bits());
+        assert_eq!(a.0.quality.to_bits(), b.0.quality.to_bits());
+    }
+}

@@ -62,7 +62,7 @@ fn sample_jsonl() -> &'static str {
 #[test]
 fn seeded_corruption_never_panics() {
     let clean = sample_jsonl();
-    assert!(parse_jsonl(&clean).is_ok(), "baseline trace must parse");
+    assert!(parse_jsonl(clean).is_ok(), "baseline trace must parse");
     let lines: Vec<&str> = clean.lines().collect();
     assert!(lines.len() > 20, "sample trace is too small to fuzz");
 
@@ -124,6 +124,34 @@ fn truncated_line_is_an_error() {
         parse_jsonl(truncated).is_err(),
         "a trace cut mid-record must not parse"
     );
+}
+
+#[test]
+fn truncated_escape_is_an_error_not_a_panic() {
+    // Regression: a string field cut off inside an escape sequence hit
+    // parser internals that unwrap()ed the next character. Each of these
+    // must surface as a typed parse error.
+    let clean = sample_jsonl();
+    let line = clean
+        .lines()
+        .find(|l| l.contains(":\""))
+        .expect("trace has a string-bearing record");
+    let (prefix, _) = line.split_at(line.find(":\"").unwrap() + 2);
+
+    // A record ending mid-string right after a backslash.
+    let cut_at_backslash = format!("{prefix}abc\\");
+    // A \u escape with too few hex digits before the line ends.
+    let cut_in_unicode = format!("{prefix}abc\\u12");
+    // An escape character the format does not define.
+    let bad_escape = format!("{prefix}abc\\qdef\"}}");
+    for corrupt in [&cut_at_backslash, &cut_in_unicode, &bad_escape] {
+        let poisoned = clean.replacen(line, corrupt, 1);
+        assert_ne!(poisoned, clean, "substitution must change the text");
+        assert!(
+            parse_jsonl(&poisoned).is_err(),
+            "corrupt escape {corrupt:?} must be a parse error"
+        );
+    }
 }
 
 #[test]
