@@ -121,6 +121,20 @@ impl Scheduler for QueueScheduler {
         TriggerSet::idle_only()
     }
 
+    // The only cross-epoch state is the epoch counter; both scratch
+    // vectors are cleared and refilled from the `ScheduleCtx` each epoch.
+    fn encode_state(&self, enc: &mut ge_recover::Encoder) {
+        enc.put_u64(self.epochs);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut ge_recover::Decoder<'_>,
+    ) -> Result<(), ge_recover::CodecError> {
+        self.epochs = dec.get_u64("queue.epochs")?;
+        Ok(())
+    }
+
     fn on_schedule(&mut self, ctx: &mut ScheduleCtx<'_>) {
         self.epochs += 1;
         // Under a throttled budget the ES share shrinks with it.

@@ -10,12 +10,21 @@
 //! Event priorities at equal timestamps: arrivals are observed before core
 //! checks, which are observed before the quantum tick — so a quantum epoch
 //! always sees the jobs that arrived "now".
+//!
+//! The driver is factored as an [`Engine`] holding every piece of mutable
+//! run state, advanced in segments over the shared event loop. A straight
+//! run is one segment to the horizon; the checkpoint/resume layer
+//! (`crate::resume`) runs the same engine in epoch-aligned segments and
+//! serializes the state between them. Segment boundaries are invisible to
+//! the handler — `Simulator::run_until` delivers the identical
+//! `(now, event)` sequence either way — which is what makes resumed runs
+//! bit-exact.
 
 use ge_faults::{FaultInjector, FaultSchedule, FaultTransition};
 use ge_power::PolynomialPower;
 use ge_quality::{ExpConcave, LedgerMode, QualityFunction, QualityLedger};
 use ge_server::{CoreJob, Server};
-use ge_simcore::{SimTime, Simulator};
+use ge_simcore::{SimContext, SimTime, Simulator};
 use ge_trace::{NullSink, TraceEvent, TraceSink, TriggerKind};
 use ge_workload::{Job, Trace};
 use std::collections::VecDeque;
@@ -25,8 +34,8 @@ use crate::policy::{Algorithm, ScheduleCtx, Scheduler};
 use crate::result::RunResult;
 
 /// Driver events.
-#[derive(Debug, Clone, Copy)]
-enum Ev {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ev {
     /// Fault transition `k` of the injected schedule takes effect.
     Fault(usize),
     /// Job `jobs[i]` arrives.
@@ -164,100 +173,187 @@ fn run_inner(
     faults: Option<&FaultSchedule>,
     sink: &mut dyn TraceSink,
 ) -> RunResult {
-    cfg.validate();
-    let f = ExpConcave::new(cfg.quality_c, cfg.quality_xmax);
-    let model = PolynomialPower::new(cfg.power_a, cfg.power_beta);
-    let mut server = Server::new(
-        cfg.cores,
-        Box::new(model),
-        cfg.budget_w,
-        cfg.units_per_ghz_sec,
-    );
-    let mut ledger = QualityLedger::new(cfg.ledger_mode);
-    let mut mode_tracker = ge_metrics::ModeTracker::new(2, sched.current_mode(), SimTime::ZERO);
-    let mut speed_tracker = ge_metrics::SpeedTracker::new();
-    let mut latency = ge_metrics::Histogram::latency_default();
-    let mut queue: Vec<Job> = Vec::new();
-    let mut arrivals_window: VecDeque<f64> = VecDeque::new();
-    let mut epochs: u64 = 0;
-    let mut last_t = SimTime::ZERO;
-    let mut last_speeds: Vec<f64> = server.speeds();
-    let mut next_check: Option<SimTime> = None;
+    let mut engine = Engine::new(cfg, trace, faults, sched.current_mode());
+    engine.emit_run_start(sched, sink);
+    let horizon = engine.horizon;
+    engine.advance(horizon, sched, sink);
+    engine.finalize(sched, sink)
+}
 
-    // -- Workload under faults: surge arrivals + demand misestimation ----
-    let mut all_jobs: Vec<Job> = trace.jobs().to_vec();
-    if let Some(fs) = faults {
-        all_jobs.extend(fs.surge_jobs(all_jobs.len() as u64));
-        if fs.demand_noise() > 0.0 {
-            for job in &mut all_jobs {
-                let est = fs.demand_estimate(job.id.index() as u64, job.demand);
-                *job = job.with_estimate(est);
+/// The full mutable state of one simulation run plus its (deterministic,
+/// rebuildable) environment. `crate::resume` serializes every field listed
+/// under "mutable run state"; the environment block is reconstructed from
+/// the same `(cfg, trace, faults)` inputs on resume.
+pub(crate) struct Engine {
+    // -- Environment: deterministic from (cfg, trace, faults) ------------
+    pub(crate) cfg: SimConfig,
+    pub(crate) f: ExpConcave,
+    pub(crate) horizon: SimTime,
+    pub(crate) all_jobs: Vec<Job>,
+    pub(crate) releases: Vec<SimTime>,
+
+    // -- Mutable run state ----------------------------------------------
+    pub(crate) sim: Simulator<Ev>,
+    pub(crate) server: Server,
+    pub(crate) ledger: QualityLedger,
+    pub(crate) mode_tracker: ge_metrics::ModeTracker,
+    pub(crate) speed_tracker: ge_metrics::SpeedTracker,
+    pub(crate) latency: ge_metrics::Histogram,
+    pub(crate) queue: Vec<Job>,
+    pub(crate) arrivals_window: VecDeque<f64>,
+    pub(crate) epochs: u64,
+    pub(crate) last_t: SimTime,
+    pub(crate) last_speeds: Vec<f64>,
+    pub(crate) next_check: Option<SimTime>,
+    pub(crate) injector: Option<FaultInjector>,
+    pub(crate) orphans: Vec<CoreJob>,
+    pub(crate) shed_buf: Vec<Job>,
+    pub(crate) budget_factor: f64,
+    pub(crate) jobs_shed: u64,
+}
+
+impl Engine {
+    /// Builds a fresh engine at t = 0 with all arrivals, fault transitions,
+    /// and the first quantum tick pre-scheduled.
+    pub(crate) fn new(
+        cfg: &SimConfig,
+        trace: &Trace,
+        faults: Option<&FaultSchedule>,
+        initial_mode: usize,
+    ) -> Self {
+        cfg.validate();
+        let f = ExpConcave::new(cfg.quality_c, cfg.quality_xmax);
+        let model = PolynomialPower::new(cfg.power_a, cfg.power_beta);
+        let server = Server::new(
+            cfg.cores,
+            Box::new(model),
+            cfg.budget_w,
+            cfg.units_per_ghz_sec,
+        );
+
+        // -- Workload under faults: surge arrivals + demand misestimation -
+        let mut all_jobs: Vec<Job> = trace.jobs().to_vec();
+        if let Some(fs) = faults {
+            all_jobs.extend(fs.surge_jobs(all_jobs.len() as u64));
+            if fs.demand_noise() > 0.0 {
+                for job in &mut all_jobs {
+                    let est = fs.demand_estimate(job.id.index() as u64, job.demand);
+                    *job = job.with_estimate(est);
+                }
             }
         }
-    }
-    // Release times keyed by job id (ids are dense over trace + surge).
-    let mut releases = vec![SimTime::ZERO; all_jobs.len()];
-    for j in &all_jobs {
-        releases[j.id.index()] = j.release;
-    }
-    let mut injector = faults.map(|fs| FaultInjector::new(fs, cfg.cores));
-    let mut orphans: Vec<CoreJob> = Vec::new();
-    let mut shed_buf: Vec<Job> = Vec::new();
-    let mut budget_factor = 1.0f64;
-    let mut jobs_shed: u64 = 0;
+        // Release times keyed by job id (ids are dense over trace + surge).
+        let mut releases = vec![SimTime::ZERO; all_jobs.len()];
+        for j in &all_jobs {
+            releases[j.id.index()] = j.release;
+        }
+        let injector = faults.map(|fs| FaultInjector::new(fs, cfg.cores));
 
-    // The run must cover every job's deadline so each job's fate lands in
-    // the ledger.
-    let horizon = all_jobs
-        .iter()
-        .map(|j| j.deadline)
-        .fold(cfg.horizon, SimTime::max);
+        // The run must cover every job's deadline so each job's fate lands
+        // in the ledger.
+        let horizon = all_jobs
+            .iter()
+            .map(|j| j.deadline)
+            .fold(cfg.horizon, SimTime::max);
 
-    if sink.is_enabled() {
-        sink.record(&TraceEvent::RunStart {
-            t: 0.0,
-            algorithm: sched.name().to_string(),
-            cores: cfg.cores as u64,
-            budget_w: cfg.budget_w,
-            q_ge: cfg.q_ge,
-            horizon_s: horizon.as_secs(),
-            power_a: cfg.power_a,
-            power_beta: cfg.power_beta,
-            quality_c: cfg.quality_c,
-            quality_xmax: cfg.quality_xmax,
-            units_per_ghz_sec: cfg.units_per_ghz_sec,
-            initial_mode: sched.current_mode() as u64,
-            ledger_window: match cfg.ledger_mode {
-                LedgerMode::Cumulative => 0,
-                LedgerMode::SlidingWindow(n) => n as u64,
-            },
-        });
-    }
+        let mut sim: Simulator<Ev> = Simulator::new();
+        for (i, job) in all_jobs.iter().enumerate() {
+            sim.schedule(job.release, PRIO_ARRIVAL, Ev::Arrival(i));
+        }
+        if let Some(inj) = &injector {
+            for (k, tr) in inj.transitions().iter().enumerate() {
+                sim.schedule(tr.at, PRIO_FAULT, Ev::Fault(k));
+            }
+        }
+        sim.schedule(SimTime::ZERO, PRIO_QUANTUM, Ev::Quantum);
 
-    let mut sim: Simulator<Ev> = Simulator::new();
-    for (i, job) in all_jobs.iter().enumerate() {
-        sim.schedule(job.release, PRIO_ARRIVAL, Ev::Arrival(i));
-    }
-    if let Some(inj) = &injector {
-        for (k, tr) in inj.transitions().iter().enumerate() {
-            sim.schedule(tr.at, PRIO_FAULT, Ev::Fault(k));
+        let last_speeds = server.speeds();
+        Engine {
+            cfg: cfg.clone(),
+            f,
+            horizon,
+            all_jobs,
+            releases,
+            sim,
+            server,
+            ledger: QualityLedger::new(cfg.ledger_mode),
+            mode_tracker: ge_metrics::ModeTracker::new(2, initial_mode, SimTime::ZERO),
+            speed_tracker: ge_metrics::SpeedTracker::new(),
+            latency: ge_metrics::Histogram::latency_default(),
+            queue: Vec::new(),
+            arrivals_window: VecDeque::new(),
+            epochs: 0,
+            last_t: SimTime::ZERO,
+            last_speeds,
+            next_check: None,
+            injector,
+            orphans: Vec::new(),
+            shed_buf: Vec::new(),
+            budget_factor: 1.0,
+            jobs_shed: 0,
         }
     }
-    sim.schedule(SimTime::ZERO, PRIO_QUANTUM, Ev::Quantum);
 
-    sim.run_until(horizon, |ctx, ev| {
+    /// Emits the `RunStart` trace event (once, before the first segment).
+    pub(crate) fn emit_run_start(&self, sched: &dyn Scheduler, sink: &mut dyn TraceSink) {
+        if sink.is_enabled() {
+            sink.record(&TraceEvent::RunStart {
+                t: 0.0,
+                algorithm: sched.name().to_string(),
+                cores: self.cfg.cores as u64,
+                budget_w: self.cfg.budget_w,
+                q_ge: self.cfg.q_ge,
+                horizon_s: self.horizon.as_secs(),
+                power_a: self.cfg.power_a,
+                power_beta: self.cfg.power_beta,
+                quality_c: self.cfg.quality_c,
+                quality_xmax: self.cfg.quality_xmax,
+                units_per_ghz_sec: self.cfg.units_per_ghz_sec,
+                initial_mode: sched.current_mode() as u64,
+                ledger_window: match self.cfg.ledger_mode {
+                    LedgerMode::Cumulative => 0,
+                    LedgerMode::SlidingWindow(n) => n as u64,
+                },
+            });
+        }
+    }
+
+    /// Runs the event loop up to `until` (inclusive, within the sim-core
+    /// time tolerance). Safe to call repeatedly with increasing horizons:
+    /// the handler observes the same `(now, event)` sequence as a single
+    /// straight run to the final horizon.
+    pub(crate) fn advance(
+        &mut self,
+        until: SimTime,
+        sched: &mut dyn Scheduler,
+        sink: &mut dyn TraceSink,
+    ) {
+        let mut sim = std::mem::take(&mut self.sim);
+        sim.run_until(until, |ctx, ev| self.handle(ctx, ev, sched, sink));
+        self.sim = sim;
+    }
+
+    fn handle(
+        &mut self,
+        ctx: &mut SimContext<'_, Ev>,
+        ev: Ev,
+        sched: &mut dyn Scheduler,
+        sink: &mut dyn TraceSink,
+    ) {
         let now = ctx.now();
 
         // -- Accounting since the previous event ------------------------
-        let dt = now.saturating_since(last_t).as_secs();
+        let dt = now.saturating_since(self.last_t).as_secs();
         if dt > 0.0 {
-            speed_tracker.sample(&last_speeds, dt);
+            self.speed_tracker.sample(&self.last_speeds, dt);
         }
-        for fin in server.advance_all_traced(now, sink) {
-            ledger.record(f.value(fin.processed), f.value(fin.full_demand));
+        for fin in self.server.advance_all_traced(now, sink) {
+            self.ledger
+                .record(self.f.value(fin.processed), self.f.value(fin.full_demand));
             if fin.processed > 0.0 {
-                let release = releases[fin.id.index()];
-                latency.record(fin.finish_time.saturating_since(release).as_secs());
+                let release = self.releases[fin.id.index()];
+                self.latency
+                    .record(fin.finish_time.saturating_since(release).as_secs());
             }
             if sink.is_enabled() {
                 sink.record(&TraceEvent::JobFinish {
@@ -270,7 +366,8 @@ fn run_inner(
             }
         }
         // Jobs that died waiting in the queue count as fully discarded.
-        queue.retain(|j| {
+        let (ledger, f) = (&mut self.ledger, &self.f);
+        self.queue.retain(|j| {
             if j.deadline.at_or_before(now) {
                 ledger.record(0.0, f.value(j.demand));
                 if sink.is_enabled() {
@@ -289,7 +386,9 @@ fn run_inner(
         });
         // Orphans (preempted off failed cores) whose deadline passed get
         // partial credit for the volume they retired before the failure.
-        orphans.retain(|j| {
+        let (ledger, f, latency, releases) =
+            (&mut self.ledger, &self.f, &mut self.latency, &self.releases);
+        self.orphans.retain(|j| {
             if j.deadline.at_or_before(now) {
                 let credited = j.processed.min(j.full_demand);
                 ledger.record(f.value(credited), f.value(j.full_demand));
@@ -320,10 +419,13 @@ fn run_inner(
         let mut fire: Option<TriggerKind> = None;
         match ev {
             Ev::Fault(k) => {
-                let inj = injector.as_mut().expect("fault event without injector");
+                let inj = self
+                    .injector
+                    .as_mut()
+                    .expect("fault event without injector");
                 match inj.apply(k) {
                     FaultTransition::CoreDown { core } => {
-                        orphans.extend(server.fail_core(core));
+                        self.orphans.extend(self.server.fail_core(core));
                         if sink.is_enabled() {
                             sink.record(&TraceEvent::CoreFault {
                                 t: now.as_secs(),
@@ -334,7 +436,7 @@ fn run_inner(
                         fire = Some(TriggerKind::Fault);
                     }
                     FaultTransition::CoreUp { core } => {
-                        server.recover_core(core);
+                        self.server.recover_core(core);
                         if sink.is_enabled() {
                             sink.record(&TraceEvent::CoreFault {
                                 t: now.as_secs(),
@@ -345,18 +447,18 @@ fn run_inner(
                         fire = Some(TriggerKind::Fault);
                     }
                     FaultTransition::BudgetFactor { factor } => {
-                        budget_factor = factor;
+                        self.budget_factor = factor;
                         if sink.is_enabled() {
                             sink.record(&TraceEvent::BudgetThrottle {
                                 t: now.as_secs(),
                                 factor,
-                                budget_w_effective: cfg.budget_w * factor,
+                                budget_w_effective: self.cfg.budget_w * factor,
                             });
                         }
                         fire = Some(TriggerKind::Fault);
                     }
                     FaultTransition::SpeedFactor { core, factor } => {
-                        server.set_core_speed_factor(core, factor);
+                        self.server.set_core_speed_factor(core, factor);
                         if sink.is_enabled() {
                             sink.record(&TraceEvent::DvfsDeviation {
                                 t: now.as_secs(),
@@ -371,9 +473,9 @@ fn run_inner(
                 }
             }
             Ev::Arrival(i) => {
-                let job = all_jobs[i];
-                queue.push(job);
-                arrivals_window.push_back(now.as_secs());
+                let job = self.all_jobs[i];
+                self.queue.push(job);
+                self.arrivals_window.push_back(now.as_secs());
                 if sink.is_enabled() {
                     sink.record(&TraceEvent::JobArrival {
                         t: now.as_secs(),
@@ -390,12 +492,12 @@ fn run_inner(
                         });
                     }
                 }
-                if triggers.counter && queue.len() >= cfg.counter_trigger {
+                if triggers.counter && self.queue.len() >= self.cfg.counter_trigger {
                     fire = Some(TriggerKind::Counter);
                 }
                 if fire.is_none()
                     && triggers.idle_core
-                    && server.cores().any(|c| c.is_idle() && c.is_online())
+                    && self.server.cores().any(|c| c.is_idle() && c.is_online())
                 {
                     fire = Some(TriggerKind::IdleCore);
                 }
@@ -404,15 +506,15 @@ fn run_inner(
                 if triggers.quantum {
                     fire = Some(TriggerKind::Quantum);
                 }
-                ctx.schedule(now + cfg.quantum, PRIO_QUANTUM, Ev::Quantum);
+                ctx.schedule(now + self.cfg.quantum, PRIO_QUANTUM, Ev::Quantum);
             }
             Ev::CoreCheck => {
-                if next_check.is_some_and(|t| t.at_or_before(now)) {
-                    next_check = None;
+                if self.next_check.is_some_and(|t| t.at_or_before(now)) {
+                    self.next_check = None;
                 }
                 if triggers.idle_core
-                    && !(queue.is_empty() && orphans.is_empty())
-                    && server.cores().any(|c| c.is_idle() && c.is_online())
+                    && !(self.queue.is_empty() && self.orphans.is_empty())
+                    && self.server.cores().any(|c| c.is_idle() && c.is_online())
                 {
                     fire = Some(TriggerKind::IdleCore);
                 }
@@ -421,40 +523,41 @@ fn run_inner(
 
         if let Some(kind) = fire {
             // Arrival-rate estimate over the sliding window.
-            let window = cfg.load_window_secs;
-            while arrivals_window
+            let window = self.cfg.load_window_secs;
+            while self
+                .arrivals_window
                 .front()
                 .is_some_and(|&t0| t0 < now.as_secs() - window)
             {
-                arrivals_window.pop_front();
+                self.arrivals_window.pop_front();
             }
             let effective_window = window.min(now.as_secs().max(1e-3));
-            let load_estimate_rps = arrivals_window.len() as f64 / effective_window;
+            let load_estimate_rps = self.arrivals_window.len() as f64 / effective_window;
 
             if sink.is_enabled() {
                 sink.record(&TraceEvent::TriggerFired {
                     t: now.as_secs(),
                     kind,
-                    queue_len: queue.len() as u64,
+                    queue_len: self.queue.len() as u64,
                 });
             }
             let mut sctx = ScheduleCtx {
                 now,
-                server: &mut server,
-                queue: &mut queue,
-                ledger: &ledger,
-                quality_fn: &f,
+                server: &mut self.server,
+                queue: &mut self.queue,
+                ledger: &self.ledger,
+                quality_fn: &self.f,
                 load_estimate_rps,
-                budget_factor,
-                orphans: &mut orphans,
-                shed: &mut shed_buf,
+                budget_factor: self.budget_factor,
+                orphans: &mut self.orphans,
+                shed: &mut self.shed_buf,
                 sink: &mut *sink,
             };
             sched.on_schedule(&mut sctx);
             // Account jobs the policy shed under its Q_min admission floor.
-            for j in shed_buf.drain(..) {
-                jobs_shed += 1;
-                ledger.record(0.0, f.value(j.demand));
+            for j in self.shed_buf.drain(..) {
+                self.jobs_shed += 1;
+                self.ledger.record(0.0, self.f.value(j.demand));
                 if sink.is_enabled() {
                     sink.record(&TraceEvent::JobFinish {
                         t: now.as_secs(),
@@ -465,130 +568,140 @@ fn run_inner(
                     });
                 }
             }
-            epochs += 1;
-            mode_tracker.switch(sched.current_mode(), now);
+            self.epochs += 1;
+            self.mode_tracker.switch(sched.current_mode(), now);
             if sink.is_enabled() {
                 sink.record(&TraceEvent::QualitySample {
                     t: now.as_secs(),
-                    quality: ledger.quality(),
+                    quality: self.ledger.quality(),
                     mode: sched.current_mode() as u64,
-                    backlog_units: server.total_backlog_units(),
+                    backlog_units: self.server.total_backlog_units(),
                     load_estimate_rps,
                 });
             }
         }
 
         // -- Re-arm the core-check event ---------------------------------
-        if let Some(t) = server.next_event_time() {
-            let earlier = match next_check {
+        if let Some(t) = self.server.next_event_time() {
+            let earlier = match self.next_check {
                 None => true,
                 Some(cur) => t.before(cur),
             };
-            if earlier && t.at_or_before(horizon) {
+            if earlier && t.at_or_before(self.horizon) {
                 ctx.schedule(t.max(now), PRIO_CHECK, Ev::CoreCheck);
-                next_check = Some(t.max(now));
+                self.next_check = Some(t.max(now));
             }
         }
 
-        last_speeds = server.speeds();
-        last_t = now;
-    });
-
-    // -- Final accounting at the horizon ---------------------------------
-    let end = horizon;
-    let dt = end.saturating_since(last_t).as_secs();
-    if dt > 0.0 {
-        speed_tracker.sample(&last_speeds, dt);
-    }
-    for fin in server.advance_all_traced(end, sink) {
-        ledger.record(f.value(fin.processed), f.value(fin.full_demand));
-        if fin.processed > 0.0 {
-            let release = releases[fin.id.index()];
-            latency.record(fin.finish_time.saturating_since(release).as_secs());
-        }
-        if sink.is_enabled() {
-            sink.record(&TraceEvent::JobFinish {
-                t: end.as_secs(),
-                job: fin.id.index() as u64,
-                processed: fin.processed,
-                full_demand: fin.full_demand,
-                discarded: fin.processed <= 0.0,
-            });
-        }
-    }
-    for j in queue.drain(..) {
-        ledger.record(0.0, f.value(j.demand));
-        if sink.is_enabled() {
-            sink.record(&TraceEvent::JobFinish {
-                t: end.as_secs(),
-                job: j.id.index() as u64,
-                processed: 0.0,
-                full_demand: j.demand,
-                discarded: true,
-            });
-        }
-    }
-    for j in orphans.drain(..) {
-        let credited = j.processed.min(j.full_demand);
-        ledger.record(f.value(credited), f.value(j.full_demand));
-        if credited > 0.0 {
-            latency.record(
-                j.deadline
-                    .min(end)
-                    .saturating_since(releases[j.id.index()])
-                    .as_secs(),
-            );
-        }
-        if sink.is_enabled() {
-            sink.record(&TraceEvent::JobFinish {
-                t: end.as_secs(),
-                job: j.id.index() as u64,
-                processed: credited,
-                full_demand: j.full_demand,
-                discarded: credited <= 0.0,
-            });
-        }
+        self.last_speeds = self.server.speeds();
+        self.last_t = now;
     }
 
-    let fractions = mode_tracker.fractions_at(end);
-    let core_energy_cv = {
-        let mut stats = ge_metrics::OnlineStats::new();
-        for i in 0..cfg.cores {
-            stats.push(server.core_energy(i));
+    /// Closes the books at the horizon and produces the run measurements.
+    /// Call only after [`Engine::advance`] has reached the horizon.
+    pub(crate) fn finalize(
+        mut self,
+        sched: &mut dyn Scheduler,
+        sink: &mut dyn TraceSink,
+    ) -> RunResult {
+        let end = self.horizon;
+        let dt = end.saturating_since(self.last_t).as_secs();
+        if dt > 0.0 {
+            self.speed_tracker.sample(&self.last_speeds, dt);
         }
-        if stats.mean() > 0.0 {
-            stats.std_dev() / stats.mean()
-        } else {
-            0.0
+        for fin in self.server.advance_all_traced(end, sink) {
+            self.ledger
+                .record(self.f.value(fin.processed), self.f.value(fin.full_demand));
+            if fin.processed > 0.0 {
+                let release = self.releases[fin.id.index()];
+                self.latency
+                    .record(fin.finish_time.saturating_since(release).as_secs());
+            }
+            if sink.is_enabled() {
+                sink.record(&TraceEvent::JobFinish {
+                    t: end.as_secs(),
+                    job: fin.id.index() as u64,
+                    processed: fin.processed,
+                    full_demand: fin.full_demand,
+                    discarded: fin.processed <= 0.0,
+                });
+            }
         }
-    };
-    if sink.is_enabled() {
-        sink.record(&TraceEvent::RunSummary {
-            t: end.as_secs(),
-            energy_j: server.total_energy(),
-            quality: ledger.quality(),
+        for j in self.queue.drain(..) {
+            self.ledger.record(0.0, self.f.value(j.demand));
+            if sink.is_enabled() {
+                sink.record(&TraceEvent::JobFinish {
+                    t: end.as_secs(),
+                    job: j.id.index() as u64,
+                    processed: 0.0,
+                    full_demand: j.demand,
+                    discarded: true,
+                });
+            }
+        }
+        for j in self.orphans.drain(..) {
+            let credited = j.processed.min(j.full_demand);
+            self.ledger
+                .record(self.f.value(credited), self.f.value(j.full_demand));
+            if credited > 0.0 {
+                self.latency.record(
+                    j.deadline
+                        .min(end)
+                        .saturating_since(self.releases[j.id.index()])
+                        .as_secs(),
+                );
+            }
+            if sink.is_enabled() {
+                sink.record(&TraceEvent::JobFinish {
+                    t: end.as_secs(),
+                    job: j.id.index() as u64,
+                    processed: credited,
+                    full_demand: j.full_demand,
+                    discarded: credited <= 0.0,
+                });
+            }
+        }
+
+        let fractions = self.mode_tracker.fractions_at(end);
+        let core_energy_cv = {
+            let mut stats = ge_metrics::OnlineStats::new();
+            for i in 0..self.cfg.cores {
+                stats.push(self.server.core_energy(i));
+            }
+            if stats.mean() > 0.0 {
+                stats.std_dev() / stats.mean()
+            } else {
+                0.0
+            }
+        };
+        if sink.is_enabled() {
+            sink.record(&TraceEvent::RunSummary {
+                t: end.as_secs(),
+                energy_j: self.server.total_energy(),
+                quality: self.ledger.quality(),
+                aes_fraction: fractions[crate::policy::MODE_AES],
+                jobs_finished: self.ledger.jobs_recorded(),
+                jobs_discarded: self.ledger.jobs_discarded(),
+            });
+        }
+        RunResult {
+            algorithm: sched.name().to_string(),
+            quality: self.ledger.quality(),
+            energy_j: self.server.total_energy(),
+            jobs_finished: self.ledger.jobs_recorded(),
+            jobs_discarded: self.ledger.jobs_discarded(),
+            jobs_shed: self.jobs_shed,
+            jobs_completed_fully: self.ledger.jobs_completed_fully(),
             aes_fraction: fractions[crate::policy::MODE_AES],
-            jobs_finished: ledger.jobs_recorded(),
-            jobs_discarded: ledger.jobs_discarded(),
-        });
-    }
-    RunResult {
-        algorithm: sched.name().to_string(),
-        quality: ledger.quality(),
-        energy_j: server.total_energy(),
-        jobs_finished: ledger.jobs_recorded(),
-        jobs_discarded: ledger.jobs_discarded(),
-        jobs_shed,
-        jobs_completed_fully: ledger.jobs_completed_fully(),
-        aes_fraction: fractions[crate::policy::MODE_AES],
-        mode_transitions: mode_tracker.transitions(),
-        mean_speed_ghz: speed_tracker.mean_speed(),
-        speed_variance: speed_tracker.speed_variance(),
-        schedule_epochs: epochs,
-        mean_latency_ms: latency.mean() * 1e3,
-        p95_latency_ms: latency.quantile(0.95) * 1e3,
-        p99_latency_ms: latency.quantile(0.99) * 1e3,
-        core_energy_cv,
+            mode_transitions: self.mode_tracker.transitions(),
+            mean_speed_ghz: self.speed_tracker.mean_speed(),
+            speed_variance: self.speed_tracker.speed_variance(),
+            schedule_epochs: self.epochs,
+            mean_latency_ms: self.latency.mean() * 1e3,
+            p95_latency_ms: self.latency.quantile(0.95) * 1e3,
+            p99_latency_ms: self.latency.quantile(0.99) * 1e3,
+            core_energy_cv,
+        }
     }
 }
 
@@ -780,5 +893,28 @@ mod tests {
         assert_eq!(r.jobs_finished, 0);
         assert_eq!(r.energy_j, 0.0);
         assert_eq!(r.quality, 1.0);
+    }
+
+    #[test]
+    fn segmented_advance_matches_straight_run() {
+        // The engine-level equivalence the checkpoint layer relies on:
+        // advancing in many small segments is invisible to the handler.
+        let cfg = small_cfg();
+        let trace = small_trace(140.0, 8);
+        let straight = run(&cfg, &trace, &Algorithm::Ge);
+
+        let mut sched = Algorithm::Ge.build(&cfg);
+        let mut engine = Engine::new(&cfg, &trace, None, sched.current_mode());
+        let horizon = engine.horizon;
+        let mut t = SimTime::ZERO;
+        while t.before(horizon) {
+            t = (t + cfg.quantum).min(horizon);
+            engine.advance(t, sched.as_mut(), &mut NullSink);
+        }
+        let segmented = engine.finalize(sched.as_mut(), &mut NullSink);
+        assert_eq!(straight.quality.to_bits(), segmented.quality.to_bits());
+        assert_eq!(straight.energy_j.to_bits(), segmented.energy_j.to_bits());
+        assert_eq!(straight.schedule_epochs, segmented.schedule_epochs);
+        assert_eq!(straight.jobs_finished, segmented.jobs_finished);
     }
 }

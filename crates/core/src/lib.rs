@@ -46,6 +46,7 @@ pub mod driver;
 pub mod ge;
 pub mod policy;
 pub mod result;
+pub mod resume;
 
 pub use clairvoyant::{clairvoyant_plan, ClairvoyantOutcome};
 pub use config::{PowerPolicy, SimConfig};
@@ -56,3 +57,4 @@ pub use driver::{
 pub use ge::GeScheduler;
 pub use policy::{Algorithm, ScheduleCtx, Scheduler, TriggerSet, MODE_AES, MODE_BQ};
 pub use result::RunResult;
+pub use resume::{resume_from, run_resumable, CheckpointPolicy, ResumableOutcome, ResumableRun};

@@ -91,6 +91,28 @@ pub trait Scheduler {
     fn current_mode(&self) -> usize {
         MODE_BQ
     }
+
+    /// Serializes every piece of state that must survive a checkpoint for
+    /// the policy to continue bit-exactly — cross-epoch counters, cursors,
+    /// and caches. Per-epoch scratch buffers that are rebuilt from the
+    /// `ScheduleCtx` each epoch need not (and should not) be written.
+    ///
+    /// The default writes nothing, which is correct for stateless policies.
+    /// Implementations must be the exact inverse of
+    /// [`Scheduler::restore_state`].
+    fn encode_state(&self, enc: &mut ge_recover::Encoder) {
+        let _ = enc;
+    }
+
+    /// Restores the state written by [`Scheduler::encode_state`] onto a
+    /// freshly built scheduler of the same algorithm and configuration.
+    fn restore_state(
+        &mut self,
+        dec: &mut ge_recover::Decoder<'_>,
+    ) -> Result<(), ge_recover::CodecError> {
+        let _ = dec;
+        Ok(())
+    }
 }
 
 /// The catalogue of algorithms evaluated in the paper (§IV-A-1, §IV-F)

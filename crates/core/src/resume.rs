@@ -1,0 +1,926 @@
+//! Crash-safe checkpoint/resume for full simulation runs.
+//!
+//! A checkpoint captures **everything** mutable about a run mid-flight —
+//! the simulator clock and pending event queue (with sequence numbers, so
+//! FIFO tie-breaking survives), every core's resident jobs/plan/clock, the
+//! energy meter's Kahan compensation terms, the quality ledger, metric
+//! trackers, the driver's queue/cursor/fault state, and the policy's own
+//! cross-epoch state via [`Scheduler::encode_state`]. The run environment
+//! (workload, fault schedule, configuration) is *not* stored: it is
+//! deterministic from the same inputs, which the envelope pins with an
+//! input digest so a checkpoint cannot be resumed against the wrong run.
+//!
+//! The core guarantee is **bit-exactness**: a run resumed from any
+//! checkpoint produces the identical [`RunResult`] (floats compared by bit
+//! pattern) and the identical decision-trace suffix as the uninterrupted
+//! run. This falls out of two properties:
+//!
+//! 1. `Simulator::run_until` delivers the same `(now, event)` sequence
+//!    whether the horizon is reached in one call or many (segment
+//!    boundaries never fire handlers), and
+//! 2. every float in the snapshot round-trips through its IEEE-754 bit
+//!    pattern — including non-obvious state like Kahan compensation terms
+//!    and the GE replan cache, which must be restored verbatim rather than
+//!    recomputed (a forced full replan agrees with the incremental path
+//!    only up to round-off).
+//!
+//! See DESIGN.md ("Checkpoint format") for the envelope layout and field
+//! order.
+
+use std::path::Path;
+
+use ge_power::{PolynomialPower, SpeedProfile, SpeedSegment};
+use ge_quality::{LedgerMode, QualityLedger};
+use ge_recover::checkpoint::{seal, unseal};
+use ge_recover::codec::fnv1a64;
+use ge_recover::{write_atomic, CheckpointError, CodecError, Decoder, Encoder};
+use ge_server::{Core, CoreJob, Server};
+use ge_simcore::{EventEntry, SimDuration, SimTime, Simulator};
+use ge_trace::TraceSink;
+use ge_workload::{Job, JobId, Trace};
+
+use crate::config::SimConfig;
+use crate::driver::{Engine, Ev};
+use crate::policy::{Algorithm, Scheduler};
+use crate::result::RunResult;
+
+/// How a checkpointed run is driven: where checkpoints go, how often they
+/// are taken, and (for crash drills) when to stop early.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (written atomically; always a complete,
+    /// self-validating snapshot).
+    pub path: std::path::PathBuf,
+    /// Take a checkpoint every this many quantum ticks (≥ 1).
+    pub every_quanta: u64,
+    /// Stop cleanly after writing this many checkpoints, leaving the file
+    /// behind — a deterministic stand-in for a mid-run kill.
+    pub stop_after: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// A policy checkpointing to `path` every `every_quanta` quanta.
+    pub fn new(path: impl Into<std::path::PathBuf>, every_quanta: u64) -> Self {
+        assert!(every_quanta >= 1, "checkpoint interval must be >= 1");
+        CheckpointPolicy {
+            path: path.into(),
+            every_quanta,
+            stop_after: None,
+        }
+    }
+}
+
+/// The outcome of [`run_resumable`] / [`resume_from`].
+#[derive(Debug, Clone)]
+pub enum ResumableOutcome {
+    /// The run reached its horizon; the final measurements.
+    Finished(RunResult),
+    /// The run stopped early per [`CheckpointPolicy::stop_after`]; the
+    /// checkpoint file holds the state at `at`.
+    Stopped {
+        /// Simulated time of the last checkpoint taken.
+        at: SimTime,
+        /// Checkpoints written before stopping.
+        checkpoints: u64,
+    },
+}
+
+/// A simulation that can be checkpointed between quantum-aligned segments
+/// and reconstructed bit-exactly from any of those checkpoints.
+pub struct ResumableRun {
+    cfg: SimConfig,
+    digest: u64,
+    sched: Box<dyn Scheduler>,
+    engine: Engine,
+}
+
+impl ResumableRun {
+    /// Starts a fresh run at t = 0 (emitting the `RunStart` trace event).
+    pub fn start(
+        cfg: &SimConfig,
+        trace: &Trace,
+        algorithm: &Algorithm,
+        faults: Option<&ge_faults::FaultSchedule>,
+        sink: &mut dyn TraceSink,
+    ) -> Self {
+        let sched = algorithm.build(cfg);
+        let engine = Engine::new(cfg, trace, faults, sched.current_mode());
+        let digest = input_digest(cfg, sched.name(), &engine);
+        let run = ResumableRun {
+            cfg: cfg.clone(),
+            digest,
+            sched,
+            engine,
+        };
+        run.engine.emit_run_start(run.sched.as_ref(), sink);
+        run
+    }
+
+    /// Reconstructs a run from checkpoint `bytes`, given the *same*
+    /// `(cfg, trace, algorithm, faults)` the original run was started
+    /// with; a mismatch is rejected via the input digest. Does not re-emit
+    /// `RunStart` — a sink attached across save/resume sees one contiguous
+    /// event stream.
+    pub fn resume(
+        cfg: &SimConfig,
+        trace: &Trace,
+        algorithm: &Algorithm,
+        faults: Option<&ge_faults::FaultSchedule>,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let mut sched = algorithm.build(cfg);
+        let mut engine = Engine::new(cfg, trace, faults, sched.current_mode());
+        let digest = input_digest(cfg, sched.name(), &engine);
+        let (stored_digest, payload) = unseal(bytes)?;
+        if stored_digest != digest {
+            return Err(CheckpointError::DigestMismatch {
+                checkpoint: stored_digest,
+                current: digest,
+            });
+        }
+        decode_engine_state(&mut engine, sched.as_mut(), payload)?;
+        Ok(ResumableRun {
+            cfg: cfg.clone(),
+            digest,
+            sched,
+            engine,
+        })
+    }
+
+    /// [`ResumableRun::resume`] from a checkpoint file.
+    pub fn resume_from_path(
+        cfg: &SimConfig,
+        trace: &Trace,
+        algorithm: &Algorithm,
+        faults: Option<&ge_faults::FaultSchedule>,
+        path: &Path,
+    ) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Self::resume(cfg, trace, algorithm, faults, &bytes)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.sim.now()
+    }
+
+    /// The run's horizon (covers every deadline, so ≥ `cfg.horizon`).
+    pub fn horizon(&self) -> SimTime {
+        self.engine.horizon
+    }
+
+    /// The scheduling quantum driving segment boundaries.
+    pub fn quantum(&self) -> SimDuration {
+        self.cfg.quantum
+    }
+
+    /// The digest pinning this run's inputs, stored in every checkpoint.
+    pub fn input_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Whether the event loop has reached the horizon.
+    pub fn is_done(&self) -> bool {
+        self.now().at_or_after(self.horizon())
+    }
+
+    /// Advances the event loop to `t` (clamped to the horizon). Segment
+    /// boundaries are invisible to the simulation.
+    pub fn advance_to(&mut self, t: SimTime, sink: &mut dyn TraceSink) {
+        let until = t.min(self.engine.horizon);
+        self.engine.advance(until, self.sched.as_mut(), sink);
+    }
+
+    /// Serializes the complete run state into a sealed checkpoint.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let payload = encode_engine_state(&self.engine, self.sched.as_ref());
+        seal(self.digest, &payload)
+    }
+
+    /// Writes [`ResumableRun::snapshot`] to `path` atomically.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        write_atomic(path, &self.snapshot())?;
+        Ok(())
+    }
+
+    /// Runs final accounting at the horizon and returns the measurements.
+    /// Call once the run [`is_done`](ResumableRun::is_done) (any remaining
+    /// gap is advanced first).
+    pub fn finish(mut self, sink: &mut dyn TraceSink) -> RunResult {
+        let horizon = self.engine.horizon;
+        self.engine.advance(horizon, self.sched.as_mut(), sink);
+        self.engine.finalize(self.sched.as_mut(), sink)
+    }
+}
+
+/// Runs a simulation with periodic checkpoints per `policy`.
+pub fn run_resumable(
+    cfg: &SimConfig,
+    trace: &Trace,
+    algorithm: &Algorithm,
+    faults: Option<&ge_faults::FaultSchedule>,
+    policy: &CheckpointPolicy,
+    sink: &mut dyn TraceSink,
+) -> Result<ResumableOutcome, CheckpointError> {
+    let run = ResumableRun::start(cfg, trace, algorithm, faults, sink);
+    drive(run, policy, sink)
+}
+
+/// Resumes a checkpointed run from `policy.path` and continues it (with
+/// further periodic checkpoints) to completion.
+pub fn resume_from(
+    cfg: &SimConfig,
+    trace: &Trace,
+    algorithm: &Algorithm,
+    faults: Option<&ge_faults::FaultSchedule>,
+    policy: &CheckpointPolicy,
+    sink: &mut dyn TraceSink,
+) -> Result<ResumableOutcome, CheckpointError> {
+    let run = ResumableRun::resume_from_path(cfg, trace, algorithm, faults, &policy.path)?;
+    drive(run, policy, sink)
+}
+
+fn drive(
+    mut run: ResumableRun,
+    policy: &CheckpointPolicy,
+    sink: &mut dyn TraceSink,
+) -> Result<ResumableOutcome, CheckpointError> {
+    assert!(policy.every_quanta >= 1, "checkpoint interval must be >= 1");
+    let quantum = run.quantum();
+    let mut ticks = 0u64;
+    let mut written = 0u64;
+    while !run.is_done() {
+        let next = (run.now() + quantum).min(run.horizon());
+        run.advance_to(next, sink);
+        ticks += 1;
+        if ticks % policy.every_quanta == 0 && !run.is_done() {
+            run.save(&policy.path)?;
+            written += 1;
+            if policy.stop_after.is_some_and(|n| written >= n) {
+                return Ok(ResumableOutcome::Stopped {
+                    at: run.now(),
+                    checkpoints: written,
+                });
+            }
+        }
+    }
+    Ok(ResumableOutcome::Finished(run.finish(sink)))
+}
+
+// ---------------------------------------------------------------------------
+// Input digest: pins (cfg, algorithm, derived workload, fault stream).
+// ---------------------------------------------------------------------------
+
+fn input_digest(cfg: &SimConfig, algorithm_label: &str, engine: &Engine) -> u64 {
+    let mut enc = Encoder::new();
+    enc.put_str(algorithm_label);
+    enc.put_usize(cfg.cores);
+    enc.put_f64(cfg.budget_w);
+    enc.put_f64(cfg.power_a);
+    enc.put_f64(cfg.power_beta);
+    enc.put_f64(cfg.quality_c);
+    enc.put_f64(cfg.quality_xmax);
+    enc.put_f64(cfg.q_ge);
+    enc.put_f64(cfg.q_min);
+    enc.put_f64(cfg.quantum.as_secs());
+    enc.put_usize(cfg.counter_trigger);
+    enc.put_f64(cfg.critical_load_rps);
+    enc.put_f64(cfg.horizon.as_secs());
+    enc.put_f64(cfg.units_per_ghz_sec);
+    match &cfg.discrete_speeds {
+        None => enc.put_u8(0),
+        Some(d) => {
+            enc.put_u8(1);
+            enc.put_f64_slice(d.steps());
+        }
+    }
+    match cfg.ledger_mode {
+        LedgerMode::Cumulative => enc.put_u64(0),
+        LedgerMode::SlidingWindow(n) => {
+            enc.put_u64(1);
+            enc.put_usize(n);
+        }
+    }
+    enc.put_f64(cfg.load_window_secs);
+    // The derived workload (trace + surge jobs + estimate noise) and the
+    // compiled fault-transition stream cover the trace and fault schedule
+    // exactly as the run sees them.
+    enc.put_usize(engine.all_jobs.len());
+    for j in &engine.all_jobs {
+        enc.put_u64(j.id.0);
+        enc.put_f64(j.release.as_secs());
+        enc.put_f64(j.deadline.as_secs());
+        enc.put_f64(j.demand);
+        enc.put_f64(j.estimate);
+    }
+    match &engine.injector {
+        None => enc.put_u8(0),
+        Some(inj) => {
+            enc.put_u8(1);
+            enc.put_usize(inj.transitions().len());
+            for tr in inj.transitions() {
+                enc.put_f64(tr.at.as_secs());
+                encode_fault_transition(&mut enc, tr.transition);
+            }
+        }
+    }
+    fnv1a64(&enc.into_bytes())
+}
+
+fn encode_fault_transition(enc: &mut Encoder, tr: ge_faults::FaultTransition) {
+    match tr {
+        ge_faults::FaultTransition::CoreDown { core } => {
+            enc.put_u8(0);
+            enc.put_usize(core);
+        }
+        ge_faults::FaultTransition::CoreUp { core } => {
+            enc.put_u8(1);
+            enc.put_usize(core);
+        }
+        ge_faults::FaultTransition::BudgetFactor { factor } => {
+            enc.put_u8(2);
+            enc.put_f64(factor);
+        }
+        ge_faults::FaultTransition::SpeedFactor { core, factor } => {
+            enc.put_u8(3);
+            enc.put_usize(core);
+            enc.put_f64(factor);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine state codec. Field order here is the checkpoint format; keep in
+// sync with DESIGN.md ("Checkpoint format") and bump CHECKPOINT_VERSION on
+// any change.
+// ---------------------------------------------------------------------------
+
+fn encode_ev(enc: &mut Encoder, ev: Ev) {
+    match ev {
+        Ev::Fault(k) => {
+            enc.put_u8(0);
+            enc.put_usize(k);
+        }
+        Ev::Arrival(i) => {
+            enc.put_u8(1);
+            enc.put_usize(i);
+        }
+        Ev::Quantum => enc.put_u8(2),
+        Ev::CoreCheck => enc.put_u8(3),
+    }
+}
+
+fn decode_ev(dec: &mut Decoder<'_>, jobs: usize, transitions: usize) -> Result<Ev, CodecError> {
+    match dec.get_u8("ev.tag")? {
+        0 => Ok(Ev::Fault(
+            dec.get_usize_bounded("ev.fault", transitions.saturating_sub(1))?,
+        )),
+        1 => Ok(Ev::Arrival(
+            dec.get_usize_bounded("ev.arrival", jobs.saturating_sub(1))?,
+        )),
+        2 => Ok(Ev::Quantum),
+        3 => Ok(Ev::CoreCheck),
+        tag => Err(CodecError::BadTag {
+            field: "ev.tag",
+            tag,
+        }),
+    }
+}
+
+fn encode_profile(enc: &mut Encoder, profile: &SpeedProfile) {
+    let segs = profile.segments();
+    enc.put_usize(segs.len());
+    for s in segs {
+        enc.put_f64(s.start.as_secs());
+        enc.put_f64(s.end.as_secs());
+        enc.put_f64(s.speed_ghz);
+    }
+}
+
+fn decode_profile(dec: &mut Decoder<'_>) -> Result<SpeedProfile, CodecError> {
+    let segs = dec.get_len("profile.segments")?;
+    let mut out = Vec::with_capacity(segs.min(64));
+    for _ in 0..segs {
+        let start = dec.get_f64("profile.start")?;
+        let end = dec.get_f64("profile.end")?;
+        let speed = dec.get_f64("profile.speed")?;
+        if !(start.is_finite() && end.is_finite() && end > start) {
+            return Err(CodecError::Invalid {
+                field: "profile",
+                reason: "malformed speed segment window",
+            });
+        }
+        if !(speed.is_finite() && speed >= 0.0) {
+            return Err(CodecError::Invalid {
+                field: "profile",
+                reason: "malformed segment speed",
+            });
+        }
+        out.push(SpeedSegment::new(
+            SimTime::from_secs(start),
+            SimTime::from_secs(end),
+            speed,
+        ));
+    }
+    if out
+        .windows(2)
+        .any(|w| w[1].start.as_secs() < w[0].end.as_secs() - 1e-9)
+    {
+        return Err(CodecError::Invalid {
+            field: "profile",
+            reason: "overlapping speed segments",
+        });
+    }
+    Ok(SpeedProfile::new(out))
+}
+
+fn encode_core_job(enc: &mut Encoder, j: &CoreJob) {
+    enc.put_u64(j.id.0);
+    enc.put_f64(j.release.as_secs());
+    enc.put_f64(j.deadline.as_secs());
+    enc.put_f64(j.full_demand);
+    enc.put_f64(j.estimate);
+    enc.put_f64(j.target_demand);
+    enc.put_f64(j.processed);
+}
+
+fn decode_core_job(dec: &mut Decoder<'_>) -> Result<CoreJob, CodecError> {
+    Ok(CoreJob {
+        id: JobId(dec.get_u64("core_job.id")?),
+        release: SimTime::from_secs(dec.get_f64("core_job.release")?),
+        deadline: SimTime::from_secs(dec.get_f64("core_job.deadline")?),
+        full_demand: dec.get_f64("core_job.full_demand")?,
+        estimate: dec.get_f64("core_job.estimate")?,
+        target_demand: dec.get_f64("core_job.target_demand")?,
+        processed: dec.get_f64("core_job.processed")?,
+    })
+}
+
+fn encode_engine_state(engine: &Engine, sched: &dyn Scheduler) -> Vec<u8> {
+    // Shed jobs are drained within each scheduling epoch, so the buffer is
+    // always empty at segment boundaries; the format relies on that.
+    assert!(
+        engine.shed_buf.is_empty(),
+        "snapshot taken mid-epoch: shed buffer not drained"
+    );
+    let mut enc = Encoder::new();
+
+    // 1. Simulator: clock, handled count, event queue with seq numbers.
+    enc.put_f64(engine.sim.now().as_secs());
+    enc.put_u64(engine.sim.handled_count());
+    enc.put_u64(engine.sim.next_seq());
+    let pending = engine.sim.snapshot_pending();
+    enc.put_usize(pending.len());
+    for e in &pending {
+        enc.put_f64(e.time.as_secs());
+        enc.put_u32(e.priority);
+        enc.put_u64(e.seq);
+        encode_ev(&mut enc, e.event);
+    }
+
+    // 2. Server: per-core state, then the energy meter's Kahan pairs.
+    enc.put_usize(engine.server.core_count());
+    for i in 0..engine.server.core_count() {
+        let core = engine.server.core(i);
+        enc.put_usize(core.jobs().len());
+        for j in core.jobs() {
+            encode_core_job(&mut enc, j);
+        }
+        encode_profile(&mut enc, core.profile());
+        enc.put_f64(core.power_cap());
+        enc.put_f64(core.clock().as_secs());
+        enc.put_opt_u64(core.running_job().map(|id| id.0));
+        enc.put_bool(core.is_online());
+        enc.put_f64(core.speed_factor());
+    }
+    let meter = engine.server.meter_state();
+    enc.put_usize(meter.len());
+    for (sum, c) in &meter {
+        enc.put_f64(*sum);
+        enc.put_f64(*c);
+    }
+
+    // 3. Quality ledger: sums verbatim (never recomputed from the window).
+    enc.put_f64(engine.ledger.achieved_sum());
+    enc.put_f64(engine.ledger.full_sum());
+    let (count, discarded, completed) = engine.ledger.counters();
+    enc.put_u64(count);
+    enc.put_u64(discarded);
+    enc.put_u64(completed);
+    let window = engine.ledger.window_entries();
+    enc.put_usize(window.len());
+    for (a, f) in &window {
+        enc.put_f64(*a);
+        enc.put_f64(*f);
+    }
+
+    // 4. Metric trackers.
+    let (residency, current, since, transitions) = engine.mode_tracker.snapshot_state();
+    enc.put_f64_slice(&residency);
+    enc.put_usize(current);
+    enc.put_f64(since.as_secs());
+    enc.put_u64(transitions);
+    let (wm, wv, tt, samples) = engine.speed_tracker.snapshot_state();
+    enc.put_f64(wm);
+    enc.put_f64(wv);
+    enc.put_f64(tt);
+    enc.put_u64(samples);
+    let (bins, upper, count, sum, max_seen) = engine.latency.snapshot_state();
+    enc.put_u64_slice(&bins);
+    enc.put_f64(upper);
+    enc.put_u64(count);
+    enc.put_f64(sum);
+    enc.put_f64(max_seen);
+
+    // 5. Driver-local state.
+    enc.put_usize(engine.queue.len());
+    for j in &engine.queue {
+        enc.put_u64(j.id.0);
+        enc.put_f64(j.release.as_secs());
+        enc.put_f64(j.deadline.as_secs());
+        enc.put_f64(j.demand);
+        enc.put_f64(j.estimate);
+    }
+    enc.put_usize(engine.arrivals_window.len());
+    for &t in &engine.arrivals_window {
+        enc.put_f64(t);
+    }
+    enc.put_u64(engine.epochs);
+    enc.put_f64(engine.last_t.as_secs());
+    enc.put_f64_slice(&engine.last_speeds);
+    enc.put_opt_f64(engine.next_check.map(|t| t.as_secs()));
+    enc.put_usize(engine.orphans.len());
+    for j in &engine.orphans {
+        encode_core_job(&mut enc, j);
+    }
+    enc.put_f64(engine.budget_factor);
+    enc.put_u64(engine.jobs_shed);
+    match &engine.injector {
+        None => enc.put_u8(0),
+        Some(inj) => {
+            enc.put_u8(1);
+            let (online, speed_factors, budget_factor) = inj.snapshot_state();
+            enc.put_bool_slice(&online);
+            enc.put_f64_slice(&speed_factors);
+            enc.put_f64(budget_factor);
+        }
+    }
+
+    // 6. Policy state, length-prefixed so its extent is self-describing.
+    let mut sub = Encoder::new();
+    sched.encode_state(&mut sub);
+    enc.put_bytes(&sub.into_bytes());
+
+    enc.into_bytes()
+}
+
+fn decode_engine_state(
+    engine: &mut Engine,
+    sched: &mut dyn Scheduler,
+    payload: &[u8],
+) -> Result<(), CheckpointError> {
+    let cores = engine.cfg.cores;
+    let jobs = engine.all_jobs.len();
+    let transitions = engine
+        .injector
+        .as_ref()
+        .map_or(0, |inj| inj.transitions().len());
+    let mut dec = Decoder::new(payload);
+
+    // 1. Simulator.
+    let now = SimTime::from_secs(dec.get_f64("sim.now")?);
+    let handled = dec.get_u64("sim.handled")?;
+    let next_seq = dec.get_u64("sim.next_seq")?;
+    let n_pending = dec.get_len("sim.pending")?;
+    let mut pending = Vec::with_capacity(n_pending);
+    for _ in 0..n_pending {
+        let time = SimTime::from_secs(dec.get_f64("sim.event.time")?);
+        let priority = dec.get_u32("sim.event.priority")?;
+        let seq = dec.get_u64("sim.event.seq")?;
+        let event = decode_ev(&mut dec, jobs, transitions)?;
+        pending.push(EventEntry {
+            time,
+            priority,
+            seq,
+            event,
+        });
+    }
+    engine.sim = Simulator::restore(now, handled, pending, next_seq);
+
+    // 2. Server.
+    let n_cores = dec.get_usize_bounded("server.cores", cores)?;
+    if n_cores != cores {
+        return Err(CheckpointError::Invalid(
+            "checkpoint core count disagrees with configuration",
+        ));
+    }
+    let mut restored_cores = Vec::with_capacity(cores);
+    for index in 0..cores {
+        let n_jobs = dec.get_len("core.jobs")?;
+        let mut core_jobs = Vec::with_capacity(n_jobs);
+        for _ in 0..n_jobs {
+            core_jobs.push(decode_core_job(&mut dec)?);
+        }
+        let profile = decode_profile(&mut dec)?;
+        let power_cap = dec.get_f64("core.power_cap")?;
+        let clock = SimTime::from_secs(dec.get_f64("core.clock")?);
+        let running = dec.get_opt_u64("core.running")?.map(JobId);
+        let online = dec.get_bool("core.online")?;
+        let speed_factor = dec.get_f64("core.speed_factor")?;
+        if !(power_cap.is_finite() && power_cap >= 0.0) {
+            return Err(CheckpointError::Invalid("malformed core power cap"));
+        }
+        if !(speed_factor.is_finite() && speed_factor > 0.0) {
+            return Err(CheckpointError::Invalid("malformed core speed factor"));
+        }
+        restored_cores.push(Core::restore(
+            index,
+            engine.cfg.units_per_ghz_sec,
+            core_jobs,
+            profile,
+            power_cap,
+            clock,
+            running,
+            online,
+            speed_factor,
+        ));
+    }
+    let n_meter = dec.get_usize_bounded("server.meter", cores)?;
+    if n_meter != cores {
+        return Err(CheckpointError::Invalid(
+            "energy meter length disagrees with core count",
+        ));
+    }
+    let mut meter = Vec::with_capacity(cores);
+    for _ in 0..cores {
+        let sum = dec.get_f64("meter.sum")?;
+        let c = dec.get_f64("meter.c")?;
+        meter.push((sum, c));
+    }
+    engine.server = Server::restore(
+        restored_cores,
+        Box::new(PolynomialPower::new(
+            engine.cfg.power_a,
+            engine.cfg.power_beta,
+        )),
+        &meter,
+        engine.cfg.budget_w,
+        engine.cfg.units_per_ghz_sec,
+    );
+
+    // 3. Quality ledger.
+    let achieved = dec.get_f64("ledger.achieved_sum")?;
+    let full = dec.get_f64("ledger.full_sum")?;
+    let count = dec.get_u64("ledger.count")?;
+    let discarded = dec.get_u64("ledger.discarded")?;
+    let completed = dec.get_u64("ledger.completed")?;
+    let n_window = dec.get_len("ledger.window")?;
+    let mut window = Vec::with_capacity(n_window);
+    for _ in 0..n_window {
+        let a = dec.get_f64("ledger.window.achieved")?;
+        let f = dec.get_f64("ledger.window.full")?;
+        window.push((a, f));
+    }
+    engine.ledger = QualityLedger::restore(
+        engine.cfg.ledger_mode,
+        achieved,
+        full,
+        (count, discarded, completed),
+        window,
+    );
+
+    // 4. Metric trackers.
+    let residency = dec.get_f64_vec("mode.residency")?;
+    let current = dec.get_usize_bounded("mode.current", residency.len().saturating_sub(1))?;
+    if residency.is_empty() {
+        return Err(CheckpointError::Invalid("empty mode residency vector"));
+    }
+    let since = SimTime::from_secs(dec.get_f64("mode.since")?);
+    let mode_transitions = dec.get_u64("mode.transitions")?;
+    engine.mode_tracker =
+        ge_metrics::ModeTracker::restore(residency, current, since, mode_transitions);
+    let wm = dec.get_f64("speed.weighted_mean_sum")?;
+    let wv = dec.get_f64("speed.weighted_var_sum")?;
+    let tt = dec.get_f64("speed.total_time")?;
+    let samples = dec.get_u64("speed.samples")?;
+    engine.speed_tracker = ge_metrics::SpeedTracker::restore(wm, wv, tt, samples);
+    let bins = dec.get_u64_vec("latency.bins")?;
+    let upper = dec.get_f64("latency.upper")?;
+    let lat_count = dec.get_u64("latency.count")?;
+    let lat_sum = dec.get_f64("latency.sum")?;
+    let lat_max = dec.get_f64("latency.max_seen")?;
+    if !(upper.is_finite() && upper > 0.0) || bins.len() < 2 {
+        return Err(CheckpointError::Invalid("malformed latency histogram"));
+    }
+    engine.latency = ge_metrics::Histogram::restore(bins, upper, lat_count, lat_sum, lat_max);
+
+    // 5. Driver-local state.
+    let n_queue = dec.get_len("driver.queue")?;
+    let mut queue = Vec::with_capacity(n_queue);
+    for _ in 0..n_queue {
+        let id = JobId(dec.get_u64("queue.job.id")?);
+        let release = SimTime::from_secs(dec.get_f64("queue.job.release")?);
+        let deadline = SimTime::from_secs(dec.get_f64("queue.job.deadline")?);
+        let demand = dec.get_f64("queue.job.demand")?;
+        let estimate = dec.get_f64("queue.job.estimate")?;
+        queue.push(Job {
+            id,
+            release,
+            deadline,
+            demand,
+            estimate,
+        });
+    }
+    engine.queue = queue;
+    let n_window = dec.get_len("driver.arrivals_window")?;
+    let mut arrivals = std::collections::VecDeque::with_capacity(n_window);
+    for _ in 0..n_window {
+        arrivals.push_back(dec.get_f64("driver.arrival")?);
+    }
+    engine.arrivals_window = arrivals;
+    engine.epochs = dec.get_u64("driver.epochs")?;
+    engine.last_t = SimTime::from_secs(dec.get_f64("driver.last_t")?);
+    engine.last_speeds = dec.get_f64_vec("driver.last_speeds")?;
+    if engine.last_speeds.len() != cores {
+        return Err(CheckpointError::Invalid(
+            "speed vector length disagrees with core count",
+        ));
+    }
+    engine.next_check = dec
+        .get_opt_f64("driver.next_check")?
+        .map(SimTime::from_secs);
+    let n_orphans = dec.get_len("driver.orphans")?;
+    let mut orphans = Vec::with_capacity(n_orphans);
+    for _ in 0..n_orphans {
+        orphans.push(decode_core_job(&mut dec)?);
+    }
+    engine.orphans = orphans;
+    engine.shed_buf.clear();
+    engine.budget_factor = dec.get_f64("driver.budget_factor")?;
+    engine.jobs_shed = dec.get_u64("driver.jobs_shed")?;
+    match dec.get_u8("driver.injector.tag")? {
+        0 => {
+            if engine.injector.is_some() {
+                return Err(CheckpointError::Invalid(
+                    "checkpoint has no fault state but a fault schedule was supplied",
+                ));
+            }
+        }
+        1 => {
+            let online = dec.get_bool_vec("injector.online")?;
+            let speed_factors = dec.get_f64_vec("injector.speed_factors")?;
+            let budget_factor = dec.get_f64("injector.budget_factor")?;
+            if online.len() != cores || speed_factors.len() != cores {
+                return Err(CheckpointError::Invalid(
+                    "fault state length disagrees with core count",
+                ));
+            }
+            match engine.injector.as_mut() {
+                Some(inj) => inj.restore_state(online, speed_factors, budget_factor),
+                None => {
+                    return Err(CheckpointError::Invalid(
+                        "checkpoint has fault state but no fault schedule was supplied",
+                    ))
+                }
+            }
+        }
+        tag => {
+            return Err(CheckpointError::Codec(CodecError::BadTag {
+                field: "driver.injector.tag",
+                tag,
+            }))
+        }
+    }
+
+    // 6. Policy state.
+    let sched_bytes = dec.get_bytes("scheduler.state")?;
+    let mut sub = Decoder::new(&sched_bytes);
+    sched.restore_state(&mut sub)?;
+    sub.finish("scheduler.state")?;
+
+    dec.finish("engine")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_trace::NullSink;
+    use ge_workload::{WorkloadConfig, WorkloadGenerator};
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            horizon: SimTime::from_secs(12.0),
+            ..SimConfig::paper_default()
+        }
+    }
+
+    fn small_trace(rate: f64, seed: u64) -> Trace {
+        let wc = WorkloadConfig {
+            horizon: SimTime::from_secs(12.0),
+            ..WorkloadConfig::paper_default(rate)
+        };
+        WorkloadGenerator::new(wc, seed).generate()
+    }
+
+    fn bits(r: &RunResult) -> Vec<u64> {
+        vec![
+            r.quality.to_bits(),
+            r.energy_j.to_bits(),
+            r.jobs_finished,
+            r.jobs_discarded,
+            r.jobs_shed,
+            r.jobs_completed_fully,
+            r.aes_fraction.to_bits(),
+            r.mode_transitions,
+            r.mean_speed_ghz.to_bits(),
+            r.speed_variance.to_bits(),
+            r.schedule_epochs,
+            r.mean_latency_ms.to_bits(),
+            r.p95_latency_ms.to_bits(),
+            r.p99_latency_ms.to_bits(),
+            r.core_energy_cv.to_bits(),
+        ]
+    }
+
+    #[test]
+    fn snapshot_resume_midway_is_bit_exact() {
+        let cfg = small_cfg();
+        let trace = small_trace(140.0, 11);
+        let straight = crate::driver::run(&cfg, &trace, &Algorithm::Ge);
+
+        let mut run = ResumableRun::start(&cfg, &trace, &Algorithm::Ge, None, &mut NullSink);
+        let mid = SimTime::from_secs(6.0);
+        run.advance_to(mid, &mut NullSink);
+        let snap = run.snapshot();
+        drop(run);
+
+        let resumed = ResumableRun::resume(&cfg, &trace, &Algorithm::Ge, None, &snap)
+            .expect("resume must succeed");
+        let result = resumed.finish(&mut NullSink);
+        assert_eq!(bits(&straight), bits(&result));
+    }
+
+    #[test]
+    fn digest_rejects_mismatched_inputs() {
+        let cfg = small_cfg();
+        let trace = small_trace(140.0, 11);
+        let mut run = ResumableRun::start(&cfg, &trace, &Algorithm::Ge, None, &mut NullSink);
+        run.advance_to(SimTime::from_secs(2.0), &mut NullSink);
+        let snap = run.snapshot();
+
+        let other_trace = small_trace(140.0, 12);
+        let err = ResumableRun::resume(&cfg, &other_trace, &Algorithm::Ge, None, &snap)
+            .err()
+            .expect("wrong trace must be rejected");
+        assert!(matches!(err, CheckpointError::DigestMismatch { .. }));
+
+        let err = ResumableRun::resume(&cfg, &trace, &Algorithm::Be, None, &snap)
+            .err()
+            .expect("wrong algorithm must be rejected");
+        assert!(matches!(err, CheckpointError::DigestMismatch { .. }));
+    }
+
+    #[test]
+    fn run_resumable_stop_and_resume_completes() {
+        let cfg = small_cfg();
+        let trace = small_trace(130.0, 13);
+        let straight = crate::driver::run(&cfg, &trace, &Algorithm::Ge);
+
+        let dir = std::env::temp_dir().join(format!("ge-resume-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("run.ckpt");
+        let policy = CheckpointPolicy {
+            path: path.clone(),
+            every_quanta: 3,
+            stop_after: Some(2),
+        };
+        let out = run_resumable(&cfg, &trace, &Algorithm::Ge, None, &policy, &mut NullSink)
+            .expect("checkpointed run");
+        assert!(matches!(
+            out,
+            ResumableOutcome::Stopped { checkpoints: 2, .. }
+        ));
+
+        let resume_policy = CheckpointPolicy {
+            path: path.clone(),
+            every_quanta: 3,
+            stop_after: None,
+        };
+        let out = resume_from(
+            &cfg,
+            &trace,
+            &Algorithm::Ge,
+            None,
+            &resume_policy,
+            &mut NullSink,
+        )
+        .expect("resumed run");
+        let result = match out {
+            ResumableOutcome::Finished(r) => r,
+            other => panic!("expected Finished, got {other:?}"),
+        };
+        assert_eq!(bits(&straight), bits(&result));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

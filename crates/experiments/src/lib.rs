@@ -35,6 +35,7 @@ pub mod calibrate;
 pub mod faults;
 pub mod figures;
 pub mod scale;
+pub mod supervise;
 pub mod sweep;
 pub mod trace;
 pub mod validation;

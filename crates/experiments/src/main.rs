@@ -9,16 +9,26 @@
 //! Each figure prints its table(s) and writes CSVs under `--out`
 //! (default `results/`).
 
+use ge_core::{
+    resume_from, run_resumable, Algorithm, CheckpointPolicy, ResumableOutcome, RunResult, SimConfig,
+};
+use ge_experiments::supervise::{run_supervised_with_injection, write_manifest, SupervisorConfig};
 use ge_experiments::trace::TraceError;
 use ge_experiments::{figures, Scale};
 use ge_faults::{FaultScenario, ScenarioKind};
 use ge_metrics::{AsciiPlot, SvgChart, Table};
-use std::path::PathBuf;
+use ge_recover::{CheckpointError, RetryPolicy};
+use ge_trace::NullSink;
+use ge_workload::{WorkloadConfig, WorkloadGenerator};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ge-experiments [--quick] [--plot] [--svg] [--reps N] [--horizon SECS] [--out DIR] \
-         [--trace FILE.jsonl] [--faults SCENARIO] \
+         [--trace FILE.jsonl] [--faults SCENARIO] [--supervise] [--retries N] \
+         [--timeout-secs S] [--checkpoint-every K] \
+         [--checkpoint FILE.ckpt] [--stop-after N] [--resume] \
          [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
           ab1 ab2 ab3 ab4 ab5 ab6 bounds validate | all | ablations]\n\
          \n\
@@ -28,7 +38,14 @@ fn usage() -> ! {
          \n\
          --faults SCENARIO runs the degradation study: the scenario swept\n\
          over an intensity grid, GE (with the Q_min floor) vs baselines.\n\
-         Scenarios: {}.",
+         Add --supervise to run every cell under the fault-tolerant\n\
+         supervisor (panic isolation, --retries attempts, per-attempt\n\
+         --timeout-secs, checkpoint salvage) and write run-manifest.json\n\
+         under --out. Scenarios: {}.\n\
+         \n\
+         --checkpoint FILE runs one GE exemplar cell, checkpointing every\n\
+         --checkpoint-every quanta (optionally stopping after --stop-after\n\
+         checkpoints); --resume continues it from FILE bit-exactly.",
         FaultScenario::ALL_NAMES.join(", ")
     );
     std::process::exit(2);
@@ -58,6 +75,11 @@ enum CliError {
         /// The figure whose trace failed its invariants.
         fig: String,
     },
+    /// A checkpointed exemplar run could not save or restore its state.
+    Checkpoint {
+        /// The underlying checkpoint failure (I/O, corruption, mismatch).
+        source: CheckpointError,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -70,6 +92,7 @@ impl std::fmt::Display for CliError {
             CliError::ReplayViolations { fig } => {
                 write!(f, "{fig}: trace replay reported invariant violations")
             }
+            CliError::Checkpoint { source } => write!(f, "checkpoint: {source}"),
         }
     }
 }
@@ -80,6 +103,7 @@ impl std::error::Error for CliError {
             CliError::Write { source, .. } => Some(source),
             CliError::Trace { source, .. } => Some(source),
             CliError::ReplayViolations { .. } => None,
+            CliError::Checkpoint { source } => Some(source),
         }
     }
 }
@@ -179,6 +203,107 @@ fn emit_tables(
     Ok(())
 }
 
+/// A stable FNV-1a digest of a [`RunResult`]'s exact bit patterns, so two
+/// runs can be compared for bit-exactness from the shell.
+fn result_digest(r: &RunResult) -> u64 {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(r.algorithm.as_bytes());
+    for v in [
+        r.quality,
+        r.energy_j,
+        r.aes_fraction,
+        r.mean_speed_ghz,
+        r.speed_variance,
+        r.mean_latency_ms,
+        r.core_energy_cv,
+    ] {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for v in [
+        r.jobs_finished,
+        r.jobs_discarded,
+        r.jobs_shed,
+        r.jobs_completed_fully,
+        r.mode_transitions,
+        r.schedule_epochs,
+    ] {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    ge_recover::codec::fnv1a64(&bytes)
+}
+
+/// Runs (or resumes) one checkpointed GE exemplar cell: the degradation
+/// study's configuration at the middle arrival rate, optionally under a
+/// mid-intensity fault scenario. Prints the bit-exact result digest on
+/// completion so shell tests can compare a straight run against a
+/// stop-and-resume run.
+fn checkpoint_exemplar(
+    scale: &Scale,
+    faults_kind: Option<ScenarioKind>,
+    path: &Path,
+    every_quanta: u64,
+    stop_after: Option<u64>,
+    resume: bool,
+) -> Result<(), CliError> {
+    let rate = scale.rates[scale.rates.len() / 2];
+    let sim = SimConfig {
+        horizon: scale.horizon(),
+        q_min: ge_experiments::faults::Q_MIN,
+        ..SimConfig::paper_default()
+    };
+    let workload = WorkloadConfig {
+        horizon: scale.horizon(),
+        ..WorkloadConfig::paper_default(rate)
+    };
+    let trace = WorkloadGenerator::new(workload, scale.root_seed).generate();
+    let schedule = faults_kind
+        .map(|kind| FaultScenario::new(kind, 0.5).build(sim.cores, sim.horizon, scale.root_seed));
+    let policy = CheckpointPolicy {
+        path: path.to_path_buf(),
+        every_quanta,
+        stop_after,
+    };
+    let outcome = if resume {
+        resume_from(
+            &sim,
+            &trace,
+            &Algorithm::Ge,
+            schedule.as_ref(),
+            &policy,
+            &mut NullSink,
+        )
+    } else {
+        run_resumable(
+            &sim,
+            &trace,
+            &Algorithm::Ge,
+            schedule.as_ref(),
+            &policy,
+            &mut NullSink,
+        )
+    }
+    .map_err(|source| CliError::Checkpoint { source })?;
+    match outcome {
+        ResumableOutcome::Finished(r) => {
+            println!(
+                "finished: digest=0x{:016x} quality={:.6} energy_j={:.3} discarded={}",
+                result_digest(&r),
+                r.quality,
+                r.energy_j,
+                r.jobs_discarded
+            );
+        }
+        ResumableOutcome::Stopped { at, checkpoints } => {
+            println!(
+                "stopped: t={:.3}s checkpoints={checkpoints} checkpoint={} (continue with --resume)",
+                at.as_secs(),
+                path.display()
+            );
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     if let Err(e) = real_main() {
         eprintln!("ge-experiments: error: {e}");
@@ -193,6 +318,14 @@ fn real_main() -> Result<(), CliError> {
     let mut svg = false;
     let mut trace_path: Option<PathBuf> = None;
     let mut faults_kind: Option<ScenarioKind> = None;
+    let mut supervise = false;
+    let mut drill_cell: Option<usize> = None;
+    let mut retries: u32 = 3;
+    let mut timeout_secs: Option<f64> = None;
+    let mut checkpoint_every: u64 = 32;
+    let mut checkpoint_path: Option<PathBuf> = None;
+    let mut stop_after: Option<u64> = None;
+    let mut resume = false;
     let mut figs: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -232,6 +365,47 @@ fn real_main() -> Result<(), CliError> {
                     }
                 };
             }
+            "--supervise" => supervise = true,
+            "--supervise-drill" => {
+                drill_cell = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+                supervise = true;
+            }
+            "--retries" => {
+                retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--timeout-secs" => {
+                timeout_secs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|k| *k >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--checkpoint" => {
+                checkpoint_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--stop-after" => {
+                stop_after = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--resume" => resume = true,
             "--help" | "-h" => usage(),
             name if name.starts_with("fig")
                 || name.starts_with("ab")
@@ -246,11 +420,58 @@ fn real_main() -> Result<(), CliError> {
         }
     }
 
+    // Checkpoint exemplar mode: one GE cell, checkpointed (and possibly
+    // stopped/resumed) — the substrate behind the kill-and-resume smoke.
+    if let Some(path) = &checkpoint_path {
+        return checkpoint_exemplar(
+            &scale,
+            faults_kind,
+            path,
+            checkpoint_every,
+            stop_after,
+            resume,
+        );
+    }
+
     // Faults mode: the degradation study, no figure tables.
     if let Some(kind) = faults_kind {
         let started = std::time::Instant::now();
-        let tables = ge_experiments::faults::run(kind, &scale);
         let stem = format!("faults-{}", kind.name());
+        let tables = if supervise {
+            let cfg = SupervisorConfig {
+                retry: RetryPolicy {
+                    max_attempts: retries.max(1),
+                    timeout: timeout_secs.map(Duration::from_secs_f64),
+                    ..RetryPolicy::default()
+                },
+                checkpoint_dir: out_dir.join("checkpoints"),
+                checkpoint_every,
+            };
+            let study = run_supervised_with_injection(kind, &scale, &cfg, drill_cell);
+            for r in &study.reports {
+                println!(
+                    "  [{:>8}] {} (attempts: {}{})",
+                    r.outcome.as_str(),
+                    r.name,
+                    r.attempts,
+                    r.error
+                        .as_deref()
+                        .map(|e| format!(", last error: {e}"))
+                        .unwrap_or_default()
+                );
+            }
+            let manifest = out_dir.join("run-manifest.json");
+            write_manifest(&manifest, kind.name(), &study.reports).map_err(|source| {
+                CliError::Write {
+                    path: manifest.clone(),
+                    source,
+                }
+            })?;
+            println!("  -> wrote {}", manifest.display());
+            study.tables
+        } else {
+            ge_experiments::faults::run(kind, &scale)
+        };
         emit_tables(&tables, &stem, &out_dir, plot, svg)?;
         println!("  ({stem} done in {:.1?})\n", started.elapsed());
         return Ok(());
@@ -309,7 +530,7 @@ fn real_main() -> Result<(), CliError> {
                 fig: fig.clone(),
                 source: TraceError::Serialize(source),
             })?;
-            std::fs::write(&path, &jsonl).map_err(|source| CliError::Write {
+            ge_recover::write_atomic(&path, &jsonl).map_err(|source| CliError::Write {
                 path: path.clone(),
                 source,
             })?;

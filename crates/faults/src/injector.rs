@@ -84,6 +84,38 @@ impl FaultInjector {
     pub fn speed_factor(&self, core: usize) -> f64 {
         self.speed_factors[core]
     }
+
+    /// Current fault state `(online, speed_factors, budget_factor)` for
+    /// checkpointing. The transition stream itself is deterministic from
+    /// the schedule and is rebuilt on resume, not serialized.
+    pub fn snapshot_state(&self) -> (Vec<bool>, Vec<f64>, f64) {
+        (
+            self.online.clone(),
+            self.speed_factors.clone(),
+            self.budget_factor,
+        )
+    }
+
+    /// Overwrites the injector's current fault state (checkpoint resume).
+    ///
+    /// # Panics
+    /// Panics if the vector lengths disagree with the compiled core count.
+    pub fn restore_state(
+        &mut self,
+        online: Vec<bool>,
+        speed_factors: Vec<f64>,
+        budget_factor: f64,
+    ) {
+        assert_eq!(online.len(), self.online.len(), "online mask length");
+        assert_eq!(
+            speed_factors.len(),
+            self.speed_factors.len(),
+            "speed factor length"
+        );
+        self.online = online;
+        self.speed_factors = speed_factors;
+        self.budget_factor = budget_factor;
+    }
 }
 
 #[cfg(test)]

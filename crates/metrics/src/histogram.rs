@@ -126,6 +126,35 @@ impl Histogram {
         self.sum += other.sum;
         self.max_seen = self.max_seen.max(other.max_seen);
     }
+
+    /// Full internal state `(bins, upper, count, sum, max_seen)` for
+    /// checkpointing. `bins` includes the trailing overflow bin.
+    pub fn snapshot_state(&self) -> (Vec<u64>, f64, u64, f64, f64) {
+        (
+            self.bins.clone(),
+            self.upper,
+            self.count,
+            self.sum,
+            self.max_seen,
+        )
+    }
+
+    /// Reconstructs a histogram from [`Histogram::snapshot_state`] output.
+    ///
+    /// # Panics
+    /// Panics on an invalid shape (`bins` must include the overflow bin,
+    /// so its length is at least 2; `upper` must be positive and finite).
+    pub fn restore(bins: Vec<u64>, upper: f64, count: u64, sum: f64, max_seen: f64) -> Self {
+        assert!(upper > 0.0 && upper.is_finite(), "invalid upper {upper}");
+        assert!(bins.len() >= 2, "need at least one bin plus overflow");
+        Histogram {
+            bins,
+            upper,
+            count,
+            sum,
+            max_seen,
+        }
+    }
 }
 
 #[cfg(test)]

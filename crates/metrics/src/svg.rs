@@ -222,12 +222,14 @@ impl SvgChart {
         out
     }
 
-    /// Writes the chart to a file, creating parent directories.
+    /// Writes the chart to a file, creating parent directories. The write
+    /// is atomic (same-directory temp file, fsync, rename), so an
+    /// interrupted run never leaves a truncated SVG behind.
     pub fn write(&self, path: &Path) -> io::Result<()> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, self.render())
+        ge_recover::write_atomic(path, self.render().as_bytes())
     }
 }
 

@@ -142,11 +142,13 @@ impl Table {
     }
 
     /// Writes the CSV rendering to `path`, creating parent directories.
+    /// The write is atomic (same-directory temp file, fsync, rename), so
+    /// an interrupted run never leaves a truncated CSV behind.
     pub fn write_csv(&self, path: &Path) -> io::Result<()> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, self.to_csv())
+        ge_recover::write_atomic(path, self.to_csv().as_bytes())
     }
 }
 

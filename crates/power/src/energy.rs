@@ -83,6 +83,20 @@ impl EnergyMeter {
     pub fn cores(&self) -> usize {
         self.per_core.len()
     }
+
+    /// Raw compensated-summation state `(sum, compensation)` per core, for
+    /// checkpointing. Both terms matter: rebuilding via `record_joules`
+    /// would lose the compensation term and break bit-exact resume.
+    pub fn snapshot_state(&self) -> Vec<(f64, f64)> {
+        self.per_core.iter().map(|k| (k.sum, k.c)).collect()
+    }
+
+    /// Reconstructs a meter from [`EnergyMeter::snapshot_state`] output.
+    pub fn restore(state: &[(f64, f64)]) -> Self {
+        EnergyMeter {
+            per_core: state.iter().map(|&(sum, c)| KahanSum { sum, c }).collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,45 @@ impl QualityLedger {
     pub fn full_sum(&self) -> f64 {
         self.full_sum
     }
+
+    /// Counters `(count, discarded, completed)` for checkpointing.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.count, self.discarded, self.completed)
+    }
+
+    /// The sliding-window history currently in scope (empty in cumulative
+    /// mode), oldest first, as `(achieved, full)` pairs.
+    pub fn window_entries(&self) -> Vec<(f64, f64)> {
+        self.window.iter().copied().collect()
+    }
+
+    /// Reconstructs a ledger from checkpoint state. The sums are restored
+    /// verbatim — NOT recomputed from the window — so the float values
+    /// (including any accumulated eviction drift) match the snapshotted
+    /// ledger bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics on a zero-length sliding window mode.
+    pub fn restore(
+        mode: LedgerMode,
+        achieved_sum: f64,
+        full_sum: f64,
+        counters: (u64, u64, u64),
+        window: Vec<(f64, f64)>,
+    ) -> Self {
+        if let LedgerMode::SlidingWindow(n) = mode {
+            assert!(n > 0, "sliding window must be non-empty");
+        }
+        QualityLedger {
+            mode,
+            achieved_sum,
+            full_sum,
+            count: counters.0,
+            discarded: counters.1,
+            completed: counters.2,
+            window: window.into(),
+        }
+    }
 }
 
 impl Default for QualityLedger {

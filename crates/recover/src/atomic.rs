@@ -1,0 +1,124 @@
+//! Atomic file writes: temp file in the target directory, fsync, rename.
+//!
+//! A reader concurrent with (or interrupted by) `write_atomic` observes
+//! either the complete previous contents or the complete new contents —
+//! never a torn file. This is the write path for every artifact the
+//! workspace produces (checkpoints, CSV/SVG/JSON results, bench reports).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counter distinguishing temp files within one process; combined
+/// with the PID it makes concurrent writers (threads or processes) collide
+/// only if the OS reuses a PID mid-write.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path_for(path: &Path) -> PathBuf {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    let tmp_name = format!(".{name}.tmp.{pid}.{seq}");
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.join(tmp_name),
+        _ => PathBuf::from(tmp_name),
+    }
+}
+
+/// Writes `bytes` to `path` atomically.
+///
+/// The temp file lives in the same directory as `path` so the final rename
+/// stays within one filesystem (rename is only atomic within a mount).
+/// The file is fsynced before the rename; the directory fsync afterwards is
+/// best-effort (some platforms/filesystems reject directory handles).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = temp_path_for(path);
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Ok(d) = fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Writes a UTF-8 string to `path` atomically. Convenience wrapper over
+/// [`write_atomic`].
+pub fn write_atomic_str(path: &Path, text: &str) -> io::Result<()> {
+    write_atomic(path, text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ge-atomic-test-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_contents() {
+        let dir = temp_dir();
+        let path = dir.join("out.txt");
+        write_atomic(&path, b"hello").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replaces_existing_file() {
+        let dir = temp_dir();
+        let path = dir.join("out.txt");
+        write_atomic(&path, b"old").unwrap();
+        write_atomic(&path, b"new contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new contents");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_files() {
+        let dir = temp_dir();
+        let path = dir.join("out.txt");
+        for i in 0..5 {
+            write_atomic(&path, format!("round {i}").as_bytes()).unwrap();
+        }
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_cleans_up_temp() {
+        let dir = temp_dir();
+        // Target inside a nonexistent subdirectory: File::create fails.
+        let path = dir.join("missing-subdir").join("out.txt");
+        assert!(write_atomic(&path, b"x").is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,285 @@
+//! Supervised execution of one unit of work ("cell"): panic isolation, a
+//! wall-clock timeout, and retry with capped exponential backoff.
+//!
+//! The work closure runs on a dedicated thread. A panic inside it is
+//! contained and reported as a failed attempt; a timed-out attempt is
+//! abandoned (the thread is detached — simulation cells are pure CPU work
+//! with no shared mutable state, so abandonment is safe) and retried.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Retry/timeout policy for [`supervise`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum attempts (including the first). Minimum 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Upper bound on the backoff between attempts.
+    pub max_backoff: Duration,
+    /// Wall-clock budget per attempt; `None` = unlimited.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+            timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep after the `attempt`-th failure (1-based):
+    /// `base * 2^(attempt-1)`, capped at `max_backoff`.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let factor = 1u32
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(u32::MAX);
+        self.base_backoff
+            .checked_mul(factor)
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff)
+    }
+}
+
+/// Final status of a supervised cell, in manifest vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Succeeded on the first attempt.
+    Ok,
+    /// Succeeded after at least one failed attempt.
+    Retried,
+    /// All attempts failed but partial results were recovered from a
+    /// checkpoint (assigned by the caller, not by [`supervise`]).
+    Salvaged,
+    /// All attempts failed and nothing was recovered.
+    Failed,
+}
+
+impl CellOutcome {
+    /// The manifest string for this outcome.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellOutcome::Ok => "ok",
+            CellOutcome::Retried => "retried",
+            CellOutcome::Salvaged => "salvaged",
+            CellOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// Machine-readable record of one supervised cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Cell identifier (stable across runs; used as the manifest key).
+    pub name: String,
+    /// Final status.
+    pub outcome: CellOutcome,
+    /// Attempts made (1 = succeeded immediately).
+    pub attempts: u32,
+    /// Error message from the last failed attempt, if any.
+    pub error: Option<String>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Runs `work` under supervision and returns the report plus the value of
+/// the first successful attempt (if any).
+///
+/// `work` must be re-invocable (each retry calls it afresh) and `'static`
+/// because a timed-out attempt keeps running on its detached thread.
+pub fn supervise<T, F>(name: &str, policy: &RetryPolicy, work: F) -> (CellReport, Option<T>)
+where
+    T: Send + 'static,
+    F: Fn() -> Result<T, String> + Send + Sync + 'static,
+{
+    let work = Arc::new(work);
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last_error: Option<String> = None;
+    for attempt in 1..=max_attempts {
+        let (tx, rx) = mpsc::channel();
+        let w = Arc::clone(&work);
+        let spawned = thread::Builder::new()
+            .name(format!("cell-{name}-a{attempt}"))
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| w()));
+                // The receiver may have given up (timeout); ignore that.
+                let _ = tx.send(result);
+            });
+        let handle = match spawned {
+            Ok(h) => h,
+            Err(e) => {
+                last_error = Some(format!("failed to spawn worker thread: {e}"));
+                break;
+            }
+        };
+        let received = match policy.timeout {
+            Some(t) => rx.recv_timeout(t),
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+        };
+        match received {
+            Ok(Ok(Ok(value))) => {
+                let _ = handle.join();
+                let outcome = if attempt == 1 {
+                    CellOutcome::Ok
+                } else {
+                    CellOutcome::Retried
+                };
+                return (
+                    CellReport {
+                        name: name.to_string(),
+                        outcome,
+                        attempts: attempt,
+                        error: None,
+                    },
+                    Some(value),
+                );
+            }
+            Ok(Ok(Err(msg))) => {
+                let _ = handle.join();
+                last_error = Some(msg);
+            }
+            Ok(Err(payload)) => {
+                let _ = handle.join();
+                last_error = Some(panic_message(payload));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Abandon the attempt: the detached thread finishes (or not)
+                // on its own; its send into the dropped channel is ignored.
+                drop(handle);
+                last_error = Some(format!(
+                    "timed out after {:?} (attempt {attempt})",
+                    policy.timeout.unwrap_or_default()
+                ));
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                let _ = handle.join();
+                last_error = Some("worker thread exited without reporting".to_string());
+            }
+        }
+        if attempt < max_attempts {
+            thread::sleep(policy.backoff_after(attempt));
+        }
+    }
+    (
+        CellReport {
+            name: name.to_string(),
+            outcome: CellOutcome::Failed,
+            attempts: max_attempts,
+            error: last_error,
+        },
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            timeout: None,
+        }
+    }
+
+    #[test]
+    fn immediate_success() {
+        let (report, value) = supervise("ok", &fast_policy(), || Ok::<_, String>(42));
+        assert_eq!(report.outcome, CellOutcome::Ok);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(value, Some(42));
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn panic_then_success_is_retried() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let (report, value) = supervise("flaky", &fast_policy(), move || {
+            if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected failure");
+            }
+            Ok::<_, String>("done")
+        });
+        assert_eq!(report.outcome, CellOutcome::Retried);
+        assert_eq!(report.attempts, 2);
+        assert_eq!(value, Some("done"));
+    }
+
+    #[test]
+    fn persistent_panic_fails_with_message() {
+        let (report, value) = supervise("broken", &fast_policy(), || -> Result<(), String> {
+            panic!("always broken")
+        });
+        assert_eq!(report.outcome, CellOutcome::Failed);
+        assert_eq!(report.attempts, 3);
+        assert_eq!(value, None);
+        assert!(report
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("always broken"));
+    }
+
+    #[test]
+    fn error_result_fails() {
+        let (report, value) = supervise("err", &fast_policy(), || -> Result<(), String> {
+            Err("bad input".to_string())
+        });
+        assert_eq!(report.outcome, CellOutcome::Failed);
+        assert_eq!(value, None);
+        assert_eq!(report.error.as_deref(), Some("bad input"));
+    }
+
+    #[test]
+    fn timeout_abandons_and_retries() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let policy = RetryPolicy {
+            timeout: Some(Duration::from_millis(20)),
+            ..fast_policy()
+        };
+        let (report, value) = supervise("slow-once", &policy, move || {
+            if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                thread::sleep(Duration::from_millis(500));
+            }
+            Ok::<_, String>(7)
+        });
+        assert_eq!(report.outcome, CellOutcome::Retried);
+        assert_eq!(value, Some(7));
+    }
+
+    #[test]
+    fn backoff_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(350),
+            timeout: None,
+        };
+        assert_eq!(p.backoff_after(1), Duration::from_millis(100));
+        assert_eq!(p.backoff_after(2), Duration::from_millis(200));
+        assert_eq!(p.backoff_after(3), Duration::from_millis(350));
+        assert_eq!(p.backoff_after(31), Duration::from_millis(350));
+    }
+}

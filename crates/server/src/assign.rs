@@ -29,6 +29,17 @@ impl CrrAssigner {
         self.next
     }
 
+    /// Restores the cursor (checkpoint resume). The cumulative cursor is
+    /// the assigner's only mutable state, so this makes a fresh assigner
+    /// behaviourally identical to the snapshotted one.
+    ///
+    /// # Panics
+    /// Panics if `cursor` is not a valid core index.
+    pub fn set_cursor(&mut self, cursor: usize) {
+        assert!(cursor < self.cores, "cursor {cursor} out of range");
+        self.next = cursor;
+    }
+
     /// Assigns a batch of `batch` jobs; returns the target core for each.
     pub fn assign_batch(&mut self, batch: usize) -> Vec<usize> {
         let mut out = Vec::with_capacity(batch);

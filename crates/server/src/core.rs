@@ -211,6 +211,50 @@ impl Core {
         self.power_cap_w
     }
 
+    /// Identity of the sticky non-preemptively running job, if any. Part
+    /// of the execution-engine state a checkpoint must capture: EDF picks
+    /// a new job only when the running one finishes.
+    pub fn running_job(&self) -> Option<JobId> {
+        self.running
+    }
+
+    /// Reconstructs a core from checkpoint state.
+    ///
+    /// `profile` must be the *delivered* profile exactly as
+    /// [`Core::profile`] returned it at snapshot time — it is installed
+    /// raw, not rescaled by `speed_factor` (that scaling already happened
+    /// in the original [`Core::install_plan`] call).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        index: usize,
+        units_per_ghz_sec: f64,
+        jobs: Vec<CoreJob>,
+        profile: SpeedProfile,
+        power_cap_w: f64,
+        clock: SimTime,
+        running: Option<JobId>,
+        online: bool,
+        speed_factor: f64,
+    ) -> Self {
+        assert!(units_per_ghz_sec > 0.0);
+        assert!(
+            speed_factor.is_finite() && speed_factor > 0.0,
+            "speed factor must be positive and finite, got {speed_factor}"
+        );
+        assert!(power_cap_w >= 0.0);
+        Core {
+            index,
+            jobs,
+            profile,
+            power_cap_w,
+            clock,
+            running,
+            units_per_ghz_sec,
+            online,
+            speed_factor,
+        }
+    }
+
     /// The installed speed profile.
     pub fn profile(&self) -> &SpeedProfile {
         &self.profile

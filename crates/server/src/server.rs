@@ -188,6 +188,43 @@ impl Server {
     pub fn core_energy(&self, i: usize) -> f64 {
         self.meter.core_energy(i)
     }
+
+    /// Raw energy-meter state for checkpointing; see
+    /// [`EnergyMeter::snapshot_state`].
+    pub fn meter_state(&self) -> Vec<(f64, f64)> {
+        self.meter.snapshot_state()
+    }
+
+    /// Reconstructs a server from checkpoint state: restored cores (one per
+    /// index, in order) plus the meter's compensated sums.
+    ///
+    /// # Panics
+    /// Panics if `cores` is empty, the meter state length disagrees with
+    /// the core count, or the scalar parameters are invalid — a checkpoint
+    /// loader validates these before calling.
+    pub fn restore(
+        cores: Vec<Core>,
+        model: Box<dyn PowerModel>,
+        meter_state: &[(f64, f64)],
+        budget_w: f64,
+        units_per_ghz_sec: f64,
+    ) -> Self {
+        assert!(!cores.is_empty(), "need at least one core");
+        assert!(budget_w >= 0.0, "negative budget");
+        assert!(units_per_ghz_sec > 0.0);
+        assert_eq!(
+            meter_state.len(),
+            cores.len(),
+            "meter state / core count mismatch"
+        );
+        Server {
+            cores,
+            model,
+            meter: EnergyMeter::restore(meter_state),
+            budget_w,
+            units_per_ghz_sec,
+        }
+    }
 }
 
 /// Collects events from per-core advances so they can be re-sorted into

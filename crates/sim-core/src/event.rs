@@ -148,6 +148,29 @@ impl<E> EventQueue<E> {
     pub fn pushed_count(&self) -> u64 {
         self.next_seq
     }
+
+    /// Snapshot of every pending entry, sorted by firing order. Together
+    /// with [`EventQueue::pushed_count`] this captures the queue exactly;
+    /// see [`EventQueue::restore`].
+    pub fn snapshot_entries(&self) -> Vec<EventEntry<E>>
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<EventEntry<E>> = self.heap.iter().cloned().collect();
+        entries.sort_by_key(|e| e.cmp_key());
+        entries
+    }
+
+    /// Rebuilds a queue from a snapshot, preserving every entry's original
+    /// sequence number and the next sequence to assign. Bit-exact inverse
+    /// of [`EventQueue::snapshot_entries`]: pop order and all future seq
+    /// assignments are identical to the snapshotted queue's.
+    pub fn restore(entries: Vec<EventEntry<E>>, next_seq: u64) -> Self {
+        EventQueue {
+            heap: BinaryHeap::from(entries),
+            next_seq,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! this type only guarantees the *mechanics*: monotone time, deterministic
 //! ordering, and a clean stopping rule.
 
-use crate::event::{EventPriority, EventQueue};
+use crate::event::{EventEntry, EventPriority, EventQueue};
 use crate::time::SimTime;
 
 /// Handle passed to event handlers for interacting with the simulator.
@@ -111,6 +111,33 @@ impl<E> Simulator<E> {
     pub fn schedule(&mut self, at: SimTime, priority: EventPriority, event: E) {
         assert!(at.at_or_after(self.now), "cannot schedule into the past");
         self.queue.push(at.max(self.now), priority, event);
+    }
+
+    /// Sequence number the queue will assign to the next pushed event.
+    pub fn next_seq(&self) -> u64 {
+        self.queue.pushed_count()
+    }
+
+    /// Snapshot of every pending event in deterministic firing order.
+    /// Together with [`Simulator::now`], [`Simulator::handled_count`], and
+    /// [`Simulator::next_seq`] this captures the simulator exactly.
+    pub fn snapshot_pending(&self) -> Vec<EventEntry<E>>
+    where
+        E: Clone,
+    {
+        self.queue.snapshot_entries()
+    }
+
+    /// Reconstructs a simulator from snapshot state. The restored instance
+    /// delivers the exact same `(now, event)` sequence as the original —
+    /// entry sequence numbers and the next sequence to assign are preserved,
+    /// so FIFO tie-breaking is unchanged.
+    pub fn restore(now: SimTime, handled: u64, pending: Vec<EventEntry<E>>, next_seq: u64) -> Self {
+        Simulator {
+            now,
+            queue: EventQueue::restore(pending, next_seq),
+            handled,
+        }
     }
 
     /// Runs until the queue drains, `horizon` is passed, or the handler
@@ -237,6 +264,43 @@ mod tests {
             assert!(ctx.now().at_or_after(last));
             last = ctx.now();
         });
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_order_and_seq() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        for i in 0..6 {
+            sim.schedule(SimTime::from_secs(1.0 + (i % 3) as f64), (i % 2) as u32, i);
+        }
+        let mut straight = Vec::new();
+        let mut reference = Simulator::restore(
+            sim.now(),
+            sim.handled_count(),
+            sim.snapshot_pending(),
+            sim.next_seq(),
+        );
+
+        // Run the original to a mid-horizon, snapshot, restore, finish both.
+        sim.run_until(SimTime::from_secs(2.0), |ctx, e| {
+            straight.push((ctx.now().as_secs().to_bits(), e));
+        });
+        let mut resumed = Simulator::restore(
+            sim.now(),
+            sim.handled_count(),
+            sim.snapshot_pending(),
+            sim.next_seq(),
+        );
+        resumed.run_until(SimTime::from_secs(10.0), |ctx, e| {
+            straight.push((ctx.now().as_secs().to_bits(), e));
+        });
+
+        let mut continuous = Vec::new();
+        reference.run_until(SimTime::from_secs(10.0), |ctx, e| {
+            continuous.push((ctx.now().as_secs().to_bits(), e));
+        });
+        assert_eq!(straight, continuous);
+        assert_eq!(resumed.next_seq(), reference.next_seq());
+        assert_eq!(resumed.handled_count(), reference.handled_count());
     }
 
     #[test]

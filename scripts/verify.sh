@@ -19,13 +19,62 @@ cargo clippy --workspace --offline -- -D warnings
 echo "== cargo test -q (offline)"
 cargo test -q --workspace --offline
 
-echo "== faults smoke run (--faults coreloss)"
+echo "== unwrap/expect lint (non-test library code vs baseline)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
+# Count .unwrap()/.expect( per file in crates/*/src, ignoring everything
+# from the first #[cfg(test)] on. New library code must use typed errors;
+# counts may only shrink relative to scripts/unwrap_baseline.txt.
+for f in $(find crates/*/src -name '*.rs' | sort); do
+  n=$(awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" | grep -c -E '\.unwrap\(\)|\.expect\(' || true)
+  if [ "$n" -gt 0 ]; then echo "$n $f"; fi
+done >"$smoke_dir/unwrap_now.txt"
+awk 'NR==FNR { base[$2] = $1; next }
+     { b = ($2 in base) ? base[$2] : 0
+       if ($1 + 0 > b + 0) {
+         printf "FAIL: %s has %d unwrap/expect in library code (baseline %d)\n", $2, $1, b
+         bad = 1
+       } }
+     END { exit bad }' scripts/unwrap_baseline.txt "$smoke_dir/unwrap_now.txt"
+
+echo "== faults smoke run (--faults coreloss)"
 cargo run --release --offline -q -p ge-experiments -- \
   --quick --reps 1 --horizon 5 --out "$smoke_dir" --faults coreloss \
   >"$smoke_dir/stdout.log"
 test -s "$smoke_dir/faults-corelossa.csv"
+
+echo "== supervised runner smoke (--supervise + run-manifest.json)"
+cargo run --release --offline -q -p ge-experiments -- \
+  --quick --reps 1 --horizon 5 --out "$smoke_dir" --faults throttle --supervise \
+  >"$smoke_dir/supervise.log"
+test -s "$smoke_dir/faults-throttlea.csv"
+grep -q '"schema": "ge-run-manifest/v1"' "$smoke_dir/run-manifest.json"
+grep -q '"status": "ok"' "$smoke_dir/run-manifest.json"
+
+echo "== kill-and-resume smoke (checkpoint bit-exactness)"
+# Stop a checkpointed run mid-flight, resume it, and require the resumed
+# result digest to equal an uninterrupted run's, bit for bit.
+cargo run --release --offline -q -p ge-experiments -- \
+  --quick --horizon 6 --checkpoint "$smoke_dir/smoke.ckpt" \
+  --checkpoint-every 3 --stop-after 2 --faults combined \
+  >"$smoke_dir/ck-stop.log"
+grep -q '^stopped:' "$smoke_dir/ck-stop.log"
+test -s "$smoke_dir/smoke.ckpt"
+cargo run --release --offline -q -p ge-experiments -- \
+  --quick --horizon 6 --checkpoint "$smoke_dir/smoke.ckpt" \
+  --checkpoint-every 3 --resume --faults combined \
+  >"$smoke_dir/ck-resume.log"
+cargo run --release --offline -q -p ge-experiments -- \
+  --quick --horizon 6 --checkpoint "$smoke_dir/straight.ckpt" \
+  --checkpoint-every 3 --faults combined \
+  >"$smoke_dir/ck-straight.log"
+d_resumed=$(grep -o 'digest=0x[0-9a-f]*' "$smoke_dir/ck-resume.log")
+d_straight=$(grep -o 'digest=0x[0-9a-f]*' "$smoke_dir/ck-straight.log")
+test -n "$d_resumed"
+if [ "$d_resumed" != "$d_straight" ]; then
+  echo "FAIL: resumed digest $d_resumed != straight digest $d_straight"
+  exit 1
+fi
 
 echo "== bench report smoke run (sched_report --json)"
 cargo bench -q --offline -p ge-bench --bench sched_report -- \

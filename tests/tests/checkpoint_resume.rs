@@ -1,0 +1,275 @@
+//! Checkpoint/resume acceptance tests.
+//!
+//! The contract under test (DESIGN.md, "Checkpoint format"): a run resumed
+//! from a checkpoint taken at **any** quantum boundary finishes with the
+//! bit-identical [`RunResult`] (floats compared by IEEE-754 bit pattern)
+//! and the identical decision-trace suffix as the uninterrupted run — for
+//! the fault-free baseline and for the combined fault scenario, across
+//! seeds. Corrupted checkpoints (truncated, bit-flipped, wrong version,
+//! wrong inputs) must be rejected with typed errors, never a panic.
+
+use ge_core::{run, run_with_faults, Algorithm, ResumableRun, RunResult, SimConfig};
+use ge_faults::{FaultScenario, FaultSchedule, ScenarioKind};
+use ge_simcore::SimTime;
+use ge_trace::{NullSink, TraceEvent, VecSink};
+use ge_workload::{Trace, WorkloadConfig, WorkloadGenerator};
+
+const HORIZON_SECS: f64 = 6.0;
+const RATE: f64 = 140.0;
+const SEEDS: [u64; 3] = [3, 17, 101];
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        horizon: SimTime::from_secs(HORIZON_SECS),
+        q_min: 0.80,
+        ..SimConfig::paper_default()
+    }
+}
+
+fn workload(seed: u64) -> Trace {
+    WorkloadGenerator::new(
+        WorkloadConfig {
+            horizon: SimTime::from_secs(HORIZON_SECS),
+            ..WorkloadConfig::paper_default(RATE)
+        },
+        seed,
+    )
+    .generate()
+}
+
+fn combined_schedule(c: &SimConfig, seed: u64) -> FaultSchedule {
+    FaultScenario::new(ScenarioKind::Combined, 0.75).build(c.cores, c.horizon, seed)
+}
+
+/// Every [`RunResult`] field as exact bits (floats via `to_bits`).
+fn bits(r: &RunResult) -> Vec<u64> {
+    vec![
+        r.quality.to_bits(),
+        r.energy_j.to_bits(),
+        r.jobs_finished,
+        r.jobs_discarded,
+        r.jobs_shed,
+        r.jobs_completed_fully,
+        r.aes_fraction.to_bits(),
+        r.mode_transitions,
+        r.mean_speed_ghz.to_bits(),
+        r.speed_variance.to_bits(),
+        r.schedule_epochs,
+        r.mean_latency_ms.to_bits(),
+        r.p95_latency_ms.to_bits(),
+        r.p99_latency_ms.to_bits(),
+        r.core_energy_cv.to_bits(),
+    ]
+}
+
+/// Drives a fresh run to completion, snapshotting at every quantum
+/// boundary along the way. Returns the final result, the full event
+/// stream, and the per-boundary snapshots.
+fn run_with_snapshots(
+    c: &SimConfig,
+    trace: &Trace,
+    faults: Option<&FaultSchedule>,
+) -> (RunResult, Vec<TraceEvent>, Vec<Vec<u8>>) {
+    let mut sink = VecSink::new();
+    let mut run = ResumableRun::start(c, trace, &Algorithm::Ge, faults, &mut sink);
+    let quantum = run.quantum();
+    let mut snaps = Vec::new();
+    while !run.is_done() {
+        let next = (run.now() + quantum).min(run.horizon());
+        run.advance_to(next, &mut sink);
+        if !run.is_done() {
+            snaps.push(run.snapshot());
+        }
+    }
+    let result = run.finish(&mut sink);
+    (result, sink.into_events(), snaps)
+}
+
+/// The straight (non-resumable) traced reference run.
+fn straight_traced(
+    c: &SimConfig,
+    trace: &Trace,
+    faults: Option<&FaultSchedule>,
+) -> (RunResult, Vec<TraceEvent>) {
+    let mut sink = VecSink::new();
+    let mut sched = Algorithm::Ge.build(c);
+    let result = ge_core::run_scheduler_with_sink(c, trace, sched.as_mut(), faults, &mut sink);
+    (result, sink.into_events())
+}
+
+/// The acceptance criterion: resume from EVERY checkpoint boundary and
+/// require the bit-identical result and the identical trace suffix.
+fn assert_every_boundary_bit_exact(c: &SimConfig, trace: &Trace, faults: Option<&FaultSchedule>) {
+    let (straight, straight_events) = straight_traced(c, trace, faults);
+    let (segmented, segmented_events, snaps) = run_with_snapshots(c, trace, faults);
+    assert_eq!(
+        bits(&straight),
+        bits(&segmented),
+        "segmented run must match the straight run"
+    );
+    assert_eq!(
+        straight_events, segmented_events,
+        "segmented run must emit the identical event stream"
+    );
+    assert!(!snaps.is_empty(), "run must cross checkpoint boundaries");
+
+    for (i, snap) in snaps.iter().enumerate() {
+        let mut sink = VecSink::new();
+        let resumed = ResumableRun::resume(c, trace, &Algorithm::Ge, faults, snap)
+            .unwrap_or_else(|e| panic!("boundary {i}: resume failed: {e}"));
+        let result = resumed.finish(&mut sink);
+        assert_eq!(
+            bits(&straight),
+            bits(&result),
+            "boundary {i}: resumed result must be bit-identical"
+        );
+        // The resumed run's events must be exactly the straight run's
+        // suffix (resume does not re-emit RunStart or replay history).
+        let suffix = sink.into_events();
+        assert!(
+            suffix.len() < straight_events.len(),
+            "boundary {i}: resumed run replayed the full history"
+        );
+        assert_eq!(
+            &straight_events[straight_events.len() - suffix.len()..],
+            &suffix[..],
+            "boundary {i}: resumed trace must be the straight run's suffix"
+        );
+    }
+}
+
+#[test]
+fn every_boundary_bit_exact_baseline() {
+    let c = cfg();
+    for seed in SEEDS {
+        let trace = workload(seed);
+        assert_every_boundary_bit_exact(&c, &trace, None);
+    }
+}
+
+#[test]
+fn every_boundary_bit_exact_combined_faults() {
+    let c = cfg();
+    for seed in SEEDS {
+        let trace = workload(seed);
+        let schedule = combined_schedule(&c, seed);
+        assert_every_boundary_bit_exact(&c, &trace, Some(&schedule));
+    }
+}
+
+#[test]
+fn resumable_matches_plain_entry_points() {
+    // The resumable driver and the plain `run`/`run_with_faults` entry
+    // points are the same engine; their results must agree bit-for-bit.
+    let c = cfg();
+    let trace = workload(SEEDS[0]);
+    let (seg, _, _) = run_with_snapshots(&c, &trace, None);
+    assert_eq!(bits(&run(&c, &trace, &Algorithm::Ge)), bits(&seg));
+
+    let schedule = combined_schedule(&c, SEEDS[0]);
+    let (seg, _, _) = run_with_snapshots(&c, &trace, Some(&schedule));
+    assert_eq!(
+        bits(&run_with_faults(&c, &trace, &Algorithm::Ge, &schedule)),
+        bits(&seg)
+    );
+}
+
+/// ReplanCache continuity regression: the core-loss scenario forces full
+/// replans (the online-core set changes), interleaved with incremental
+/// epochs. Resuming across those transitions is only bit-exact because the
+/// replan cache is serialized verbatim rather than rebuilt — a fresh cache
+/// would force a full replan whose plan agrees with the incremental path
+/// only up to round-off.
+#[test]
+fn resume_across_forced_full_replans_is_bit_exact() {
+    let c = cfg();
+    for seed in SEEDS {
+        let trace = workload(seed);
+        let schedule =
+            FaultScenario::new(ScenarioKind::CoreLoss, 1.0).build(c.cores, c.horizon, seed);
+        assert_every_boundary_bit_exact(&c, &trace, Some(&schedule));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted checkpoints: typed errors, never panics.
+// ---------------------------------------------------------------------------
+
+fn midrun_snapshot(c: &SimConfig, trace: &Trace) -> Vec<u8> {
+    let mut run = ResumableRun::start(c, trace, &Algorithm::Ge, None, &mut NullSink);
+    run.advance_to(SimTime::from_secs(HORIZON_SECS / 2.0), &mut NullSink);
+    run.snapshot()
+}
+
+#[test]
+fn truncated_checkpoints_are_rejected_not_panics() {
+    let c = cfg();
+    let trace = workload(SEEDS[0]);
+    let snap = midrun_snapshot(&c, &trace);
+    // Every prefix, in steps through the whole envelope (header, digest,
+    // length field, payload, checksum).
+    let mut len = 0;
+    while len < snap.len() {
+        let err = ResumableRun::resume(&c, &trace, &Algorithm::Ge, None, &snap[..len]);
+        assert!(err.is_err(), "truncation to {len} bytes must be rejected");
+        len += 7; // co-prime with the 8-byte field layout: hits odd cuts
+    }
+}
+
+#[test]
+fn bit_flips_are_rejected_not_panics() {
+    let c = cfg();
+    let trace = workload(SEEDS[1]);
+    let snap = midrun_snapshot(&c, &trace);
+    // Flip one bit at a spread of offsets: magic, version, digest, length,
+    // payload body, and checksum are all covered as the offsets stride
+    // through the buffer.
+    let stride = (snap.len() / 97).max(1);
+    for offset in (0..snap.len()).step_by(stride) {
+        let mut bad = snap.clone();
+        bad[offset] ^= 1 << (offset % 8);
+        let out = ResumableRun::resume(&c, &trace, &Algorithm::Ge, None, &bad);
+        assert!(
+            out.is_err(),
+            "bit flip at byte {offset} must be detected (checksum or validation)"
+        );
+    }
+}
+
+#[test]
+fn wrong_version_and_wrong_inputs_are_typed_errors() {
+    let c = cfg();
+    let trace = workload(SEEDS[2]);
+    let snap = midrun_snapshot(&c, &trace);
+
+    // The version field sits right after the 8-byte magic; a future
+    // version must be refused up front.
+    let mut future = snap.clone();
+    future[8] = 0xEE;
+    assert!(ResumableRun::resume(&c, &trace, &Algorithm::Ge, None, &future).is_err());
+
+    // Structurally valid checkpoint, wrong run inputs: digest mismatch.
+    let other = workload(SEEDS[2] + 1);
+    assert!(matches!(
+        ResumableRun::resume(&c, &other, &Algorithm::Ge, None, &snap),
+        Err(ge_recover::CheckpointError::DigestMismatch { .. })
+    ));
+    assert!(matches!(
+        ResumableRun::resume(&c, &trace, &Algorithm::Be, None, &snap),
+        Err(ge_recover::CheckpointError::DigestMismatch { .. })
+    ));
+    // A fault schedule the checkpoint never saw is also an input mismatch.
+    let schedule = combined_schedule(&c, SEEDS[2]);
+    assert!(ResumableRun::resume(&c, &trace, &Algorithm::Ge, Some(&schedule), &snap).is_err());
+}
+
+#[test]
+fn empty_and_garbage_blobs_are_rejected() {
+    let c = cfg();
+    let trace = workload(SEEDS[0]);
+    assert!(ResumableRun::resume(&c, &trace, &Algorithm::Ge, None, &[]).is_err());
+    let garbage: Vec<u8> = (0..4096u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
+    assert!(ResumableRun::resume(&c, &trace, &Algorithm::Ge, None, &garbage).is_err());
+}
