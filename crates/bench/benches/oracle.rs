@@ -1,0 +1,89 @@
+//! Oracle-kernel throughput benchmarks.
+//!
+//! The differential runner certifies thousands of tiny instances per
+//! sweep; these targets track what one certification costs so the
+//! `--differential` budget in verify.sh stays honest as the oracle
+//! grows. Brute-force targets are deliberately small — the oracle is
+//! exponential-ish by design and only ever sees tiny instances.
+
+use ge_bench::harness::{black_box, Harness};
+use ge_oracle::{
+    brute_force_min_energy, certify_cut, certify_yds, energy_lower_bound, oracle_cut,
+    oracle_inverse, LowerBoundInputs,
+};
+use ge_power::{yds_schedule, PolynomialPower, YdsJob};
+use ge_quality::{lf_cut, ExpConcave};
+use ge_simcore::RngStream;
+use ge_workload::{BoundedPareto, Sampler};
+
+fn demands(n: usize, seed: u64) -> Vec<f64> {
+    let dist = BoundedPareto::paper_default();
+    let mut rng = RngStream::from_root(seed, "bench/oracle-demands");
+    (0..n).map(|_| dist.sample(&mut rng)).collect()
+}
+
+fn yds_jobs(n: usize, seed: u64) -> Vec<YdsJob> {
+    demands(n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| YdsJob::new(i, 0.05 * i as f64, 0.4 + 0.07 * i as f64, w / 1000.0))
+        .collect()
+}
+
+fn bench_yds_certificate(h: &Harness) {
+    for n in [2usize, 4, 6] {
+        let jobs = yds_jobs(n, 11);
+        let plan = yds_schedule(&jobs);
+        h.bench(&format!("certify_yds/{n}"), || {
+            certify_yds(black_box(&jobs), black_box(&plan))
+        });
+    }
+}
+
+fn bench_brute_force(h: &Harness) {
+    for n in [2usize, 4, 6] {
+        let jobs = yds_jobs(n, 13);
+        h.bench(&format!("brute_force_min_energy/{n}"), || {
+            brute_force_min_energy(black_box(&jobs), &PolynomialPower::paper_default(), 600)
+        });
+    }
+}
+
+fn bench_cut_oracle(h: &Harness) {
+    let f = ExpConcave::paper_default();
+    for n in [4usize, 16] {
+        let d = demands(n, 17);
+        h.bench(&format!("oracle_cut/{n}"), || {
+            oracle_cut(&f, black_box(&d), 0.9)
+        });
+        let outcome = lf_cut(&f, &d, 0.9);
+        h.bench(&format!("certify_cut/{n}"), || {
+            certify_cut(&f, black_box(&d), 0.9, black_box(&outcome))
+        });
+    }
+}
+
+fn bench_inverse_and_bound(h: &Harness) {
+    let f = ExpConcave::paper_default();
+    h.bench("oracle_inverse", || oracle_inverse(&f, black_box(0.83)));
+    let d = demands(8, 19);
+    let model = PolynomialPower::paper_default();
+    h.bench("energy_lower_bound/8", || {
+        let inputs = LowerBoundInputs {
+            demands: black_box(&d),
+            span_secs: 5.0,
+            cores: 4,
+            units_per_ghz_sec: 1000.0,
+        };
+        energy_lower_bound(&f, &model, &inputs, 0.93)
+    });
+}
+
+fn main() {
+    let h = Harness::from_args();
+    bench_yds_certificate(&h);
+    bench_brute_force(&h);
+    bench_cut_oracle(&h);
+    bench_inverse_and_bound(&h);
+    h.finish().expect("write bench report");
+}

@@ -257,6 +257,26 @@ impl Algorithm {
         ]
     }
 
+    /// Every algorithm the differential-testing oracle fans out over: GE,
+    /// its forced-mode ablations, and all queue baselines. BE-P/BE-S are
+    /// excluded because their knobs are sweep-calibrated per workload, not
+    /// meaningful on arbitrary tiny instances.
+    pub fn differential_set() -> Vec<Algorithm> {
+        vec![
+            Algorithm::Ge,
+            Algorithm::GeNoComp,
+            Algorithm::GeEsOnly,
+            Algorithm::GeWfOnly,
+            Algorithm::GeRr,
+            Algorithm::Oq,
+            Algorithm::Be,
+            Algorithm::Fcfs,
+            Algorithm::Fdfs,
+            Algorithm::Ljf,
+            Algorithm::Sjf,
+        ]
+    }
+
     /// The seven algorithms of Fig. 4 (random deadline windows).
     pub fn fig4_set() -> Vec<Algorithm> {
         vec![
@@ -311,6 +331,20 @@ mod tests {
         assert_eq!(Algorithm::fig4_set().len(), 7);
         assert!(Algorithm::fig4_set().contains(&Algorithm::Fdfs));
         assert!(!Algorithm::fig3_set().contains(&Algorithm::Fdfs));
+    }
+
+    #[test]
+    fn differential_set_has_no_calibrated_variants() {
+        let set = Algorithm::differential_set();
+        assert_eq!(set.len(), 11);
+        assert!(set
+            .iter()
+            .all(|a| !matches!(a, Algorithm::BeP { .. } | Algorithm::BeS { .. })));
+        // Every member must build against the paper config.
+        let cfg = SimConfig::paper_default();
+        for alg in &set {
+            let _ = alg.build(&cfg);
+        }
     }
 
     #[test]

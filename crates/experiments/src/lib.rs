@@ -32,6 +32,7 @@
 pub mod ablations;
 pub mod bounds;
 pub mod calibrate;
+pub mod differential;
 pub mod faults;
 pub mod figures;
 pub mod scale;

@@ -29,6 +29,7 @@ fn usage() -> ! {
          [--trace FILE.jsonl] [--faults SCENARIO] [--supervise] [--retries N] \
          [--timeout-secs S] [--checkpoint-every K] \
          [--checkpoint FILE.ckpt] [--stop-after N] [--resume] \
+         [--differential] [--instances N] [--seed S] \
          [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
           ab1 ab2 ab3 ab4 ab5 ab6 bounds validate | all | ablations]\n\
          \n\
@@ -45,7 +46,11 @@ fn usage() -> ! {
          \n\
          --checkpoint FILE runs one GE exemplar cell, checkpointing every\n\
          --checkpoint-every quanta (optionally stopping after --stop-after\n\
-         checkpoints); --resume continues it from FILE bit-exactly.",
+         checkpoints); --resume continues it from FILE bit-exactly.\n\
+         \n\
+         --differential sweeps --instances generated tiny instances (seeded\n\
+         by --seed) through every algorithm and checks each layer against\n\
+         the ge-oracle certificates; exits nonzero on any disagreement.",
         FaultScenario::ALL_NAMES.join(", ")
     );
     std::process::exit(2);
@@ -80,6 +85,11 @@ enum CliError {
         /// The underlying checkpoint failure (I/O, corruption, mismatch).
         source: CheckpointError,
     },
+    /// The differential sweep found disagreements with the oracle.
+    Differential {
+        /// How many disagreements the sweep reported.
+        count: usize,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -93,6 +103,12 @@ impl std::fmt::Display for CliError {
                 write!(f, "{fig}: trace replay reported invariant violations")
             }
             CliError::Checkpoint { source } => write!(f, "checkpoint: {source}"),
+            CliError::Differential { count } => {
+                write!(
+                    f,
+                    "differential sweep: {count} disagreement(s) with the oracle"
+                )
+            }
         }
     }
 }
@@ -104,6 +120,7 @@ impl std::error::Error for CliError {
             CliError::Trace { source, .. } => Some(source),
             CliError::ReplayViolations { .. } => None,
             CliError::Checkpoint { source } => Some(source),
+            CliError::Differential { .. } => None,
         }
     }
 }
@@ -326,6 +343,9 @@ fn real_main() -> Result<(), CliError> {
     let mut checkpoint_path: Option<PathBuf> = None;
     let mut stop_after: Option<u64> = None;
     let mut resume = false;
+    let mut differential = false;
+    let mut instances: u64 = 1000;
+    let mut seed: u64 = 42;
     let mut figs: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -406,6 +426,20 @@ fn real_main() -> Result<(), CliError> {
                 );
             }
             "--resume" => resume = true,
+            "--differential" => differential = true,
+            "--instances" => {
+                instances = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             name if name.starts_with("fig")
                 || name.starts_with("ab")
@@ -418,6 +452,22 @@ fn real_main() -> Result<(), CliError> {
             }
             _ => usage(),
         }
+    }
+
+    // Differential mode: generated tiny instances, every algorithm
+    // against the ge-oracle certificates and the clairvoyant bound.
+    if differential {
+        let started = std::time::Instant::now();
+        let scratch = out_dir.join("differential-scratch");
+        let report = ge_experiments::differential::run_differential(instances, seed, &scratch);
+        println!("{report}");
+        println!("  (differential done in {:.1?})\n", started.elapsed());
+        if !report.clean() {
+            return Err(CliError::Differential {
+                count: report.disagreements.len(),
+            });
+        }
+        return Ok(());
     }
 
     // Checkpoint exemplar mode: one GE cell, checkpointed (and possibly

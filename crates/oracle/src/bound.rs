@@ -1,0 +1,177 @@
+//! Clairvoyant energy lower bound.
+//!
+//! A relaxation in the spirit of Vaze & Nair's sum-power-constrained
+//! multi-server analysis: drop deadlines, drop assignment, drop the power
+//! budget, keep only (a) the volume any run must retire to report the
+//! quality it reported, and (b) convexity of the per-core power curve.
+//!
+//! * **Volume**: a run that ends with aggregate quality `Q` over job set
+//!   `{p_j}` processed at least `V_min(Q)` units, where `V_min` is the
+//!   brute-force minimal-volume cut of [`crate::cut::oracle_cut`] — the
+//!   levelling is precisely the cheapest way (in volume) to buy quality
+//!   `Q` under a concave quality function.
+//! * **Energy**: retiring `V` units on `m` cores within a span of `T`
+//!   seconds costs at least `m · T · P(V / (m · T · u))` joules by
+//!   Jensen's inequality on convex `P` (`u` = units per GHz-second):
+//!   spreading the volume perfectly flat across all cores and the whole
+//!   span is the energy-cheapest physical schedule that retires it.
+//!
+//! Every relaxation only *lowers* the bound, so **every** measured run —
+//! any scheduler, any fault schedule that doesn't inject extra jobs —
+//! must satisfy `energy_j ≥ bound − tolerance`. Core outages and budget
+//! throttles reduce what a run can do; they never let it beat a bound
+//! computed with all `m` cores and no budget.
+
+use ge_power::PowerModel;
+use ge_quality::QualityFunction;
+
+use crate::cut::oracle_cut;
+
+/// The fixed platform facts the bound needs, independent of any
+/// scheduler.
+#[derive(Debug, Clone)]
+pub struct LowerBoundInputs<'a> {
+    /// Full demands of every job the run accounted for, in any order.
+    pub demands: &'a [f64],
+    /// Wall-clock span (seconds) within which all processing happened —
+    /// first release to the later of horizon and last deadline. A larger
+    /// span weakens (never invalidates) the bound.
+    pub span_secs: f64,
+    /// Number of cores `m` the bound may assume. Use the configured core
+    /// count even if faults took cores offline: more assumed capacity
+    /// only lowers the bound.
+    pub cores: usize,
+    /// Processing units retired per GHz-second.
+    pub units_per_ghz_sec: f64,
+}
+
+/// The minimum energy (joules) any schedule needs to end a run over
+/// `inputs.demands` with aggregate quality `achieved_quality`.
+///
+/// Returns `0.0` for degenerate inputs (no jobs, no span, zero quality)
+/// — a vacuous but valid bound.
+pub fn energy_lower_bound(
+    f: &dyn QualityFunction,
+    model: &dyn PowerModel,
+    inputs: &LowerBoundInputs<'_>,
+    achieved_quality: f64,
+) -> f64 {
+    if inputs.demands.is_empty()
+        || inputs.span_secs <= 0.0
+        || inputs.cores == 0
+        || inputs.units_per_ghz_sec <= 0.0
+        || achieved_quality <= 0.0
+    {
+        return 0.0;
+    }
+    // Small relative haircut on the quality target: the run's reported
+    // quality carries summation round-off, and the bound must stay on
+    // the safe side of it.
+    let q = (achieved_quality * (1.0 - 1e-9)).min(1.0);
+    let v_min = oracle_cut(f, inputs.demands, q).volume;
+    if v_min <= 0.0 {
+        return 0.0;
+    }
+    let m = inputs.cores as f64;
+    let t = inputs.span_secs;
+    let mean_speed_ghz = v_min / (m * t * inputs.units_per_ghz_sec);
+    m * t * model.power(mean_speed_ghz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_power::PolynomialPower;
+    use ge_quality::ExpConcave;
+
+    fn setup() -> (ExpConcave, PolynomialPower) {
+        (
+            ExpConcave::paper_default(),
+            PolynomialPower::paper_default(),
+        )
+    }
+
+    #[test]
+    fn degenerate_inputs_give_zero() {
+        let (f, m) = setup();
+        let empty = LowerBoundInputs {
+            demands: &[],
+            span_secs: 10.0,
+            cores: 4,
+            units_per_ghz_sec: 1000.0,
+        };
+        assert_eq!(energy_lower_bound(&f, &m, &empty, 0.9), 0.0);
+        let inputs = LowerBoundInputs {
+            demands: &[500.0],
+            span_secs: 0.0,
+            cores: 4,
+            units_per_ghz_sec: 1000.0,
+        };
+        assert_eq!(energy_lower_bound(&f, &m, &inputs, 0.9), 0.0);
+        let inputs = LowerBoundInputs {
+            demands: &[500.0],
+            span_secs: 10.0,
+            cores: 4,
+            units_per_ghz_sec: 1000.0,
+        };
+        assert_eq!(energy_lower_bound(&f, &m, &inputs, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_quality() {
+        let (f, m) = setup();
+        let demands = [900.0, 400.0, 700.0, 150.0];
+        let inputs = LowerBoundInputs {
+            demands: &demands,
+            span_secs: 5.0,
+            cores: 2,
+            units_per_ghz_sec: 1000.0,
+        };
+        let mut last = 0.0;
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let b = energy_lower_bound(&f, &m, &inputs, q);
+            assert!(b >= last, "bound not monotone at q={q}");
+            last = b;
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn flat_single_core_run_meets_bound_with_equality() {
+        // One job, one core, full quality: the cheapest real schedule IS
+        // the flat one, so the bound is tight.
+        let (f, model) = setup();
+        let demands = [1000.0];
+        let inputs = LowerBoundInputs {
+            demands: &demands,
+            span_secs: 2.0,
+            cores: 1,
+            units_per_ghz_sec: 1000.0,
+        };
+        let bound = energy_lower_bound(&f, &model, &inputs, 1.0);
+        // Actual flat run: 1000 units over 2 s = 0.5 GHz.
+        let actual = model.power(0.5) * 2.0;
+        assert!(bound <= actual + 1e-9);
+        assert!(
+            actual - bound < 1e-6 * actual + 2e-6,
+            "bound {bound} vs {actual}"
+        );
+    }
+
+    #[test]
+    fn more_assumed_cores_weaken_the_bound() {
+        let (f, m) = setup();
+        let demands = [800.0, 800.0];
+        let few = LowerBoundInputs {
+            demands: &demands,
+            span_secs: 4.0,
+            cores: 1,
+            units_per_ghz_sec: 1000.0,
+        };
+        let many = LowerBoundInputs {
+            cores: 8,
+            ..few.clone()
+        };
+        assert!(energy_lower_bound(&f, &m, &few, 0.9) >= energy_lower_bound(&f, &m, &many, 0.9));
+    }
+}

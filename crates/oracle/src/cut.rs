@@ -1,0 +1,324 @@
+//! Brute-force optimal quality cuts and the certificate for
+//! [`ge_quality::lf_cut_with`] output.
+//!
+//! ## The ground truth
+//!
+//! Quality-OPT asks: among all cut vectors `c` with `0 ≤ c_j ≤ p_j` and
+//! `Σ f(c_j) ≥ Q_GE · Σ f(p_j)`, which minimizes the retained volume
+//! `Σ c_j`? For concave `f` the optimum is a **levelling**: there is a
+//! common level `L` with `c_j = min(p_j, L)`. (Exchange argument: moving
+//! a unit of retained work from a job above the level to one below it
+//! keeps volume constant and, by concavity, cannot lower total quality;
+//! iterating reaches a levelling without increasing volume.) So the
+//! brute-force optimum is a one-dimensional search over `L` — which this
+//! module performs by *value-only bisection*, sharing nothing with the
+//! production suffix-walk + analytic-inverse implementation.
+//!
+//! [`oracle_inverse`] is the same idea for a single job: a bisection
+//! inverse of `f` used to pin [`ge_quality::InverseMemo`] against an
+//! implementation-independent answer.
+
+use ge_quality::{CutOutcome, QualityFunction};
+
+use crate::search::bisect_increasing;
+
+/// Bisection depth for level searches: 200 halvings drive the bracket
+/// below one ulp for any realistic demand scale.
+const LEVEL_ITERS: u32 = 200;
+
+/// Relative tolerance on volume agreement between the production cut and
+/// the brute-force optimum (the acceptance bar for the differential
+/// runner).
+pub const CUT_VOLUME_RTOL: f64 = 1e-9;
+
+/// Absolute slack on quality-target attainment, accounting for the sum's
+/// round-off.
+const QUALITY_TOL: f64 = 1e-9;
+
+/// The brute-force optimal cut for one batch.
+#[derive(Debug, Clone)]
+pub struct OracleCut {
+    /// The common level `L` (`∞` when no cutting is needed).
+    pub level: f64,
+    /// Minimal retained volume `Σ min(p_j, L)` (processing units).
+    pub volume: f64,
+    /// Quality fraction actually achieved at that level.
+    pub quality: f64,
+}
+
+/// Value-only inverse of `f`: the least `x` with `f(x) ≥ q`, found by
+/// bisection against `f.value` alone.
+///
+/// Deliberately ignores any closed-form `inverse` the function
+/// implements — this is the independent answer those closed forms (and
+/// the memoized [`ge_quality::InverseMemo`]) are tested against.
+pub fn oracle_inverse(f: &dyn QualityFunction, q: f64) -> f64 {
+    let q = q.clamp(0.0, 1.0);
+    if q <= 0.0 {
+        return 0.0;
+    }
+    bisect_increasing(|x| f.value(x) - q, 0.0, f.x_max(), LEVEL_ITERS)
+}
+
+/// Computes the brute-force optimal cut: the lowest common level whose
+/// levelling meets `q_ge`, by bisection on the batch-quality curve.
+pub fn oracle_cut(f: &dyn QualityFunction, demands: &[f64], q_ge: f64) -> OracleCut {
+    let full_sum: f64 = demands.iter().map(|&d| f.value(d)).sum();
+    let uncut_volume: f64 = demands.iter().sum();
+    if demands.is_empty() || full_sum <= 0.0 || q_ge >= 1.0 {
+        // Nothing to cut, nothing measurable to cut against, or the
+        // target forbids any cutting.
+        return OracleCut {
+            level: f64::INFINITY,
+            volume: uncut_volume,
+            quality: 1.0,
+        };
+    }
+    let target = q_ge.max(0.0) * full_sum;
+    let max_demand = demands.iter().copied().fold(0.0f64, f64::max);
+    let quality_at = |level: f64| -> f64 { demands.iter().map(|&d| f.value(d.min(level))).sum() };
+    let level = bisect_increasing(
+        |level| quality_at(level) - target,
+        0.0,
+        max_demand,
+        LEVEL_ITERS,
+    );
+    // Bisection converges to the crossing point but may sit a hair under
+    // the target; nudge up by a few ulps until the target is met so the
+    // reported volume is feasible.
+    let mut level = level;
+    for _ in 0..8 {
+        if quality_at(level) + QUALITY_TOL * full_sum >= target {
+            break;
+        }
+        level = next_up(level.max(f64::MIN_POSITIVE));
+    }
+    let volume = demands.iter().map(|&d| d.min(level)).sum();
+    OracleCut {
+        level,
+        volume,
+        quality: quality_at(level) / full_sum,
+    }
+}
+
+/// Why a production cut failed certification against the brute force.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CutCertificateError {
+    /// The cut extends some job beyond its demand (or below zero).
+    NotACut {
+        /// Index of the offending job.
+        job: usize,
+        /// The cut value produced.
+        cut: f64,
+        /// The job's demand.
+        demand: f64,
+    },
+    /// The cut misses the quality target.
+    QualityMissed {
+        /// Quality fraction the cut achieves.
+        achieved: f64,
+        /// The target `Q_GE`.
+        target: f64,
+    },
+    /// The cut retains more volume than the brute-force optimum allows.
+    ExcessVolume {
+        /// Volume the production cut retains.
+        volume: f64,
+        /// Brute-force minimal volume.
+        optimal: f64,
+    },
+}
+
+impl std::fmt::Display for CutCertificateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CutCertificateError::NotACut { job, cut, demand } => {
+                write!(f, "job {job}: cut {cut} outside [0, demand {demand}]")
+            }
+            CutCertificateError::QualityMissed { achieved, target } => {
+                write!(
+                    f,
+                    "cut achieves quality {achieved:.12} < target {target:.12}"
+                )
+            }
+            CutCertificateError::ExcessVolume { volume, optimal } => {
+                write!(
+                    f,
+                    "cut retains {volume:.12} units but the optimum is {optimal:.12}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CutCertificateError {}
+
+/// Certifies a production [`CutOutcome`] against the brute-force optimum:
+/// it must be a genuine cut (`0 ≤ c_j ≤ p_j`), meet `q_ge`, and retain no
+/// more than the optimal volume (up to [`CUT_VOLUME_RTOL`] relative).
+pub fn certify_cut(
+    f: &dyn QualityFunction,
+    demands: &[f64],
+    q_ge: f64,
+    outcome: &CutOutcome,
+) -> Result<OracleCut, CutCertificateError> {
+    for (j, (&c, &d)) in outcome.cut_demands.iter().zip(demands).enumerate() {
+        if !(0.0..=d + 1e-12 * d.max(1.0)).contains(&c) {
+            return Err(CutCertificateError::NotACut {
+                job: j,
+                cut: c,
+                demand: d,
+            });
+        }
+    }
+    let full_sum: f64 = demands.iter().map(|&d| f.value(d)).sum();
+    let achieved: f64 = outcome.cut_demands.iter().map(|&c| f.value(c)).sum();
+    let volume: f64 = outcome.cut_demands.iter().sum();
+    let oracle = oracle_cut(f, demands, q_ge);
+    if full_sum > 0.0 && q_ge < 1.0 {
+        let target = q_ge.max(0.0) * full_sum;
+        if achieved + QUALITY_TOL * full_sum.max(1.0) < target {
+            return Err(CutCertificateError::QualityMissed {
+                achieved: achieved / full_sum,
+                target: q_ge,
+            });
+        }
+    }
+    if volume > oracle.volume + CUT_VOLUME_RTOL * oracle.volume.max(1.0) {
+        return Err(CutCertificateError::ExcessVolume {
+            volume,
+            optimal: oracle.volume,
+        });
+    }
+    Ok(oracle)
+}
+
+/// The next representable `f64` above `x` (positive finite `x`).
+fn next_up(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_quality::{lf_cut, ExpConcave, LinearQuality, PowerLawQuality};
+
+    #[test]
+    fn oracle_inverse_matches_closed_form() {
+        let f = ExpConcave::paper_default();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.999, 1.0] {
+            let a = oracle_inverse(&f, q);
+            let b = f.inverse(q);
+            assert!((a - b).abs() <= 1e-6 * f.x_max(), "q={q}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn oracle_cut_hits_target_with_minimal_volume() {
+        let f = ExpConcave::paper_default();
+        let demands = [900.0, 400.0, 150.0, 700.0];
+        let oc = oracle_cut(&f, &demands, 0.9);
+        assert!(oc.quality >= 0.9 - 1e-9);
+        assert!(oc.volume < demands.iter().sum::<f64>());
+        // The production cut must certify against it.
+        let outcome = lf_cut(&f, &demands, 0.9);
+        certify_cut(&f, &demands, 0.9, &outcome).unwrap();
+    }
+
+    #[test]
+    fn production_cut_certifies_across_functions_and_targets() {
+        let demands = [1000.0, 10.0, 333.3, 875.0, 875.0];
+        let exp = ExpConcave::paper_default();
+        let lin = LinearQuality::new(1000.0);
+        let pow = PowerLawQuality::new(0.5, 1000.0);
+        let fns: [&dyn QualityFunction; 3] = [&exp, &lin, &pow];
+        for f in fns {
+            for q in [0.0, 0.3, 0.6, 0.9, 0.99, 1.0] {
+                let outcome = lf_cut(f, &demands, q);
+                certify_cut(f, &demands, q, &outcome).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_trivially_optimal() {
+        let f = ExpConcave::paper_default();
+        let oc = oracle_cut(&f, &[], 0.9);
+        assert_eq!(oc.volume, 0.0);
+        assert_eq!(oc.level, f64::INFINITY);
+        certify_cut(&f, &[], 0.9, &lf_cut(&f, &[], 0.9)).unwrap();
+    }
+
+    #[test]
+    fn q_ge_one_means_no_cut() {
+        let f = ExpConcave::paper_default();
+        let demands = [500.0, 200.0];
+        let oc = oracle_cut(&f, &demands, 1.0);
+        assert_eq!(oc.volume, 700.0);
+        certify_cut(&f, &demands, 1.0, &lf_cut(&f, &demands, 1.0)).unwrap();
+    }
+
+    #[test]
+    fn sloppy_cut_fails_excess_volume() {
+        let f = ExpConcave::paper_default();
+        let demands = [900.0, 400.0, 150.0];
+        // A "cut" that keeps everything hits the quality target but
+        // wastes volume whenever the optimum cuts.
+        let outcome = CutOutcome {
+            cut_demands: demands.to_vec(),
+            level: f64::INFINITY,
+            cut_count: 0,
+            achieved_quality: 1.0,
+        };
+        let err = certify_cut(&f, &demands, 0.8, &outcome).unwrap_err();
+        assert!(
+            matches!(err, CutCertificateError::ExcessVolume { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn quality_missing_cut_fails() {
+        let f = ExpConcave::paper_default();
+        let demands = [900.0, 400.0];
+        let outcome = CutOutcome {
+            cut_demands: vec![10.0, 10.0],
+            level: 10.0,
+            cut_count: 2,
+            achieved_quality: 0.1,
+        };
+        let err = certify_cut(&f, &demands, 0.9, &outcome).unwrap_err();
+        assert!(
+            matches!(err, CutCertificateError::QualityMissed { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn extended_job_fails_not_a_cut() {
+        let f = ExpConcave::paper_default();
+        let demands = [100.0];
+        let outcome = CutOutcome {
+            cut_demands: vec![150.0],
+            level: f64::INFINITY,
+            cut_count: 0,
+            achieved_quality: 1.0,
+        };
+        let err = certify_cut(&f, &demands, 0.5, &outcome).unwrap_err();
+        assert!(matches!(err, CutCertificateError::NotACut { .. }), "{err}");
+    }
+
+    #[test]
+    fn random_levellings_never_beat_the_oracle() {
+        // Volume-dominance spot check: any feasible levelling at a level
+        // above the oracle's retains at least the oracle volume.
+        let f = ExpConcave::paper_default();
+        let demands = [875.0, 432.0, 990.0, 123.0, 555.0, 61.0];
+        let oc = oracle_cut(&f, &demands, 0.85);
+        for i in 1..50 {
+            let level = oc.level + i as f64 * 7.3;
+            let v: f64 = demands.iter().map(|&d| d.min(level)).sum();
+            assert!(v + 1e-9 >= oc.volume);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # ge-oracle — independent ground truth for differential testing
+//!
+//! Everything in this crate recomputes, from first principles and by
+//! deliberately *different* algorithms, the optima the production crates
+//! claim to attain — so the test suite can certify "provably agrees with
+//! brute force on every tiny instance" instead of "does not crash":
+//!
+//! * [`speed`] — a brute-force minimum-energy single-core speed schedule
+//!   (pairwise-transfer convex descent on elementary time cells) and a
+//!   KKT/critical-interval certificate (max-flow based) proving a
+//!   [`ge_power::YdsSchedule`] is *optimal*, not merely feasible.
+//! * [`cut`] — a value-only brute-force optimal quality cut (bisection on
+//!   the common level, golden-section volume cross-check) certifying
+//!   `lf_cut_with` hits `Q_GE` with minimal processed volume.
+//! * [`bound`] — a clairvoyant energy lower bound (relaxed sum-power /
+//!   Jensen bound in the spirit of Vaze & Nair) that every algorithm's
+//!   measured energy must dominate, faults or no faults.
+//! * [`search`] — the scalar searches (bisection, golden section) the
+//!   oracles are built from; deliberately closed-form-free.
+//! * `mutation` (feature `mutation`) — intentionally broken
+//!   implementations used to prove the oracle + shrinking harness catch
+//!   real bugs with small counterexamples.
+//!
+//! The crate is test infrastructure: clarity and independence from the
+//! production code paths beat speed. Everything is offline and
+//! dependency-free like the rest of the workspace.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bound;
+pub mod cut;
+#[cfg(feature = "mutation")]
+pub mod mutation;
+pub mod search;
+pub mod speed;
+
+pub use bound::{energy_lower_bound, LowerBoundInputs};
+pub use cut::{certify_cut, oracle_cut, oracle_inverse, CutCertificateError, OracleCut};
+pub use speed::{
+    brute_force_min_energy, certify_yds, BruteForceSchedule, YdsCertificate, YdsCertificateError,
+};

@@ -1,0 +1,103 @@
+//! Intentionally broken implementations (feature `mutation`).
+//!
+//! The only way to trust a bug-finding harness is to hand it bugs. These
+//! mutants reproduce two classic mistakes in the algorithms under test;
+//! the integration suite asserts the oracle certificates reject them and
+//! that the shrinker reduces the rejection to a counterexample of at
+//! most 4 jobs. They are compiled only under the `mutation` feature so
+//! no production artifact can ever link them.
+
+use ge_power::{SpeedProfile, YdsJob, YdsSchedule};
+use ge_quality::{CutOutcome, QualityFunction};
+use ge_simcore::SimTime;
+
+/// A broken LF cut: picks the common level by *linear* interpolation of
+/// the target quality onto the demand axis (`L = q_ge · max p_j`)
+/// instead of inverting the concave quality function.
+///
+/// For concave `f` this level usually overshoots quality (wasting
+/// volume) and on skewed batches can undershoot it — both directions are
+/// certificate violations.
+pub fn lf_cut_broken(f: &dyn QualityFunction, demands: &[f64], q_ge: f64) -> CutOutcome {
+    if demands.is_empty() || q_ge >= 1.0 {
+        let mut out = CutOutcome::empty();
+        out.cut_demands.extend_from_slice(demands);
+        return out;
+    }
+    let max_demand = demands.iter().copied().fold(0.0f64, f64::max);
+    let level = q_ge.max(0.0) * max_demand;
+    let cut_demands: Vec<f64> = demands.iter().map(|&d| d.min(level)).collect();
+    let full_sum: f64 = demands.iter().map(|&d| f.value(d)).sum();
+    let achieved: f64 = if full_sum > 0.0 {
+        cut_demands.iter().map(|&c| f.value(c)).sum::<f64>() / full_sum
+    } else {
+        1.0
+    };
+    let cut_count = demands
+        .iter()
+        .zip(&cut_demands)
+        .filter(|(&p, &c)| c < p - 1e-12)
+        .count();
+    CutOutcome {
+        cut_demands,
+        level,
+        cut_count,
+        achieved_quality: achieved,
+    }
+}
+
+/// A broken Energy-OPT: runs one flat speed — total work over the span
+/// from the earliest release to the latest deadline — ignoring the
+/// critical-interval structure entirely.
+///
+/// Feasible only when no sub-interval is denser than the average, and
+/// never KKT-optimal when jobs deserve different speeds; the max-flow
+/// certificate rejects it on any instance with two distinct interval
+/// intensities.
+pub fn yds_broken(jobs: &[YdsJob]) -> YdsSchedule {
+    if jobs.is_empty() {
+        return YdsSchedule {
+            profile: SpeedProfile::empty(),
+            peak_speed: 0.0,
+        };
+    }
+    let start = jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min);
+    let end = jobs.iter().map(|j| j.deadline).fold(0.0f64, f64::max);
+    let work: f64 = jobs.iter().map(|j| j.work).sum();
+    let span = (end - start).max(f64::MIN_POSITIVE);
+    let speed = work / span;
+    let profile = if speed > 0.0 {
+        SpeedProfile::constant(SimTime::from_secs(start), SimTime::from_secs(end), speed)
+    } else {
+        SpeedProfile::empty()
+    };
+    YdsSchedule {
+        profile,
+        peak_speed: speed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::certify_cut;
+    use crate::speed::certify_yds;
+    use ge_quality::ExpConcave;
+
+    #[test]
+    fn broken_cut_is_rejected_by_certificate() {
+        let f = ExpConcave::paper_default();
+        let demands = [1000.0, 100.0];
+        let out = lf_cut_broken(&f, &demands, 0.9);
+        assert!(certify_cut(&f, &demands, 0.9, &out).is_err());
+    }
+
+    #[test]
+    fn broken_yds_is_rejected_by_certificate() {
+        // Dense early job + slack late job: flat average speed misses
+        // the early deadline's KKT structure.
+        let jobs = [YdsJob::new(0, 0.0, 1.0, 2.0), YdsJob::new(1, 0.0, 4.0, 1.0)];
+        let plan = yds_broken(&jobs);
+        assert!(certify_yds(&jobs, &plan).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Scalar searches the oracles are built from.
+//!
+//! The production crates use closed forms wherever one exists (e.g.
+//! [`ge_quality::ExpConcave`] inverts analytically). The oracles must not:
+//! an oracle that shares a closed form with the code under test cannot
+//! catch a bug in that closed form. Everything here is value-only — it
+//! queries the target function and nothing else.
+
+/// Finds a root of the increasing function `g` on `[lo, hi]` by plain
+/// bisection, returning the midpoint of the final bracket.
+///
+/// If `g(lo) > 0` returns `lo`; if `g(hi) < 0` returns `hi` (the caller
+/// asked for a level outside the bracket — clamping is the useful answer
+/// for the quality searches built on this).
+pub fn bisect_increasing(mut g: impl FnMut(f64) -> f64, lo: f64, hi: f64, iters: u32) -> f64 {
+    debug_assert!(lo <= hi, "bad bracket [{lo}, {hi}]");
+    if g(lo) > 0.0 {
+        return lo;
+    }
+    if g(hi) < 0.0 {
+        return hi;
+    }
+    let (mut a, mut b) = (lo, hi);
+    for _ in 0..iters {
+        let mid = 0.5 * (a + b);
+        if !(mid > a && mid < b) {
+            break; // bracket narrower than float spacing
+        }
+        if g(mid) >= 0.0 {
+            b = mid;
+        } else {
+            a = mid;
+        }
+    }
+    0.5 * (a + b)
+}
+
+/// Minimizes a unimodal function on `[lo, hi]` by golden-section search,
+/// returning `(argmin, min)`.
+pub fn golden_section_min(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    iters: u32,
+) -> (f64, f64) {
+    debug_assert!(lo <= hi, "bad bracket [{lo}, {hi}]");
+    // 1/phi and 1/phi^2.
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    const INV_PHI2: f64 = 0.381_966_011_250_105_1;
+    let (mut a, mut b) = (lo, hi);
+    let mut h = b - a;
+    let mut c = a + INV_PHI2 * h;
+    let mut d = a + INV_PHI * h;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..iters {
+        if h <= 0.0 {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            h = b - a;
+            c = a + INV_PHI2 * h;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            h = b - a;
+            d = a + INV_PHI * h;
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect_increasing(|x| x * x - 2.0, 0.0, 2.0, 80);
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn bisect_clamps_out_of_bracket_targets() {
+        assert_eq!(bisect_increasing(|x| x + 1.0, 0.0, 1.0, 50), 0.0);
+        assert_eq!(bisect_increasing(|x| x - 5.0, 0.0, 1.0, 50), 1.0);
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_vertex() {
+        // Argmin accuracy of golden section on a quadratic bottoms out
+        // near sqrt(machine epsilon): past that bracket width the probe
+        // values are indistinguishable in f64.
+        let (x, v) = golden_section_min(|x| (x - 0.7) * (x - 0.7) + 3.0, 0.0, 2.0, 100);
+        assert!((x - 0.7).abs() < 1e-6, "{x}");
+        assert!((v - 3.0).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn golden_section_handles_degenerate_bracket() {
+        let (x, v) = golden_section_min(|x| x * x, 1.5, 1.5, 10);
+        assert_eq!(x, 1.5);
+        assert_eq!(v, 2.25);
+    }
+}

@@ -118,9 +118,17 @@ pub fn lf_cut_with(
     }
     debug_assert!(demands.iter().all(|&d| d.is_finite() && d >= 0.0));
 
+    if q_ge >= 1.0 {
+        // Degenerate target: no cutting allowed. Resolved before touching
+        // the quality function at all — `Q_GE = 1.0` must cost zero `f`
+        // evaluations and can never reach the level solve's binary search.
+        out.cut_demands.extend_from_slice(demands);
+        return;
+    }
+
     let full_sum: f64 = demands.iter().map(|&d| f.value(d)).sum();
-    if full_sum <= 0.0 || q_ge >= 1.0 {
-        // Nothing to gain from cutting (or no cutting allowed).
+    if full_sum <= 0.0 {
+        // Nothing measurable to cut against (all-zero demands).
         out.cut_demands.extend_from_slice(demands);
         return;
     }
@@ -323,6 +331,94 @@ mod tests {
             let f = LinearQuality::new(1000.0);
             let out = lf_cut(&f, &demands, q);
             assert!((out.achieved_quality - q).abs() < 1e-6);
+        }
+    }
+
+    /// Wraps a quality function and counts `value` evaluations, to prove
+    /// degenerate paths never consult `f` (and so cannot stall in the
+    /// inversion's binary search).
+    struct CountingF {
+        inner: ExpConcave,
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl QualityFunction for CountingF {
+        fn value(&self, x: f64) -> f64 {
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.value(x)
+        }
+        fn x_max(&self) -> f64 {
+            self.inner.x_max()
+        }
+    }
+
+    #[test]
+    fn q_ge_one_evaluates_f_zero_times() {
+        let f = CountingF {
+            inner: ExpConcave::paper_default(),
+            calls: std::sync::atomic::AtomicU64::new(0),
+        };
+        for q in [1.0, 1.0 + 1e-12, 2.5] {
+            let out = lf_cut(&f, &[700.0, 300.0, 300.0], q);
+            assert_eq!(out.cut_demands, vec![700.0, 300.0, 300.0]);
+            assert_eq!(out.cut_count, 0);
+            assert_eq!(out.level, f64::INFINITY);
+            assert_eq!(out.achieved_quality, 1.0);
+        }
+        assert_eq!(
+            f.calls.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "Q_GE >= 1.0 must be resolved without evaluating f"
+        );
+    }
+
+    #[test]
+    fn empty_batch_with_reused_scratch() {
+        let f = paper_f();
+        let mut scratch = CutScratch::new();
+        let mut out = CutOutcome::empty();
+        // Warm the scratch on a real batch, then feed an empty one: the
+        // output must reset completely rather than leak the prior cut.
+        lf_cut_with(&f, &[900.0, 100.0], 0.8, &mut scratch, &mut out);
+        assert_eq!(out.cut_demands.len(), 2);
+        lf_cut_with(&f, &[], 0.8, &mut scratch, &mut out);
+        assert!(out.cut_demands.is_empty());
+        assert_eq!(out.cut_count, 0);
+        assert_eq!(out.level, f64::INFINITY);
+        assert_eq!(out.achieved_quality, 1.0);
+    }
+
+    #[test]
+    fn single_job_degenerate_targets() {
+        let f = paper_f();
+        // q_ge = 1: untouched, no search.
+        let out = lf_cut(&f, &[600.0], 1.0);
+        assert_eq!(out.cut_demands, vec![600.0]);
+        assert_eq!(out.cut_count, 0);
+        // q_ge = 0: levelled to zero.
+        let out = lf_cut(&f, &[600.0], 0.0);
+        assert!(out.cut_demands[0].abs() < 1e-9);
+        assert_eq!(out.cut_count, 1);
+        // Single zero-demand job: quality is vacuously 1, demand kept.
+        let out = lf_cut(&f, &[0.0], 0.9);
+        assert_eq!(out.cut_demands, vec![0.0]);
+        assert_eq!(out.cut_count, 0);
+        assert_eq!(out.achieved_quality, 1.0);
+    }
+
+    #[test]
+    fn single_job_matches_direct_inversion_across_targets() {
+        let f = paper_f();
+        for q in [0.05, 0.3, 0.9, 0.999] {
+            let out = lf_cut(&f, &[870.0], q);
+            let expected = f.inverse(q * f.value(870.0));
+            assert!(
+                (out.cut_demands[0] - expected).abs() < 1e-6,
+                "q={q}: {} vs {expected}",
+                out.cut_demands[0]
+            );
+            assert_eq!(out.cut_count, 1);
         }
     }
 

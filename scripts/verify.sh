@@ -76,6 +76,16 @@ if [ "$d_resumed" != "$d_straight" ]; then
   exit 1
 fi
 
+echo "== differential-oracle smoke (--differential, 200 instances)"
+# Fan every algorithm over 200 tiny random instances and certify the
+# results against the brute-force oracle (YDS KKT certificate, cut
+# optimality, clairvoyant energy bound, checkpoint/resume bit-equality).
+# Any disagreement is a non-zero exit with a paste-ready repro.
+cargo run --release --offline -q -p ge-experiments -- \
+  --differential --instances 200 --seed 42 --out "$smoke_dir" \
+  >"$smoke_dir/differential.log"
+grep -q 'disagreements: none' "$smoke_dir/differential.log"
+
 echo "== bench report smoke run (sched_report --json)"
 cargo bench -q --offline -p ge-bench --bench sched_report -- \
   lf_cut --json "$smoke_dir/BENCH_sched.json" \

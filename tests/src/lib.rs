@@ -1,4 +1,8 @@
-//! Placeholder library target for the cross-crate integration-test package.
+//! Shared infrastructure for the cross-crate integration-test package.
 //!
-//! All content lives in this package's `tests/` directory; the integration
-//! tests exercise the public APIs of every workspace crate together.
+//! The integration tests in this package's `tests/` directory exercise
+//! the public APIs of every workspace crate together. The library target
+//! holds the pieces they share: [`prop`], the in-tree property-testing
+//! harness with counterexample shrinking.
+
+pub mod prop;

@@ -1,0 +1,486 @@
+//! A small in-tree property-testing harness with counterexample
+//! shrinking.
+//!
+//! The workspace forbids external dependencies, so this replaces
+//! `proptest`-style tooling with the ~20% of it the suite needs:
+//!
+//! * **generators** are plain `Fn(&mut RngStream) -> T` closures over the
+//!   workspace's deterministic [`RngStream`], so every failure is
+//!   reproducible from `(seed, case index)`;
+//! * **properties** return `Result<(), String>`; panics inside a property
+//!   are caught and treated as failures, so shrinking works on crashing
+//!   inputs too;
+//! * **shrinking** is greedy: when a case fails, every candidate from
+//!   [`Shrink::shrink_candidates`] is retried and the first one that
+//!   still fails becomes the new counterexample, until nothing smaller
+//!   fails;
+//! * the final report prints [`Shrink::repro`] — a ready-to-paste
+//!   regression-test fragment — instead of a 60-job trace dump.
+//!
+//! ```no_run
+//! use ge_integration_tests::prop::{check, PropConfig, TinyInstance};
+//!
+//! check(
+//!     "demands stay positive",
+//!     &PropConfig::default(),
+//!     |rng| TinyInstance::arbitrary(rng, 6),
+//!     |inst| {
+//!         if inst.jobs.iter().all(|j| j.demand > 0.0) {
+//!             Ok(())
+//!         } else {
+//!             Err("non-positive demand".into())
+//!         }
+//!     },
+//! );
+//! ```
+
+use ge_simcore::{RngStream, SimTime};
+use ge_workload::{Job, JobId, Trace};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How many cases to run and how hard to shrink.
+#[derive(Debug, Clone)]
+pub struct PropConfig {
+    /// Number of generated cases per property.
+    pub cases: usize,
+    /// Root seed; each case uses the substream at its index.
+    pub seed: u64,
+    /// Upper bound on accepted shrink steps (safety valve against
+    /// candidate cycles).
+    pub max_shrink_steps: usize,
+}
+
+impl Default for PropConfig {
+    fn default() -> Self {
+        PropConfig {
+            cases: 256,
+            seed: 0x6E5C_0DE5,
+            max_shrink_steps: 10_000,
+        }
+    }
+}
+
+impl PropConfig {
+    /// A config with a specific case count (default seed).
+    pub fn cases(cases: usize) -> Self {
+        PropConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// The same config re-seeded.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A value the harness knows how to make smaller and how to print as a
+/// regression test.
+pub trait Shrink: Clone {
+    /// Strictly "smaller" variants to retry on failure, best first. An
+    /// empty vector stops shrinking.
+    fn shrink_candidates(&self) -> Vec<Self>;
+
+    /// A ready-to-paste regression-test fragment reproducing this value.
+    fn repro(&self) -> String;
+}
+
+/// A shrunk counterexample for one property.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// Index of the generated case that first failed.
+    pub case: usize,
+    /// The shrunk input.
+    pub input: T,
+    /// The property's error (or panic) message on the shrunk input.
+    pub message: String,
+    /// Number of accepted shrink steps from the original failure.
+    pub shrink_steps: usize,
+}
+
+impl<T: Shrink> Failure<T> {
+    /// The full human-readable report, including the paste-ready repro.
+    pub fn report(&self, label: &str) -> String {
+        format!(
+            "property `{label}` failed (case {case}, {steps} shrink step(s))\n\
+             error: {msg}\n\
+             minimal repro:\n{repro}",
+            case = self.case,
+            steps = self.shrink_steps,
+            msg = self.message,
+            repro = self.input.repro(),
+        )
+    }
+}
+
+/// Runs `prop` inside `catch_unwind` so panicking properties shrink like
+/// erroring ones.
+fn eval<T, P>(prop: &P, input: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(input))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "property panicked (non-string payload)".to_owned());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Runs the property over `cfg.cases` generated inputs and returns the
+/// shrunk failure, if any. Prefer [`check`] in tests; this entry point
+/// exists for meta-tests that *expect* a failure (e.g. proving a mutant
+/// is caught).
+pub fn find_failure<T, G, P>(cfg: &PropConfig, generate: G, prop: P) -> Option<Failure<T>>
+where
+    T: Shrink,
+    G: Fn(&mut RngStream) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let root = RngStream::seed_from_u64(cfg.seed);
+    for case in 0..cfg.cases {
+        let mut rng = root.substream(case as u64);
+        let input = generate(&mut rng);
+        if let Err(first_message) = eval(&prop, &input) {
+            let mut current = input;
+            let mut message = first_message;
+            let mut shrink_steps = 0usize;
+            'shrinking: while shrink_steps < cfg.max_shrink_steps {
+                for candidate in current.shrink_candidates() {
+                    if let Err(m) = eval(&prop, &candidate) {
+                        current = candidate;
+                        message = m;
+                        shrink_steps += 1;
+                        continue 'shrinking;
+                    }
+                }
+                break; // no candidate still fails: minimal
+            }
+            return Some(Failure {
+                case,
+                input: current,
+                message,
+                shrink_steps,
+            });
+        }
+    }
+    None
+}
+
+/// Runs the property and panics with a shrunk, paste-ready report on the
+/// first failure.
+pub fn check<T, G, P>(label: &str, cfg: &PropConfig, generate: G, prop: P)
+where
+    T: Shrink,
+    G: Fn(&mut RngStream) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    if let Some(failure) = find_failure(cfg, generate, prop) {
+        panic!("{}", failure.report(label));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generic shrinking building blocks
+// ---------------------------------------------------------------------
+
+/// Structural shrink candidates for a list: first/second half, then (for
+/// short lists) every single-element removal. The usual first move for
+/// any sequence-shaped input.
+pub fn shrink_vec<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let n = items.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    if n > 1 {
+        out.push(items[..n / 2].to_vec());
+        out.push(items[n / 2..].to_vec());
+    }
+    if n <= 12 {
+        for i in 0..n {
+            let mut v = items.to_vec();
+            v.remove(i);
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// A shrinkable input paired with a fixed parameter (a target, a scale
+/// factor): the instance shrinks, the parameter rides along unchanged.
+impl<T: Shrink, U: Clone + std::fmt::Debug> Shrink for (T, U) {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        self.0
+            .shrink_candidates()
+            .into_iter()
+            .map(|t| (t, self.1.clone()))
+            .collect()
+    }
+
+    fn repro(&self) -> String {
+        format!("{}\n// with parameter: {:?}", self.0.repro(), self.1)
+    }
+}
+
+/// As the pair impl, with two ride-along parameters.
+impl<T: Shrink, U: Clone + std::fmt::Debug, V: Clone + std::fmt::Debug> Shrink for (T, U, V) {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        self.0
+            .shrink_candidates()
+            .into_iter()
+            .map(|t| (t, self.1.clone(), self.2.clone()))
+            .collect()
+    }
+
+    fn repro(&self) -> String {
+        format!(
+            "{}\n// with parameters: {:?}, {:?}",
+            self.0.repro(),
+            self.1,
+            self.2
+        )
+    }
+}
+
+/// Rounds `x` toward "rounder" values without crossing below `min`:
+/// tries integers, then multiples of 10, then of 100.
+pub fn round_candidates(x: f64, min: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    for step in [100.0, 10.0, 1.0] {
+        let r = (x / step).round() * step;
+        if r >= min && r != x {
+            out.push(r);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Tiny scheduling instances
+// ---------------------------------------------------------------------
+
+/// One job of a [`TinyInstance`]: absolute release/deadline seconds and a
+/// demand in processing units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TinyJob {
+    /// Release instant (seconds, ≥ 0).
+    pub release: f64,
+    /// Deadline instant (seconds, > release).
+    pub deadline: f64,
+    /// Full demand (processing units, > 0).
+    pub demand: f64,
+}
+
+/// A tiny scheduling instance: a handful of jobs with explicit windows.
+/// The common generated input for kernel- and driver-level properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TinyInstance {
+    /// The jobs, in no particular order.
+    pub jobs: Vec<TinyJob>,
+}
+
+impl TinyInstance {
+    /// Generates an instance with 1..=`max_jobs` jobs: releases in
+    /// [0, 3) s, windows in [0.05, 2) s, demands in [1, 1000).
+    pub fn arbitrary(rng: &mut RngStream, max_jobs: usize) -> Self {
+        let n = 1 + rng.next_below(max_jobs.max(1) as u64) as usize;
+        let jobs = (0..n)
+            .map(|_| {
+                let release = rng.uniform_range(0.0, 3.0);
+                let window = rng.uniform_range(0.05, 2.0);
+                TinyJob {
+                    release,
+                    deadline: release + window,
+                    demand: rng.uniform_range(1.0, 1000.0),
+                }
+            })
+            .collect();
+        TinyInstance { jobs }
+    }
+
+    /// The instance as a release-ordered [`Trace`] with dense ids.
+    pub fn to_trace(&self) -> Trace {
+        let mut jobs = self.jobs.clone();
+        jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
+        Trace::new(
+            jobs.iter()
+                .enumerate()
+                .map(|(i, j)| {
+                    Job::new(
+                        JobId(i as u64),
+                        SimTime::from_secs(j.release),
+                        SimTime::from_secs(j.deadline),
+                        j.demand,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// The demands alone, release-ordered (for cut-level properties).
+    pub fn demands(&self) -> Vec<f64> {
+        let mut jobs = self.jobs.clone();
+        jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
+        jobs.iter().map(|j| j.demand).collect()
+    }
+}
+
+impl Shrink for TinyInstance {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out: Vec<TinyInstance> = shrink_vec(&self.jobs)
+            .into_iter()
+            .filter(|jobs| !jobs.is_empty())
+            .map(|jobs| TinyInstance { jobs })
+            .collect();
+        // Per-job simplifications: round the demand, zero the release,
+        // shrink the window to a round length.
+        for (i, j) in self.jobs.iter().enumerate() {
+            for d in round_candidates(j.demand, 1.0) {
+                let mut jobs = self.jobs.clone();
+                jobs[i].demand = d;
+                out.push(TinyInstance { jobs });
+            }
+            if j.release != 0.0 {
+                let mut jobs = self.jobs.clone();
+                let w = j.deadline - j.release;
+                jobs[i].release = 0.0;
+                jobs[i].deadline = w;
+                out.push(TinyInstance { jobs });
+            }
+            let w = j.deadline - j.release;
+            for nw in [1.0, 0.5, 0.1] {
+                if nw < w {
+                    let mut jobs = self.jobs.clone();
+                    jobs[i].deadline = jobs[i].release + nw;
+                    out.push(TinyInstance { jobs });
+                }
+            }
+        }
+        out
+    }
+
+    fn repro(&self) -> String {
+        let mut s = String::from("let inst = TinyInstance {\n    jobs: vec![\n");
+        for j in &self.jobs {
+            s.push_str(&format!(
+                "        TinyJob {{ release: {:?}, deadline: {:?}, demand: {:?} }},\n",
+                j.release, j.deadline, j.demand
+            ));
+        }
+        s.push_str("    ],\n};\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_returns_no_failure() {
+        let cfg = PropConfig::cases(64);
+        let failure = find_failure(
+            &cfg,
+            |rng| TinyInstance::arbitrary(rng, 6),
+            |inst| {
+                if inst.jobs.iter().all(|j| j.deadline > j.release) {
+                    Ok(())
+                } else {
+                    Err("window inverted".into())
+                }
+            },
+        );
+        assert!(failure.is_none());
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_one_job() {
+        // "No demand above 900" fails on most instances; the minimal
+        // counterexample is a single offending job with a rounded demand.
+        let cfg = PropConfig::cases(200);
+        let failure = find_failure(
+            &cfg,
+            |rng| TinyInstance::arbitrary(rng, 8),
+            |inst| {
+                if inst.jobs.iter().any(|j| j.demand > 900.0) {
+                    Err("demand above 900".into())
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .expect("property must fail");
+        assert_eq!(failure.input.jobs.len(), 1, "{}", failure.report("test"));
+        assert!(failure.input.jobs[0].demand > 900.0);
+        // The repro is paste-ready.
+        assert!(failure.report("test").contains("TinyJob { release:"));
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_shrunk() {
+        let cfg = PropConfig::cases(50);
+        let failure = find_failure(
+            &cfg,
+            |rng| TinyInstance::arbitrary(rng, 6),
+            |inst| {
+                assert!(inst.jobs.len() < 2, "boom: saw {} jobs", inst.jobs.len());
+                Ok(())
+            },
+        )
+        .expect("panicking property must fail");
+        assert!(failure.message.contains("panic"));
+        assert_eq!(failure.input.jobs.len(), 2, "{}", failure.report("test"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = PropConfig::cases(10).with_seed(42);
+        let mut firsts = Vec::new();
+        for _ in 0..2 {
+            let root = RngStream::seed_from_u64(cfg.seed);
+            let mut rng = root.substream(0);
+            firsts.push(TinyInstance::arbitrary(&mut rng, 6));
+        }
+        assert_eq!(firsts[0], firsts[1]);
+    }
+
+    #[test]
+    fn shrink_vec_covers_halves_and_removals() {
+        let v = vec![1, 2, 3, 4];
+        let cands = shrink_vec(&v);
+        assert!(cands.contains(&vec![1, 2]));
+        assert!(cands.contains(&vec![3, 4]));
+        assert!(cands.contains(&vec![2, 3, 4]));
+        assert!(shrink_vec::<u32>(&[]).is_empty());
+    }
+
+    #[test]
+    fn to_trace_orders_by_release() {
+        let inst = TinyInstance {
+            jobs: vec![
+                TinyJob {
+                    release: 2.0,
+                    deadline: 3.0,
+                    demand: 10.0,
+                },
+                TinyJob {
+                    release: 0.5,
+                    deadline: 1.0,
+                    demand: 20.0,
+                },
+            ],
+        };
+        let trace = inst.to_trace();
+        assert_eq!(trace.len(), 2);
+        assert!(trace.jobs()[0].release.as_secs() < trace.jobs()[1].release.as_secs());
+        assert_eq!(inst.demands(), vec![20.0, 10.0]);
+    }
+}

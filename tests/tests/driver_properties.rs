@@ -1,41 +1,12 @@
 //! Generative tests over the whole simulation pipeline: random tiny
 //! workloads through every layer, checking the invariants no run may
-//! violate regardless of load shape. Deterministic seeded loops stand in
-//! for a property-testing framework so the suite builds offline.
+//! violate regardless of load shape. Built on the in-tree property
+//! harness ([`ge_integration_tests::prop`]): a failing case shrinks to a
+//! minimal instance and prints a paste-ready regression test.
 
 use ge_core::{run, Algorithm, SimConfig};
-use ge_simcore::{RngStream, SimTime};
-use ge_workload::{Job, JobId, Trace};
-
-/// Builds a release-ordered trace from raw (gap, window, demand) triples.
-fn trace_from_triples(triples: &[(f64, f64, f64)]) -> Trace {
-    let mut jobs = Vec::with_capacity(triples.len());
-    let mut t = 0.0;
-    for (i, &(gap, window_ms, demand)) in triples.iter().enumerate() {
-        t += gap;
-        jobs.push(Job::new(
-            JobId(i as u64),
-            SimTime::from_secs(t),
-            SimTime::from_secs(t + window_ms / 1e3),
-            demand,
-        ));
-    }
-    Trace::new(jobs)
-}
-
-fn random_trace(rng: &mut RngStream) -> Trace {
-    let n = 1 + rng.next_below(59) as usize;
-    let triples: Vec<(f64, f64, f64)> = (0..n)
-        .map(|_| {
-            (
-                rng.uniform_range(0.0, 0.2),
-                rng.uniform_range(50.0, 600.0),
-                rng.uniform_range(10.0, 1000.0),
-            )
-        })
-        .collect();
-    trace_from_triples(&triples)
-}
+use ge_integration_tests::prop::{check, PropConfig, TinyInstance, TinyJob};
+use ge_simcore::SimTime;
 
 fn small_cfg() -> SimConfig {
     SimConfig {
@@ -49,75 +20,178 @@ fn small_cfg() -> SimConfig {
 #[test]
 fn ge_invariants_on_random_traces() {
     let cfg = small_cfg();
-    for seed in 0..24u64 {
-        let trace = random_trace(&mut RngStream::from_root(seed, "driver/ge"));
-        let r = run(&cfg, &trace, &Algorithm::Ge);
-        assert_eq!(r.jobs_finished, trace.len() as u64);
-        assert!((0.0..=1.0).contains(&r.quality));
-        assert!(r.energy_j >= 0.0);
-        // Physical bound: budget × (horizon + max window slack).
-        assert!(r.energy_j <= cfg.budget_w * 21.0);
-        assert!((0.0..=1.0).contains(&r.aes_fraction));
-        assert!(r.jobs_discarded <= r.jobs_finished);
-    }
+    check(
+        "ge invariants",
+        &PropConfig::cases(96),
+        |rng| TinyInstance::arbitrary(rng, 24),
+        |inst| {
+            let trace = inst.to_trace();
+            let r = run(&cfg, &trace, &Algorithm::Ge);
+            if r.jobs_finished != trace.len() as u64 {
+                return Err(format!(
+                    "finished {} of {} jobs",
+                    r.jobs_finished,
+                    trace.len()
+                ));
+            }
+            if !(0.0..=1.0).contains(&r.quality) {
+                return Err(format!("quality {} outside [0, 1]", r.quality));
+            }
+            // Physical bound: budget × (horizon + max window slack).
+            if !(0.0..=cfg.budget_w * 21.0).contains(&r.energy_j) {
+                return Err(format!("energy {} J outside physical bound", r.energy_j));
+            }
+            if !(0.0..=1.0).contains(&r.aes_fraction) {
+                return Err(format!("AES fraction {} outside [0, 1]", r.aes_fraction));
+            }
+            if r.jobs_discarded > r.jobs_finished {
+                return Err(format!(
+                    "{} discarded > {} finished",
+                    r.jobs_discarded, r.jobs_finished
+                ));
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn be_quality_dominates_ge_on_random_traces() {
     let cfg = small_cfg();
-    for seed in 0..24u64 {
-        let trace = random_trace(&mut RngStream::from_root(seed, "driver/be"));
-        let ge = run(&cfg, &trace, &Algorithm::Ge);
-        let be = run(&cfg, &trace, &Algorithm::Be);
-        // Best effort never does worse on quality than a cutter (it runs
-        // strictly more volume under the same power machinery).
-        assert!(
-            be.quality >= ge.quality - 0.02,
-            "BE {} vs GE {}",
-            be.quality,
-            ge.quality
-        );
-    }
+    check(
+        "BE quality dominates GE",
+        &PropConfig::cases(96),
+        |rng| TinyInstance::arbitrary(rng, 24),
+        |inst| {
+            let trace = inst.to_trace();
+            let ge = run(&cfg, &trace, &Algorithm::Ge);
+            let be = run(&cfg, &trace, &Algorithm::Be);
+            // Best effort never does worse on quality than a cutter (it
+            // runs strictly more volume under the same power machinery).
+            if be.quality < ge.quality - 0.02 {
+                return Err(format!("BE {} vs GE {}", be.quality, ge.quality));
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn raising_target_never_lowers_ge_quality() {
-    for seed in 0..24u64 {
-        let trace = random_trace(&mut RngStream::from_root(seed, "driver/target"));
-        let lo_cfg = SimConfig {
+    let lo_cfg = SimConfig {
+        q_ge: 0.7,
+        ..small_cfg()
+    };
+    let hi_cfg = SimConfig {
+        q_ge: 0.95,
+        ..small_cfg()
+    };
+    check(
+        "raising Q_GE never drops quality below the new target",
+        &PropConfig::cases(96),
+        |rng| TinyInstance::arbitrary(rng, 24),
+        |inst| {
+            let trace = inst.to_trace();
+            let lo = run(&lo_cfg, &trace, &Algorithm::Ge);
+            let hi = run(&hi_cfg, &trace, &Algorithm::Ge);
+            // In underload a *low* target can out-deliver a high one:
+            // deep cuts finish early and compensation tops jobs back up
+            // toward full quality. What raising the target does guarantee
+            // is never landing below both the new target and whatever the
+            // lower target achieved.
+            if hi.quality < lo.quality.min(hi_cfg.q_ge) - 0.03 {
+                return Err(format!(
+                    "q_ge=0.95 gave {} but q_ge=0.7 gave {}",
+                    hi.quality, lo.quality
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Pinned counterexample found (and shrunk to two jobs) by the harness:
+/// with one tight early job and one late job, `q_ge = 0.7` finishes with
+/// quality ≈ 0.986 — *above* the 0.95 run — because the deep cut leaves
+/// slack that compensation converts back into quality. Documents why
+/// [`raising_target_never_lowers_ge_quality`] compares against
+/// `min(lo, target)` rather than `lo` alone.
+#[test]
+fn low_target_can_outdeliver_high_target_in_underload() {
+    let inst = TinyInstance {
+        jobs: vec![
+            TinyJob {
+                release: 1.5950646629301262,
+                deadline: 2.095064662930126,
+                demand: 300.0,
+            },
+            TinyJob {
+                release: 0.0,
+                deadline: 0.1,
+                demand: 10.0,
+            },
+        ],
+    };
+    let trace = inst.to_trace();
+    let lo = run(
+        &SimConfig {
             q_ge: 0.7,
             ..small_cfg()
-        };
-        let hi_cfg = SimConfig {
+        },
+        &trace,
+        &Algorithm::Ge,
+    );
+    let hi = run(
+        &SimConfig {
             q_ge: 0.95,
             ..small_cfg()
-        };
-        let lo = run(&lo_cfg, &trace, &Algorithm::Ge);
-        let hi = run(&hi_cfg, &trace, &Algorithm::Ge);
-        assert!(
-            hi.quality >= lo.quality - 0.03,
-            "q_ge=0.95 gave {} but q_ge=0.7 gave {}",
-            hi.quality,
-            lo.quality
-        );
-    }
+        },
+        &trace,
+        &Algorithm::Ge,
+    );
+    assert!(
+        lo.quality > hi.quality + 0.02,
+        "expected the underloaded low-target run ({}) to out-deliver the high-target run ({})",
+        lo.quality,
+        hi.quality
+    );
+    assert!(hi.quality >= 0.95 - 1e-9, "high target still meets itself");
 }
 
 #[test]
 fn every_algorithm_terminates_and_accounts() {
     let cfg = small_cfg();
-    for seed in 0..24u64 {
-        let trace = random_trace(&mut RngStream::from_root(seed, "driver/all"));
-        for alg in [
-            Algorithm::Oq,
-            Algorithm::Fcfs,
-            Algorithm::Fdfs,
-            Algorithm::Ljf,
-            Algorithm::Sjf,
-        ] {
-            let r = run(&cfg, &trace, &alg);
-            assert_eq!(r.jobs_finished, trace.len() as u64);
-            assert!((0.0..=1.0).contains(&r.quality));
-        }
-    }
+    check(
+        "queue baselines terminate and account",
+        &PropConfig::cases(64),
+        |rng| TinyInstance::arbitrary(rng, 24),
+        |inst| {
+            let trace = inst.to_trace();
+            for alg in [
+                Algorithm::Oq,
+                Algorithm::Fcfs,
+                Algorithm::Fdfs,
+                Algorithm::Ljf,
+                Algorithm::Sjf,
+            ] {
+                let r = run(&cfg, &trace, &alg);
+                if r.jobs_finished != trace.len() as u64 {
+                    return Err(format!(
+                        "{}: finished {} of {} jobs",
+                        alg.label(),
+                        r.jobs_finished,
+                        trace.len()
+                    ));
+                }
+                if !(0.0..=1.0).contains(&r.quality) {
+                    return Err(format!(
+                        "{}: quality {} outside [0, 1]",
+                        alg.label(),
+                        r.quality
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -11,11 +11,14 @@
 //! the contract — see DESIGN.md).
 
 use ge_core::ge::{GeOptions, GeScheduler};
-use ge_core::{run_scheduler_with_sink, RunResult, SimConfig};
+use ge_core::{run_scheduler_with_sink, PowerPolicy, RunResult, ScheduleCtx, Scheduler, SimConfig};
 use ge_faults::{FaultScenario, FaultSchedule, ScenarioKind};
+use ge_power::PolynomialPower;
+use ge_quality::{ExpConcave, LedgerMode, QualityLedger};
+use ge_server::Server;
 use ge_simcore::SimTime;
-use ge_trace::{TraceEvent, VecSink};
-use ge_workload::{WorkloadConfig, WorkloadGenerator};
+use ge_trace::{NullSink, TraceEvent, VecSink};
+use ge_workload::{Job, JobId, WorkloadConfig, WorkloadGenerator};
 
 const HORIZON_S: f64 = 10.0;
 
@@ -154,6 +157,126 @@ fn incremental_matches_full_replan_under_faults() {
         let inc = run_ge(150.0, seed, Some(&faults), false);
         assert_equivalent(&full, &inc, &format!("faulted seed={seed}"));
     }
+}
+
+/// Pins the `replan_stats()` counters epoch by epoch, driving
+/// `on_schedule` directly with a crafted arrival pattern that dirties
+/// **exactly one core per epoch**: two cores seeded with one
+/// long-running job each, then one arrival per epoch. C-RR sends each
+/// arrival to one core (dirty); the other core's inputs are untouched,
+/// so under equal sharing its cached plan is skipped.
+#[test]
+fn replan_stats_count_single_dirty_core_epochs() {
+    let cfg = SimConfig {
+        cores: 2,
+        budget_w: 400.0,
+        q_ge: 1.0, // no cutting: demands stay whole, plans stay long
+        ..SimConfig::paper_default()
+    };
+    let opts = GeOptions {
+        // Equal sharing: per-core caps never move, so a clean core's cap
+        // always still covers its kept peak. No compensation: the mode
+        // pins to AES, so no mode flip ever forces a full replan.
+        power_policy: PowerPolicy::EqualSharingOnly,
+        compensation: false,
+        ..GeOptions::paper()
+    };
+    let ledger = QualityLedger::new(LedgerMode::Cumulative);
+    let f = ExpConcave::new(cfg.quality_c, cfg.quality_xmax);
+    let job = |id: u64, t: f64| {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(t),
+            SimTime::from_secs(30.0),
+            5_000.0,
+        )
+    };
+
+    let run_epoch = |sched: &mut GeScheduler, server: &mut Server, t: f64, queue: &mut Vec<Job>| {
+        let mut orphans = Vec::new();
+        let mut shed = Vec::new();
+        let mut ctx = ScheduleCtx {
+            now: SimTime::from_secs(t),
+            server,
+            queue,
+            ledger: &ledger,
+            quality_fn: &f,
+            load_estimate_rps: 10.0,
+            budget_factor: 1.0,
+            orphans: &mut orphans,
+            shed: &mut shed,
+            sink: &mut NullSink,
+        };
+        sched.on_schedule(&mut ctx);
+        assert!(shed.is_empty(), "no shedding in this scenario");
+    };
+
+    let mut sched = GeScheduler::new(&cfg, opts.clone());
+    let mut server = Server::new(
+        cfg.cores,
+        Box::new(PolynomialPower::new(cfg.power_a, cfg.power_beta)),
+        cfg.budget_w,
+        cfg.units_per_ghz_sec,
+    );
+
+    // Epoch 1: cold cache — both cores replan in full. No skips.
+    run_epoch(
+        &mut sched,
+        &mut server,
+        0.0,
+        &mut vec![job(0, 0.0), job(1, 0.0)],
+    );
+    assert_eq!(
+        sched.replan_stats(),
+        (0, 0),
+        "the unprimed epoch cannot skip"
+    );
+
+    // Epoch 2: one arrival → C-RR gives it to core 0, dirtying only it.
+    // Core 1 keeps its cached plan: one incremental epoch, one skip.
+    run_epoch(&mut sched, &mut server, 0.5, &mut vec![job(2, 0.3)]);
+    assert_eq!(sched.replan_stats(), (1, 1), "exactly core 1 skipped");
+
+    // Epoch 3: the next arrival lands on core 1; core 0 is the skip.
+    run_epoch(&mut sched, &mut server, 1.0, &mut vec![job(3, 0.8)]);
+    assert_eq!(sched.replan_stats(), (2, 2), "exactly core 0 skipped");
+
+    // Epoch 4: no changes anywhere — one incremental epoch, BOTH cores
+    // skipped. The two counters move at different rates by design.
+    run_epoch(&mut sched, &mut server, 1.5, &mut Vec::new());
+    assert_eq!(
+        sched.replan_stats(),
+        (3, 4),
+        "a change-free epoch counts once but skips both cores"
+    );
+
+    // The same sequence under forced-full replanning reports zeros.
+    let mut full = GeScheduler::new(
+        &cfg,
+        GeOptions {
+            force_full_replan: true,
+            ..opts
+        },
+    );
+    let mut server2 = Server::new(
+        cfg.cores,
+        Box::new(PolynomialPower::new(cfg.power_a, cfg.power_beta)),
+        cfg.budget_w,
+        cfg.units_per_ghz_sec,
+    );
+    run_epoch(
+        &mut full,
+        &mut server2,
+        0.0,
+        &mut vec![job(0, 0.0), job(1, 0.0)],
+    );
+    run_epoch(&mut full, &mut server2, 0.5, &mut vec![job(2, 0.3)]);
+    run_epoch(&mut full, &mut server2, 1.0, &mut Vec::new());
+    assert_eq!(
+        full.replan_stats(),
+        (0, 0),
+        "forced-full replanning must never report skipped cores"
+    );
 }
 
 #[test]

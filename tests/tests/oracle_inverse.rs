@@ -1,0 +1,134 @@
+//! Regression tests for `InverseMemo::inverse` edge cases, pinned
+//! against the oracle's value-only bisection inverse.
+//!
+//! The memo caches inversions by the bit pattern of `q`; these tests pin
+//! the contract that memoization can never change a result — at the
+//! degenerate targets (`q = 0`, `q = 1`, just-above-the-floor targets)
+//! and for quality functions far from the paper's exponential family,
+//! including ones whose `inverse` falls back to the trait's default
+//! bisection.
+
+use ge_oracle::oracle_inverse;
+use ge_quality::{
+    ExpConcave, InverseMemo, LinearQuality, LogQuality, PiecewiseLinearQuality, PowerLawQuality,
+    QualityFunction,
+};
+
+/// Memo output must be bit-identical to the direct call, and both must
+/// agree with the oracle's bisection to a volume tolerance.
+fn pin_against_oracle(f: &dyn QualityFunction, q: f64, tag: &str) {
+    let mut memo = InverseMemo::new();
+    let memoized = memo.inverse(f, q);
+    let direct = f.inverse(q);
+    assert_eq!(
+        memoized.to_bits(),
+        direct.to_bits(),
+        "{tag}: memo(q={q}) must be bit-identical to the direct inverse"
+    );
+    let oracled = oracle_inverse(f, q);
+    assert!(
+        (memoized - oracled).abs() <= 1e-6 * f.x_max(),
+        "{tag}: inverse(q={q}) = {memoized} but the oracle bisection found {oracled}"
+    );
+    // Served-from-cache repeat must also be bit-identical.
+    let again = memo.inverse(f, q);
+    assert_eq!(
+        again.to_bits(),
+        memoized.to_bits(),
+        "{tag}: cache hit changed the value"
+    );
+    let (hits, misses) = memo.stats();
+    assert_eq!(
+        (hits, misses),
+        (1, 1),
+        "{tag}: expected one miss then one hit"
+    );
+}
+
+#[test]
+fn paper_function_edge_targets() {
+    let f = ExpConcave::paper_default();
+    // q = 0: no volume needed.
+    pin_against_oracle(&f, 0.0, "exp q=0");
+    assert_eq!(f.inverse(0.0), 0.0);
+    // q = 1: the full x_max, exactly.
+    pin_against_oracle(&f, 1.0, "exp q=1");
+    assert_eq!(f.inverse(1.0), f.x_max());
+    // Just above the paper's Q_GE floor of 0.9 — the target the cut
+    // solve queries hardest.
+    let floor = 0.9f64;
+    pin_against_oracle(&f, floor, "exp q=Q_GE");
+    pin_against_oracle(&f, f64::from_bits(floor.to_bits() + 1), "exp q=Q_GE+ulp");
+    pin_against_oracle(&f, 0.9 + 1e-9, "exp q=Q_GE+1e-9");
+    // Monotonicity across the floor: a ulp more quality never costs
+    // less volume.
+    let at = f.inverse(floor);
+    let above = f.inverse(f64::from_bits(floor.to_bits() + 1));
+    assert!(above >= at, "inverse not monotone across the Q_GE floor");
+}
+
+#[test]
+fn out_of_range_targets_clamp() {
+    let f = ExpConcave::paper_default();
+    let mut memo = InverseMemo::new();
+    assert_eq!(memo.inverse(&f, -0.25), 0.0, "q<0 clamps to zero volume");
+    assert_eq!(memo.inverse(&f, 1.5), f.x_max(), "q>1 clamps to x_max");
+    assert_eq!(memo.inverse(&f, 2.5), f.x_max(), "q>1 clamps to x_max");
+}
+
+#[test]
+fn non_paper_functions_match_the_oracle() {
+    let functions: Vec<(&str, Box<dyn QualityFunction>)> = vec![
+        ("linear", Box::new(LinearQuality::new(500.0))),
+        ("power-law", Box::new(PowerLawQuality::new(0.4, 1000.0))),
+        ("log", Box::new(LogQuality::new(0.02, 800.0))),
+        (
+            // No closed-form inverse: exercises the trait's default
+            // bisection through the memo.
+            "piecewise",
+            Box::new(PiecewiseLinearQuality::new(vec![
+                (0.0, 0.0),
+                (100.0, 0.55),
+                (400.0, 0.9),
+                (1000.0, 1.0),
+            ])),
+        ),
+    ];
+    for (tag, f) in &functions {
+        for q in [0.0, 0.1, 0.5, 0.55, 0.9, 0.95, 0.999, 1.0] {
+            pin_against_oracle(f.as_ref(), q, tag);
+        }
+    }
+}
+
+#[test]
+fn piecewise_inverse_round_trips_at_knots() {
+    // At a knot the inverse is exact; between knots the line is exact.
+    let f = PiecewiseLinearQuality::new(vec![(0.0, 0.0), (200.0, 0.8), (1000.0, 1.0)]);
+    for (x, q) in [(0.0, 0.0), (200.0, 0.8), (1000.0, 1.0), (100.0, 0.4)] {
+        assert!((f.value(x) - q).abs() < 1e-12);
+        let inv = f.inverse(q);
+        assert!(
+            (f.value(inv) - q).abs() < 1e-9,
+            "round trip at q={q}: inverse {inv} gives value {}",
+            f.value(inv)
+        );
+    }
+}
+
+#[test]
+fn memo_distinguishes_close_targets() {
+    // Two targets a single ulp apart must not collide in the memo: the
+    // key is the exact bit pattern.
+    let f = ExpConcave::paper_default();
+    let q = 0.9f64;
+    let q_ulp = f64::from_bits(q.to_bits() + 1);
+    let mut memo = InverseMemo::new();
+    let a = memo.inverse(&f, q);
+    let b = memo.inverse(&f, q_ulp);
+    assert_eq!(a.to_bits(), f.inverse(q).to_bits());
+    assert_eq!(b.to_bits(), f.inverse(q_ulp).to_bits());
+    // Both remain individually cached and correct on re-query.
+    assert_eq!(memo.inverse(&f, q).to_bits(), a.to_bits());
+    assert_eq!(memo.inverse(&f, q_ulp).to_bits(), b.to_bits());
+}

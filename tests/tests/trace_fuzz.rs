@@ -4,29 +4,84 @@
 //! artifacts: truncated writes, bit rot, editor mangling. These tests
 //! take a real trace from a faulted run and apply seeded random
 //! corruptions — the parser must return `Err` for malformed input and
-//! must never panic for *any* input.
+//! must never panic for *any* input. The generative loop runs on the
+//! in-tree property harness, so a panic shrinks to the smallest
+//! panicking document.
 
 use ge_core::{run_with_sink, Algorithm, SimConfig};
 use ge_faults::{FaultScenario, ScenarioKind};
-use ge_simcore::SimTime;
+use ge_integration_tests::prop::{check, shrink_vec, PropConfig, Shrink};
+use ge_simcore::{RngStream, SimTime};
 use ge_trace::{parse_jsonl, write_jsonl, VecSink};
 use ge_workload::{WorkloadConfig, WorkloadGenerator};
 
-/// SplitMix64: a tiny deterministic generator so the fuzz corpus is
-/// reproducible without pulling in an RNG dependency.
-struct SplitMix64(u64);
+/// A corrupted trace document: the mutated lines, shrinkable by whole
+/// lines so a parser panic reduces to the fewest records that still
+/// trigger it.
+#[derive(Debug, Clone)]
+struct CorruptedDoc {
+    lines: Vec<String>,
+}
 
-impl SplitMix64 {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+impl CorruptedDoc {
+    fn text(&self) -> String {
+        self.lines.join("\n")
     }
 
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n.max(1) as u64) as usize
+    /// Applies one random mutation in place.
+    fn mutate(lines: &mut Vec<String>, rng: &mut RngStream) {
+        let below = |rng: &mut RngStream, n: usize| rng.next_below(n.max(1) as u64) as usize;
+        match rng.next_below(5) {
+            // Truncate one line mid-JSON.
+            0 => {
+                let i = below(rng, lines.len());
+                let cut = below(rng, lines[i].len());
+                lines[i].truncate(cut);
+            }
+            // Replace one byte with a random printable character.
+            1 => {
+                let i = below(rng, lines.len());
+                let mut bytes = lines[i].clone().into_bytes();
+                if !bytes.is_empty() {
+                    let pos = below(rng, bytes.len());
+                    bytes[pos] = b' ' + rng.next_below(94) as u8;
+                    lines[i] = String::from_utf8_lossy(&bytes).into_owned();
+                }
+            }
+            // Swap two lines (may reorder timestamps).
+            2 => {
+                let i = below(rng, lines.len());
+                let j = below(rng, lines.len());
+                lines.swap(i, j);
+            }
+            // Duplicate a line.
+            3 => {
+                let i = below(rng, lines.len());
+                let dup = lines[i].clone();
+                lines.insert(i, dup);
+            }
+            // Delete a line.
+            _ => {
+                let i = below(rng, lines.len());
+                lines.remove(i);
+            }
+        }
+    }
+}
+
+impl Shrink for CorruptedDoc {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        shrink_vec(&self.lines)
+            .into_iter()
+            .map(|lines| CorruptedDoc { lines })
+            .collect()
+    }
+
+    fn repro(&self) -> String {
+        format!(
+            "let text = r#\"{}\"#;\nlet _ = ge_trace::parse_jsonl(text);",
+            self.text()
+        )
     }
 }
 
@@ -66,51 +121,27 @@ fn seeded_corruption_never_panics() {
     let lines: Vec<&str> = clean.lines().collect();
     assert!(lines.len() > 20, "sample trace is too small to fuzz");
 
-    let mut rng = SplitMix64(0xFEE1_600D);
-    for _ in 0..150 {
-        let mut mutated: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
-        match rng.below(5) {
-            // Truncate one line mid-JSON.
-            0 => {
-                let i = rng.below(mutated.len());
-                let cut = rng.below(mutated[i].len().max(1));
-                mutated[i].truncate(cut);
+    check(
+        "parse_jsonl never panics on corrupted input",
+        &PropConfig::cases(128).with_seed(0xFEE1_600D),
+        |rng| {
+            let mut mutated: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+            // 1–3 stacked mutations: single corruptions plus compounded
+            // damage (e.g. a truncation inside a duplicated line).
+            for _ in 0..=rng.next_below(3) {
+                CorruptedDoc::mutate(&mut mutated, rng);
             }
-            // Replace one byte with a random printable character.
-            1 => {
-                let i = rng.below(mutated.len());
-                let line = mutated[i].clone().into_bytes();
-                if !line.is_empty() {
-                    let mut line = line;
-                    let pos = rng.below(line.len());
-                    line[pos] = b' ' + (rng.next() % 94) as u8;
-                    mutated[i] = String::from_utf8_lossy(&line).into_owned();
-                }
-            }
-            // Swap two lines (may reorder timestamps).
-            2 => {
-                let i = rng.below(mutated.len());
-                let j = rng.below(mutated.len());
-                mutated.swap(i, j);
-            }
-            // Duplicate a line.
-            3 => {
-                let i = rng.below(mutated.len());
-                let dup = mutated[i].clone();
-                mutated.insert(i, dup);
-            }
-            // Delete a line.
-            _ => {
-                let i = rng.below(mutated.len());
-                mutated.remove(i);
-            }
-        }
-        let text = mutated.join("\n");
-        // The only requirement on arbitrary corruption: return, never
-        // panic. (Some mutations — e.g. duplicating an idempotent line —
-        // legitimately still parse.)
-        let _ = parse_jsonl(&text);
-    }
+            CorruptedDoc { lines: mutated }
+        },
+        |doc| {
+            // The only requirement on arbitrary corruption: return, never
+            // panic. (Some mutations — e.g. duplicating an idempotent
+            // line — legitimately still parse.) A panic is caught by the
+            // harness and shrunk to the fewest offending lines.
+            let _ = parse_jsonl(&doc.text());
+            Ok(())
+        },
+    );
 }
 
 #[test]
