@@ -87,6 +87,37 @@ fn bench_e2e(h: &Harness) {
     }
 }
 
+/// The same end-to-end GE run with the telemetry layer armed vs dark —
+/// the observability tentpole's overhead budget (< 2%) is checked by
+/// `scripts/verify.sh` against this pair. Each armed run pays the full
+/// hot-path cost: span guards on `advance`/replan/kernels (sampled
+/// walks), the epoch counters, the sampled planning-latency histogram,
+/// and the replan gauges. Batches interleave (`bench_pair`) so machine
+/// drift cancels out of the on/off ratio.
+fn bench_e2e_telemetry(h: &Harness) {
+    let cfg = bench_config(10.0);
+    let trace = bench_trace(150.0, 10.0, 7);
+    let run = |cfg: &ge_core::SimConfig, trace| {
+        let mut sched = GeScheduler::new(cfg, GeOptions::paper());
+        run_scheduler_with_sink(cfg, trace, &mut sched, None, &mut NullSink)
+    };
+    h.bench_pair(
+        "e2e_ge/telemetry_off",
+        || {
+            ge_telemetry::Telemetry::disable();
+            run(&cfg, black_box(&trace))
+        },
+        "e2e_ge/telemetry_on",
+        || {
+            ge_telemetry::Telemetry::enable();
+            run(&cfg, black_box(&trace))
+        },
+    );
+    ge_telemetry::Telemetry::disable();
+    ge_telemetry::Telemetry::registry().reset();
+    ge_telemetry::reset_profile();
+}
+
 /// Representative figure pipelines (workload → sweep → tables).
 fn bench_figures(h: &Harness) {
     let scale = Scale::bench();
@@ -104,6 +135,7 @@ fn main() {
     bench_yds(&h);
     bench_inverse(&h);
     bench_e2e(&h);
+    bench_e2e_telemetry(&h);
     bench_figures(&h);
     h.finish().expect("write bench report");
 }

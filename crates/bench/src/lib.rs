@@ -230,6 +230,77 @@ pub mod harness {
                 iters,
             });
         }
+
+        /// Benchmarks two variants of one workload with **interleaved**
+        /// batches (A, B, A, B, …) sharing a single calibrated iteration
+        /// count, so slow machine-speed drift (thermal throttling, noisy
+        /// neighbours) hits both variants equally. Use when the *ratio*
+        /// between the entries is the quantity of interest — e.g. an
+        /// instrumentation overhead pair. Sequential `bench` calls can
+        /// drift several percent apart over their combined runtime,
+        /// which would swamp a sub-2% overhead budget.
+        ///
+        /// Runs when either name matches the filter (a lone half of a
+        /// pair is meaningless); records one entry per variant.
+        pub fn bench_pair<T>(
+            &self,
+            name_a: &str,
+            mut fa: impl FnMut() -> T,
+            name_b: &str,
+            mut fb: impl FnMut() -> T,
+        ) {
+            if let Some(filter) = &self.filter {
+                if !name_a.contains(filter.as_str()) && !name_b.contains(filter.as_str()) {
+                    return;
+                }
+            }
+            // Calibrate on variant A; both variants share the count so
+            // per-iteration figures are directly comparable.
+            let mut iters: u64 = 1;
+            loop {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(fa());
+                }
+                let elapsed = t.elapsed().as_nanos();
+                if elapsed >= BATCH_NANOS || iters >= 1 << 30 {
+                    break;
+                }
+                let scale = (BATCH_NANOS / elapsed.max(1)).max(1) as u64;
+                iters = iters.saturating_mul(scale.saturating_mul(2)).min(1 << 30);
+            }
+            // Warm B once so its first interleaved batch is not cold.
+            black_box(fb());
+            let mut stats = [(f64::INFINITY, 0.0), (f64::INFINITY, 0.0)];
+            for _ in 0..BATCHES {
+                for (which, (min_ns, sum_ns)) in stats.iter_mut().enumerate() {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        if which == 0 {
+                            black_box(fa());
+                        } else {
+                            black_box(fb());
+                        }
+                    }
+                    let per_iter = t.elapsed().as_nanos() as f64 / iters as f64;
+                    *min_ns = min_ns.min(per_iter);
+                    *sum_ns += per_iter;
+                }
+            }
+            for (name, (min_ns, sum_ns)) in [name_a, name_b].into_iter().zip(stats) {
+                let mean_ns = sum_ns / BATCHES as f64;
+                println!(
+                    "{name:<40} {:>12.1} ns/iter   (mean {:>12.1}, {iters} iters x {BATCHES}, interleaved)",
+                    min_ns, mean_ns,
+                );
+                self.results.borrow_mut().push(BenchResult {
+                    name: name.to_string(),
+                    min_ns,
+                    mean_ns,
+                    iters,
+                });
+            }
+        }
     }
 }
 
@@ -271,5 +342,32 @@ mod tests {
         // Smoke test: calibration terminates on a ~ns workload.
         let h = harness::Harness::new(None);
         h.bench("noop_add", || harness::black_box(2u64) + 2);
+    }
+
+    #[test]
+    fn bench_pair_records_both_entries_with_shared_iters() {
+        let h = harness::Harness::new(None);
+        h.bench_pair(
+            "pair/a",
+            || harness::black_box(2u64) + 2,
+            "pair/b",
+            || harness::black_box(3u64) + 3,
+        );
+        let results = h.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "pair/a");
+        assert_eq!(results[1].name, "pair/b");
+        assert_eq!(results[0].iters, results[1].iters);
+        assert!(results.iter().all(|r| r.min_ns.is_finite()));
+    }
+
+    #[test]
+    fn bench_pair_honours_the_filter_on_either_name() {
+        let h = harness::Harness::new(Some("nomatch".to_string()));
+        h.bench_pair("pair/a", || 1u64, "pair/b", || 2u64);
+        assert!(h.results().is_empty());
+        let h = harness::Harness::new(Some("pair/b".to_string()));
+        h.bench_pair("pair/a", || 1u64, "pair/b", || 2u64);
+        assert_eq!(h.results().len(), 2);
     }
 }

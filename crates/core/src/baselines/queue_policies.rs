@@ -136,6 +136,7 @@ impl Scheduler for QueueScheduler {
     }
 
     fn on_schedule(&mut self, ctx: &mut ScheduleCtx<'_>) {
+        let _span = ge_telemetry::SpanGuard::enter_sampled("queue_dispatch");
         self.epochs += 1;
         // Under a throttled budget the ES share shrinks with it.
         let share_w = self.share_w * ctx.budget_factor;

@@ -25,6 +25,7 @@ use ge_power::PolynomialPower;
 use ge_quality::{ExpConcave, LedgerMode, QualityFunction, QualityLedger};
 use ge_server::{CoreJob, Server};
 use ge_simcore::{SimContext, SimTime, Simulator};
+use ge_telemetry::{SpanGuard, Telemetry};
 use ge_trace::{NullSink, TraceEvent, TraceSink, TriggerKind};
 use ge_workload::{Job, Trace};
 use std::collections::VecDeque;
@@ -32,6 +33,40 @@ use std::collections::VecDeque;
 use crate::config::SimConfig;
 use crate::policy::{Algorithm, ScheduleCtx, Scheduler};
 use crate::result::RunResult;
+
+/// Live-registry handles the driver feeds while telemetry is enabled.
+/// Resolved once per run in [`Engine::new`]; recording is a handful of
+/// relaxed atomic writes per epoch, so the hot path never touches the
+/// registry mutex. Derived state: never checkpointed, rebuilt on resume.
+pub(crate) struct DriverTelemetry {
+    epochs: ge_telemetry::Counter,
+    planning_seconds: ge_telemetry::HistogramHandle,
+    jobs_shed: ge_telemetry::Counter,
+    faults_injected: ge_telemetry::Counter,
+    latency_dropped: ge_telemetry::Gauge,
+    /// Epoch tick for sampling the planning clock: only every
+    /// [`PLANNING_SAMPLE`]-th epoch pays for the two `Instant` reads,
+    /// and the measured value is recorded with matching weight so the
+    /// histogram's count/sum stay unbiased estimates over all epochs.
+    planning_tick: std::cell::Cell<u64>,
+}
+
+/// Planning latency is clocked on one epoch in this many.
+const PLANNING_SAMPLE: u64 = 8;
+
+impl DriverTelemetry {
+    fn new() -> Self {
+        let r = Telemetry::registry();
+        DriverTelemetry {
+            epochs: r.counter("ge_epochs_total"),
+            planning_seconds: r.histogram("ge_epoch_planning_seconds"),
+            jobs_shed: r.counter("ge_jobs_shed_total"),
+            faults_injected: r.counter("ge_faults_injected_total"),
+            latency_dropped: r.gauge("ge_latency_samples_dropped"),
+            planning_tick: std::cell::Cell::new(0),
+        }
+    }
+}
 
 /// Driver events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +245,9 @@ pub(crate) struct Engine {
     pub(crate) shed_buf: Vec<Job>,
     pub(crate) budget_factor: f64,
     pub(crate) jobs_shed: u64,
+
+    // -- Derived observability state (never serialized) ------------------
+    pub(crate) telemetry: Option<DriverTelemetry>,
 }
 
 impl Engine {
@@ -291,6 +329,7 @@ impl Engine {
             shed_buf: Vec::new(),
             budget_factor: 1.0,
             jobs_shed: 0,
+            telemetry: Telemetry::is_enabled().then(DriverTelemetry::new),
         }
     }
 
@@ -328,6 +367,7 @@ impl Engine {
         sched: &mut dyn Scheduler,
         sink: &mut dyn TraceSink,
     ) {
+        let _span = SpanGuard::enter("engine_advance");
         let mut sim = std::mem::take(&mut self.sim);
         sim.run_until(until, |ctx, ev| self.handle(ctx, ev, sched, sink));
         self.sim = sim;
@@ -419,6 +459,9 @@ impl Engine {
         let mut fire: Option<TriggerKind> = None;
         match ev {
             Ev::Fault(k) => {
+                if let Some(tel) = &self.telemetry {
+                    tel.faults_injected.inc();
+                }
                 let inj = self
                     .injector
                     .as_mut()
@@ -541,6 +584,7 @@ impl Engine {
                     queue_len: self.queue.len() as u64,
                 });
             }
+            let tel = self.telemetry.as_ref();
             let mut sctx = ScheduleCtx {
                 now,
                 server: &mut self.server,
@@ -553,7 +597,28 @@ impl Engine {
                 shed: &mut self.shed_buf,
                 sink: &mut *sink,
             };
-            sched.on_schedule(&mut sctx);
+            // Epoch planning time is metered around the policy call only
+            // when telemetry is on (and then only on sampled epochs, so
+            // the enabled path stays within the telemetry overhead
+            // budget); the off path stays clock-read-free.
+            if let Some(tel) = tel {
+                tel.epochs.inc();
+                let tick = tel.planning_tick.get().wrapping_add(1);
+                tel.planning_tick.set(tick);
+                if tick % PLANNING_SAMPLE == 0 {
+                    let t0 = std::time::Instant::now();
+                    sched.on_schedule(&mut sctx);
+                    tel.planning_seconds
+                        .observe_weighted(t0.elapsed().as_secs_f64(), PLANNING_SAMPLE);
+                } else {
+                    sched.on_schedule(&mut sctx);
+                }
+                if !self.shed_buf.is_empty() {
+                    tel.jobs_shed.add(self.shed_buf.len() as u64);
+                }
+            } else {
+                sched.on_schedule(&mut sctx);
+            }
             // Account jobs the policy shed under its Q_min admission floor.
             for j in self.shed_buf.drain(..) {
                 self.jobs_shed += 1;
@@ -662,6 +727,9 @@ impl Engine {
             }
         }
 
+        if let Some(tel) = &self.telemetry {
+            tel.latency_dropped.set(self.latency.dropped() as f64);
+        }
         let fractions = self.mode_tracker.fractions_at(end);
         let core_energy_cv = {
             let mut stats = ge_metrics::OnlineStats::new();

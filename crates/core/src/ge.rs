@@ -36,6 +36,7 @@ use ge_power::{
 use ge_quality::{lf_cut_with, prefix_level_fill, CutOutcome, CutScratch, QualityFunction};
 use ge_server::{CoreJob, CrrAssigner};
 use ge_simcore::SimTime;
+use ge_telemetry::{Gauge, SpanGuard, Telemetry};
 use ge_trace::{SplitPolicy, TraceEvent};
 
 use crate::config::{PowerPolicy, SimConfig};
@@ -185,6 +186,112 @@ struct EpochScratch {
     cut_out: CutOutcome,
 }
 
+/// Cumulative incremental-replanning statistics for one scheduler run.
+///
+/// Epoch counters partition planned epochs (`full_epochs` +
+/// `incremental_epochs` ≤ [`GeScheduler::epochs`]; epochs with every
+/// core offline plan nothing and count in neither). Per-core counters
+/// partition online-core plan decisions, and the `dirty_*` counters
+/// attribute each *incremental-epoch* invalidation to its cause. Under
+/// `force_full_replan` every planned epoch is a full epoch and all
+/// dirty-cause counters stay 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplanStats {
+    /// Epochs where a global invalidation replanned every online core.
+    pub full_epochs: u64,
+    /// Epochs in which at least one online core kept its plan.
+    pub incremental_epochs: u64,
+    /// Per-core plans recomputed (uncapped pipeline runs).
+    pub cores_replanned: u64,
+    /// Per-core plans kept verbatim — the cache-hit count.
+    pub cores_skipped: u64,
+    /// Cores invalidated because their resident job set changed under
+    /// the scheduler (completions/expirations reaped by the driver).
+    pub dirty_fingerprint: u64,
+    /// Cores invalidated by a non-nominal or changed DVFS speed factor.
+    pub dirty_speed_factor: u64,
+    /// Cores replanned because their last finalize was second-cut
+    /// (capped cores replan every epoch).
+    pub dirty_capped: u64,
+    /// Cores invalidated by new work: a batch assignment or an adopted
+    /// orphan (counted once per core per epoch, on the clean→dirty edge).
+    pub dirty_assignment: u64,
+    /// Clean cores whose granted cap shrank below the kept plan's peak.
+    pub dirty_cap_shrunk: u64,
+}
+
+impl ReplanStats {
+    fn encode(&self, enc: &mut ge_recover::Encoder) {
+        enc.put_u64(self.full_epochs);
+        enc.put_u64(self.incremental_epochs);
+        enc.put_u64(self.cores_replanned);
+        enc.put_u64(self.cores_skipped);
+        enc.put_u64(self.dirty_fingerprint);
+        enc.put_u64(self.dirty_speed_factor);
+        enc.put_u64(self.dirty_capped);
+        enc.put_u64(self.dirty_assignment);
+        enc.put_u64(self.dirty_cap_shrunk);
+    }
+
+    fn decode(dec: &mut ge_recover::Decoder<'_>) -> Result<Self, ge_recover::CodecError> {
+        Ok(ReplanStats {
+            full_epochs: dec.get_u64("ge.stats.full_epochs")?,
+            incremental_epochs: dec.get_u64("ge.stats.incremental_epochs")?,
+            cores_replanned: dec.get_u64("ge.stats.cores_replanned")?,
+            cores_skipped: dec.get_u64("ge.stats.cores_skipped")?,
+            dirty_fingerprint: dec.get_u64("ge.stats.dirty_fingerprint")?,
+            dirty_speed_factor: dec.get_u64("ge.stats.dirty_speed_factor")?,
+            dirty_capped: dec.get_u64("ge.stats.dirty_capped")?,
+            dirty_assignment: dec.get_u64("ge.stats.dirty_assignment")?,
+            dirty_cap_shrunk: dec.get_u64("ge.stats.dirty_cap_shrunk")?,
+        })
+    }
+}
+
+/// Cached live-registry gauge handles mirroring [`ReplanStats`]; resolved
+/// once on the first telemetry-enabled epoch (derived state — never
+/// checkpointed).
+struct ReplanGauges {
+    full_epochs: Gauge,
+    incremental_epochs: Gauge,
+    cores_replanned: Gauge,
+    cores_skipped: Gauge,
+    dirty_fingerprint: Gauge,
+    dirty_speed_factor: Gauge,
+    dirty_capped: Gauge,
+    dirty_assignment: Gauge,
+    dirty_cap_shrunk: Gauge,
+}
+
+impl ReplanGauges {
+    fn new() -> Self {
+        let r = Telemetry::registry();
+        ReplanGauges {
+            full_epochs: r.gauge("ge_replan_full_epochs"),
+            incremental_epochs: r.gauge("ge_replan_incremental_epochs"),
+            cores_replanned: r.gauge("ge_replan_cores_replanned"),
+            cores_skipped: r.gauge("ge_replan_cores_skipped"),
+            dirty_fingerprint: r.gauge("ge_replan_dirty_fingerprint"),
+            dirty_speed_factor: r.gauge("ge_replan_dirty_speed_factor"),
+            dirty_capped: r.gauge("ge_replan_dirty_capped"),
+            dirty_assignment: r.gauge("ge_replan_dirty_assignment"),
+            dirty_cap_shrunk: r.gauge("ge_replan_dirty_cap_shrunk"),
+        }
+    }
+
+    fn publish(&self, s: &ReplanStats) {
+        self.full_epochs.set(s.full_epochs as f64);
+        self.incremental_epochs.set(s.incremental_epochs as f64);
+        self.cores_replanned.set(s.cores_replanned as f64);
+        self.cores_skipped.set(s.cores_skipped as f64);
+        self.dirty_fingerprint.set(s.dirty_fingerprint as f64);
+        self.dirty_speed_factor.set(s.dirty_speed_factor as f64);
+        self.dirty_capped.set(s.dirty_capped as f64);
+        self.dirty_assignment.set(s.dirty_assignment as f64);
+        self.dirty_cap_shrunk.set(s.dirty_cap_shrunk as f64);
+    }
+}
+
 /// Order-sensitive FNV-1a over a core's resident job-id sequence, salted
 /// with the length. Jobs never reorder in place (reaps shift, arrivals
 /// append), so any reap or adoption changes the fingerprint.
@@ -214,10 +321,10 @@ pub struct GeScheduler {
     epochs: u64,
     cache: ReplanCache,
     scratch: EpochScratch,
-    /// Epochs in which at least one online core kept its plan.
-    incremental_epochs: u64,
-    /// Online-core plans skipped across the run (diagnostics).
-    cores_skipped: u64,
+    /// Cumulative replanning statistics (checkpointed; see encode_state).
+    stats: ReplanStats,
+    /// Lazily-resolved registry gauges mirroring `stats`.
+    gauges: Option<ReplanGauges>,
 }
 
 impl GeScheduler {
@@ -241,8 +348,8 @@ impl GeScheduler {
             epochs: 0,
             cache: ReplanCache::new(cfg.cores),
             scratch: EpochScratch::default(),
-            incremental_epochs: 0,
-            cores_skipped: 0,
+            stats: ReplanStats::default(),
+            gauges: None,
             opts,
         }
     }
@@ -252,11 +359,11 @@ impl GeScheduler {
         self.epochs
     }
 
-    /// `(incremental_epochs, cores_skipped)`: epochs where at least one
-    /// online core kept its previous plan, and the total number of
-    /// per-core plans skipped. Both are 0 under `force_full_replan`.
-    pub fn replan_stats(&self) -> (u64, u64) {
-        (self.incremental_epochs, self.cores_skipped)
+    /// Cumulative incremental-replanning statistics: full vs incremental
+    /// epochs, per-core plan cache hits, and the dirty-bit cause
+    /// breakdown. All cause counters are 0 under `force_full_replan`.
+    pub fn replan_stats(&self) -> ReplanStats {
+        self.stats
     }
 
     /// The effective cut target (`Q_GE` plus any OQ offset, clamped to 1).
@@ -362,6 +469,7 @@ impl GeScheduler {
     /// speed, and the uncapped plan in the [`ReplanCache`]; the plan is
     /// reused by [`Self::finalize_core`] when no second cut binds.
     fn plan_core_uncapped(&mut self, ctx: &mut ScheduleCtx<'_>, core_idx: usize, cut_target: f64) {
+        self.stats.cores_replanned += 1;
         let now = ctx.now;
         let f = ctx.quality_fn;
 
@@ -666,8 +774,7 @@ impl Scheduler for GeScheduler {
     fn encode_state(&self, enc: &mut ge_recover::Encoder) {
         enc.put_usize(self.mode);
         enc.put_u64(self.epochs);
-        enc.put_u64(self.incremental_epochs);
-        enc.put_u64(self.cores_skipped);
+        self.stats.encode(enc);
         enc.put_usize(self.crr.cursor());
         let c = &self.cache;
         enc.put_bool(c.primed);
@@ -710,8 +817,7 @@ impl Scheduler for GeScheduler {
         };
         self.mode = dec.get_usize_bounded("ge.mode", 1)?;
         self.epochs = dec.get_u64("ge.epochs")?;
-        self.incremental_epochs = dec.get_u64("ge.incremental_epochs")?;
-        self.cores_skipped = dec.get_u64("ge.cores_skipped")?;
+        self.stats = ReplanStats::decode(dec)?;
         let cursor = dec.get_usize_bounded("ge.crr_cursor", n.saturating_sub(1))?;
         self.crr.set_cursor(cursor);
         self.cache.primed = dec.get_bool("ge.cache.primed")?;
@@ -775,6 +881,7 @@ impl Scheduler for GeScheduler {
     }
 
     fn on_schedule(&mut self, ctx: &mut ScheduleCtx<'_>) {
+        let _span = SpanGuard::enter_sampled("ge_on_schedule");
         self.epochs += 1;
         let h_eff = self.budget_w * ctx.budget_factor;
         let mut online = std::mem::take(&mut self.scratch.online);
@@ -828,6 +935,7 @@ impl Scheduler for GeScheduler {
             || online != self.cache.last_online;
         if force_full {
             self.cache.dirty.iter_mut().for_each(|d| *d = true);
+            self.stats.full_epochs += 1;
         } else {
             for (i, &up) in online.iter().enumerate() {
                 if !up || self.cache.dirty[i] {
@@ -840,10 +948,13 @@ impl Scheduler for GeScheduler {
                 // *changed* one: while delivered speed ≠ planned speed,
                 // execution drifts off the plan every slice, and a full
                 // replan would keep re-adapting to the shortfall.
-                if job_set_fingerprint(core.jobs()) != self.cache.fp[i]
-                    || core.speed_factor() != self.cache.speed_factor[i]
+                if job_set_fingerprint(core.jobs()) != self.cache.fp[i] {
+                    self.stats.dirty_fingerprint += 1;
+                    self.cache.dirty[i] = true;
+                } else if core.speed_factor() != self.cache.speed_factor[i]
                     || core.speed_factor() != 1.0
                 {
+                    self.stats.dirty_speed_factor += 1;
                     self.cache.dirty[i] = true;
                 }
             }
@@ -853,6 +964,9 @@ impl Scheduler for GeScheduler {
             // power, which a skip would freeze.
             for (i, &up) in online.iter().enumerate() {
                 if up && self.cache.was_capped[i] {
+                    if !self.cache.dirty[i] {
+                        self.stats.dirty_capped += 1;
+                    }
                     self.cache.dirty[i] = true;
                 }
             }
@@ -871,6 +985,9 @@ impl Scheduler for GeScheduler {
                 });
             }
             ctx.server.core_mut(core_idx).adopt(job);
+            if !self.cache.dirty[core_idx] {
+                self.stats.dirty_assignment += 1;
+            }
             self.cache.dirty[core_idx] = true;
         }
 
@@ -888,6 +1005,9 @@ impl Scheduler for GeScheduler {
             .assign_batch_online_into(batch.len(), &online, &mut targets);
         for (job, &core_idx) in batch.iter().zip(&targets) {
             ctx.server.core_mut(core_idx).assign(job);
+            if !self.cache.dirty[core_idx] {
+                self.stats.dirty_assignment += 1;
+            }
             self.cache.dirty[core_idx] = true;
             if ctx.sink.is_enabled() {
                 ctx.sink.record(&TraceEvent::JobAssigned {
@@ -962,13 +1082,14 @@ impl Scheduler for GeScheduler {
                 // The cap shrank below the kept peak (another core's
                 // demand moved the water-filling level): bring the core
                 // through the full pipeline after all.
+                self.stats.dirty_cap_shrunk += 1;
                 self.plan_core_uncapped(ctx, i, cut_target);
             }
             self.finalize_core(ctx, i, caps_online[k]);
         }
         if skipped_this_epoch > 0 {
-            self.incremental_epochs += 1;
-            self.cores_skipped += skipped_this_epoch;
+            self.stats.incremental_epochs += 1;
+            self.stats.cores_skipped += skipped_this_epoch;
         }
 
         // Discrete-DVFS rectification (optional).
@@ -991,6 +1112,12 @@ impl Scheduler for GeScheduler {
         self.cache.last_budget_factor = ctx.budget_factor;
         self.cache.last_use_wf = Some(use_wf);
         self.cache.primed = true;
+
+        if Telemetry::is_enabled() {
+            self.gauges
+                .get_or_insert_with(ReplanGauges::new)
+                .publish(&self.stats);
+        }
 
         self.scratch.online = online;
         self.scratch.demands = demands;

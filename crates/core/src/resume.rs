@@ -193,13 +193,22 @@ impl ResumableRun {
 
     /// Serializes the complete run state into a sealed checkpoint.
     pub fn snapshot(&self) -> Vec<u8> {
+        let _span = ge_telemetry::SpanGuard::enter("checkpoint_encode");
         let payload = encode_engine_state(&self.engine, self.sched.as_ref());
         seal(self.digest, &payload)
     }
 
     /// Writes [`ResumableRun::snapshot`] to `path` atomically.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        write_atomic(path, &self.snapshot())?;
+        let _span = ge_telemetry::SpanGuard::enter("checkpoint_write");
+        let bytes = self.snapshot();
+        write_atomic(path, &bytes)?;
+        if ge_telemetry::Telemetry::is_enabled() {
+            let reg = ge_telemetry::Telemetry::registry();
+            reg.counter("ge_checkpoint_bytes_total")
+                .add(bytes.len() as u64);
+            reg.counter("ge_checkpoints_written_total").inc();
+        }
         Ok(())
     }
 
@@ -525,12 +534,13 @@ fn encode_engine_state(engine: &Engine, sched: &dyn Scheduler) -> Vec<u8> {
     enc.put_f64(wv);
     enc.put_f64(tt);
     enc.put_u64(samples);
-    let (bins, upper, count, sum, max_seen) = engine.latency.snapshot_state();
+    let (bins, upper, count, sum, max_seen, dropped) = engine.latency.snapshot_state();
     enc.put_u64_slice(&bins);
     enc.put_f64(upper);
     enc.put_u64(count);
     enc.put_f64(sum);
     enc.put_f64(max_seen);
+    enc.put_u64(dropped);
 
     // 5. Driver-local state.
     enc.put_usize(engine.queue.len());
@@ -709,10 +719,12 @@ fn decode_engine_state(
     let lat_count = dec.get_u64("latency.count")?;
     let lat_sum = dec.get_f64("latency.sum")?;
     let lat_max = dec.get_f64("latency.max_seen")?;
+    let lat_dropped = dec.get_u64("latency.dropped")?;
     if !(upper.is_finite() && upper > 0.0) || bins.len() < 2 {
         return Err(CheckpointError::Invalid("malformed latency histogram"));
     }
-    engine.latency = ge_metrics::Histogram::restore(bins, upper, lat_count, lat_sum, lat_max);
+    engine.latency =
+        ge_metrics::Histogram::restore(bins, upper, lat_count, lat_sum, lat_max, lat_dropped);
 
     // 5. Driver-local state.
     let n_queue = dec.get_len("driver.queue")?;

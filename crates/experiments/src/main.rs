@@ -18,6 +18,7 @@ use ge_experiments::{figures, Scale};
 use ge_faults::{FaultScenario, ScenarioKind};
 use ge_metrics::{AsciiPlot, SvgChart, Table};
 use ge_recover::{CheckpointError, RetryPolicy};
+use ge_telemetry::{scrape_text, MetricsServer, PeriodicSnapshots, Telemetry};
 use ge_trace::NullSink;
 use ge_workload::{WorkloadConfig, WorkloadGenerator};
 use std::path::{Path, PathBuf};
@@ -30,8 +31,19 @@ fn usage() -> ! {
          [--timeout-secs S] [--checkpoint-every K] \
          [--checkpoint FILE.ckpt] [--stop-after N] [--resume] \
          [--differential] [--instances N] [--seed S] \
+         [--metrics-addr ADDR] [--metrics-jsonl FILE.jsonl] \
+         [--profile-out FILE.folded] [--scrape ADDR] \
          [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
           ab1 ab2 ab3 ab4 ab5 ab6 bounds validate | all | ablations]\n\
+         \n\
+         --metrics-addr ADDR enables live telemetry and serves Prometheus\n\
+         text on http://ADDR/metrics while the run executes (use port 0\n\
+         for an ephemeral port; the bound address is printed). At exit the\n\
+         endpoint is self-scraped into <out>/metrics-scrape.txt and a\n\
+         metrics summary is printed. --profile-out writes the hot-path\n\
+         span profile as folded-stack text; --metrics-jsonl appends\n\
+         periodic registry snapshots as JSONL. --scrape ADDR prints one\n\
+         scrape of a running endpoint and exits.\n\
          \n\
          --trace FILE runs one fully-instrumented exemplar cell per named\n\
          figure, writes the decision trace as JSONL, and prints the replay\n\
@@ -90,6 +102,13 @@ enum CliError {
         /// How many disagreements the sweep reported.
         count: usize,
     },
+    /// A telemetry endpoint operation (bind, scrape, snapshot sink) failed.
+    Telemetry {
+        /// What was being attempted.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -109,6 +128,9 @@ impl std::fmt::Display for CliError {
                     "differential sweep: {count} disagreement(s) with the oracle"
                 )
             }
+            CliError::Telemetry { context, source } => {
+                write!(f, "telemetry: {context}: {source}")
+            }
         }
     }
 }
@@ -121,6 +143,7 @@ impl std::error::Error for CliError {
             CliError::ReplayViolations { .. } => None,
             CliError::Checkpoint { source } => Some(source),
             CliError::Differential { .. } => None,
+            CliError::Telemetry { source, .. } => Some(source),
         }
     }
 }
@@ -321,6 +344,153 @@ fn checkpoint_exemplar(
     Ok(())
 }
 
+/// Formats a metric's label set the way the summary prints it.
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Prints every counter, gauge, and histogram in the live registry —
+/// the end-of-run telemetry summary.
+fn print_telemetry_summary() {
+    let snap = Telemetry::registry().snapshot();
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.hists.is_empty() {
+        println!("telemetry: no metrics recorded");
+        return;
+    }
+    println!("telemetry summary:");
+    for ((name, labels), v) in &snap.counters {
+        println!("  counter   {name}{} = {v}", render_labels(labels));
+    }
+    for ((name, labels), v) in &snap.gauges {
+        println!("  gauge     {name}{} = {v}", render_labels(labels));
+    }
+    for ((name, labels), h) in &snap.hists {
+        let mean = if h.count > 0 {
+            h.sum / h.count as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  histogram {name}{}: count={} mean={:.6} p50={:.6} p99={:.6} max={:.6} dropped={}",
+            render_labels(labels),
+            h.count,
+            mean,
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max,
+            h.dropped,
+        );
+    }
+}
+
+/// Live-telemetry session for one CLI invocation: enables recording, and
+/// while the run executes optionally serves the Prometheus endpoint and
+/// appends periodic JSONL snapshots; [`TelemetrySession::finish`] writes
+/// the end-of-run artifacts.
+struct TelemetrySession {
+    server: Option<MetricsServer>,
+    snapshots: Option<PeriodicSnapshots>,
+    profile_out: Option<PathBuf>,
+    out_dir: PathBuf,
+}
+
+impl TelemetrySession {
+    /// Starts the session, or returns `None` when no telemetry flag was
+    /// given (recording then stays off and every site is a no-op).
+    fn start(
+        metrics_addr: Option<&str>,
+        metrics_jsonl: Option<&Path>,
+        profile_out: Option<&Path>,
+        out_dir: &Path,
+    ) -> Result<Option<TelemetrySession>, CliError> {
+        if metrics_addr.is_none() && metrics_jsonl.is_none() && profile_out.is_none() {
+            return Ok(None);
+        }
+        Telemetry::enable();
+        let server = metrics_addr
+            .map(|addr| {
+                let s = MetricsServer::bind(addr).map_err(|source| CliError::Telemetry {
+                    context: format!("bind metrics endpoint {addr}"),
+                    source,
+                })?;
+                println!(
+                    "metrics: serving Prometheus text on http://{}/metrics",
+                    s.local_addr()
+                );
+                Ok(s)
+            })
+            .transpose()?;
+        let snapshots = metrics_jsonl
+            .map(|path| {
+                PeriodicSnapshots::start(path, Duration::from_millis(250)).map_err(|source| {
+                    CliError::Telemetry {
+                        context: format!("open snapshot sink {}", path.display()),
+                        source,
+                    }
+                })
+            })
+            .transpose()?;
+        Ok(Some(TelemetrySession {
+            server,
+            snapshots,
+            profile_out: profile_out.map(Path::to_path_buf),
+            out_dir: out_dir.to_path_buf(),
+        }))
+    }
+
+    /// Merges thread-local span profiles, prints the metrics summary,
+    /// self-scrapes the endpoint into `<out>/metrics-scrape.txt`, and
+    /// writes the folded-stack profile.
+    fn finish(self) -> Result<(), CliError> {
+        ge_telemetry::flush_thread_profile();
+        print_telemetry_summary();
+        let _ = std::fs::create_dir_all(&self.out_dir);
+        if let Some(server) = self.server {
+            let addr = server.local_addr().to_string();
+            let text = scrape_text(&addr).map_err(|source| CliError::Telemetry {
+                context: format!("self-scrape {addr}"),
+                source,
+            })?;
+            let path = self.out_dir.join("metrics-scrape.txt");
+            ge_recover::write_atomic(&path, text.as_bytes()).map_err(|source| CliError::Write {
+                path: path.clone(),
+                source,
+            })?;
+            println!(
+                "  -> wrote {} ({} scrape(s) served)",
+                path.display(),
+                server.scrapes()
+            );
+            server.shutdown();
+        }
+        if let Some(snapshots) = self.snapshots {
+            snapshots.stop().map_err(|source| CliError::Telemetry {
+                context: "flush snapshot sink".to_string(),
+                source,
+            })?;
+        }
+        if let Some(path) = &self.profile_out {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let folded = ge_telemetry::folded_profile();
+            ge_recover::write_atomic(path, folded.as_bytes()).map_err(|source| {
+                CliError::Write {
+                    path: path.clone(),
+                    source,
+                }
+            })?;
+            println!("  -> wrote {} (folded-stack span profile)", path.display());
+        }
+        Telemetry::disable();
+        Ok(())
+    }
+}
+
 fn main() {
     if let Err(e) = real_main() {
         eprintln!("ge-experiments: error: {e}");
@@ -346,6 +516,10 @@ fn real_main() -> Result<(), CliError> {
     let mut differential = false;
     let mut instances: u64 = 1000;
     let mut seed: u64 = 42;
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_jsonl: Option<PathBuf> = None;
+    let mut profile_out: Option<PathBuf> = None;
+    let mut scrape_addr: Option<String> = None;
     let mut figs: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -440,6 +614,18 @@ fn real_main() -> Result<(), CliError> {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--metrics-jsonl" => {
+                metrics_jsonl = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--profile-out" => {
+                profile_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--scrape" => {
+                scrape_addr = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             name if name.starts_with("fig")
                 || name.starts_with("ab")
@@ -453,6 +639,96 @@ fn real_main() -> Result<(), CliError> {
             _ => usage(),
         }
     }
+
+    // Scrape client mode: one GET against a running endpoint, then exit.
+    if let Some(addr) = &scrape_addr {
+        let text = scrape_text(addr).map_err(|source| CliError::Telemetry {
+            context: format!("scrape {addr}"),
+            source,
+        })?;
+        print!("{text}");
+        return Ok(());
+    }
+
+    let telemetry = TelemetrySession::start(
+        metrics_addr.as_deref(),
+        metrics_jsonl.as_deref(),
+        profile_out.as_deref(),
+        &out_dir,
+    )?;
+    let result = run_modes(RunModes {
+        scale: &scale,
+        out_dir: &out_dir,
+        plot,
+        svg,
+        trace_path: trace_path.as_deref(),
+        faults_kind,
+        supervise,
+        drill_cell,
+        retries,
+        timeout_secs,
+        checkpoint_every,
+        checkpoint_path: checkpoint_path.as_deref(),
+        stop_after,
+        resume,
+        differential,
+        instances,
+        seed,
+        figs,
+    });
+    // The run's own error takes precedence, but the telemetry artifacts
+    // are flushed (and the endpoint torn down) either way.
+    match telemetry {
+        Some(t) => result.and_then(|()| t.finish()),
+        None => result,
+    }
+}
+
+/// Everything the mode dispatcher needs, parsed off the command line.
+struct RunModes<'a> {
+    scale: &'a Scale,
+    out_dir: &'a Path,
+    plot: bool,
+    svg: bool,
+    trace_path: Option<&'a Path>,
+    faults_kind: Option<ScenarioKind>,
+    supervise: bool,
+    drill_cell: Option<usize>,
+    retries: u32,
+    timeout_secs: Option<f64>,
+    checkpoint_every: u64,
+    checkpoint_path: Option<&'a Path>,
+    stop_after: Option<u64>,
+    resume: bool,
+    differential: bool,
+    instances: u64,
+    seed: u64,
+    figs: Vec<String>,
+}
+
+/// Dispatches to the selected mode (differential / checkpoint / faults /
+/// trace / figures) and runs it to completion.
+fn run_modes(modes: RunModes<'_>) -> Result<(), CliError> {
+    let RunModes {
+        scale,
+        out_dir,
+        plot,
+        svg,
+        trace_path,
+        faults_kind,
+        supervise,
+        drill_cell,
+        retries,
+        timeout_secs,
+        checkpoint_every,
+        checkpoint_path,
+        stop_after,
+        resume,
+        differential,
+        instances,
+        seed,
+        mut figs,
+    } = modes;
 
     // Differential mode: generated tiny instances, every algorithm
     // against the ge-oracle certificates and the clairvoyant bound.
@@ -472,9 +748,9 @@ fn real_main() -> Result<(), CliError> {
 
     // Checkpoint exemplar mode: one GE cell, checkpointed (and possibly
     // stopped/resumed) — the substrate behind the kill-and-resume smoke.
-    if let Some(path) = &checkpoint_path {
+    if let Some(path) = checkpoint_path {
         return checkpoint_exemplar(
-            &scale,
+            scale,
             faults_kind,
             path,
             checkpoint_every,
@@ -497,7 +773,7 @@ fn real_main() -> Result<(), CliError> {
                 checkpoint_dir: out_dir.join("checkpoints"),
                 checkpoint_every,
             };
-            let study = run_supervised_with_injection(kind, &scale, &cfg, drill_cell);
+            let study = run_supervised_with_injection(kind, scale, &cfg, drill_cell);
             for r in &study.reports {
                 println!(
                     "  [{:>8}] {} (attempts: {}{})",
@@ -520,9 +796,9 @@ fn real_main() -> Result<(), CliError> {
             println!("  -> wrote {}", manifest.display());
             study.tables
         } else {
-            ge_experiments::faults::run(kind, &scale)
+            ge_experiments::faults::run(kind, scale)
         };
-        emit_tables(&tables, &stem, &out_dir, plot, svg)?;
+        emit_tables(&tables, &stem, out_dir, plot, svg)?;
         println!("  ({stem} done in {:.1?})\n", started.elapsed());
         return Ok(());
     }
@@ -556,14 +832,14 @@ fn real_main() -> Result<(), CliError> {
     }
 
     // Trace mode: one instrumented exemplar run per figure, no tables.
-    if let Some(base) = &trace_path {
+    if let Some(base) = trace_path {
         for (i, fig) in figs.iter().enumerate() {
             if !fig.starts_with("fig") {
                 eprintln!("--trace only applies to figures; skipping {fig}");
                 continue;
             }
             let started = std::time::Instant::now();
-            let run = ge_experiments::trace::traced_exemplar(fig, &scale).map_err(|source| {
+            let run = ge_experiments::trace::traced_exemplar(fig, scale).map_err(|source| {
                 CliError::Trace {
                     fig: fig.clone(),
                     source,
@@ -571,7 +847,7 @@ fn real_main() -> Result<(), CliError> {
             })?;
             // With several figures named, suffix the path with each one.
             let path = if i == 0 {
-                base.clone()
+                base.to_path_buf()
             } else {
                 base.with_extension(format!("{fig}.jsonl"))
             };
@@ -601,26 +877,26 @@ fn real_main() -> Result<(), CliError> {
     for fig in &figs {
         let started = std::time::Instant::now();
         let tables: Vec<Table> = match fig.as_str() {
-            "fig1" => figures::fig01::run(&scale),
-            "fig3" => figures::fig03::run(&scale),
-            "fig4" => figures::fig04::run(&scale),
-            "fig5" => figures::fig05::run(&scale),
-            "fig6" => figures::fig06::run(&scale),
-            "fig7" => figures::fig07::run(&scale),
-            "fig8" => figures::fig08::run(&scale),
-            "fig9" => figures::fig09::run(&scale),
-            "fig10" => figures::fig10::run(&scale),
-            "fig11" => figures::fig11::run(&scale),
-            "fig12" => figures::fig12::run(&scale),
-            "ab1" => ge_experiments::ablations::critical_load_sensitivity(&scale),
-            "ab2" => ge_experiments::ablations::hybrid_vs_pure(&scale),
-            "ab3" => ge_experiments::ablations::ledger_window(&scale),
-            "ab4" => ge_experiments::ablations::trigger_sensitivity(&scale),
-            "ab5" => ge_experiments::ablations::assignment_policy(&scale),
-            "ab6" => ge_experiments::ablations::burstiness(&scale),
-            "bounds" => ge_experiments::bounds::run(&scale),
+            "fig1" => figures::fig01::run(scale),
+            "fig3" => figures::fig03::run(scale),
+            "fig4" => figures::fig04::run(scale),
+            "fig5" => figures::fig05::run(scale),
+            "fig6" => figures::fig06::run(scale),
+            "fig7" => figures::fig07::run(scale),
+            "fig8" => figures::fig08::run(scale),
+            "fig9" => figures::fig09::run(scale),
+            "fig10" => figures::fig10::run(scale),
+            "fig11" => figures::fig11::run(scale),
+            "fig12" => figures::fig12::run(scale),
+            "ab1" => ge_experiments::ablations::critical_load_sensitivity(scale),
+            "ab2" => ge_experiments::ablations::hybrid_vs_pure(scale),
+            "ab3" => ge_experiments::ablations::ledger_window(scale),
+            "ab4" => ge_experiments::ablations::trigger_sensitivity(scale),
+            "ab5" => ge_experiments::ablations::assignment_policy(scale),
+            "ab6" => ge_experiments::ablations::burstiness(scale),
+            "bounds" => ge_experiments::bounds::run(scale),
             "validate" => {
-                let claims = ge_experiments::validation::validate(&scale);
+                let claims = ge_experiments::validation::validate(scale);
                 let failed = claims.iter().filter(|c| !c.passed).count();
                 let table = ge_experiments::validation::verdict_table(&claims);
                 if failed > 0 {
@@ -633,7 +909,7 @@ fn real_main() -> Result<(), CliError> {
                 usage();
             }
         };
-        emit_tables(&tables, fig, &out_dir, plot, svg)?;
+        emit_tables(&tables, fig, out_dir, plot, svg)?;
         println!("  ({fig} done in {:.1?})\n", started.elapsed());
     }
     Ok(())

@@ -116,6 +116,28 @@ pub fn run_supervised_with_injection(
         }
     }
 
+    // Supervisor health counters for the live metrics endpoint. Timeouts
+    // are recognized by the retry layer's error text (only the last
+    // attempt's error is retained per cell).
+    if ge_telemetry::Telemetry::is_enabled() {
+        let reg = ge_telemetry::Telemetry::registry();
+        let retries: u64 = reports
+            .iter()
+            .map(|r| u64::from(r.attempts.saturating_sub(1)))
+            .sum();
+        let timeouts = reports
+            .iter()
+            .filter(|r| r.error.as_deref().is_some_and(|e| e.contains("timed out")))
+            .count() as u64;
+        let salvages = reports
+            .iter()
+            .filter(|r| r.outcome == CellOutcome::Salvaged)
+            .count() as u64;
+        reg.counter("ge_cell_retries_total").add(retries);
+        reg.counter("ge_cell_timeouts_total").add(timeouts);
+        reg.counter("ge_cell_salvages_total").add(salvages);
+    }
+
     let tables = aggregate(kind, &algs, reps, &results);
     SupervisedStudy { tables, reports }
 }

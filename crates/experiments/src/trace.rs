@@ -8,7 +8,9 @@
 
 use crate::scale::Scale;
 use ge_core::{run_with_sink, Algorithm, RunResult, SimConfig};
-use ge_trace::{parse_jsonl, replay, write_jsonl, ReplayReport, TraceEvent, VecSink};
+use ge_trace::{
+    jsonl_line, parse_jsonl, replay, write_jsonl, ReplayReport, TraceEvent, VecSink, TRACE_SCHEMA,
+};
 use ge_workload::{WorkloadConfig, WorkloadGenerator};
 
 /// The representative algorithm (and deadline-window style) traced for
@@ -93,7 +95,26 @@ pub fn traced_exemplar(fig: &str, scale: &Scale) -> Result<TracedRun, TraceError
 
     let mut sink = VecSink::new();
     let result = run_with_sink(&sim, &trace, &algorithm, None, &mut sink);
-    let events = sink.into_events();
+    let mut events = sink.into_events();
+
+    // Prepend the provenance header. The config digest covers the
+    // serialized run_start line — the run's entire configuration as it
+    // appears on the wire — so any config drift changes the digest.
+    let config_digest = events
+        .first()
+        .filter(|e| matches!(e, TraceEvent::RunStart { .. }))
+        .map(|e| ge_recover::codec::fnv1a64(jsonl_line(e).as_bytes()))
+        .unwrap_or(0);
+    events.insert(
+        0,
+        TraceEvent::RunMeta {
+            t: 0.0,
+            schema: TRACE_SCHEMA.to_string(),
+            seed: scale.root_seed,
+            config_digest,
+            version: env!("CARGO_PKG_VERSION").to_string(),
+        },
+    );
 
     // Round-trip through the wire format before replaying: the report
     // then certifies the serialized artifact, not the in-memory one.
@@ -137,6 +158,29 @@ mod tests {
     fn fig4_uses_random_windows_and_replays_clean() {
         let run = traced_exemplar("fig4", &tiny()).expect("exemplar trace verifies");
         assert!(run.report.is_ok(), "{}", run.report.render());
+    }
+
+    #[test]
+    fn traced_exemplar_emits_a_valid_header() {
+        let run = traced_exemplar("fig1", &tiny()).expect("exemplar trace verifies");
+        match &run.events[0] {
+            TraceEvent::RunMeta {
+                t,
+                schema,
+                seed,
+                config_digest,
+                version,
+            } => {
+                assert_eq!(*t, 0.0);
+                assert_eq!(schema, TRACE_SCHEMA);
+                assert_eq!(*seed, 7);
+                assert_ne!(*config_digest, 0, "digest must cover run_start");
+                assert_eq!(version, env!("CARGO_PKG_VERSION"));
+            }
+            other => panic!("first event is {other:?}, not run_meta"),
+        }
+        // Replay counted the body only — the header is provenance.
+        assert_eq!(run.report.events, run.events.len() - 1);
     }
 
     #[test]

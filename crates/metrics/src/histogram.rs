@@ -16,6 +16,7 @@ pub struct Histogram {
     count: u64,
     sum: f64,
     max_seen: f64,
+    dropped: u64,
 }
 
 impl Histogram {
@@ -32,6 +33,7 @@ impl Histogram {
             count: 0,
             sum: 0.0,
             max_seen: 0.0,
+            dropped: 0,
         }
     }
 
@@ -43,9 +45,11 @@ impl Histogram {
     /// Records one observation. Negative values clamp to zero; non-finite
     /// values (NaN, ±∞) are dropped without counting — one corrupt sample
     /// must not poison the mean/max or, worse, panic a release run that a
-    /// debug assertion would have caught only in tests.
+    /// debug assertion would have caught only in tests. Drops are tallied
+    /// in [`Histogram::dropped`] so they stay visible in run summaries.
     pub fn record(&mut self, value: f64) {
         if !value.is_finite() {
+            self.dropped += 1;
             return;
         }
         let v = value.max(0.0);
@@ -63,6 +67,11 @@ impl Histogram {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Non-finite samples rejected by [`Histogram::record`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Mean of the recorded values (exact; 0 when empty).
@@ -125,17 +134,20 @@ impl Histogram {
         self.count += other.count;
         self.sum += other.sum;
         self.max_seen = self.max_seen.max(other.max_seen);
+        self.dropped += other.dropped;
     }
 
-    /// Full internal state `(bins, upper, count, sum, max_seen)` for
-    /// checkpointing. `bins` includes the trailing overflow bin.
-    pub fn snapshot_state(&self) -> (Vec<u64>, f64, u64, f64, f64) {
+    /// Full internal state `(bins, upper, count, sum, max_seen, dropped)`
+    /// for checkpointing. `bins` includes the trailing overflow bin.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_state(&self) -> (Vec<u64>, f64, u64, f64, f64, u64) {
         (
             self.bins.clone(),
             self.upper,
             self.count,
             self.sum,
             self.max_seen,
+            self.dropped,
         )
     }
 
@@ -144,7 +156,14 @@ impl Histogram {
     /// # Panics
     /// Panics on an invalid shape (`bins` must include the overflow bin,
     /// so its length is at least 2; `upper` must be positive and finite).
-    pub fn restore(bins: Vec<u64>, upper: f64, count: u64, sum: f64, max_seen: f64) -> Self {
+    pub fn restore(
+        bins: Vec<u64>,
+        upper: f64,
+        count: u64,
+        sum: f64,
+        max_seen: f64,
+        dropped: u64,
+    ) -> Self {
         assert!(upper > 0.0 && upper.is_finite(), "invalid upper {upper}");
         assert!(bins.len() >= 2, "need at least one bin plus overflow");
         Histogram {
@@ -153,6 +172,7 @@ impl Histogram {
             count,
             sum,
             max_seen,
+            dropped,
         }
     }
 }
@@ -259,6 +279,7 @@ mod tests {
         h.record(f64::NEG_INFINITY);
         h.record(0.75);
         assert_eq!(h.count(), 2, "non-finite samples must not count");
+        assert_eq!(h.dropped(), 3, "each rejected sample must be tallied");
         assert!((h.mean() - 0.5).abs() < 1e-12);
         assert!((h.max() - 0.75).abs() < 1e-12);
         assert!(h.quantile(1.0).is_finite());
@@ -271,8 +292,24 @@ mod tests {
             h.record(f64::NAN);
         }
         assert_eq!(h.count(), 0);
+        assert_eq!(h.dropped(), 5);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn dropped_survives_merge_and_snapshot_round_trip() {
+        let mut a = Histogram::new(1.0, 10);
+        let mut b = Histogram::new(1.0, 10);
+        a.record(f64::NAN);
+        a.record(0.5);
+        b.record(f64::INFINITY);
+        a.merge(&b);
+        assert_eq!(a.dropped(), 2);
+        let (bins, upper, count, sum, max_seen, dropped) = a.snapshot_state();
+        let restored = Histogram::restore(bins, upper, count, sum, max_seen, dropped);
+        assert_eq!(restored.dropped(), 2);
+        assert_eq!(restored.count(), 1);
     }
 }
 

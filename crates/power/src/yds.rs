@@ -171,6 +171,7 @@ pub fn yds_schedule(jobs: &[YdsJob]) -> YdsSchedule {
 /// dirty core per epoch) allocate nothing once the buffers have grown to
 /// the working-set size.
 pub fn yds_schedule_with(jobs: &[YdsJob], scratch: &mut YdsScratch) -> YdsSchedule {
+    let _span = ge_telemetry::SpanGuard::enter_within("yds_schedule");
     let YdsScratch {
         remaining,
         by_deadline,

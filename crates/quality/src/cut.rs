@@ -108,6 +108,7 @@ pub fn lf_cut_with(
     scratch: &mut CutScratch,
     out: &mut CutOutcome,
 ) {
+    let _span = ge_telemetry::SpanGuard::enter_within("lf_cut");
     let n = demands.len();
     out.cut_demands.clear();
     out.level = f64::INFINITY;

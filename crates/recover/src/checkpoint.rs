@@ -28,7 +28,7 @@ use crate::codec::{fnv1a64, CodecError};
 pub const MAGIC: [u8; 8] = *b"GECKPT\r\n";
 
 /// Current checkpoint format version. Bump on any payload layout change.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 const CHECKSUM_LEN: usize = 8;

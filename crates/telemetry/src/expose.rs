@@ -1,0 +1,266 @@
+//! Prometheus text exposition format (version 0.0.4) rendering.
+//!
+//! Renders a [`TelemetrySnapshot`] into the plain-text format scraped by
+//! Prometheus-compatible collectors: `# TYPE` headers, sanitized metric
+//! names, escaped label values, and histograms as cumulative `_bucket`
+//! series with a final `+Inf` bucket plus `_sum`/`_count`.
+
+use crate::registry::{HistSnapshot, MetricId, TelemetrySnapshot};
+use std::fmt::Write as _;
+
+/// Sanitizes a metric name to `[a-zA-Z_:][a-zA-Z0-9_:]*` (invalid
+/// characters become `_`; a leading digit gains a `_` prefix).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Sanitizes a label name to `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub fn sanitize_label_name(name: &str) -> String {
+    let sanitized = sanitize_metric_name(name);
+    sanitized.replace(':', "_")
+}
+
+/// Escapes a label value: backslash, double-quote, and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way Prometheus expects (`+Inf`, `-Inf`, `NaN`).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders `{k="v",...}` for the label set (empty string when empty),
+/// with `extra` appended last (used for `le`).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{}=\"{}\"",
+            sanitize_label_name(k),
+            escape_label_value(v)
+        );
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn type_header(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if *last != name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        *last = name.to_string();
+    }
+}
+
+fn render_histogram(out: &mut String, id: &MetricId, h: &HistSnapshot) {
+    let name = sanitize_metric_name(&id.0);
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut wrote_inf = false;
+    for &(le, cum) in &h.buckets {
+        let le_s = fmt_value(le);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cum}",
+            label_block(&id.1, Some(("le", &le_s)))
+        );
+        wrote_inf |= le.is_infinite();
+    }
+    if !wrote_inf {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {}",
+            label_block(&id.1, Some(("le", "+Inf"))),
+            h.count
+        );
+    }
+    let _ = writeln!(out, "{name}_sum{} {}", label_block(&id.1, None), h.sum);
+    let _ = writeln!(out, "{name}_count{} {}", label_block(&id.1, None), h.count);
+    if h.dropped > 0 {
+        let dropped = sanitize_metric_name(&format!("{}_dropped", id.0));
+        let _ = writeln!(out, "# TYPE {dropped} counter");
+        let _ = writeln!(out, "{dropped}{} {}", label_block(&id.1, None), h.dropped);
+    }
+}
+
+/// Renders a whole snapshot as Prometheus exposition text.
+///
+/// Families are emitted sorted by name with one `# TYPE` line each;
+/// labelled series of the same family share the header.
+pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last = String::new();
+    for (id, v) in &snap.counters {
+        let name = sanitize_metric_name(&id.0);
+        type_header(&mut out, &mut last, &name, "counter");
+        let _ = writeln!(out, "{name}{} {v}", label_block(&id.1, None));
+    }
+    for (id, v) in &snap.gauges {
+        let name = sanitize_metric_name(&id.0);
+        type_header(&mut out, &mut last, &name, "gauge");
+        let _ = writeln!(out, "{name}{} {}", label_block(&id.1, None), fmt_value(*v));
+    }
+    for (id, h) in &snap.hists {
+        render_histogram(&mut out, id, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn empty_registry_renders_empty_text() {
+        let r = Registry::new();
+        assert_eq!(render_prometheus(&r.snapshot()), "");
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(sanitize_metric_name("ge_epochs_total"), "ge_epochs_total");
+        assert_eq!(sanitize_metric_name("ge.epochs/total"), "ge_epochs_total");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_label_name("le:gs"), "le_gs");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(
+            escape_label_value("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd" // backslash, quote, newline
+        );
+        let r = Registry::new();
+        r.counter_with("c", &[("msg", "say \"hi\"\n")]).inc();
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("c{msg=\"say \\\"hi\\\"\\n\"} 1"));
+    }
+
+    #[test]
+    fn counters_and_gauges_have_type_headers() {
+        let r = Registry::new();
+        r.counter("ge_epochs_total").add(3);
+        r.gauge("ge_replan_cores_skipped").set(12.0);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE ge_epochs_total counter\nge_epochs_total 3\n"));
+        assert!(text.contains("# TYPE ge_replan_cores_skipped gauge\nge_replan_cores_skipped 12\n"));
+    }
+
+    #[test]
+    fn labelled_series_share_one_family_header() {
+        let r = Registry::new();
+        r.counter_with("ge_cells_total", &[("outcome", "ok")]).inc();
+        r.counter_with("ge_cells_total", &[("outcome", "retried")])
+            .add(2);
+        let text = render_prometheus(&r.snapshot());
+        assert_eq!(text.matches("# TYPE ge_cells_total counter").count(), 1);
+        assert!(text.contains("ge_cells_total{outcome=\"ok\"} 1"));
+        assert!(text.contains("ge_cells_total{outcome=\"retried\"} 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let r = Registry::new();
+        let h = r.histogram("ge_epoch_planning_seconds");
+        for v in [1e-5, 1e-5, 1e-3, 0.1] {
+            h.observe(v);
+        }
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE ge_epoch_planning_seconds histogram"));
+        // Parse the bucket lines back and check cumulativity.
+        let mut last_cum = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("ge_epoch_planning_seconds_bucket{le=\"") {
+                let cum: u64 = rest
+                    .split("\"} ")
+                    .nth(1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("bucket count parses");
+                assert!(cum >= last_cum, "bucket counts must be cumulative");
+                last_cum = cum;
+                bucket_lines += 1;
+            }
+        }
+        assert!(bucket_lines >= 3, "expected several buckets:\n{text}");
+        assert!(
+            text.contains("ge_epoch_planning_seconds_bucket{le=\"+Inf\"} 4"),
+            "+Inf bucket must carry the total count:\n{text}"
+        );
+        assert!(text.contains("ge_epoch_planning_seconds_count 4"));
+        assert!(text.contains("ge_epoch_planning_seconds_sum 0.10102"));
+    }
+
+    #[test]
+    fn histogram_inf_bucket_appears_even_with_overflow_hits() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        h.observe(5000.0); // beyond the largest finite bucket
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 1"));
+        assert_eq!(text.matches("h_bucket").count(), 1);
+    }
+
+    #[test]
+    fn dropped_samples_render_as_counter() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        h.observe(f64::NAN);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE h_dropped counter\nh_dropped 1"));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_spellings() {
+        let r = Registry::new();
+        r.gauge("g").set(f64::INFINITY);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("g +Inf"));
+    }
+}

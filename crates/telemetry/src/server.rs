@@ -1,0 +1,213 @@
+//! The exposition endpoint: a minimal HTTP/1.1 server over
+//! `std::net::TcpListener` serving `GET /metrics`, plus the matching
+//! loopback scrape client (so smoke tests need no external tooling).
+
+use crate::expose::render_prometheus;
+use crate::registry::Registry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A background exposition server bound to a local address.
+///
+/// Bind with port 0 for an ephemeral port; [`MetricsServer::local_addr`]
+/// reports the actual one. The accept loop runs on its own thread and is
+/// stopped by [`MetricsServer::shutdown`] (or `Drop`).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    scrapes: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving the global
+    /// registry.
+    pub fn bind(addr: &str) -> io::Result<MetricsServer> {
+        Self::bind_registry(addr, Registry::global())
+    }
+
+    /// Binds `addr`, serving snapshots of `registry`.
+    pub fn bind_registry(addr: &str, registry: &'static Registry) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let scrapes2 = Arc::clone(&scrapes);
+        let handle = std::thread::Builder::new()
+            .name("ge-metrics-server".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let _ = serve_one(stream, registry, &scrapes2);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            scrapes,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (the real port, also when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Successful scrapes served so far.
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes.load(Ordering::SeqCst)
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Reads one request head, answers `GET /metrics` with exposition text
+/// (404 elsewhere), and closes. Served scrapes bump `scrapes` *before*
+/// the response goes out, so a client that has read the body observes
+/// the updated count.
+fn serve_one(mut stream: TcpStream, registry: &Registry, scrapes: &AtomicU64) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let request = String::from_utf8_lossy(&head);
+    let path = request.split_whitespace().nth(1).unwrap_or("");
+    if !request.starts_with("GET ") || !(path == "/metrics" || path.starts_with("/metrics?")) {
+        let body = "not found; scrape /metrics\n";
+        let resp = format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(resp.as_bytes())?;
+        return Ok(());
+    }
+    let body = render_prometheus(&registry.snapshot());
+    let resp = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    scrapes.fetch_add(1, Ordering::SeqCst);
+    stream.write_all(resp.as_bytes())?;
+    Ok(())
+}
+
+/// Scrapes `addr` once over loopback TCP and returns the exposition body
+/// (status line checked, headers stripped).
+pub fn scrape_text(addr: &str) -> io::Result<String> {
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let mut stream = TcpStream::connect_timeout(&target, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: ge\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (status, rest) = raw
+        .split_once("\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))?;
+    if !status.contains("200") {
+        return Err(io::Error::other(format!("scrape failed: {status}")));
+    }
+    let body = rest
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing response body"))?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_registry() -> &'static Registry {
+        static R: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+        R.get_or_init(Registry::new)
+    }
+
+    #[test]
+    fn loopback_scrape_round_trips_on_an_ephemeral_port() {
+        let registry = test_registry();
+        registry.counter("ge_test_epochs_total").add(7);
+        registry.gauge("ge_test_cores").set(6.0);
+        registry.histogram("ge_test_seconds").observe(0.002);
+        let server = MetricsServer::bind_registry("127.0.0.1:0", registry).expect("bind");
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0, "ephemeral port must be resolved");
+        let body = scrape_text(&addr.to_string()).expect("scrape");
+        assert!(body.contains("ge_test_epochs_total 7"));
+        assert!(body.contains("ge_test_cores 6"));
+        assert!(body.contains("ge_test_seconds_bucket{le=\""));
+        assert!(body.contains("ge_test_seconds_count 1"));
+        assert_eq!(server.scrapes(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_metrics_path_is_a_404() {
+        let server = MetricsServer::bind_registry("127.0.0.1:0", test_registry()).expect("bind");
+        let addr = server.local_addr();
+        let mut stream =
+            TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        stream
+            .write_all(b"GET /other HTTP/1.1\r\nHost: ge\r\nConnection: close\r\n\r\n")
+            .expect("write");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 404"));
+        assert_eq!(server.scrapes(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_frees_the_port() {
+        let server = MetricsServer::bind_registry("127.0.0.1:0", test_registry()).expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // After shutdown the port no longer serves.
+        let again = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        if let Ok(mut s) = again {
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            assert!(out.is_empty(), "stopped server must not answer");
+        }
+    }
+}

@@ -81,6 +81,23 @@ impl SplitPolicy {
 /// completions, periodic quality samples, and run bracketing events.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
+    /// Run provenance header, emitted (at most once) as the very first
+    /// line of a trace. Unlike [`TraceEvent::RunStart`] it carries no
+    /// simulation state — only enough metadata to tell which binary and
+    /// which inputs produced the file. Replay validates it when present;
+    /// headerless traces remain valid for compatibility.
+    RunMeta {
+        /// Simulation time (always `0.0`).
+        t: f64,
+        /// Wire-schema tag (currently `"ge-trace/v1"`).
+        schema: String,
+        /// Workload seed the run was driven with.
+        seed: u64,
+        /// FNV-1a digest of the serialized run configuration.
+        config_digest: u64,
+        /// Workspace crate version that wrote the trace.
+        version: String,
+    },
     /// Run configuration, emitted once before any other event. Carries
     /// everything replay needs to rebuild the run's bookkeeping.
     RunStart {
@@ -337,7 +354,8 @@ impl TraceEvent {
     /// The event's simulation timestamp in seconds.
     pub fn t(&self) -> f64 {
         match self {
-            TraceEvent::RunStart { t, .. }
+            TraceEvent::RunMeta { t, .. }
+            | TraceEvent::RunStart { t, .. }
             | TraceEvent::JobArrival { t, .. }
             | TraceEvent::JobAssigned { t, .. }
             | TraceEvent::TriggerFired { t, .. }
@@ -363,6 +381,7 @@ impl TraceEvent {
     /// Stable wire name of the event kind (the JSONL `ev` field).
     pub fn kind(&self) -> &'static str {
         match self {
+            TraceEvent::RunMeta { .. } => "run_meta",
             TraceEvent::RunStart { .. } => "run_start",
             TraceEvent::JobArrival { .. } => "job_arrival",
             TraceEvent::JobAssigned { .. } => "job_assigned",

@@ -65,6 +65,19 @@ impl Field {
 fn fields(ev: &TraceEvent) -> Vec<(&'static str, Field)> {
     use Field::{B, F, S, U};
     match ev {
+        TraceEvent::RunMeta {
+            t,
+            schema,
+            seed,
+            config_digest,
+            version,
+        } => vec![
+            ("t", F(*t)),
+            ("schema", S(schema.clone())),
+            ("seed", U(*seed)),
+            ("config_digest", U(*config_digest)),
+            ("version", S(version.clone())),
+        ],
         TraceEvent::RunStart {
             t,
             algorithm,
@@ -552,6 +565,13 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, ParseError> {
     let f = Fields(FlatJson::parse(line)?);
     let kind = f.str("ev")?.to_string();
     let ev = match kind.as_str() {
+        "run_meta" => TraceEvent::RunMeta {
+            t: f.f64("t")?,
+            schema: f.str("schema")?.to_string(),
+            seed: f.u64("seed")?,
+            config_digest: f.u64("config_digest")?,
+            version: f.str("version")?.to_string(),
+        },
         "run_start" => TraceEvent::RunStart {
             t: f.f64("t")?,
             algorithm: f.str("algorithm")?.to_string(),
@@ -784,6 +804,10 @@ const CSV_COLUMNS: &[&str] = &[
     "budget_w_effective",
     "estimate",
     "projected_quality",
+    "schema",
+    "seed",
+    "config_digest",
+    "version",
 ];
 
 /// The header row of the wide CSV schema.
@@ -826,6 +850,13 @@ mod tests {
 
     fn exemplars() -> Vec<TraceEvent> {
         vec![
+            TraceEvent::RunMeta {
+                t: 0.0,
+                schema: "ge-trace/v1".to_string(),
+                seed: 0xdead_beef_cafe_f00d,
+                config_digest: 0x1234_5678_9abc_def0,
+                version: "0.1.0".to_string(),
+            },
             TraceEvent::RunStart {
                 t: 0.0,
                 algorithm: "GE".to_string(),

@@ -38,5 +38,5 @@ pub use export::{
     ParseError,
 };
 pub use registry::{HistogramSummary, MetricsRegistry, Snapshot};
-pub use replay::{replay, ReplayError, ReplayReport};
+pub use replay::{replay, strip_header, ReplayError, ReplayReport, TRACE_SCHEMA};
 pub use sink::{NullSink, RingSink, TraceSink, VecSink};

@@ -23,11 +23,18 @@ pub const AES_ABS_TOL: f64 = 1e-9;
 /// Tolerance for the absolute quality-rebuild check.
 pub const QUALITY_ABS_TOL: f64 = 1e-9;
 
+/// Wire-schema tag a [`TraceEvent::RunMeta`] header must carry for this
+/// replay implementation to accept the trace.
+pub const TRACE_SCHEMA: &str = "ge-trace/v1";
+
 /// A structurally invalid trace (replay could not even start).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReplayError {
     /// The trace was empty.
     Empty,
+    /// A `run_meta` header was present but unusable (wrong schema tag or
+    /// a nonzero timestamp).
+    BadHeader(String),
     /// The first event was not `run_start`.
     MissingRunStart,
     /// No `run_summary` event was found.
@@ -38,6 +45,7 @@ impl std::fmt::Display for ReplayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReplayError::Empty => write!(f, "empty trace"),
+            ReplayError::BadHeader(why) => write!(f, "invalid run_meta header: {why}"),
             ReplayError::MissingRunStart => {
                 write!(f, "trace does not begin with a run_start event")
             }
@@ -114,11 +122,38 @@ impl ReplayReport {
     }
 }
 
+/// Validates and strips the optional `run_meta` provenance header.
+///
+/// When present the header must be usable (matching schema tag, t = 0);
+/// when absent the trace is still valid (headers were introduced after
+/// the wire format stabilized). Every consumer of `--trace` output that
+/// expects `run_start` first should go through this.
+pub fn strip_header(events: &[TraceEvent]) -> Result<&[TraceEvent], ReplayError> {
+    let Some(TraceEvent::RunMeta { schema, t, .. }) = events.first() else {
+        return Ok(events);
+    };
+    if schema != TRACE_SCHEMA {
+        return Err(ReplayError::BadHeader(format!(
+            "unsupported schema tag '{schema}' (expected '{TRACE_SCHEMA}')"
+        )));
+    }
+    if *t != 0.0 {
+        return Err(ReplayError::BadHeader(format!(
+            "header timestamp must be 0, got {t}"
+        )));
+    }
+    Ok(&events[1..])
+}
+
 /// Replays `events`, rebuilding energy, mode residency, and quality from
 /// first principles and cross-checking them against the run summary.
 pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
     if events.is_empty() {
         return Err(ReplayError::Empty);
+    }
+    let events = strip_header(events)?;
+    if events.is_empty() {
+        return Err(ReplayError::MissingRunStart);
     }
     let (cores, horizon_s, quality_c, quality_xmax, initial_mode, ledger_window, start_t) =
         match &events[0] {
@@ -175,6 +210,11 @@ pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
         match ev {
             TraceEvent::RunStart { .. } if i != 0 => {
                 issues.push(format!("duplicate run_start at event {i}"));
+            }
+            // The header was stripped above; any run_meta left in the
+            // body is a duplicate or misplaced header.
+            TraceEvent::RunMeta { .. } => {
+                issues.push(format!("misplaced run_meta at event {i}"));
             }
             TraceEvent::ExecSlice {
                 core,
@@ -654,6 +694,62 @@ mod tests {
         events.push(summary_for(&events));
         let report = replay(&events).unwrap();
         assert!(report.issues.iter().any(|m| m.contains("factor")));
+    }
+
+    fn header(schema: &str) -> TraceEvent {
+        TraceEvent::RunMeta {
+            t: 0.0,
+            schema: schema.to_string(),
+            seed: 42,
+            config_digest: 0xfeed,
+            version: "0.1.0".to_string(),
+        }
+    }
+
+    #[test]
+    fn valid_header_is_accepted_and_stripped() {
+        let mut events = vec![start(), slice(3.0, 0, 12.5), finish(3.0, 0, 400.0, 700.0)];
+        events.push(summary_for(&events));
+        let body_events = events.len();
+        events.insert(0, header(TRACE_SCHEMA));
+        let report = replay(&events).unwrap();
+        assert!(report.is_ok(), "{:?}", report.issues);
+        assert_eq!(report.events, body_events, "header must not count");
+    }
+
+    #[test]
+    fn bad_header_schema_is_rejected() {
+        let mut events = vec![header("ge-trace/v999"), start()];
+        events.push(summary_for(&events));
+        assert!(matches!(replay(&events), Err(ReplayError::BadHeader(_))));
+        // A nonzero header timestamp is equally unusable.
+        let bad_t = TraceEvent::RunMeta {
+            t: 1.0,
+            schema: TRACE_SCHEMA.to_string(),
+            seed: 1,
+            config_digest: 2,
+            version: "0.1.0".to_string(),
+        };
+        assert!(matches!(
+            replay(&[bad_t, start()]),
+            Err(ReplayError::BadHeader(_))
+        ));
+        // A header with nothing after it has no run to replay.
+        assert!(matches!(
+            replay(&[header(TRACE_SCHEMA)]),
+            Err(ReplayError::MissingRunStart)
+        ));
+    }
+
+    #[test]
+    fn misplaced_header_is_flagged() {
+        let mut events = vec![start(), header(TRACE_SCHEMA), slice(3.0, 0, 1.0)];
+        events.push(summary_for(&events));
+        let report = replay(&events).unwrap();
+        assert!(report
+            .issues
+            .iter()
+            .any(|m| m.contains("misplaced run_meta")));
     }
 
     #[test]

@@ -146,6 +146,15 @@ fn main() {
         }
     };
 
+    // Traces written by `--trace` lead with a run_meta provenance
+    // header; validate and skip it before looking for run_start.
+    let events = match ge_trace::strip_header(&events) {
+        Ok(rest) => rest.to_vec(),
+        Err(e) => {
+            eprintln!("bad trace header: {e}");
+            std::process::exit(1);
+        }
+    };
     let Some(TraceEvent::RunStart {
         algorithm,
         cores,

