@@ -84,10 +84,10 @@ pub(crate) enum Ev {
 // Faults are observed before arrivals so a job never lands on a core that
 // failed "at the same instant"; arrivals before checks before the quantum
 // tick so an epoch always sees the jobs that arrived "now".
-const PRIO_FAULT: u32 = 0;
-const PRIO_ARRIVAL: u32 = 1;
-const PRIO_CHECK: u32 = 2;
-const PRIO_QUANTUM: u32 = 3;
+pub(crate) const PRIO_FAULT: u32 = 0;
+pub(crate) const PRIO_ARRIVAL: u32 = 1;
+pub(crate) const PRIO_CHECK: u32 = 2;
+pub(crate) const PRIO_QUANTUM: u32 = 3;
 
 /// Per-epoch observations for trajectory analysis (see [`run_traced`]).
 #[derive(Debug, Clone, Default)]
@@ -662,18 +662,18 @@ impl Engine {
         self.last_t = now;
     }
 
-    /// Closes the books at the horizon and produces the run measurements.
-    /// Call only after [`Engine::advance`] has reached the horizon.
-    pub(crate) fn finalize(
-        mut self,
-        sched: &mut dyn Scheduler,
-        sink: &mut dyn TraceSink,
-    ) -> RunResult {
+    /// Settles all remaining work at the horizon: the final speed sample,
+    /// the last execution slices, and ledger entries for every job still
+    /// queued or orphaned. Idempotent — a second call finds nothing left
+    /// to drain — so [`Engine::finalize`] can build on it and callers that
+    /// need ledger sums before consuming the engine can invoke it early.
+    pub(crate) fn close_books(&mut self, sink: &mut dyn TraceSink) {
         let end = self.horizon;
         let dt = end.saturating_since(self.last_t).as_secs();
         if dt > 0.0 {
             self.speed_tracker.sample(&self.last_speeds, dt);
         }
+        self.last_t = end;
         for fin in self.server.advance_all_traced(end, sink) {
             self.ledger
                 .record(self.f.value(fin.processed), self.f.value(fin.full_demand));
@@ -730,6 +730,17 @@ impl Engine {
         if let Some(tel) = &self.telemetry {
             tel.latency_dropped.set(self.latency.dropped() as f64);
         }
+    }
+
+    /// Closes the books at the horizon and produces the run measurements.
+    /// Call only after [`Engine::advance`] has reached the horizon.
+    pub(crate) fn finalize(
+        mut self,
+        sched: &mut dyn Scheduler,
+        sink: &mut dyn TraceSink,
+    ) -> RunResult {
+        self.close_books(sink);
+        let end = self.horizon;
         let fractions = self.mode_tracker.fractions_at(end);
         let core_energy_cv = {
             let mut stats = ge_metrics::OnlineStats::new();

@@ -47,6 +47,7 @@ pub mod ge;
 pub mod policy;
 pub mod result;
 pub mod resume;
+pub mod shard;
 
 pub use clairvoyant::{clairvoyant_plan, ClairvoyantOutcome};
 pub use config::{PowerPolicy, SimConfig};
@@ -58,3 +59,4 @@ pub use ge::GeScheduler;
 pub use policy::{Algorithm, ScheduleCtx, Scheduler, TriggerSet, MODE_AES, MODE_BQ};
 pub use result::RunResult;
 pub use resume::{resume_from, run_resumable, CheckpointPolicy, ResumableOutcome, ResumableRun};
+pub use shard::{ShardEngine, ShardOutcome};

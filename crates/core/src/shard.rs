@@ -1,0 +1,366 @@
+//! One fleet shard: a single-server [`Engine`](crate::driver::Engine)
+//! wrapped for external job injection and whole-server fault control.
+//!
+//! The fleet router (`ge-fleet`) owns N of these. Each shard is exactly
+//! the engine every single-server run uses — same event loop, same
+//! accounting, same checkpointable state — so per-shard behaviour needs no
+//! re-validation. The wrapper adds only what a router needs:
+//!
+//! * [`ShardEngine::inject_job`] — feed an arrival decided by the router
+//!   (shards are built over an *empty* trace; the router is the sole
+//!   source of work),
+//! * [`ShardEngine::advance_to`] — lockstep time advance. The engine's
+//!   segmented-advance invariant (proven by the resume suite) guarantees
+//!   that advancing in router-event-sized segments observes the same
+//!   `(now, event)` sequence as one straight run, which is what makes the
+//!   whole fleet bit-reproducible,
+//! * [`ShardEngine::crash`] / [`ShardEngine::recover`] — whole-server
+//!   loss and rejoin. A crash preempts running work onto the orphan list
+//!   (partial credit, exactly like a core fault) and hands the
+//!   queued-unstarted jobs back to the router for failover,
+//! * [`ShardEngine::set_budget_factor`] — the global partitioner's knob:
+//!   the shard's effective budget is `factor ×` its nominal `H_i`.
+//!
+//! Per-shard fault schedules may carry core outages, throttles, and DVFS
+//! windows, but not surges or demand noise (surge jobs would collide with
+//! the router's global job ids); outage windows should not overlap a
+//! whole-server crash of the same shard.
+
+use crate::config::SimConfig;
+use crate::driver::{Engine, Ev, PRIO_ARRIVAL};
+use crate::policy::{Algorithm, Scheduler};
+use crate::result::RunResult;
+use ge_faults::FaultSchedule;
+use ge_quality::QualityFunction;
+use ge_simcore::SimTime;
+use ge_trace::NullSink;
+use ge_workload::{Job, Trace};
+
+/// A shard's final measurements plus the ledger sums the fleet needs to
+/// aggregate quality across shards (fleet quality is a ratio of summed
+/// achieved over summed full values, not a mean of per-shard ratios).
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The ordinary single-server run measurements.
+    pub result: RunResult,
+    /// `Σ f(c_j)` over every job recorded by this shard's ledger.
+    pub achieved_sum: f64,
+    /// `Σ f(p_j)` over every job recorded by this shard's ledger.
+    pub full_sum: f64,
+}
+
+/// A single server of a fleet: one engine plus its scheduler, driven by
+/// the router in lockstep with its siblings.
+pub struct ShardEngine {
+    engine: Engine,
+    sched: Box<dyn Scheduler>,
+    crashed: bool,
+}
+
+impl ShardEngine {
+    /// Builds a shard over an empty workload. `cfg.horizon` must already
+    /// be the fleet-wide horizon (covering every job deadline the router
+    /// may inject).
+    ///
+    /// # Panics
+    /// Panics if `cfg` is invalid or `faults` carries surge windows or
+    /// demand noise (both are fleet-level concerns).
+    pub fn new(cfg: &SimConfig, algorithm: &Algorithm, faults: Option<&FaultSchedule>) -> Self {
+        if let Some(fs) = faults {
+            assert!(
+                fs.surges().is_empty() && fs.demand_noise() == 0.0,
+                "per-shard fault schedules must not carry surges or demand noise"
+            );
+        }
+        let sched = algorithm.build(cfg);
+        let empty = Trace::new(Vec::new());
+        let engine = Engine::new(cfg, &empty, faults, sched.current_mode());
+        ShardEngine {
+            engine,
+            sched,
+            crashed: false,
+        }
+    }
+
+    /// Hands the shard a job at simulation time `at` (the router's
+    /// dispatch instant). The job keeps its original release time for
+    /// latency accounting, so retried or failed-over jobs pay their
+    /// routing delay in the latency histogram.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the shard's current time (the router must
+    /// advance the shard first).
+    pub fn inject_job(&mut self, job: Job, at: SimTime) {
+        let idx = job.id.index();
+        if self.engine.releases.len() <= idx {
+            self.engine.releases.resize(idx + 1, SimTime::ZERO);
+        }
+        self.engine.releases[idx] = job.release;
+        self.engine.all_jobs.push(job);
+        let slot = self.engine.all_jobs.len() - 1;
+        self.engine
+            .sim
+            .schedule(at, PRIO_ARRIVAL, Ev::Arrival(slot));
+    }
+
+    /// Runs the shard's event loop up to `until` (inclusive). Events are
+    /// recorded nowhere — shard-internal traces would interleave
+    /// non-monotonically across the fleet; the router emits the fleet
+    /// trace instead.
+    pub fn advance_to(&mut self, until: SimTime) {
+        self.engine
+            .advance(until, self.sched.as_mut(), &mut NullSink);
+    }
+
+    /// Whole-server crash: every core fails. Jobs with work already done
+    /// are preempted onto the orphan list for partial credit (exactly as
+    /// under a core fault); every queued-unstarted job — whether still in
+    /// the shard queue or assigned to a core but untouched — is handed
+    /// back, in id order, for failover. The shard stays in the fleet's
+    /// accounting: its energy spent and its orphans' fates still count.
+    pub fn crash(&mut self) -> Vec<Job> {
+        self.crashed = true;
+        let mut failed_over: Vec<Job> = std::mem::take(&mut self.engine.queue);
+        for core in 0..self.engine.cfg.cores {
+            for cj in self.engine.server.fail_core(core) {
+                if cj.processed <= 0.0 {
+                    failed_over.push(
+                        Job::new(cj.id, cj.release, cj.deadline, cj.full_demand)
+                            .with_estimate(cj.estimate),
+                    );
+                } else {
+                    self.engine.orphans.push(cj);
+                }
+            }
+        }
+        failed_over.sort_by_key(|j| j.id.index());
+        failed_over
+    }
+
+    /// The server rejoins the fleet, empty and at nominal speed. Cores the
+    /// shard's own fault schedule currently holds offline stay offline.
+    pub fn recover(&mut self) {
+        self.crashed = false;
+        for core in 0..self.engine.cfg.cores {
+            let scheduled_online = self
+                .engine
+                .injector
+                .as_ref()
+                .map_or(true, |inj| inj.online(core));
+            if scheduled_online {
+                self.engine.server.recover_core(core);
+            }
+        }
+    }
+
+    /// Whether the router currently considers this server dead.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Sets the partitioner's budget multiplier: the shard's effective
+    /// power budget becomes `factor ×` its nominal `H_i`. The scheduler
+    /// observes the change at its next trigger and replans.
+    pub fn set_budget_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "budget factor must be finite and non-negative, got {factor}"
+        );
+        self.engine.budget_factor = factor;
+    }
+
+    /// Sets the delivered-over-requested speed ratio on every core (a
+    /// degraded / thermally-capped server).
+    pub fn set_speed_factor_all(&mut self, factor: f64) {
+        for core in 0..self.engine.cfg.cores {
+            self.engine.server.set_core_speed_factor(core, factor);
+        }
+    }
+
+    /// Jobs queued but not yet started on a core.
+    pub fn queue_len(&self) -> usize {
+        self.engine.queue.len()
+    }
+
+    /// Total unfinished demand on the shard (queued + on-core backlog),
+    /// in service units — the router's load signal.
+    pub fn load_units(&self) -> f64 {
+        let queued: f64 = self.engine.queue.iter().map(|j| j.demand).sum();
+        self.engine.server.total_backlog_units() + queued
+    }
+
+    /// Cores currently online.
+    pub fn online_cores(&self) -> usize {
+        self.engine.server.online_count()
+    }
+
+    /// Energy consumed so far (joules).
+    pub fn energy_j(&self) -> f64 {
+        self.engine.server.total_energy()
+    }
+
+    /// Jobs this shard's scheduler shed under its `q_min` floor.
+    pub fn jobs_shed(&self) -> u64 {
+        self.engine.jobs_shed
+    }
+
+    /// The quality value `f(demand)` under the shard's quality function
+    /// (identical across shards; exposed so the router can account shed
+    /// jobs in the fleet-wide quality ratio).
+    pub fn quality_value(&self, demand: f64) -> f64 {
+        self.engine.f.value(demand)
+    }
+
+    /// The fleet-wide horizon this shard runs to.
+    pub fn horizon(&self) -> SimTime {
+        self.engine.horizon
+    }
+
+    /// Closes the shard's books at the horizon and returns its
+    /// measurements plus ledger sums.
+    pub fn finalize(self) -> ShardOutcome {
+        let ShardEngine {
+            mut engine,
+            mut sched,
+            ..
+        } = self;
+        engine.close_books(&mut NullSink);
+        let achieved_sum = engine.ledger.achieved_sum();
+        let full_sum = engine.ledger.full_sum();
+        let result = engine.finalize(sched.as_mut(), &mut NullSink);
+        ShardOutcome {
+            result,
+            achieved_sum,
+            full_sum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_simcore::SimDuration;
+    use ge_workload::JobId;
+
+    fn shard_cfg() -> SimConfig {
+        SimConfig {
+            cores: 4,
+            budget_w: 80.0,
+            horizon: SimTime::from_secs(10.0),
+            critical_load_rps: 154.0 / 4.0,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    fn job(id: u64, release_s: f64, demand: f64) -> Job {
+        let r = SimTime::from_secs(release_s);
+        Job::new(JobId(id), r, r + SimDuration::from_millis(150.0), demand)
+    }
+
+    #[test]
+    fn injected_jobs_run_and_are_accounted() {
+        let cfg = shard_cfg();
+        let mut shard = ShardEngine::new(&cfg, &Algorithm::Ge, None);
+        for i in 0..20 {
+            shard.inject_job(
+                job(i, 0.1 * i as f64, 400.0),
+                SimTime::from_secs(0.1 * i as f64),
+            );
+        }
+        shard.advance_to(shard.horizon());
+        let out = shard.finalize();
+        assert_eq!(out.result.jobs_finished, 20);
+        assert!(out.result.quality > 0.5, "{}", out.result.quality);
+        assert!(out.result.energy_j > 0.0);
+        assert!(out.full_sum > 0.0 && out.achieved_sum <= out.full_sum + 1e-12);
+    }
+
+    #[test]
+    fn segmented_advance_matches_straight_run() {
+        let cfg = shard_cfg();
+        let build = || {
+            let mut s = ShardEngine::new(&cfg, &Algorithm::Ge, None);
+            for i in 0..30 {
+                s.inject_job(
+                    job(i, 0.05 * i as f64, 300.0 + 20.0 * i as f64),
+                    SimTime::from_secs(0.05 * i as f64),
+                );
+            }
+            s
+        };
+        let mut a = build();
+        a.advance_to(a.horizon());
+        let ra = a.finalize();
+        let mut b = build();
+        let mut t = 0.0f64;
+        while t < 10.0 {
+            t += 0.37;
+            b.advance_to(SimTime::from_secs(t.min(10.0)));
+        }
+        b.advance_to(b.horizon());
+        let rb = b.finalize();
+        assert_eq!(ra.result.quality.to_bits(), rb.result.quality.to_bits());
+        assert_eq!(ra.result.energy_j.to_bits(), rb.result.energy_j.to_bits());
+        assert_eq!(ra.result.jobs_finished, rb.result.jobs_finished);
+    }
+
+    #[test]
+    fn crash_returns_queue_recover_restores_capacity() {
+        let cfg = shard_cfg();
+        let mut shard = ShardEngine::new(&cfg, &Algorithm::Ge, None);
+        // Enough simultaneous work that some of it is still queued at the
+        // crash instant.
+        for i in 0..40 {
+            shard.inject_job(job(i, 1.0, 900.0), SimTime::from_secs(1.0));
+        }
+        shard.advance_to(SimTime::from_secs(1.0));
+        let failed_over = shard.crash();
+        assert!(shard.is_crashed());
+        assert_eq!(shard.online_cores(), 0);
+        // Cores are occupied by at most one job each; the rest fail over.
+        assert!(failed_over.len() >= 40 - cfg.cores, "{}", failed_over.len());
+        // A dead shard is inert but advanceable.
+        shard.advance_to(SimTime::from_secs(3.0));
+        shard.recover();
+        assert_eq!(shard.online_cores(), cfg.cores);
+        // The recovered shard accepts and completes new work.
+        shard.inject_job(job(100, 3.0, 500.0), SimTime::from_secs(3.0));
+        shard.advance_to(shard.horizon());
+        let out = shard.finalize();
+        assert!(out.result.energy_j > 0.0);
+        // Conservation: every job not failed over is in the ledger.
+        assert_eq!(
+            out.result.jobs_finished,
+            41 - failed_over.len() as u64,
+            "ledger covers exactly the jobs the shard kept"
+        );
+    }
+
+    #[test]
+    fn budget_factor_scales_capacity() {
+        let cfg = shard_cfg();
+        let run = |factor: f64| {
+            let mut s = ShardEngine::new(&cfg, &Algorithm::Ge, None);
+            s.set_budget_factor(factor);
+            for i in 0..60 {
+                s.inject_job(
+                    job(i, 0.02 * i as f64, 900.0),
+                    SimTime::from_secs(0.02 * i as f64),
+                );
+            }
+            s.advance_to(s.horizon());
+            s.finalize()
+        };
+        let starved = run(0.4);
+        let nominal = run(1.0);
+        let boosted = run(1.5);
+        assert!(
+            starved.result.quality < nominal.result.quality,
+            "{} !< {}",
+            starved.result.quality,
+            nominal.result.quality
+        );
+        assert!(boosted.result.quality >= nominal.result.quality - 1e-9);
+        assert!(starved.result.energy_j < boosted.result.energy_j);
+    }
+}

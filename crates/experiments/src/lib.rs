@@ -35,6 +35,7 @@ pub mod calibrate;
 pub mod differential;
 pub mod faults;
 pub mod figures;
+pub mod fleet;
 pub mod scale;
 pub mod supervise;
 pub mod sweep;

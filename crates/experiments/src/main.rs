@@ -15,7 +15,7 @@ use ge_core::{
 use ge_experiments::supervise::{run_supervised_with_injection, write_manifest, SupervisorConfig};
 use ge_experiments::trace::TraceError;
 use ge_experiments::{figures, Scale};
-use ge_faults::{FaultScenario, ScenarioKind};
+use ge_faults::{FaultScenario, FleetScenario, FleetScenarioKind, ScenarioKind};
 use ge_metrics::{AsciiPlot, SvgChart, Table};
 use ge_recover::{CheckpointError, RetryPolicy};
 use ge_telemetry::{scrape_text, MetricsServer, PeriodicSnapshots, Telemetry};
@@ -27,7 +27,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: ge-experiments [--quick] [--plot] [--svg] [--reps N] [--horizon SECS] [--out DIR] \
-         [--trace FILE.jsonl] [--faults SCENARIO] [--supervise] [--retries N] \
+         [--trace FILE.jsonl] [--faults SCENARIO] [--fleet SCENARIO] [--servers N] \
+         [--supervise] [--retries N] \
          [--timeout-secs S] [--checkpoint-every K] \
          [--checkpoint FILE.ckpt] [--stop-after N] [--resume] \
          [--differential] [--instances N] [--seed S] \
@@ -56,6 +57,11 @@ fn usage() -> ! {
          --timeout-secs, checkpoint salvage) and write run-manifest.json\n\
          under --out. Scenarios: {}.\n\
          \n\
+         --fleet SCENARIO runs the fleet degradation study over --servers\n\
+         servers (default 4): every routing policy × budget partitioner\n\
+         combination swept over the intensity grid, with a bit-exact study\n\
+         digest printed at the end. Scenarios: {}.\n\
+         \n\
          --checkpoint FILE runs one GE exemplar cell, checkpointing every\n\
          --checkpoint-every quanta (optionally stopping after --stop-after\n\
          checkpoints); --resume continues it from FILE bit-exactly.\n\
@@ -63,7 +69,8 @@ fn usage() -> ! {
          --differential sweeps --instances generated tiny instances (seeded\n\
          by --seed) through every algorithm and checks each layer against\n\
          the ge-oracle certificates; exits nonzero on any disagreement.",
-        FaultScenario::ALL_NAMES.join(", ")
+        FaultScenario::ALL_NAMES.join(", "),
+        FleetScenario::ALL_NAMES.join(", ")
     );
     std::process::exit(2);
 }
@@ -109,6 +116,15 @@ enum CliError {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// A flag's value was missing or failed to parse.
+    InvalidFlag {
+        /// The flag, e.g. `--seed`.
+        flag: &'static str,
+        /// What was actually supplied (`<missing>` when absent).
+        value: String,
+        /// A human description of what the flag accepts.
+        expected: String,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -131,6 +147,16 @@ impl std::fmt::Display for CliError {
             CliError::Telemetry { context, source } => {
                 write!(f, "telemetry: {context}: {source}")
             }
+            CliError::InvalidFlag {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid value for {flag}: {value:?} (expected {expected})"
+                )
+            }
         }
     }
 }
@@ -144,8 +170,48 @@ impl std::error::Error for CliError {
             CliError::Checkpoint { source } => Some(source),
             CliError::Differential { .. } => None,
             CliError::Telemetry { source, .. } => Some(source),
+            CliError::InvalidFlag { .. } => None,
         }
     }
+}
+
+/// Parses a flag's value argument, turning a missing or malformed value
+/// into a typed [`CliError::InvalidFlag`] (one diagnostic line, exit 1)
+/// instead of the full usage dump.
+fn parse_flag_value<T: std::str::FromStr>(
+    flag: &'static str,
+    value: Option<String>,
+    expected: &str,
+) -> Result<T, CliError> {
+    let raw = value.ok_or_else(|| CliError::InvalidFlag {
+        flag,
+        value: "<missing>".to_string(),
+        expected: expected.to_string(),
+    })?;
+    raw.parse().map_err(|_| CliError::InvalidFlag {
+        flag,
+        value: raw,
+        expected: expected.to_string(),
+    })
+}
+
+/// Syntactic validation of `--metrics-addr`: `host:port` with a numeric
+/// port (DNS resolution is left to bind time).
+fn validate_metrics_addr(addr: String) -> Result<String, CliError> {
+    let invalid = || CliError::InvalidFlag {
+        flag: "--metrics-addr",
+        value: if addr.is_empty() {
+            "<missing>".to_string()
+        } else {
+            addr.clone()
+        },
+        expected: "HOST:PORT with a numeric port, e.g. 127.0.0.1:0".to_string(),
+    };
+    let (host, port) = addr.rsplit_once(':').ok_or_else(invalid)?;
+    if host.is_empty() || port.parse::<u16>().is_err() {
+        return Err(invalid());
+    }
+    Ok(addr)
 }
 
 /// Builds an ASCII plot from a table whose first column is the x axis
@@ -505,6 +571,8 @@ fn real_main() -> Result<(), CliError> {
     let mut svg = false;
     let mut trace_path: Option<PathBuf> = None;
     let mut faults_kind: Option<ScenarioKind> = None;
+    let mut fleet_kind: Option<FleetScenarioKind> = None;
+    let mut servers: usize = 4;
     let mut supervise = false;
     let mut drill_cell: Option<usize> = None;
     let mut retries: u32 = 3;
@@ -547,15 +615,22 @@ fn real_main() -> Result<(), CliError> {
                 trace_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
             }
             "--faults" => {
-                let name = args.next().unwrap_or_else(|| usage());
+                let name = args.next().unwrap_or_default();
                 faults_kind = match FaultScenario::parse(&name) {
                     Some(kind) => Some(kind),
                     None => {
-                        eprintln!(
-                            "unknown fault scenario: {name} (expected one of: {})",
-                            FaultScenario::ALL_NAMES.join(", ")
-                        );
-                        usage();
+                        return Err(CliError::InvalidFlag {
+                            flag: "--faults",
+                            value: if name.is_empty() {
+                                "<missing>".to_string()
+                            } else {
+                                name
+                            },
+                            expected: format!(
+                                "one of: {} (fleet scenarios go under --fleet)",
+                                FaultScenario::ALL_NAMES.join(", ")
+                            ),
+                        });
                     }
                 };
             }
@@ -602,20 +677,47 @@ fn real_main() -> Result<(), CliError> {
             "--resume" => resume = true,
             "--differential" => differential = true,
             "--instances" => {
-                instances = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|n| *n >= 1)
-                    .unwrap_or_else(|| usage());
+                instances = parse_flag_value("--instances", args.next(), "a positive integer")?;
+                if instances == 0 {
+                    return Err(CliError::InvalidFlag {
+                        flag: "--instances",
+                        value: "0".to_string(),
+                        expected: "a positive integer".to_string(),
+                    });
+                }
             }
             "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                seed = parse_flag_value("--seed", args.next(), "an unsigned 64-bit integer")?;
+            }
+            "--fleet" => {
+                let name = args.next().unwrap_or_default();
+                fleet_kind = match FleetScenario::parse(&name) {
+                    Some(kind) => Some(kind),
+                    None => {
+                        return Err(CliError::InvalidFlag {
+                            flag: "--fleet",
+                            value: if name.is_empty() {
+                                "<missing>".to_string()
+                            } else {
+                                name
+                            },
+                            expected: format!("one of: {}", FleetScenario::ALL_NAMES.join(", ")),
+                        });
+                    }
+                };
+            }
+            "--servers" => {
+                servers = parse_flag_value("--servers", args.next(), "an integer >= 2")?;
+                if servers < 2 {
+                    return Err(CliError::InvalidFlag {
+                        flag: "--servers",
+                        value: servers.to_string(),
+                        expected: "an integer >= 2".to_string(),
+                    });
+                }
             }
             "--metrics-addr" => {
-                metrics_addr = Some(args.next().unwrap_or_else(|| usage()));
+                metrics_addr = Some(validate_metrics_addr(args.next().unwrap_or_default())?);
             }
             "--metrics-jsonl" => {
                 metrics_jsonl = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
@@ -663,6 +765,8 @@ fn real_main() -> Result<(), CliError> {
         svg,
         trace_path: trace_path.as_deref(),
         faults_kind,
+        fleet_kind,
+        servers,
         supervise,
         drill_cell,
         retries,
@@ -692,6 +796,8 @@ struct RunModes<'a> {
     svg: bool,
     trace_path: Option<&'a Path>,
     faults_kind: Option<ScenarioKind>,
+    fleet_kind: Option<FleetScenarioKind>,
+    servers: usize,
     supervise: bool,
     drill_cell: Option<usize>,
     retries: u32,
@@ -716,6 +822,8 @@ fn run_modes(modes: RunModes<'_>) -> Result<(), CliError> {
         svg,
         trace_path,
         faults_kind,
+        fleet_kind,
+        servers,
         supervise,
         drill_cell,
         retries,
@@ -757,6 +865,19 @@ fn run_modes(modes: RunModes<'_>) -> Result<(), CliError> {
             stop_after,
             resume,
         );
+    }
+
+    // Fleet mode: the fleet degradation study (policy × partitioner
+    // curves vs failure intensity), no figure tables.
+    if let Some(kind) = fleet_kind {
+        let started = std::time::Instant::now();
+        let stem = format!("fleet-{}", kind.name());
+        let (tables, digest) = ge_experiments::fleet::run(kind, scale, servers);
+        emit_tables(&tables, &stem, out_dir, plot, svg)?;
+        // Bit-exact over the whole study; shell tests compare two runs.
+        println!("fleet digest=0x{digest:016x}");
+        println!("  ({stem} done in {:.1?})\n", started.elapsed());
+        return Ok(());
     }
 
     // Faults mode: the degradation study, no figure tables.

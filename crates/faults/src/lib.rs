@@ -20,10 +20,15 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod fleet;
 mod injector;
 mod scenario;
 mod schedule;
 
+pub use fleet::{
+    DispatchLossWindow, FleetFaultSchedule, FleetInjector, FleetScenario, FleetScenarioKind,
+    FleetTransition, ServerOutage, ServerSlowdown, TimedFleetTransition,
+};
 pub use injector::FaultInjector;
 pub use scenario::{FaultScenario, ScenarioKind};
 pub use schedule::{

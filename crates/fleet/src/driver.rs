@@ -1,0 +1,606 @@
+//! The fleet event loop: routing, budget repartitioning, and failover.
+//!
+//! One binary heap orders the router's three event kinds — fleet fault
+//! transitions, budget-reallocation epochs, and job dispatches — by
+//! `(time, priority, sequence)`, mirroring the per-server engine's
+//! discipline (faults fire before the scheduler observes the instant;
+//! dispatches come last). Before handling any event the router advances
+//! *every* server to the event time; the engine's segmented-advance
+//! invariant makes those lockstep segments bit-identical to a straight
+//! per-server run, which is what makes the whole fleet reproducible from
+//! one seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ge_core::{RunResult, ShardEngine};
+use ge_faults::{FaultSchedule, FleetFaultSchedule, FleetInjector, FleetTransition};
+use ge_simcore::{RngStream, SimTime};
+use ge_telemetry::Telemetry;
+use ge_trace::{TraceEvent, TraceSink};
+use ge_workload::{Job, Trace};
+
+use crate::config::{FleetConfig, Partitioner, RoutingPolicy};
+
+/// Everything measured over one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// The algorithm label every server ran.
+    pub algorithm: String,
+    /// Fleet-wide delivered quality: `Σ f(c_j) / (Σ f(p_j) + Σ f(p_shed))`
+    /// — router-shed jobs count against the fleet at full value.
+    pub quality: f64,
+    /// Total energy across all servers (joules).
+    pub energy_j: f64,
+    /// Jobs in the offered workload.
+    pub jobs_total: u64,
+    /// Jobs whose service ended on some server.
+    pub jobs_finished: u64,
+    /// Jobs that ended with zero processed volume on their server.
+    pub jobs_discarded: u64,
+    /// Jobs shed by per-server admission control (`q_min` floor).
+    pub jobs_shed_shards: u64,
+    /// Jobs the router shed (retry budget exhausted, dead fleet, or
+    /// overload guard).
+    pub jobs_shed_router: u64,
+    /// Successful router→server dispatches (includes re-dispatches).
+    pub dispatches: u64,
+    /// Jobs reclaimed from crashed servers and re-routed.
+    pub failovers: u64,
+    /// Dispatch attempts lost to the network and retried.
+    pub retries: u64,
+    /// Budget-reallocation epochs executed.
+    pub budget_epochs: u64,
+    /// Per-server run measurements, in server order.
+    pub shards: Vec<RunResult>,
+}
+
+const PRIO_FAULT: u8 = 0;
+const PRIO_REALLOC: u8 = 1;
+const PRIO_DISPATCH: u8 = 2;
+
+/// What the router does at one heap entry.
+#[derive(Debug, Clone, Copy)]
+enum FEv {
+    /// Apply fleet fault transition `k`.
+    Fault(usize),
+    /// Recompute the budget partition.
+    Realloc,
+    /// Route workload job `job` (attempt `attempt`).
+    Dispatch { job: usize, attempt: u32 },
+}
+
+struct Entry {
+    at: SimTime,
+    prio: u8,
+    seq: u64,
+    ev: FEv,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // Reversed: BinaryHeap is a max-heap and we want the earliest entry.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .total_cmp(&self.at)
+            .then(other.prio.cmp(&self.prio))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Live-registry handles the router feeds while telemetry is enabled.
+struct FleetTelemetry {
+    live_shards: ge_telemetry::Gauge,
+    dispatches: ge_telemetry::Counter,
+    failovers: ge_telemetry::Counter,
+    retries: ge_telemetry::Counter,
+    shed: ge_telemetry::Counter,
+    shard_budget: Vec<ge_telemetry::Gauge>,
+}
+
+impl FleetTelemetry {
+    fn new(servers: usize) -> Self {
+        let reg = Telemetry::registry();
+        FleetTelemetry {
+            live_shards: reg.gauge("ge_fleet_live_shards"),
+            dispatches: reg.counter("ge_fleet_dispatch_total"),
+            failovers: reg.counter("ge_fleet_failovers_total"),
+            retries: reg.counter("ge_fleet_retries_total"),
+            shed: reg.counter("ge_fleet_shed_total"),
+            shard_budget: (0..servers)
+                .map(|i| reg.gauge_with("ge_fleet_shard_budget_w", &[("shard", &i.to_string())]))
+                .collect(),
+        }
+    }
+}
+
+struct Router<'a> {
+    cfg: &'a FleetConfig,
+    schedule: &'a FleetFaultSchedule,
+    shards: Vec<ShardEngine>,
+    injector: FleetInjector,
+    horizon: SimTime,
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+    rr_cursor: usize,
+    route_rng_root: RngStream,
+    route_draws: u64,
+    /// Current budget slices (watts), updated each realloc epoch.
+    slices: Vec<f64>,
+    /// Router-shed jobs' full quality value, added to the fleet
+    /// denominator at finalize.
+    shed_full_sum: f64,
+    dispatched: u64,
+    failovers: u64,
+    retries: u64,
+    shed: u64,
+    budget_epochs: u64,
+    telemetry: Option<FleetTelemetry>,
+}
+
+impl<'a> Router<'a> {
+    fn push(&mut self, at: SimTime, prio: u8, ev: FEv) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, prio, seq, ev });
+    }
+
+    fn live_count(&self) -> usize {
+        self.shards.iter().filter(|s| !s.is_crashed()).count()
+    }
+
+    /// The admission guard's backlog ceiling (service units).
+    fn backlog_limit_units(&self) -> f64 {
+        self.cfg.shed_backlog_factor * self.cfg.shard.equal_share_capacity_units()
+    }
+
+    /// Picks a live server for a job, or `None` when the whole fleet is
+    /// down or the overload guard rejects (only with `q_min > 0`).
+    fn route(&mut self, _job: &Job) -> Option<usize> {
+        let live: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| !self.shards[i].is_crashed())
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let chosen = match self.cfg.routing {
+            RoutingPolicy::RoundRobin => loop {
+                let c = self.rr_cursor % self.shards.len();
+                self.rr_cursor += 1;
+                if !self.shards[c].is_crashed() {
+                    break c;
+                }
+            },
+            RoutingPolicy::JoinShortestQueue => *live
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let ka = (self.shards[a].queue_len(), self.shards[a].load_units());
+                    let kb = (self.shards[b].queue_len(), self.shards[b].load_units());
+                    ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1)).then(a.cmp(&b))
+                })
+                .unwrap_or(&live[0]),
+            RoutingPolicy::PowerOfD(d) => {
+                let draw = self.route_draws;
+                self.route_draws += 1;
+                let mut rng = self.route_rng_root.substream(draw);
+                let mut best = live[rng.next_below(live.len() as u64) as usize];
+                for _ in 1..d.max(1) {
+                    let cand = live[rng.next_below(live.len() as u64) as usize];
+                    let better = self.shards[cand]
+                        .load_units()
+                        .total_cmp(&self.shards[best].load_units())
+                        .then(cand.cmp(&best))
+                        == Ordering::Less;
+                    if better {
+                        best = cand;
+                    }
+                }
+                best
+            }
+            RoutingPolicy::EnergyAware => *live
+                .iter()
+                .min_by(|&&a, &&b| {
+                    // Backlog per allocated watt; an (unlikely) zero-watt
+                    // live server sorts last via +inf.
+                    let ka = self.shards[a].load_units() / self.slices[a].max(f64::MIN_POSITIVE);
+                    let kb = self.shards[b].load_units() / self.slices[b].max(f64::MIN_POSITIVE);
+                    ka.total_cmp(&kb).then(a.cmp(&b))
+                })
+                .unwrap_or(&live[0]),
+        };
+        // Overload guard: only sheds when the shard config carries a
+        // degradation floor; the fault-free default queues everything.
+        if self.cfg.shard.q_min > 0.0 {
+            let limit = self.backlog_limit_units();
+            if self.shards[chosen].load_units() > limit {
+                let fallback = *live
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        self.shards[a]
+                            .load_units()
+                            .total_cmp(&self.shards[b].load_units())
+                            .then(a.cmp(&b))
+                    })
+                    .unwrap_or(&live[0]);
+                if self.shards[fallback].load_units() > limit {
+                    return None;
+                }
+                return Some(fallback);
+            }
+        }
+        Some(chosen)
+    }
+
+    fn shed_job(&mut self, t: SimTime, job: &Job, sink: &mut dyn TraceSink) {
+        self.shed += 1;
+        self.shed_full_sum += self.shards[0].quality_value(job.demand);
+        if let Some(tel) = &self.telemetry {
+            tel.shed.inc();
+        }
+        if sink.is_enabled() {
+            sink.record(&TraceEvent::FleetShed {
+                t: t.as_secs(),
+                job: job.id.index() as u64,
+                demand: job.demand,
+            });
+        }
+    }
+
+    /// Routes one job at time `t`. `allow_loss` is false for failover
+    /// re-dispatches: the job is already inside the system, so only fresh
+    /// router→server sends flip the loss coin.
+    fn dispatch(
+        &mut self,
+        t: SimTime,
+        job: Job,
+        job_idx: usize,
+        attempt: u32,
+        allow_loss: bool,
+        sink: &mut dyn TraceSink,
+    ) {
+        if t >= job.deadline {
+            // Too late to earn any quality; account it honestly as shed.
+            self.shed_job(t, &job, sink);
+            return;
+        }
+        let loss_prob = self.injector.loss_prob();
+        if allow_loss
+            && loss_prob > 0.0
+            && self
+                .schedule
+                .drop_dispatch(job.id.index() as u64, attempt, loss_prob)
+        {
+            let backoff_s = self.cfg.retry_backoff.as_secs() * f64::from(1u32 << attempt.min(20));
+            let next = t + ge_simcore::SimDuration::from_secs(backoff_s);
+            if attempt + 1 > self.cfg.max_retries || next >= job.deadline {
+                // The lost attempt exhausted the retry budget (or the
+                // retry would land past the deadline): shed, not retry.
+                self.shed_job(t, &job, sink);
+            } else {
+                self.retries += 1;
+                if let Some(tel) = &self.telemetry {
+                    tel.retries.inc();
+                }
+                if sink.is_enabled() {
+                    sink.record(&TraceEvent::FleetRetry {
+                        t: t.as_secs(),
+                        job: job.id.index() as u64,
+                        attempt: u64::from(attempt),
+                        next_s: next.as_secs(),
+                    });
+                }
+                self.push(
+                    next,
+                    PRIO_DISPATCH,
+                    FEv::Dispatch {
+                        job: job_idx,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+            return;
+        }
+        match self.route(&job) {
+            Some(server) => {
+                self.dispatched += 1;
+                if let Some(tel) = &self.telemetry {
+                    tel.dispatches.inc();
+                }
+                if sink.is_enabled() {
+                    sink.record(&TraceEvent::FleetDispatch {
+                        t: t.as_secs(),
+                        job: job.id.index() as u64,
+                        shard: server as u64,
+                        attempt: u64::from(attempt),
+                    });
+                }
+                self.shards[server].inject_job(job, t);
+            }
+            None => self.shed_job(t, &job, sink),
+        }
+    }
+
+    /// Recomputes the budget partition and pushes it into the servers.
+    fn realloc(&mut self, t: SimTime, sink: &mut dyn TraceSink) {
+        let n = self.shards.len();
+        let total = self.cfg.total_budget_w();
+        let nominal = total / n as f64;
+        let live: Vec<usize> = (0..n).filter(|&i| !self.shards[i].is_crashed()).collect();
+        let mut slices = vec![0.0f64; n];
+        if live.is_empty() || self.cfg.partitioner == Partitioner::EqualSplit {
+            // Equal split never moves budget — a dead server's slice is
+            // wasted, which is exactly the baseline the repartitioners
+            // are measured against. (An all-dead fleet also parks every
+            // slice in place so the conservation invariant holds.)
+            slices.fill(nominal);
+        } else {
+            // Live servers keep their nominal share — load signals only
+            // steer the *reclaimed* budget, so a momentarily idle server
+            // is never starved below its fault-free slice. Dead servers
+            // surrender theirs to the pool.
+            let pool = total - nominal * live.len() as f64;
+            let beta = self.cfg.shard.power_beta;
+            let weight = |load: f64| match self.cfg.partitioner {
+                Partitioner::ProportionalLoad => load,
+                Partitioner::SumPowerAware => load.powf(beta),
+                Partitioner::EqualSplit => unreachable!("handled above"),
+            };
+            let weights: Vec<f64> = live
+                .iter()
+                .map(|&i| weight(self.shards[i].load_units()))
+                .collect();
+            let wsum: f64 = weights.iter().sum();
+            for (k, &i) in live.iter().enumerate() {
+                let share = if wsum > 0.0 {
+                    weights[k] / wsum
+                } else {
+                    1.0 / live.len() as f64
+                };
+                slices[i] = nominal + pool * share;
+            }
+        }
+        for (i, &slice) in slices.iter().enumerate() {
+            if sink.is_enabled() {
+                sink.record(&TraceEvent::FleetBudget {
+                    t: t.as_secs(),
+                    shard: i as u64,
+                    budget_w: slice,
+                });
+            }
+            if let Some(tel) = &self.telemetry {
+                tel.shard_budget[i].set(slice);
+            }
+            if !self.shards[i].is_crashed() {
+                self.shards[i].set_budget_factor(slice / nominal);
+            }
+        }
+        self.slices = slices;
+        self.budget_epochs += 1;
+        // Chain the next epoch; the final books close at the horizon.
+        let next = t + self.cfg.realloc_every;
+        if next < self.horizon {
+            self.push(next, PRIO_REALLOC, FEv::Realloc);
+        }
+    }
+
+    fn apply_fault(&mut self, t: SimTime, k: usize, sink: &mut dyn TraceSink) {
+        match self.injector.apply(k) {
+            FleetTransition::ServerDown { server } => {
+                if self.shards[server].is_crashed() {
+                    return;
+                }
+                let reclaimed = self.shards[server].crash();
+                if sink.is_enabled() {
+                    sink.record(&TraceEvent::ShardFault {
+                        t: t.as_secs(),
+                        shard: server as u64,
+                        online: false,
+                    });
+                }
+                if let Some(tel) = &self.telemetry {
+                    tel.live_shards.set(self.live_count() as f64);
+                    tel.failovers.add(reclaimed.len() as u64);
+                }
+                self.failovers += reclaimed.len() as u64;
+                for job in reclaimed {
+                    if sink.is_enabled() {
+                        sink.record(&TraceEvent::FleetFailover {
+                            t: t.as_secs(),
+                            job: job.id.index() as u64,
+                            shard: server as u64,
+                        });
+                    }
+                    // Re-route immediately; the job keeps its identity, so
+                    // its latency accounting still starts at its release.
+                    self.dispatch(t, job, usize::MAX, 0, false, sink);
+                }
+            }
+            FleetTransition::ServerUp { server } => {
+                if !self.shards[server].is_crashed() {
+                    return;
+                }
+                self.shards[server].recover();
+                if sink.is_enabled() {
+                    sink.record(&TraceEvent::ShardFault {
+                        t: t.as_secs(),
+                        shard: server as u64,
+                        online: true,
+                    });
+                }
+                if let Some(tel) = &self.telemetry {
+                    tel.live_shards.set(self.live_count() as f64);
+                }
+            }
+            FleetTransition::ServerSpeedFactor { server, factor } => {
+                self.shards[server].set_speed_factor_all(factor);
+            }
+            FleetTransition::DispatchLoss { .. } => {
+                // The injector already holds the new probability; future
+                // dispatch coins observe it.
+            }
+        }
+    }
+}
+
+/// Runs a whole fleet to its horizon and returns the aggregated result.
+///
+/// `shard_faults` carries per-server fault schedules (core loss,
+/// throttling, DVFS error); pass an empty slice for fault-free servers,
+/// otherwise exactly one entry per server. Fleet-level faults (whole-server
+/// crashes, slowdowns, dispatch loss) come from `fleet_faults`. The run is
+/// a pure function of `(cfg, trace, fault schedules)` — bit-identical on
+/// every invocation.
+///
+/// # Panics
+/// Panics if `cfg` is invalid or `shard_faults` is neither empty nor
+/// `cfg.servers` long.
+pub fn run_fleet(
+    cfg: &FleetConfig,
+    trace: &Trace,
+    fleet_faults: &FleetFaultSchedule,
+    shard_faults: &[FaultSchedule],
+    sink: &mut dyn TraceSink,
+) -> FleetResult {
+    cfg.validate();
+    assert!(
+        shard_faults.is_empty() || shard_faults.len() == cfg.servers,
+        "need one per-server fault schedule per server (or none), got {} for {} servers",
+        shard_faults.len(),
+        cfg.servers
+    );
+
+    // Every server runs to the same horizon, stretched so the last
+    // injected job's fate is on the books even after retries.
+    let horizon = if trace.is_empty() {
+        cfg.shard.horizon
+    } else {
+        cfg.shard.horizon.max(trace.last_deadline())
+    };
+    let mut shard_cfg = cfg.shard.clone();
+    shard_cfg.horizon = horizon;
+
+    let shards: Vec<ShardEngine> = (0..cfg.servers)
+        .map(|i| ShardEngine::new(&shard_cfg, &cfg.algorithm, shard_faults.get(i)))
+        .collect();
+    let injector = FleetInjector::new(fleet_faults, cfg.servers);
+    let nominal = cfg.shard.budget_w;
+
+    let telemetry = Telemetry::is_enabled().then(|| FleetTelemetry::new(cfg.servers));
+    if let Some(tel) = &telemetry {
+        tel.live_shards.set(cfg.servers as f64);
+    }
+
+    if sink.is_enabled() {
+        sink.record(&TraceEvent::FleetRunStart {
+            t: 0.0,
+            servers: cfg.servers as u64,
+            cores: cfg.shard.cores as u64,
+            budget_w: cfg.total_budget_w(),
+            policy: cfg.routing.name().to_string(),
+            partitioner: cfg.partitioner.name().to_string(),
+            seed: cfg.seed,
+        });
+    }
+
+    let mut router = Router {
+        cfg,
+        schedule: fleet_faults,
+        shards,
+        injector,
+        horizon,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        rr_cursor: 0,
+        route_rng_root: RngStream::from_root(cfg.seed, "fleet/route"),
+        route_draws: 0,
+        slices: vec![nominal; cfg.servers],
+        shed_full_sum: 0.0,
+        dispatched: 0,
+        failovers: 0,
+        retries: 0,
+        shed: 0,
+        budget_epochs: 0,
+        telemetry,
+    };
+
+    for (k, tr) in router.injector.transitions().to_vec().iter().enumerate() {
+        if tr.at <= horizon {
+            router.push(tr.at, PRIO_FAULT, FEv::Fault(k));
+        }
+    }
+    router.push(SimTime::ZERO, PRIO_REALLOC, FEv::Realloc);
+    for (j, job) in trace.jobs().iter().enumerate() {
+        router.push(
+            job.release,
+            PRIO_DISPATCH,
+            FEv::Dispatch { job: j, attempt: 0 },
+        );
+    }
+
+    while let Some(entry) = router.heap.pop() {
+        let t = entry.at.min(horizon);
+        for s in &mut router.shards {
+            s.advance_to(t);
+        }
+        match entry.ev {
+            FEv::Fault(k) => router.apply_fault(t, k, sink),
+            FEv::Realloc => router.realloc(t, sink),
+            FEv::Dispatch { job, attempt } => {
+                let j = trace.jobs()[job];
+                router.dispatch(t, j, job, attempt, true, sink);
+            }
+        }
+    }
+    for s in &mut router.shards {
+        s.advance_to(horizon);
+    }
+
+    let outcomes: Vec<_> = router
+        .shards
+        .into_iter()
+        .map(ShardEngine::finalize)
+        .collect();
+    let achieved: f64 = outcomes.iter().map(|o| o.achieved_sum).sum();
+    let full: f64 = outcomes.iter().map(|o| o.full_sum).sum::<f64>() + router.shed_full_sum;
+    let quality = if full > 0.0 { achieved / full } else { 1.0 };
+    let energy_j: f64 = outcomes.iter().map(|o| o.result.energy_j).sum();
+
+    if sink.is_enabled() {
+        sink.record(&TraceEvent::FleetSummary {
+            t: horizon.as_secs(),
+            dispatched: router.dispatched,
+            failovers: router.failovers,
+            retries: router.retries,
+            shed: router.shed,
+            energy_j,
+            quality,
+        });
+    }
+
+    FleetResult {
+        algorithm: cfg.algorithm.label().to_string(),
+        quality,
+        energy_j,
+        jobs_total: trace.len() as u64,
+        jobs_finished: outcomes.iter().map(|o| o.result.jobs_finished).sum(),
+        jobs_discarded: outcomes.iter().map(|o| o.result.jobs_discarded).sum(),
+        jobs_shed_shards: outcomes.iter().map(|o| o.result.jobs_shed).sum(),
+        jobs_shed_router: router.shed,
+        dispatches: router.dispatched,
+        failovers: router.failovers,
+        retries: router.retries,
+        budget_epochs: router.budget_epochs,
+        shards: outcomes.into_iter().map(|o| o.result).collect(),
+    }
+}

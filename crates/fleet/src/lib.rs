@@ -1,0 +1,256 @@
+//! # ge-fleet — fault-tolerant fleet simulation
+//!
+//! Scales the single-server GE reproduction to a fleet: a deterministic
+//! request router dispatches jobs across `N` independent server engines
+//! while an online partitioner re-divides the global power budget `H`
+//! between them, and fleet-level fault injection (whole-server crashes,
+//! degraded servers, lossy dispatch) exercises graceful degradation.
+//!
+//! * [`config`] — [`FleetConfig`] plus the [`RoutingPolicy`] (round-robin,
+//!   join-shortest-queue, power-of-d, energy-aware) and [`Partitioner`]
+//!   (equal-split baseline, proportional-load, sum-power-aware) menus.
+//! * [`driver`] — [`run_fleet`]: one event heap interleaving fault
+//!   transitions, budget epochs, and dispatches; every server advances in
+//!   lockstep, so the per-server engines behave bit-identically to
+//!   standalone runs and the whole fleet is reproducible from one seed.
+//!
+//! Degradation is explicit, never silent: a crashed server's
+//! queued-unstarted jobs fail over to survivors (in-flight work keeps
+//! partial credit via the orphan path), lost dispatches retry with
+//! bounded exponential backoff, and jobs the fleet cannot serve within
+//! the quality floor are shed with full accounting — they appear in the
+//! trace, the telemetry counters, and the fleet quality denominator.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod driver;
+
+pub use config::{FleetConfig, Partitioner, RoutingPolicy};
+pub use driver::{run_fleet, FleetResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_core::SimConfig;
+    use ge_faults::{FleetFaultSchedule, FleetScenario, FleetScenarioKind, ServerOutage};
+    use ge_simcore::{RngStream, SimDuration, SimTime};
+    use ge_trace::{replay_fleet, NullSink, VecSink};
+    use ge_workload::{Job, JobId, Trace};
+
+    fn shard_cfg(horizon_s: f64) -> SimConfig {
+        SimConfig {
+            cores: 4,
+            budget_w: 80.0,
+            horizon: SimTime::from_secs(horizon_s),
+            critical_load_rps: 154.0 / 4.0,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    /// A deterministic Poisson-ish workload: `n` jobs over `span_s`
+    /// seconds with jittered inter-arrivals and demands.
+    fn workload(n: usize, span_s: f64, seed: u64) -> Trace {
+        let mut rng = RngStream::from_root(seed, "fleet-test/workload");
+        let mut jobs = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = span_s * i as f64 / n as f64 + 0.01 * rng.uniform01();
+            let demand = 300.0 + 600.0 * rng.uniform01();
+            let release = SimTime::from_secs(r);
+            jobs.push(
+                Job::new(
+                    JobId(i as u64),
+                    release,
+                    release + SimDuration::from_millis(500.0),
+                    demand,
+                )
+                .with_estimate(demand),
+            );
+        }
+        Trace::new(jobs)
+    }
+
+    fn base_cfg(servers: usize, horizon_s: f64) -> FleetConfig {
+        let mut cfg = FleetConfig::new(servers, shard_cfg(horizon_s));
+        cfg.seed = 42;
+        cfg
+    }
+
+    #[test]
+    fn fault_free_fleet_serves_everything() {
+        let cfg = base_cfg(3, 10.0);
+        let trace = workload(120, 8.0, 7);
+        let r = run_fleet(
+            &cfg,
+            &trace,
+            &FleetFaultSchedule::new(42),
+            &[],
+            &mut NullSink,
+        );
+        assert_eq!(r.jobs_total, 120);
+        assert_eq!(r.dispatches, 120);
+        assert_eq!(r.jobs_finished, 120);
+        assert_eq!(r.failovers + r.retries + r.jobs_shed_router, 0);
+        assert!(r.quality > 0.8, "quality {}", r.quality);
+        assert!(r.energy_j > 0.0);
+        assert_eq!(r.shards.len(), 3);
+    }
+
+    #[test]
+    fn every_routing_policy_is_deterministic() {
+        for policy in RoutingPolicy::ALL {
+            let mut cfg = base_cfg(4, 10.0);
+            cfg.routing = policy;
+            let trace = workload(150, 8.0, 9);
+            let faults = FleetFaultSchedule::new(cfg.seed).with_server_outage(ServerOutage {
+                server: 1,
+                start: SimTime::from_secs(3.0),
+                end: Some(SimTime::from_secs(7.0)),
+            });
+            let run = || run_fleet(&cfg, &trace, &faults, &[], &mut NullSink);
+            let (a, b) = (run(), run());
+            assert_eq!(
+                a.quality.to_bits(),
+                b.quality.to_bits(),
+                "{} quality drifted",
+                policy.name()
+            );
+            assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+            assert_eq!(a.dispatches, b.dispatches);
+            assert_eq!(a.failovers, b.failovers);
+        }
+    }
+
+    #[test]
+    fn crash_fails_over_without_losing_jobs() {
+        let mut cfg = base_cfg(3, 12.0);
+        cfg.shard.q_min = 0.80;
+        let trace = workload(200, 9.0, 11);
+        let faults = FleetFaultSchedule::new(cfg.seed).with_server_outage(ServerOutage {
+            server: 0,
+            start: SimTime::from_secs(3.0),
+            end: None,
+        });
+        let mut sink = VecSink::new();
+        let r = run_fleet(&cfg, &trace, &faults, &[], &mut sink);
+        // Conservation: every offered job is finished somewhere, held as a
+        // partial-credit orphan (counted finished at close), or explicitly
+        // shed — by the router or a shard's admission control.
+        assert_eq!(
+            r.jobs_finished + r.jobs_shed_router,
+            r.jobs_total,
+            "jobs leaked: {r:?}"
+        );
+        // The trace-level invariant checker agrees nothing was lost.
+        let report = replay_fleet(sink.events()).expect("structurally valid fleet trace");
+        assert!(report.is_ok(), "replay issues: {:?}", report.issues);
+    }
+
+    #[test]
+    fn repartitioning_beats_equal_split_under_crash() {
+        // One server dies mid-run and never returns. At equal global
+        // budget, giving the dead server's slice to the survivors must
+        // strictly improve delivered quality over parking it.
+        let trace = workload(260, 10.0, 13);
+        let faults = |seed| {
+            FleetFaultSchedule::new(seed).with_server_outage(ServerOutage {
+                server: 2,
+                start: SimTime::from_secs(2.0),
+                end: None,
+            })
+        };
+        let run = |partitioner| {
+            let mut cfg = base_cfg(3, 13.0);
+            cfg.partitioner = partitioner;
+            run_fleet(&cfg, &trace, &faults(cfg.seed), &[], &mut NullSink)
+        };
+        let equal = run(Partitioner::EqualSplit);
+        let prop = run(Partitioner::ProportionalLoad);
+        let sumpow = run(Partitioner::SumPowerAware);
+        assert!(
+            prop.quality > equal.quality,
+            "prop {} !> equal {}",
+            prop.quality,
+            equal.quality
+        );
+        assert!(
+            sumpow.quality > equal.quality,
+            "sumpow {} !> equal {}",
+            sumpow.quality,
+            equal.quality
+        );
+    }
+
+    #[test]
+    fn dispatch_loss_retries_and_bounds() {
+        let mut cfg = base_cfg(2, 10.0);
+        cfg.max_retries = 2;
+        let trace = workload(80, 6.0, 17);
+        let mut scenario_faults = FleetFaultSchedule::new(cfg.seed);
+        scenario_faults = scenario_faults.with_dispatch_loss(ge_faults::DispatchLossWindow {
+            start: SimTime::from_secs(0.0),
+            end: SimTime::from_secs(6.5),
+            drop_prob: 0.5,
+        });
+        let mut sink = VecSink::new();
+        let r = run_fleet(&cfg, &trace, &scenario_faults, &[], &mut sink);
+        assert!(r.retries > 0, "a 50% loss window must cost retries");
+        // Every job is either dispatched eventually or explicitly shed.
+        assert_eq!(r.jobs_finished + r.jobs_shed_router, r.jobs_total);
+        let report = replay_fleet(sink.events()).expect("valid trace");
+        assert!(report.is_ok(), "replay issues: {:?}", report.issues);
+        assert_eq!(report.retries, r.retries);
+    }
+
+    #[test]
+    fn built_scenarios_produce_checkable_traces() {
+        for kind in [
+            FleetScenarioKind::ServerCrash,
+            FleetScenarioKind::ServerSlow,
+            FleetScenarioKind::DispatchLoss,
+            FleetScenarioKind::FleetCombined,
+        ] {
+            let cfg = base_cfg(3, 10.0);
+            let (fleet_faults, shard_faults) = FleetScenario::new(kind, 0.75).build(
+                cfg.servers,
+                cfg.shard.cores,
+                SimTime::from_secs(10.0),
+                cfg.seed,
+            );
+            let trace = workload(100, 8.0, 19);
+            let mut sink = VecSink::new();
+            let r = run_fleet(&cfg, &trace, &fleet_faults, &shard_faults, &mut sink);
+            assert!(r.energy_j > 0.0, "{}: no energy?", kind.name());
+            let report =
+                replay_fleet(sink.events()).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert!(report.is_ok(), "{}: {:?}", kind.name(), report.issues);
+        }
+    }
+
+    #[test]
+    fn budget_slices_always_sum_to_h() {
+        let mut cfg = base_cfg(4, 10.0);
+        cfg.partitioner = Partitioner::SumPowerAware;
+        let trace = workload(120, 8.0, 23);
+        let faults = FleetFaultSchedule::new(cfg.seed).with_server_outage(ServerOutage {
+            server: 3,
+            start: SimTime::from_secs(2.0),
+            end: Some(SimTime::from_secs(6.0)),
+        });
+        let mut sink = VecSink::new();
+        let r = run_fleet(&cfg, &trace, &faults, &[], &mut sink);
+        assert!(r.budget_epochs >= 9, "epochs {}", r.budget_epochs);
+        let h = cfg.total_budget_w();
+        let mut per_t: std::collections::BTreeMap<u64, f64> = Default::default();
+        for ev in sink.events() {
+            if let ge_trace::TraceEvent::FleetBudget { t, budget_w, .. } = ev {
+                *per_t.entry(t.to_bits()).or_insert(0.0) += budget_w;
+            }
+        }
+        assert_eq!(per_t.len() as u64, r.budget_epochs);
+        for (_, sum) in per_t {
+            assert!((sum - h).abs() < 1e-6 * h, "slices sum {sum} != H {h}");
+        }
+    }
+}

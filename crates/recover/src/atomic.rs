@@ -29,33 +29,52 @@ fn temp_path_for(path: &Path) -> PathBuf {
     }
 }
 
+/// Removes the temp file on drop unless defused after a successful
+/// rename, so cleanup survives early `?` returns *and* panics anywhere in
+/// the write path — a leaked `.tmp` would otherwise sit next to the
+/// artifact until something sweeps the directory.
+struct TempGuard<'a> {
+    path: &'a Path,
+    armed: bool,
+}
+
+impl Drop for TempGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = fs::remove_file(self.path);
+        }
+    }
+}
+
 /// Writes `bytes` to `path` atomically.
 ///
 /// The temp file lives in the same directory as `path` so the final rename
 /// stays within one filesystem (rename is only atomic within a mount).
 /// The file is fsynced before the rename; the directory fsync afterwards is
 /// best-effort (some platforms/filesystems reject directory handles).
+/// Whatever fails after the temp file exists — a full disk at write or
+/// sync time, a rename refused because the target is a directory, or a
+/// panic — the temp file is removed before the error propagates.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let tmp = temp_path_for(path);
-    let result = (|| {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-        drop(f);
-        fs::rename(&tmp, path)?;
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                if let Ok(d) = fs::File::open(dir) {
-                    let _ = d.sync_all();
-                }
+    let mut f = fs::File::create(&tmp)?;
+    let mut guard = TempGuard {
+        path: &tmp,
+        armed: true,
+    };
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path)?;
+    guard.armed = false;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
             }
         }
-        Ok(())
-    })();
-    if result.is_err() {
-        let _ = fs::remove_file(&tmp);
     }
-    result
+    Ok(())
 }
 
 /// Writes a UTF-8 string to `path` atomically. Convenience wrapper over
@@ -119,6 +138,29 @@ mod tests {
         // Target inside a nonexistent subdirectory: File::create fails.
         let path = dir.join("missing-subdir").join("out.txt");
         assert!(write_atomic(&path, b"x").is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_after_temp_creation_removes_temp() {
+        // The temp file is created and written successfully; only the
+        // final rename fails (the target path is a directory). The temp
+        // file must not be leaked next to it. Run it a few times so a
+        // leak can't hide behind the per-write temp name.
+        let dir = temp_dir();
+        let target = dir.join("occupied");
+        fs::create_dir(&target).unwrap();
+        for _ in 0..3 {
+            assert!(write_atomic(&target, b"payload").is_err());
+        }
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        // The failing writes must not have clobbered the target either.
+        assert!(target.is_dir());
         fs::remove_dir_all(&dir).ok();
     }
 }

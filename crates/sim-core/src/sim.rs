@@ -270,7 +270,7 @@ mod tests {
     fn snapshot_restore_preserves_order_and_seq() {
         let mut sim: Simulator<u32> = Simulator::new();
         for i in 0..6 {
-            sim.schedule(SimTime::from_secs(1.0 + (i % 3) as f64), (i % 2) as u32, i);
+            sim.schedule(SimTime::from_secs(1.0 + (i % 3) as f64), i % 2, i);
         }
         let mut straight = Vec::new();
         let mut reference = Simulator::restore(

@@ -92,9 +92,10 @@ impl Drop for MetricsServer {
 }
 
 /// Reads one request head, answers `GET /metrics` with exposition text
-/// (404 elsewhere), and closes. Served scrapes bump `scrapes` *before*
-/// the response goes out, so a client that has read the body observes
-/// the updated count.
+/// (400 for a request line that is not `METHOD PATH HTTP/x`, 404 for any
+/// other target), and closes. Served scrapes bump `scrapes` *before* the
+/// response goes out, so a client that has read the body observes the
+/// updated count.
 fn serve_one(mut stream: TcpStream, registry: &Registry, scrapes: &AtomicU64) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
@@ -108,8 +109,21 @@ fn serve_one(mut stream: TcpStream, registry: &Registry, scrapes: &AtomicU64) ->
         head.extend_from_slice(&buf[..n]);
     }
     let request = String::from_utf8_lossy(&head);
-    let path = request.split_whitespace().nth(1).unwrap_or("");
-    if !request.starts_with("GET ") || !(path == "/metrics" || path.starts_with("/metrics?")) {
+    let line = request.split("\r\n").next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/") {
+        let body = "malformed request line\n";
+        let resp = format!(
+            "HTTP/1.1 400 Bad Request\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(resp.as_bytes())?;
+        return Ok(());
+    }
+    if method != "GET" || !(path == "/metrics" || path.starts_with("/metrics?")) {
         let body = "not found; scrape /metrics\n";
         let resp = format!(
             "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -194,6 +208,78 @@ mod tests {
         stream.read_to_string(&mut raw).expect("read");
         assert!(raw.starts_with("HTTP/1.1 404"));
         assert_eq!(server.scrapes(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_line_is_a_400() {
+        let server = MetricsServer::bind_registry("127.0.0.1:0", test_registry()).expect("bind");
+        let addr = server.local_addr();
+        // Garbage with no METHOD PATH HTTP/x structure at all, and a
+        // request line missing its HTTP version: both are 400s, and
+        // neither counts as a served scrape.
+        for req in [&b"garbage\r\n\r\n"[..], &b"GET /metrics\r\n\r\n"[..]] {
+            let mut stream =
+                TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+            stream.write_all(req).expect("write");
+            let mut raw = String::new();
+            stream.read_to_string(&mut raw).expect("read");
+            assert!(raw.starts_with("HTTP/1.1 400"), "got: {raw}");
+        }
+        assert_eq!(server.scrapes(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn scrape_survives_histogram_with_only_dropped_samples() {
+        let registry = test_registry();
+        let h = registry.histogram("ge_test_only_dropped_seconds");
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        let server = MetricsServer::bind_registry("127.0.0.1:0", registry).expect("bind");
+        let body = scrape_text(&server.local_addr().to_string()).expect("scrape");
+        // No finite sample was ever recorded: count/sum stay zero, the
+        // +Inf bucket is still synthesized, and the dropped counter
+        // accounts for both rejected observations.
+        assert!(body.contains("ge_test_only_dropped_seconds_count 0"));
+        assert!(body.contains("ge_test_only_dropped_seconds_sum 0"));
+        assert!(body.contains("ge_test_only_dropped_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(body.contains("ge_test_only_dropped_seconds_dropped 2"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_scrapes_during_updates_stay_consistent() {
+        let registry = test_registry();
+        let counter = registry.counter("ge_test_concurrent_total");
+        let server = MetricsServer::bind_registry("127.0.0.1:0", registry).expect("bind");
+        let addr = server.local_addr().to_string();
+        const ROUNDS: u64 = 2000;
+        let writer = std::thread::spawn(move || {
+            let hist = test_registry().histogram("ge_test_concurrent_seconds");
+            for i in 0..ROUNDS {
+                counter.add(1);
+                hist.observe(i as f64 * 1e-4);
+            }
+        });
+        // Scrape while the writer is mutating the registry: every response
+        // must parse, and the counter must never move backwards.
+        let mut last = 0u64;
+        for _ in 0..10 {
+            let body = scrape_text(&addr).expect("scrape");
+            let seen = body
+                .lines()
+                .find_map(|l| l.strip_prefix("ge_test_concurrent_total "))
+                .map(|v| v.trim().parse::<u64>().expect("counter parses"))
+                .unwrap_or(0);
+            assert!(seen >= last, "counter went backwards: {seen} < {last}");
+            assert!(seen <= ROUNDS);
+            last = seen;
+        }
+        writer.join().expect("writer");
+        let body = scrape_text(&addr).expect("final scrape");
+        assert!(body.contains(&format!("ge_test_concurrent_total {ROUNDS}")));
+        assert!(body.contains(&format!("ge_test_concurrent_seconds_count {ROUNDS}")));
         server.shutdown();
     }
 

@@ -333,6 +333,102 @@ pub enum TraceEvent {
         /// Projected batch quality that triggered the shed.
         projected_quality: f64,
     },
+    /// Fleet run configuration, emitted once before any other fleet
+    /// event (`ge-fleet` traces only).
+    FleetRunStart {
+        /// Simulation time of the run start (always `0.0`).
+        t: f64,
+        /// Number of servers behind the router.
+        servers: u64,
+        /// Cores per server.
+        cores: u64,
+        /// Global power budget `H` split across servers (watts).
+        budget_w: f64,
+        /// Routing policy wire name (e.g. `"jsq"`).
+        policy: String,
+        /// Budget partitioner wire name (e.g. `"prop"`).
+        partitioner: String,
+        /// Root seed driving routing and dispatch-loss coins.
+        seed: u64,
+    },
+    /// A whole server crashed or recovered (fleet fault injection).
+    ShardFault {
+        /// Event time in seconds.
+        t: f64,
+        /// Server (shard) index.
+        shard: u64,
+        /// `true` = the server just rejoined, `false` = it just crashed.
+        online: bool,
+    },
+    /// The router handed a job to a server.
+    FleetDispatch {
+        /// Event time in seconds.
+        t: f64,
+        /// Job identifier.
+        job: u64,
+        /// Destination server index.
+        shard: u64,
+        /// Dispatch attempt (0 = first try).
+        attempt: u64,
+    },
+    /// A dispatch attempt was lost; a bounded retry was scheduled.
+    FleetRetry {
+        /// Event time of the lost attempt in seconds.
+        t: f64,
+        /// Job identifier.
+        job: u64,
+        /// The attempt that was lost (the retry will be `attempt + 1`).
+        attempt: u64,
+        /// When the retry fires, in seconds.
+        next_s: f64,
+    },
+    /// A dead server's queued-unstarted job was reclaimed for re-routing.
+    FleetFailover {
+        /// Event time (the crash instant) in seconds.
+        t: f64,
+        /// Job identifier.
+        job: u64,
+        /// The server the job was reclaimed from.
+        shard: u64,
+    },
+    /// The router shed a job (no live server could take it within the
+    /// quality floor, or its retry budget ran out).
+    FleetShed {
+        /// Event time in seconds.
+        t: f64,
+        /// Job identifier.
+        job: u64,
+        /// The job's full demand (work units).
+        demand: f64,
+    },
+    /// One server's slice of a budget reallocation epoch. Emitted for
+    /// every server at each epoch; slices at one timestamp sum to the
+    /// global budget `H`.
+    FleetBudget {
+        /// Event time in seconds.
+        t: f64,
+        /// Server index.
+        shard: u64,
+        /// The server's allocated budget `H_i` (watts).
+        budget_w: f64,
+    },
+    /// Final fleet aggregates, emitted once after all other fleet events.
+    FleetSummary {
+        /// Horizon time in seconds.
+        t: f64,
+        /// Successful router→server dispatches.
+        dispatched: u64,
+        /// Jobs reclaimed from dead servers.
+        failovers: u64,
+        /// Dispatch attempts lost and retried.
+        retries: u64,
+        /// Jobs the router shed.
+        shed: u64,
+        /// Total energy across all servers (joules).
+        energy_j: f64,
+        /// Fleet-wide delivered quality.
+        quality: f64,
+    },
     /// Final reported aggregates, emitted once after all other events.
     RunSummary {
         /// Horizon time in seconds.
@@ -374,6 +470,14 @@ impl TraceEvent {
             | TraceEvent::DvfsDeviation { t, .. }
             | TraceEvent::DemandMisestimate { t, .. }
             | TraceEvent::JobShed { t, .. }
+            | TraceEvent::FleetRunStart { t, .. }
+            | TraceEvent::ShardFault { t, .. }
+            | TraceEvent::FleetDispatch { t, .. }
+            | TraceEvent::FleetRetry { t, .. }
+            | TraceEvent::FleetFailover { t, .. }
+            | TraceEvent::FleetShed { t, .. }
+            | TraceEvent::FleetBudget { t, .. }
+            | TraceEvent::FleetSummary { t, .. }
             | TraceEvent::RunSummary { t, .. } => *t,
         }
     }
@@ -401,6 +505,14 @@ impl TraceEvent {
             TraceEvent::DvfsDeviation { .. } => "dvfs_deviation",
             TraceEvent::DemandMisestimate { .. } => "demand_misestimate",
             TraceEvent::JobShed { .. } => "job_shed",
+            TraceEvent::FleetRunStart { .. } => "fleet_run_start",
+            TraceEvent::ShardFault { .. } => "shard_fault",
+            TraceEvent::FleetDispatch { .. } => "fleet_dispatch",
+            TraceEvent::FleetRetry { .. } => "fleet_retry",
+            TraceEvent::FleetFailover { .. } => "fleet_failover",
+            TraceEvent::FleetShed { .. } => "fleet_shed",
+            TraceEvent::FleetBudget { .. } => "fleet_budget",
+            TraceEvent::FleetSummary { .. } => "fleet_summary",
             TraceEvent::RunSummary { .. } => "run_summary",
         }
     }
@@ -419,6 +531,7 @@ impl TraceEvent {
                 | TraceEvent::ExecSlice { .. }
                 | TraceEvent::JobFinish { .. }
                 | TraceEvent::DemandMisestimate { .. }
+                | TraceEvent::FleetDispatch { .. }
         )
     }
 }

@@ -289,6 +289,76 @@ fn fields(ev: &TraceEvent) -> Vec<(&'static str, Field)> {
             ("full_demand", F(*full_demand)),
             ("projected_quality", F(*projected_quality)),
         ],
+        TraceEvent::FleetRunStart {
+            t,
+            servers,
+            cores,
+            budget_w,
+            policy,
+            partitioner,
+            seed,
+        } => vec![
+            ("t", F(*t)),
+            ("servers", U(*servers)),
+            ("cores", U(*cores)),
+            ("budget_w", F(*budget_w)),
+            ("policy", S(policy.clone())),
+            ("partitioner", S(partitioner.clone())),
+            ("seed", U(*seed)),
+        ],
+        TraceEvent::ShardFault { t, shard, online } => {
+            vec![("t", F(*t)), ("shard", U(*shard)), ("online", B(*online))]
+        }
+        TraceEvent::FleetDispatch {
+            t,
+            job,
+            shard,
+            attempt,
+        } => vec![
+            ("t", F(*t)),
+            ("job", U(*job)),
+            ("shard", U(*shard)),
+            ("attempt", U(*attempt)),
+        ],
+        TraceEvent::FleetRetry {
+            t,
+            job,
+            attempt,
+            next_s,
+        } => vec![
+            ("t", F(*t)),
+            ("job", U(*job)),
+            ("attempt", U(*attempt)),
+            ("next_s", F(*next_s)),
+        ],
+        TraceEvent::FleetFailover { t, job, shard } => {
+            vec![("t", F(*t)), ("job", U(*job)), ("shard", U(*shard))]
+        }
+        TraceEvent::FleetShed { t, job, demand } => {
+            vec![("t", F(*t)), ("job", U(*job)), ("demand", F(*demand))]
+        }
+        TraceEvent::FleetBudget { t, shard, budget_w } => vec![
+            ("t", F(*t)),
+            ("shard", U(*shard)),
+            ("budget_w", F(*budget_w)),
+        ],
+        TraceEvent::FleetSummary {
+            t,
+            dispatched,
+            failovers,
+            retries,
+            shed,
+            energy_j,
+            quality,
+        } => vec![
+            ("t", F(*t)),
+            ("dispatched", U(*dispatched)),
+            ("failovers", U(*failovers)),
+            ("retries", U(*retries)),
+            ("shed", U(*shed)),
+            ("energy_j", F(*energy_j)),
+            ("quality", F(*quality)),
+        ],
         TraceEvent::RunSummary {
             t,
             energy_j,
@@ -700,6 +770,56 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, ParseError> {
             full_demand: f.f64("full_demand")?,
             projected_quality: f.f64("projected_quality")?,
         },
+        "fleet_run_start" => TraceEvent::FleetRunStart {
+            t: f.f64("t")?,
+            servers: f.u64("servers")?,
+            cores: f.u64("cores")?,
+            budget_w: f.f64("budget_w")?,
+            policy: f.str("policy")?.to_string(),
+            partitioner: f.str("partitioner")?.to_string(),
+            seed: f.u64("seed")?,
+        },
+        "shard_fault" => TraceEvent::ShardFault {
+            t: f.f64("t")?,
+            shard: f.u64("shard")?,
+            online: f.bool("online")?,
+        },
+        "fleet_dispatch" => TraceEvent::FleetDispatch {
+            t: f.f64("t")?,
+            job: f.u64("job")?,
+            shard: f.u64("shard")?,
+            attempt: f.u64("attempt")?,
+        },
+        "fleet_retry" => TraceEvent::FleetRetry {
+            t: f.f64("t")?,
+            job: f.u64("job")?,
+            attempt: f.u64("attempt")?,
+            next_s: f.f64("next_s")?,
+        },
+        "fleet_failover" => TraceEvent::FleetFailover {
+            t: f.f64("t")?,
+            job: f.u64("job")?,
+            shard: f.u64("shard")?,
+        },
+        "fleet_shed" => TraceEvent::FleetShed {
+            t: f.f64("t")?,
+            job: f.u64("job")?,
+            demand: f.f64("demand")?,
+        },
+        "fleet_budget" => TraceEvent::FleetBudget {
+            t: f.f64("t")?,
+            shard: f.u64("shard")?,
+            budget_w: f.f64("budget_w")?,
+        },
+        "fleet_summary" => TraceEvent::FleetSummary {
+            t: f.f64("t")?,
+            dispatched: f.u64("dispatched")?,
+            failovers: f.u64("failovers")?,
+            retries: f.u64("retries")?,
+            shed: f.u64("shed")?,
+            energy_j: f.f64("energy_j")?,
+            quality: f.f64("quality")?,
+        },
         "run_summary" => TraceEvent::RunSummary {
             t: f.f64("t")?,
             energy_j: f.f64("energy_j")?,
@@ -804,6 +924,15 @@ const CSV_COLUMNS: &[&str] = &[
     "budget_w_effective",
     "estimate",
     "projected_quality",
+    "servers",
+    "partitioner",
+    "shard",
+    "attempt",
+    "next_s",
+    "dispatched",
+    "failovers",
+    "retries",
+    "shed",
     "schema",
     "seed",
     "config_digest",
@@ -982,6 +1111,56 @@ mod tests {
                 estimate: 512.0,
                 full_demand: 530.25,
                 projected_quality: 0.712_345_678_9,
+            },
+            TraceEvent::FleetRunStart {
+                t: 15.0,
+                servers: 4,
+                cores: 8,
+                budget_w: 640.0,
+                policy: "jsq".to_string(),
+                partitioner: "prop".to_string(),
+                seed: 77,
+            },
+            TraceEvent::ShardFault {
+                t: 15.5,
+                shard: 2,
+                online: false,
+            },
+            TraceEvent::FleetFailover {
+                t: 15.5,
+                job: 51,
+                shard: 2,
+            },
+            TraceEvent::FleetDispatch {
+                t: 15.5,
+                job: 51,
+                shard: 1,
+                attempt: 0,
+            },
+            TraceEvent::FleetRetry {
+                t: 15.75,
+                job: 52,
+                attempt: 0,
+                next_s: 15.8,
+            },
+            TraceEvent::FleetShed {
+                t: 15.9,
+                job: 53,
+                demand: 812.25,
+            },
+            TraceEvent::FleetBudget {
+                t: 16.0,
+                shard: 1,
+                budget_w: 213.333_333_333_3,
+            },
+            TraceEvent::FleetSummary {
+                t: 59.0,
+                dispatched: 4021,
+                failovers: 13,
+                retries: 5,
+                shed: 9,
+                energy_j: 4_813.217,
+                quality: 0.9017,
             },
             TraceEvent::RunSummary {
                 t: 60.0,

@@ -38,5 +38,7 @@ pub use export::{
     ParseError,
 };
 pub use registry::{HistogramSummary, MetricsRegistry, Snapshot};
-pub use replay::{replay, strip_header, ReplayError, ReplayReport, TRACE_SCHEMA};
+pub use replay::{
+    replay, replay_fleet, strip_header, FleetReplayReport, ReplayError, ReplayReport, TRACE_SCHEMA,
+};
 pub use sink::{NullSink, RingSink, TraceSink, VecSink};

@@ -39,6 +39,10 @@ pub enum ReplayError {
     MissingRunStart,
     /// No `run_summary` event was found.
     MissingRunSummary,
+    /// The first event of a fleet trace was not `fleet_run_start`.
+    MissingFleetRunStart,
+    /// No `fleet_summary` event was found.
+    MissingFleetSummary,
 }
 
 impl std::fmt::Display for ReplayError {
@@ -51,6 +55,12 @@ impl std::fmt::Display for ReplayError {
             }
             ReplayError::MissingRunSummary => {
                 write!(f, "trace has no run_summary event")
+            }
+            ReplayError::MissingFleetRunStart => {
+                write!(f, "fleet trace does not begin with a fleet_run_start event")
+            }
+            ReplayError::MissingFleetSummary => {
+                write!(f, "fleet trace has no fleet_summary event")
             }
         }
     }
@@ -420,6 +430,305 @@ pub fn replay(events: &[TraceEvent]) -> Result<ReplayReport, ReplayError> {
     })
 }
 
+/// Tolerance for the relative budget-conservation check: each budget
+/// reallocation epoch's slices must sum to the global budget `H`.
+pub const BUDGET_REL_TOL: f64 = 1e-6;
+
+/// Outcome of replaying a fleet trace and cross-checking its invariants.
+#[derive(Debug, Clone)]
+pub struct FleetReplayReport {
+    /// Total events replayed (header excluded).
+    pub events: usize,
+    /// Servers declared by `fleet_run_start`.
+    pub servers: usize,
+    /// Successful dispatches counted from `fleet_dispatch` events.
+    pub dispatched: u64,
+    /// Failovers counted from `fleet_failover` events.
+    pub failovers: u64,
+    /// Lost-and-retried attempts counted from `fleet_retry` events.
+    pub retries: u64,
+    /// Router sheds counted from `fleet_shed` events.
+    pub shed: u64,
+    /// Budget reallocation epochs checked for conservation.
+    pub budget_epochs: usize,
+    /// Every invariant violation found (empty when the trace is clean).
+    pub issues: Vec<String>,
+}
+
+impl FleetReplayReport {
+    /// Whether every invariant held.
+    pub fn is_ok(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// A short human-readable verdict block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "replayed {} fleet events across {} servers\n",
+            self.events, self.servers
+        ));
+        out.push_str(&format!(
+            "routing   {} dispatched, {} failovers, {} retries, {} shed\n",
+            self.dispatched, self.failovers, self.retries, self.shed
+        ));
+        out.push_str(&format!(
+            "budget    {} reallocation epochs conserve H\n",
+            self.budget_epochs
+        ));
+        if self.issues.is_empty() {
+            out.push_str("verdict   OK — all fleet invariants hold\n");
+        } else {
+            for issue in &self.issues {
+                out.push_str(&format!("ISSUE     {issue}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Replays a fleet trace and cross-checks the router's invariants:
+///
+/// * dispatches only target servers that are online at the dispatch
+///   instant (per the `shard_fault` stream),
+/// * failovers are reclaimed only from dead servers, and every reclaimed
+///   or retried job is later re-dispatched or explicitly shed — no job
+///   silently vanishes,
+/// * every budget reallocation epoch covers each server exactly once and
+///   its slices sum to the global budget `H` (dead servers' slices return
+///   to the pool, so the sum is conserved through crashes),
+/// * the `fleet_summary` counts equal the event counts.
+pub fn replay_fleet(events: &[TraceEvent]) -> Result<FleetReplayReport, ReplayError> {
+    if events.is_empty() {
+        return Err(ReplayError::Empty);
+    }
+    let events = strip_header(events)?;
+    if events.is_empty() {
+        return Err(ReplayError::MissingFleetRunStart);
+    }
+    let (servers, budget_w) = match &events[0] {
+        TraceEvent::FleetRunStart {
+            servers, budget_w, ..
+        } => (*servers as usize, *budget_w),
+        _ => return Err(ReplayError::MissingFleetRunStart),
+    };
+
+    let mut issues = Vec::new();
+    if servers == 0 {
+        issues.push("fleet_run_start declares zero servers".to_string());
+    }
+    let mut online = vec![true; servers.max(1)];
+    let mut dispatched = 0u64;
+    let mut failovers = 0u64;
+    let mut retries = 0u64;
+    let mut shed = 0u64;
+    // Jobs reclaimed (failover) or lost (retry) that still owe the trace
+    // a re-dispatch or an explicit shed: job -> index of the owing event.
+    let mut pending: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut shed_jobs: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut summary: Option<(u64, u64, u64, u64, f64, f64)> = None;
+    let mut last_t = f64::NEG_INFINITY;
+
+    // One budget reallocation epoch = the run of fleet_budget events at a
+    // single timestamp. Grouping is by t, so interleaved routing events
+    // at the same instant do not split an epoch.
+    let mut budget_epochs = 0usize;
+    let mut group_t: Option<f64> = None;
+    let mut group: Vec<(u64, f64)> = Vec::new();
+    let close_group = |group: &mut Vec<(u64, f64)>,
+                       group_t: &mut Option<f64>,
+                       budget_epochs: &mut usize,
+                       issues: &mut Vec<String>| {
+        let Some(t) = group_t.take() else {
+            return;
+        };
+        let mut seen = vec![false; servers.max(1)];
+        let mut sum = 0.0;
+        for &(shard, w) in group.iter() {
+            if (shard as usize) >= servers {
+                issues.push(format!("fleet_budget for unknown server {shard} at t={t}"));
+            } else if seen[shard as usize] {
+                issues.push(format!("fleet_budget covers server {shard} twice at t={t}"));
+            } else {
+                seen[shard as usize] = true;
+            }
+            if !w.is_finite() || w < 0.0 {
+                issues.push(format!(
+                    "invalid budget slice {w} W for server {shard} at t={t}"
+                ));
+            }
+            sum += w;
+        }
+        if group.len() != servers {
+            issues.push(format!(
+                "budget epoch at t={t} covers {} of {servers} servers",
+                group.len()
+            ));
+        }
+        let rel = if budget_w.abs() > 0.0 {
+            (sum - budget_w).abs() / budget_w.abs()
+        } else {
+            sum.abs()
+        };
+        if rel > BUDGET_REL_TOL {
+            issues.push(format!(
+                "budget not conserved at t={t}: slices sum to {sum} W, global H is {budget_w} W"
+            ));
+        }
+        group.clear();
+        *budget_epochs += 1;
+    };
+
+    for (i, ev) in events.iter().enumerate() {
+        let t = ev.t();
+        if t + 1e-12 < last_t {
+            issues.push(format!(
+                "event {i} ({}) goes back in time: {t} < {last_t}",
+                ev.kind()
+            ));
+        }
+        last_t = last_t.max(t);
+        if group_t.is_some_and(|gt| gt != t) && !matches!(ev, TraceEvent::FleetBudget { .. }) {
+            close_group(&mut group, &mut group_t, &mut budget_epochs, &mut issues);
+        }
+        match ev {
+            TraceEvent::FleetRunStart { .. } if i != 0 => {
+                issues.push(format!("duplicate fleet_run_start at event {i}"));
+            }
+            TraceEvent::RunMeta { .. } => {
+                issues.push(format!("misplaced run_meta at event {i}"));
+            }
+            TraceEvent::ShardFault {
+                shard, online: up, ..
+            } => {
+                if (*shard as usize) >= servers {
+                    issues.push(format!(
+                        "shard_fault on unknown server {shard} at event {i}"
+                    ));
+                } else if online[*shard as usize] == *up {
+                    issues.push(format!(
+                        "redundant shard_fault at event {i}: server {shard} already {}",
+                        if *up { "online" } else { "offline" }
+                    ));
+                } else {
+                    online[*shard as usize] = *up;
+                }
+            }
+            TraceEvent::FleetDispatch { job, shard, .. } => {
+                dispatched += 1;
+                if (*shard as usize) >= servers {
+                    issues.push(format!("dispatch to unknown server {shard} at event {i}"));
+                } else if !online[*shard as usize] {
+                    issues.push(format!(
+                        "dispatch of job {job} to dead server {shard} at event {i} (t={t})"
+                    ));
+                }
+                pending.remove(job);
+            }
+            TraceEvent::FleetRetry { job, next_s, .. } => {
+                retries += 1;
+                if *next_s + 1e-12 < t {
+                    issues.push(format!("retry at event {i} scheduled in the past"));
+                }
+                pending.entry(*job).or_insert(i);
+            }
+            TraceEvent::FleetFailover { job, shard, .. } => {
+                failovers += 1;
+                if (*shard as usize) >= servers {
+                    issues.push(format!("failover from unknown server {shard} at event {i}"));
+                } else if online[*shard as usize] {
+                    issues.push(format!(
+                        "failover of job {job} from live server {shard} at event {i}"
+                    ));
+                }
+                pending.entry(*job).or_insert(i);
+            }
+            TraceEvent::FleetShed { job, .. } => {
+                shed += 1;
+                pending.remove(job);
+                if let Some(first) = shed_jobs.insert(*job, i) {
+                    issues.push(format!("job {job} shed twice (events {first} and {i})"));
+                }
+            }
+            TraceEvent::FleetBudget {
+                t, shard, budget_w, ..
+            } => {
+                if group_t.is_some_and(|gt| gt != *t) {
+                    close_group(&mut group, &mut group_t, &mut budget_epochs, &mut issues);
+                }
+                group_t = Some(*t);
+                group.push((*shard, *budget_w));
+            }
+            TraceEvent::FleetSummary {
+                dispatched,
+                failovers,
+                retries,
+                shed,
+                energy_j,
+                quality,
+                ..
+            } => {
+                if summary.is_some() {
+                    issues.push(format!("duplicate fleet_summary at event {i}"));
+                }
+                summary = Some((
+                    *dispatched,
+                    *failovers,
+                    *retries,
+                    *shed,
+                    *energy_j,
+                    *quality,
+                ));
+            }
+            _ => {}
+        }
+    }
+    close_group(&mut group, &mut group_t, &mut budget_epochs, &mut issues);
+
+    let (rep_dispatched, rep_failovers, rep_retries, rep_shed, rep_energy, rep_quality) =
+        summary.ok_or(ReplayError::MissingFleetSummary)?;
+    if rep_dispatched != dispatched {
+        issues.push(format!(
+            "summary says {rep_dispatched} dispatches, trace has {dispatched}"
+        ));
+    }
+    if rep_failovers != failovers {
+        issues.push(format!(
+            "summary says {rep_failovers} failovers, trace has {failovers}"
+        ));
+    }
+    if rep_retries != retries {
+        issues.push(format!(
+            "summary says {rep_retries} retries, trace has {retries}"
+        ));
+    }
+    if rep_shed != shed {
+        issues.push(format!("summary says {rep_shed} sheds, trace has {shed}"));
+    }
+    if !rep_energy.is_finite() || rep_energy < 0.0 {
+        issues.push(format!("summary energy {rep_energy} J is invalid"));
+    }
+    if !(0.0..=1.0).contains(&rep_quality) {
+        issues.push(format!("summary quality {rep_quality} out of [0,1]"));
+    }
+    for (&job, &ev_idx) in &pending {
+        issues.push(format!(
+            "job {job} reclaimed/lost at event {ev_idx} but never re-dispatched or shed"
+        ));
+    }
+
+    Ok(FleetReplayReport {
+        events: events.len(),
+        servers,
+        dispatched,
+        failovers,
+        retries,
+        shed,
+        budget_epochs,
+        issues,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -758,5 +1067,180 @@ mod tests {
         events.push(summary_for(&events));
         let report = replay(&events).unwrap();
         assert!(report.issues.iter().any(|m| m.contains("back in time")));
+    }
+
+    // ---- fleet replay -------------------------------------------------
+
+    fn fleet_start(servers: u64, budget_w: f64) -> TraceEvent {
+        TraceEvent::FleetRunStart {
+            t: 0.0,
+            servers,
+            cores: 4,
+            budget_w,
+            policy: "jsq".to_string(),
+            partitioner: "prop".to_string(),
+            seed: 7,
+        }
+    }
+
+    fn budget_epoch(t: f64, slices: &[f64]) -> Vec<TraceEvent> {
+        slices
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| TraceEvent::FleetBudget {
+                t,
+                shard: i as u64,
+                budget_w: w,
+            })
+            .collect()
+    }
+
+    fn dispatch(t: f64, job: u64, shard: u64, attempt: u64) -> TraceEvent {
+        TraceEvent::FleetDispatch {
+            t,
+            job,
+            shard,
+            attempt,
+        }
+    }
+
+    fn fleet_summary(dispatched: u64, failovers: u64, retries: u64, shed: u64) -> TraceEvent {
+        TraceEvent::FleetSummary {
+            t: 10.0,
+            dispatched,
+            failovers,
+            retries,
+            shed,
+            energy_j: 100.0,
+            quality: 0.93,
+        }
+    }
+
+    #[test]
+    fn clean_fleet_trace_passes() {
+        let mut events = vec![fleet_start(3, 240.0)];
+        events.extend(budget_epoch(0.0, &[80.0, 80.0, 80.0]));
+        events.push(dispatch(0.5, 0, 0, 0));
+        events.push(TraceEvent::FleetRetry {
+            t: 0.6,
+            job: 1,
+            attempt: 0,
+            next_s: 0.7,
+        });
+        events.push(dispatch(0.7, 1, 1, 1));
+        // Server 2 dies; its queued job 5 fails over to server 0, and the
+        // next epoch returns its slice to the pool.
+        events.push(TraceEvent::ShardFault {
+            t: 2.0,
+            shard: 2,
+            online: false,
+        });
+        events.push(TraceEvent::FleetFailover {
+            t: 2.0,
+            job: 5,
+            shard: 2,
+        });
+        events.push(dispatch(2.0, 5, 0, 0));
+        events.extend(budget_epoch(3.0, &[140.0, 100.0, 0.0]));
+        events.push(TraceEvent::ShardFault {
+            t: 6.0,
+            shard: 2,
+            online: true,
+        });
+        events.push(TraceEvent::FleetShed {
+            t: 7.0,
+            job: 9,
+            demand: 500.0,
+        });
+        events.push(fleet_summary(3, 1, 1, 1));
+        let report = replay_fleet(&events).unwrap();
+        assert!(report.is_ok(), "{:?}", report.issues);
+        assert_eq!(report.budget_epochs, 2);
+        assert_eq!(report.dispatched, 3);
+        assert_eq!(report.failovers, 1);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.shed, 1);
+    }
+
+    #[test]
+    fn dispatch_to_dead_server_is_flagged() {
+        let mut events = vec![fleet_start(2, 100.0)];
+        events.push(TraceEvent::ShardFault {
+            t: 1.0,
+            shard: 1,
+            online: false,
+        });
+        events.push(dispatch(2.0, 0, 1, 0));
+        events.push(fleet_summary(1, 0, 0, 0));
+        let report = replay_fleet(&events).unwrap();
+        assert!(report.issues.iter().any(|m| m.contains("dead server")));
+    }
+
+    #[test]
+    fn unconserved_budget_is_flagged() {
+        let mut events = vec![fleet_start(2, 100.0)];
+        events.extend(budget_epoch(1.0, &[60.0, 60.0]));
+        events.push(fleet_summary(0, 0, 0, 0));
+        let report = replay_fleet(&events).unwrap();
+        assert!(report.issues.iter().any(|m| m.contains("not conserved")));
+        // A short epoch (one server missing) is equally flagged.
+        let mut events = vec![fleet_start(2, 100.0)];
+        events.push(TraceEvent::FleetBudget {
+            t: 1.0,
+            shard: 0,
+            budget_w: 100.0,
+        });
+        events.push(fleet_summary(0, 0, 0, 0));
+        let report = replay_fleet(&events).unwrap();
+        assert!(report.issues.iter().any(|m| m.contains("covers 1 of 2")));
+    }
+
+    #[test]
+    fn lost_job_without_redispatch_is_flagged() {
+        let mut events = vec![fleet_start(2, 100.0)];
+        events.push(TraceEvent::ShardFault {
+            t: 1.0,
+            shard: 0,
+            online: false,
+        });
+        events.push(TraceEvent::FleetFailover {
+            t: 1.0,
+            job: 4,
+            shard: 0,
+        });
+        events.push(fleet_summary(0, 1, 0, 0));
+        let report = replay_fleet(&events).unwrap();
+        assert!(report
+            .issues
+            .iter()
+            .any(|m| m.contains("never re-dispatched or shed")));
+    }
+
+    #[test]
+    fn failover_from_live_server_and_summary_mismatch_flagged() {
+        let mut events = vec![fleet_start(2, 100.0)];
+        events.push(TraceEvent::FleetFailover {
+            t: 1.0,
+            job: 4,
+            shard: 0,
+        });
+        events.push(dispatch(1.0, 4, 1, 0));
+        events.push(fleet_summary(7, 1, 0, 0));
+        let report = replay_fleet(&events).unwrap();
+        assert!(report.issues.iter().any(|m| m.contains("live server")));
+        assert!(report.issues.iter().any(|m| m.contains("7 dispatches")));
+    }
+
+    #[test]
+    fn fleet_structural_errors() {
+        assert!(matches!(replay_fleet(&[]), Err(ReplayError::Empty)));
+        assert!(matches!(
+            replay_fleet(&[start()]),
+            Err(ReplayError::MissingFleetRunStart)
+        ));
+        assert!(matches!(
+            replay_fleet(&[fleet_start(2, 100.0)]),
+            Err(ReplayError::MissingFleetSummary)
+        ));
     }
 }

@@ -43,6 +43,26 @@ cargo run --release --offline -q -p ge-experiments -- \
   >"$smoke_dir/stdout.log"
 test -s "$smoke_dir/faults-corelossa.csv"
 
+echo "== fleet smoke run (--fleet fleetcombined, digest bit-exactness)"
+# Run the fleet degradation study twice at a small scale and require the
+# printed result digest — FNV-1a over every cell's exact result bits —
+# to repeat bit-for-bit: the whole fleet (router, repartitioner,
+# failover, retries) must be reproducible from one seed.
+cargo run --release --offline -q -p ge-experiments -- \
+  --quick --horizon 8 --out "$smoke_dir" --fleet fleetcombined --servers 3 \
+  >"$smoke_dir/fleet-a.log"
+test -s "$smoke_dir/fleet-fleetcombineda.csv"
+cargo run --release --offline -q -p ge-experiments -- \
+  --quick --horizon 8 --out "$smoke_dir" --fleet fleetcombined --servers 3 \
+  >"$smoke_dir/fleet-b.log"
+d_fleet_a=$(grep -o 'digest=0x[0-9a-f]*' "$smoke_dir/fleet-a.log")
+d_fleet_b=$(grep -o 'digest=0x[0-9a-f]*' "$smoke_dir/fleet-b.log")
+test -n "$d_fleet_a"
+if [ "$d_fleet_a" != "$d_fleet_b" ]; then
+  echo "FAIL: fleet digest $d_fleet_a != repeat-run digest $d_fleet_b"
+  exit 1
+fi
+
 echo "== supervised runner smoke (--supervise + run-manifest.json)"
 cargo run --release --offline -q -p ge-experiments -- \
   --quick --reps 1 --horizon 5 --out "$smoke_dir" --faults throttle --supervise \
