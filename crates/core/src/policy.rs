@@ -75,7 +75,11 @@ pub struct ScheduleCtx<'a> {
 }
 
 /// A scheduling policy: invoked by the driver at trigger events.
-pub trait Scheduler {
+///
+/// `Send` is required so an engine + scheduler pair can live behind a
+/// mutex shared across serving threads (`ge-serve`); policies are plain
+/// data and satisfy it trivially.
+pub trait Scheduler: Send {
     /// Human-readable label used in results and tables.
     fn name(&self) -> &str;
 

@@ -280,8 +280,7 @@ fn drive(
 // Input digest: pins (cfg, algorithm, derived workload, fault stream).
 // ---------------------------------------------------------------------------
 
-fn input_digest(cfg: &SimConfig, algorithm_label: &str, engine: &Engine) -> u64 {
-    let mut enc = Encoder::new();
+fn encode_config_inputs(enc: &mut Encoder, cfg: &SimConfig, algorithm_label: &str) {
     enc.put_str(algorithm_label);
     enc.put_usize(cfg.cores);
     enc.put_f64(cfg.budget_w);
@@ -311,6 +310,25 @@ fn input_digest(cfg: &SimConfig, algorithm_label: &str, engine: &Engine) -> u64 
         }
     }
     enc.put_f64(cfg.load_window_secs);
+}
+
+fn encode_fault_inputs(enc: &mut Encoder, engine: &Engine) {
+    match &engine.injector {
+        None => enc.put_u8(0),
+        Some(inj) => {
+            enc.put_u8(1);
+            enc.put_usize(inj.transitions().len());
+            for tr in inj.transitions() {
+                enc.put_f64(tr.at.as_secs());
+                encode_fault_transition(enc, tr.transition);
+            }
+        }
+    }
+}
+
+fn input_digest(cfg: &SimConfig, algorithm_label: &str, engine: &Engine) -> u64 {
+    let mut enc = Encoder::new();
+    encode_config_inputs(&mut enc, cfg, algorithm_label);
     // The derived workload (trace + surge jobs + estimate noise) and the
     // compiled fault-transition stream cover the trace and fault schedule
     // exactly as the run sees them.
@@ -322,17 +340,18 @@ fn input_digest(cfg: &SimConfig, algorithm_label: &str, engine: &Engine) -> u64 
         enc.put_f64(j.demand);
         enc.put_f64(j.estimate);
     }
-    match &engine.injector {
-        None => enc.put_u8(0),
-        Some(inj) => {
-            enc.put_u8(1);
-            enc.put_usize(inj.transitions().len());
-            for tr in inj.transitions() {
-                enc.put_f64(tr.at.as_secs());
-                encode_fault_transition(&mut enc, tr.transition);
-            }
-        }
-    }
+    encode_fault_inputs(&mut enc, engine);
+    fnv1a64(&enc.into_bytes())
+}
+
+/// Digest pinning a shard checkpoint's environment: configuration,
+/// algorithm, and fault stream — but *not* the job set, which a serving
+/// shard grows online and therefore stores inside the snapshot itself.
+pub(crate) fn shard_input_digest(cfg: &SimConfig, algorithm_label: &str, engine: &Engine) -> u64 {
+    let mut enc = Encoder::new();
+    enc.put_str("shard-v1");
+    encode_config_inputs(&mut enc, cfg, algorithm_label);
+    encode_fault_inputs(&mut enc, engine);
     fnv1a64(&enc.into_bytes())
 }
 
@@ -465,7 +484,7 @@ fn decode_core_job(dec: &mut Decoder<'_>) -> Result<CoreJob, CodecError> {
     })
 }
 
-fn encode_engine_state(engine: &Engine, sched: &dyn Scheduler) -> Vec<u8> {
+pub(crate) fn encode_engine_state(engine: &Engine, sched: &dyn Scheduler) -> Vec<u8> {
     // Shed jobs are drained within each scheduling epoch, so the buffer is
     // always empty at segment boundaries; the format relies on that.
     assert!(
@@ -584,7 +603,7 @@ fn encode_engine_state(engine: &Engine, sched: &dyn Scheduler) -> Vec<u8> {
     enc.into_bytes()
 }
 
-fn decode_engine_state(
+pub(crate) fn decode_engine_state(
     engine: &mut Engine,
     sched: &mut dyn Scheduler,
     payload: &[u8],

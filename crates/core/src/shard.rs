@@ -30,11 +30,14 @@ use crate::config::SimConfig;
 use crate::driver::{Engine, Ev, PRIO_ARRIVAL};
 use crate::policy::{Algorithm, Scheduler};
 use crate::result::RunResult;
+use crate::resume::{decode_engine_state, encode_engine_state, shard_input_digest};
 use ge_faults::FaultSchedule;
 use ge_quality::QualityFunction;
+use ge_recover::checkpoint::{seal, unseal};
+use ge_recover::{CheckpointError, Decoder, Encoder};
 use ge_simcore::SimTime;
-use ge_trace::NullSink;
-use ge_workload::{Job, Trace};
+use ge_trace::{NullSink, TraceSink};
+use ge_workload::{Job, JobId, Trace};
 
 /// A shard's final measurements plus the ledger sums the fleet needs to
 /// aggregate quality across shards (fleet quality is a ratio of summed
@@ -110,6 +113,30 @@ impl ShardEngine {
     pub fn advance_to(&mut self, until: SimTime) {
         self.engine
             .advance(until, self.sched.as_mut(), &mut NullSink);
+    }
+
+    /// [`ShardEngine::advance_to`], but recording engine events
+    /// (`JobFinish`, `JobShed`, …) into `sink`. A single-shard owner like
+    /// the serving front end uses this to observe per-job outcomes; the
+    /// fleet router keeps the sinkless variant.
+    pub fn advance_to_with(&mut self, until: SimTime, sink: &mut dyn TraceSink) {
+        self.engine.advance(until, self.sched.as_mut(), sink);
+    }
+
+    /// Current simulated time of the shard's event loop.
+    pub fn now(&self) -> SimTime {
+        self.engine.sim.now()
+    }
+
+    /// The ledger's running quality ratio `Σf(c_j) / Σf(p_j)` over every
+    /// job recorded so far (1.0 while the ledger is empty).
+    pub fn ledger_quality(&self) -> f64 {
+        self.engine.ledger.quality()
+    }
+
+    /// Ledger counters: `(recorded, discarded, completed_fully)`.
+    pub fn ledger_counts(&self) -> (u64, u64, u64) {
+        self.engine.ledger.counters()
     }
 
     /// Whole-server crash: every core fails. Jobs with work already done
@@ -219,20 +246,106 @@ impl ShardEngine {
     /// Closes the shard's books at the horizon and returns its
     /// measurements plus ledger sums.
     pub fn finalize(self) -> ShardOutcome {
+        self.finalize_with(&mut NullSink)
+    }
+
+    /// [`ShardEngine::finalize`], but recording the closing `JobFinish`
+    /// events (leftover work discarded at the books' close) into `sink`,
+    /// so an owner tracking per-job outcomes sees every job reach a
+    /// terminal state.
+    pub fn finalize_with(self, sink: &mut dyn TraceSink) -> ShardOutcome {
         let ShardEngine {
             mut engine,
             mut sched,
             ..
         } = self;
-        engine.close_books(&mut NullSink);
+        engine.close_books(sink);
         let achieved_sum = engine.ledger.achieved_sum();
         let full_sum = engine.ledger.full_sum();
-        let result = engine.finalize(sched.as_mut(), &mut NullSink);
+        let result = engine.finalize(sched.as_mut(), sink);
         ShardOutcome {
             result,
             achieved_sum,
             full_sum,
         }
+    }
+
+    /// Serializes the complete shard state — injected job set included —
+    /// into a sealed checkpoint. Unlike a batch-run checkpoint (whose job
+    /// set is deterministic from the workload inputs and therefore pinned
+    /// by the digest, not stored), a shard's jobs arrive online, so the
+    /// snapshot carries them; the seal digest pins configuration,
+    /// algorithm, and fault stream.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_usize(self.engine.all_jobs.len());
+        for j in &self.engine.all_jobs {
+            enc.put_u64(j.id.0);
+            enc.put_f64(j.release.as_secs());
+            enc.put_f64(j.deadline.as_secs());
+            enc.put_f64(j.demand);
+            enc.put_f64(j.estimate);
+        }
+        enc.put_usize(self.engine.releases.len());
+        for &t in &self.engine.releases {
+            enc.put_f64(t.as_secs());
+        }
+        enc.put_bool(self.crashed);
+        enc.put_bytes(&encode_engine_state(&self.engine, self.sched.as_ref()));
+        let digest = shard_input_digest(&self.engine.cfg, self.sched.name(), &self.engine);
+        seal(digest, &enc.into_bytes())
+    }
+
+    /// Reconstructs a shard bit-exactly from [`ShardEngine::snapshot`]
+    /// bytes, given the same `(cfg, algorithm, faults)` the original was
+    /// built with; a mismatch is rejected via the sealed input digest.
+    pub fn restore(
+        cfg: &SimConfig,
+        algorithm: &Algorithm,
+        faults: Option<&FaultSchedule>,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let mut shard = ShardEngine::new(cfg, algorithm, faults);
+        let digest = shard_input_digest(&shard.engine.cfg, shard.sched.name(), &shard.engine);
+        let (stored_digest, payload) = unseal(bytes)?;
+        if stored_digest != digest {
+            return Err(CheckpointError::DigestMismatch {
+                checkpoint: stored_digest,
+                current: digest,
+            });
+        }
+        let mut dec = Decoder::new(payload);
+        let n_jobs = dec.get_len("shard.jobs")?;
+        let mut jobs = Vec::with_capacity(n_jobs);
+        for _ in 0..n_jobs {
+            let id = JobId(dec.get_u64("shard.job.id")?);
+            let release = SimTime::from_secs(dec.get_f64("shard.job.release")?);
+            let deadline = SimTime::from_secs(dec.get_f64("shard.job.deadline")?);
+            let demand = dec.get_f64("shard.job.demand")?;
+            let estimate = dec.get_f64("shard.job.estimate")?;
+            if !(demand.is_finite() && demand > 0.0 && estimate.is_finite() && estimate > 0.0) {
+                return Err(CheckpointError::Invalid("malformed shard job demand"));
+            }
+            jobs.push(Job {
+                id,
+                release,
+                deadline,
+                demand,
+                estimate,
+            });
+        }
+        shard.engine.all_jobs = jobs;
+        let n_releases = dec.get_len("shard.releases")?;
+        let mut releases = Vec::with_capacity(n_releases);
+        for _ in 0..n_releases {
+            releases.push(SimTime::from_secs(dec.get_f64("shard.release")?));
+        }
+        shard.engine.releases = releases;
+        shard.crashed = dec.get_bool("shard.crashed")?;
+        let engine_payload = dec.get_bytes("shard.engine")?;
+        decode_engine_state(&mut shard.engine, shard.sched.as_mut(), &engine_payload)?;
+        dec.finish("shard")?;
+        Ok(shard)
     }
 }
 

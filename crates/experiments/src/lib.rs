@@ -37,6 +37,7 @@ pub mod faults;
 pub mod figures;
 pub mod fleet;
 pub mod scale;
+pub mod serve;
 pub mod supervise;
 pub mod sweep;
 pub mod trace;

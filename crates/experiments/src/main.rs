@@ -32,6 +32,8 @@ fn usage() -> ! {
          [--timeout-secs S] [--checkpoint-every K] \
          [--checkpoint FILE.ckpt] [--stop-after N] [--resume] \
          [--differential] [--instances N] [--seed S] \
+         [--serve] [--serve-addr ADDR] [--serve-replay ADDR] \
+         [--replay-speed X] [--soak] [--requests N] \
          [--metrics-addr ADDR] [--metrics-jsonl FILE.jsonl] \
          [--profile-out FILE.folded] [--scrape ADDR] \
          [fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
@@ -68,7 +70,19 @@ fn usage() -> ! {
          \n\
          --differential sweeps --instances generated tiny instances (seeded\n\
          by --seed) through every algorithm and checks each layer against\n\
-         the ge-oracle certificates; exits nonzero on any disagreement.",
+         the ge-oracle certificates; exits nonzero on any disagreement.\n\
+         \n\
+         --serve runs the ge-serve live front end on --serve-addr (default\n\
+         127.0.0.1:0; port 0 binds ephemerally and the bound address is\n\
+         printed as 'serve: listening on ADDR'). The session drains\n\
+         gracefully on SIGTERM/SIGINT or a client DRAIN, writing the serve\n\
+         trace, the final checkpoint, and decision-latency percentiles\n\
+         under --out. --serve-replay ADDR runs the deterministic replay\n\
+         client against a running server (--requests arrivals seeded by\n\
+         --seed; --replay-speed 0 = unpaced, 1 = wall-clock speed). --soak\n\
+         runs the in-process chaos harness twice (garbage frames, partial\n\
+         writes, drops, bursts, slow clients, kill-and-drain) and exits\n\
+         nonzero unless both runs land on the same accounting digest.",
         FaultScenario::ALL_NAMES.join(", "),
         FleetScenario::ALL_NAMES.join(", ")
     );
@@ -125,6 +139,21 @@ enum CliError {
         /// A human description of what the flag accepts.
         expected: String,
     },
+    /// A serving-mode operation (server, replay client, or soak) failed.
+    Serve {
+        /// What was being attempted.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Two identically seeded soak runs disagreed on their accounting
+    /// digest — the serving path is not deterministic.
+    SoakDigestMismatch {
+        /// The first run's digest.
+        first: u64,
+        /// The second run's digest.
+        second: u64,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -157,6 +186,16 @@ impl std::fmt::Display for CliError {
                     "invalid value for {flag}: {value:?} (expected {expected})"
                 )
             }
+            CliError::Serve { context, source } => {
+                write!(f, "serve: {context}: {source}")
+            }
+            CliError::SoakDigestMismatch { first, second } => {
+                write!(
+                    f,
+                    "soak: accounting digests diverged across two identically \
+                     seeded runs: 0x{first:016x} vs 0x{second:016x}"
+                )
+            }
         }
     }
 }
@@ -171,6 +210,8 @@ impl std::error::Error for CliError {
             CliError::Differential { .. } => None,
             CliError::Telemetry { source, .. } => Some(source),
             CliError::InvalidFlag { .. } => None,
+            CliError::Serve { source, .. } => Some(source),
+            CliError::SoakDigestMismatch { .. } => None,
         }
     }
 }
@@ -195,11 +236,12 @@ fn parse_flag_value<T: std::str::FromStr>(
     })
 }
 
-/// Syntactic validation of `--metrics-addr`: `host:port` with a numeric
-/// port (DNS resolution is left to bind time).
-fn validate_metrics_addr(addr: String) -> Result<String, CliError> {
+/// Syntactic validation of a listen-address flag (`--metrics-addr`,
+/// `--serve-addr`): `host:port` with a numeric port — port 0 is welcome
+/// and binds ephemerally (DNS resolution is left to bind time).
+fn validate_bind_addr(flag: &'static str, addr: String) -> Result<String, CliError> {
     let invalid = || CliError::InvalidFlag {
-        flag: "--metrics-addr",
+        flag,
         value: if addr.is_empty() {
             "<missing>".to_string()
         } else {
@@ -584,6 +626,12 @@ fn real_main() -> Result<(), CliError> {
     let mut differential = false;
     let mut instances: u64 = 1000;
     let mut seed: u64 = 42;
+    let mut serve = false;
+    let mut serve_addr = String::from("127.0.0.1:0");
+    let mut serve_replay: Option<String> = None;
+    let mut replay_speed: f64 = 0.0;
+    let mut soak = false;
+    let mut requests: u64 = 240;
     let mut metrics_addr: Option<String> = None;
     let mut metrics_jsonl: Option<PathBuf> = None;
     let mut profile_out: Option<PathBuf> = None;
@@ -717,7 +765,36 @@ fn real_main() -> Result<(), CliError> {
                 }
             }
             "--metrics-addr" => {
-                metrics_addr = Some(validate_metrics_addr(args.next().unwrap_or_default())?);
+                metrics_addr = Some(validate_bind_addr(
+                    "--metrics-addr",
+                    args.next().unwrap_or_default(),
+                )?);
+            }
+            "--serve" => serve = true,
+            "--serve-addr" => {
+                serve_addr = validate_bind_addr("--serve-addr", args.next().unwrap_or_default())?;
+                serve = true;
+            }
+            "--serve-replay" => {
+                serve_replay = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--replay-speed" => {
+                replay_speed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--soak" => soak = true,
+            "--requests" => {
+                requests = parse_flag_value("--requests", args.next(), "a positive integer")?;
+                if requests == 0 {
+                    return Err(CliError::InvalidFlag {
+                        flag: "--requests",
+                        value: "0".to_string(),
+                        expected: "a positive integer".to_string(),
+                    });
+                }
             }
             "--metrics-jsonl" => {
                 metrics_jsonl = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
@@ -778,6 +855,12 @@ fn real_main() -> Result<(), CliError> {
         differential,
         instances,
         seed,
+        serve,
+        serve_addr: &serve_addr,
+        serve_replay: serve_replay.as_deref(),
+        replay_speed,
+        soak,
+        requests,
         figs,
     });
     // The run's own error takes precedence, but the telemetry artifacts
@@ -809,6 +892,12 @@ struct RunModes<'a> {
     differential: bool,
     instances: u64,
     seed: u64,
+    serve: bool,
+    serve_addr: &'a str,
+    serve_replay: Option<&'a str>,
+    replay_speed: f64,
+    soak: bool,
+    requests: u64,
     figs: Vec<String>,
 }
 
@@ -835,8 +924,69 @@ fn run_modes(modes: RunModes<'_>) -> Result<(), CliError> {
         differential,
         instances,
         seed,
+        serve,
+        serve_addr,
+        serve_replay,
+        replay_speed,
+        soak,
+        requests,
         mut figs,
     } = modes;
+
+    // Soak mode: two identically seeded in-process chaos runs; their
+    // accounting digests must agree bit-for-bit.
+    if soak {
+        let started = std::time::Instant::now();
+        let horizon = scale.horizon_secs;
+        let first = ge_experiments::serve::run_soak(seed, requests, horizon, out_dir, 1).map_err(
+            |source| CliError::Serve {
+                context: "soak run 1".to_string(),
+                source,
+            },
+        )?;
+        let second = ge_experiments::serve::run_soak(seed, requests, horizon, out_dir, 2).map_err(
+            |source| CliError::Serve {
+                context: "soak run 2".to_string(),
+                source,
+            },
+        )?;
+        if first != second {
+            return Err(CliError::SoakDigestMismatch { first, second });
+        }
+        println!("soak: digests agree across two runs: 0x{first:016x}");
+        println!("  (soak done in {:.1?})\n", started.elapsed());
+        return Ok(());
+    }
+
+    // Replay-client mode: fire the seeded arrival stream at a running
+    // server, tally the replies, and ask it to drain.
+    if let Some(addr) = serve_replay {
+        let summary = ge_experiments::serve::run_replay(
+            addr,
+            seed,
+            requests,
+            scale.horizon_secs,
+            replay_speed,
+        )
+        .map_err(|source| CliError::Serve {
+            context: format!("replay against {addr}"),
+            source,
+        })?;
+        println!("{}", summary.render());
+        return Ok(());
+    }
+
+    // Server mode: serve until a client drains us or SIGTERM arrives,
+    // then drain gracefully and write the session artifacts.
+    if serve {
+        ge_experiments::serve::run_server(serve_addr, scale.horizon_secs, out_dir).map_err(
+            |source| CliError::Serve {
+                context: format!("session on {serve_addr}"),
+                source,
+            },
+        )?;
+        return Ok(());
+    }
 
     // Differential mode: generated tiny instances, every algorithm
     // against the ge-oracle certificates and the clairvoyant bound.

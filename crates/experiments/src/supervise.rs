@@ -133,9 +133,9 @@ pub fn run_supervised_with_injection(
             .iter()
             .filter(|r| r.outcome == CellOutcome::Salvaged)
             .count() as u64;
-        reg.counter("ge_cell_retries_total").add(retries);
-        reg.counter("ge_cell_timeouts_total").add(timeouts);
-        reg.counter("ge_cell_salvages_total").add(salvages);
+        reg.counter("ge_supervise_retries_total").add(retries);
+        reg.counter("ge_supervise_timeouts_total").add(timeouts);
+        reg.counter("ge_supervise_salvages_total").add(salvages);
     }
 
     let tables = aggregate(kind, &algs, reps, &results);

@@ -1,0 +1,167 @@
+//! Seeded network-level chaos schedules for the serving front end.
+//!
+//! Where [`crate::FaultSchedule`] perturbs the *simulation* (core loss,
+//! throttling), a [`ChaosSchedule`] perturbs the *wire*: it tells a soak
+//! client how to abuse the server's network surface — garbage frames,
+//! partial writes, dropped connections, burst overload, a silent
+//! slow-client connection, and a final kill-and-drain. Like every other
+//! schedule in this crate it is a pure function of its seed, so two soak
+//! runs with the same seed replay the identical abuse sequence and the
+//! server's accounting digest can be compared bit-for-bit.
+
+use ge_simcore::rng::RngStream;
+
+/// A malformed frame the chaos client sends before a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GarbageKind {
+    /// A line that is not a protocol command at all.
+    NotACommand,
+    /// A `SUBMIT` with an unparseable number.
+    BadNumber,
+    /// Raw non-UTF-8 bytes terminated by a newline.
+    Binary,
+    /// An empty line.
+    Empty,
+    /// A line longer than any sane protocol cap (exercises the
+    /// max-line guard).
+    HugeLine,
+}
+
+impl GarbageKind {
+    /// All garbage kinds, in wire-stable order (indexable by an RNG draw).
+    pub const ALL: [GarbageKind; 5] = [
+        GarbageKind::NotACommand,
+        GarbageKind::BadNumber,
+        GarbageKind::Binary,
+        GarbageKind::Empty,
+        GarbageKind::HugeLine,
+    ];
+}
+
+/// One chaos action, attached to a request index in the soak stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosOp {
+    /// Send a malformed frame before the request.
+    Garbage(GarbageKind),
+    /// Split the request line across two writes with a flush between
+    /// them (a slow or fragmenting client).
+    PartialWrite,
+    /// Drop the connection before the request and reconnect.
+    DropConnection,
+    /// Send this many extra requests at the same logical instant (burst
+    /// overload driving the queue past its high watermark).
+    Burst(u32),
+    /// Open a side connection that sends nothing, leaving it for the
+    /// server's slow-client timeout to reap.
+    SlowClient,
+}
+
+/// A deterministic, seeded schedule of [`ChaosOp`]s over a request
+/// stream of known length, plus an optional kill point after which the
+/// client stops submitting and the server is drained mid-stream.
+#[derive(Debug, Clone)]
+pub struct ChaosSchedule {
+    ops: Vec<(u64, ChaosOp)>,
+    kill_after: Option<u64>,
+    seed: u64,
+}
+
+impl ChaosSchedule {
+    /// Builds the schedule for a stream of `requests` requests from
+    /// `seed`. Roughly one request in six gets an op; `kill_and_drain`
+    /// plants the kill point at ~80% of the stream.
+    pub fn generate(seed: u64, requests: u64, kill_and_drain: bool) -> Self {
+        let mut rng = RngStream::from_root(seed, "chaos-schedule");
+        let mut ops = Vec::new();
+        for idx in 0..requests {
+            if rng.next_below(6) != 0 {
+                continue;
+            }
+            let op = match rng.next_below(5) {
+                0 => {
+                    let k =
+                        GarbageKind::ALL[rng.next_below(GarbageKind::ALL.len() as u64) as usize];
+                    ChaosOp::Garbage(k)
+                }
+                1 => ChaosOp::PartialWrite,
+                2 => ChaosOp::DropConnection,
+                3 => ChaosOp::Burst(2 + rng.next_below(30) as u32),
+                _ => ChaosOp::SlowClient,
+            };
+            ops.push((idx, op));
+        }
+        let kill_after = kill_and_drain.then(|| (requests * 4) / 5);
+        ChaosSchedule {
+            ops,
+            kill_after,
+            seed,
+        }
+    }
+
+    /// The ops scheduled at request index `idx` (at most one today, but
+    /// callers should not rely on that).
+    pub fn ops_at(&self, idx: u64) -> impl Iterator<Item = ChaosOp> + '_ {
+        self.ops
+            .iter()
+            .filter(move |(i, _)| *i == idx)
+            .map(|(_, op)| *op)
+    }
+
+    /// Every scheduled `(request index, op)` pair, in stream order.
+    pub fn ops(&self) -> &[(u64, ChaosOp)] {
+        &self.ops
+    }
+
+    /// The request index after which the client kills its stream and
+    /// drains the server (`None` = run the stream to completion).
+    pub fn kill_after(&self) -> Option<u64> {
+        self.kill_after
+    }
+
+    /// The seed the schedule was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ChaosSchedule::generate(42, 500, true);
+        let b = ChaosSchedule::generate(42, 500, true);
+        assert_eq!(a.ops(), b.ops());
+        assert_eq!(a.kill_after(), b.kill_after());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosSchedule::generate(1, 500, false);
+        let b = ChaosSchedule::generate(2, 500, false);
+        assert_ne!(a.ops(), b.ops());
+        assert_eq!(a.kill_after(), None);
+    }
+
+    #[test]
+    fn covers_every_op_family_at_scale() {
+        let s = ChaosSchedule::generate(7, 4000, true);
+        let has = |pred: &dyn Fn(&ChaosOp) -> bool| s.ops().iter().any(|(_, op)| pred(op));
+        assert!(has(&|op| matches!(op, ChaosOp::Garbage(_))));
+        assert!(has(&|op| matches!(op, ChaosOp::PartialWrite)));
+        assert!(has(&|op| matches!(op, ChaosOp::DropConnection)));
+        assert!(has(&|op| matches!(op, ChaosOp::Burst(_))));
+        assert!(has(&|op| matches!(op, ChaosOp::SlowClient)));
+        assert_eq!(s.kill_after(), Some(3200));
+    }
+
+    #[test]
+    fn ops_at_filters_by_index() {
+        let s = ChaosSchedule::generate(11, 300, false);
+        for &(idx, op) in s.ops() {
+            assert!(s.ops_at(idx).any(|o| o == op));
+        }
+        assert_eq!(s.ops_at(u64::MAX).count(), 0);
+    }
+}

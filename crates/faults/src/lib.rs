@@ -20,11 +20,13 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod chaos;
 mod fleet;
 mod injector;
 mod scenario;
 mod schedule;
 
+pub use chaos::{ChaosOp, ChaosSchedule, GarbageKind};
 pub use fleet::{
     DispatchLossWindow, FleetFaultSchedule, FleetInjector, FleetScenario, FleetScenarioKind,
     FleetTransition, ServerOutage, ServerSlowdown, TimedFleetTransition,

@@ -1,0 +1,194 @@
+//! Admission control: a hysteresis state machine over the front end's
+//! in-flight depth (admitted requests not yet terminal), plus the armed
+//! quality floor and the drain gate.
+//!
+//! The controller has two states. In `Open` it admits until the depth
+//! reaches the **high watermark**, where it flips to `Shedding` and
+//! answers `BUSY`; it reopens only once the depth has fallen back to the
+//! **low watermark**. The gap between the watermarks is the hysteresis
+//! band: without it a depth hovering at the threshold would flap the
+//! admission decision on every request, so bursts would interleave
+//! accepts and rejects instead of being cleanly clipped.
+//!
+//! Two further gates run before the watermark logic:
+//!
+//! * **drain** — a draining server admits nothing (reason `draining`),
+//! * **quality floor** — when the run is armed with `Q_min > 0` and the
+//!   ledger's running quality is already below the floor, new work is
+//!   refused (reason `floor`) so the engine's capacity goes to repairing
+//!   the backlog instead of digging the hole deeper.
+
+use ge_trace::RejectReason;
+
+/// The controller's hysteresis state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionState {
+    /// Admitting; flips to [`AdmissionState::Shedding`] at the high
+    /// watermark.
+    Open,
+    /// Refusing with `BUSY`; reopens at the low watermark.
+    Shedding,
+}
+
+/// One admission verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Admit into the engine.
+    Admit,
+    /// Refuse, with the reason recorded in the trace and the reply.
+    Reject(RejectReason),
+}
+
+/// The hysteresis admission controller.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    state: AdmissionState,
+    queue_high: usize,
+    queue_low: usize,
+    q_min: f64,
+}
+
+impl AdmissionController {
+    /// Builds a controller with the given watermarks and quality floor
+    /// (`q_min == 0` disarms the floor gate).
+    ///
+    /// # Panics
+    /// Panics unless `0 < queue_high` and `queue_low < queue_high` and
+    /// `q_min ∈ [0, 1]`.
+    pub fn new(queue_high: usize, queue_low: usize, q_min: f64) -> Self {
+        assert!(queue_high > 0, "queue_high must be positive");
+        assert!(
+            queue_low < queue_high,
+            "queue_low ({queue_low}) must be below queue_high ({queue_high})"
+        );
+        assert!(
+            (0.0..=1.0).contains(&q_min),
+            "q_min must be in [0, 1], got {q_min}"
+        );
+        AdmissionController {
+            state: AdmissionState::Open,
+            queue_high,
+            queue_low,
+            q_min,
+        }
+    }
+
+    /// Decides one request given the engine queue depth, the ledger's
+    /// running quality, and the drain flag. Updates the hysteresis state
+    /// as a side effect.
+    pub fn decide(&mut self, queue_len: usize, quality: f64, draining: bool) -> AdmissionDecision {
+        if draining {
+            return AdmissionDecision::Reject(RejectReason::Draining);
+        }
+        match self.state {
+            AdmissionState::Open => {
+                if queue_len >= self.queue_high {
+                    self.state = AdmissionState::Shedding;
+                }
+            }
+            AdmissionState::Shedding => {
+                if queue_len <= self.queue_low {
+                    self.state = AdmissionState::Open;
+                }
+            }
+        }
+        if self.state == AdmissionState::Shedding {
+            return AdmissionDecision::Reject(RejectReason::Busy);
+        }
+        if self.q_min > 0.0 && quality < self.q_min {
+            return AdmissionDecision::Reject(RejectReason::Floor);
+        }
+        AdmissionDecision::Admit
+    }
+
+    /// The current hysteresis state.
+    pub fn state(&self) -> AdmissionState {
+        self.state
+    }
+
+    /// The configured watermarks `(high, low)`.
+    pub fn watermarks(&self) -> (usize, usize) {
+        (self.queue_high, self.queue_low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hysteresis_closes_at_high_and_reopens_at_low() {
+        let mut a = AdmissionController::new(8, 2, 0.0);
+        assert_eq!(a.decide(0, 1.0, false), AdmissionDecision::Admit);
+        assert_eq!(a.decide(7, 1.0, false), AdmissionDecision::Admit);
+        // Hits the high watermark: closed.
+        assert_eq!(
+            a.decide(8, 1.0, false),
+            AdmissionDecision::Reject(RejectReason::Busy)
+        );
+        assert_eq!(a.state(), AdmissionState::Shedding);
+        // Still above the low watermark: stays closed even below high.
+        assert_eq!(
+            a.decide(5, 1.0, false),
+            AdmissionDecision::Reject(RejectReason::Busy)
+        );
+        assert_eq!(
+            a.decide(3, 1.0, false),
+            AdmissionDecision::Reject(RejectReason::Busy)
+        );
+        // Falls to the low watermark: reopens.
+        assert_eq!(a.decide(2, 1.0, false), AdmissionDecision::Admit);
+        assert_eq!(a.state(), AdmissionState::Open);
+    }
+
+    #[test]
+    fn no_flapping_inside_the_band() {
+        let mut a = AdmissionController::new(10, 4, 0.0);
+        assert_eq!(
+            a.decide(10, 1.0, false),
+            AdmissionDecision::Reject(RejectReason::Busy)
+        );
+        // Oscillating inside (low, high) must not reopen.
+        for q in [9, 5, 9, 5, 8, 6] {
+            assert_eq!(
+                a.decide(q, 1.0, false),
+                AdmissionDecision::Reject(RejectReason::Busy),
+                "queue {q} reopened inside the band"
+            );
+        }
+        assert_eq!(a.decide(4, 1.0, false), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn quality_floor_rejects_when_armed_and_sagging() {
+        let mut armed = AdmissionController::new(8, 2, 0.8);
+        assert_eq!(
+            armed.decide(0, 0.75, false),
+            AdmissionDecision::Reject(RejectReason::Floor)
+        );
+        assert_eq!(armed.decide(0, 0.85, false), AdmissionDecision::Admit);
+        // Disarmed floor never fires, however low quality goes.
+        let mut disarmed = AdmissionController::new(8, 2, 0.0);
+        assert_eq!(disarmed.decide(0, 0.01, false), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn draining_rejects_everything_first() {
+        let mut a = AdmissionController::new(8, 2, 0.9);
+        assert_eq!(
+            a.decide(0, 1.0, true),
+            AdmissionDecision::Reject(RejectReason::Draining)
+        );
+        // Drain outranks busy and floor.
+        assert_eq!(
+            a.decide(100, 0.0, true),
+            AdmissionDecision::Reject(RejectReason::Draining)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_low")]
+    fn inverted_watermarks_panic() {
+        let _ = AdmissionController::new(2, 8, 0.0);
+    }
+}

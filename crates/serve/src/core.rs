@@ -1,0 +1,838 @@
+//! [`ServeCore`]: the deterministic serving state machine.
+//!
+//! The core is a pure function of the command stream. Every mutating
+//! call carries an explicit **logical timestamp** (the `t` in
+//! `SUBMIT t …`), and the engine only advances inside those calls, so
+//! wall-clock pacing, thread interleaving, and network jitter cannot
+//! touch the accounting: two runs fed the same logical command sequence
+//! produce bit-identical traces, counters, and accounting digests, no
+//! matter how fast the bytes arrived. That is what lets the soak harness
+//! compare two chaos runs digest-for-digest.
+//!
+//! Every request ends in **exactly one** terminal state:
+//!
+//! * `rejected` — refused at admission (busy / floor / draining); never
+//!   entered the engine and is *not* in the quality denominator,
+//! * `completed` — the engine finished it with work done (possibly a GE
+//!   partial under a cut),
+//! * `timed-out` — its deadline expired unserved inside the engine (a
+//!   `JobFinish{discarded}` event; counted in the quality denominator),
+//! * `shed` — the engine's quality floor dropped it pre-start.
+//!
+//! Draining closes admission, runs the engine to the horizon so every
+//! in-flight request reaches its deadline (nothing is silently lost),
+//! seals a `ge-recover` checkpoint of the final shard state, and proves
+//! the checkpoint restores bit-exactly before the books close.
+
+use crate::admission::{AdmissionController, AdmissionDecision, AdmissionState};
+use ge_core::{Algorithm, ShardEngine, SimConfig};
+use ge_recover::codec::fnv1a64;
+use ge_simcore::SimTime;
+use ge_telemetry::{Registry, Telemetry};
+use ge_trace::{RejectReason, TraceEvent, VecSink};
+use ge_workload::{Job, JobId};
+use std::time::Instant;
+
+/// Cap on retained decision-latency samples (~8 MiB of `u64`s); samples
+/// past the cap are counted, not stored, so a very long session cannot
+/// grow memory without bound.
+const MAX_LATENCY_SAMPLES: usize = 1 << 20;
+
+/// Full configuration of a serving session: the simulated platform plus
+/// the front end's own knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The simulated platform and algorithm parameters. `sim.horizon`
+    /// bounds the session: submits at or beyond it are refused, and
+    /// drain runs the engine exactly to it.
+    pub sim: SimConfig,
+    /// The scheduling algorithm behind the front end.
+    pub algorithm: Algorithm,
+    /// Admission high watermark: in-flight depth that closes admission.
+    pub queue_high: usize,
+    /// Admission low watermark: in-flight depth that reopens it.
+    pub queue_low: usize,
+    /// Hard cap on one protocol line, bytes (newline excluded).
+    pub max_line: usize,
+    /// Per-connection read timeout in milliseconds; a client idle past
+    /// it is reaped (slowloris defence).
+    pub read_timeout_ms: u64,
+    /// Per-connection write timeout in milliseconds.
+    pub write_timeout_ms: u64,
+    /// Maximum concurrent connections; excess connects are refused with
+    /// a typed error line.
+    pub max_conns: usize,
+    /// Protocol errors tolerated per connection before disconnect.
+    pub max_protocol_errors: u32,
+    /// Honour the test-only `PANIC` command (worker-isolation drills).
+    pub enable_test_panic: bool,
+}
+
+impl ServeConfig {
+    /// A serving config over `sim` and `algorithm` with defensive
+    /// defaults for every front-end knob.
+    pub fn new(sim: SimConfig, algorithm: Algorithm) -> Self {
+        ServeConfig {
+            sim,
+            algorithm,
+            queue_high: 64,
+            queue_low: 16,
+            max_line: crate::protocol::MAX_LINE_DEFAULT,
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            max_conns: 64,
+            max_protocol_errors: 8,
+            enable_test_panic: false,
+        }
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Panics
+    /// Panics on an invalid platform config, inverted watermarks, or a
+    /// zero cap/timeout.
+    pub fn validate(&self) {
+        self.sim.validate();
+        assert!(self.queue_high > 0, "queue_high must be positive");
+        assert!(
+            self.queue_low < self.queue_high,
+            "queue_low must be below queue_high"
+        );
+        assert!(self.max_line > 0, "max_line must be positive");
+        assert!(self.read_timeout_ms > 0, "read_timeout_ms must be positive");
+        assert!(
+            self.write_timeout_ms > 0,
+            "write_timeout_ms must be positive"
+        );
+        assert!(self.max_conns > 0, "max_conns must be positive");
+    }
+}
+
+/// A request's terminal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Finished by the engine with work done.
+    Completed,
+    /// Refused at admission.
+    Rejected,
+    /// Deadline expired unserved inside the engine.
+    TimedOut,
+    /// Dropped pre-start by the engine's quality floor.
+    Shed,
+}
+
+impl Outcome {
+    fn tag(self) -> u8 {
+        match self {
+            Outcome::Completed => 1,
+            Outcome::Rejected => 2,
+            Outcome::TimedOut => 3,
+            Outcome::Shed => 4,
+        }
+    }
+}
+
+/// Why a well-formed `SUBMIT`/`TICK` was refused before reaching
+/// admission control (the command itself is invalid for this session).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmitError {
+    /// The logical timestamp went backwards.
+    TimeRegression {
+        /// The offending timestamp.
+        t: f64,
+        /// The session's current logical time.
+        now: f64,
+    },
+    /// The arrival or its deadline lands at/after the session horizon.
+    BeyondHorizon {
+        /// Which field overran (`"t"` or `"deadline"`).
+        field: &'static str,
+        /// The session horizon in seconds.
+        horizon: f64,
+    },
+}
+
+impl SubmitError {
+    /// Stable wire token for `ERR <kind>` replies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SubmitError::TimeRegression { .. } => "time-regression",
+            SubmitError::BeyondHorizon { .. } => "beyond-horizon",
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::TimeRegression { t, now } => {
+                write!(f, "logical time went backwards: {t} < {now}")
+            }
+            SubmitError::BeyondHorizon { field, horizon } => {
+                write!(f, "{field} is at or beyond the session horizon {horizon}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The admission verdict for one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted into the engine.
+    Admitted {
+        /// The assigned request id.
+        req: u64,
+        /// In-flight depth after the admit.
+        queue_len: usize,
+    },
+    /// Refused; the request is terminal (`rejected`) immediately.
+    Rejected {
+        /// The assigned request id.
+        req: u64,
+        /// Why admission refused it.
+        reason: RejectReason,
+        /// In-flight depth at the decision.
+        queue_len: usize,
+    },
+}
+
+/// A point-in-time accounting snapshot (the `STATS` reply).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeStats {
+    /// Current logical time, seconds.
+    pub now_s: f64,
+    /// Requests that reached the front end.
+    pub requests: u64,
+    /// Requests admitted into the engine.
+    pub admitted: u64,
+    /// Terminal: completed with work done.
+    pub completed: u64,
+    /// Terminal: refused at admission.
+    pub rejected: u64,
+    /// Terminal: deadline expired unserved.
+    pub timed_out: u64,
+    /// Terminal: shed by the engine.
+    pub shed: u64,
+    /// In-flight depth: admitted requests not yet terminal.
+    pub queue_len: usize,
+    /// Ledger running quality.
+    pub quality: f64,
+    /// Whether the session is draining.
+    pub draining: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Counts {
+    requests: u64,
+    admitted: u64,
+    completed: u64,
+    rejected: u64,
+    timed_out: u64,
+    shed: u64,
+}
+
+/// Everything a drained session leaves behind.
+#[derive(Debug, Clone)]
+pub struct DrainOutcome {
+    /// The full serve-event trace (`serve_run_start` … `serve_summary`),
+    /// replayable by `ge_trace::replay_serve`.
+    pub events: Vec<TraceEvent>,
+    /// Requests that reached the front end.
+    pub requests: u64,
+    /// Requests admitted into the engine.
+    pub admitted: u64,
+    /// Terminal: completed with work done.
+    pub completed: u64,
+    /// Terminal: refused at admission.
+    pub rejected: u64,
+    /// Terminal: deadline expired unserved.
+    pub timed_out: u64,
+    /// Terminal: shed by the engine.
+    pub shed: u64,
+    /// FNV-1a accounting digest over `(req, outcome, processed)` in
+    /// request-id order — the cross-run comparison key.
+    pub digest: u64,
+    /// The sealed final checkpoint of the shard state.
+    pub checkpoint: Vec<u8>,
+    /// Whether restoring [`DrainOutcome::checkpoint`] re-encoded to the
+    /// identical bytes (the bit-exact resume proof).
+    pub resume_bit_exact: bool,
+    /// Final ledger quality over admitted work.
+    pub quality: f64,
+    /// Total energy spent, joules.
+    pub energy_j: f64,
+    /// Wall-clock planning-decision latencies, nanoseconds, one per
+    /// retained `SUBMIT` (measurement only — never in the digest).
+    pub latency_ns: Vec<u64>,
+    /// Latency samples dropped past the retention cap.
+    pub latency_dropped: u64,
+}
+
+impl DrainOutcome {
+    /// Whether every request landed in exactly one terminal bucket.
+    pub fn is_consistent(&self) -> bool {
+        self.completed + self.rejected + self.timed_out + self.shed == self.requests
+    }
+
+    /// Exact sorted percentile of the decision-latency samples
+    /// (`p ∈ [0, 1]`; 0 with no samples).
+    pub fn latency_percentile_ns(&self, p: f64) -> u64 {
+        if self.latency_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latency_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+fn tel() -> Option<&'static Registry> {
+    Telemetry::is_enabled().then(Telemetry::registry)
+}
+
+/// The deterministic serving state machine over one [`ShardEngine`].
+pub struct ServeCore {
+    cfg: ServeConfig,
+    shard: ShardEngine,
+    admission: AdmissionController,
+    draining: bool,
+    next_req: u64,
+    last_t: f64,
+    counts: Counts,
+    events: Vec<TraceEvent>,
+    terminals: Vec<(u64, Outcome, f64)>,
+    latency_ns: Vec<u64>,
+    latency_dropped: u64,
+}
+
+impl ServeCore {
+    /// Builds a fresh serving session and emits its `serve_run_start`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`ServeConfig::validate`].
+    pub fn new(cfg: ServeConfig) -> Self {
+        cfg.validate();
+        let shard = ShardEngine::new(&cfg.sim, &cfg.algorithm, None);
+        let admission = AdmissionController::new(cfg.queue_high, cfg.queue_low, cfg.sim.q_min);
+        let events = vec![TraceEvent::ServeRunStart {
+            t: 0.0,
+            algorithm: cfg.algorithm.label().to_string(),
+            cores: cfg.sim.cores as u64,
+            budget_w: cfg.sim.budget_w,
+            q_min: cfg.sim.q_min,
+            queue_high: cfg.queue_high as u64,
+            queue_low: cfg.queue_low as u64,
+        }];
+        ServeCore {
+            cfg,
+            shard,
+            admission,
+            draining: false,
+            next_req: 0,
+            last_t: 0.0,
+            counts: Counts::default(),
+            events,
+            terminals: Vec::new(),
+            latency_ns: Vec::new(),
+            latency_dropped: 0,
+        }
+    }
+
+    /// Admitted requests not yet in a terminal state — the front end's
+    /// backpressure depth. Counts injected-but-unstarted *and* running
+    /// work (unlike the engine's internal queue, which only fills once
+    /// logical time advances past the arrivals), so a burst at one
+    /// instant trips the watermark immediately.
+    fn in_flight(&self) -> u64 {
+        self.counts.admitted - self.counts.completed - self.counts.timed_out - self.counts.shed
+    }
+
+    /// Advances the engine to logical time `t` and folds the engine
+    /// events it produced (finishes, expiries, sheds) into serve
+    /// accounting.
+    fn advance(&mut self, t: f64) {
+        let until = SimTime::from_secs(t);
+        if !until.after(self.shard.now()) {
+            return;
+        }
+        let mut sink = VecSink::new();
+        self.shard.advance_to_with(until, &mut sink);
+        self.absorb(sink.into_events());
+    }
+
+    /// Folds raw engine events into request terminals.
+    fn absorb(&mut self, engine_events: Vec<TraceEvent>) {
+        for ev in engine_events {
+            match ev {
+                TraceEvent::JobFinish {
+                    t,
+                    job,
+                    processed,
+                    full_demand,
+                    discarded,
+                } => {
+                    if discarded {
+                        self.counts.timed_out += 1;
+                        self.terminals.push((job, Outcome::TimedOut, 0.0));
+                        self.events.push(TraceEvent::ServeTimeout { t, req: job });
+                        if let Some(r) = tel() {
+                            r.counter("ge_serve_timeout_total").inc();
+                        }
+                    } else {
+                        self.counts.completed += 1;
+                        self.terminals.push((job, Outcome::Completed, processed));
+                        self.events.push(TraceEvent::ServeComplete {
+                            t,
+                            req: job,
+                            processed,
+                            full_demand,
+                        });
+                        if let Some(r) = tel() {
+                            r.counter("ge_serve_completed_total").inc();
+                        }
+                    }
+                }
+                TraceEvent::JobShed { t, job, .. } => {
+                    self.counts.shed += 1;
+                    self.terminals.push((job, Outcome::Shed, 0.0));
+                    self.events.push(TraceEvent::ServeShed { t, req: job });
+                    if let Some(r) = tel() {
+                        r.counter("ge_serve_shed_total").inc();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn check_time(&self, t: f64) -> Result<(), SubmitError> {
+        if t < self.last_t {
+            return Err(SubmitError::TimeRegression {
+                t,
+                now: self.last_t,
+            });
+        }
+        let horizon = self.shard.horizon().as_secs();
+        if t >= horizon {
+            return Err(SubmitError::BeyondHorizon {
+                field: "t",
+                horizon,
+            });
+        }
+        Ok(())
+    }
+
+    /// One request: advance to `t`, decide admission, inject or reject.
+    /// The hot path of the live server; its wall-clock cost is sampled
+    /// into the decision-latency histogram.
+    pub fn submit(
+        &mut self,
+        t: f64,
+        demand: f64,
+        deadline_rel: f64,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        let started = Instant::now();
+        self.check_time(t)?;
+        let horizon = self.shard.horizon().as_secs();
+        let deadline = t + deadline_rel;
+        if deadline > horizon {
+            return Err(SubmitError::BeyondHorizon {
+                field: "deadline",
+                horizon,
+            });
+        }
+        self.advance(t);
+        self.last_t = t;
+        let req = self.next_req;
+        self.next_req += 1;
+        self.counts.requests += 1;
+        self.events.push(TraceEvent::ServeRequest {
+            t,
+            req,
+            demand,
+            deadline_s: deadline,
+        });
+        let decision = self.admission.decide(
+            self.in_flight() as usize,
+            self.shard.ledger_quality(),
+            self.draining,
+        );
+        let out = match decision {
+            AdmissionDecision::Admit => {
+                let job = Job::new(
+                    JobId(req),
+                    SimTime::from_secs(t),
+                    SimTime::from_secs(deadline),
+                    demand,
+                );
+                self.shard.inject_job(job, SimTime::from_secs(t));
+                self.counts.admitted += 1;
+                let queue_len = self.in_flight() as usize;
+                self.events.push(TraceEvent::ServeAdmit {
+                    t,
+                    req,
+                    queue_len: queue_len as u64,
+                });
+                SubmitOutcome::Admitted { req, queue_len }
+            }
+            AdmissionDecision::Reject(reason) => {
+                let queue_len = self.in_flight() as usize;
+                self.counts.rejected += 1;
+                self.terminals.push((req, Outcome::Rejected, 0.0));
+                self.events.push(TraceEvent::ServeReject {
+                    t,
+                    req,
+                    reason,
+                    queue_len: queue_len as u64,
+                });
+                SubmitOutcome::Rejected {
+                    req,
+                    reason,
+                    queue_len,
+                }
+            }
+        };
+        let elapsed_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        if self.latency_ns.len() < MAX_LATENCY_SAMPLES {
+            self.latency_ns.push(elapsed_ns);
+        } else {
+            self.latency_dropped += 1;
+        }
+        if let Some(r) = tel() {
+            r.counter("ge_serve_requests_total").inc();
+            match out {
+                SubmitOutcome::Admitted { .. } => {
+                    r.counter("ge_serve_admitted_total").inc();
+                }
+                SubmitOutcome::Rejected { .. } => {
+                    r.counter("ge_serve_rejected_total").inc();
+                }
+            }
+            r.gauge("ge_serve_queue_depth").set(self.in_flight() as f64);
+            r.histogram("ge_serve_decision_seconds")
+                .observe(elapsed_ns as f64 * 1e-9);
+        }
+        Ok(out)
+    }
+
+    /// Advances logical time with no new work (deadline expiries between
+    /// sparse arrivals fire here).
+    pub fn tick(&mut self, t: f64) -> Result<f64, SubmitError> {
+        self.check_time(t)?;
+        self.advance(t);
+        self.last_t = t;
+        Ok(t)
+    }
+
+    /// A point-in-time accounting snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            now_s: self.shard.now().as_secs(),
+            requests: self.counts.requests,
+            admitted: self.counts.admitted,
+            completed: self.counts.completed,
+            rejected: self.counts.rejected,
+            timed_out: self.counts.timed_out,
+            shed: self.counts.shed,
+            queue_len: self.in_flight() as usize,
+            quality: self.shard.ledger_quality(),
+            draining: self.draining,
+        }
+    }
+
+    /// The serve-event trace so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The admission controller's hysteresis state.
+    pub fn admission_state(&self) -> AdmissionState {
+        self.admission.state()
+    }
+
+    /// Whether drain has begun (admission permanently closed).
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Closes admission and emits `serve_drain`. Idempotent; every
+    /// subsequent submit is rejected with reason `draining`.
+    pub fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        let pending = self.in_flight();
+        self.events.push(TraceEvent::ServeDrain {
+            t: self.last_t.max(self.shard.now().as_secs()),
+            pending,
+        });
+    }
+
+    /// Runs the session to its end: close admission, advance the engine
+    /// to the horizon (every in-flight request reaches a terminal
+    /// state), seal the final checkpoint and prove it restores
+    /// bit-exactly, close the books, and emit `serve_summary`.
+    pub fn finish_drain(mut self) -> DrainOutcome {
+        self.begin_drain();
+        let horizon = self.shard.horizon();
+        let mut sink = VecSink::new();
+        self.shard.advance_to_with(horizon, &mut sink);
+        self.absorb(sink.into_events());
+        let checkpoint = self.shard.snapshot();
+        let resume_bit_exact =
+            match ShardEngine::restore(&self.cfg.sim, &self.cfg.algorithm, None, &checkpoint) {
+                Ok(restored) => restored.snapshot() == checkpoint,
+                Err(_) => false,
+            };
+        let ServeCore {
+            shard,
+            mut counts,
+            mut events,
+            mut terminals,
+            latency_ns,
+            latency_dropped,
+            ..
+        } = self;
+        // Close the books; fold any closing events (leftover discards)
+        // the same way advance() does.
+        let mut close_sink = VecSink::new();
+        let outcome = shard.finalize_with(&mut close_sink);
+        for ev in close_sink.into_events() {
+            match ev {
+                TraceEvent::JobFinish {
+                    t,
+                    job,
+                    processed,
+                    full_demand,
+                    discarded,
+                } => {
+                    if discarded {
+                        counts.timed_out += 1;
+                        terminals.push((job, Outcome::TimedOut, 0.0));
+                        events.push(TraceEvent::ServeTimeout { t, req: job });
+                    } else {
+                        counts.completed += 1;
+                        terminals.push((job, Outcome::Completed, processed));
+                        events.push(TraceEvent::ServeComplete {
+                            t,
+                            req: job,
+                            processed,
+                            full_demand,
+                        });
+                    }
+                }
+                TraceEvent::JobShed { t, job, .. } => {
+                    counts.shed += 1;
+                    terminals.push((job, Outcome::Shed, 0.0));
+                    events.push(TraceEvent::ServeShed { t, req: job });
+                }
+                _ => {}
+            }
+        }
+        events.push(TraceEvent::ServeSummary {
+            t: horizon.as_secs(),
+            requests: counts.requests,
+            admitted: counts.admitted,
+            completed: counts.completed,
+            rejected: counts.rejected,
+            timed_out: counts.timed_out,
+            shed: counts.shed,
+        });
+        terminals.sort_unstable_by_key(|&(req, _, _)| req);
+        DrainOutcome {
+            events,
+            requests: counts.requests,
+            admitted: counts.admitted,
+            completed: counts.completed,
+            rejected: counts.rejected,
+            timed_out: counts.timed_out,
+            shed: counts.shed,
+            digest: accounting_digest(&terminals),
+            checkpoint,
+            resume_bit_exact,
+            quality: outcome.result.quality,
+            energy_j: outcome.result.energy_j,
+            latency_ns,
+            latency_dropped,
+        }
+    }
+}
+
+/// FNV-1a over `(req, outcome tag, processed bits)` triples.
+fn accounting_digest(terminals: &[(u64, Outcome, f64)]) -> u64 {
+    let mut bytes = Vec::with_capacity(terminals.len() * 17);
+    for &(req, outcome, processed) in terminals {
+        bytes.extend_from_slice(&req.to_le_bytes());
+        bytes.push(outcome.tag());
+        bytes.extend_from_slice(&processed.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ge_trace::replay_serve;
+
+    fn small_cfg() -> ServeConfig {
+        let mut sim = SimConfig::paper_default();
+        sim.cores = 4;
+        sim.budget_w = 80.0;
+        sim.critical_load_rps = 154.0 / 4.0;
+        sim.horizon = SimTime::from_secs(30.0);
+        let mut cfg = ServeConfig::new(sim, Algorithm::Ge);
+        cfg.queue_high = 8;
+        cfg.queue_low = 2;
+        cfg
+    }
+
+    #[test]
+    fn every_request_reaches_exactly_one_terminal_state() {
+        let mut core = ServeCore::new(small_cfg());
+        for i in 0..200u64 {
+            let t = 0.01 * i as f64;
+            core.submit(t, 300.0 + (i % 7) as f64 * 50.0, 0.2).unwrap();
+        }
+        let out = core.finish_drain();
+        assert!(out.is_consistent(), "{out:?}");
+        assert_eq!(out.requests, 200);
+        assert!(out.completed > 0);
+        // The trace replays clean through the independent checker.
+        let report = replay_serve(&out.events).unwrap();
+        assert!(report.is_ok(), "{}", report.render());
+        assert_eq!(report.requests, 200);
+    }
+
+    #[test]
+    fn burst_overload_trips_busy_and_hysteresis_reopens() {
+        let mut core = ServeCore::new(small_cfg());
+        // A burst at one instant: the queue can only drain once time
+        // advances, so the high watermark must trip.
+        let mut busy = 0;
+        for _ in 0..60 {
+            match core.submit(1.0, 900.0, 5.0).unwrap() {
+                SubmitOutcome::Rejected {
+                    reason: RejectReason::Busy,
+                    ..
+                } => busy += 1,
+                SubmitOutcome::Rejected { reason, .. } => panic!("unexpected {reason:?}"),
+                SubmitOutcome::Admitted { .. } => {}
+            }
+        }
+        assert!(busy > 0, "burst never tripped the high watermark");
+        assert_eq!(core.admission_state(), AdmissionState::Shedding);
+        // After the queue drains, admission reopens.
+        core.tick(20.0).unwrap();
+        match core.submit(20.5, 300.0, 2.0).unwrap() {
+            SubmitOutcome::Admitted { .. } => {}
+            other => panic!("expected reopen, got {other:?}"),
+        }
+        let out = core.finish_drain();
+        assert!(out.is_consistent());
+        assert_eq!(out.rejected, busy);
+    }
+
+    #[test]
+    fn identical_command_streams_produce_identical_digests() {
+        let run = || {
+            let mut core = ServeCore::new(small_cfg());
+            for i in 0..150u64 {
+                let t = 0.02 * i as f64;
+                core.submit(t, 250.0 + (i % 11) as f64 * 80.0, 0.15)
+                    .unwrap();
+            }
+            core.finish_drain()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.timed_out, b.timed_out);
+        assert_eq!(a.events.len(), b.events.len());
+    }
+
+    #[test]
+    fn wall_clock_pacing_cannot_change_accounting() {
+        // Same logical command stream, one run with an artificial stall
+        // between commands: digests must match because only logical time
+        // is accounted.
+        let run = |stall: bool| {
+            let mut core = ServeCore::new(small_cfg());
+            for i in 0..40u64 {
+                if stall && i % 13 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                core.submit(0.05 * i as f64, 400.0, 0.3).unwrap();
+            }
+            core.finish_drain()
+        };
+        assert_eq!(run(false).digest, run(true).digest);
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_checkpoint_resumes_bit_exact() {
+        let mut core = ServeCore::new(small_cfg());
+        for i in 0..50u64 {
+            core.submit(0.05 * i as f64, 500.0, 1.0).unwrap();
+        }
+        core.begin_drain();
+        match core.submit(5.0, 300.0, 1.0).unwrap() {
+            SubmitOutcome::Rejected {
+                reason: RejectReason::Draining,
+                ..
+            } => {}
+            other => panic!("expected draining reject, got {other:?}"),
+        }
+        let out = core.finish_drain();
+        assert!(out.resume_bit_exact, "checkpoint failed the resume proof");
+        assert!(!out.checkpoint.is_empty());
+        assert!(out.is_consistent());
+        let report = replay_serve(&out.events).unwrap();
+        assert!(report.is_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn time_regression_and_horizon_overrun_are_typed_errors() {
+        let mut core = ServeCore::new(small_cfg());
+        core.submit(5.0, 300.0, 1.0).unwrap();
+        assert!(matches!(
+            core.submit(4.0, 300.0, 1.0),
+            Err(SubmitError::TimeRegression { .. })
+        ));
+        assert!(matches!(
+            core.submit(1e9, 300.0, 1.0),
+            Err(SubmitError::BeyondHorizon { field: "t", .. })
+        ));
+        assert!(matches!(
+            core.submit(6.0, 300.0, 1e9),
+            Err(SubmitError::BeyondHorizon {
+                field: "deadline",
+                ..
+            })
+        ));
+        // Errors consume no request ids and leave accounting untouched.
+        assert_eq!(core.stats().requests, 1);
+    }
+
+    #[test]
+    fn short_deadlines_time_out_and_land_in_the_denominator() {
+        let mut core = ServeCore::new(small_cfg());
+        // Far more instantaneous demand than 4 cores can serve in 50 ms:
+        // most of it must expire.
+        for _ in 0..30u64 {
+            core.submit(1.0, 1000.0, 0.05).unwrap();
+        }
+        let out = core.finish_drain();
+        assert!(out.timed_out > 0, "{out:?}");
+        assert!(out.is_consistent());
+        assert!(
+            out.quality < 1.0,
+            "timeouts must drag quality: {}",
+            out.quality
+        );
+    }
+}

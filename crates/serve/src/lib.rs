@@ -1,0 +1,52 @@
+//! # ge-serve — an overload-safe live serving front end for the GE engine
+//!
+//! Everything below the paper reproduction is batch: a workload is known
+//! up front, the engine runs to the horizon, results come out. This
+//! crate puts the same engine behind a **live request stream** — a
+//! line-protocol TCP listener where admission control and GE planning
+//! run on the hot path — without giving up the property the whole repo
+//! is built on: determinism.
+//!
+//! The trick is the split between the two layers:
+//!
+//! * [`ServeCore`] is a **deterministic state machine over logical
+//!   time**. Every mutating command carries its own timestamp
+//!   (`SUBMIT t …`), the engine advances only inside those calls, and
+//!   every request ends in exactly one terminal state (completed /
+//!   rejected / timed-out / shed). Two identical command streams yield
+//!   bit-identical traces and accounting digests regardless of
+//!   wall-clock pacing.
+//! * [`ServeServer`] is the **hardened, nondeterministic shell**:
+//!   bounded line reader, read/write timeouts, slow-client reaping, a
+//!   connection cap, panic-isolated workers, and a graceful drain that
+//!   checkpoints the final state via `ge-recover` and proves the
+//!   checkpoint restores bit-exactly.
+//!
+//! Backpressure is explicit: a queue past its high watermark answers
+//! `BUSY` (hysteresis keeps the decision from flapping), an armed
+//! quality floor answers `REJECTED floor`, a draining server answers
+//! `DRAINING` — and none of those ever buffer unbounded work.
+//!
+//! The module map mirrors the layering: [`protocol`] (wire format),
+//! [`admission`] (the hysteresis gate), [`core`] (the deterministic
+//! state machine), [`server`] (the TCP shell), [`signal`] (the
+//! SIGTERM latch that triggers drain).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod admission;
+pub mod core;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use admission::{AdmissionController, AdmissionDecision, AdmissionState};
+pub use core::{
+    DrainOutcome, Outcome, ServeConfig, ServeCore, ServeStats, SubmitError, SubmitOutcome,
+};
+pub use protocol::{
+    parse_command, Command, LineReader, ProtocolError, ReadLineError, MAX_LINE_DEFAULT,
+};
+pub use server::ServeServer;
+pub use signal::{install_term_handler, reset_term_latch, term_requested};

@@ -1,0 +1,470 @@
+//! The serving line protocol: newline-delimited ASCII commands with
+//! typed parse errors and a hard per-line byte cap.
+//!
+//! Requests:
+//!
+//! ```text
+//! SUBMIT <t> <demand> <deadline_rel>   admit a request at logical time t
+//! TICK <t>                             advance logical time with no work
+//! STATS                                one-line accounting snapshot
+//! PING                                 liveness probe
+//! DRAIN                                request graceful drain
+//! PANIC                                (test builds only) kill this worker
+//! ```
+//!
+//! Replies (one line each): `ACCEPTED <req> <qlen>`, `BUSY <qlen>`,
+//! `REJECTED <reason>`, `DRAINING`, `OK <t>`, `PONG`, `STATS …`, and
+//! `ERR <kind>` for malformed input. Every parse failure is a typed
+//! [`ProtocolError`] whose [`ProtocolError::kind`] is the stable wire
+//! token after `ERR`, so clients and the chaos harness can assert on the
+//! exact failure class.
+
+use std::io::{self, Read};
+
+/// Default hard cap on one protocol line, in bytes (newline excluded).
+pub const MAX_LINE_DEFAULT: usize = 4096;
+
+/// A parsed protocol command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Command {
+    /// `SUBMIT <t> <demand> <deadline_rel>` — a request arriving at
+    /// logical time `t` wanting `demand` work units within
+    /// `deadline_rel` seconds of arrival.
+    Submit {
+        /// Logical arrival time, seconds.
+        t: f64,
+        /// Requested work units.
+        demand: f64,
+        /// Relative deadline, seconds after `t`.
+        deadline_rel: f64,
+    },
+    /// `TICK <t>` — advance logical time without submitting work (lets
+    /// deadline expiries fire between sparse arrivals).
+    Tick {
+        /// Logical time to advance to, seconds.
+        t: f64,
+    },
+    /// `STATS` — request a one-line accounting snapshot.
+    Stats,
+    /// `PING` — liveness probe.
+    Ping,
+    /// `DRAIN` — ask the server to drain gracefully.
+    Drain,
+    /// `PANIC` — deliberately panic the handling worker thread. Only
+    /// honoured when [`crate::ServeConfig::enable_test_panic`] is set;
+    /// otherwise it parses but the server answers `ERR refused`.
+    Panic,
+}
+
+/// A typed protocol parse failure. [`ProtocolError::kind`] is the wire
+/// token sent back as `ERR <kind>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The line exceeded the configured byte cap before its newline.
+    LineTooLong {
+        /// The configured cap that was exceeded.
+        limit: usize,
+    },
+    /// The line was not valid UTF-8.
+    NotUtf8,
+    /// The line was empty or all whitespace.
+    Empty,
+    /// The first token is not a known command verb.
+    UnknownCommand,
+    /// The command had the wrong number of arguments.
+    BadArity {
+        /// The command verb.
+        cmd: &'static str,
+        /// Arguments the verb requires.
+        expected: usize,
+        /// Arguments actually present.
+        got: usize,
+    },
+    /// A numeric argument failed to parse or was non-finite.
+    BadNumber {
+        /// The command verb.
+        cmd: &'static str,
+        /// The offending field name.
+        field: &'static str,
+    },
+    /// A numeric argument parsed but is outside its legal range.
+    OutOfRange {
+        /// The command verb.
+        cmd: &'static str,
+        /// The offending field name.
+        field: &'static str,
+    },
+}
+
+impl ProtocolError {
+    /// Stable wire token for `ERR <kind>` replies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolError::LineTooLong { .. } => "line-too-long",
+            ProtocolError::NotUtf8 => "not-utf8",
+            ProtocolError::Empty => "empty-line",
+            ProtocolError::UnknownCommand => "unknown-command",
+            ProtocolError::BadArity { .. } => "bad-arity",
+            ProtocolError::BadNumber { .. } => "bad-number",
+            ProtocolError::OutOfRange { .. } => "out-of-range",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::LineTooLong { limit } => {
+                write!(f, "line exceeds the {limit}-byte cap")
+            }
+            ProtocolError::NotUtf8 => write!(f, "line is not valid UTF-8"),
+            ProtocolError::Empty => write!(f, "empty line"),
+            ProtocolError::UnknownCommand => write!(f, "unknown command verb"),
+            ProtocolError::BadArity { cmd, expected, got } => {
+                write!(f, "{cmd} takes {expected} argument(s), got {got}")
+            }
+            ProtocolError::BadNumber { cmd, field } => {
+                write!(f, "{cmd}: {field} is not a finite number")
+            }
+            ProtocolError::OutOfRange { cmd, field } => {
+                write!(f, "{cmd}: {field} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn num(cmd: &'static str, field: &'static str, tok: &str) -> Result<f64, ProtocolError> {
+    let v: f64 = tok
+        .parse()
+        .map_err(|_| ProtocolError::BadNumber { cmd, field })?;
+    if !v.is_finite() {
+        return Err(ProtocolError::BadNumber { cmd, field });
+    }
+    Ok(v)
+}
+
+/// Parses one protocol line (newline already stripped) into a
+/// [`Command`].
+pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
+    let text = std::str::from_utf8(line).map_err(|_| ProtocolError::NotUtf8)?;
+    let mut toks = text.split_whitespace();
+    let verb = toks.next().ok_or(ProtocolError::Empty)?;
+    let args: Vec<&str> = toks.collect();
+    let arity = |cmd: &'static str, expected: usize| -> Result<(), ProtocolError> {
+        if args.len() == expected {
+            Ok(())
+        } else {
+            Err(ProtocolError::BadArity {
+                cmd,
+                expected,
+                got: args.len(),
+            })
+        }
+    };
+    match verb {
+        "SUBMIT" => {
+            arity("SUBMIT", 3)?;
+            let t = num("SUBMIT", "t", args[0])?;
+            let demand = num("SUBMIT", "demand", args[1])?;
+            let deadline_rel = num("SUBMIT", "deadline_rel", args[2])?;
+            if t < 0.0 {
+                return Err(ProtocolError::OutOfRange {
+                    cmd: "SUBMIT",
+                    field: "t",
+                });
+            }
+            if demand <= 0.0 {
+                return Err(ProtocolError::OutOfRange {
+                    cmd: "SUBMIT",
+                    field: "demand",
+                });
+            }
+            if deadline_rel <= 0.0 {
+                return Err(ProtocolError::OutOfRange {
+                    cmd: "SUBMIT",
+                    field: "deadline_rel",
+                });
+            }
+            Ok(Command::Submit {
+                t,
+                demand,
+                deadline_rel,
+            })
+        }
+        "TICK" => {
+            arity("TICK", 1)?;
+            let t = num("TICK", "t", args[0])?;
+            if t < 0.0 {
+                return Err(ProtocolError::OutOfRange {
+                    cmd: "TICK",
+                    field: "t",
+                });
+            }
+            Ok(Command::Tick { t })
+        }
+        "STATS" => {
+            arity("STATS", 0)?;
+            Ok(Command::Stats)
+        }
+        "PING" => {
+            arity("PING", 0)?;
+            Ok(Command::Ping)
+        }
+        "DRAIN" => {
+            arity("DRAIN", 0)?;
+            Ok(Command::Drain)
+        }
+        "PANIC" => {
+            arity("PANIC", 0)?;
+            Ok(Command::Panic)
+        }
+        _ => Err(ProtocolError::UnknownCommand),
+    }
+}
+
+/// Why [`LineReader::read_line`] failed.
+#[derive(Debug)]
+pub enum ReadLineError {
+    /// The transport failed (includes read timeouts — `TimedOut` /
+    /// `WouldBlock` — which the server treats as a slow client).
+    Io(io::Error),
+    /// The sender streamed more than the cap without a newline. The
+    /// stream is desynchronized past this point; the server replies
+    /// `ERR line-too-long` and disconnects.
+    TooLong {
+        /// The configured cap that was exceeded.
+        limit: usize,
+    },
+}
+
+/// A newline-delimited frame reader with a hard per-line byte cap.
+///
+/// Reads in bounded chunks and never buffers more than `max_line + one
+/// chunk` bytes, so a hostile sender streaming an endless line costs
+/// O(cap) memory, not O(input).
+pub struct LineReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    max_line: usize,
+    eof: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps `inner`, capping lines at `max_line` bytes (newline
+    /// excluded).
+    pub fn new(inner: R, max_line: usize) -> Self {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+            max_line,
+            eof: false,
+        }
+    }
+
+    /// The wrapped transport (e.g. to discard buffered hostile input
+    /// before disconnecting).
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// Returns the next line without its terminator (`\n`, with an
+    /// optional preceding `\r` also stripped), `Ok(None)` at clean EOF.
+    /// A non-empty final line without a trailing newline is returned.
+    pub fn read_line(&mut self) -> Result<Option<Vec<u8>>, ReadLineError> {
+        loop {
+            if let Some(pos) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                let end = self.start + pos;
+                if end - self.start > self.max_line {
+                    return Err(ReadLineError::TooLong {
+                        limit: self.max_line,
+                    });
+                }
+                let mut line = self.buf[self.start..end].to_vec();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.start = end + 1;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                }
+                return Ok(Some(line));
+            }
+            if self.buf.len() - self.start > self.max_line {
+                return Err(ReadLineError::TooLong {
+                    limit: self.max_line,
+                });
+            }
+            if self.eof {
+                if self.start == self.buf.len() {
+                    return Ok(None);
+                }
+                let mut line = self.buf[self.start..].to_vec();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.start = self.buf.len();
+                return Ok(Some(line));
+            }
+            // Compact consumed bytes before growing the buffer further.
+            if self.start > 0 {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+            let mut chunk = [0u8; 1024];
+            let n = self.inner.read(&mut chunk).map_err(ReadLineError::Io)?;
+            if n == 0 {
+                self.eof = true;
+            } else {
+                self.buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_command(b"SUBMIT 1.5 400 0.25"),
+            Ok(Command::Submit {
+                t: 1.5,
+                demand: 400.0,
+                deadline_rel: 0.25
+            })
+        );
+        assert_eq!(parse_command(b"TICK 9.25"), Ok(Command::Tick { t: 9.25 }));
+        assert_eq!(parse_command(b"STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command(b"PING"), Ok(Command::Ping));
+        assert_eq!(parse_command(b"DRAIN"), Ok(Command::Drain));
+        assert_eq!(parse_command(b"PANIC"), Ok(Command::Panic));
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_typed_errors() {
+        assert_eq!(parse_command(b""), Err(ProtocolError::Empty));
+        assert_eq!(parse_command(b"   "), Err(ProtocolError::Empty));
+        assert_eq!(parse_command(b"NOPE 1"), Err(ProtocolError::UnknownCommand));
+        assert_eq!(parse_command(b"\xff\xfe"), Err(ProtocolError::NotUtf8));
+        assert_eq!(
+            parse_command(b"SUBMIT 1 2"),
+            Err(ProtocolError::BadArity {
+                cmd: "SUBMIT",
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            parse_command(b"SUBMIT x 2 3"),
+            Err(ProtocolError::BadNumber {
+                cmd: "SUBMIT",
+                field: "t"
+            })
+        );
+        assert_eq!(
+            parse_command(b"SUBMIT 1 inf 3"),
+            Err(ProtocolError::BadNumber {
+                cmd: "SUBMIT",
+                field: "demand"
+            })
+        );
+        assert_eq!(
+            parse_command(b"SUBMIT 1 -4 3"),
+            Err(ProtocolError::OutOfRange {
+                cmd: "SUBMIT",
+                field: "demand"
+            })
+        );
+        assert_eq!(
+            parse_command(b"TICK -1"),
+            Err(ProtocolError::OutOfRange {
+                cmd: "TICK",
+                field: "t"
+            })
+        );
+        assert_eq!(
+            parse_command(b"PING extra"),
+            Err(ProtocolError::BadArity {
+                cmd: "PING",
+                expected: 0,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn every_error_kind_is_a_stable_token() {
+        let kinds = [
+            ProtocolError::LineTooLong { limit: 1 }.kind(),
+            ProtocolError::NotUtf8.kind(),
+            ProtocolError::Empty.kind(),
+            ProtocolError::UnknownCommand.kind(),
+            ProtocolError::BadArity {
+                cmd: "X",
+                expected: 0,
+                got: 1,
+            }
+            .kind(),
+            ProtocolError::BadNumber {
+                cmd: "X",
+                field: "y",
+            }
+            .kind(),
+            ProtocolError::OutOfRange {
+                cmd: "X",
+                field: "y",
+            }
+            .kind(),
+        ];
+        for k in kinds {
+            assert!(!k.is_empty() && !k.contains(' '), "{k}");
+        }
+    }
+
+    #[test]
+    fn line_reader_splits_frames_and_strips_crlf() {
+        let data: &[u8] = b"PING\r\nSTATS\nlast";
+        let mut r = LineReader::new(data, 64);
+        assert_eq!(r.read_line().unwrap(), Some(b"PING".to_vec()));
+        assert_eq!(r.read_line().unwrap(), Some(b"STATS".to_vec()));
+        assert_eq!(r.read_line().unwrap(), Some(b"last".to_vec()));
+        assert!(r.read_line().unwrap().is_none());
+    }
+
+    #[test]
+    fn line_reader_caps_overlong_lines() {
+        let data = vec![b'a'; 10_000];
+        let mut r = LineReader::new(&data[..], 256);
+        match r.read_line() {
+            Err(ReadLineError::TooLong { limit: 256 }) => {}
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+    }
+
+    /// A reader that never yields a newline and never ends.
+    struct Endless;
+    impl Read for Endless {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            for b in buf.iter_mut() {
+                *b = b'z';
+            }
+            Ok(buf.len())
+        }
+    }
+
+    #[test]
+    fn line_reader_fails_early_on_endless_input() {
+        let mut r = LineReader::new(Endless, 512);
+        match r.read_line() {
+            Err(ReadLineError::TooLong { limit: 512 }) => {}
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! A `std`-only SIGTERM/SIGINT latch.
+//!
+//! The workspace links no external crates, so there is no `libc` to
+//! lean on; on Unix the C library's `signal(2)` symbol is declared
+//! directly and the handler just stores into a process-global atomic —
+//! the only async-signal-safe thing a handler may do. The serving loop
+//! polls [`term_requested`] between accepts and starts a graceful drain
+//! when it flips. On non-Unix targets installation is a no-op returning
+//! `false`; the portable fallback is the protocol's `DRAIN` command.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERM_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `signal` is the C library's signal(2); the handler only
+        // performs an atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+        }
+        true
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handler. Returns `false` on platforms
+/// without Unix signals (use the protocol's `DRAIN` command there).
+pub fn install_term_handler() -> bool {
+    imp::install()
+}
+
+/// Whether a termination signal has arrived since install.
+pub fn term_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Clears the latch (tests; a process serves once in production).
+pub fn reset_term_latch() {
+    TERM_REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigterm_sets_the_latch_without_killing_the_process() {
+        reset_term_latch();
+        assert!(install_term_handler());
+        assert!(!term_requested());
+        // SAFETY: raise(2) delivers SIGTERM to this process; the handler
+        // installed above absorbs it into the latch.
+        unsafe {
+            raise(15);
+        }
+        assert!(term_requested());
+        reset_term_latch();
+    }
+}

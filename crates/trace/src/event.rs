@@ -71,6 +71,40 @@ impl SplitPolicy {
     }
 }
 
+/// Why the serving front end refused a request (`ge-serve` traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Backpressure: the ingress queue was above its high watermark (the
+    /// wire analogue of HTTP 429).
+    Busy,
+    /// The armed quality floor was in danger: admitting more work would
+    /// push ledger quality below `q_min`.
+    Floor,
+    /// The server was draining for shutdown and no longer admits work.
+    Draining,
+}
+
+impl RejectReason {
+    /// Stable wire name of the rejection reason.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::Busy => "busy",
+            RejectReason::Floor => "floor",
+            RejectReason::Draining => "draining",
+        }
+    }
+
+    /// Parses a wire name produced by [`RejectReason::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "busy" => Some(RejectReason::Busy),
+            "floor" => Some(RejectReason::Floor),
+            "draining" => Some(RejectReason::Draining),
+            _ => None,
+        }
+    }
+}
+
 /// One structured observation from a simulation run.
 ///
 /// The variants cover the full decision surface of the GE algorithm:
@@ -429,6 +463,111 @@ pub enum TraceEvent {
         /// Fleet-wide delivered quality.
         quality: f64,
     },
+    /// Serving-session configuration, emitted once before any other serve
+    /// event (`ge-serve` traces only).
+    ServeRunStart {
+        /// Logical time of the session start (always `0.0`).
+        t: f64,
+        /// Human-readable algorithm label (e.g. `"GE"`).
+        algorithm: String,
+        /// Number of cores behind the front end.
+        cores: u64,
+        /// Server power budget in watts.
+        budget_w: f64,
+        /// Armed quality floor (`0` = disarmed).
+        q_min: f64,
+        /// Admission high watermark (in-flight depth that closes admission).
+        queue_high: u64,
+        /// Admission low watermark (in-flight depth that reopens admission).
+        queue_low: u64,
+    },
+    /// A request arrived at the front end (before any admission decision).
+    ServeRequest {
+        /// Logical arrival time in seconds.
+        t: f64,
+        /// Request identifier (dense, assigned at ingress).
+        req: u64,
+        /// Requested processing demand in work units.
+        demand: f64,
+        /// Absolute logical deadline in seconds.
+        deadline_s: f64,
+    },
+    /// Admission control accepted a request into the engine.
+    ServeAdmit {
+        /// Logical time in seconds.
+        t: f64,
+        /// Request identifier.
+        req: u64,
+        /// In-flight depth (admitted, not yet terminal) after the admit.
+        queue_len: u64,
+    },
+    /// Admission control refused a request (terminal: rejected).
+    ServeReject {
+        /// Logical time in seconds.
+        t: f64,
+        /// Request identifier.
+        req: u64,
+        /// Why the request was refused.
+        reason: RejectReason,
+        /// In-flight depth at the decision.
+        queue_len: u64,
+    },
+    /// An admitted request's deadline expired unserved (terminal:
+    /// timed-out; the engine discards it and the quality ledger counts it
+    /// in the denominator).
+    ServeTimeout {
+        /// Logical expiry time in seconds.
+        t: f64,
+        /// Request identifier.
+        req: u64,
+    },
+    /// An admitted request finished with work done (terminal: completed —
+    /// possibly partially, under a GE cut).
+    ServeComplete {
+        /// Logical completion time in seconds.
+        t: f64,
+        /// Request identifier.
+        req: u64,
+        /// Work units actually processed.
+        processed: f64,
+        /// The request's full demand.
+        full_demand: f64,
+    },
+    /// The engine shed an admitted request under its quality floor
+    /// (terminal: shed).
+    ServeShed {
+        /// Logical time in seconds.
+        t: f64,
+        /// Request identifier.
+        req: u64,
+    },
+    /// Drain began: admission closed, in-flight work runs to a terminal
+    /// state. No `ServeAdmit` may follow.
+    ServeDrain {
+        /// Logical time drain began, in seconds.
+        t: f64,
+        /// Requests admitted but not yet terminal at drain start.
+        pending: u64,
+    },
+    /// Final serving-session aggregates, emitted once after all other
+    /// serve events. Every request is exactly one of completed /
+    /// rejected / shed / timed-out: the four counters sum to `requests`.
+    ServeSummary {
+        /// Logical time the books closed, in seconds.
+        t: f64,
+        /// Requests that reached the front end.
+        requests: u64,
+        /// Requests admitted into the engine.
+        admitted: u64,
+        /// Terminal: finished with work done.
+        completed: u64,
+        /// Terminal: refused at admission.
+        rejected: u64,
+        /// Terminal: deadline expired unserved.
+        timed_out: u64,
+        /// Terminal: shed by the engine's quality floor or at drain.
+        shed: u64,
+    },
     /// Final reported aggregates, emitted once after all other events.
     RunSummary {
         /// Horizon time in seconds.
@@ -478,6 +617,15 @@ impl TraceEvent {
             | TraceEvent::FleetShed { t, .. }
             | TraceEvent::FleetBudget { t, .. }
             | TraceEvent::FleetSummary { t, .. }
+            | TraceEvent::ServeRunStart { t, .. }
+            | TraceEvent::ServeRequest { t, .. }
+            | TraceEvent::ServeAdmit { t, .. }
+            | TraceEvent::ServeReject { t, .. }
+            | TraceEvent::ServeTimeout { t, .. }
+            | TraceEvent::ServeComplete { t, .. }
+            | TraceEvent::ServeShed { t, .. }
+            | TraceEvent::ServeDrain { t, .. }
+            | TraceEvent::ServeSummary { t, .. }
             | TraceEvent::RunSummary { t, .. } => *t,
         }
     }
@@ -513,6 +661,15 @@ impl TraceEvent {
             TraceEvent::FleetShed { .. } => "fleet_shed",
             TraceEvent::FleetBudget { .. } => "fleet_budget",
             TraceEvent::FleetSummary { .. } => "fleet_summary",
+            TraceEvent::ServeRunStart { .. } => "serve_run_start",
+            TraceEvent::ServeRequest { .. } => "serve_request",
+            TraceEvent::ServeAdmit { .. } => "serve_admit",
+            TraceEvent::ServeReject { .. } => "serve_reject",
+            TraceEvent::ServeTimeout { .. } => "serve_timeout",
+            TraceEvent::ServeComplete { .. } => "serve_complete",
+            TraceEvent::ServeShed { .. } => "serve_shed",
+            TraceEvent::ServeDrain { .. } => "serve_drain",
+            TraceEvent::ServeSummary { .. } => "serve_summary",
             TraceEvent::RunSummary { .. } => "run_summary",
         }
     }
@@ -532,6 +689,9 @@ impl TraceEvent {
                 | TraceEvent::JobFinish { .. }
                 | TraceEvent::DemandMisestimate { .. }
                 | TraceEvent::FleetDispatch { .. }
+                | TraceEvent::ServeRequest { .. }
+                | TraceEvent::ServeAdmit { .. }
+                | TraceEvent::ServeComplete { .. }
         )
     }
 }

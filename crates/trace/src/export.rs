@@ -6,9 +6,9 @@
 //! `parse(jsonl(event)) == event` holds *exactly*, bit for bit — the
 //! property the replay checker in [`crate::replay`] relies on.
 
-use crate::event::{SplitPolicy, TraceEvent, TriggerKind};
+use crate::event::{RejectReason, SplitPolicy, TraceEvent, TriggerKind};
 use std::collections::BTreeMap;
-use std::io::{self, Write};
+use std::io::{self, BufRead, Write};
 
 /// A scalar field value, as written to the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -359,6 +359,79 @@ fn fields(ev: &TraceEvent) -> Vec<(&'static str, Field)> {
             ("energy_j", F(*energy_j)),
             ("quality", F(*quality)),
         ],
+        TraceEvent::ServeRunStart {
+            t,
+            algorithm,
+            cores,
+            budget_w,
+            q_min,
+            queue_high,
+            queue_low,
+        } => vec![
+            ("t", F(*t)),
+            ("algorithm", S(algorithm.clone())),
+            ("cores", U(*cores)),
+            ("budget_w", F(*budget_w)),
+            ("q_min", F(*q_min)),
+            ("queue_high", U(*queue_high)),
+            ("queue_low", U(*queue_low)),
+        ],
+        TraceEvent::ServeRequest {
+            t,
+            req,
+            demand,
+            deadline_s,
+        } => vec![
+            ("t", F(*t)),
+            ("req", U(*req)),
+            ("demand", F(*demand)),
+            ("deadline_s", F(*deadline_s)),
+        ],
+        TraceEvent::ServeAdmit { t, req, queue_len } => {
+            vec![("t", F(*t)), ("req", U(*req)), ("queue_len", U(*queue_len))]
+        }
+        TraceEvent::ServeReject {
+            t,
+            req,
+            reason,
+            queue_len,
+        } => vec![
+            ("t", F(*t)),
+            ("req", U(*req)),
+            ("reason", S(reason.as_str().to_string())),
+            ("queue_len", U(*queue_len)),
+        ],
+        TraceEvent::ServeTimeout { t, req } => vec![("t", F(*t)), ("req", U(*req))],
+        TraceEvent::ServeComplete {
+            t,
+            req,
+            processed,
+            full_demand,
+        } => vec![
+            ("t", F(*t)),
+            ("req", U(*req)),
+            ("processed", F(*processed)),
+            ("full_demand", F(*full_demand)),
+        ],
+        TraceEvent::ServeShed { t, req } => vec![("t", F(*t)), ("req", U(*req))],
+        TraceEvent::ServeDrain { t, pending } => vec![("t", F(*t)), ("pending", U(*pending))],
+        TraceEvent::ServeSummary {
+            t,
+            requests,
+            admitted,
+            completed,
+            rejected,
+            timed_out,
+            shed,
+        } => vec![
+            ("t", F(*t)),
+            ("requests", U(*requests)),
+            ("admitted", U(*admitted)),
+            ("completed", U(*completed)),
+            ("rejected", U(*rejected)),
+            ("timed_out", U(*timed_out)),
+            ("shed", U(*shed)),
+        ],
         TraceEvent::RunSummary {
             t,
             energy_j,
@@ -404,6 +477,25 @@ pub fn write_jsonl<'a, W: Write>(
     Ok(())
 }
 
+/// Hard upper bound on one JSONL trace line, in bytes. Every event the
+/// exporters emit is far below this; anything longer is malformed or
+/// hostile input, and the readers refuse it with
+/// [`ParseErrorKind::LineTooLong`] *before* buffering the whole line, so
+/// a trace fed from an untrusted stream can never grow memory unboundedly.
+pub const MAX_JSONL_LINE_BYTES: usize = 64 * 1024;
+
+/// What class of failure a [`ParseError`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed JSON, an unknown event kind, a bad field, or a
+    /// document-level contract violation (ordering, non-finite time).
+    Syntax,
+    /// A line exceeded [`MAX_JSONL_LINE_BYTES`].
+    LineTooLong,
+    /// The underlying reader failed ([`parse_jsonl_reader`] only).
+    Io,
+}
+
 /// Error from parsing a JSONL trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
@@ -411,6 +503,8 @@ pub struct ParseError {
     pub line: usize,
     /// Description of what went wrong.
     pub message: String,
+    /// Failure class (length-cap violations are typed, not textual).
+    pub kind: ParseErrorKind,
 }
 
 impl std::fmt::Display for ParseError {
@@ -429,6 +523,15 @@ fn err(msg: impl Into<String>) -> ParseError {
     ParseError {
         line: 0,
         message: msg.into(),
+        kind: ParseErrorKind::Syntax,
+    }
+}
+
+fn err_too_long(len: usize) -> ParseError {
+    ParseError {
+        line: 0,
+        message: format!("line of {len}+ bytes exceeds the {MAX_JSONL_LINE_BYTES}-byte cap"),
+        kind: ParseErrorKind::LineTooLong,
     }
 }
 
@@ -630,8 +733,13 @@ impl Fields {
     }
 }
 
-/// Parses one JSONL line back into a [`TraceEvent`].
+/// Parses one JSONL line back into a [`TraceEvent`]. Lines longer than
+/// [`MAX_JSONL_LINE_BYTES`] are rejected with
+/// [`ParseErrorKind::LineTooLong`].
 pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, ParseError> {
+    if line.len() > MAX_JSONL_LINE_BYTES {
+        return Err(err_too_long(line.len()));
+    }
     let f = Fields(FlatJson::parse(line)?);
     let kind = f.str("ev")?.to_string();
     let ev = match kind.as_str() {
@@ -820,6 +928,60 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, ParseError> {
             energy_j: f.f64("energy_j")?,
             quality: f.f64("quality")?,
         },
+        "serve_run_start" => TraceEvent::ServeRunStart {
+            t: f.f64("t")?,
+            algorithm: f.str("algorithm")?.to_string(),
+            cores: f.u64("cores")?,
+            budget_w: f.f64("budget_w")?,
+            q_min: f.f64("q_min")?,
+            queue_high: f.u64("queue_high")?,
+            queue_low: f.u64("queue_low")?,
+        },
+        "serve_request" => TraceEvent::ServeRequest {
+            t: f.f64("t")?,
+            req: f.u64("req")?,
+            demand: f.f64("demand")?,
+            deadline_s: f.f64("deadline_s")?,
+        },
+        "serve_admit" => TraceEvent::ServeAdmit {
+            t: f.f64("t")?,
+            req: f.u64("req")?,
+            queue_len: f.u64("queue_len")?,
+        },
+        "serve_reject" => TraceEvent::ServeReject {
+            t: f.f64("t")?,
+            req: f.u64("req")?,
+            reason: RejectReason::parse(f.str("reason")?)
+                .ok_or_else(|| err("unknown reject reason"))?,
+            queue_len: f.u64("queue_len")?,
+        },
+        "serve_timeout" => TraceEvent::ServeTimeout {
+            t: f.f64("t")?,
+            req: f.u64("req")?,
+        },
+        "serve_complete" => TraceEvent::ServeComplete {
+            t: f.f64("t")?,
+            req: f.u64("req")?,
+            processed: f.f64("processed")?,
+            full_demand: f.f64("full_demand")?,
+        },
+        "serve_shed" => TraceEvent::ServeShed {
+            t: f.f64("t")?,
+            req: f.u64("req")?,
+        },
+        "serve_drain" => TraceEvent::ServeDrain {
+            t: f.f64("t")?,
+            pending: f.u64("pending")?,
+        },
+        "serve_summary" => TraceEvent::ServeSummary {
+            t: f.f64("t")?,
+            requests: f.u64("requests")?,
+            admitted: f.u64("admitted")?,
+            completed: f.u64("completed")?,
+            rejected: f.u64("rejected")?,
+            timed_out: f.u64("timed_out")?,
+            shed: f.u64("shed")?,
+        },
         "run_summary" => TraceEvent::RunSummary {
             t: f.f64("t")?,
             energy_j: f.f64("energy_j")?,
@@ -845,7 +1007,7 @@ const ORDER_TOL: f64 = 1e-9;
 /// panics.
 pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
     let mut out: Vec<TraceEvent> = Vec::new();
-    let mut last_t = f64::NEG_INFINITY;
+    let mut order = OrderCheck::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -855,19 +1017,97 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
             e
         };
         let ev = parse_jsonl_line(line).map_err(at_line)?;
-        let t = ev.t();
-        if !t.is_finite() {
-            return Err(at_line(err("non-finite event timestamp")));
-        }
-        if t + ORDER_TOL < last_t {
-            return Err(at_line(err(format!(
-                "out-of-order timestamp {t} after {last_t}"
-            ))));
-        }
-        last_t = last_t.max(t);
+        order.check(&ev).map_err(at_line)?;
         out.push(ev);
     }
     Ok(out)
+}
+
+/// Document-level timestamp-ordering validation, shared by the in-memory
+/// and streaming parsers.
+struct OrderCheck {
+    last_t: f64,
+}
+
+impl OrderCheck {
+    fn new() -> Self {
+        OrderCheck {
+            last_t: f64::NEG_INFINITY,
+        }
+    }
+
+    fn check(&mut self, ev: &TraceEvent) -> Result<(), ParseError> {
+        let t = ev.t();
+        if !t.is_finite() {
+            return Err(err("non-finite event timestamp"));
+        }
+        if t + ORDER_TOL < self.last_t {
+            return Err(err(format!(
+                "out-of-order timestamp {t} after {}",
+                self.last_t
+            )));
+        }
+        self.last_t = self.last_t.max(t);
+        Ok(())
+    }
+}
+
+/// Streaming variant of [`parse_jsonl`]: reads JSONL from `r` line by
+/// line, enforcing [`MAX_JSONL_LINE_BYTES`] *while buffering* — an
+/// overlong (or newline-less, endless) line fails fast with
+/// [`ParseErrorKind::LineTooLong`] after at most one cap's worth of
+/// bytes, instead of growing a line buffer without bound.
+pub fn parse_jsonl_reader<R: BufRead>(mut r: R) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut out: Vec<TraceEvent> = Vec::new();
+    let mut order = OrderCheck::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        buf.clear();
+        let at_line = |mut e: ParseError| {
+            e.line = lineno;
+            e
+        };
+        // Bounded read_until('\n'): pull from the internal buffer in
+        // chunks, never retaining more than the cap plus one chunk.
+        let mut saw_newline = false;
+        while !saw_newline {
+            let chunk = match r.fill_buf() {
+                Ok(c) => c,
+                Err(e) => {
+                    return Err(at_line(ParseError {
+                        line: lineno,
+                        message: format!("read error: {e}"),
+                        kind: ParseErrorKind::Io,
+                    }))
+                }
+            };
+            if chunk.is_empty() {
+                break; // EOF
+            }
+            let (take, newline) = match chunk.iter().position(|&b| b == b'\n') {
+                Some(idx) => (idx + 1, true),
+                None => (chunk.len(), false),
+            };
+            buf.extend_from_slice(&chunk[..take - usize::from(newline)]);
+            r.consume(take);
+            saw_newline = newline;
+            if buf.len() > MAX_JSONL_LINE_BYTES {
+                return Err(at_line(err_too_long(buf.len())));
+            }
+        }
+        if buf.is_empty() && !saw_newline {
+            return Ok(out); // clean EOF
+        }
+        let line = std::str::from_utf8(&buf).map_err(|_| at_line(err("invalid UTF-8")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = parse_jsonl_line(line).map_err(at_line)?;
+        order.check(&ev).map_err(at_line)?;
+        out.push(ev);
+    }
 }
 
 /// Column order of the wide CSV schema (union of all event fields).
@@ -933,6 +1173,17 @@ const CSV_COLUMNS: &[&str] = &[
     "failovers",
     "retries",
     "shed",
+    "req",
+    "reason",
+    "q_min",
+    "queue_high",
+    "queue_low",
+    "pending",
+    "requests",
+    "admitted",
+    "completed",
+    "rejected",
+    "timed_out",
     "schema",
     "seed",
     "config_digest",
@@ -1162,6 +1413,53 @@ mod tests {
                 energy_j: 4_813.217,
                 quality: 0.9017,
             },
+            TraceEvent::ServeRunStart {
+                t: 59.0,
+                algorithm: "GE".to_string(),
+                cores: 8,
+                budget_w: 160.0,
+                q_min: 0.5,
+                queue_high: 64,
+                queue_low: 16,
+            },
+            TraceEvent::ServeRequest {
+                t: 59.1,
+                req: 0,
+                demand: 412.734_120_000_1,
+                deadline_s: 59.25,
+            },
+            TraceEvent::ServeAdmit {
+                t: 59.1,
+                req: 0,
+                queue_len: 1,
+            },
+            TraceEvent::ServeReject {
+                t: 59.2,
+                req: 1,
+                reason: RejectReason::Busy,
+                queue_len: 65,
+            },
+            TraceEvent::ServeTimeout { t: 59.25, req: 0 },
+            TraceEvent::ServeComplete {
+                t: 59.3,
+                req: 2,
+                processed: 230.5,
+                full_demand: 412.7,
+            },
+            TraceEvent::ServeShed { t: 59.4, req: 3 },
+            TraceEvent::ServeDrain {
+                t: 59.5,
+                pending: 2,
+            },
+            TraceEvent::ServeSummary {
+                t: 59.9,
+                requests: 4,
+                admitted: 3,
+                completed: 1,
+                rejected: 1,
+                timed_out: 1,
+                shed: 1,
+            },
             TraceEvent::RunSummary {
                 t: 60.0,
                 energy_j: 1_234.567_890_123,
@@ -1264,6 +1562,49 @@ mod tests {
         let ok = "{\"ev\":\"job_assigned\",\"t\":5.0,\"job\":1,\"core\":0}\n\
                   {\"ev\":\"job_assigned\",\"t\":5.0,\"job\":2,\"core\":0}";
         assert!(parse_jsonl(ok).is_ok());
+    }
+
+    #[test]
+    fn overlong_lines_are_rejected_with_typed_error() {
+        let mut line = String::from("{\"ev\":\"run_meta\",\"t\":0,\"schema\":\"");
+        line.push_str(&"x".repeat(MAX_JSONL_LINE_BYTES));
+        line.push_str("\",\"seed\":1,\"config_digest\":1,\"version\":\"0\"}");
+        let e = parse_jsonl_line(&line).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::LineTooLong);
+        let e = parse_jsonl(&line).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::LineTooLong);
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn streaming_reader_caps_newline_less_input_early() {
+        // An endless line with no newline must fail after ~one cap of
+        // bytes, not buffer the whole stream.
+        struct Endless;
+        impl io::Read for Endless {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                buf.fill(b'a');
+                Ok(buf.len())
+            }
+        }
+        let r = io::BufReader::new(Endless);
+        let e = parse_jsonl_reader(r).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::LineTooLong);
+    }
+
+    #[test]
+    fn streaming_reader_matches_in_memory_parse() {
+        let events = exemplars();
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        let a = parse_jsonl(&text).unwrap();
+        let b = parse_jsonl_reader(io::Cursor::new(buf)).unwrap();
+        assert_eq!(a, b);
+        // No trailing newline is also fine.
+        let trimmed = text.trim_end().as_bytes().to_vec();
+        let c = parse_jsonl_reader(io::Cursor::new(trimmed)).unwrap();
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -32,13 +32,14 @@ pub mod registry;
 pub mod replay;
 pub mod sink;
 
-pub use event::{SplitPolicy, TraceEvent, TriggerKind};
+pub use event::{RejectReason, SplitPolicy, TraceEvent, TriggerKind};
 pub use export::{
-    csv_header, csv_row, jsonl_line, parse_jsonl, parse_jsonl_line, write_csv, write_jsonl,
-    ParseError,
+    csv_header, csv_row, jsonl_line, parse_jsonl, parse_jsonl_line, parse_jsonl_reader, write_csv,
+    write_jsonl, ParseError, ParseErrorKind, MAX_JSONL_LINE_BYTES,
 };
 pub use registry::{HistogramSummary, MetricsRegistry, Snapshot};
 pub use replay::{
-    replay, replay_fleet, strip_header, FleetReplayReport, ReplayError, ReplayReport, TRACE_SCHEMA,
+    replay, replay_fleet, replay_serve, strip_header, FleetReplayReport, ReplayError, ReplayReport,
+    ServeReplayReport, TRACE_SCHEMA,
 };
 pub use sink::{NullSink, RingSink, TraceSink, VecSink};

@@ -43,6 +43,10 @@ pub enum ReplayError {
     MissingFleetRunStart,
     /// No `fleet_summary` event was found.
     MissingFleetSummary,
+    /// The first event of a serve trace was not `serve_run_start`.
+    MissingServeRunStart,
+    /// No `serve_summary` event was found.
+    MissingServeSummary,
 }
 
 impl std::fmt::Display for ReplayError {
@@ -61,6 +65,12 @@ impl std::fmt::Display for ReplayError {
             }
             ReplayError::MissingFleetSummary => {
                 write!(f, "fleet trace has no fleet_summary event")
+            }
+            ReplayError::MissingServeRunStart => {
+                write!(f, "serve trace does not begin with a serve_run_start event")
+            }
+            ReplayError::MissingServeSummary => {
+                write!(f, "serve trace has no serve_summary event")
             }
         }
     }
@@ -729,6 +739,269 @@ pub fn replay_fleet(events: &[TraceEvent]) -> Result<FleetReplayReport, ReplayEr
     })
 }
 
+/// Outcome of replaying a serve trace and recounting its ledger.
+#[derive(Debug, Clone)]
+pub struct ServeReplayReport {
+    /// Total events replayed (header excluded).
+    pub events: usize,
+    /// Requests counted from `serve_request` events.
+    pub requests: u64,
+    /// Admissions counted from `serve_admit` events.
+    pub admitted: u64,
+    /// Terminal completions counted from `serve_complete` events.
+    pub completed: u64,
+    /// Terminal rejections counted from `serve_reject` events.
+    pub rejected: u64,
+    /// Terminal timeouts counted from `serve_timeout` events.
+    pub timed_out: u64,
+    /// Terminal sheds counted from `serve_shed` events.
+    pub shed: u64,
+    /// Every invariant violation found (empty when the trace is clean).
+    pub issues: Vec<String>,
+}
+
+impl ServeReplayReport {
+    /// Whether every invariant held.
+    pub fn is_ok(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// A short human-readable verdict block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "replayed {} serve events over {} requests\n",
+            self.events, self.requests
+        ));
+        out.push_str(&format!(
+            "terminal  {} completed, {} rejected, {} timed-out, {} shed ({} admitted)\n",
+            self.completed, self.rejected, self.timed_out, self.shed, self.admitted
+        ));
+        if self.issues.is_empty() {
+            out.push_str("verdict   OK — every request is exactly one terminal state\n");
+        } else {
+            for issue in &self.issues {
+                out.push_str(&format!("ISSUE     {issue}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Replays a serve trace and recounts the serving ledger independently,
+/// cross-checking the front end's core invariant:
+///
+/// * every request is **exactly one** of completed / rejected / shed /
+///   timed-out — no request vanishes, no request double-counts,
+/// * only admitted requests complete, time out, or are engine-shed, and
+///   no admitted request is also rejected,
+/// * no admission happens after drain began, and post-drain rejections
+///   carry the `draining` reason,
+/// * the `serve_summary` counters equal the recounted totals and the four
+///   terminal counters sum to `requests`.
+pub fn replay_serve(events: &[TraceEvent]) -> Result<ServeReplayReport, ReplayError> {
+    if events.is_empty() {
+        return Err(ReplayError::Empty);
+    }
+    let events = strip_header(events)?;
+    if !matches!(events.first(), Some(TraceEvent::ServeRunStart { .. })) {
+        return Err(ReplayError::MissingServeRunStart);
+    }
+
+    let mut issues = Vec::new();
+    // req -> index of its serve_request event.
+    let mut seen: BTreeMap<u64, usize> = BTreeMap::new();
+    // req -> index of its serve_admit event.
+    let mut admits: BTreeMap<u64, usize> = BTreeMap::new();
+    // req -> (terminal kind, event index).
+    let mut terminal: BTreeMap<u64, (&'static str, usize)> = BTreeMap::new();
+    let mut drained_at: Option<usize> = None;
+    let mut summary: Option<(u64, u64, u64, u64, u64, u64)> = None;
+    let mut counts = (0u64, 0u64, 0u64, 0u64); // completed, rejected, timed_out, shed
+    let mut last_t = f64::NEG_INFINITY;
+
+    let record_terminal = |req: u64,
+                           kind: &'static str,
+                           i: usize,
+                           terminal: &mut BTreeMap<u64, (&'static str, usize)>,
+                           issues: &mut Vec<String>| {
+        if let Some((prev_kind, prev_i)) = terminal.insert(req, (kind, i)) {
+            issues.push(format!(
+                "request {req} reached a second terminal state: {prev_kind} at event \
+                     {prev_i}, then {kind} at event {i}"
+            ));
+        }
+    };
+
+    for (i, ev) in events.iter().enumerate() {
+        let t = ev.t();
+        if t + 1e-12 < last_t {
+            issues.push(format!(
+                "event {i} ({}) goes back in time: {t} < {last_t}",
+                ev.kind()
+            ));
+        }
+        last_t = last_t.max(t);
+        match ev {
+            TraceEvent::ServeRunStart { .. } if i != 0 => {
+                issues.push(format!("duplicate serve_run_start at event {i}"));
+            }
+            TraceEvent::RunMeta { .. } => {
+                issues.push(format!("misplaced run_meta at event {i}"));
+            }
+            TraceEvent::ServeRequest { req, demand, .. } => {
+                if let Some(first) = seen.insert(*req, i) {
+                    issues.push(format!(
+                        "duplicate serve_request for {req} (events {first} and {i})"
+                    ));
+                }
+                if !demand.is_finite() || *demand <= 0.0 {
+                    issues.push(format!("request {req} carries invalid demand {demand}"));
+                }
+            }
+            TraceEvent::ServeAdmit { req, .. } => {
+                if !seen.contains_key(req) {
+                    issues.push(format!("admit of unknown request {req} at event {i}"));
+                }
+                if let Some(d) = drained_at {
+                    issues.push(format!(
+                        "admit of request {req} at event {i} after drain began at event {d}"
+                    ));
+                }
+                if let Some(first) = admits.insert(*req, i) {
+                    issues.push(format!(
+                        "request {req} admitted twice (events {first} and {i})"
+                    ));
+                }
+            }
+            TraceEvent::ServeReject { req, reason, .. } => {
+                if !seen.contains_key(req) {
+                    issues.push(format!("reject of unknown request {req} at event {i}"));
+                }
+                if let Some(a) = admits.get(req) {
+                    issues.push(format!(
+                        "request {req} rejected at event {i} after being admitted at event {a}"
+                    ));
+                }
+                if drained_at.is_some() && *reason != crate::event::RejectReason::Draining {
+                    issues.push(format!(
+                        "post-drain rejection of request {req} carries reason '{}', \
+                         expected 'draining'",
+                        reason.as_str()
+                    ));
+                }
+                counts.1 += 1;
+                record_terminal(*req, "rejected", i, &mut terminal, &mut issues);
+            }
+            TraceEvent::ServeTimeout { req, .. } => {
+                if !admits.contains_key(req) {
+                    issues.push(format!("timeout of unadmitted request {req} at event {i}"));
+                }
+                counts.2 += 1;
+                record_terminal(*req, "timed-out", i, &mut terminal, &mut issues);
+            }
+            TraceEvent::ServeComplete {
+                req,
+                processed,
+                full_demand,
+                ..
+            } => {
+                if !admits.contains_key(req) {
+                    issues.push(format!(
+                        "completion of unadmitted request {req} at event {i}"
+                    ));
+                }
+                if !(*processed > 0.0 && *processed <= *full_demand + 1e-9) {
+                    issues.push(format!(
+                        "completion of request {req} reports {processed} of {full_demand} \
+                         units (must be in (0, full])"
+                    ));
+                }
+                counts.0 += 1;
+                record_terminal(*req, "completed", i, &mut terminal, &mut issues);
+            }
+            TraceEvent::ServeShed { req, .. } => {
+                if !admits.contains_key(req) {
+                    issues.push(format!("shed of unadmitted request {req} at event {i}"));
+                }
+                counts.3 += 1;
+                record_terminal(*req, "shed", i, &mut terminal, &mut issues);
+            }
+            TraceEvent::ServeDrain { .. } => {
+                if let Some(d) = drained_at {
+                    issues.push(format!(
+                        "duplicate serve_drain at event {i} (first at event {d})"
+                    ));
+                } else {
+                    drained_at = Some(i);
+                }
+            }
+            TraceEvent::ServeSummary {
+                requests,
+                admitted,
+                completed,
+                rejected,
+                timed_out,
+                shed,
+                ..
+            } => {
+                if summary.is_some() {
+                    issues.push(format!("duplicate serve_summary at event {i}"));
+                }
+                summary = Some((
+                    *requests, *admitted, *completed, *rejected, *timed_out, *shed,
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    for (&req, &ev_idx) in &seen {
+        if !terminal.contains_key(&req) {
+            issues.push(format!(
+                "request {req} (event {ev_idx}) never reached a terminal state"
+            ));
+        }
+    }
+
+    let (completed, rejected, timed_out, shed) = counts;
+    let requests = seen.len() as u64;
+    let admitted = admits.len() as u64;
+    let (rep_requests, rep_admitted, rep_completed, rep_rejected, rep_timed_out, rep_shed) =
+        summary.ok_or(ReplayError::MissingServeSummary)?;
+    for (name, recounted, reported) in [
+        ("requests", requests, rep_requests),
+        ("admitted", admitted, rep_admitted),
+        ("completed", completed, rep_completed),
+        ("rejected", rejected, rep_rejected),
+        ("timed_out", timed_out, rep_timed_out),
+        ("shed", shed, rep_shed),
+    ] {
+        if recounted != reported {
+            issues.push(format!(
+                "summary says {reported} {name}, trace recount gives {recounted}"
+            ));
+        }
+    }
+    if completed + rejected + timed_out + shed != requests {
+        issues.push(format!(
+            "terminal states sum to {} but the trace has {requests} requests",
+            completed + rejected + timed_out + shed
+        ));
+    }
+
+    Ok(ServeReplayReport {
+        events: events.len(),
+        requests,
+        admitted,
+        completed,
+        rejected,
+        timed_out,
+        shed,
+        issues,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1241,6 +1514,160 @@ mod tests {
         assert!(matches!(
             replay_fleet(&[fleet_start(2, 100.0)]),
             Err(ReplayError::MissingFleetSummary)
+        ));
+    }
+
+    // ----- serve replay -----
+
+    fn serve_start() -> TraceEvent {
+        TraceEvent::ServeRunStart {
+            t: 0.0,
+            algorithm: "GE".to_string(),
+            cores: 4,
+            budget_w: 80.0,
+            q_min: 0.5,
+            queue_high: 8,
+            queue_low: 2,
+        }
+    }
+
+    fn serve_req(t: f64, req: u64) -> TraceEvent {
+        TraceEvent::ServeRequest {
+            t,
+            req,
+            demand: 400.0,
+            deadline_s: t + 0.15,
+        }
+    }
+
+    fn serve_admit(t: f64, req: u64) -> TraceEvent {
+        TraceEvent::ServeAdmit {
+            t,
+            req,
+            queue_len: 1,
+        }
+    }
+
+    fn serve_summary(
+        t: f64,
+        counts: (u64, u64, u64, u64, u64, u64), // req, adm, comp, rej, to, shed
+    ) -> TraceEvent {
+        TraceEvent::ServeSummary {
+            t,
+            requests: counts.0,
+            admitted: counts.1,
+            completed: counts.2,
+            rejected: counts.3,
+            timed_out: counts.4,
+            shed: counts.5,
+        }
+    }
+
+    #[test]
+    fn serve_clean_trace_passes() {
+        let events = vec![
+            serve_start(),
+            serve_req(1.0, 0),
+            serve_admit(1.0, 0),
+            serve_req(1.1, 1),
+            TraceEvent::ServeReject {
+                t: 1.1,
+                req: 1,
+                reason: crate::event::RejectReason::Busy,
+                queue_len: 9,
+            },
+            serve_req(1.2, 2),
+            serve_admit(1.2, 2),
+            TraceEvent::ServeComplete {
+                t: 1.3,
+                req: 0,
+                processed: 400.0,
+                full_demand: 400.0,
+            },
+            TraceEvent::ServeTimeout { t: 1.4, req: 2 },
+            TraceEvent::ServeDrain { t: 2.0, pending: 0 },
+            serve_summary(2.0, (3, 2, 1, 1, 1, 0)),
+        ];
+        let report = replay_serve(&events).unwrap();
+        assert!(report.is_ok(), "{}", report.render());
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.admitted, 2);
+    }
+
+    #[test]
+    fn serve_double_terminal_and_vanished_request_flagged() {
+        let events = vec![
+            serve_start(),
+            serve_req(1.0, 0),
+            serve_admit(1.0, 0),
+            serve_req(1.1, 1),
+            serve_admit(1.1, 1),
+            TraceEvent::ServeComplete {
+                t: 1.3,
+                req: 0,
+                processed: 400.0,
+                full_demand: 400.0,
+            },
+            TraceEvent::ServeTimeout { t: 1.4, req: 0 },
+            serve_summary(2.0, (2, 2, 1, 0, 1, 0)),
+        ];
+        let report = replay_serve(&events).unwrap();
+        assert!(report
+            .issues
+            .iter()
+            .any(|m| m.contains("second terminal state")));
+        assert!(report
+            .issues
+            .iter()
+            .any(|m| m.contains("never reached a terminal state")));
+    }
+
+    #[test]
+    fn serve_admit_after_drain_flagged() {
+        let events = vec![
+            serve_start(),
+            TraceEvent::ServeDrain { t: 1.0, pending: 0 },
+            serve_req(1.5, 0),
+            serve_admit(1.5, 0),
+            TraceEvent::ServeComplete {
+                t: 1.6,
+                req: 0,
+                processed: 1.0,
+                full_demand: 1.0,
+            },
+            serve_summary(2.0, (1, 1, 1, 0, 0, 0)),
+        ];
+        let report = replay_serve(&events).unwrap();
+        assert!(report.issues.iter().any(|m| m.contains("after drain")));
+    }
+
+    #[test]
+    fn serve_summary_mismatch_flagged() {
+        let events = vec![
+            serve_start(),
+            serve_req(1.0, 0),
+            TraceEvent::ServeReject {
+                t: 1.0,
+                req: 0,
+                reason: crate::event::RejectReason::Floor,
+                queue_len: 0,
+            },
+            serve_summary(2.0, (1, 0, 1, 0, 0, 0)),
+        ];
+        let report = replay_serve(&events).unwrap();
+        assert!(report.issues.iter().any(|m| m.contains("summary says")));
+    }
+
+    #[test]
+    fn serve_structural_errors() {
+        assert!(matches!(replay_serve(&[]), Err(ReplayError::Empty)));
+        assert!(matches!(
+            replay_serve(&[start()]),
+            Err(ReplayError::MissingServeRunStart)
+        ));
+        assert!(matches!(
+            replay_serve(&[serve_start()]),
+            Err(ReplayError::MissingServeSummary)
         ));
     }
 }

@@ -63,13 +63,18 @@ if [ "$d_fleet_a" != "$d_fleet_b" ]; then
   exit 1
 fi
 
-echo "== supervised runner smoke (--supervise + run-manifest.json)"
+echo "== supervised runner smoke (--supervise + manifest + ge_supervise_* scrape)"
 cargo run --release --offline -q -p ge-experiments -- \
   --quick --reps 1 --horizon 5 --out "$smoke_dir" --faults throttle --supervise \
+  --metrics-addr 127.0.0.1:0 \
   >"$smoke_dir/supervise.log"
 test -s "$smoke_dir/faults-throttlea.csv"
 grep -q '"schema": "ge-run-manifest/v1"' "$smoke_dir/run-manifest.json"
 grep -q '"status": "ok"' "$smoke_dir/run-manifest.json"
+# The supervisor's health counters must reach the Prometheus exposition.
+grep -q '^# TYPE ge_supervise_retries_total counter$' "$smoke_dir/metrics-scrape.txt"
+grep -q '^# TYPE ge_supervise_timeouts_total counter$' "$smoke_dir/metrics-scrape.txt"
+grep -q '^# TYPE ge_supervise_salvages_total counter$' "$smoke_dir/metrics-scrape.txt"
 
 echo "== kill-and-resume smoke (checkpoint bit-exactness)"
 # Stop a checkpointed run mid-flight, resume it, and require the resumed
@@ -105,6 +110,69 @@ cargo run --release --offline -q -p ge-experiments -- \
   --differential --instances 200 --seed 42 --out "$smoke_dir" \
   >"$smoke_dir/differential.log"
 grep -q 'disagreements: none' "$smoke_dir/differential.log"
+
+echo "== serve smoke (live front end: port 0, replay, SIGTERM drain, digest equality)"
+# Two identical server+replay pairs must land on the same accounting
+# digest; a third pair is SIGTERMed mid-stream and must still drain
+# cleanly with every request in exactly one terminal state. The binary
+# is exec'd directly so the signal reaches it rather than cargo.
+serve_bin=./target/release/ge-experiments
+for run in a b; do
+  "$serve_bin" --serve --serve-addr 127.0.0.1:0 --horizon 20 \
+    --out "$smoke_dir/serve-$run" >"$smoke_dir/serve-$run.log" 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 50); do
+    grep -q 'serve: listening on ' "$smoke_dir/serve-$run.log" && break
+    sleep 0.1
+  done
+  addr=$(sed -n 's/^serve: listening on //p' "$smoke_dir/serve-$run.log")
+  test -n "$addr"
+  "$serve_bin" --serve-replay "$addr" --requests 120 --horizon 20 --seed 9 \
+    >"$smoke_dir/replay-$run.log"
+  wait "$serve_pid"
+done
+grep -q 'verdict   OK' "$smoke_dir/serve-a.log"
+grep -q 'resume_bit_exact=true' "$smoke_dir/serve-a.log"
+d_serve_a=$(grep -o 'digest=0x[0-9a-f]*' "$smoke_dir/serve-a.log")
+d_serve_b=$(grep -o 'digest=0x[0-9a-f]*' "$smoke_dir/serve-b.log")
+test -n "$d_serve_a"
+if [ "$d_serve_a" != "$d_serve_b" ]; then
+  echo "FAIL: serve digest $d_serve_a != repeat-run digest $d_serve_b"
+  exit 1
+fi
+# The replay client's decision-latency percentiles land in the trajectory.
+grep -q 'serve_decision/p999' "$smoke_dir/serve-a/BENCH_trajectory.jsonl"
+# SIGTERM mid-stream under a paced replay: graceful drain, full books.
+"$serve_bin" --serve --serve-addr 127.0.0.1:0 --horizon 20 \
+  --out "$smoke_dir/serve-kill" >"$smoke_dir/serve-kill.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 50); do
+  grep -q 'serve: listening on ' "$smoke_dir/serve-kill.log" && break
+  sleep 0.1
+done
+addr=$(sed -n 's/^serve: listening on //p' "$smoke_dir/serve-kill.log")
+test -n "$addr"
+"$serve_bin" --serve-replay "$addr" --requests 120 --horizon 20 --seed 9 \
+  --replay-speed 2 >"$smoke_dir/replay-kill.log" &
+replay_pid=$!
+sleep 2
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+wait "$replay_pid"
+grep -q 'termination signal received' "$smoke_dir/serve-kill.log"
+grep -q 'verdict   OK' "$smoke_dir/serve-kill.log"
+grep -q 'resume_bit_exact=true' "$smoke_dir/serve-kill.log"
+
+echo "== chaos soak smoke (--soak: seeded wire abuse, digest equality)"
+# Garbage frames, partial writes, connection drops, bursts, slow clients,
+# a worker-panic probe, and a mid-stream kill-and-drain — twice, with the
+# same seed; the accounting digests must agree and the independently
+# recounted trace must show every request in exactly one terminal state.
+cargo run --release --offline -q -p ge-experiments -- \
+  --soak --requests 100 --horizon 20 --seed 7 --out "$smoke_dir/soak" \
+  >"$smoke_dir/soak.log" 2>&1
+grep -q 'digests agree across two runs' "$smoke_dir/soak.log"
+grep -q 'verdict   OK' "$smoke_dir/soak.log"
 
 echo "== telemetry smoke (live scrape + folded profile artifact)"
 # Run a quick figure with the metrics endpoint armed: the CLI

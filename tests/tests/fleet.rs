@@ -210,3 +210,141 @@ fn study_artifacts_show_repartitioning_dominating_equal_split() {
     }
     assert!(crash_rows >= 3, "grid must include crashing intensities");
 }
+
+// ---------------------------------------------------------------------
+// Crash/recover idempotence at the shard boundary: an impatient
+// supervisor may repeat a transition (double crash, double recover), and
+// the repeats must be no-ops — no job fails over twice, and the budget
+// slice is restored exactly once.
+// ---------------------------------------------------------------------
+
+#[test]
+fn double_crash_fails_over_each_queued_job_exactly_once() {
+    use ge_core::{Algorithm, ShardEngine};
+
+    let cfg = shard_cfg(10.0);
+    let mut shard = ShardEngine::new(&cfg, &Algorithm::Ge, None);
+    // Early arrivals start on the 4 cores; a burst then overfills the
+    // queue, so the crash instant holds both started jobs (orphans,
+    // partial credit) and queued-unstarted jobs (failover).
+    for i in 0..4u64 {
+        let r = SimTime::from_secs(0.1 * i as f64);
+        let j = Job::new(JobId(i), r, SimTime::from_secs(6.0), 600.0).with_estimate(600.0);
+        shard.inject_job(j, r);
+    }
+    shard.advance_to(SimTime::from_secs(1.0));
+    for i in 4..20u64 {
+        let r = SimTime::from_secs(1.0);
+        let j = Job::new(JobId(i), r, SimTime::from_secs(6.0), 600.0).with_estimate(600.0);
+        shard.inject_job(j, r);
+    }
+    shard.advance_to(SimTime::from_secs(1.05));
+
+    let first = shard.crash();
+    assert!(
+        !first.is_empty(),
+        "the burst must leave queued-unstarted work to fail over"
+    );
+    let ids: BTreeSet<usize> = first.iter().map(|j| j.id.index()).collect();
+    assert_eq!(
+        ids.len(),
+        first.len(),
+        "one crash handed the same job back twice"
+    );
+    assert!(shard.is_crashed());
+
+    // Crashing an already-dead shard hands back nothing: were it to
+    // repeat the failover list, the router would re-dispatch (and
+    // double-count) every queued job.
+    let second = shard.crash();
+    assert!(
+        second.is_empty(),
+        "double crash re-failed-over {} job(s)",
+        second.len()
+    );
+    assert!(shard.is_crashed());
+}
+
+#[test]
+fn crash_at_epoch_boundary_recovers_idempotently_with_one_budget_restore() {
+    use ge_core::{Algorithm, ShardEngine};
+
+    // Two runs of the same scripted outage — crash exactly on a quantum
+    // boundary (quantum = 500 ms, so t = 2.0 s is a trigger instant),
+    // survivors' repartition boosting the slice, recovery handing the
+    // nominal slice back — differing only in every transition being
+    // called twice. The duplicates must change nothing, bit for bit.
+    let run = |double: bool| {
+        let cfg = shard_cfg(10.0);
+        let mut shard = ShardEngine::new(&cfg, &Algorithm::Ge, None);
+        for i in 0..24u64 {
+            let r = SimTime::from_secs(0.05 * i as f64);
+            let j = Job::new(JobId(i), r, SimTime::from_secs(7.0), 500.0).with_estimate(500.0);
+            shard.inject_job(j, r);
+        }
+        shard.advance_to(SimTime::from_secs(2.0));
+        // The fleet partitioner reacts to a sibling's death by boosting
+        // this shard's slice — then this shard dies too.
+        shard.set_budget_factor(1.5);
+        let failed_over = shard.crash();
+        if double {
+            let again = shard.crash();
+            assert!(again.is_empty(), "second crash must fail over nothing");
+        }
+        shard.advance_to(SimTime::from_secs(4.0));
+        // Recovery restores the nominal slice. The duplicate transition
+        // must be absorbed — the slice comes back exactly once, not
+        // compounded or re-zeroed.
+        shard.recover();
+        shard.set_budget_factor(1.0);
+        if double {
+            shard.recover();
+            shard.set_budget_factor(1.0);
+        }
+        let snapshot = shard.snapshot();
+        // The failed-over jobs come back to the recovered shard with a
+        // fresh window, as the router re-dispatches them.
+        let redispatch_at = SimTime::from_secs(4.0);
+        for j in &failed_over {
+            let again = Job::new(j.id, redispatch_at, SimTime::from_secs(8.0), j.demand)
+                .with_estimate(j.estimate);
+            shard.inject_job(again, redispatch_at);
+        }
+        shard.advance_to(SimTime::from_secs(10.0));
+        let ids: Vec<usize> = failed_over.iter().map(|j| j.id.index()).collect();
+        (ids, snapshot, shard.finalize())
+    };
+
+    let (ids_once, snap_once, out_once) = run(false);
+    let (ids_twice, snap_twice, out_twice) = run(true);
+    assert!(
+        !ids_once.is_empty(),
+        "the epoch-boundary crash must actually fail over work"
+    );
+    assert_eq!(ids_once, ids_twice, "failover sets diverged");
+    assert_eq!(
+        snap_once, snap_twice,
+        "post-recovery checkpoints diverged — a repeated transition mutated state"
+    );
+    assert_eq!(
+        out_once.result.quality.to_bits(),
+        out_twice.result.quality.to_bits()
+    );
+    assert_eq!(
+        out_once.result.energy_j.to_bits(),
+        out_twice.result.energy_j.to_bits()
+    );
+    assert_eq!(
+        out_once.result.jobs_finished,
+        out_twice.result.jobs_finished
+    );
+    assert_eq!(
+        out_once.result.jobs_discarded,
+        out_twice.result.jobs_discarded
+    );
+    assert_eq!(
+        out_once.achieved_sum.to_bits(),
+        out_twice.achieved_sum.to_bits()
+    );
+    assert_eq!(out_once.full_sum.to_bits(), out_twice.full_sum.to_bits());
+}

@@ -1,0 +1,198 @@
+//! Integration tests for the `ge-serve` front end over real TCP,
+//! exercising the full stack the unit tests cover piecewise: the replay
+//! client from `ge-experiments`, wire-level abuse against the live
+//! server, the chaos/soak harness, slow-client reaping, and the drained
+//! checkpoint restored independently through `ge-core`.
+//!
+//! The load-bearing claim everywhere: the serving core is a pure
+//! function of the logical command stream, so network chaos — garbage
+//! frames, reconnects, slow clients, pacing — must never change the
+//! accounting digest, and every request must land in exactly one
+//! terminal state.
+
+use ge_core::ShardEngine;
+use ge_experiments::serve::{exemplar_config, run_replay, run_soak};
+use ge_serve::{ServeConfig, ServeServer};
+use ge_trace::replay_serve;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn bind(cfg: ServeConfig) -> ServeServer {
+    ServeServer::bind(cfg, "127.0.0.1:0").expect("bind on an ephemeral port")
+}
+
+/// A line-oriented test client: one command out, one reply back.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        self.stream.write_all(line.as_bytes()).expect("write");
+        self.stream.write_all(b"\n").expect("write newline");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reply");
+        reply.trim_end().to_string()
+    }
+}
+
+#[test]
+fn replay_client_round_trip_is_deterministic_and_drains_clean() {
+    let run = || {
+        let server = bind(exemplar_config(20.0));
+        let addr = server.local_addr().to_string();
+        let summary = run_replay(&addr, 11, 80, 20.0, 0.0).expect("replay");
+        assert_eq!(summary.sent, 80, "{summary:?}");
+        assert!(!summary.server_closed_early, "{summary:?}");
+        assert!(summary.accepted > 0, "{summary:?}");
+        // The client's final DRAIN must have closed admission before it
+        // disconnected.
+        assert!(server.drain_requested());
+        server.shutdown_and_drain()
+    };
+    let a = run();
+    let b = run();
+
+    assert_eq!(a.requests, 80);
+    assert!(a.is_consistent(), "{a:?}");
+    assert!(a.resume_bit_exact);
+    // One decision-latency sample per SUBMIT that reached the core.
+    assert_eq!(a.latency_ns.len() as u64, a.requests);
+
+    let report = replay_serve(&a.events).expect("serve trace replays");
+    assert!(report.is_ok(), "{}", report.render());
+    assert_eq!(report.requests, 80);
+
+    // Wall-clock jitter between the two runs must be invisible.
+    assert_eq!(a.digest, b.digest, "identical replays diverged");
+}
+
+#[test]
+fn wire_garbage_and_reconnects_never_touch_the_books() {
+    let submits: Vec<(f64, f64)> = (0..40)
+        .map(|i| (0.05 * i as f64, 400.0 + 10.0 * (i % 5) as f64))
+        .collect();
+    let run = |abuse: bool| {
+        let mut cfg = exemplar_config(20.0);
+        cfg.max_protocol_errors = 64;
+        let server = bind(cfg);
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr);
+        for (i, (t, demand)) in submits.iter().enumerate() {
+            if abuse {
+                match i % 4 {
+                    0 => {
+                        let r = client.send("NOT A COMMAND");
+                        assert!(r.starts_with("ERR "), "{r}");
+                    }
+                    1 => {
+                        let r = client.send("SUBMIT nan nan nan");
+                        assert!(r.starts_with("ERR "), "{r}");
+                    }
+                    // Drop the connection cold and carry on elsewhere.
+                    2 => client = Client::connect(&addr),
+                    _ => {}
+                }
+            }
+            let reply = client.send(&format!("SUBMIT {t} {demand} 1.5"));
+            assert!(
+                reply.starts_with("ACCEPTED")
+                    || reply.starts_with("BUSY")
+                    || reply.starts_with("REJECTED"),
+                "{reply}"
+            );
+        }
+        drop(client);
+        server.request_drain();
+        server.shutdown_and_drain()
+    };
+
+    let clean = run(false);
+    let abused = run(true);
+    assert!(abused.is_consistent(), "{abused:?}");
+    assert_eq!(clean.requests, abused.requests);
+    assert_eq!(
+        clean.digest, abused.digest,
+        "wire abuse leaked into the accounting"
+    );
+}
+
+#[test]
+fn soak_harness_is_reproducible_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("ge-serve-soak-it-{}", std::process::id()));
+    let a = run_soak(23, 60, 15.0, &dir, 1).expect("soak run 1");
+    let b = run_soak(23, 60, 15.0, &dir, 2).expect("soak run 2");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(a, b, "identically seeded soaks diverged");
+}
+
+#[test]
+fn slow_clients_are_reaped_while_live_traffic_flows() {
+    let mut cfg = exemplar_config(20.0);
+    cfg.read_timeout_ms = 150;
+    cfg.write_timeout_ms = 150;
+    let server = bind(cfg);
+    let addr = server.local_addr().to_string();
+
+    // A mute connection: sends nothing, waits to be reaped.
+    let _mute = TcpStream::connect(&addr).expect("mute connect");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.slow_disconnects() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        server.slow_disconnects() >= 1,
+        "slowloris connection was never reaped"
+    );
+
+    // The server is still fully alive for a real client afterwards.
+    let mut client = Client::connect(&addr);
+    let reply = client.send("SUBMIT 0.5 300 2");
+    assert!(reply.starts_with("ACCEPTED"), "{reply}");
+    drop(client);
+    server.request_drain();
+    let out = server.shutdown_and_drain();
+    assert!(out.is_consistent(), "{out:?}");
+    assert_eq!(out.requests, 1);
+    assert_eq!(out.rejected, 0);
+}
+
+#[test]
+fn drained_checkpoint_restores_bit_exactly_through_ge_core() {
+    let cfg = exemplar_config(20.0);
+    let sim = cfg.sim.clone();
+    let algorithm = cfg.algorithm.clone();
+    let server = bind(cfg);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr);
+    for i in 0..30 {
+        let t = 0.1 * f64::from(i);
+        client.send(&format!("SUBMIT {t} 500 2.0"));
+    }
+    drop(client);
+    server.request_drain();
+    let out = server.shutdown_and_drain();
+    assert!(out.is_consistent(), "{out:?}");
+    assert!(out.resume_bit_exact, "in-crate resume proof failed");
+
+    // The independent proof: ge-core restores the sealed checkpoint and
+    // re-encodes it to the identical bytes.
+    let restored =
+        ShardEngine::restore(&sim, &algorithm, None, &out.checkpoint).expect("checkpoint restores");
+    assert_eq!(
+        restored.snapshot(),
+        out.checkpoint,
+        "re-encoded checkpoint differs from the drained one"
+    );
+}

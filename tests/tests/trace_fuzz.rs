@@ -316,3 +316,80 @@ fn unknown_record_tag_is_an_error() {
         "unknown event tags must be rejected"
     );
 }
+
+#[test]
+fn overlong_line_is_a_typed_error_not_a_panic() {
+    use ge_trace::{parse_jsonl_reader, ParseErrorKind, MAX_JSONL_LINE_BYTES};
+
+    let clean = sample_jsonl();
+
+    // One line padded past the cap: both parsers must refuse it with the
+    // typed LineTooLong kind, whatever garbage the padding is.
+    let huge = format!("{{\"ev\":\"{}\"}}", "x".repeat(MAX_JSONL_LINE_BYTES));
+    let poisoned = format!("{clean}{huge}\n");
+    let err = parse_jsonl(&poisoned).expect_err("overlong line must not parse");
+    assert_eq!(err.kind, ParseErrorKind::LineTooLong, "{err}");
+    let err = parse_jsonl_reader(std::io::Cursor::new(poisoned.as_bytes()))
+        .expect_err("overlong line must not parse from a reader");
+    assert_eq!(err.kind, ParseErrorKind::LineTooLong, "{err}");
+
+    // A line exactly at the cap is *length*-legal (it still fails as
+    // syntax, not as LineTooLong): the boundary is not off by one.
+    let at_cap = "y".repeat(MAX_JSONL_LINE_BYTES);
+    let err = parse_jsonl(&at_cap).expect_err("garbage is garbage");
+    assert_eq!(err.kind, ParseErrorKind::Syntax, "{err}");
+}
+
+#[test]
+fn endless_unterminated_line_fails_fast_with_bounded_memory() {
+    use ge_trace::{parse_jsonl_reader, ParseErrorKind, MAX_JSONL_LINE_BYTES};
+    use std::io::Read;
+
+    /// A reader that yields 'z' forever and never a newline — the
+    /// hostile-stream case the cap exists for. Counts what was pulled so
+    /// the test can prove the parser stopped reading near the cap
+    /// instead of buffering gigabytes.
+    struct Endless {
+        served: usize,
+    }
+
+    impl Read for Endless {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            buf.fill(b'z');
+            self.served += buf.len();
+            Ok(buf.len())
+        }
+    }
+
+    let mut endless = Endless { served: 0 };
+    let err = parse_jsonl_reader(std::io::BufReader::new(&mut endless))
+        .expect_err("an endless line must be refused");
+    assert_eq!(err.kind, ParseErrorKind::LineTooLong, "{err}");
+    assert!(
+        endless.served <= MAX_JSONL_LINE_BYTES + 64 * 1024,
+        "parser read {} bytes from an endless stream — the cap is not \
+         bounding the buffer",
+        endless.served
+    );
+}
+
+#[test]
+fn fuzzed_padding_around_the_cap_never_panics() {
+    use ge_trace::{parse_jsonl_reader, MAX_JSONL_LINE_BYTES};
+
+    // Seeded lengths straddling the boundary, spliced into a real trace
+    // at a random position: no panic, and any Err is fine.
+    let clean = sample_jsonl();
+    let lines: Vec<&str> = clean.lines().collect();
+    let mut rng = RngStream::seed_from_u64(0x10C0_FFEE);
+    for _ in 0..32 {
+        let len = MAX_JSONL_LINE_BYTES - 512 + rng.next_below(1024) as usize;
+        let pad = "p".repeat(len);
+        let pos = rng.next_below(lines.len() as u64 + 1) as usize;
+        let mut doc: Vec<&str> = lines.clone();
+        doc.insert(pos, &pad);
+        let text = doc.join("\n");
+        let _ = parse_jsonl(&text);
+        let _ = parse_jsonl_reader(std::io::Cursor::new(text.as_bytes()));
+    }
+}
